@@ -1,0 +1,57 @@
+//! Criterion wrappers over the figure experiments: one benchmark per
+//! paper table/figure, timing the *real execution* of the full
+//! experiment pipeline at a small scale (the analytic runtime/cost
+//! numbers themselves come from the `figNN_*` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pushdown_bench::experiments as ex;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn cfg(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let c = cfg(c);
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+
+    g.bench_function("fig01_filter", |b| {
+        b.iter(|| black_box(ex::fig01_filter::run(8_000).unwrap()))
+    });
+    g.bench_function("fig02_join_customer", |b| {
+        b.iter(|| black_box(ex::fig02_join_customer::run(0.002).unwrap()))
+    });
+    g.bench_function("fig03_join_orders", |b| {
+        b.iter(|| black_box(ex::fig03_join_orders::run(0.002).unwrap()))
+    });
+    g.bench_function("fig04_join_fpr", |b| {
+        b.iter(|| black_box(ex::fig04_join_fpr::run(0.002).unwrap()))
+    });
+    g.bench_function("fig05_groupby_uniform", |b| {
+        b.iter(|| black_box(ex::fig05_groupby_uniform::run(6_000).unwrap()))
+    });
+    g.bench_function("fig06_hybrid_split", |b| {
+        b.iter(|| black_box(ex::fig06_hybrid_split::run(6_000).unwrap()))
+    });
+    g.bench_function("fig07_groupby_skew", |b| {
+        b.iter(|| black_box(ex::fig07_groupby_skew::run(6_000).unwrap()))
+    });
+    g.bench_function("fig08_topk_sample", |b| {
+        b.iter(|| black_box(ex::fig08_topk_sample::run(0.002, 50).unwrap()))
+    });
+    g.bench_function("fig09_topk_k", |b| {
+        b.iter(|| black_box(ex::fig09_topk_k::run(0.002).unwrap()))
+    });
+    g.bench_function("fig10_tpch", |b| {
+        b.iter(|| black_box(ex::fig10_tpch::run(0.002).unwrap()))
+    });
+    g.bench_function("fig11_parquet", |b| {
+        b.iter(|| black_box(ex::fig11_parquet::run(4_000).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Runs every figure harness at default sizes — the one-shot experiment
+//! reproduction (`cargo run --release -p pushdown-bench --bin all_figures`).
+
+fn main() {
+    let bins = [
+        "fig01_filter", "fig02_join_customer", "fig03_join_orders", "fig04_join_fpr",
+        "fig05_groupby_uniform", "fig06_hybrid_split", "fig07_groupby_skew",
+        "fig08_topk_sample_size", "fig09_topk_k", "fig10_tpch", "fig11_parquet",
+        "ablation_suggestions",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n######## {bin} ########");
+        let status = std::process::Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates paper Figure 1 (filter strategies vs selectivity).
+//! Usage: `fig01_filter [n_rows]` (default 120000).
+
+use pushdown_bench::experiments::fig01_filter as fig;
+use pushdown_bench::table::{cost_parts, print_table, rt};
+
+fn main() {
+    let n_rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120_000);
+    let rows = fig::run(n_rows).expect("fig01");
+    print_table(
+        "Fig 1a — filter runtime (projected to the paper's 60M-row table)",
+        &["selectivity", "server-side", "s3-side", "indexing"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0e}", r.selectivity),
+                    rt(r.server.runtime),
+                    rt(r.s3.runtime),
+                    rt(r.indexed.runtime),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        "Fig 1b — filter cost",
+        &["selectivity", "server-side", "s3-side", "indexing"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0e}", r.selectivity),
+                    cost_parts(&r.server.cost),
+                    cost_parts(&r.s3.cost),
+                    cost_parts(&r.indexed.cost),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates paper Figure 8 (sampling top-K vs sample size).
+//! Usage: `fig08_topk_sample_size [scale_factor]` (default 0.02).
+
+use pushdown_bench::experiments::fig08_topk_sample as fig;
+use pushdown_bench::table::{cost, print_table, rt};
+use pushdown_common::fmtutil;
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let res = fig::run(sf, 100).expect("fig08");
+    println!(
+        "lineitem rows = {}, K = {}, analytic optimum S* = {}",
+        res.n_rows, res.k, res.analytic_optimum
+    );
+    print_table(
+        "Fig 8 — sampling top-K phase breakdown vs sample size (projected to 60M rows)",
+        &["sample size", "sampling", "scanning", "total", "bytes returned", "cost"],
+        &res.sweep.iter().map(|r| vec![
+            r.sample_size.to_string(),
+            rt(r.sampling_seconds),
+            rt(r.scanning_seconds),
+            rt(r.total.runtime),
+            fmtutil::bytes(r.bytes_returned),
+            cost(&r.total.cost),
+        ]).collect::<Vec<_>>(),
+    );
+}

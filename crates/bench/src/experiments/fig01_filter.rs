@@ -1,0 +1,88 @@
+//! **Figure 1** — filter strategies vs selectivity (paper §IV-B).
+//!
+//! Three strategies over a lineitem-shaped table as the predicate
+//! selectivity sweeps 1e-7 … 1e-2: server-side filter (full load),
+//! S3-side filter (pushdown), and the §IV-A index table. Expected shape:
+//! S3-side ≈ 10× faster than server-side at every selectivity; indexing
+//! competitive only while selective, collapsing under per-row GETs past
+//! ~1e-4; indexing cheapest at high selectivity, cost exploding at 1e-2.
+
+use crate::Measure;
+use pushdown_common::{DataType, Result, Row, Schema, Value};
+use pushdown_core::algos::filter::{self, FilterQuery};
+use pushdown_core::{build_index, upload_csv_table, QueryContext};
+use pushdown_s3::S3Store;
+use pushdown_sql::Expr;
+
+/// The paper sweeps a 60M-row table; measurements at `n_rows` are
+/// projected to that scale.
+pub const PAPER_ROWS: u64 = 60_000_000;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1Row {
+    pub selectivity: f64,
+    pub server: Measure,
+    pub s3: Measure,
+    pub indexed: Measure,
+}
+
+/// The paper's x-axis.
+pub fn selectivities() -> Vec<f64> {
+    vec![1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
+}
+
+/// A lineitem-shaped synthetic table: a uniform unique key plus padding
+/// bringing rows to roughly the paper's ~120 B.
+fn filter_table(ctx: &QueryContext, n_rows: usize) -> Result<pushdown_core::Table> {
+    let schema = Schema::from_pairs(&[
+        ("k", DataType::Int),
+        ("v", DataType::Float),
+        ("pad", DataType::Str),
+    ]);
+    // A permutation of 0..n via multiplication by a unit mod 2^k, so the
+    // key order is unrelated to storage order.
+    let n = n_rows as i64;
+    let rows: Vec<Row> = (0..n)
+        .map(|i| {
+            let k = (i.wrapping_mul(2654435761)).rem_euclid(n);
+            Row::new(vec![
+                Value::Int(k),
+                Value::Float((i % 100_000) as f64 / 100.0),
+                Value::Str(format!("{:0>88}", i)),
+            ])
+        })
+        .collect();
+    upload_csv_table(&ctx.store, "bench", "filterdata", &schema, &rows, n_rows / 16 + 1)
+}
+
+/// Run the sweep at `n_rows` (projection factor `PAPER_ROWS / n_rows`).
+pub fn run(n_rows: usize) -> Result<Vec<Fig1Row>> {
+    let ctx = QueryContext::new(S3Store::new());
+    let table = filter_table(&ctx, n_rows)?;
+    let index = build_index(&ctx, &table, "k")?;
+    let factor = PAPER_ROWS as f64 / n_rows as f64;
+
+    let mut out = Vec::new();
+    for s in selectivities() {
+        // `k < cutoff` selects the paper-equivalent fraction; at tiny
+        // fractions the local row count clamps to >= 0 naturally.
+        let cutoff = (s * n_rows as f64).round() as i64;
+        let q = FilterQuery {
+            table: table.clone(),
+            predicate: Expr::lt(Expr::col("k"), Expr::int(cutoff)),
+            projection: None,
+        };
+        let server = filter::server_side(&ctx, &q)?;
+        let s3 = filter::s3_side(&ctx, &q)?;
+        let indexed = filter::indexed(&ctx, &index, &q)?;
+        assert_eq!(server.rows.len(), s3.rows.len());
+        assert_eq!(server.rows.len(), indexed.rows.len());
+        out.push(Fig1Row {
+            selectivity: s,
+            server: Measure::of(&ctx, &server, factor),
+            s3: Measure::of(&ctx, &s3, factor),
+            indexed: Measure::of(&ctx, &indexed, factor),
+        });
+    }
+    Ok(out)
+}

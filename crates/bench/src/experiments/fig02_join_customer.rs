@@ -1,0 +1,72 @@
+//! **Figure 2** — join algorithms vs customer-table selectivity
+//! (paper §V-B1).
+//!
+//! The paper's Listing 2 query (`SUM(o_totalprice)` over customer ⋈
+//! orders) with `c_acctbal <= upper` swept from −950 (selective) to −450,
+//! orders unfiltered, Bloom FPR 0.01. Expected shape: baseline ≈
+//! filtered (both ship the whole orders table); Bloom join much faster
+//! while the customer predicate is selective, degrading as it loosens.
+
+use crate::Measure;
+use pushdown_common::Result;
+use pushdown_core::algos::join::{self, JoinQuery};
+use pushdown_sql::{parse_expr, Expr};
+use pushdown_tpch::{tpch_context, TpchTables};
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Row {
+    pub upper_acctbal: i64,
+    pub baseline: Measure,
+    pub filtered: Measure,
+    pub bloom: Measure,
+}
+
+pub fn upper_values() -> Vec<i64> {
+    vec![-950, -850, -750, -650, -550, -450]
+}
+
+/// The paper's Listing 2 query shape.
+pub fn listing2_query(
+    t: &TpchTables,
+    upper_acctbal: i64,
+    upper_orderdate: Option<&str>,
+) -> Result<JoinQuery> {
+    let right_pred = match upper_orderdate {
+        Some(d) => Some(parse_expr(&format!("o_orderdate < DATE '{d}'"))?),
+        None => None,
+    };
+    Ok(JoinQuery {
+        left: t.customer.clone(),
+        right: t.orders.clone(),
+        left_key: "c_custkey".into(),
+        right_key: "o_custkey".into(),
+        left_pred: Some(Expr::lt_eq(
+            Expr::col("c_acctbal"),
+            Expr::int(upper_acctbal),
+        )),
+        right_pred,
+        left_proj: vec!["c_custkey".into()],
+        right_proj: vec!["o_totalprice".into()],
+        sum_column: Some("o_totalprice".into()),
+    })
+}
+
+/// Run at TPC-H `scale_factor`, projected to the paper's SF 10.
+pub fn run(scale_factor: f64) -> Result<Vec<Fig2Row>> {
+    let (ctx, t) = tpch_context(scale_factor, 25_000)?;
+    let factor = 10.0 / scale_factor;
+    let mut out = Vec::new();
+    for upper in upper_values() {
+        let q = listing2_query(&t, upper, None)?;
+        let a = join::baseline(&ctx, &q)?;
+        let b = join::filtered(&ctx, &q)?;
+        let c = join::bloom(&ctx, &q, 0.01)?;
+        out.push(Fig2Row {
+            upper_acctbal: upper,
+            baseline: Measure::of(&ctx, &a, factor),
+            filtered: Measure::of(&ctx, &b, factor),
+            bloom: Measure::of(&ctx, &c, factor),
+        });
+    }
+    Ok(out)
+}

@@ -1,0 +1,51 @@
+//! **Figure 3** — join algorithms vs orders-table selectivity
+//! (paper §V-B2).
+//!
+//! Customer selectivity fixed at −950, Bloom FPR 0.01; the orders date
+//! bound sweeps from very selective (1992-03-01) to `None`. Expected
+//! shape: filtered ≫ baseline while the date filter is selective,
+//! converging as it loosens; Bloom flat and best (or tied) throughout.
+
+use crate::experiments::fig02_join_customer::listing2_query;
+use crate::Measure;
+use pushdown_common::Result;
+use pushdown_core::algos::join;
+use pushdown_tpch::tpch_context;
+
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    pub upper_orderdate: Option<&'static str>,
+    pub baseline: Measure,
+    pub filtered: Measure,
+    pub bloom: Measure,
+}
+
+pub fn date_bounds() -> Vec<Option<&'static str>> {
+    vec![
+        Some("1992-03-01"),
+        Some("1992-06-01"),
+        Some("1993-01-01"),
+        Some("1994-01-01"),
+        Some("1995-01-01"),
+        None,
+    ]
+}
+
+pub fn run(scale_factor: f64) -> Result<Vec<Fig3Row>> {
+    let (ctx, t) = tpch_context(scale_factor, 25_000)?;
+    let factor = 10.0 / scale_factor;
+    let mut out = Vec::new();
+    for bound in date_bounds() {
+        let q = listing2_query(&t, -950, bound)?;
+        let a = join::baseline(&ctx, &q)?;
+        let b = join::filtered(&ctx, &q)?;
+        let c = join::bloom(&ctx, &q, 0.01)?;
+        out.push(Fig3Row {
+            upper_orderdate: bound,
+            baseline: Measure::of(&ctx, &a, factor),
+            filtered: Measure::of(&ctx, &b, factor),
+            bloom: Measure::of(&ctx, &c, factor),
+        });
+    }
+    Ok(out)
+}

@@ -1,0 +1,43 @@
+//! **Figure 4** — Bloom join vs false-positive rate (paper §V-B3).
+//!
+//! Customer selectivity −950, orders unbounded; FPR sweeps 1e-4 … 0.5.
+//! Expected U-shape: a very low FPR needs many hash conjuncts (slow
+//! storage-side scan), a high FPR lets non-joining rows through (heavy
+//! transfer + server parse); the paper finds 0.01 the sweet spot.
+
+use crate::experiments::fig02_join_customer::listing2_query;
+use crate::Measure;
+use pushdown_common::Result;
+use pushdown_core::algos::join;
+use pushdown_tpch::tpch_context;
+
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    pub fpr: f64,
+    pub bloom: Measure,
+}
+
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    pub baseline: Measure,
+    pub filtered: Measure,
+    pub sweep: Vec<Fig4Row>,
+}
+
+pub fn fprs() -> Vec<f64> {
+    vec![0.0001, 0.001, 0.01, 0.1, 0.3, 0.5]
+}
+
+pub fn run(scale_factor: f64) -> Result<Fig4Result> {
+    let (ctx, t) = tpch_context(scale_factor, 25_000)?;
+    let factor = 10.0 / scale_factor;
+    let q = listing2_query(&t, -950, None)?;
+    let baseline = Measure::of(&ctx, &join::baseline(&ctx, &q)?, factor);
+    let filtered = Measure::of(&ctx, &join::filtered(&ctx, &q)?, factor);
+    let mut sweep = Vec::new();
+    for fpr in fprs() {
+        let out = join::bloom(&ctx, &q, fpr)?;
+        sweep.push(Fig4Row { fpr, bloom: Measure::of(&ctx, &out, factor) });
+    }
+    Ok(Fig4Result { baseline, filtered, sweep })
+}

@@ -1,0 +1,70 @@
+//! **Figure 6** — hybrid group-by: how many groups to push to S3
+//! (paper §VI-C2, Fig 6).
+//!
+//! Zipf-skewed table (100 groups, θ = 1.3); the hybrid algorithm is
+//! forced to aggregate exactly `n` groups at S3 while the server handles
+//! the tail, `n` sweeping 1 … 12. Expected shape: the S3-side bar grows
+//! with `n` (longer CASE chains), the server-side bar and the bytes
+//! returned shrink (fewer tail rows shipped); the paper finds the best
+//! total around 6–8 groups.
+
+use crate::Measure;
+use pushdown_common::Result;
+use pushdown_core::algos::groupby::{self, GroupByQuery, HybridOptions};
+use pushdown_core::{upload_csv_table, QueryContext, Table};
+use pushdown_s3::S3Store;
+use pushdown_sql::agg::AggFunc;
+use pushdown_tpch::synthetic::zipf_group_table;
+
+pub const PAPER_BYTES: f64 = 10e9;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Row {
+    pub s3_groups: usize,
+    /// Modeled duration of the S3-side aggregation phase (projected).
+    pub s3_seconds: f64,
+    /// Modeled duration of the server-side aggregation phase (projected).
+    pub server_seconds: f64,
+    /// Total runtime (phases compose per the plan).
+    pub total: Measure,
+    pub bytes_returned: u64,
+}
+
+pub fn split_points() -> Vec<usize> {
+    vec![1, 4, 6, 8, 10, 12]
+}
+
+fn upload(ctx: &QueryContext, n_rows: usize, theta: f64) -> Result<Table> {
+    let (schema, rows) = zipf_group_table(n_rows, theta, 7);
+    upload_csv_table(&ctx.store, "bench", "zipf", &schema, &rows, n_rows / 8 + 1)
+}
+
+pub fn query(table: &Table) -> GroupByQuery {
+    GroupByQuery {
+        table: table.clone(),
+        group_cols: vec!["g0".into()],
+        aggs: (0..4).map(|i| (AggFunc::Sum, format!("v{i}"))).collect(),
+        predicate: None,
+    }
+}
+
+pub fn run(n_rows: usize) -> Result<Vec<Fig6Row>> {
+    let ctx = QueryContext::new(S3Store::new());
+    let table = upload(&ctx, n_rows, 1.3)?;
+    let factor = PAPER_BYTES / table.total_bytes(&ctx.store) as f64;
+    let q = query(&table);
+    let mut out = Vec::new();
+    for n in split_points() {
+        let opts = HybridOptions { force_s3_groups: Some(n), ..Default::default() };
+        let res = groupby::hybrid(&ctx, &q, opts)?;
+        let scaled = res.metrics.scaled(factor);
+        out.push(Fig6Row {
+            s3_groups: n,
+            s3_seconds: scaled.seconds_for(&ctx.model, "s3-side"),
+            server_seconds: scaled.seconds_for(&ctx.model, "server-side"),
+            total: Measure::of(&ctx, &res, factor),
+            bytes_returned: scaled.bytes_returned(),
+        });
+    }
+    Ok(out)
+}

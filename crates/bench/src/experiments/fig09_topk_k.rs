@@ -1,0 +1,52 @@
+//! **Figure 9** — top-K algorithms vs K (paper §VII-C2).
+//!
+//! K sweeps 1 … 10⁴ (the paper: 1 … 10⁵ on a 60M-row table); the
+//! sampling algorithm picks its sample size from the §VII-B model.
+//! Expected shape: both runtimes grow with K (bigger heap), sampling
+//! consistently faster *and* cheaper than server-side.
+//!
+//! Projected to the paper's 60 M-row table with the same caveat as Fig 8.
+
+use crate::Measure;
+use pushdown_common::Result;
+use pushdown_core::algos::topk::{self, TopKQuery};
+use pushdown_tpch::tpch_context;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig9Row {
+    pub k: usize,
+    pub server: Measure,
+    pub sampling: Measure,
+}
+
+/// K values, restricted so K stays a small fraction of the table (the
+/// paper's largest K is 0.17 % of its 60 M rows).
+pub fn ks(max_n: u64) -> Vec<usize> {
+    [1usize, 10, 100, 1_000, 10_000]
+        .into_iter()
+        .filter(|&k| (k as u64) * 20 <= max_n)
+        .collect()
+}
+
+pub fn run(scale_factor: f64) -> Result<Vec<Fig9Row>> {
+    let (ctx, t) = tpch_context(scale_factor, 25_000)?;
+    let factor = crate::experiments::fig08_topk_sample::PAPER_ROWS / t.lineitem.row_count as f64;
+    let mut out = Vec::new();
+    for k in ks(t.lineitem.row_count) {
+        let q = TopKQuery {
+            table: t.lineitem.clone(),
+            order_col: "l_extendedprice".into(),
+            k,
+            asc: true,
+        };
+        let server = topk::server_side(&ctx, &q)?;
+        let sampling = topk::sampling(&ctx, &q, None)?;
+        assert_eq!(server.rows.len(), sampling.rows.len());
+        out.push(Fig9Row {
+            k,
+            server: Measure::of(&ctx, &server, factor),
+            sampling: Measure::of(&ctx, &sampling, factor),
+        });
+    }
+    Ok(out)
+}

@@ -1,0 +1,139 @@
+//! **Figure 10** — the full query suite: four operator micro-queries,
+//! six TPC-H queries, and the geometric mean (paper §VIII).
+//!
+//! Headline claim reproduced here: optimized PushdownDB is on average
+//! **6.7× faster** and **30 % cheaper** than the no-pushdown baseline
+//! (we reproduce the direction and rough magnitude; exact factors depend
+//! on the substituted substrate — see EXPERIMENTS.md).
+
+use crate::Measure;
+use pushdown_common::fmtutil::geo_mean;
+use pushdown_common::Result;
+use pushdown_core::algos::{filter, groupby, join, topk};
+use pushdown_core::{QueryContext, QueryOutput};
+use pushdown_sql::agg::AggFunc;
+use pushdown_sql::{parse_expr, Expr};
+use pushdown_tpch::{all_queries, tpch_context, Mode, TpchTables};
+
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    pub name: String,
+    pub baseline: Measure,
+    pub optimized: Measure,
+}
+
+impl Fig10Row {
+    pub fn speedup(&self) -> f64 {
+        self.baseline.runtime / self.optimized.runtime
+    }
+
+    pub fn cost_ratio(&self) -> f64 {
+        self.optimized.cost.total() / self.baseline.cost.total()
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    pub rows: Vec<Fig10Row>,
+    pub geo_mean_speedup: f64,
+    /// Geo-mean of optimized/baseline cost (paper: ≈ 0.70, i.e. 30 % cheaper).
+    pub geo_mean_cost_ratio: f64,
+}
+
+/// The representative micro-queries of §IV–§VII, run against the TPC-H
+/// dataset (one per operator family, as the figure's green group).
+fn micro_queries(
+    ctx: &QueryContext,
+    t: &TpchTables,
+) -> Result<Vec<(String, QueryOutput, QueryOutput)>> {
+    let mut out = Vec::new();
+
+    // Filter (§IV): a selective predicate over lineitem.
+    let fq = filter::FilterQuery {
+        table: t.lineitem.clone(),
+        predicate: parse_expr("l_quantity < 2")?,
+        projection: None,
+    };
+    out.push((
+        "Filter".to_string(),
+        filter::server_side(ctx, &fq)?,
+        filter::s3_side(ctx, &fq)?,
+    ));
+
+    // Group-by (§VI): order priorities (5 groups).
+    let gq = groupby::GroupByQuery {
+        table: t.orders.clone(),
+        group_cols: vec!["o_orderpriority".into()],
+        aggs: vec![
+            (AggFunc::Sum, "o_totalprice".into()),
+            (AggFunc::Count, "o_orderkey".into()),
+        ],
+        predicate: None,
+    };
+    out.push((
+        "Group-by".to_string(),
+        groupby::server_side(ctx, &gq)?,
+        groupby::s3_side(ctx, &gq)?,
+    ));
+
+    // Top-K (§VII): the paper's Listing 6 (K = 100 by extended price).
+    let tq = topk::TopKQuery {
+        table: t.lineitem.clone(),
+        order_col: "l_extendedprice".into(),
+        k: 100,
+        asc: true,
+    };
+    out.push((
+        "Top-K".to_string(),
+        topk::server_side(ctx, &tq)?,
+        topk::sampling(ctx, &tq, None)?,
+    ));
+
+    // Join (§V): the paper's Listing 2 with its default parameters.
+    let jq = join::JoinQuery {
+        left: t.customer.clone(),
+        right: t.orders.clone(),
+        left_key: "c_custkey".into(),
+        right_key: "o_custkey".into(),
+        left_pred: Some(Expr::lt_eq(Expr::col("c_acctbal"), Expr::int(-950))),
+        right_pred: None,
+        left_proj: vec!["c_custkey".into()],
+        right_proj: vec!["o_totalprice".into()],
+        sum_column: Some("o_totalprice".into()),
+    };
+    out.push((
+        "Join".to_string(),
+        join::baseline(ctx, &jq)?,
+        join::bloom(ctx, &jq, 0.01)?,
+    ));
+
+    Ok(out)
+}
+
+pub fn run(scale_factor: f64) -> Result<Fig10Result> {
+    let (ctx, t) = tpch_context(scale_factor, 25_000)?;
+    let factor = 10.0 / scale_factor;
+    let mut rows = Vec::new();
+
+    for (name, base, opt) in micro_queries(&ctx, &t)? {
+        rows.push(Fig10Row {
+            name,
+            baseline: Measure::of(&ctx, &base, factor),
+            optimized: Measure::of(&ctx, &opt, factor),
+        });
+    }
+    for (name, q) in all_queries() {
+        let base = q(&ctx, &t, Mode::Baseline)?;
+        let opt = q(&ctx, &t, Mode::Optimized)?;
+        rows.push(Fig10Row {
+            name: name.to_string(),
+            baseline: Measure::of(&ctx, &base, factor),
+            optimized: Measure::of(&ctx, &opt, factor),
+        });
+    }
+
+    let geo_mean_speedup = geo_mean(&rows.iter().map(Fig10Row::speedup).collect::<Vec<_>>());
+    let geo_mean_cost_ratio =
+        geo_mean(&rows.iter().map(Fig10Row::cost_ratio).collect::<Vec<_>>());
+    Ok(Fig10Result { rows, geo_mean_speedup, geo_mean_cost_ratio })
+}

@@ -1,0 +1,98 @@
+//! **Figure 11** — CSV vs columnar (Parquet-substitute) filter scans
+//! (paper §IX).
+//!
+//! Tables of 1 / 10 / 20 float columns (100 MB per column at paper
+//! scale); the query returns one filtered column with selectivity swept
+//! 0 … 1. Expected shape: columnar ≈ flat in the column count (it scans
+//! one chunk) while CSV grows with table width; the gap narrows as
+//! selectivity rises because the response is CSV either way and transfer
+//! dominates (the paper's §IX observation).
+
+use crate::Measure;
+use pushdown_common::Result;
+use pushdown_core::scan::select_scan;
+use pushdown_core::{upload_columnar_table, upload_csv_table, QueryContext};
+use pushdown_format::columnar::WriterOptions;
+use pushdown_s3::S3Store;
+use pushdown_sql::{Expr, SelectItem, SelectStmt};
+use pushdown_tpch::synthetic::wide_float_table;
+
+/// Paper: "each column contains 100 MB of randomly generated floating
+/// point numbers".
+pub const PAPER_BYTES_PER_COLUMN: f64 = 100e6;
+
+#[derive(Debug, Clone, Copy)]
+pub struct Fig11Row {
+    pub columns: usize,
+    pub selectivity: f64,
+    pub csv: Measure,
+    pub columnar: Measure,
+    /// Compressed columnar size as a fraction of the CSV size (the paper
+    /// reports its Snappy Parquet at ~0.7).
+    pub size_ratio: f64,
+}
+
+pub fn selectivities() -> Vec<f64> {
+    vec![0.0, 0.01, 0.1, 0.5, 1.0]
+}
+
+pub fn column_counts() -> Vec<usize> {
+    vec![1, 10, 20]
+}
+
+pub fn run(n_rows: usize) -> Result<Vec<Fig11Row>> {
+    let mut out = Vec::new();
+    for cols in column_counts() {
+        let ctx = QueryContext::new(S3Store::new());
+        let (schema, rows) = wide_float_table(n_rows, cols, 11);
+        let csv_table =
+            upload_csv_table(&ctx.store, "bench", "wide_csv", &schema, &rows, n_rows / 8 + 1)?;
+        let clt_table = upload_columnar_table(
+            &ctx.store,
+            "bench",
+            "wide_clt",
+            &schema,
+            &rows,
+            n_rows / 8 + 1,
+            WriterOptions { rows_per_group: 16_384, compress: true },
+        )?;
+        let csv_bytes = csv_table.total_bytes(&ctx.store) as f64;
+        let clt_bytes = clt_table.total_bytes(&ctx.store) as f64;
+        // Project by the CSV byte ratio to the paper's 100 MB/column.
+        let factor = PAPER_BYTES_PER_COLUMN * cols as f64 / csv_bytes;
+
+        for s in selectivities() {
+            let stmt = SelectStmt {
+                items: vec![SelectItem::Expr { expr: Expr::col("c0"), alias: None }],
+                alias: None,
+                where_clause: Some(Expr::lt(Expr::col("c0"), Expr::float(s))),
+                limit: None,
+            };
+            let a = select_scan(&ctx, &csv_table, &stmt)?;
+            let b = select_scan(&ctx, &clt_table, &stmt)?;
+            assert_eq!(a.rows.len(), b.rows.len());
+            let wrap = |stats: pushdown_common::perf::PhaseStats| {
+                let mut m = pushdown_core::QueryMetrics::new();
+                m.push_serial("scan", stats);
+                m
+            };
+            let (am, bm) = (wrap(a.stats), wrap(b.stats));
+            out.push(Fig11Row {
+                columns: cols,
+                selectivity: s,
+                csv: Measure {
+                    runtime: am.scaled(factor).runtime(&ctx.model),
+                    cost: am.scaled(factor).cost(&ctx.model, &ctx.pricing),
+                    bytes_returned: am.scaled(factor).bytes_returned(),
+                },
+                columnar: Measure {
+                    runtime: bm.scaled(factor).runtime(&ctx.model),
+                    cost: bm.scaled(factor).cost(&ctx.model, &ctx.pricing),
+                    bytes_returned: bm.scaled(factor).bytes_returned(),
+                },
+                size_ratio: clt_bytes / csv_bytes,
+            });
+        }
+    }
+    Ok(out)
+}

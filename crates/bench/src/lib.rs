@@ -1,0 +1,49 @@
+//! # pushdown-bench
+//!
+//! Experiment harnesses that regenerate **every figure of the paper's
+//! evaluation** (Figs 1–11) from the Rust reproduction, plus criterion
+//! micro-benchmarks of the underlying engine.
+//!
+//! Each `experiments::figNN` module exposes a `run(...)` function that
+//! executes the experiment and returns structured rows; the matching
+//! `src/bin/figNN_*.rs` binary prints them as the table the paper plots,
+//! and the workspace integration tests assert the *shape* claims (who
+//! wins, where the crossovers are) on the same data.
+//!
+//! Conventions:
+//!
+//! * experiments run at a small scale factor and **project** extensive
+//!   quantities to the paper's scale (SF 10 TPC-H / 10 GB synthetic)
+//!   before applying the performance model — see `PhaseStats::scaled`;
+//!   the two top-K figures are reported at bench scale instead because
+//!   the sample size `S` is an absolute parameter that does not project
+//!   (documented in `EXPERIMENTS.md`);
+//! * costs use the paper's US-East price book;
+//! * everything is deterministic (seeded generators + analytic clock).
+
+pub mod experiments;
+pub mod table;
+
+use pushdown_common::pricing::CostBreakdown;
+use pushdown_core::{QueryContext, QueryOutput};
+
+/// One measured configuration: modeled runtime and cost.
+#[derive(Debug, Clone, Copy)]
+pub struct Measure {
+    pub runtime: f64,
+    pub cost: CostBreakdown,
+    pub bytes_returned: u64,
+}
+
+impl Measure {
+    /// Measure a query output, projecting extensive quantities by
+    /// `factor` first (1.0 = no projection).
+    pub fn of(ctx: &QueryContext, out: &QueryOutput, factor: f64) -> Measure {
+        let m = out.metrics.scaled(factor);
+        Measure {
+            runtime: m.runtime(&ctx.model),
+            cost: m.cost(&ctx.model, &ctx.pricing),
+            bytes_returned: m.bytes_returned(),
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Minimal aligned-column table printing for the figure binaries.
+
+use pushdown_common::fmtutil;
+use pushdown_common::pricing::CostBreakdown;
+
+/// Print a titled, aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// `12.3s` style runtime cell.
+pub fn rt(t: f64) -> String {
+    fmtutil::secs(t)
+}
+
+/// Total cost cell.
+pub fn cost(c: &CostBreakdown) -> String {
+    fmtutil::dollars(c.total())
+}
+
+/// Cost breakdown cell in the paper's four components.
+pub fn cost_parts(c: &CostBreakdown) -> String {
+    format!(
+        "compute {} | req {} | scan {} | xfer {}",
+        fmtutil::dollars(c.compute),
+        fmtutil::dollars(c.request),
+        fmtutil::dollars(c.scan),
+        fmtutil::dollars(c.transfer),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_do_not_panic() {
+        print_table(
+            "test",
+            &["a", "b"],
+            &[vec!["1".into(), "x".into()], vec!["22".into(), "yy".into()]],
+        );
+        assert!(rt(1.5).contains('s'));
+        let c = CostBreakdown { compute: 0.01, request: 0.0, scan: 0.002, transfer: 0.0001 };
+        assert!(cost(&c).starts_with('$'));
+        assert!(cost_parts(&c).contains("scan"));
+    }
+}

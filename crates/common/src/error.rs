@@ -1,0 +1,112 @@
+//! The shared error type for every PushdownDB crate.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors surfaced by any layer of the system.
+///
+/// A single error enum is deliberately shared across crates: the system is
+/// small enough that per-crate error hierarchies would only add conversion
+/// noise, and the S3 Select service needs to round-trip engine errors back
+/// to the client anyway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A SQL string failed to lex or parse. Holds a human-readable message
+    /// including the offending position.
+    Parse(String),
+    /// An expression or statement failed semantic analysis (unknown column,
+    /// type mismatch, unsupported construct, ...).
+    Bind(String),
+    /// A runtime evaluation error (division by zero, bad cast, ...).
+    Eval(String),
+    /// The requested bucket or object does not exist.
+    NoSuchKey(String),
+    /// A byte range fell outside the object, or was malformed.
+    InvalidRange(String),
+    /// The S3 Select service rejected the request (e.g. SQL text over the
+    /// 256 KB limit, unsupported feature for the storage format).
+    SelectRejected(String),
+    /// Malformed data encountered while decoding CSV or ColumnarLite bytes.
+    Corrupt(String),
+    /// An injected or simulated service fault (used by tests to exercise
+    /// retry paths).
+    ServiceFault(String),
+    /// Anything else.
+    Other(String),
+}
+
+impl Error {
+    /// Short machine-readable code, in the spirit of S3 error codes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "ParseError",
+            Error::Bind(_) => "BindError",
+            Error::Eval(_) => "EvalError",
+            Error::NoSuchKey(_) => "NoSuchKey",
+            Error::InvalidRange(_) => "InvalidRange",
+            Error::SelectRejected(_) => "SelectRejected",
+            Error::Corrupt(_) => "Corrupt",
+            Error::ServiceFault(_) => "ServiceFault",
+            Error::Other(_) => "Other",
+        }
+    }
+
+    /// Whether a client would be justified in retrying the request.
+    ///
+    /// Only transient service faults are retryable; everything else is a
+    /// deterministic failure that would recur.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::ServiceFault(_))
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            Error::Parse(m)
+            | Error::Bind(m)
+            | Error::Eval(m)
+            | Error::NoSuchKey(m)
+            | Error::InvalidRange(m)
+            | Error::SelectRejected(m)
+            | Error::Corrupt(m)
+            | Error::ServiceFault(m)
+            | Error::Other(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code(), self.message())
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(Error::Parse("x".into()).code(), "ParseError");
+        assert_eq!(Error::NoSuchKey("k".into()).code(), "NoSuchKey");
+        assert_eq!(Error::SelectRejected("q".into()).code(), "SelectRejected");
+    }
+
+    #[test]
+    fn only_service_faults_retry() {
+        assert!(Error::ServiceFault("blip".into()).is_retryable());
+        assert!(!Error::Parse("x".into()).is_retryable());
+        assert!(!Error::Eval("x".into()).is_retryable());
+        assert!(!Error::Corrupt("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn display_includes_code_and_message() {
+        let e = Error::Bind("unknown column `foo`".into());
+        assert_eq!(e.to_string(), "BindError: unknown column `foo`");
+    }
+}

@@ -1,0 +1,84 @@
+//! Human-readable formatting helpers for the experiment harnesses.
+
+/// Format a byte count with a binary-free, paper-style unit (KB/MB/GB with
+/// decimal 1000 steps, as AWS bills).
+pub fn bytes(n: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut v = n as f64;
+    let mut u = 0;
+    while v >= 1000.0 && u < UNITS.len() - 1 {
+        v /= 1000.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{n} B")
+    } else {
+        format!("{:.2} {}", v, UNITS[u])
+    }
+}
+
+/// Format seconds with adaptive precision.
+pub fn secs(t: f64) -> String {
+    if t < 0.01 {
+        format!("{:.1} ms", t * 1000.0)
+    } else if t < 10.0 {
+        format!("{t:.2} s")
+    } else {
+        format!("{t:.1} s")
+    }
+}
+
+/// Format a dollar amount the way the paper's cost axes do.
+pub fn dollars(d: f64) -> String {
+    if d < 0.01 {
+        format!("${d:.5}")
+    } else {
+        format!("${d:.4}")
+    }
+}
+
+/// Geometric mean of a slice (the paper's Fig 10 summary statistic).
+/// Returns 0.0 for an empty slice; ignores non-positive entries the same
+/// way the paper's geo-mean over strictly positive runtimes would.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    let positive: Vec<f64> = xs.iter().copied().filter(|x| *x > 0.0).collect();
+    if positive.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = positive.iter().map(|x| x.ln()).sum();
+    (log_sum / positive.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_units() {
+        assert_eq!(bytes(512), "512 B");
+        assert_eq!(bytes(1500), "1.50 KB");
+        assert_eq!(bytes(7_250_000_000), "7.25 GB");
+    }
+
+    #[test]
+    fn secs_precision() {
+        assert_eq!(secs(0.002), "2.0 ms");
+        assert_eq!(secs(1.234), "1.23 s");
+        assert_eq!(secs(123.456), "123.5 s");
+    }
+
+    #[test]
+    fn dollars_precision() {
+        assert_eq!(dollars(0.0005), "$0.00050");
+        assert_eq!(dollars(0.25), "$0.2500");
+    }
+
+    #[test]
+    fn geo_mean_matches_hand_calc() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geo_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geo_mean(&[]), 0.0);
+        // Non-positive entries ignored.
+        assert!((geo_mean(&[0.0, 4.0]) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Thread-safe resource accounting.
+//!
+//! Every interaction with the simulated S3 service is metered here, exactly
+//! as AWS would meter a bill: requests issued, bytes scanned by S3 Select,
+//! bytes returned by S3 Select, and bytes moved by plain GETs. The executor
+//! snapshots the ledger around phases to attribute consumption.
+
+use crate::pricing::Usage;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, lock-free accumulator of billable usage.
+///
+/// Cloning shares the underlying counters (`Arc` inside), so the store, the
+/// select engine and the executor can all hold handles to one ledger.
+#[derive(Debug, Clone, Default)]
+pub struct CostLedger {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    select_scanned: AtomicU64,
+    select_returned: AtomicU64,
+    plain_bytes: AtomicU64,
+}
+
+impl CostLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one HTTP request (plain GET or Select alike — AWS bills both).
+    pub fn add_request(&self) {
+        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_requests(&self, n: u64) {
+        self.inner.requests.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record bytes scanned inside S3 Select.
+    pub fn add_select_scanned(&self, bytes: u64) {
+        self.inner.select_scanned.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record bytes returned by an S3 Select response.
+    pub fn add_select_returned(&self, bytes: u64) {
+        self.inner.select_returned.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record bytes returned by a plain (non-Select) GET.
+    pub fn add_plain_bytes(&self, bytes: u64) {
+        self.inner.plain_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Current cumulative usage.
+    pub fn snapshot(&self) -> Usage {
+        Usage {
+            requests: self.inner.requests.load(Ordering::Relaxed),
+            select_scanned_bytes: self.inner.select_scanned.load(Ordering::Relaxed),
+            select_returned_bytes: self.inner.select_returned.load(Ordering::Relaxed),
+            plain_bytes: self.inner.plain_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Usage accumulated since an earlier snapshot.
+    pub fn delta_since(&self, earlier: &Usage) -> Usage {
+        let now = self.snapshot();
+        Usage {
+            requests: now.requests - earlier.requests,
+            select_scanned_bytes: now.select_scanned_bytes - earlier.select_scanned_bytes,
+            select_returned_bytes: now.select_returned_bytes - earlier.select_returned_bytes,
+            plain_bytes: now.plain_bytes - earlier.plain_bytes,
+        }
+    }
+
+    /// Reset all counters to zero (between experiments).
+    pub fn reset(&self) {
+        self.inner.requests.store(0, Ordering::Relaxed);
+        self.inner.select_scanned.store(0, Ordering::Relaxed);
+        self.inner.select_returned.store(0, Ordering::Relaxed);
+        self.inner.plain_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_snapshots() {
+        let l = CostLedger::new();
+        l.add_request();
+        l.add_requests(9);
+        l.add_select_scanned(100);
+        l.add_select_returned(40);
+        l.add_plain_bytes(7);
+        let u = l.snapshot();
+        assert_eq!(u.requests, 10);
+        assert_eq!(u.select_scanned_bytes, 100);
+        assert_eq!(u.select_returned_bytes, 40);
+        assert_eq!(u.plain_bytes, 7);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let l = CostLedger::new();
+        let l2 = l.clone();
+        l2.add_select_scanned(5);
+        assert_eq!(l.snapshot().select_scanned_bytes, 5);
+    }
+
+    #[test]
+    fn delta_since() {
+        let l = CostLedger::new();
+        l.add_requests(3);
+        let snap = l.snapshot();
+        l.add_requests(4);
+        l.add_plain_bytes(11);
+        let d = l.delta_since(&snap);
+        assert_eq!(d.requests, 4);
+        assert_eq!(d.plain_bytes, 11);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let l = CostLedger::new();
+        l.add_requests(3);
+        l.reset();
+        assert_eq!(l.snapshot(), Usage::default());
+    }
+
+    #[test]
+    fn concurrent_updates_are_not_lost() {
+        let l = CostLedger::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let l = l.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        l.add_request();
+                        l.add_select_scanned(2);
+                    }
+                });
+            }
+        });
+        let u = l.snapshot();
+        assert_eq!(u.requests, 8000);
+        assert_eq!(u.select_scanned_bytes, 16_000);
+    }
+}

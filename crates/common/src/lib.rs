@@ -1,0 +1,44 @@
+//! # pushdown-common
+//!
+//! Shared foundation for the PushdownDB reproduction of
+//! *"PushdownDB: Accelerating a DBMS using S3 Computation"* (ICDE 2020).
+//!
+//! This crate contains everything the other crates agree on:
+//!
+//! * [`value`] — the dynamic [`value::Value`] type and
+//!   [`value::DataType`] enum used for rows flowing through the
+//!   engine and through the simulated S3 Select service.
+//! * [`date`] — proleptic-Gregorian date arithmetic (days since the Unix
+//!   epoch), used by the TPC-H date columns.
+//! * [`schema`] — named, typed record schemas.
+//! * [`row`] — row and row-batch containers.
+//! * [`pricing`] — the AWS US-East price constants the paper computes its
+//!   dollar costs with, and [`pricing::CostBreakdown`].
+//! * [`ledger`] — thread-safe accounting of bytes scanned / returned /
+//!   transferred and HTTP requests issued, mirroring what an AWS bill
+//!   would be computed from.
+//! * [`perf`] — the deterministic analytical performance model that maps
+//!   ledger quantities to simulated elapsed seconds (the paper's testbed —
+//!   an r4.8xlarge behind a 10 GigE link — is not available, so elapsed
+//!   time is modeled rather than measured; see `DESIGN.md` §5).
+//! * [`error`] — the shared error type.
+
+pub mod date;
+pub mod error;
+pub mod fmtutil;
+pub mod ledger;
+pub mod perf;
+pub mod pricing;
+#[cfg(test)]
+mod proptests;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ledger::CostLedger;
+pub use perf::{PerfModel, PhaseStats};
+pub use pricing::{CostBreakdown, Pricing};
+pub use row::Row;
+pub use schema::{Field, Schema};
+pub use value::{DataType, Value};

@@ -1,0 +1,410 @@
+//! The deterministic analytical performance model.
+//!
+//! The paper measures wall-clock time on an r4.8xlarge EC2 instance reading
+//! a 10 GB TPC-H dataset from S3 over a 10 GigE link. Neither that machine
+//! nor S3 is available here, so PushdownDB-rs executes queries *for real*
+//! over the simulated store but computes elapsed time *analytically* from
+//! the measured resource footprint. This keeps every figure deterministic
+//! and hardware-independent while preserving the bottleneck structure that
+//! shapes the paper's results:
+//!
+//! 1. **the wire** — S3→EC2 network bandwidth (10 GigE);
+//! 2. **storage-side scanning** — S3 Select scans at a high aggregate rate
+//!    that *degrades with expression complexity* (long CASE-WHEN chains,
+//!    many Bloom SUBSTRING conjuncts — paper §V-B3, §VI-C);
+//! 3. **server-side ingest** — the compute node deserializes rows much
+//!    more slowly than the wire delivers them, and S3 Select *responses*
+//!    parse more slowly than bulk plain-GET reads (the event-stream
+//!    framing the paper's testbed suffered from);
+//! 4. **per-request overheads** — every HTTP round trip pays latency, and
+//!    only a bounded number are in flight (paper §IV-B: the indexing
+//!    strategy collapses under "excessive" per-row GETs).
+//!
+//! Within a *phase* the three byte streams are pipelined, so phase time is
+//! the **max** of the three, plus request latency. Phases compose serially
+//! (e.g. the Bloom join's build and probe, paper §V-A2) or in parallel
+//! (e.g. a filtered join loading both tables at once).
+//!
+//! Every parameter is documented on [`PerfParams`]; `DESIGN.md` §5 derives
+//! the calibration from the paper's figures, and the tests at the bottom of
+//! this file pin the calibration targets.
+
+use serde::{Deserialize, Serialize};
+
+/// Model parameters. Defaults are calibrated against the paper (see below
+/// and `DESIGN.md` §5); experiments can perturb them for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfParams {
+    /// S3 → compute-node network bandwidth, bytes/s. The paper's testbed
+    /// has a 10 GigE NIC: 1.25 GB/s.
+    pub net_bw: f64,
+    /// Server-side ingest rate for *plain GET* data (bulk CSV
+    /// deserialization on the compute node), bytes/s.
+    pub parse_plain_bw: f64,
+    /// Server-side ingest rate for *S3 Select response* data, bytes/s.
+    /// Select responses arrive as a framed event stream and parse
+    /// substantially more slowly than bulk reads — this asymmetry is what
+    /// makes "filtered" variants no faster than baselines when they return
+    /// most of the table (paper Fig 2) yet much faster when selective.
+    pub parse_select_bw: f64,
+    /// Aggregate storage-side scan rate of S3 Select across all partitions
+    /// of a table, bytes/s, for a trivial expression.
+    pub s3_scan_bw: f64,
+    /// Fractional slowdown of the storage-side scan per expression *term*
+    /// (a CASE-WHEN arm, a Bloom-hash SUBSTRING conjunct, a predicate
+    /// comparison). Scan rate becomes `s3_scan_bw / (1 + coeff * terms)`.
+    pub expr_term_coeff: f64,
+    /// Round-trip latency of one HTTP request, seconds.
+    pub request_latency: f64,
+    /// Maximum concurrently in-flight requests the compute node sustains.
+    pub max_inflight: usize,
+    /// Seconds of server CPU per operator "work unit" (roughly: one row
+    /// visited by one non-trivial operator — hash probe, heap push, ...).
+    pub cpu_per_unit: f64,
+    /// Fixed per-phase overhead (process/queue spin-up), seconds.
+    pub phase_startup: f64,
+    /// Fixed per-query overhead (planning, connection setup), seconds.
+    pub query_startup: f64,
+}
+
+impl Default for PerfParams {
+    fn default() -> Self {
+        PerfParams {
+            net_bw: 1.25e9,
+            parse_plain_bw: 160e6,
+            parse_select_bw: 80e6,
+            s3_scan_bw: 2.4e9,
+            expr_term_coeff: 0.05,
+            request_latency: 0.010,
+            max_inflight: 32,
+            cpu_per_unit: 100e-9,
+            phase_startup: 0.1,
+            query_startup: 0.4,
+        }
+    }
+}
+
+/// Resource footprint of one execution phase, filled in by the executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// **Bulk** HTTP requests: one per table partition (scan fan-out).
+    /// Partition count is a *layout* constant — scaling a measurement to a
+    /// larger scale factor grows the objects, not their number — so these
+    /// do not scale (see [`PhaseStats::scaled`]).
+    pub requests: u64,
+    /// **Point** HTTP requests: one per row (the §IV-A index fetches).
+    /// These are proportional to data size and scale linearly.
+    pub point_requests: u64,
+    /// Bytes scanned storage-side by S3 Select.
+    pub s3_scanned_bytes: u64,
+    /// Bytes returned by S3 Select responses.
+    pub select_returned_bytes: u64,
+    /// Bytes returned by plain GETs.
+    pub plain_bytes: u64,
+    /// Server-side operator work units (see [`PerfParams::cpu_per_unit`]).
+    pub server_cpu_units: u64,
+    /// Number of terms in the pushed-down expression (0 if no pushdown).
+    pub expr_terms: u32,
+}
+
+impl PhaseStats {
+    /// Merge another phase's footprint into this one (for phases whose
+    /// sub-streams are fully pipelined together).
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.requests += other.requests;
+        self.point_requests += other.point_requests;
+        self.s3_scanned_bytes += other.s3_scanned_bytes;
+        self.select_returned_bytes += other.select_returned_bytes;
+        self.plain_bytes += other.plain_bytes;
+        self.server_cpu_units += other.server_cpu_units;
+        self.expr_terms = self.expr_terms.max(other.expr_terms);
+    }
+
+    /// Scale extensive quantities by `factor` — projects a measurement
+    /// taken at a small scale factor to the paper's SF 10. Bytes, CPU
+    /// units and point requests are linear in table size; bulk (per-
+    /// partition) requests and expression terms are layout/plan constants
+    /// and stay fixed.
+    pub fn scaled(&self, factor: f64) -> PhaseStats {
+        let s = |v: u64| ((v as f64) * factor).round() as u64;
+        PhaseStats {
+            requests: self.requests,
+            point_requests: s(self.point_requests),
+            s3_scanned_bytes: s(self.s3_scanned_bytes),
+            select_returned_bytes: s(self.select_returned_bytes),
+            plain_bytes: s(self.plain_bytes),
+            server_cpu_units: s(self.server_cpu_units),
+            expr_terms: self.expr_terms,
+        }
+    }
+}
+
+/// The analytical clock: maps phase footprints to simulated seconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfModel {
+    pub params: PerfParams,
+}
+
+impl PerfModel {
+    pub fn new(params: PerfParams) -> Self {
+        PerfModel { params }
+    }
+
+    /// Effective storage-side scan bandwidth for an expression with the
+    /// given number of terms.
+    pub fn effective_scan_bw(&self, expr_terms: u32) -> f64 {
+        self.params.s3_scan_bw / (1.0 + self.params.expr_term_coeff * expr_terms as f64)
+    }
+
+    /// Simulated duration of one phase.
+    ///
+    /// The three byte flows (storage scan, wire, server ingest) are
+    /// pipelined, so the phase runs at the pace of the slowest; request
+    /// latency is paid up front, amortized over the in-flight window.
+    pub fn phase_seconds(&self, s: &PhaseStats) -> f64 {
+        let p = &self.params;
+        let total_requests = s.requests + s.point_requests;
+        let inflight = p.max_inflight.min(total_requests.max(1) as usize).max(1) as f64;
+        let latency = total_requests as f64 * p.request_latency / inflight;
+        let scan = s.s3_scanned_bytes as f64 / self.effective_scan_bw(s.expr_terms);
+        let wire = (s.select_returned_bytes + s.plain_bytes) as f64 / p.net_bw;
+        let server = s.plain_bytes as f64 / p.parse_plain_bw
+            + s.select_returned_bytes as f64 / p.parse_select_bw
+            + s.server_cpu_units as f64 * p.cpu_per_unit;
+        p.phase_startup + latency + scan.max(wire).max(server)
+    }
+
+    /// Compose phases that run one after another.
+    pub fn serial(&self, phases: &[PhaseStats]) -> f64 {
+        phases.iter().map(|s| self.phase_seconds(s)).sum()
+    }
+
+    /// Compose independent sub-plans that run concurrently: the slower one
+    /// determines elapsed time.
+    pub fn parallel(durations: &[f64]) -> f64 {
+        durations.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total query time: startup plus the given already-composed body.
+    pub fn query_seconds(&self, body_seconds: f64) -> f64 {
+        self.params.query_startup + body_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1_000_000_000;
+
+    fn model() -> PerfModel {
+        PerfModel::default()
+    }
+
+    /// Paper Fig 1a: server-side filter of the SF-10 lineitem table
+    /// (7.25 GB) should land near 30 s and the S3-side filter near a tenth
+    /// of that ("a dramatic 10x").
+    #[test]
+    fn calibration_filter_gap() {
+        let m = model();
+        let server = m.phase_seconds(&PhaseStats {
+            requests: 800,
+            plain_bytes: 7_250_000_000,
+            server_cpu_units: 60_000_000,
+            ..Default::default()
+        });
+        let s3 = m.phase_seconds(&PhaseStats {
+            requests: 800,
+            s3_scanned_bytes: 7_250_000_000,
+            select_returned_bytes: 7_250_000, // selectivity 1e-3
+            expr_terms: 1,
+            ..Default::default()
+        });
+        let speedup = server / s3;
+        assert!(
+            (7.0..22.0).contains(&speedup),
+            "server {server:.1}s / s3 {s3:.1}s = {speedup:.1}x, want ~10x"
+        );
+    }
+
+    /// Paper Fig 1b: the S3-side filter's cost is scan-dominated and in the
+    /// same ballpark as the compute-dominated server-side filter (the paper
+    /// reports +24%; we accept parity within a factor ~1.5 either way).
+    #[test]
+    fn calibration_filter_cost_parity() {
+        use crate::pricing::{Pricing, Usage};
+        let m = model();
+        let pr = Pricing::us_east();
+
+        let server_t = m.phase_seconds(&PhaseStats {
+            requests: 800,
+            plain_bytes: 7_250_000_000,
+            server_cpu_units: 60_000_000,
+            ..Default::default()
+        });
+        let server_cost = pr
+            .cost(
+                &Usage {
+                    requests: 800,
+                    plain_bytes: 7_250_000_000,
+                    ..Default::default()
+                },
+                server_t,
+            )
+            .total();
+
+        let s3_t = m.phase_seconds(&PhaseStats {
+            requests: 800,
+            s3_scanned_bytes: 7_250_000_000,
+            select_returned_bytes: 7_250_000,
+            expr_terms: 1,
+            ..Default::default()
+        });
+        let s3_cost = pr
+            .cost(
+                &Usage {
+                    requests: 800,
+                    select_scanned_bytes: 7_250_000_000,
+                    select_returned_bytes: 7_250_000,
+                    ..Default::default()
+                },
+                s3_t,
+            )
+            .total();
+
+        let ratio = s3_cost / server_cost;
+        assert!(
+            (0.35..1.6).contains(&ratio),
+            "s3 ${s3_cost:.4} / server ${server_cost:.4} = {ratio:.2}"
+        );
+    }
+
+    /// Paper Fig 1: the indexing strategy collapses once per-row GETs
+    /// dominate — at selectivity 1e-2 on 60 M rows, request latency alone
+    /// should push runtime far past the S3-side filter.
+    #[test]
+    fn calibration_indexing_collapse() {
+        let m = model();
+        let idx_high_sel = m.phase_seconds(&PhaseStats {
+            point_requests: 600_000, // 1e-2 of 60M rows
+            plain_bytes: 72_500_000,
+            ..Default::default()
+        });
+        let s3_filter = 3.5;
+        assert!(
+            idx_high_sel > 20.0 * s3_filter,
+            "indexing at 1e-2 = {idx_high_sel:.0}s should dwarf the S3 filter"
+        );
+        // ...but stay cheap when selective.
+        let idx_low_sel = m.phase_seconds(&PhaseStats {
+            point_requests: 60, // 1e-6
+            plain_bytes: 7_250,
+            ..Default::default()
+        });
+        assert!(idx_low_sel < 1.0);
+    }
+
+    /// Paper Fig 5a: filtered group-by (returning 25% of a 10 GB table via
+    /// Select) beats the server-side full load by roughly the paper's 64%,
+    /// and the effect does not depend on the group count.
+    #[test]
+    fn calibration_groupby_filtered_vs_server() {
+        let m = model();
+        let server = m.phase_seconds(&PhaseStats {
+            requests: 1000,
+            plain_bytes: 10 * GB,
+            server_cpu_units: 55_000_000,
+            ..Default::default()
+        });
+        let filtered = m.phase_seconds(&PhaseStats {
+            requests: 1000,
+            s3_scanned_bytes: 10 * GB,
+            select_returned_bytes: 2_500_000_000,
+            server_cpu_units: 55_000_000,
+            expr_terms: 5,
+            ..Default::default()
+        });
+        let gain = server / filtered;
+        assert!(
+            (1.2..2.2).contains(&gain),
+            "server {server:.1}s / filtered {filtered:.1}s = {gain:.2} (paper: 1.64)"
+        );
+    }
+
+    /// Paper Fig 4: Bloom-join scan rate degrades with the hash-function
+    /// count; a 14-conjunct filter (FPR 1e-4) scans measurably slower than
+    /// a 7-conjunct one (FPR 0.01).
+    #[test]
+    fn expression_complexity_slows_scans() {
+        let m = model();
+        let fast = m.effective_scan_bw(7);
+        let slow = m.effective_scan_bw(14);
+        assert!(slow < fast);
+        assert!(m.effective_scan_bw(0) == m.params.s3_scan_bw);
+        let ratio = fast / slow;
+        assert!((1.2..2.0).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn phases_compose() {
+        let m = model();
+        let a = PhaseStats {
+            plain_bytes: GB,
+            ..Default::default()
+        };
+        let b = PhaseStats {
+            s3_scanned_bytes: GB,
+            ..Default::default()
+        };
+        let serial = m.serial(&[a, b]);
+        assert!((serial - (m.phase_seconds(&a) + m.phase_seconds(&b))).abs() < 1e-12);
+        let par = PerfModel::parallel(&[1.0, 3.0, 2.0]);
+        assert_eq!(par, 3.0);
+        assert!(m.query_seconds(5.0) > 5.0);
+    }
+
+    #[test]
+    fn scaling_is_linear_in_extensive_quantities() {
+        let s = PhaseStats {
+            requests: 10,
+            point_requests: 4,
+            s3_scanned_bytes: 100,
+            select_returned_bytes: 50,
+            plain_bytes: 20,
+            server_cpu_units: 5,
+            expr_terms: 7,
+        };
+        let t = s.scaled(100.0);
+        assert_eq!(t.requests, 10, "bulk requests are a layout constant");
+        assert_eq!(t.point_requests, 400, "point requests are per-row");
+        assert_eq!(t.s3_scanned_bytes, 10_000);
+        assert_eq!(t.expr_terms, 7, "expr terms are intensive");
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PhaseStats {
+            requests: 1,
+            plain_bytes: 10,
+            expr_terms: 3,
+            ..Default::default()
+        };
+        a.merge(&PhaseStats {
+            requests: 2,
+            s3_scanned_bytes: 5,
+            expr_terms: 7,
+            ..Default::default()
+        });
+        assert_eq!(a.requests, 3);
+        assert_eq!(a.plain_bytes, 10);
+        assert_eq!(a.s3_scanned_bytes, 5);
+        assert_eq!(a.expr_terms, 7);
+    }
+
+    #[test]
+    fn zero_phase_costs_only_startup() {
+        let m = model();
+        let t = m.phase_seconds(&PhaseStats::default());
+        assert!((t - m.params.phase_startup).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! Crate-level property tests for the foundation types and the
+//! performance model.
+
+#![cfg(test)]
+
+use crate::date;
+use crate::perf::{PerfModel, PhaseStats};
+use crate::pricing::{Pricing, Usage};
+use crate::value::Value;
+use proptest::prelude::*;
+
+proptest! {
+    /// Civil↔days conversions are mutually inverse over ±8000 years.
+    #[test]
+    fn date_round_trips(days in -3_000_000i32..3_000_000) {
+        let c = date::civil_from_days(days);
+        prop_assert_eq!(date::days_from_civil(c), days);
+        prop_assert!((1..=12).contains(&c.month));
+        prop_assert!(c.day >= 1 && c.day <= date::days_in_month(c.year, c.month));
+    }
+
+    /// Text formatting round-trips for non-negative years.
+    #[test]
+    fn date_text_round_trips(days in 0i32..2_000_000) {
+        let text = date::format_date(days);
+        prop_assert_eq!(date::parse_date(&text), Some(days));
+    }
+
+    /// `add_months` keeps the day clamped and is monotone in months.
+    #[test]
+    fn add_months_is_monotone(days in 0i32..60_000, m1 in -48i32..48, m2 in -48i32..48) {
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        prop_assert!(date::add_months(days, lo) <= date::add_months(days, hi));
+    }
+
+    /// Phase time is monotone in every extensive input: more bytes, more
+    /// requests, more CPU, or a heavier expression can never make a phase
+    /// faster.
+    #[test]
+    fn phase_time_is_monotone(
+        base_bytes in 0u64..10_000_000_000,
+        extra in 0u64..10_000_000_000,
+        requests in 0u64..100_000,
+        terms in 0u32..500,
+    ) {
+        let m = PerfModel::default();
+        let mk = |scanned, req, t| PhaseStats {
+            requests: req,
+            s3_scanned_bytes: scanned,
+            select_returned_bytes: base_bytes / 10,
+            plain_bytes: 0,
+            server_cpu_units: 1000,
+            expr_terms: t,
+            ..Default::default()
+        };
+        let t0 = m.phase_seconds(&mk(base_bytes, requests, terms));
+        prop_assert!(m.phase_seconds(&mk(base_bytes + extra, requests, terms)) >= t0);
+        prop_assert!(m.phase_seconds(&mk(base_bytes, requests + 1, terms)) >= t0);
+        prop_assert!(m.phase_seconds(&mk(base_bytes, requests, terms + 1)) >= t0);
+    }
+
+    /// Scaling by `f` then measuring equals at least `f/2` × the original
+    /// byte-bound time for byte-dominated phases (linearity sanity; exact
+    /// equality is broken only by the constant startup/latency terms).
+    #[test]
+    fn scaling_grows_time(bytes in 1_000_000u64..1_000_000_000, f in 2u32..100) {
+        let m = PerfModel::default();
+        let s = PhaseStats { plain_bytes: bytes, ..Default::default() };
+        let t1 = m.phase_seconds(&s) - m.params.phase_startup;
+        let t2 = m.phase_seconds(&s.scaled(f as f64)) - m.params.phase_startup;
+        prop_assert!((t2 / t1 - f as f64).abs() < 1e-6);
+    }
+
+    /// Costs are non-negative, additive, and linear in usage.
+    #[test]
+    fn cost_is_linear(
+        requests in 0u64..1_000_000,
+        scanned in 0u64..100_000_000_000,
+        returned in 0u64..10_000_000_000,
+        runtime in 0f64..10_000.0,
+    ) {
+        let p = Pricing::us_east();
+        let u = Usage {
+            requests,
+            select_scanned_bytes: scanned,
+            select_returned_bytes: returned,
+            plain_bytes: 0,
+        };
+        let c1 = p.cost(&u, runtime);
+        prop_assert!(c1.total() >= 0.0);
+        let c2 = p.cost(&(u + u), runtime * 2.0);
+        prop_assert!((c2.total() - 2.0 * c1.total()).abs() < 1e-9 * (1.0 + c1.total()));
+    }
+
+    /// The SQL total order is antisymmetric and total over mixed values.
+    #[test]
+    fn total_cmp_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering;
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Equal {
+            // Hash consistency for equal values.
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let h = |v: &Value| {
+                let mut s = DefaultHasher::new();
+                v.hash(&mut s);
+                s.finish()
+            };
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    /// total_cmp is transitive (spot-checked on triples).
+    #[test]
+    fn total_cmp_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        let mut v = [a, b, c];
+        v.sort_by(|x, y| x.total_cmp(y));
+        prop_assert!(v[0].total_cmp(&v[1]) != Greater);
+        prop_assert!(v[1].total_cmp(&v[2]) != Greater);
+        prop_assert!(v[0].total_cmp(&v[2]) != Greater);
+    }
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z]{0,6}".prop_map(Value::Str),
+        any::<i32>().prop_map(Value::Date),
+    ]
+}

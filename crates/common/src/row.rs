@@ -1,0 +1,164 @@
+//! Row containers.
+
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A single tuple: one [`Value`] per schema column.
+///
+/// Rows are plain vectors; PushdownDB (like the paper's Python testbed) is a
+/// row-oriented engine and passes batches of rows between operators.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Keep only the given column indices, in order.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Concatenate two rows (hash-join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Row(v)
+    }
+
+    /// Approximate in-memory footprint, for the performance model.
+    pub fn approx_size(&self) -> usize {
+        self.0.iter().map(Value::approx_size).sum::<usize>() + 8
+    }
+
+    /// Render the row as one CSV line (no trailing newline). Fields that
+    /// contain separators or quotes are quoted.
+    pub fn to_csv_line(&self) -> String {
+        let mut out = String::new();
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let field = v.to_csv_field();
+            if field.contains(',')
+                || field.contains('"')
+                || field.contains('\n')
+                || field.contains('\r')
+            {
+                out.push('"');
+                out.push_str(&field.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(&field);
+            }
+        }
+        out
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v)
+    }
+}
+
+impl std::ops::Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+/// A batch of rows sharing a schema. Operators exchange these to amortize
+/// per-row overheads (paper §III: "passes batches of tuples from producer
+/// to consumer").
+#[derive(Debug, Clone)]
+pub struct RowBatch {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+impl RowBatch {
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
+        RowBatch { schema, rows }
+    }
+
+    pub fn empty(schema: Schema) -> Self {
+        RowBatch {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn approx_size(&self) -> usize {
+        self.rows.iter().map(Row::approx_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    #[test]
+    fn project_and_concat() {
+        let r = Row::new(vec![Value::Int(1), Value::Str("x".into()), Value::Float(2.5)]);
+        assert_eq!(r.project(&[2, 0]).values(), &[Value::Float(2.5), Value::Int(1)]);
+        let s = Row::new(vec![Value::Bool(true)]);
+        assert_eq!(r.concat(&s).len(), 4);
+    }
+
+    #[test]
+    fn csv_line_quotes_when_needed() {
+        let r = Row::new(vec![
+            Value::Str("a,b".into()),
+            Value::Str("say \"hi\"".into()),
+            Value::Int(7),
+        ]);
+        assert_eq!(r.to_csv_line(), "\"a,b\",\"say \"\"hi\"\"\",7");
+    }
+
+    #[test]
+    fn csv_line_plain() {
+        let r = Row::new(vec![Value::Int(1), Value::Null, Value::Float(0.5)]);
+        assert_eq!(r.to_csv_line(), "1,,0.5");
+    }
+
+    #[test]
+    fn batch_sizes() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let b = RowBatch::new(
+            schema.clone(),
+            vec![Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Int(2)])],
+        );
+        assert_eq!(b.len(), 2);
+        assert!(b.approx_size() > 0);
+        assert!(RowBatch::empty(schema).is_empty());
+    }
+}

@@ -1,0 +1,607 @@
+//! Group-by algorithms (paper §VI).
+//!
+//! S3 Select has **no group-by**, so PushdownDB decomposes:
+//!
+//! * [`server_side`] — full load, local hash aggregation;
+//! * [`filtered`] — S3 Select projects only the grouping/aggregate
+//!   columns (and applies any predicate); aggregation stays local;
+//! * [`s3_side`] — phase 1 projects the grouping column and finds the
+//!   distinct groups locally; phase 2 pushes one
+//!   `SUM(CASE WHEN g = v THEN x ELSE …  END)` item *per (group,
+//!   aggregate)* (paper Listing 4). Degrades as groups grow — the long
+//!   CASE chain slows the storage-side scan (Fig 5);
+//! * [`hybrid`] — samples the first ~1 % of rows to find the populous
+//!   groups, pushes *their* aggregation to S3, and ships only the
+//!   long-tail rows for local aggregation (paper Listing 5, Figs 6–7).
+
+use crate::catalog::Table;
+use crate::context::QueryContext;
+use crate::metrics::QueryMetrics;
+use crate::ops;
+use crate::output::QueryOutput;
+use crate::scan::{plain_scan, select_scan};
+use pushdown_common::perf::PhaseStats;
+use pushdown_common::{DataType, Error, Field, Result, Row, Schema, Value};
+use pushdown_sql::agg::AggFunc;
+use pushdown_sql::bind::Binder;
+use pushdown_sql::{Expr, SelectItem, SelectStmt};
+use std::collections::HashMap;
+
+/// A group-by query: `SELECT group_cols, agg(agg_col)… FROM t [WHERE pred]
+/// GROUP BY group_cols`.
+#[derive(Debug, Clone)]
+pub struct GroupByQuery {
+    pub table: Table,
+    pub group_cols: Vec<String>,
+    /// Aggregates as (function, input column).
+    pub aggs: Vec<(AggFunc, String)>,
+    pub predicate: Option<Expr>,
+}
+
+impl GroupByQuery {
+    /// The output schema shared by all four algorithms.
+    pub fn output_schema(&self) -> Result<Schema> {
+        let mut fields = Vec::new();
+        for g in &self.group_cols {
+            let i = self.table.schema.resolve(g)?;
+            fields.push(self.table.schema.field(i).clone());
+        }
+        for (f, c) in &self.aggs {
+            let i = self.table.schema.resolve(c)?;
+            let dtype = match f {
+                AggFunc::Count => DataType::Int,
+                AggFunc::Avg => DataType::Float,
+                _ => self.table.schema.dtype_of(i),
+            };
+            fields.push(Field::new(
+                format!("{}_{}", f.name().to_lowercase(), c.to_lowercase()),
+                dtype,
+            ));
+        }
+        Ok(Schema::new(fields))
+    }
+
+    /// Columns the query touches: groups ∪ agg inputs.
+    fn needed_cols(&self) -> Vec<String> {
+        let mut cols: Vec<String> = self.group_cols.clone();
+        for (_, c) in &self.aggs {
+            if !cols.iter().any(|x| x.eq_ignore_ascii_case(c)) {
+                cols.push(c.clone());
+            }
+        }
+        cols
+    }
+}
+
+/// Aggregate locally given rows whose schema contains the needed columns.
+fn local_aggregate(
+    q: &GroupByQuery,
+    schema: &Schema,
+    rows: &[Row],
+    stats: &mut PhaseStats,
+) -> Result<Vec<Row>> {
+    let gidx: Result<Vec<usize>> = q.group_cols.iter().map(|c| schema.resolve(c)).collect();
+    let gidx = gidx?;
+    let aggs: Result<Vec<(AggFunc, Option<usize>)>> = q
+        .aggs
+        .iter()
+        .map(|(f, c)| Ok((*f, Some(schema.resolve(c)?))))
+        .collect();
+    ops::hash_group_by(rows, &gidx, &aggs?, stats)
+}
+
+/// Server-side group-by: full table load, everything local.
+pub fn server_side(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
+    let scan = plain_scan(ctx, &q.table)?;
+    let mut stats = scan.stats;
+    let mut rows = scan.rows;
+    if let Some(p) = &q.predicate {
+        let bound = Binder::new(&scan.schema).bind_expr(p)?;
+        rows = ops::filter_rows(rows, &bound, &mut stats)?;
+    }
+    let out = local_aggregate(q, &scan.schema, &rows, &mut stats)?;
+    let mut metrics = QueryMetrics::new();
+    metrics.push_serial("server-side group-by", stats);
+    Ok(QueryOutput { schema: q.output_schema()?, rows: out, metrics })
+}
+
+/// Filtered group-by: projection (and predicate) pushed to S3 Select,
+/// aggregation local. "Filtered group-by loads only the four columns on
+/// which aggregation is performed" (paper §VI-C1).
+pub fn filtered(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
+    let cols = q.needed_cols();
+    let stmt = SelectStmt {
+        items: cols
+            .iter()
+            .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+            .collect(),
+        alias: None,
+        where_clause: q.predicate.clone(),
+        limit: None,
+    };
+    let scan = select_scan(ctx, &q.table, &stmt)?;
+    let mut stats = scan.stats;
+    let out = local_aggregate(q, &scan.schema, &scan.rows, &mut stats)?;
+    let mut metrics = QueryMetrics::new();
+    metrics.push_serial("filtered group-by", stats);
+    Ok(QueryOutput { schema: q.output_schema()?, rows: out, metrics })
+}
+
+/// Equality predicate for a (possibly multi-column) group value.
+fn group_eq(group_cols: &[String], key: &[Value]) -> Expr {
+    let conj: Vec<Expr> = group_cols
+        .iter()
+        .zip(key)
+        .map(|(c, v)| Expr::eq(Expr::col(c.clone()), Expr::Literal(v.clone())))
+        .collect();
+    Expr::conjunction(conj).expect("non-empty group columns")
+}
+
+/// Build phase-2 CASE-WHEN aggregate statements for the given groups,
+/// chunking so each statement stays under the SQL size limit. Returns the
+/// merged (group key ++ aggregate values) rows and the phase stats.
+fn case_when_aggregate(
+    ctx: &QueryContext,
+    q: &GroupByQuery,
+    groups: &[Vec<Value>],
+    stats: &mut PhaseStats,
+) -> Result<Vec<Row>> {
+    if groups.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Estimate statement size per group to pick a chunk size.
+    let est_per_group: usize = q.aggs.len() * 96
+        + groups[0]
+            .iter()
+            .map(|v| v.to_csv_field().len() + 24)
+            .sum::<usize>();
+    let budget = ctx.engine.limits().max_sql_bytes.saturating_sub(256);
+    let chunk = (budget / est_per_group.max(1)).max(1);
+
+    let mut out = Vec::new();
+    for batch in groups.chunks(chunk) {
+        let mut items = Vec::with_capacity(batch.len() * q.aggs.len());
+        for key in batch {
+            let eq = group_eq(&q.group_cols, key);
+            for (f, c) in &q.aggs {
+                // CASE WHEN g = v THEN x END — the ELSE-less NULL arm is
+                // skipped by every aggregate, including COUNT(expr).
+                let arg = Expr::Case {
+                    branches: vec![(
+                        eq.clone(),
+                        if *f == AggFunc::Count {
+                            Expr::int(1)
+                        } else {
+                            Expr::col(c.clone())
+                        },
+                    )],
+                    else_expr: None,
+                };
+                items.push(SelectItem::Agg { func: *f, arg: Some(arg), alias: None });
+            }
+        }
+        let stmt = SelectStmt {
+            items,
+            alias: None,
+            where_clause: q.predicate.clone(),
+            limit: None,
+        };
+        let scan = select_scan(ctx, &q.table, &stmt)?;
+        stats.merge(&scan.stats);
+        let row = &scan.rows[0];
+        for (gi, key) in batch.iter().enumerate() {
+            let mut vals: Vec<Value> = key.clone();
+            for ai in 0..q.aggs.len() {
+                let mut v = row[gi * q.aggs.len() + ai].clone();
+                // COUNT over an empty group surfaces as 0, not NULL.
+                if q.aggs[ai].0 == AggFunc::Count && v.is_null() {
+                    v = Value::Int(0);
+                }
+                vals.push(v);
+            }
+            out.push(Row::new(vals));
+        }
+    }
+    Ok(out)
+}
+
+/// S3-side group-by (paper §VI-A): distinct groups first, then one pushed
+/// CASE-WHEN aggregate per (group, aggregate).
+pub fn s3_side(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
+    // ---- Phase 1: project the group columns, find distinct values.
+    let stmt = SelectStmt {
+        items: q
+            .group_cols
+            .iter()
+            .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+            .collect(),
+        alias: None,
+        where_clause: q.predicate.clone(),
+        limit: None,
+    };
+    let scan = select_scan(ctx, &q.table, &stmt)?;
+    let mut phase1 = scan.stats;
+    phase1.server_cpu_units += scan.rows.len() as u64;
+    let mut groups: Vec<Vec<Value>> = Vec::new();
+    {
+        let mut seen: HashMap<Vec<Value>, ()> = HashMap::new();
+        for r in &scan.rows {
+            if seen.insert(r.values().to_vec(), ()).is_none() {
+                groups.push(r.values().to_vec());
+            }
+        }
+    }
+    groups.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b) {
+            let o = x.total_cmp(y);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+
+    // ---- Phase 2: pushed CASE-WHEN aggregation per group.
+    let mut phase2 = PhaseStats::default();
+    let rows = case_when_aggregate(ctx, q, &groups, &mut phase2)?;
+
+    let mut metrics = QueryMetrics::new();
+    metrics.push_serial("s3-side group-by: distinct", phase1);
+    metrics.push_serial("s3-side group-by: aggregate", phase2);
+    Ok(QueryOutput { schema: q.output_schema()?, rows, metrics })
+}
+
+/// Tuning for [`hybrid`].
+#[derive(Debug, Clone, Copy)]
+pub struct HybridOptions {
+    /// Fraction of the table sampled in phase 1 (paper: "the first 1 % of
+    /// data").
+    pub sample_fraction: f64,
+    /// Minimum sampled share for a group to count as "large".
+    pub min_share: f64,
+    /// Cap on groups pushed to S3.
+    pub max_s3_groups: usize,
+    /// Force exactly this many groups to S3 (Fig 6's sweep), overriding
+    /// the share threshold.
+    pub force_s3_groups: Option<usize>,
+}
+
+impl Default for HybridOptions {
+    fn default() -> Self {
+        HybridOptions {
+            sample_fraction: 0.01,
+            min_share: 0.02,
+            max_s3_groups: 8,
+            force_s3_groups: None,
+        }
+    }
+}
+
+/// Hybrid group-by (paper §VI-B). Only single-column grouping is
+/// supported (as in the paper's workloads).
+pub fn hybrid(
+    ctx: &QueryContext,
+    q: &GroupByQuery,
+    opts: HybridOptions,
+) -> Result<QueryOutput> {
+    if q.group_cols.len() != 1 {
+        return Err(Error::Bind(
+            "hybrid group-by supports a single grouping column".into(),
+        ));
+    }
+    let gcol = &q.group_cols[0];
+
+    // ---- Phase 1: sample the first ~1% of rows, count group frequency.
+    let sample_rows = ((q.table.row_count as f64 * opts.sample_fraction).ceil() as u64).max(64);
+    let stmt = SelectStmt {
+        items: vec![SelectItem::Expr { expr: Expr::col(gcol.clone()), alias: None }],
+        alias: None,
+        where_clause: q.predicate.clone(),
+        limit: Some(sample_rows),
+    };
+    let sample = select_scan(ctx, &q.table, &stmt)?;
+    let mut phase1 = sample.stats;
+    phase1.server_cpu_units += sample.rows.len() as u64;
+    let mut freq: HashMap<Value, u64> = HashMap::new();
+    for r in &sample.rows {
+        *freq.entry(r[0].clone()).or_insert(0) += 1;
+    }
+    let mut by_freq: Vec<(Value, u64)> = freq.into_iter().collect();
+    by_freq.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(&b.0)));
+    let total: u64 = by_freq.iter().map(|(_, n)| n).sum();
+    let big: Vec<Value> = match opts.force_s3_groups {
+        Some(n) => by_freq.iter().take(n).map(|(v, _)| v.clone()).collect(),
+        None => by_freq
+            .iter()
+            .filter(|(_, n)| (*n as f64) >= opts.min_share * total.max(1) as f64)
+            .take(opts.max_s3_groups)
+            .map(|(v, _)| v.clone())
+            .collect(),
+    };
+
+    let mut metrics = QueryMetrics::new();
+    metrics.push_serial("hybrid: sample", phase1);
+
+    if big.is_empty() {
+        // No populous groups: degenerate to a filtered group-by.
+        let rest = filtered(ctx, q)?;
+        metrics.extend(&rest.metrics);
+        return Ok(QueryOutput { schema: rest.schema, rows: rest.rows, metrics });
+    }
+
+    // ---- Phase 2 (two concurrent requests, paper Listing 5):
+    // Q1: pushed CASE-WHEN aggregation of the large groups.
+    let mut s3_stats = PhaseStats::default();
+    let big_keys: Vec<Vec<Value>> = big.iter().map(|v| vec![v.clone()]).collect();
+    let s3_rows = case_when_aggregate(ctx, q, &big_keys, &mut s3_stats)?;
+
+    // Q2: ship the long-tail rows (group NOT IN big) and aggregate locally.
+    let tail_pred = {
+        let not_in = Expr::InList {
+            expr: Box::new(Expr::col(gcol.clone())),
+            list: big.iter().map(|v| Expr::Literal(v.clone())).collect(),
+            negated: true,
+        };
+        match &q.predicate {
+            Some(p) => Expr::and(p.clone(), not_in),
+            None => not_in,
+        }
+    };
+    let cols = q.needed_cols();
+    let tail_stmt = SelectStmt {
+        items: cols
+            .iter()
+            .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+            .collect(),
+        alias: None,
+        where_clause: Some(tail_pred),
+        limit: None,
+    };
+    let tail = select_scan(ctx, &q.table, &tail_stmt)?;
+    let mut server_stats = tail.stats;
+    let tail_rows = local_aggregate(q, &tail.schema, &tail.rows, &mut server_stats)?;
+
+    metrics.push_parallel(vec![
+        ("hybrid: s3-side aggregation".into(), s3_stats),
+        ("hybrid: server-side aggregation".into(), server_stats),
+    ]);
+
+    // Large and tail groups are disjoint: concatenate and sort.
+    let mut rows = s3_rows;
+    rows.extend(tail_rows);
+    rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    Ok(QueryOutput { schema: q.output_schema()?, rows, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::upload_csv_table;
+    use pushdown_s3::S3Store;
+    use pushdown_sql::parse_expr;
+
+    /// Synthetic table: group column with a skewed distribution plus two
+    /// value columns.
+    fn setup(n: usize, n_groups: i64, skewed: bool) -> (QueryContext, GroupByQuery) {
+        let store = S3Store::new();
+        let schema = Schema::from_pairs(&[
+            ("g", DataType::Int),
+            ("v", DataType::Float),
+            ("w", DataType::Int),
+        ]);
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                let g = if skewed {
+                    // ~half the rows in group 0, quarter in 1, ...
+                    let mut x = i;
+                    let mut g = 0;
+                    while x % 2 == 1 && g < n_groups - 1 {
+                        x /= 2;
+                        g += 1;
+                    }
+                    g
+                } else {
+                    (i as i64) % n_groups
+                };
+                Row::new(vec![
+                    Value::Int(g),
+                    Value::Float((i as f64 * 7.0) % 103.0),
+                    Value::Int((i as i64 * 13) % 17),
+                ])
+            })
+            .collect();
+        let t = upload_csv_table(&store, "b", "t", &schema, &rows, 256).unwrap();
+        let q = GroupByQuery {
+            table: t,
+            group_cols: vec!["g".into()],
+            aggs: vec![
+                (AggFunc::Sum, "v".into()),
+                (AggFunc::Count, "w".into()),
+                (AggFunc::Min, "w".into()),
+                (AggFunc::Max, "v".into()),
+                (AggFunc::Avg, "v".into()),
+            ],
+            predicate: None,
+        };
+        (QueryContext::new(store), q)
+    }
+
+    fn assert_rows_close(a: &[Row], b: &[Row]) {
+        assert_eq!(a.len(), b.len(), "row counts differ");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.len(), y.len());
+            for (vx, vy) in x.values().iter().zip(y.values()) {
+                match (vx, vy) {
+                    (Value::Float(fx), Value::Float(fy)) => {
+                        assert!(
+                            (fx - fy).abs() <= 1e-6 * (1.0 + fx.abs()),
+                            "{fx} vs {fy}"
+                        );
+                    }
+                    _ => assert_eq!(vx, vy),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_four_algorithms_agree_uniform() {
+        let (ctx, q) = setup(2000, 8, false);
+        let a = server_side(&ctx, &q).unwrap();
+        let b = filtered(&ctx, &q).unwrap();
+        let c = s3_side(&ctx, &q).unwrap();
+        let d = hybrid(&ctx, &q, HybridOptions::default()).unwrap();
+        assert_eq!(a.rows.len(), 8);
+        assert_rows_close(&a.rows, &b.rows);
+        assert_rows_close(&a.rows, &c.rows);
+        assert_rows_close(&a.rows, &d.rows);
+        assert_eq!(a.schema, q.output_schema().unwrap());
+        assert_eq!(c.schema, a.schema);
+    }
+
+    #[test]
+    fn all_four_algorithms_agree_skewed() {
+        let (ctx, q) = setup(3000, 10, true);
+        let a = server_side(&ctx, &q).unwrap();
+        let b = filtered(&ctx, &q).unwrap();
+        let c = s3_side(&ctx, &q).unwrap();
+        let d = hybrid(&ctx, &q, HybridOptions::default()).unwrap();
+        assert_rows_close(&a.rows, &b.rows);
+        assert_rows_close(&a.rows, &c.rows);
+        assert_rows_close(&a.rows, &d.rows);
+    }
+
+    #[test]
+    fn predicate_applies_in_every_algorithm() {
+        let (ctx, mut q) = setup(2000, 5, false);
+        q.predicate = Some(parse_expr("w < 9").unwrap());
+        let a = server_side(&ctx, &q).unwrap();
+        let b = filtered(&ctx, &q).unwrap();
+        let c = s3_side(&ctx, &q).unwrap();
+        let d = hybrid(&ctx, &q, HybridOptions::default()).unwrap();
+        assert_rows_close(&a.rows, &b.rows);
+        assert_rows_close(&a.rows, &c.rows);
+        assert_rows_close(&a.rows, &d.rows);
+    }
+
+    #[test]
+    fn filtered_returns_fewer_bytes_than_server() {
+        let (ctx, q) = setup(2000, 4, false);
+        let a = server_side(&ctx, &q).unwrap();
+        let b = filtered(&ctx, &q).unwrap();
+        // Server-side ships the whole table as plain bytes; filtered ships
+        // a column subset via select.
+        assert!(b.metrics.usage().select_returned_bytes < a.metrics.usage().plain_bytes);
+    }
+
+    #[test]
+    fn s3_side_charges_expression_terms() {
+        let (ctx, q) = setup(2000, 32, false);
+        let c = s3_side(&ctx, &q).unwrap();
+        // 32 groups × 5 aggregates, each with a comparison + arm ≥ 2 terms.
+        let max_terms = c
+            .metrics
+            .groups
+            .iter()
+            .flat_map(|g| g.phases.iter())
+            .map(|p| p.stats.expr_terms)
+            .max()
+            .unwrap();
+        assert!(max_terms >= 64, "expr terms {max_terms}");
+    }
+
+    #[test]
+    fn s3_side_chunks_when_sql_would_exceed_limit() {
+        let (mut ctx, q) = setup(1000, 40, false);
+        // Squeeze the limit so phase 2 must split into several statements.
+        let store = ctx.store.clone();
+        ctx.engine = pushdown_select::S3SelectEngine::with_limits(
+            store,
+            pushdown_select::SelectLimits { max_sql_bytes: 4 * 1024 },
+        );
+        let a = server_side(&ctx, &q).unwrap();
+        let c = s3_side(&ctx, &q).unwrap();
+        assert_rows_close(&a.rows, &c.rows);
+        // More than one phase-2 select per partition proves chunking.
+        let parts = q.table.partitions(&ctx.store).len() as u64;
+        let phase2_requests: u64 = c.metrics.groups[1]
+            .phases
+            .iter()
+            .map(|p| p.stats.requests)
+            .sum();
+        assert!(phase2_requests > parts, "{phase2_requests} vs {parts}");
+    }
+
+    #[test]
+    fn hybrid_pushes_populous_groups_only() {
+        let (ctx, q) = setup(4000, 12, true);
+        let out = hybrid(&ctx, &q, HybridOptions::default()).unwrap();
+        // There must be both an s3-side and a server-side phase.
+        let labels: Vec<String> = out
+            .metrics
+            .groups
+            .iter()
+            .flat_map(|g| g.phases.iter().map(|p| p.label.clone()))
+            .collect();
+        assert!(labels.iter().any(|l| l.contains("s3-side")));
+        assert!(labels.iter().any(|l| l.contains("server-side")));
+        assert!(labels.iter().any(|l| l.contains("sample")));
+    }
+
+    #[test]
+    fn hybrid_uniform_degenerates_to_filtered() {
+        // 100 uniform groups: none reaches the 2% share threshold cap...
+        // each has exactly 1% share < 2% -> no big groups -> filtered path.
+        let (ctx, q) = setup(5000, 100, false);
+        let out = hybrid(&ctx, &q, HybridOptions::default()).unwrap();
+        let labels: Vec<String> = out
+            .metrics
+            .groups
+            .iter()
+            .flat_map(|g| g.phases.iter().map(|p| p.label.clone()))
+            .collect();
+        assert!(labels.iter().any(|l| l.contains("filtered")));
+        let a = server_side(&ctx, &q).unwrap();
+        assert_rows_close(&a.rows, &out.rows);
+    }
+
+    #[test]
+    fn hybrid_force_groups_controls_split() {
+        let (ctx, q) = setup(3000, 10, true);
+        for n in [1usize, 4, 8] {
+            let out = hybrid(
+                &ctx,
+                &q,
+                HybridOptions { force_s3_groups: Some(n), ..Default::default() },
+            )
+            .unwrap();
+            let a = server_side(&ctx, &q).unwrap();
+            assert_rows_close(&a.rows, &out.rows);
+        }
+    }
+
+    #[test]
+    fn hybrid_rejects_multi_column_groups() {
+        let (ctx, mut q) = setup(100, 4, false);
+        q.group_cols.push("w".into());
+        assert!(hybrid(&ctx, &q, HybridOptions::default()).is_err());
+        // But s3-side supports multi-column grouping.
+        let a = server_side(&ctx, &q).unwrap();
+        let c = s3_side(&ctx, &q).unwrap();
+        assert_rows_close(&a.rows, &c.rows);
+    }
+
+    #[test]
+    fn empty_group_results() {
+        let (ctx, mut q) = setup(500, 4, false);
+        q.predicate = Some(parse_expr("w > 100000").unwrap());
+        for out in [
+            server_side(&ctx, &q).unwrap(),
+            filtered(&ctx, &q).unwrap(),
+            s3_side(&ctx, &q).unwrap(),
+            hybrid(&ctx, &q, HybridOptions::default()).unwrap(),
+        ] {
+            assert!(out.rows.is_empty(), "{:?}", out.rows);
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! Join algorithms (paper §V).
+//!
+//! Hash joins in two phases: build on the smaller table, probe with the
+//! bigger. Three variants differ in what they push into S3:
+//!
+//! * [`baseline`] — no pushdown: both tables load in full over plain
+//!   GETs, everything happens on the compute node;
+//! * [`filtered`] — base-table predicates *and projections* push into S3
+//!   Select; the join itself stays local;
+//! * [`bloom`] — after the build phase, the build side's join keys are
+//!   encoded into a Bloom filter which is **shipped inside the probe
+//!   side's S3 Select predicate** (§V-A2), so rows that cannot join are
+//!   never returned. Falls back per §V-B1 when the filter cannot fit the
+//!   256 KB SQL limit: first degrade the false-positive rate, then revert
+//!   to a filtered join — but *serially* (the build side has already been
+//!   loaded by the time the decision is made), which is why a degraded
+//!   Bloom join underperforms a true filtered join in the paper.
+
+use crate::catalog::Table;
+use crate::context::QueryContext;
+use crate::metrics::QueryMetrics;
+use crate::ops;
+use crate::output::QueryOutput;
+use crate::scan::{plain_scan, select_scan, ScanResult};
+use pushdown_bloom::BloomPlan;
+use pushdown_common::perf::PhaseStats;
+use pushdown_common::{Error, Result, Row, Schema, Value};
+use pushdown_sql::bind::Binder;
+use pushdown_sql::{Expr, SelectItem, SelectStmt};
+
+/// A two-table equi-join with per-side predicates and projections.
+///
+/// Projections list the columns each side contributes to the output (the
+/// join keys need not be included; they are added internally as needed).
+/// If `sum_column` is set, the output is a single row `SUM(col)` over the
+/// join result — the shape of the paper's evaluation query (Listing 2:
+/// `SELECT SUM(o_totalprice) FROM customer, orders WHERE …`).
+#[derive(Debug, Clone)]
+pub struct JoinQuery {
+    /// Build side (the smaller table; `customer` in the paper).
+    pub left: Table,
+    /// Probe side (the bigger table; `orders` in the paper).
+    pub right: Table,
+    pub left_key: String,
+    pub right_key: String,
+    pub left_pred: Option<Expr>,
+    pub right_pred: Option<Expr>,
+    pub left_proj: Vec<String>,
+    pub right_proj: Vec<String>,
+    pub sum_column: Option<String>,
+}
+
+impl JoinQuery {
+    /// Columns a side must fetch: projection ∪ {key}.
+    fn needed(proj: &[String], key: &str) -> Vec<String> {
+        let mut cols: Vec<String> = proj.to_vec();
+        if !cols.iter().any(|c| c.eq_ignore_ascii_case(key)) {
+            cols.push(key.to_string());
+        }
+        cols
+    }
+
+    fn select_stmt(cols: &[String], pred: Option<&Expr>) -> SelectStmt {
+        SelectStmt {
+            items: cols
+                .iter()
+                .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+                .collect(),
+            alias: None,
+            where_clause: pred.cloned(),
+            limit: None,
+        }
+    }
+}
+
+/// Common tail: local filter (if still needed), projection bookkeeping,
+/// hash join, optional final SUM.
+struct JoinFinisher<'a> {
+    q: &'a JoinQuery,
+}
+
+impl JoinFinisher<'_> {
+    /// `left`/`right` carry at least `needed()` columns under the given
+    /// schemas. Returns (schema, rows, cpu-stats of the local join).
+    fn finish(
+        &self,
+        left: ScanResult,
+        right: ScanResult,
+        stats: &mut PhaseStats,
+    ) -> Result<(Schema, Vec<Row>)> {
+        let q = self.q;
+        let lk = left.schema.resolve(&q.left_key)?;
+        let rk = right.schema.resolve(&q.right_key)?;
+        let joined = ops::hash_join(left.rows, lk, right.rows, rk, stats);
+        let join_schema = left.schema.join(&right.schema);
+
+        // Output projection: left_proj ++ right_proj (resolved against the
+        // concatenated schema; right columns come after left's width).
+        let mut out_idx = Vec::new();
+        let mut fields = Vec::new();
+        for c in &q.left_proj {
+            let i = left.schema.resolve(c)?;
+            out_idx.push(i);
+            fields.push(left.schema.field(i).clone());
+        }
+        for c in &q.right_proj {
+            let i = right.schema.resolve(c)?;
+            out_idx.push(left.schema.len() + i);
+            fields.push(right.schema.field(i).clone());
+        }
+
+        if let Some(sum_col) = &q.sum_column {
+            let si = join_schema.resolve(sum_col)?;
+            stats.server_cpu_units += joined.len() as u64;
+            let mut acc = pushdown_sql::agg::AggFunc::Sum.accumulator();
+            for r in &joined {
+                acc.update(&r[si])?;
+            }
+            let schema = Schema::from_pairs(&[(
+                "sum",
+                join_schema.dtype_of(si),
+            )]);
+            return Ok((schema, vec![Row::new(vec![acc.finish()])]));
+        }
+
+        let rows = ops::project_rows(joined, &out_idx, stats);
+        Ok((Schema::new(fields), rows))
+    }
+}
+
+/// Baseline join: full plain loads of both tables, all work local.
+pub fn baseline(ctx: &QueryContext, q: &JoinQuery) -> Result<QueryOutput> {
+    let (mut left, mut right) = parallel_scans(
+        || plain_scan(ctx, &q.left),
+        || plain_scan(ctx, &q.right),
+    )?;
+    // Predicates evaluate locally.
+    let mut local = PhaseStats::default();
+    if let Some(p) = &q.left_pred {
+        let bound = Binder::new(&left.schema).bind_expr(p)?;
+        left.rows = ops::filter_rows(std::mem::take(&mut left.rows), &bound, &mut local)?;
+    }
+    if let Some(p) = &q.right_pred {
+        let bound = Binder::new(&right.schema).bind_expr(p)?;
+        right.rows = ops::filter_rows(std::mem::take(&mut right.rows), &bound, &mut local)?;
+    }
+    let left_stats = left.stats;
+    let right_stats = right.stats;
+    let finisher = JoinFinisher { q };
+    let (schema, rows) = finisher.finish(left, right, &mut local)?;
+    let mut metrics = QueryMetrics::new();
+    metrics.push_parallel(vec![
+        (format!("load {}", q.left.name), left_stats),
+        (format!("load {}", q.right.name), right_stats),
+    ]);
+    metrics.push_serial("local join", local);
+    Ok(QueryOutput { schema, rows, metrics })
+}
+
+/// Filtered join: predicates + projections pushed to S3, join local.
+pub fn filtered(ctx: &QueryContext, q: &JoinQuery) -> Result<QueryOutput> {
+    let left_cols = JoinQuery::needed(&q.left_proj, &q.left_key);
+    let right_cols = JoinQuery::needed(&q.right_proj, &q.right_key);
+    let left_stmt = JoinQuery::select_stmt(&left_cols, q.left_pred.as_ref());
+    let right_stmt = JoinQuery::select_stmt(&right_cols, q.right_pred.as_ref());
+    let (left, right) = parallel_scans(
+        || select_scan(ctx, &q.left, &left_stmt),
+        || select_scan(ctx, &q.right, &right_stmt),
+    )?;
+    let left_stats = left.stats;
+    let right_stats = right.stats;
+    let mut local = PhaseStats::default();
+    let finisher = JoinFinisher { q };
+    let (schema, rows) = finisher.finish(left, right, &mut local)?;
+    let mut metrics = QueryMetrics::new();
+    metrics.push_parallel(vec![
+        (format!("select {}", q.left.name), left_stats),
+        (format!("select {}", q.right.name), right_stats),
+    ]);
+    metrics.push_serial("local join", local);
+    Ok(QueryOutput { schema, rows, metrics })
+}
+
+/// How the Bloom join actually executed (recorded for experiments).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BloomOutcome {
+    /// Probe side filtered at the requested FPR.
+    Applied { fpr: f64, bits: u64, hashes: u32 },
+    /// FPR degraded to fit the 256 KB SQL limit.
+    Degraded { requested: f64, fpr: f64 },
+    /// No filter fit; reverted to (serial) filtered join.
+    FellBack,
+}
+
+/// Bloom join (paper §V-A2) at the requested false-positive rate.
+pub fn bloom(ctx: &QueryContext, q: &JoinQuery, fpr: f64) -> Result<QueryOutput> {
+    Ok(bloom_with_outcome(ctx, q, fpr)?.0)
+}
+
+/// Bloom join, also reporting how it executed.
+pub fn bloom_with_outcome(
+    ctx: &QueryContext,
+    q: &JoinQuery,
+    fpr: f64,
+) -> Result<(QueryOutput, BloomOutcome)> {
+    // ---- Build phase: load the (filtered, projected) build side.
+    let left_cols = JoinQuery::needed(&q.left_proj, &q.left_key);
+    let left_stmt = JoinQuery::select_stmt(&left_cols, q.left_pred.as_ref());
+    let left = select_scan(ctx, &q.left, &left_stmt)?;
+    let left_stats = left.stats;
+
+    // Join keys for the filter. The paper's implementation "supports only
+    // integer join attributes" (§V-A2) — same here.
+    let lk = left.schema.resolve(&q.left_key)?;
+    if left.schema.dtype_of(lk) != pushdown_common::DataType::Int {
+        return Err(Error::Bind(format!(
+            "Bloom join requires an integer join key, `{}` is {}",
+            q.left_key,
+            left.schema.dtype_of(lk)
+        )));
+    }
+    let mut keys = Vec::with_capacity(left.rows.len());
+    for r in &left.rows {
+        match &r[lk] {
+            Value::Null => {}
+            v => keys.push(v.as_i64()?),
+        }
+    }
+
+    // ---- Plan the filter under the SQL size limit.
+    let built = ctx.bloom.build(&keys, fpr, &q.right_key);
+    let right_cols = JoinQuery::needed(&q.right_proj, &q.right_key);
+
+    let (right, outcome, probe_label) = match built {
+        Some((filter, plan)) => {
+            let bloom_pred = filter.sql_predicate(&q.right_key);
+            let pred = match &q.right_pred {
+                Some(p) => Expr::and(p.clone(), bloom_pred),
+                None => bloom_pred,
+            };
+            let right_stmt = JoinQuery::select_stmt(&right_cols, Some(&pred));
+            let right = select_scan(ctx, &q.right, &right_stmt)?;
+            let outcome = match plan {
+                BloomPlan::AsRequested { fpr } => BloomOutcome::Applied {
+                    fpr,
+                    bits: filter.bit_len(),
+                    hashes: filter.num_hashes(),
+                },
+                BloomPlan::Degraded { requested, fpr } => {
+                    BloomOutcome::Degraded { requested, fpr }
+                }
+                BloomPlan::Fallback => unreachable!("build() returns None on fallback"),
+            };
+            (right, outcome, "bloom probe")
+        }
+        None => {
+            // §V-B1 fallback: behave like a filtered join, but the two
+            // scans are forced serial — the build side was already loaded
+            // before the decision could be made.
+            let right_stmt = JoinQuery::select_stmt(&right_cols, q.right_pred.as_ref());
+            let right = select_scan(ctx, &q.right, &right_stmt)?;
+            (right, BloomOutcome::FellBack, "fallback probe (no bloom)")
+        }
+    };
+    let right_stats = right.stats;
+
+    let mut local = PhaseStats::default();
+    let finisher = JoinFinisher { q };
+    let (schema, rows) = finisher.finish(left, right, &mut local)?;
+
+    let mut metrics = QueryMetrics::new();
+    metrics.push_serial(format!("build: select {}", q.left.name), left_stats);
+    metrics.push_serial(probe_label, right_stats);
+    metrics.push_serial("local join", local);
+    Ok((QueryOutput { schema, rows, metrics }, outcome))
+}
+
+/// Run two scans concurrently (they are independent I/O).
+fn parallel_scans<L, R>(l: L, r: R) -> Result<(ScanResult, ScanResult)>
+where
+    L: FnOnce() -> Result<ScanResult> + Send,
+    R: FnOnce() -> Result<ScanResult> + Send,
+{
+    let mut left = None;
+    let mut right = None;
+    std::thread::scope(|s| {
+        let lh = s.spawn(l);
+        right = Some(r());
+        left = Some(lh.join().expect("left scan thread panicked"));
+    });
+    Ok((left.unwrap()?, right.unwrap()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::upload_csv_table;
+    use pushdown_common::DataType;
+    use pushdown_s3::S3Store;
+    use pushdown_sql::parse_expr;
+
+    /// A miniature customer ⋈ orders setup mirroring the paper's Listing 2.
+    fn setup() -> (QueryContext, JoinQuery) {
+        let store = S3Store::new();
+        let cust_schema = Schema::from_pairs(&[
+            ("c_custkey", DataType::Int),
+            ("c_acctbal", DataType::Float),
+        ]);
+        let customers: Vec<Row> = (0..200)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Float((i as f64 * 37.0) % 2000.0 - 1000.0),
+                ])
+            })
+            .collect();
+        let orders_schema = Schema::from_pairs(&[
+            ("o_orderkey", DataType::Int),
+            ("o_custkey", DataType::Int),
+            ("o_totalprice", DataType::Float),
+            ("o_orderdate", DataType::Date),
+        ]);
+        let orders: Vec<Row> = (0..2000)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Int(i % 250), // some custkeys have no customer
+                    Value::Float((i as f64 * 13.0) % 500.0),
+                    Value::Date(8000 + (i % 1000) as i32),
+                ])
+            })
+            .collect();
+        let left =
+            upload_csv_table(&store, "b", "customer", &cust_schema, &customers, 64).unwrap();
+        let right =
+            upload_csv_table(&store, "b", "orders", &orders_schema, &orders, 256).unwrap();
+        let ctx = QueryContext::new(store);
+        let q = JoinQuery {
+            left,
+            right,
+            left_key: "c_custkey".into(),
+            right_key: "o_custkey".into(),
+            left_pred: Some(parse_expr("c_acctbal <= -800").unwrap()),
+            right_pred: None,
+            left_proj: vec!["c_custkey".into()],
+            right_proj: vec!["o_totalprice".into()],
+            sum_column: Some("o_totalprice".into()),
+        };
+        (ctx, q)
+    }
+
+    fn total(out: &QueryOutput) -> f64 {
+        assert_eq!(out.rows.len(), 1);
+        out.rows[0][0].as_f64().unwrap()
+    }
+
+    #[test]
+    fn all_three_algorithms_agree_on_the_answer() {
+        let (ctx, q) = setup();
+        let a = baseline(&ctx, &q).unwrap();
+        let b = filtered(&ctx, &q).unwrap();
+        let c = bloom(&ctx, &q, 0.01).unwrap();
+        assert!((total(&a) - total(&b)).abs() < 1e-6);
+        assert!((total(&a) - total(&c)).abs() < 1e-6);
+        assert!(total(&a) > 0.0);
+    }
+
+    #[test]
+    fn row_outputs_agree_too() {
+        let (ctx, mut q) = setup();
+        q.sum_column = None;
+        let mut a = baseline(&ctx, &q).unwrap();
+        let mut b = filtered(&ctx, &q).unwrap();
+        let mut c = bloom(&ctx, &q, 0.05).unwrap();
+        for out in [&mut a, &mut b, &mut c] {
+            out.rows.sort_by(|x, y| {
+                x[0].total_cmp(&y[0]).then(x[1].total_cmp(&y[1]))
+            });
+        }
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.rows, c.rows);
+        assert_eq!(a.schema.names(), vec!["c_custkey", "o_totalprice"]);
+    }
+
+    #[test]
+    fn bloom_join_returns_fewer_probe_bytes() {
+        let (ctx, q) = setup();
+        let b = filtered(&ctx, &q).unwrap();
+        let c = bloom(&ctx, &q, 0.01).unwrap();
+        // The Bloom filter suppresses non-joining orders rows at S3, so
+        // far fewer bytes come back on the probe side.
+        assert!(
+            c.metrics.usage().select_returned_bytes * 3
+                < b.metrics.usage().select_returned_bytes,
+            "bloom {} vs filtered {}",
+            c.metrics.usage().select_returned_bytes,
+            b.metrics.usage().select_returned_bytes
+        );
+    }
+
+    #[test]
+    fn bloom_outcome_reports_geometry() {
+        let (ctx, q) = setup();
+        let (_, outcome) = bloom_with_outcome(&ctx, &q, 0.01).unwrap();
+        match outcome {
+            BloomOutcome::Applied { fpr, bits, hashes } => {
+                assert_eq!(fpr, 0.01);
+                assert!(bits > 0);
+                assert_eq!(hashes, 7); // log2(1/0.01) ≈ 6.6 → 7
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bloom_falls_back_when_sql_cannot_fit() {
+        let (mut ctx, q) = setup();
+        ctx.bloom.max_sql_bytes = 64; // nothing fits
+        let (out, outcome) = bloom_with_outcome(&ctx, &q, 0.01).unwrap();
+        assert_eq!(outcome, BloomOutcome::FellBack);
+        // Still correct.
+        let want = filtered(&ctx, &q).unwrap();
+        assert!((total(&out) - total(&want)).abs() < 1e-6);
+        // And serial: build then probe as separate groups (3 groups total),
+        // while filtered runs its scans in one parallel group (2 groups).
+        assert_eq!(out.metrics.groups.len(), 3);
+        assert_eq!(want.metrics.groups.len(), 2);
+    }
+
+    #[test]
+    fn bloom_requires_integer_keys() {
+        let (ctx, mut q) = setup();
+        // Retarget the join key at a float column.
+        q.left_key = "c_acctbal".into();
+        q.right_key = "o_totalprice".into();
+        assert!(bloom(&ctx, &q, 0.01).is_err());
+    }
+
+    #[test]
+    fn right_predicate_pushes_in_filtered_and_bloom() {
+        let (ctx, mut q) = setup();
+        q.right_pred = Some(parse_expr("o_orderdate < DATE '1992-01-01'").unwrap());
+        let a = baseline(&ctx, &q).unwrap();
+        let b = filtered(&ctx, &q).unwrap();
+        let c = bloom(&ctx, &q, 0.01).unwrap();
+        assert!((total(&a) - total(&b)).abs() < 1e-6);
+        assert!((total(&a) - total(&c)).abs() < 1e-6);
+        // Selective date predicate => filtered returns fewer probe bytes
+        // than the unfiltered variant did.
+        let unfiltered = {
+            let mut q2 = q.clone();
+            q2.right_pred = None;
+            filtered(&ctx, &q2).unwrap()
+        };
+        assert!(
+            b.metrics.usage().select_returned_bytes
+                < unfiltered.metrics.usage().select_returned_bytes
+        );
+    }
+
+    #[test]
+    fn empty_build_side_yields_empty_join() {
+        let (ctx, mut q) = setup();
+        q.left_pred = Some(parse_expr("c_acctbal < -99999").unwrap());
+        q.sum_column = None;
+        for out in [
+            baseline(&ctx, &q).unwrap(),
+            filtered(&ctx, &q).unwrap(),
+            bloom(&ctx, &q, 0.01).unwrap(),
+        ] {
+            assert!(out.rows.is_empty());
+        }
+    }
+}

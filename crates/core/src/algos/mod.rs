@@ -1,0 +1,12 @@
+//! The paper's pushdown algorithms, one module per operator family:
+//!
+//! * [`filter`] — server-side / S3-side / indexed filtering (paper §IV);
+//! * [`join`] — baseline / filtered / Bloom joins (§V);
+//! * [`groupby`] — server-side / filtered / S3-side / hybrid group-by (§VI);
+//! * [`topk`] — server-side / sampling top-K (§VII).
+
+pub mod filter;
+pub mod groupby;
+pub mod join;
+pub mod topk;
+pub mod whatif;

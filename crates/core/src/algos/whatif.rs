@@ -1,0 +1,642 @@
+//! What-if variants of the paper's algorithms, one per §X suggestion.
+//!
+//! Section X of the paper lists five suggestions — concrete service changes that
+//! would make pushdown more effective. Each function here implements the
+//! corresponding algorithm against the *extended* engine so the ablation
+//! harness can quantify what AWS would have bought the paper's authors:
+//!
+//! * [`indexed_multirange`] — Suggestion 1: multiple byte ranges per GET;
+//! * [`indexed_in_s3`] — Suggestion 2: the whole index lookup inside S3;
+//! * [`bloom_binary`] — Suggestion 3: bitwise Bloom probes (`BIT_AT` over
+//!   hex) instead of `SUBSTRING` over `'0'/'1'` strings;
+//! * [`s3_native_groupby`] — Suggestion 4: partial group-by in S3.
+//!
+//! (Suggestion 5, computation-aware *pricing*, changes no algorithm —
+//! see the `ablation_suggestions` harness in `pushdown-bench`.)
+
+use crate::algos::filter::FilterQuery;
+use crate::algos::groupby::GroupByQuery;
+use crate::algos::join::JoinQuery;
+use crate::catalog::Table;
+use crate::context::QueryContext;
+use crate::index::IndexTable;
+use crate::metrics::QueryMetrics;
+use crate::ops;
+use crate::output::QueryOutput;
+use crate::scan::{select_scan, ScanResult};
+use pushdown_common::perf::PhaseStats;
+use pushdown_common::{Error, Result, Row, Value};
+use pushdown_select::{EngineExtensions, S3SelectEngine};
+use pushdown_sql::agg::AggFunc;
+use pushdown_sql::ast::ExtendedSelect;
+use pushdown_sql::{Expr, SelectItem, SelectStmt};
+
+/// How many ranges to pack into one multipart GET. HTTP has no hard
+/// limit; we batch conservatively.
+const RANGES_PER_REQUEST: usize = 256;
+
+fn extended_engine(ctx: &QueryContext) -> S3SelectEngine {
+    ctx.engine.clone().with_extensions(EngineExtensions {
+        native_group_by: true,
+        index_in_s3: true,
+        bitwise: true,
+    })
+}
+
+/// Suggestion 1: the §IV-A indexed filter, but phase 2 packs up to
+/// `RANGES_PER_REQUEST` (256) byte ranges into each GET. Request count drops
+/// by that factor; everything else is identical to
+/// [`crate::algos::filter::indexed`].
+pub fn indexed_multirange(
+    ctx: &QueryContext,
+    idx: &IndexTable,
+    q: &FilterQuery,
+) -> Result<QueryOutput> {
+    let mut refs = Vec::new();
+    q.predicate.referenced_columns(&mut refs);
+    if !(refs.len() == 1 && refs[0].eq_ignore_ascii_case(&idx.column)) {
+        return Err(Error::Bind(format!(
+            "indexed filter supports predicates on `{}` only",
+            idx.column
+        )));
+    }
+    let index_pred = super::filter::rename_column(&q.predicate, &idx.column, "value");
+
+    // Phase 1: unchanged index lookup.
+    let lookup = SelectStmt {
+        items: vec![
+            SelectItem::Expr { expr: Expr::col("first_byte_offset"), alias: None },
+            SelectItem::Expr { expr: Expr::col("last_byte_offset"), alias: None },
+        ],
+        alias: None,
+        where_clause: Some(index_pred),
+        limit: None,
+    };
+    let mut phase1 = PhaseStats::default();
+    let index_parts = idx.index.partitions(&ctx.store);
+    let data_parts = idx.data.partitions(&ctx.store);
+    let mut per_partition: Vec<Vec<(u64, u64)>> = vec![Vec::new(); data_parts.len()];
+    for (p, ikey) in index_parts.iter().enumerate() {
+        let resp = ctx.engine.select_stmt(
+            &idx.index.bucket,
+            ikey,
+            &lookup,
+            &idx.index.schema,
+            idx.index.format,
+        )?;
+        phase1.requests += 1;
+        phase1.s3_scanned_bytes += resp.stats.bytes_scanned;
+        phase1.select_returned_bytes += resp.stats.bytes_returned;
+        for row in resp.rows()? {
+            per_partition[p].push((row[0].as_i64()? as u64, row[1].as_i64()? as u64));
+        }
+    }
+    phase1.server_cpu_units += per_partition.iter().map(|v| v.len() as u64).sum::<u64>();
+
+    // Phase 2: batched multipart GETs.
+    let mut phase2 = PhaseStats::default();
+    let mut rows: Vec<Row> = Vec::new();
+    for (p, ranges) in per_partition.iter().enumerate() {
+        for batch in ranges.chunks(RANGES_PER_REQUEST) {
+            let slices =
+                ctx.store
+                    .get_object_ranges(&idx.data.bucket, &data_parts[p], batch)?;
+            phase2.point_requests += 1;
+            for slice in slices {
+                phase2.plain_bytes += slice.len() as u64;
+                phase2.server_cpu_units += 1;
+                let line = std::str::from_utf8(&slice)
+                    .map_err(|_| Error::Corrupt("non-UTF8 record".into()))?;
+                let fields =
+                    pushdown_format::csv::split_line(line.trim_end_matches(['\n', '\r']))?;
+                let mut vals = Vec::with_capacity(fields.len());
+                for (i, f) in fields.iter().enumerate() {
+                    vals.push(Value::parse_typed(f, idx.data.schema.dtype_of(i))?);
+                }
+                rows.push(Row::new(vals));
+            }
+        }
+    }
+
+    let (schema, rows) = apply_projection(&idx.data, q, rows, &mut phase2)?;
+    let mut metrics = QueryMetrics::new();
+    metrics.push_serial("index lookup", phase1);
+    metrics.push_serial("row fetch (multi-range)", phase2);
+    Ok(QueryOutput { schema, rows, metrics })
+}
+
+/// Suggestion 2: the index lookup runs entirely inside the storage
+/// service — one `select_indexed` request per partition, no per-row GETs
+/// at all.
+pub fn indexed_in_s3(
+    ctx: &QueryContext,
+    idx: &IndexTable,
+    q: &FilterQuery,
+) -> Result<QueryOutput> {
+    let mut refs = Vec::new();
+    q.predicate.referenced_columns(&mut refs);
+    if !(refs.len() == 1 && refs[0].eq_ignore_ascii_case(&idx.column)) {
+        return Err(Error::Bind(format!(
+            "indexed filter supports predicates on `{}` only",
+            idx.column
+        )));
+    }
+    let pred = super::filter::rename_column(&q.predicate, &idx.column, "value");
+    let engine = extended_engine(ctx);
+
+    let mut stats = PhaseStats::default();
+    let mut rows = Vec::new();
+    let index_parts = idx.index.partitions(&ctx.store);
+    let data_parts = idx.data.partitions(&ctx.store);
+    for (ikey, dkey) in index_parts.iter().zip(&data_parts) {
+        let resp = engine.select_indexed(
+            &idx.index.bucket,
+            ikey,
+            dkey,
+            &idx.index.schema,
+            &idx.data.schema,
+            &pred,
+        )?;
+        stats.requests += 1;
+        stats.s3_scanned_bytes += resp.stats.bytes_scanned;
+        stats.select_returned_bytes += resp.stats.bytes_returned;
+        stats.server_cpu_units += resp.stats.records_returned;
+        rows.extend(resp.rows()?);
+    }
+
+    let (schema, rows) = apply_projection(&idx.data, q, rows, &mut stats)?;
+    let mut metrics = QueryMetrics::new();
+    metrics.push_serial("index lookup in S3", stats);
+    Ok(QueryOutput { schema, rows, metrics })
+}
+
+fn apply_projection(
+    table: &Table,
+    q: &FilterQuery,
+    rows: Vec<Row>,
+    stats: &mut PhaseStats,
+) -> Result<(pushdown_common::Schema, Vec<Row>)> {
+    match &q.projection {
+        None => Ok((table.schema.clone(), rows)),
+        Some(cols) => {
+            let idx: Result<Vec<usize>> =
+                cols.iter().map(|c| table.schema.resolve(c)).collect();
+            let idx = idx?;
+            Ok((
+                table.schema.project(&idx),
+                ops::project_rows(rows, &idx, stats),
+            ))
+        }
+    }
+}
+
+/// Suggestion 3: a Bloom join whose probe predicate is the hex/`BIT_AT`
+/// encoding — 4× smaller SQL, so filters that would degrade or fall back
+/// under the 256 KB limit still fit. Mirrors
+/// [`crate::algos::join::bloom`] otherwise.
+pub fn bloom_binary(ctx: &QueryContext, q: &JoinQuery, fpr: f64) -> Result<QueryOutput> {
+    let engine = extended_engine(ctx);
+    // Build side.
+    let left_cols = {
+        let mut cols = q.left_proj.clone();
+        if !cols.iter().any(|c| c.eq_ignore_ascii_case(&q.left_key)) {
+            cols.push(q.left_key.clone());
+        }
+        cols
+    };
+    let left_stmt = SelectStmt {
+        items: left_cols
+            .iter()
+            .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+            .collect(),
+        alias: None,
+        where_clause: q.left_pred.clone(),
+        limit: None,
+    };
+    let left = select_scan(ctx, &q.left, &left_stmt)?;
+    let left_stats = left.stats;
+    let lk = left.schema.resolve(&q.left_key)?;
+    let mut keys = Vec::with_capacity(left.rows.len());
+    for r in &left.rows {
+        if !r[lk].is_null() {
+            keys.push(r[lk].as_i64()?);
+        }
+    }
+
+    // The binary encoding packs 4 bits per character, so the same SQL
+    // budget admits ~4x more filter bits: plan with an inflated budget.
+    let mut builder = ctx.bloom;
+    builder.max_sql_bytes = ctx.bloom.max_sql_bytes.saturating_mul(4);
+    let built = builder.build(&keys, fpr, &q.right_key);
+
+    let right_cols = {
+        let mut cols = q.right_proj.clone();
+        if !cols.iter().any(|c| c.eq_ignore_ascii_case(&q.right_key)) {
+            cols.push(q.right_key.clone());
+        }
+        cols
+    };
+    let (right, probe_label) = match built {
+        Some((filter, _plan)) => {
+            let bloom_pred = filter.sql_predicate_binary(&q.right_key);
+            let pred = match &q.right_pred {
+                Some(p) => Expr::and(p.clone(), bloom_pred),
+                None => bloom_pred,
+            };
+            let right_stmt = SelectStmt {
+                items: right_cols
+                    .iter()
+                    .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+                    .collect(),
+                alias: None,
+                where_clause: Some(pred),
+                limit: None,
+            };
+            // Scan each partition through the *extended* engine.
+            let mut stats = PhaseStats::default();
+            let mut rows = Vec::new();
+            let mut schema = None;
+            for key in q.right.partitions(&ctx.store) {
+                let resp = engine.select_stmt(
+                    &q.right.bucket,
+                    &key,
+                    &right_stmt,
+                    &q.right.schema,
+                    q.right.format,
+                )?;
+                stats.requests += 1;
+                stats.s3_scanned_bytes += resp.stats.bytes_scanned;
+                stats.select_returned_bytes += resp.stats.bytes_returned;
+                stats.server_cpu_units += resp.stats.records_returned;
+                stats.expr_terms = stats.expr_terms.max(resp.stats.expr_terms);
+                if schema.is_none() {
+                    schema = Some(resp.output_schema.clone());
+                }
+                rows.extend(resp.rows()?);
+            }
+            (
+                ScanResult { schema: schema.expect("partitions"), rows, stats },
+                "bloom probe (binary)",
+            )
+        }
+        None => {
+            let right_stmt = SelectStmt {
+                items: right_cols
+                    .iter()
+                    .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+                    .collect(),
+                alias: None,
+                where_clause: q.right_pred.clone(),
+                limit: None,
+            };
+            (select_scan(ctx, &q.right, &right_stmt)?, "fallback probe")
+        }
+    };
+    let right_stats = right.stats;
+
+    // Local join + optional SUM, mirroring the stock bloom join's tail.
+    let mut local = PhaseStats::default();
+    let rk = right.schema.resolve(&q.right_key)?;
+    let joined = ops::hash_join(left.rows, lk, right.rows, rk, &mut local);
+    let join_schema = left.schema.join(&right.schema);
+    let (schema, rows) = if let Some(sum_col) = &q.sum_column {
+        let si = join_schema.resolve(sum_col)?;
+        local.server_cpu_units += joined.len() as u64;
+        let mut acc = AggFunc::Sum.accumulator();
+        for r in &joined {
+            acc.update(&r[si])?;
+        }
+        (
+            pushdown_common::Schema::from_pairs(&[("sum", join_schema.dtype_of(si))]),
+            vec![Row::new(vec![acc.finish()])],
+        )
+    } else {
+        let mut out_idx = Vec::new();
+        let mut fields = Vec::new();
+        for c in &q.left_proj {
+            let i = left.schema.resolve(c)?;
+            out_idx.push(i);
+            fields.push(left.schema.field(i).clone());
+        }
+        for c in &q.right_proj {
+            let i = right.schema.resolve(c)?;
+            out_idx.push(left.schema.len() + i);
+            fields.push(right.schema.field(i).clone());
+        }
+        (
+            pushdown_common::Schema::new(fields),
+            ops::project_rows(joined, &out_idx, &mut local),
+        )
+    };
+
+    let mut metrics = QueryMetrics::new();
+    metrics.push_serial(format!("build: select {}", q.left.name), left_stats);
+    metrics.push_serial(probe_label, right_stats);
+    metrics.push_serial("local join", local);
+    Ok(QueryOutput { schema, rows, metrics })
+}
+
+/// Suggestion 4: group-by pushed natively — a single `GROUP BY` select
+/// per partition, merged on the compute node. No distinct phase, no
+/// CASE-WHEN chains (compare with [`crate::algos::groupby::s3_side`]).
+pub fn s3_native_groupby(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
+    let engine = extended_engine(ctx);
+    // Build the extended statement: group cols, then aggregates with AVG
+    // decomposed so partials merge.
+    let mut items: Vec<SelectItem> = q
+        .group_cols
+        .iter()
+        .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+        .collect();
+    let mut merge_plan: Vec<(AggFunc, usize)> = Vec::new(); // (orig func, first col)
+    let mut col = q.group_cols.len();
+    for (f, c) in &q.aggs {
+        match f {
+            AggFunc::Avg => {
+                items.push(SelectItem::Agg {
+                    func: AggFunc::Sum,
+                    arg: Some(Expr::col(c.clone())),
+                    alias: None,
+                });
+                items.push(SelectItem::Agg {
+                    func: AggFunc::Count,
+                    arg: Some(Expr::col(c.clone())),
+                    alias: None,
+                });
+                merge_plan.push((AggFunc::Avg, col));
+                col += 2;
+            }
+            other => {
+                items.push(SelectItem::Agg {
+                    func: *other,
+                    arg: Some(Expr::col(c.clone())),
+                    alias: None,
+                });
+                merge_plan.push((*other, col));
+                col += 1;
+            }
+        }
+    }
+    let ext = ExtendedSelect {
+        select: SelectStmt {
+            items,
+            alias: None,
+            where_clause: q.predicate.clone(),
+            limit: None,
+        },
+        group_by: q.group_cols.clone(),
+    };
+
+    let mut stats = PhaseStats::default();
+    let mut partials: Vec<Row> = Vec::new();
+    for key in q.table.partitions(&ctx.store) {
+        let resp =
+            engine.select_grouped(&q.table.bucket, &key, &ext, &q.table.schema, q.table.format)?;
+        stats.requests += 1;
+        stats.s3_scanned_bytes += resp.stats.bytes_scanned;
+        stats.select_returned_bytes += resp.stats.bytes_returned;
+        stats.server_cpu_units += resp.stats.records_returned;
+        stats.expr_terms = stats.expr_terms.max(resp.stats.expr_terms);
+        partials.extend(resp.rows()?);
+    }
+
+    // Merge partials per group, then finalize AVG columns.
+    let gw = q.group_cols.len();
+    let merge_funcs: Vec<AggFunc> = merge_plan
+        .iter()
+        .flat_map(|(f, _)| match f {
+            AggFunc::Avg => vec![AggFunc::Sum, AggFunc::Count],
+            other => vec![*other],
+        })
+        .collect();
+    let merged = ops::merge_group_rows(vec![partials], gw, &merge_funcs, &mut stats)?;
+    let rows: Vec<Row> = merged
+        .into_iter()
+        .map(|r| {
+            let mut vals: Vec<Value> = r.values()[..gw].to_vec();
+            for (f, c) in &merge_plan {
+                match f {
+                    AggFunc::Avg => {
+                        let sum = &r[gw + (*c - gw)];
+                        let count = &r[gw + (*c - gw) + 1];
+                        let v = match (sum.is_null(), count.as_i64().unwrap_or(0)) {
+                            (true, _) | (_, 0) => Value::Null,
+                            _ => Value::Float(
+                                sum.as_f64().unwrap_or(0.0) / count.as_i64().unwrap() as f64,
+                            ),
+                        };
+                        vals.push(v);
+                    }
+                    _ => vals.push(r[*c].clone()),
+                }
+            }
+            Row::new(vals)
+        })
+        .collect();
+
+    let mut metrics = QueryMetrics::new();
+    metrics.push_serial("s3-native group-by (suggestion 4)", stats);
+    Ok(QueryOutput { schema: q.output_schema()?, rows, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algos::{filter, groupby, join};
+    use crate::catalog::upload_csv_table;
+    use crate::index::build_index;
+    use pushdown_common::{DataType, Schema};
+    use pushdown_s3::S3Store;
+    use pushdown_sql::parse_expr;
+
+    fn filter_setup(n: usize) -> (QueryContext, Table, IndexTable) {
+        let store = S3Store::new();
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("s", DataType::Str)]);
+        let rows: Vec<Row> = (0..n as i64)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Str(format!("payload-{i}"))]))
+            .collect();
+        let t = upload_csv_table(&store, "b", "t", &schema, &rows, n / 4 + 1).unwrap();
+        let ctx = QueryContext::new(store);
+        let idx = build_index(&ctx, &t, "k").unwrap();
+        (ctx, t, idx)
+    }
+
+    #[test]
+    fn suggestion1_multirange_same_rows_fewer_requests() {
+        let (ctx, t, idx) = filter_setup(2_000);
+        let q = filter::FilterQuery {
+            table: t,
+            predicate: parse_expr("k >= 100 AND k < 700").unwrap(),
+            projection: None,
+        };
+        let stock = filter::indexed(&ctx, &idx, &q).unwrap();
+        let multi = indexed_multirange(&ctx, &idx, &q).unwrap();
+        assert_eq!(stock.rows, multi.rows);
+        let stock_u = stock.metrics.usage();
+        let multi_u = multi.metrics.usage();
+        // 600 per-row GETs collapse into ceil-per-batch requests.
+        assert_eq!(stock_u.requests, 4 + 600);
+        assert!(multi_u.requests < stock_u.requests / 50, "{}", multi_u.requests);
+        // Same bytes either way.
+        assert_eq!(stock_u.plain_bytes, multi_u.plain_bytes);
+        // And the model rewards it.
+        assert!(multi.runtime(&ctx) < stock.runtime(&ctx));
+    }
+
+    #[test]
+    fn suggestion2_index_in_s3_same_rows_one_request_per_partition() {
+        let (ctx, t, idx) = filter_setup(2_000);
+        let q = filter::FilterQuery {
+            table: t.clone(),
+            predicate: parse_expr("k >= 100 AND k < 700").unwrap(),
+            projection: Some(vec!["s".into()]),
+        };
+        let stock = filter::indexed(&ctx, &idx, &q).unwrap();
+        let in_s3 = indexed_in_s3(&ctx, &idx, &q).unwrap();
+        assert_eq!(stock.rows, in_s3.rows);
+        assert_eq!(
+            in_s3.metrics.usage().requests,
+            t.partitions(&ctx.store).len() as u64
+        );
+        assert_eq!(in_s3.metrics.usage().plain_bytes, 0);
+    }
+
+    fn join_setup() -> (QueryContext, JoinQuery) {
+        let store = S3Store::new();
+        let ls = Schema::from_pairs(&[("lk", DataType::Int), ("bal", DataType::Float)]);
+        let lrows: Vec<Row> = (0..400)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Float((i % 100) as f64 - 50.0)]))
+            .collect();
+        let rs = Schema::from_pairs(&[("rk", DataType::Int), ("price", DataType::Float)]);
+        let rrows: Vec<Row> = (0..4_000)
+            .map(|i| Row::new(vec![Value::Int(i % 500), Value::Float(i as f64)]))
+            .collect();
+        let left = upload_csv_table(&store, "b", "l", &ls, &lrows, 200).unwrap();
+        let right = upload_csv_table(&store, "b", "r", &rs, &rrows, 1_000).unwrap();
+        let ctx = QueryContext::new(store);
+        let q = JoinQuery {
+            left,
+            right,
+            left_key: "lk".into(),
+            right_key: "rk".into(),
+            left_pred: Some(parse_expr("bal < -40").unwrap()),
+            right_pred: None,
+            left_proj: vec!["lk".into()],
+            right_proj: vec!["price".into()],
+            sum_column: Some("price".into()),
+        };
+        (ctx, q)
+    }
+
+    #[test]
+    fn suggestion3_binary_bloom_matches_and_shrinks_sql() {
+        let (ctx, q) = join_setup();
+        let stock = join::bloom(&ctx, &q, 0.01).unwrap();
+        let binary = bloom_binary(&ctx, &q, 0.01).unwrap();
+        assert_eq!(stock.rows.len(), 1);
+        let a = stock.rows[0][0].as_f64().unwrap();
+        let b = binary.rows[0][0].as_f64().unwrap();
+        assert!((a - b).abs() < 1e-6);
+        // The stock engine refuses BIT_AT.
+        let mut f = pushdown_bloom::BloomFilter::with_rate(10, 0.1, 1);
+        f.insert(3);
+        let sql = format!(
+            "SELECT rk FROM S3Object WHERE {}",
+            f.sql_predicate_binary("rk")
+        );
+        let err = ctx
+            .engine
+            .select("b", "r/part-00000.csv", &sql, &q.right.schema, q.right.format)
+            .unwrap_err();
+        assert_eq!(err.code(), "SelectRejected");
+    }
+
+    #[test]
+    fn suggestion3_binary_bloom_survives_where_string_bloom_degrades() {
+        let (mut ctx, q) = join_setup();
+        // A budget the string filter cannot meet at the requested rate.
+        ctx.bloom.max_sql_bytes = 1_200;
+        let (_, outcome) = join::bloom_with_outcome(&ctx, &q, 0.001).unwrap();
+        assert!(
+            matches!(
+                outcome,
+                join::BloomOutcome::Degraded { .. } | join::BloomOutcome::FellBack
+            ),
+            "{outcome:?}"
+        );
+        // The 4x denser binary encoding still fits and still agrees.
+        let binary = bloom_binary(&ctx, &q, 0.001).unwrap();
+        let reference = join::baseline(&ctx, &q).unwrap();
+        assert!(
+            (binary.rows[0][0].as_f64().unwrap() - reference.rows[0][0].as_f64().unwrap()).abs()
+                < 1e-6
+        );
+    }
+
+    #[test]
+    fn suggestion4_native_groupby_matches_case_when() {
+        let store = S3Store::new();
+        let schema = Schema::from_pairs(&[("g", DataType::Int), ("v", DataType::Float)]);
+        let rows: Vec<Row> = (0..2_000)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int((i % 37) as i64),
+                    Value::Float((i as f64 * 1.3) % 211.0),
+                ])
+            })
+            .collect();
+        let t = upload_csv_table(&store, "b", "t", &schema, &rows, 700).unwrap();
+        let ctx = QueryContext::new(store);
+        let q = GroupByQuery {
+            table: t,
+            group_cols: vec!["g".into()],
+            aggs: vec![
+                (AggFunc::Sum, "v".into()),
+                (AggFunc::Count, "v".into()),
+                (AggFunc::Avg, "v".into()),
+                (AggFunc::Min, "v".into()),
+            ],
+            predicate: Some(parse_expr("v > 10").unwrap()),
+        };
+        let case_when = groupby::s3_side(&ctx, &q).unwrap();
+        let native = s3_native_groupby(&ctx, &q).unwrap();
+        assert_eq!(case_when.rows.len(), native.rows.len());
+        for (a, b) in case_when.rows.iter().zip(&native.rows) {
+            for (x, y) in a.values().iter().zip(b.values()) {
+                match (x, y) {
+                    (Value::Float(fx), Value::Float(fy)) => {
+                        assert!((fx - fy).abs() < 1e-6 * (1.0 + fx.abs()))
+                    }
+                    _ => assert_eq!(x, y),
+                }
+            }
+        }
+        // The native statement is tiny: far fewer expression terms reach
+        // the scanner, so the modeled scan is faster.
+        let native_terms = native.metrics.groups[0].phases[0].stats.expr_terms;
+        let case_terms = case_when.metrics.groups[1].phases[0].stats.expr_terms;
+        assert!(
+            native_terms * 5 < case_terms,
+            "native {native_terms} vs case-when {case_terms}"
+        );
+        assert!(native.runtime(&ctx) < case_when.runtime(&ctx));
+    }
+
+    #[test]
+    fn stock_engine_refuses_native_groupby() {
+        let store = S3Store::new();
+        let schema = Schema::from_pairs(&[("g", DataType::Int)]);
+        let rows = vec![Row::new(vec![Value::Int(1)])];
+        upload_csv_table(&store, "b", "t", &schema, &rows, 10).unwrap();
+        let ctx = QueryContext::new(store);
+        let ext = pushdown_sql::parser::parse_select_extended(
+            "SELECT g, COUNT(*) FROM S3Object GROUP BY g",
+        )
+        .unwrap();
+        let err = ctx
+            .engine
+            .select_grouped("b", "t/part-00000.csv", &ext, &schema, pushdown_select::InputFormat::Csv)
+            .unwrap_err();
+        assert_eq!(err.code(), "SelectRejected");
+    }
+}

@@ -1,0 +1,183 @@
+//! Tables: partitioned objects in the store, plus loaders.
+//!
+//! Paper §III: "To facilitate parallel processing, each table is
+//! partitioned into multiple objects in S3. The techniques discussed in
+//! this paper do not make any assumptions about how the data is
+//! partitioned." Tables here are a key prefix plus numbered partition
+//! objects (`<prefix>/part-00000.csv`, ...).
+
+use pushdown_common::{Result, Row, Schema};
+use pushdown_format::columnar::{encode_columnar, WriterOptions};
+use pushdown_format::csv::CsvWriter;
+use pushdown_s3::S3Store;
+use pushdown_select::InputFormat;
+
+/// A table registered in the catalog: schema + location + format.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub name: String,
+    pub bucket: String,
+    /// Partitions live at `<prefix>/part-NNNNN.<ext>`.
+    pub prefix: String,
+    pub schema: Schema,
+    pub format: InputFormat,
+    /// Total row count, known at load time (used by sampling phases to
+    /// size LIMITs; a real system would keep this statistic in a catalog).
+    pub row_count: u64,
+}
+
+impl Table {
+    /// Keys of all partitions, in order.
+    pub fn partitions(&self, store: &S3Store) -> Vec<String> {
+        store.list_objects(&self.bucket, &format!("{}/", self.prefix))
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self, store: &S3Store) -> u64 {
+        store.total_size(&self.bucket, &format!("{}/", self.prefix))
+    }
+}
+
+fn partition_key(prefix: &str, i: usize, ext: &str) -> String {
+    format!("{prefix}/part-{i:05}.{ext}")
+}
+
+/// Write rows as a partitioned CSV table (with header rows) and register
+/// it. Not metered: loading happens outside query execution (§II-B).
+pub fn upload_csv_table(
+    store: &S3Store,
+    bucket: &str,
+    name: &str,
+    schema: &Schema,
+    rows: &[Row],
+    rows_per_partition: usize,
+) -> Result<Table> {
+    store.create_bucket(bucket);
+    let per = rows_per_partition.max(1);
+    let mut i = 0;
+    for (p, chunk) in rows.chunks(per).enumerate() {
+        let mut w = CsvWriter::with_header(schema);
+        for r in chunk {
+            w.write_row(r);
+        }
+        store.put_object(bucket, &partition_key(name, p, "csv"), w.finish());
+        i = p + 1;
+    }
+    if i == 0 {
+        // Empty tables still get one (header-only) partition so scans see
+        // a well-formed object.
+        let w = CsvWriter::with_header(schema);
+        store.put_object(bucket, &partition_key(name, 0, "csv"), w.finish());
+    }
+    Ok(Table {
+        name: name.to_string(),
+        bucket: bucket.to_string(),
+        prefix: name.to_string(),
+        schema: schema.clone(),
+        format: InputFormat::Csv,
+        row_count: rows.len() as u64,
+    })
+}
+
+/// Write rows as a partitioned ColumnarLite table and register it.
+pub fn upload_columnar_table(
+    store: &S3Store,
+    bucket: &str,
+    name: &str,
+    schema: &Schema,
+    rows: &[Row],
+    rows_per_partition: usize,
+    options: WriterOptions,
+) -> Result<Table> {
+    store.create_bucket(bucket);
+    let per = rows_per_partition.max(1);
+    let mut wrote = false;
+    for (p, chunk) in rows.chunks(per).enumerate() {
+        let bytes = encode_columnar(schema, chunk, options);
+        store.put_object(bucket, &partition_key(name, p, "clt"), bytes);
+        wrote = true;
+    }
+    if !wrote {
+        let bytes = encode_columnar(schema, &[], options);
+        store.put_object(bucket, &partition_key(name, 0, "clt"), bytes);
+    }
+    Ok(Table {
+        name: name.to_string(),
+        bucket: bucket.to_string(),
+        prefix: name.to_string(),
+        schema: schema.clone(),
+        format: InputFormat::Columnar,
+        row_count: rows.len() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushdown_common::{DataType, Value};
+
+    fn rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| Row::new(vec![Value::Int(i as i64), Value::Str(format!("r{i}"))]))
+            .collect()
+    }
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("k", DataType::Int), ("s", DataType::Str)])
+    }
+
+    #[test]
+    fn csv_upload_partitions_and_lists() {
+        let store = S3Store::new();
+        let t = upload_csv_table(&store, "b", "t", &schema(), &rows(250), 100).unwrap();
+        assert_eq!(t.partitions(&store).len(), 3);
+        assert_eq!(t.row_count, 250);
+        assert!(t.total_bytes(&store) > 0);
+        assert_eq!(
+            t.partitions(&store)[0],
+            "t/part-00000.csv"
+        );
+    }
+
+    #[test]
+    fn empty_table_gets_one_partition() {
+        let store = S3Store::new();
+        let t = upload_csv_table(&store, "b", "empty", &schema(), &[], 100).unwrap();
+        assert_eq!(t.partitions(&store).len(), 1);
+        let u = upload_columnar_table(
+            &store,
+            "b",
+            "empty2",
+            &schema(),
+            &[],
+            100,
+            WriterOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(u.partitions(&store).len(), 1);
+    }
+
+    #[test]
+    fn columnar_upload() {
+        let store = S3Store::new();
+        let t = upload_columnar_table(
+            &store,
+            "b",
+            "t",
+            &schema(),
+            &rows(100),
+            40,
+            WriterOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.partitions(&store).len(), 3);
+        assert_eq!(t.format, InputFormat::Columnar);
+    }
+
+    #[test]
+    fn uploads_are_not_metered() {
+        let store = S3Store::new();
+        upload_csv_table(&store, "b", "t", &schema(), &rows(50), 10).unwrap();
+        assert_eq!(store.ledger().snapshot().requests, 0);
+    }
+}

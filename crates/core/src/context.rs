@@ -1,0 +1,61 @@
+//! Query execution context: the store, the Select engine, and the models.
+
+use pushdown_bloom::BloomBuilder;
+use pushdown_common::perf::{PerfModel, PerfParams};
+use pushdown_common::pricing::Pricing;
+use pushdown_s3::S3Store;
+use pushdown_select::S3SelectEngine;
+
+/// Everything an algorithm needs to execute and be accounted.
+#[derive(Clone)]
+pub struct QueryContext {
+    pub store: S3Store,
+    pub engine: S3SelectEngine,
+    pub model: PerfModel,
+    pub pricing: Pricing,
+    pub bloom: BloomBuilder,
+    /// Worker threads for parallel partition scans.
+    pub scan_threads: usize,
+    /// Retry attempts for transient store faults.
+    pub max_attempts: u32,
+}
+
+impl QueryContext {
+    pub fn new(store: S3Store) -> Self {
+        let engine = S3SelectEngine::new(store.clone());
+        QueryContext {
+            store,
+            engine,
+            model: PerfModel::default(),
+            pricing: Pricing::us_east(),
+            bloom: BloomBuilder::default(),
+            scan_threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(16))
+                .unwrap_or(4),
+            max_attempts: 3,
+        }
+    }
+
+    pub fn with_perf(mut self, params: PerfParams) -> Self {
+        self.model = PerfModel::new(params);
+        self
+    }
+
+    pub fn with_pricing(mut self, pricing: Pricing) -> Self {
+        self.pricing = pricing;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_defaults() {
+        let ctx = QueryContext::new(S3Store::new());
+        assert!(ctx.scan_threads >= 1);
+        assert_eq!(ctx.max_attempts, 3);
+        assert_eq!(ctx.pricing, Pricing::us_east());
+    }
+}

@@ -1,0 +1,38 @@
+//! # pushdown-core
+//!
+//! The PushdownDB engine (paper §III): a bare-bones, row-oriented
+//! analytics engine whose one design question is *what to push into the
+//! storage service*. It executes real queries against the simulated S3 +
+//! S3 Select substrate and accounts every byte, request and operator so
+//! the paper's runtime/cost figures can be regenerated deterministically.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`catalog`] — partitioned tables in the object store and loaders;
+//! * [`scan`] — the two data paths: plain GET scans vs S3 Select scans
+//!   (with partition-parallelism, aggregate merging, early-stop LIMIT);
+//! * [`ops`] — compute-node operators (filter/project/hash join/hash
+//!   aggregation/heap top-K) with CPU metering;
+//! * [`index`] — the §IV-A byte-range index tables;
+//! * [`algos`] — the paper's algorithms (filter/join/group-by/top-K in
+//!   all their variants);
+//! * [`metrics`] / [`output`] — phase-structured accounting that the
+//!   analytical performance model turns into seconds and dollars;
+//! * [`context`] — wiring (store, Select engine, models).
+
+pub mod algos;
+pub mod catalog;
+pub mod context;
+pub mod index;
+pub mod metrics;
+pub mod ops;
+pub mod output;
+pub mod planner;
+pub mod scan;
+
+pub use catalog::{upload_columnar_table, upload_csv_table, Table};
+pub use context::QueryContext;
+pub use index::{build_index, IndexTable};
+pub use metrics::QueryMetrics;
+pub use output::QueryOutput;
+pub use planner::{execute_sql, Strategy};

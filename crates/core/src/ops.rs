@@ -1,0 +1,432 @@
+//! Server-side (compute-node) operators.
+//!
+//! These run on materialized row vectors — PushdownDB is a bare-bones
+//! row engine, like the paper's testbed (§III). Each operator reports its
+//! work into a [`PhaseStats`] as `server_cpu_units` so the performance
+//! model can charge compute time (one unit ≈ one row visited by one
+//! non-trivial operator; heap pushes charge `log2(K)`).
+
+use pushdown_common::perf::PhaseStats;
+use pushdown_common::{Result, Row, Value};
+use pushdown_sql::agg::{Accumulator, AggFunc};
+use pushdown_sql::bind::BoundExpr;
+use pushdown_sql::eval::{eval, eval_predicate};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Keep rows passing the predicate.
+pub fn filter_rows(
+    rows: Vec<Row>,
+    pred: &BoundExpr,
+    stats: &mut PhaseStats,
+) -> Result<Vec<Row>> {
+    stats.server_cpu_units += rows.len() as u64;
+    let mut out = Vec::new();
+    for r in rows {
+        if eval_predicate(pred, &r)? {
+            out.push(r);
+        }
+    }
+    Ok(out)
+}
+
+/// Project rows onto the given column indices.
+pub fn project_rows(rows: Vec<Row>, indices: &[usize], stats: &mut PhaseStats) -> Vec<Row> {
+    stats.server_cpu_units += rows.len() as u64;
+    rows.into_iter().map(|r| r.project(indices)).collect()
+}
+
+/// Evaluate one expression per row (generalized projection).
+pub fn map_rows(
+    rows: &[Row],
+    exprs: &[BoundExpr],
+    stats: &mut PhaseStats,
+) -> Result<Vec<Row>> {
+    stats.server_cpu_units += rows.len() as u64;
+    rows.iter()
+        .map(|r| {
+            let vals: Result<Vec<Value>> = exprs.iter().map(|e| eval(e, r)).collect();
+            Ok(Row::new(vals?))
+        })
+        .collect()
+}
+
+/// Hash inner join: build on `left`, probe with `right`; output rows are
+/// `left ++ right`. NULL keys never match (SQL semantics).
+pub fn hash_join(
+    left: Vec<Row>,
+    left_key: usize,
+    right: Vec<Row>,
+    right_key: usize,
+    stats: &mut PhaseStats,
+) -> Vec<Row> {
+    stats.server_cpu_units += left.len() as u64 + right.len() as u64;
+    let mut table: HashMap<Value, Vec<&Row>> = HashMap::with_capacity(left.len());
+    for row in &left {
+        let k = &row[left_key];
+        if k.is_null() {
+            continue;
+        }
+        table.entry(k.clone()).or_default().push(row);
+    }
+    let mut out = Vec::new();
+    for r in &right {
+        let k = &r[right_key];
+        if k.is_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(k) {
+            stats.server_cpu_units += matches.len() as u64;
+            for l in matches {
+                out.push(l.concat(r));
+            }
+        }
+    }
+    out
+}
+
+/// Hash aggregation with grouping. `aggs` pairs an aggregate function with
+/// the input column it consumes (`None` = COUNT(*)). Output rows are
+/// `group values ++ aggregate values`, sorted by group for determinism.
+pub fn hash_group_by(
+    rows: &[Row],
+    group_cols: &[usize],
+    aggs: &[(AggFunc, Option<usize>)],
+    stats: &mut PhaseStats,
+) -> Result<Vec<Row>> {
+    stats.server_cpu_units += rows.len() as u64;
+    let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+    for r in rows {
+        let key: Vec<Value> = group_cols.iter().map(|&c| r[c].clone()).collect();
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|(f, _)| f.accumulator()).collect());
+        for (acc, (_, col)) in accs.iter_mut().zip(aggs) {
+            match col {
+                Some(c) => acc.update(&r[*c])?,
+                None => acc.update(&Value::Bool(true))?,
+            }
+        }
+    }
+    let mut out: Vec<Row> = groups
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut vals = key;
+            vals.extend(accs.iter().map(Accumulator::finish));
+            Row::new(vals)
+        })
+        .collect();
+    out.sort_by(|a, b| cmp_rows(a, b, group_cols.len()));
+    stats.server_cpu_units += out.len() as u64;
+    Ok(out)
+}
+
+fn cmp_rows(a: &Row, b: &Row, prefix: usize) -> Ordering {
+    for i in 0..prefix {
+        let o = a[i].total_cmp(&b[i]);
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Merge pre-aggregated partials (e.g. one per group per source) whose
+/// rows are `group values ++ accumulator outputs` from `SUM`-mergeable
+/// functions. Used when hybrid group-by combines the S3-side and
+/// server-side halves.
+pub fn merge_group_rows(
+    parts: Vec<Vec<Row>>,
+    group_width: usize,
+    aggs: &[AggFunc],
+    stats: &mut PhaseStats,
+) -> Result<Vec<Row>> {
+    let mut merged: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+    for part in parts {
+        stats.server_cpu_units += part.len() as u64;
+        for row in part {
+            let key: Vec<Value> = row.values()[..group_width].to_vec();
+            let accs = merged
+                .entry(key)
+                .or_insert_with(|| aggs.iter().map(|f| merge_accumulator(*f)).collect());
+            for (i, acc) in accs.iter_mut().enumerate() {
+                acc.update(&row[group_width + i])?;
+            }
+        }
+    }
+    let mut out: Vec<Row> = merged
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut vals = key;
+            vals.extend(accs.iter().map(Accumulator::finish));
+            Row::new(vals)
+        })
+        .collect();
+    out.sort_by(|a, b| cmp_rows(a, b, group_width));
+    Ok(out)
+}
+
+/// The accumulator that *merges* partial results of `f`: partial COUNTs
+/// merge by summing, partial SUM/MIN/MAX by the same function. (AVG must
+/// be decomposed by the caller before partials are formed.)
+fn merge_accumulator(f: AggFunc) -> Accumulator {
+    match f {
+        AggFunc::Count => AggFunc::Sum.accumulator(),
+        other => other.accumulator(),
+    }
+}
+
+/// Heap-based top-K by the given column. `asc = true` keeps the K
+/// smallest (the paper's `ORDER BY … ASC LIMIT K`). Ties are broken by
+/// full-row comparison for determinism. Rows with NULL keys are skipped
+/// (SQL: NULLs sort last and can't enter an ASC top-K unless K exceeds
+/// the non-null count; we mirror the paper's numeric workloads).
+pub fn top_k(rows: &[Row], order_col: usize, k: usize, asc: bool, stats: &mut PhaseStats) -> Vec<Row> {
+    use std::collections::BinaryHeap;
+
+    /// Max-heap entry ordering by key then full row.
+    struct Entry {
+        row: Row,
+        col: usize,
+        asc: bool,
+    }
+    impl Entry {
+        fn cmp_inner(&self, other: &Self) -> Ordering {
+            let o = self.row[self.col]
+                .total_cmp(&other.row[self.col])
+                .then_with(|| {
+                    for (a, b) in self.row.values().iter().zip(other.row.values()) {
+                        let c = a.total_cmp(b);
+                        if c != Ordering::Equal {
+                            return c;
+                        }
+                    }
+                    Ordering::Equal
+                });
+            if self.asc {
+                o
+            } else {
+                o.reverse()
+            }
+        }
+    }
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp_inner(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.cmp_inner(other)
+        }
+    }
+
+    if k == 0 {
+        return Vec::new();
+    }
+    let log_k = (k.max(2) as f64).log2().ceil() as u64;
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for row in rows {
+        if row[order_col].is_null() {
+            continue;
+        }
+        stats.server_cpu_units += log_k;
+        let e = Entry { row: row.clone(), col: order_col, asc };
+        if heap.len() < k {
+            heap.push(e);
+        } else if let Some(top) = heap.peek() {
+            if e.cmp_inner(top) == Ordering::Less {
+                heap.pop();
+                heap.push(e);
+            }
+        }
+    }
+    let mut out: Vec<Row> = heap.into_sorted_vec().into_iter().map(|e| e.row).collect();
+    stats.server_cpu_units += out.len() as u64;
+    out.truncate(k);
+    out
+}
+
+/// Full sort by one column (used by small final result orderings).
+pub fn sort_rows(mut rows: Vec<Row>, col: usize, asc: bool, stats: &mut PhaseStats) -> Vec<Row> {
+    let n = rows.len() as u64;
+    stats.server_cpu_units += n * (64 - n.leading_zeros() as u64).max(1);
+    rows.sort_by(|a, b| {
+        let o = a[col].total_cmp(&b[col]);
+        if asc {
+            o
+        } else {
+            o.reverse()
+        }
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushdown_common::{DataType, Schema};
+    use pushdown_sql::bind::Binder;
+    use pushdown_sql::parse_expr;
+
+    fn row(vals: Vec<i64>) -> Row {
+        Row::new(vals.into_iter().map(Value::Int).collect())
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let pred = Binder::new(&schema)
+            .bind_expr(&parse_expr("a > 2").unwrap())
+            .unwrap();
+        let mut stats = PhaseStats::default();
+        let rows = vec![row(vec![1, 10]), row(vec![3, 30]), row(vec![5, 50])];
+        let filtered = filter_rows(rows, &pred, &mut stats).unwrap();
+        assert_eq!(filtered.len(), 2);
+        let projected = project_rows(filtered, &[1], &mut stats);
+        assert_eq!(projected, vec![row(vec![30]), row(vec![50])]);
+        assert!(stats.server_cpu_units >= 5);
+    }
+
+    #[test]
+    fn hash_join_inner_semantics() {
+        let left = vec![row(vec![1, 100]), row(vec![2, 200]), row(vec![2, 201])];
+        let right = vec![row(vec![2, 9]), row(vec![3, 8]), row(vec![2, 7])];
+        let mut stats = PhaseStats::default();
+        let out = hash_join(left, 0, right, 0, &mut stats);
+        // key 2: 2 left x 2 right = 4 rows; keys 1,3 unmatched.
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|r| r[0] == Value::Int(2) && r[2] == Value::Int(2)));
+        assert!(out.iter().any(|r| r[1] == Value::Int(200) && r[3] == Value::Int(9)));
+    }
+
+    #[test]
+    fn hash_join_skips_null_keys() {
+        let left = vec![Row::new(vec![Value::Null, Value::Int(1)])];
+        let right = vec![Row::new(vec![Value::Null, Value::Int(2)])];
+        let mut stats = PhaseStats::default();
+        assert!(hash_join(left, 0, right, 0, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn group_by_matches_hand_computation() {
+        let rows = vec![
+            row(vec![1, 10]),
+            row(vec![2, 20]),
+            row(vec![1, 30]),
+            row(vec![2, 5]),
+            row(vec![3, 7]),
+        ];
+        let mut stats = PhaseStats::default();
+        let out = hash_group_by(
+            &rows,
+            &[0],
+            &[(AggFunc::Sum, Some(1)), (AggFunc::Count, None), (AggFunc::Max, Some(1))],
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            vec![
+                Row::new(vec![Value::Int(1), Value::Int(40), Value::Int(2), Value::Int(30)]),
+                Row::new(vec![Value::Int(2), Value::Int(25), Value::Int(2), Value::Int(20)]),
+                Row::new(vec![Value::Int(3), Value::Int(7), Value::Int(1), Value::Int(7)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_multi_column_keys() {
+        let rows = vec![row(vec![1, 1, 5]), row(vec![1, 2, 6]), row(vec![1, 1, 7])];
+        let mut stats = PhaseStats::default();
+        let out =
+            hash_group_by(&rows, &[0, 1], &[(AggFunc::Sum, Some(2))], &mut stats).unwrap();
+        assert_eq!(
+            out,
+            vec![
+                Row::new(vec![Value::Int(1), Value::Int(1), Value::Int(12)]),
+                Row::new(vec![Value::Int(1), Value::Int(2), Value::Int(6)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_group_rows_combines_partials() {
+        // Partial 1 says group 1 sum=10 count=2; partial 2 says group 1
+        // sum=5 count=1 and group 2 sum=7 count=3.
+        let p1 = vec![Row::new(vec![Value::Int(1), Value::Int(10), Value::Int(2)])];
+        let p2 = vec![
+            Row::new(vec![Value::Int(1), Value::Int(5), Value::Int(1)]),
+            Row::new(vec![Value::Int(2), Value::Int(7), Value::Int(3)]),
+        ];
+        let mut stats = PhaseStats::default();
+        let out = merge_group_rows(
+            vec![p1, p2],
+            1,
+            &[AggFunc::Sum, AggFunc::Count],
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            vec![
+                Row::new(vec![Value::Int(1), Value::Int(15), Value::Int(3)]),
+                Row::new(vec![Value::Int(2), Value::Int(7), Value::Int(3)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn top_k_smallest_and_largest() {
+        let rows: Vec<Row> = [5, 3, 9, 1, 7, 1, 8].iter().map(|&v| row(vec![v])).collect();
+        let mut stats = PhaseStats::default();
+        let smallest = top_k(&rows, 0, 3, true, &mut stats);
+        assert_eq!(smallest, vec![row(vec![1]), row(vec![1]), row(vec![3])]);
+        let largest = top_k(&rows, 0, 2, false, &mut stats);
+        assert_eq!(largest, vec![row(vec![9]), row(vec![8])]);
+    }
+
+    #[test]
+    fn top_k_equals_sort_truncate() {
+        let rows: Vec<Row> = (0..500)
+            .map(|i| row(vec![(i * 7919) % 1000, i]))
+            .collect();
+        let mut s1 = PhaseStats::default();
+        let heap = top_k(&rows, 0, 25, true, &mut s1);
+        let mut s2 = PhaseStats::default();
+        let mut sorted = sort_rows(rows, 0, true, &mut s2);
+        sorted.truncate(25);
+        assert_eq!(heap.len(), 25);
+        for (a, b) in heap.iter().zip(&sorted) {
+            assert_eq!(a[0], b[0]);
+        }
+    }
+
+    #[test]
+    fn top_k_edge_cases() {
+        let rows: Vec<Row> = vec![row(vec![1]), row(vec![2])];
+        let mut stats = PhaseStats::default();
+        assert!(top_k(&rows, 0, 0, true, &mut stats).is_empty());
+        assert_eq!(top_k(&rows, 0, 10, true, &mut stats).len(), 2);
+        // NULL keys are skipped.
+        let with_null = vec![Row::new(vec![Value::Null]), row(vec![5])];
+        assert_eq!(top_k(&with_null, 0, 2, true, &mut stats).len(), 1);
+    }
+
+    #[test]
+    fn map_rows_evaluates_expressions() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let e = Binder::new(&schema)
+            .bind_expr(&parse_expr("a * 2 + 1").unwrap())
+            .unwrap();
+        let mut stats = PhaseStats::default();
+        let out = map_rows(&[row(vec![3])], &[e], &mut stats).unwrap();
+        assert_eq!(out, vec![row(vec![7])]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Query results: rows plus the metrics needed to reproduce the paper's
+//! runtime and cost figures.
+
+use crate::context::QueryContext;
+use crate::metrics::QueryMetrics;
+use pushdown_common::pricing::CostBreakdown;
+use pushdown_common::{Row, Schema};
+
+/// The result of one query execution under one algorithm.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+    pub metrics: QueryMetrics,
+}
+
+impl QueryOutput {
+    /// Modeled runtime under the context's performance model.
+    pub fn runtime(&self, ctx: &QueryContext) -> f64 {
+        self.metrics.runtime(&ctx.model)
+    }
+
+    /// Dollar cost under the context's models.
+    pub fn cost(&self, ctx: &QueryContext) -> CostBreakdown {
+        self.metrics.cost(&ctx.model, &ctx.pricing)
+    }
+}

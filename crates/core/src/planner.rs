@@ -1,0 +1,443 @@
+//! The "minimal optimizer" (paper §III).
+//!
+//! PushdownDB's testbed exposes a single-table SQL front-end and decides
+//! *which algorithm family* evaluates each query; "dynamically
+//! determining which optimization to use is orthogonal to and beyond the
+//! scope of this paper" (§VIII), so the strategy is an explicit input:
+//! [`Strategy::Baseline`] never pushes computation, [`Strategy::Pushdown`]
+//! always uses the paper's pushdown variant of the matching operator.
+//!
+//! Shapes handled (one table, as in the paper's testbed):
+//!
+//! * plain filter/projection → §IV filter strategies;
+//! * aggregates without GROUP BY → local vs S3-side aggregation (§VIII Q6);
+//! * GROUP BY → §VI group-by algorithms (hybrid when single-column);
+//! * ORDER BY … LIMIT k → §VII top-K algorithms.
+
+use crate::algos::{filter, groupby, topk};
+use crate::catalog::Table;
+use crate::context::QueryContext;
+use crate::metrics::QueryMetrics;
+use crate::ops;
+use crate::output::QueryOutput;
+use crate::scan::{plain_scan, select_scan};
+use pushdown_common::{Error, Result, Row, Schema, Value};
+use pushdown_sql::agg::AggFunc;
+use pushdown_sql::ast::QuerySpec;
+use pushdown_sql::bind::Binder;
+use pushdown_sql::parser::parse_query;
+use pushdown_sql::{Expr, SelectItem, SelectStmt};
+
+/// Whether the planner may push computation into S3 Select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Load whole tables with plain GETs; compute everything locally.
+    Baseline,
+    /// Use the paper's pushdown algorithm for the query's operator family.
+    Pushdown,
+}
+
+/// What the planner decided (for EXPLAIN-style output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanKind {
+    Filter { pushdown: bool },
+    Aggregate { pushdown: bool },
+    GroupBy { algorithm: &'static str },
+    TopK { sampling: bool },
+}
+
+impl std::fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanKind::Filter { pushdown } => {
+                write!(f, "Filter[{}]", if *pushdown { "s3-side" } else { "server-side" })
+            }
+            PlanKind::Aggregate { pushdown } => {
+                write!(f, "Aggregate[{}]", if *pushdown { "s3-side" } else { "server-side" })
+            }
+            PlanKind::GroupBy { algorithm } => write!(f, "GroupBy[{algorithm}]"),
+            PlanKind::TopK { sampling } => {
+                write!(f, "TopK[{}]", if *sampling { "sampling" } else { "server-side" })
+            }
+        }
+    }
+}
+
+/// Parse and execute a client-dialect SQL query against one table.
+pub fn execute_sql(
+    ctx: &QueryContext,
+    table: &Table,
+    sql: &str,
+    strategy: Strategy,
+) -> Result<QueryOutput> {
+    let (out, _) = execute_sql_explained(ctx, table, sql, strategy)?;
+    Ok(out)
+}
+
+/// Like [`execute_sql`], also reporting which plan the optimizer chose.
+pub fn execute_sql_explained(
+    ctx: &QueryContext,
+    table: &Table,
+    sql: &str,
+    strategy: Strategy,
+) -> Result<(QueryOutput, PlanKind)> {
+    let spec = parse_query(sql)?;
+    plan_and_run(ctx, table, &spec, strategy)
+}
+
+fn plan_and_run(
+    ctx: &QueryContext,
+    table: &Table,
+    spec: &QuerySpec,
+    strategy: Strategy,
+) -> Result<(QueryOutput, PlanKind)> {
+    let push = strategy == Strategy::Pushdown;
+
+    // ---- ORDER BY ... LIMIT k → top-K (§VII).
+    if let Some(order) = &spec.order_by {
+        if !spec.group_by.is_empty() {
+            return Err(Error::Bind(
+                "ORDER BY over GROUP BY results is not supported by this planner".into(),
+            ));
+        }
+        let Some(k) = spec.select.limit else {
+            return Err(Error::Bind(
+                "ORDER BY requires a LIMIT (top-K is the supported shape)".into(),
+            ));
+        };
+        if !matches!(spec.select.items.as_slice(), [SelectItem::Wildcard]) {
+            return Err(Error::Bind(
+                "top-K queries must project `*` in this planner".into(),
+            ));
+        }
+        if spec.select.where_clause.is_some() {
+            return Err(Error::Bind(
+                "top-K with a WHERE clause is not supported by this planner".into(),
+            ));
+        }
+        let q = topk::TopKQuery {
+            table: table.clone(),
+            order_col: order.column.clone(),
+            k: k as usize,
+            asc: order.asc,
+        };
+        let out = if push {
+            topk::sampling(ctx, &q, None)?
+        } else {
+            topk::server_side(ctx, &q)?
+        };
+        return Ok((out, PlanKind::TopK { sampling: push }));
+    }
+
+    // ---- GROUP BY → §VI.
+    if !spec.group_by.is_empty() {
+        let q = groupby_query(table, spec)?;
+        let (out, algorithm) = if push {
+            if q.group_cols.len() == 1 {
+                (
+                    groupby::hybrid(ctx, &q, groupby::HybridOptions::default())?,
+                    "hybrid",
+                )
+            } else {
+                (groupby::s3_side(ctx, &q)?, "s3-side")
+            }
+        } else {
+            (groupby::server_side(ctx, &q)?, "server-side")
+        };
+        return Ok((apply_limit(out, spec.select.limit), PlanKind::GroupBy { algorithm }));
+    }
+
+    // ---- Aggregates without GROUP BY.
+    if spec.select.is_aggregate() {
+        let out = if push {
+            let scan = select_scan(ctx, table, &spec.select)?;
+            let mut metrics = QueryMetrics::new();
+            metrics.push_serial("s3-side aggregation", scan.stats);
+            QueryOutput { schema: scan.schema, rows: scan.rows, metrics }
+        } else {
+            local_aggregate(ctx, table, &spec.select)?
+        };
+        return Ok((out, PlanKind::Aggregate { pushdown: push }));
+    }
+
+    // ---- Plain filter/projection → §IV.
+    let projection = projection_columns(&spec.select)?;
+    let q = filter::FilterQuery {
+        table: table.clone(),
+        predicate: spec
+            .select
+            .where_clause
+            .clone()
+            .unwrap_or_else(|| Expr::lit(Value::Bool(true))),
+        projection,
+    };
+    let out = if push {
+        filter::s3_side(ctx, &q)?
+    } else {
+        filter::server_side(ctx, &q)?
+    };
+    Ok((apply_limit(out, spec.select.limit), PlanKind::Filter { pushdown: push }))
+}
+
+/// Extract a plain-column projection list (None for `*`).
+fn projection_columns(stmt: &SelectStmt) -> Result<Option<Vec<String>>> {
+    if matches!(stmt.items.as_slice(), [SelectItem::Wildcard]) {
+        return Ok(None);
+    }
+    let mut cols = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Expr { expr: Expr::Column(name), .. } => cols.push(name.clone()),
+            other => {
+                return Err(Error::Bind(format!(
+                    "this planner projects plain columns only, found `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(Some(cols))
+}
+
+/// Convert a GROUP BY spec into a [`groupby::GroupByQuery`]: scalar items
+/// must be the grouping columns; aggregate arguments must be plain
+/// columns.
+fn groupby_query(table: &Table, spec: &QuerySpec) -> Result<groupby::GroupByQuery> {
+    let mut aggs: Vec<(AggFunc, String)> = Vec::new();
+    for item in &spec.select.items {
+        match item {
+            SelectItem::Expr { expr: Expr::Column(name), .. } => {
+                if !spec.group_by.iter().any(|g| g.eq_ignore_ascii_case(name)) {
+                    return Err(Error::Bind(format!(
+                        "column `{name}` must appear in GROUP BY"
+                    )));
+                }
+            }
+            SelectItem::Agg { func, arg, .. } => match arg {
+                Some(Expr::Column(c)) => aggs.push((*func, c.clone())),
+                None if *func == AggFunc::Count => {
+                    // COUNT(*) counts any non-null column; the grouping
+                    // column itself works (groups have non-null keys here).
+                    aggs.push((AggFunc::Count, spec.group_by[0].clone()));
+                }
+                other => {
+                    return Err(Error::Bind(format!(
+                        "aggregate arguments must be plain columns, found {other:?}"
+                    )))
+                }
+            },
+            other => {
+                return Err(Error::Bind(format!(
+                    "GROUP BY select items must be grouping columns or aggregates, \
+                     found `{other}`"
+                )))
+            }
+        }
+    }
+    Ok(groupby::GroupByQuery {
+        table: table.clone(),
+        group_cols: spec.group_by.clone(),
+        aggs,
+        predicate: spec.select.where_clause.clone(),
+    })
+}
+
+/// Baseline scalar aggregation: full load, evaluate aggregate items
+/// locally.
+fn local_aggregate(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Result<QueryOutput> {
+    let scan = plain_scan(ctx, table)?;
+    let mut stats = scan.stats;
+    let binder = Binder::new(&scan.schema);
+    let mut rows = scan.rows;
+    if let Some(w) = &stmt.where_clause {
+        let bound = binder.bind_expr(w)?;
+        rows = ops::filter_rows(rows, &bound, &mut stats)?;
+    }
+    let mut accs = Vec::new();
+    let mut fields = Vec::new();
+    for (i, item) in stmt.items.iter().enumerate() {
+        let SelectItem::Agg { func, arg, alias } = item else {
+            return Err(Error::Bind("aggregate query cannot contain scalar items".into()));
+        };
+        let bound = match arg {
+            Some(e) => Some(binder.bind_expr(e)?),
+            None => None,
+        };
+        let dtype = match func {
+            AggFunc::Count => pushdown_common::DataType::Int,
+            AggFunc::Avg => pushdown_common::DataType::Float,
+            _ => bound
+                .as_ref()
+                .map(|e| e.infer_type())
+                .unwrap_or(pushdown_common::DataType::Float),
+        };
+        fields.push(pushdown_common::Field::new(
+            alias.clone().unwrap_or_else(|| format!("_{}", i + 1)),
+            dtype,
+        ));
+        accs.push((func.accumulator(), bound));
+    }
+    stats.server_cpu_units += rows.len() as u64 * accs.len() as u64;
+    for r in &rows {
+        for (acc, arg) in accs.iter_mut() {
+            match arg {
+                Some(e) => acc.update(&pushdown_sql::eval::eval(e, r)?)?,
+                None => acc.update(&Value::Bool(true))?,
+            }
+        }
+    }
+    let row = Row::new(accs.iter().map(|(a, _)| a.finish()).collect());
+    let mut metrics = QueryMetrics::new();
+    metrics.push_serial("server-side aggregation", stats);
+    Ok(QueryOutput { schema: Schema::new(fields), rows: vec![row], metrics })
+}
+
+fn apply_limit(mut out: QueryOutput, limit: Option<u64>) -> QueryOutput {
+    if let Some(l) = limit {
+        out.rows.truncate(l as usize);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::upload_csv_table;
+    use pushdown_common::DataType;
+    use pushdown_s3::S3Store;
+
+    fn setup() -> (QueryContext, Table) {
+        let store = S3Store::new();
+        let schema = Schema::from_pairs(&[
+            ("g", DataType::Int),
+            ("v", DataType::Float),
+            ("s", DataType::Str),
+        ]);
+        let rows: Vec<Row> = (0..1_000)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int((i % 7) as i64),
+                    Value::Float((i as f64 * 3.7) % 101.0),
+                    Value::Str(format!("name-{i}")),
+                ])
+            })
+            .collect();
+        let t = upload_csv_table(&store, "b", "t", &schema, &rows, 300).unwrap();
+        (QueryContext::new(store), t)
+    }
+
+    fn both(ctx: &QueryContext, t: &Table, sql: &str) -> (QueryOutput, QueryOutput) {
+        (
+            execute_sql(ctx, t, sql, Strategy::Baseline).unwrap(),
+            execute_sql(ctx, t, sql, Strategy::Pushdown).unwrap(),
+        )
+    }
+
+    fn assert_close(a: &QueryOutput, b: &QueryOutput, what: &str) {
+        assert_eq!(a.rows.len(), b.rows.len(), "{what}");
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            for (vx, vy) in x.values().iter().zip(y.values()) {
+                match (vx, vy) {
+                    (Value::Float(fx), Value::Float(fy)) => {
+                        assert!((fx - fy).abs() < 1e-6 * (1.0 + fx.abs()), "{what}")
+                    }
+                    _ => assert_eq!(vx, vy, "{what}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filter_queries_route_to_filter_algorithms() {
+        let (ctx, t) = setup();
+        let sql = "SELECT g, v FROM t WHERE v < 10 AND g = 3";
+        let (base, kind) = execute_sql_explained(&ctx, &t, sql, Strategy::Baseline).unwrap();
+        assert_eq!(kind, PlanKind::Filter { pushdown: false });
+        let (push, kind) = execute_sql_explained(&ctx, &t, sql, Strategy::Pushdown).unwrap();
+        assert_eq!(kind, PlanKind::Filter { pushdown: true });
+        assert_close(&base, &push, sql);
+        assert!(!base.rows.is_empty());
+        assert_eq!(base.schema.names(), vec!["g", "v"]);
+    }
+
+    #[test]
+    fn select_star_and_limit() {
+        let (ctx, t) = setup();
+        let (base, push) = both(&ctx, &t, "SELECT * FROM t WHERE g = 1 LIMIT 5");
+        assert_eq!(base.rows.len(), 5);
+        assert_close(&base, &push, "limit");
+    }
+
+    #[test]
+    fn no_where_clause_means_full_scan() {
+        let (ctx, t) = setup();
+        let (base, push) = both(&ctx, &t, "SELECT s FROM t");
+        assert_eq!(base.rows.len(), 1_000);
+        assert_close(&base, &push, "full scan");
+    }
+
+    #[test]
+    fn aggregates_route_to_aggregation() {
+        let (ctx, t) = setup();
+        let sql = "SELECT SUM(v), COUNT(*), AVG(v), MIN(g), MAX(g) FROM t WHERE g <> 2";
+        let (base, kind) = execute_sql_explained(&ctx, &t, sql, Strategy::Baseline).unwrap();
+        assert_eq!(kind, PlanKind::Aggregate { pushdown: false });
+        let (push, kind) = execute_sql_explained(&ctx, &t, sql, Strategy::Pushdown).unwrap();
+        assert_eq!(kind, PlanKind::Aggregate { pushdown: true });
+        assert_close(&base, &push, sql);
+        // Pushdown ships almost nothing back.
+        assert!(push.metrics.bytes_returned() < base.metrics.bytes_returned() / 100);
+    }
+
+    #[test]
+    fn group_by_routes_to_groupby_algorithms() {
+        let (ctx, t) = setup();
+        let sql = "SELECT g, SUM(v), COUNT(*) FROM t GROUP BY g";
+        let (base, kind) = execute_sql_explained(&ctx, &t, sql, Strategy::Baseline).unwrap();
+        assert_eq!(kind, PlanKind::GroupBy { algorithm: "server-side" });
+        let (push, kind) = execute_sql_explained(&ctx, &t, sql, Strategy::Pushdown).unwrap();
+        assert_eq!(kind, PlanKind::GroupBy { algorithm: "hybrid" });
+        assert_eq!(base.rows.len(), 7);
+        assert_close(&base, &push, sql);
+    }
+
+    #[test]
+    fn order_by_limit_routes_to_topk() {
+        let (ctx, t) = setup();
+        let sql = "SELECT * FROM t ORDER BY v DESC LIMIT 12";
+        let (base, kind) = execute_sql_explained(&ctx, &t, sql, Strategy::Baseline).unwrap();
+        assert_eq!(kind, PlanKind::TopK { sampling: false });
+        let (push, kind) = execute_sql_explained(&ctx, &t, sql, Strategy::Pushdown).unwrap();
+        assert_eq!(kind, PlanKind::TopK { sampling: true });
+        assert_eq!(base.rows.len(), 12);
+        for (a, b) in base.rows.iter().zip(&push.rows) {
+            assert_eq!(a[1], b[1]);
+        }
+        // Descending.
+        assert!(base.rows[0][1].total_cmp(&base.rows[11][1]).is_ge());
+    }
+
+    #[test]
+    fn unsupported_shapes_are_rejected_cleanly() {
+        let (ctx, t) = setup();
+        for sql in [
+            "SELECT * FROM t ORDER BY v",                    // top-K needs LIMIT
+            "SELECT v FROM t ORDER BY v LIMIT 5",            // top-K projects *
+            "SELECT g, SUM(v) FROM t GROUP BY g ORDER BY g LIMIT 5",
+            "SELECT v + 1 FROM t",                           // computed projection
+            "SELECT s, SUM(v) FROM t GROUP BY g",            // non-grouped column
+        ] {
+            let err = execute_sql(&ctx, &t, sql, Strategy::Pushdown);
+            assert!(err.is_err(), "{sql} should be rejected");
+        }
+    }
+
+    #[test]
+    fn plan_kind_display() {
+        assert_eq!(PlanKind::Filter { pushdown: true }.to_string(), "Filter[s3-side]");
+        assert_eq!(
+            PlanKind::GroupBy { algorithm: "hybrid" }.to_string(),
+            "GroupBy[hybrid]"
+        );
+        assert_eq!(PlanKind::TopK { sampling: true }.to_string(), "TopK[sampling]");
+    }
+}

@@ -1,0 +1,496 @@
+//! Table scans: the two ways PushdownDB gets bytes out of S3.
+//!
+//! * [`plain_scan`] — GET every partition and deserialize on the compute
+//!   node (the *baseline* path: all bytes cross the wire; billed as plain
+//!   transfer, which is free in-region, plus compute time to parse).
+//! * [`select_scan`] — ship a `SELECT` statement to the storage engine
+//!   for every partition (the *pushdown* path: bytes scanned and returned
+//!   are billed; the response parses slower per byte, but there are fewer
+//!   of them).
+//!
+//! Both scan partitions concurrently on worker threads and merge results
+//! in partition order, so results are deterministic. Aggregate statements
+//! are re-written per partition and merged on the compute node —
+//! `AVG` is decomposed into `SUM`+`COUNT` because per-partition averages
+//! do not merge.
+
+use crate::catalog::Table;
+use crate::context::QueryContext;
+use pushdown_common::perf::PhaseStats;
+use pushdown_common::{Error, Result, Row, Schema, Value};
+use pushdown_format::columnar::ColumnarReader;
+use pushdown_format::csv::CsvReader;
+use pushdown_select::{InputFormat, SelectResponse};
+use pushdown_sql::agg::AggFunc;
+use pushdown_sql::ast::{SelectItem, SelectStmt};
+
+/// Result of a scan: rows, their schema, and the phase footprint.
+#[derive(Debug, Clone)]
+pub struct ScanResult {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+    pub stats: PhaseStats,
+}
+
+/// Run `f` over the table's partitions on `threads` workers, preserving
+/// partition order in the output.
+fn for_each_partition<T, F>(ctx: &QueryContext, table: &Table, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(&str) -> Result<T> + Sync,
+{
+    let keys = table.partitions(&ctx.store);
+    if keys.is_empty() {
+        return Err(Error::NoSuchKey(format!(
+            "table `{}` has no partitions under s3://{}/{}/",
+            table.name, table.bucket, table.prefix
+        )));
+    }
+    let threads = ctx.scan_threads.clamp(1, keys.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<T>>> = (0..keys.len()).map(|_| None).collect();
+    let slot_refs: Vec<_> = slots.iter_mut().map(parking_lot::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= keys.len() {
+                    break;
+                }
+                let out = f(&keys[i]);
+                **slot_refs[i].lock() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every partition slot filled"))
+        .collect()
+}
+
+fn decode_partition(
+    data: &[u8],
+    schema: &Schema,
+    format: InputFormat,
+) -> Result<Vec<Row>> {
+    match format {
+        InputFormat::Csv => CsvReader::with_header(data, schema.clone())
+            .map(|r| r.map(|rec| rec.row))
+            .collect(),
+        InputFormat::CsvNoHeader => CsvReader::without_header(data, schema.clone())
+            .map(|r| r.map(|rec| rec.row))
+            .collect(),
+        InputFormat::Columnar => {
+            let reader = ColumnarReader::open(bytes::Bytes::copy_from_slice(data))?;
+            reader.read_all()
+        }
+    }
+}
+
+/// Baseline path: load whole partitions over the wire and parse locally.
+pub fn plain_scan(ctx: &QueryContext, table: &Table) -> Result<ScanResult> {
+    let parts = for_each_partition(ctx, table, |key| {
+        let data = ctx
+            .store
+            .get_object_retrying(&table.bucket, key, ctx.max_attempts)?;
+        let rows = decode_partition(&data, &table.schema, table.format)?;
+        Ok((data.len() as u64, rows))
+    })?;
+    let mut stats = PhaseStats::default();
+    let mut rows = Vec::new();
+    for (bytes, part_rows) in parts {
+        stats.requests += 1;
+        stats.plain_bytes += bytes;
+        stats.server_cpu_units += part_rows.len() as u64;
+        rows.extend(part_rows);
+    }
+    Ok(ScanResult { schema: table.schema.clone(), rows, stats })
+}
+
+/// How a per-partition aggregate column folds into the final answer.
+enum MergeKind {
+    Sum,
+    Count,
+    Min,
+    Max,
+    /// `AVG` decomposed: positions of its SUM and COUNT columns in the
+    /// per-partition result.
+    Avg { sum_col: usize, count_col: usize },
+}
+
+/// Pushdown path: run `stmt` against every partition via S3 Select and
+/// merge the responses.
+///
+/// * Scalar statements: responses concatenate in partition order; a
+///   `LIMIT` is satisfied by querying partitions *sequentially* and
+///   stopping early (the sampling phases of §VI-B and §VII-A rely on the
+///   scan — and its bill — stopping with the limit).
+/// * Aggregate statements: rewritten per partition (`AVG → SUM, COUNT`)
+///   and merged on the compute node.
+pub fn select_scan(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Result<ScanResult> {
+    if stmt.is_aggregate() {
+        select_scan_aggregate(ctx, table, stmt)
+    } else if stmt.limit.is_some() {
+        select_scan_limited(ctx, table, stmt)
+    } else {
+        select_scan_scalar(ctx, table, stmt)
+    }
+}
+
+fn accumulate_response(stats: &mut PhaseStats, resp: &SelectResponse) {
+    stats.requests += 1;
+    stats.s3_scanned_bytes += resp.stats.bytes_scanned;
+    stats.select_returned_bytes += resp.stats.bytes_returned;
+    stats.server_cpu_units += resp.stats.records_returned;
+    stats.expr_terms = stats.expr_terms.max(resp.stats.expr_terms);
+}
+
+fn select_scan_scalar(
+    ctx: &QueryContext,
+    table: &Table,
+    stmt: &SelectStmt,
+) -> Result<ScanResult> {
+    let responses = for_each_partition(ctx, table, |key| {
+        ctx.engine
+            .select_stmt(&table.bucket, key, stmt, &table.schema, table.format)
+    })?;
+    let mut stats = PhaseStats::default();
+    let mut rows = Vec::new();
+    let mut schema = None;
+    for resp in responses {
+        accumulate_response(&mut stats, &resp);
+        if schema.is_none() {
+            schema = Some(resp.output_schema.clone());
+        }
+        rows.extend(resp.rows()?);
+    }
+    Ok(ScanResult {
+        schema: schema.expect("at least one partition"),
+        rows,
+        stats,
+    })
+}
+
+fn select_scan_limited(
+    ctx: &QueryContext,
+    table: &Table,
+    stmt: &SelectStmt,
+) -> Result<ScanResult> {
+    let limit = stmt.limit.expect("limited scan") as usize;
+    let mut stats = PhaseStats::default();
+    let mut rows = Vec::new();
+    let mut schema = None;
+    for key in table.partitions(&ctx.store) {
+        let remaining = limit - rows.len();
+        if remaining == 0 {
+            break;
+        }
+        let mut part_stmt = stmt.clone();
+        part_stmt.limit = Some(remaining as u64);
+        let resp =
+            ctx.engine
+                .select_stmt(&table.bucket, &key, &part_stmt, &table.schema, table.format)?;
+        accumulate_response(&mut stats, &resp);
+        if schema.is_none() {
+            schema = Some(resp.output_schema.clone());
+        }
+        rows.extend(resp.rows()?);
+    }
+    let schema = schema.ok_or_else(|| {
+        Error::NoSuchKey(format!("table `{}` has no partitions", table.name))
+    })?;
+    Ok(ScanResult { schema, rows, stats })
+}
+
+fn select_scan_aggregate(
+    ctx: &QueryContext,
+    table: &Table,
+    stmt: &SelectStmt,
+) -> Result<ScanResult> {
+    // Rewrite: one partition-level item list, plus merge instructions that
+    // map partition columns back to the original items.
+    let mut part_items: Vec<SelectItem> = Vec::new();
+    let mut merges: Vec<MergeKind> = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Agg { func, arg, alias } => match func {
+                AggFunc::Sum => {
+                    merges.push(MergeKind::Sum);
+                    part_items.push(item.clone());
+                }
+                AggFunc::Count => {
+                    merges.push(MergeKind::Count);
+                    part_items.push(item.clone());
+                }
+                AggFunc::Min => {
+                    merges.push(MergeKind::Min);
+                    part_items.push(item.clone());
+                }
+                AggFunc::Max => {
+                    merges.push(MergeKind::Max);
+                    part_items.push(item.clone());
+                }
+                AggFunc::Avg => {
+                    let sum_col = part_items.len();
+                    part_items.push(SelectItem::Agg {
+                        func: AggFunc::Sum,
+                        arg: arg.clone(),
+                        alias: alias.clone(),
+                    });
+                    part_items.push(SelectItem::Agg {
+                        func: AggFunc::Count,
+                        arg: arg.clone(),
+                        alias: None,
+                    });
+                    merges.push(MergeKind::Avg { sum_col, count_col: sum_col + 1 });
+                }
+            },
+            other => {
+                return Err(Error::Bind(format!(
+                    "aggregate scan cannot contain scalar item `{other}`"
+                )))
+            }
+        }
+    }
+    let part_stmt = SelectStmt {
+        items: part_items,
+        alias: stmt.alias.clone(),
+        where_clause: stmt.where_clause.clone(),
+        limit: None,
+    };
+
+    let responses = for_each_partition(ctx, table, |key| {
+        ctx.engine
+            .select_stmt(&table.bucket, key, &part_stmt, &table.schema, table.format)
+    })?;
+
+    let mut stats = PhaseStats::default();
+    let mut partials: Vec<Row> = Vec::new();
+    let mut part_schema = None;
+    for resp in responses {
+        accumulate_response(&mut stats, &resp);
+        if part_schema.is_none() {
+            part_schema = Some(resp.output_schema.clone());
+        }
+        partials.extend(resp.rows()?);
+    }
+    let part_schema = part_schema.expect("at least one partition");
+
+    // Merge partition rows according to the merge plan.
+    let mut out: Vec<Value> = Vec::with_capacity(stmt.items.len());
+    let mut col_of_item: Vec<usize> = Vec::new();
+    {
+        let mut c = 0;
+        for m in &merges {
+            col_of_item.push(c);
+            c += match m {
+                MergeKind::Avg { .. } => 2,
+                _ => 1,
+            };
+        }
+    }
+    for (m, &col) in merges.iter().zip(&col_of_item) {
+        let column = |idx: usize| partials.iter().map(move |r| r[idx].clone());
+        let merged = match m {
+            MergeKind::Sum | MergeKind::Count => {
+                let mut acc = AggFunc::Sum.accumulator();
+                for v in column(col) {
+                    acc.update(&v)?;
+                }
+                match (m, acc.finish()) {
+                    // COUNT of zero partitions/nulls is 0, not NULL.
+                    (MergeKind::Count, Value::Null) => Value::Int(0),
+                    (_, v) => v,
+                }
+            }
+            MergeKind::Min => {
+                let mut acc = AggFunc::Min.accumulator();
+                for v in column(col) {
+                    acc.update(&v)?;
+                }
+                acc.finish()
+            }
+            MergeKind::Max => {
+                let mut acc = AggFunc::Max.accumulator();
+                for v in column(col) {
+                    acc.update(&v)?;
+                }
+                acc.finish()
+            }
+            MergeKind::Avg { sum_col, count_col } => {
+                let mut total = 0.0;
+                let mut n: i64 = 0;
+                for r in &partials {
+                    if !r[*sum_col].is_null() {
+                        total += r[*sum_col].as_f64()?;
+                    }
+                    n += r[*count_col].as_i64()?;
+                }
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(total / n as f64)
+                }
+            }
+        };
+        out.push(merged);
+    }
+    stats.server_cpu_units += partials.len() as u64;
+
+    // Output schema: named like the original statement's items.
+    let fields: Vec<pushdown_common::Field> = stmt
+        .items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let SelectItem::Agg { func, alias, .. } = item else { unreachable!() };
+            let name = alias.clone().unwrap_or_else(|| format!("_{}", i + 1));
+            let dtype = match func {
+                AggFunc::Count => pushdown_common::DataType::Int,
+                AggFunc::Avg => pushdown_common::DataType::Float,
+                _ => {
+                    // Take the partition schema's type for the first column
+                    // of this item.
+                    part_schema.dtype_of(col_of_item[i])
+                }
+            };
+            pushdown_common::Field::new(name, dtype)
+        })
+        .collect();
+
+    Ok(ScanResult {
+        schema: Schema::new(fields),
+        rows: vec![Row::new(out)],
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::upload_csv_table;
+    use pushdown_common::DataType;
+    use pushdown_s3::S3Store;
+    use pushdown_sql::parse_select;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Float)])
+    }
+
+    fn rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| Row::new(vec![Value::Int(i as i64), Value::Float(i as f64 / 2.0)]))
+            .collect()
+    }
+
+    fn ctx_with_table(n: usize, per_part: usize) -> (QueryContext, Table) {
+        let store = S3Store::new();
+        let t = upload_csv_table(&store, "b", "t", &schema(), &rows(n), per_part).unwrap();
+        (QueryContext::new(store), t)
+    }
+
+    #[test]
+    fn plain_scan_reads_everything_in_order() {
+        let (ctx, t) = ctx_with_table(500, 100);
+        let r = plain_scan(&ctx, &t).unwrap();
+        assert_eq!(r.rows, rows(500));
+        assert_eq!(r.stats.requests, 5);
+        assert_eq!(r.stats.plain_bytes, t.total_bytes(&ctx.store));
+        assert_eq!(r.stats.s3_scanned_bytes, 0);
+    }
+
+    #[test]
+    fn select_scan_filters_across_partitions() {
+        let (ctx, t) = ctx_with_table(500, 100);
+        let stmt = parse_select("SELECT k FROM S3Object WHERE k % 100 = 0").unwrap();
+        let r = select_scan(&ctx, &t, &stmt).unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                Row::new(vec![Value::Int(0)]),
+                Row::new(vec![Value::Int(100)]),
+                Row::new(vec![Value::Int(200)]),
+                Row::new(vec![Value::Int(300)]),
+                Row::new(vec![Value::Int(400)]),
+            ]
+        );
+        assert_eq!(r.stats.requests, 5);
+        assert_eq!(r.stats.s3_scanned_bytes, t.total_bytes(&ctx.store));
+        assert!(r.stats.select_returned_bytes < 100);
+        assert_eq!(r.stats.plain_bytes, 0);
+    }
+
+    #[test]
+    fn select_scan_aggregates_merge_across_partitions() {
+        let (ctx, t) = ctx_with_table(1000, 170);
+        let stmt = parse_select(
+            "SELECT SUM(v), COUNT(*), MIN(k), MAX(k), AVG(v) FROM S3Object WHERE k >= 10",
+        )
+        .unwrap();
+        let r = select_scan(&ctx, &t, &stmt).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let row = &r.rows[0];
+        let expect_sum: f64 = (10..1000).map(|i| i as f64 / 2.0).sum();
+        assert!((row[0].as_f64().unwrap() - expect_sum).abs() < 1e-6);
+        assert_eq!(row[1], Value::Int(990));
+        assert_eq!(row[2], Value::Int(10));
+        assert_eq!(row[3], Value::Int(999));
+        assert!((row[4].as_f64().unwrap() - expect_sum / 990.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_of_empty_match_is_null_and_zero() {
+        let (ctx, t) = ctx_with_table(100, 30);
+        let stmt =
+            parse_select("SELECT SUM(v), COUNT(*) FROM S3Object WHERE k > 10000").unwrap();
+        let r = select_scan(&ctx, &t, &stmt).unwrap();
+        assert_eq!(r.rows[0][0], Value::Null);
+        assert_eq!(r.rows[0][1], Value::Int(0));
+    }
+
+    #[test]
+    fn limited_scan_stops_early_and_bills_less() {
+        let (ctx, t) = ctx_with_table(1000, 100);
+        let stmt = parse_select("SELECT k FROM S3Object LIMIT 150").unwrap();
+        let r = select_scan(&ctx, &t, &stmt).unwrap();
+        assert_eq!(r.rows.len(), 150);
+        // First 150 rows in order.
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        assert_eq!(r.rows[149][0], Value::Int(149));
+        // Only two partitions touched (100 + 50).
+        assert_eq!(r.stats.requests, 2);
+        assert!(r.stats.s3_scanned_bytes < t.total_bytes(&ctx.store) / 3);
+    }
+
+    #[test]
+    fn scan_survives_transient_faults() {
+        let (ctx, t) = ctx_with_table(100, 50);
+        ctx.store.inject_faults(2);
+        let r = plain_scan(&ctx, &t).unwrap();
+        assert_eq!(r.rows.len(), 100);
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let store = S3Store::new();
+        let ctx = QueryContext::new(store);
+        let ghost = Table {
+            name: "ghost".into(),
+            bucket: "b".into(),
+            prefix: "ghost".into(),
+            schema: schema(),
+            format: InputFormat::Csv,
+            row_count: 0,
+        };
+        assert!(plain_scan(&ctx, &ghost).is_err());
+    }
+
+    #[test]
+    fn expr_terms_propagate_to_stats() {
+        let (ctx, t) = ctx_with_table(100, 100);
+        let stmt =
+            parse_select("SELECT k FROM S3Object WHERE k > 1 AND k < 50 AND v > 0.5").unwrap();
+        let r = select_scan(&ctx, &t, &stmt).unwrap();
+        assert_eq!(r.stats.expr_terms, 3);
+    }
+}

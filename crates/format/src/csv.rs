@@ -1,0 +1,467 @@
+//! CSV reading and writing.
+//!
+//! This is the primary storage format of the paper's experiments ("all
+//! experiments use the same 10 GB TPC-H dataset in CSV format", §III) and
+//! the *only* format S3 Select responses ever use, even for columnar
+//! inputs (§IX). The dialect is RFC-4180-ish: comma separator, `"`
+//! quoting with `""` escapes, `\n` record terminator, one header row.
+//!
+//! Readers yield each record's **byte range** alongside its values — the
+//! index tables of paper §IV-A store `first_byte_offset`/`last_byte_offset`
+//! per row and fetch rows back with ranged GETs, so offsets must be exact.
+
+use pushdown_common::{Error, Result, Row, Schema, Value};
+
+/// Split one CSV record (without terminator) into raw string fields.
+/// Handles quoting; returns an error for malformed quoting. UTF-8 safe.
+pub fn split_line(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    loop {
+        if i >= chars.len() {
+            // Trailing empty field (line ends with a comma) or empty line.
+            fields.push(String::new());
+            break;
+        }
+        if chars[i] == '"' {
+            // Quoted field.
+            let mut s = String::new();
+            i += 1;
+            loop {
+                if i >= chars.len() {
+                    return Err(Error::Corrupt("unterminated quoted CSV field".into()));
+                }
+                if chars[i] == '"' {
+                    if i + 1 < chars.len() && chars[i + 1] == '"' {
+                        s.push('"');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+            }
+            fields.push(s);
+            if i < chars.len() {
+                if chars[i] != ',' {
+                    return Err(Error::Corrupt(format!(
+                        "expected `,` after quoted field, found `{}`",
+                        chars[i]
+                    )));
+                }
+                i += 1;
+                continue;
+            }
+            break;
+        }
+        // Unquoted field.
+        let mut s = String::new();
+        while i < chars.len() && chars[i] != ',' {
+            s.push(chars[i]);
+            i += 1;
+        }
+        fields.push(s);
+        if i < chars.len() {
+            i += 1; // skip comma
+            continue;
+        }
+        break;
+    }
+    Ok(fields)
+}
+
+/// A decoded CSV record: typed values plus the byte range (inclusive
+/// first/last, matching HTTP range semantics) it occupied in the object,
+/// *excluding* the record terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvRecord {
+    pub row: Row,
+    pub first_byte: u64,
+    pub last_byte: u64,
+}
+
+/// Streaming CSV reader over an in-memory object.
+pub struct CsvReader<'a> {
+    data: &'a [u8],
+    schema: Schema,
+    pos: usize,
+    /// Whether the first record is a header to skip.
+    header: bool,
+    started: bool,
+}
+
+impl<'a> CsvReader<'a> {
+    /// Reader for an object whose first line is a header row (the layout
+    /// the TPC-H loader writes).
+    pub fn with_header(data: &'a [u8], schema: Schema) -> Self {
+        CsvReader { data, schema, pos: 0, header: true, started: false }
+    }
+
+    /// Reader for headerless data (S3 Select responses).
+    pub fn without_header(data: &'a [u8], schema: Schema) -> Self {
+        CsvReader { data, schema, pos: 0, header: false, started: false }
+    }
+
+    /// Parse the header line of an object into column names (types must
+    /// come from elsewhere — CSV is untyped).
+    pub fn read_header(data: &[u8]) -> Result<Vec<String>> {
+        let end = data.iter().position(|&c| c == b'\n').unwrap_or(data.len());
+        let line = std::str::from_utf8(&data[..end])
+            .map_err(|_| Error::Corrupt("non-UTF8 CSV header".into()))?;
+        split_line(line.trim_end_matches('\r'))
+    }
+
+    /// Find the end of the record starting at `from`: the first newline
+    /// *outside* quotes (the writer quotes fields containing newlines).
+    fn record_end(rest: &[u8]) -> usize {
+        let mut in_quotes = false;
+        for (i, &c) in rest.iter().enumerate() {
+            match c {
+                b'"' => in_quotes = !in_quotes,
+                b'\n' if !in_quotes => return i,
+                _ => {}
+            }
+        }
+        rest.len()
+    }
+
+    fn next_line(&mut self) -> Option<(usize, &'a str)> {
+        while self.pos < self.data.len() {
+            let start = self.pos;
+            let rest = &self.data[start..];
+            let end_rel = Self::record_end(rest);
+            self.pos = start + end_rel + 1; // past the newline (or EOF)
+            let mut line_bytes = &rest[..end_rel];
+            if line_bytes.ends_with(b"\r") {
+                line_bytes = &line_bytes[..line_bytes.len() - 1];
+            }
+            if line_bytes.is_empty() {
+                continue; // skip blank lines
+            }
+            let line = match std::str::from_utf8(line_bytes) {
+                Ok(l) => l,
+                Err(_) => return Some((start, "\u{FFFD}")), // surfaced as Corrupt below
+            };
+            return Some((start, line));
+        }
+        None
+    }
+}
+
+impl<'a> Iterator for CsvReader<'a> {
+    type Item = Result<CsvRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.started {
+            self.started = true;
+            if self.header {
+                self.next_line()?;
+            }
+        }
+        let (start, line) = self.next_line()?;
+        if line == "\u{FFFD}" {
+            return Some(Err(Error::Corrupt("non-UTF8 CSV record".into())));
+        }
+        let fields = match split_line(line) {
+            Ok(f) => f,
+            Err(e) => return Some(Err(e)),
+        };
+        if fields.len() != self.schema.len() {
+            return Some(Err(Error::Corrupt(format!(
+                "CSV record has {} fields, schema expects {} (record starts at byte {start})",
+                fields.len(),
+                self.schema.len()
+            ))));
+        }
+        let mut values = Vec::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            match Value::parse_typed(f, self.schema.dtype_of(i)) {
+                Ok(v) => values.push(v),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        Some(Ok(CsvRecord {
+            row: Row::new(values),
+            first_byte: start as u64,
+            last_byte: (start + line.len()).saturating_sub(1) as u64,
+        }))
+    }
+}
+
+/// Serialize rows to CSV bytes.
+pub struct CsvWriter {
+    buf: String,
+}
+
+impl CsvWriter {
+    /// Start a document with a header row naming the schema's columns.
+    pub fn with_header(schema: &Schema) -> Self {
+        let mut buf = String::new();
+        for (i, f) in schema.fields().iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            buf.push_str(&f.name);
+        }
+        buf.push('\n');
+        CsvWriter { buf }
+    }
+
+    /// Start a headerless document (the shape of S3 Select responses).
+    pub fn headerless() -> Self {
+        CsvWriter { buf: String::new() }
+    }
+
+    /// Append one row; returns the byte range (first, last inclusive,
+    /// excluding the terminator) it occupies — the index builder records
+    /// these.
+    pub fn write_row(&mut self, row: &Row) -> (u64, u64) {
+        let first = self.buf.len() as u64;
+        let line = row.to_csv_line();
+        self.buf.push_str(&line);
+        let last = (self.buf.len() as u64).saturating_sub(1);
+        self.buf.push('\n');
+        (first, last)
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.into_bytes()
+    }
+}
+
+/// Convenience: encode a whole table (with header) in one call.
+pub fn encode_csv(schema: &Schema, rows: &[Row]) -> Vec<u8> {
+    let mut w = CsvWriter::with_header(schema);
+    for r in rows {
+        w.write_row(r);
+    }
+    w.finish()
+}
+
+/// Convenience: decode a whole table (with header) in one call.
+pub fn decode_csv(data: &[u8], schema: &Schema) -> Result<Vec<Row>> {
+    CsvReader::with_header(data, schema.clone())
+        .map(|r| r.map(|rec| rec.row))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushdown_common::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("bal", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn round_trip_simple() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::Str("alice".into()), Value::Float(10.5)]),
+            Row::new(vec![Value::Int(2), Value::Str("bob".into()), Value::Float(-3.25)]),
+        ];
+        let bytes = encode_csv(&schema(), &rows);
+        assert!(bytes.starts_with(b"id,name,bal\n"));
+        let back = decode_csv(&bytes, &schema()).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn round_trip_quoting_and_nulls() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::Str("a,b".into()), Value::Null]),
+            Row::new(vec![Value::Int(2), Value::Str("say \"hi\"".into()), Value::Float(0.0)]),
+            Row::new(vec![Value::Null, Value::Str(String::new()), Value::Float(1.0)]),
+        ];
+        let bytes = encode_csv(&schema(), &rows);
+        let back = decode_csv(&bytes, &schema()).unwrap();
+        // Empty strings and NULL share the empty-field encoding, so the
+        // empty string decodes as NULL (documented CSV lossiness).
+        let mut expect = rows.clone();
+        expect[2].0[1] = Value::Null;
+        assert_eq!(back, expect);
+    }
+
+    #[test]
+    fn byte_ranges_support_ranged_gets() {
+        // The crux of the §IV-A index design: reading [first, last] back
+        // out of the raw object must reproduce exactly the record text.
+        let rows: Vec<Row> = (0..20)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Str(format!("name-{i}")),
+                    Value::Float(i as f64 * 1.5),
+                ])
+            })
+            .collect();
+        let bytes = encode_csv(&schema(), &rows);
+        let records: Vec<CsvRecord> = CsvReader::with_header(&bytes, schema())
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(records.len(), 20);
+        for rec in &records {
+            let slice = &bytes[rec.first_byte as usize..=rec.last_byte as usize];
+            let line = std::str::from_utf8(slice).unwrap();
+            let reparsed = split_line(line).unwrap();
+            assert_eq!(reparsed.len(), 3);
+            assert_eq!(reparsed[0], rec.row[0].to_csv_field());
+        }
+    }
+
+    #[test]
+    fn header_skipped_only_with_header_reader() {
+        let bytes = b"id,name,bal\n1,x,2.0\n";
+        let with = decode_csv(bytes, &schema()).unwrap();
+        assert_eq!(with.len(), 1);
+        let without: Vec<Row> = CsvReader::without_header(b"1,x,2.0\n", schema())
+            .map(|r| r.map(|rec| rec.row))
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(without, with);
+    }
+
+    #[test]
+    fn read_header_names() {
+        assert_eq!(
+            CsvReader::read_header(b"id,name,bal\n1,2,3\n").unwrap(),
+            vec!["id", "name", "bal"]
+        );
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_tolerated() {
+        let bytes = b"id,name,bal\r\n1,x,2.0\r\n\n2,y,3.0\n";
+        let rows = decode_csv(bytes, &schema()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][0], Value::Int(2));
+    }
+
+    #[test]
+    fn field_count_mismatch_is_corrupt() {
+        let err = decode_csv(b"id,name,bal\n1,x\n", &schema()).unwrap_err();
+        assert_eq!(err.code(), "Corrupt");
+    }
+
+    #[test]
+    fn bad_typed_field_is_corrupt() {
+        let err = decode_csv(b"id,name,bal\nnotanint,x,2.0\n", &schema()).unwrap_err();
+        assert_eq!(err.code(), "Corrupt");
+    }
+
+    #[test]
+    fn malformed_quotes_rejected() {
+        assert!(split_line("\"unterminated").is_err());
+        assert!(split_line("\"a\"b").is_err());
+        assert_eq!(split_line("\"a\",b").unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn split_line_edge_cases() {
+        assert_eq!(split_line("").unwrap(), vec![""]);
+        assert_eq!(split_line("a,").unwrap(), vec!["a", ""]);
+        assert_eq!(split_line(",a").unwrap(), vec!["", "a"]);
+        assert_eq!(split_line(",,").unwrap(), vec!["", "", ""]);
+        assert_eq!(split_line("\"\"").unwrap(), vec![""]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use pushdown_common::DataType;
+
+    fn arb_value(dt: DataType) -> BoxedStrategy<Value> {
+        match dt {
+            DataType::Int => prop_oneof![
+                3 => any::<i64>().prop_map(Value::Int),
+                1 => Just(Value::Null)
+            ]
+            .boxed(),
+            DataType::Float => prop_oneof![
+                3 => (-1e12f64..1e12).prop_map(Value::Float),
+                1 => Just(Value::Null)
+            ]
+            .boxed(),
+            DataType::Str => prop_oneof![
+                // Printable ASCII incl. separators/quotes to stress quoting.
+                3 => "[ -~]{0,30}".prop_map(Value::Str),
+                1 => Just(Value::Null)
+            ]
+            .boxed(),
+            DataType::Date => (0i32..20000).prop_map(Value::Date).boxed(),
+            DataType::Bool => any::<bool>().prop_map(Value::Bool).boxed(),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn csv_round_trips_arbitrary_tables(
+            rows in proptest::collection::vec(
+                (arb_value(DataType::Int), arb_value(DataType::Str), arb_value(DataType::Float)),
+                0..50,
+            )
+        ) {
+            let schema = Schema::from_pairs(&[
+                ("a", DataType::Int),
+                ("b", DataType::Str),
+                ("c", DataType::Float),
+            ]);
+            // NULL strings and empty strings both encode as the empty CSV
+            // field; normalize empties to NULL for the comparison.
+            let rows: Vec<Row> = rows
+                .into_iter()
+                .map(|(a, b, c)| {
+                    let b = match b {
+                        Value::Str(s) if s.is_empty() => Value::Null,
+                        other => other,
+                    };
+                    Row::new(vec![a, b, c])
+                })
+                .collect();
+            let bytes = encode_csv(&schema, &rows);
+            let back = decode_csv(&bytes, &schema).unwrap();
+            prop_assert_eq!(back, rows);
+        }
+
+        #[test]
+        fn byte_ranges_are_exact(
+            rows in proptest::collection::vec(
+                (any::<i64>(), "[ -~]{0,20}"),
+                1..30,
+            )
+        ) {
+            let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Str)]);
+            let rows: Vec<Row> = rows
+                .into_iter()
+                .map(|(a, b)| Row::new(vec![Value::Int(a), Value::Str(b)]))
+                .collect();
+            let bytes = encode_csv(&schema, &rows);
+            for rec in CsvReader::with_header(&bytes, schema.clone()) {
+                let rec = rec.unwrap();
+                let slice = &bytes[rec.first_byte as usize..=rec.last_byte as usize];
+                let line = std::str::from_utf8(slice).unwrap();
+                prop_assert!(!line.contains('\n'));
+                let fields = split_line(line).unwrap();
+                prop_assert_eq!(fields.len(), 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # pushdown-format
+//!
+//! Storage formats for PushdownDB:
+//!
+//! * [`csv`] — the row format of all primary experiments (paper §III) and
+//!   of every S3 Select response (§IX), with exact per-record byte ranges
+//!   for the §IV-A index tables;
+//! * [`columnar`] — **ColumnarLite**, the Parquet-substitute for the
+//!   Fig-11 experiments: row groups, column chunks, min/max statistics,
+//!   dictionary encoding, block compression;
+//! * [`compress`] — the self-contained LZ codec standing in for Snappy.
+
+pub mod columnar;
+pub mod compress;
+pub mod csv;
+
+pub use columnar::{ColumnarReader, ColumnarWriter, WriterOptions};
+pub use csv::{CsvReader, CsvRecord, CsvWriter};

@@ -1,0 +1,419 @@
+//! # pushdown-s3
+//!
+//! A simulated S3 object store.
+//!
+//! The paper's experiments run against AWS S3; this crate substitutes an
+//! in-process, thread-safe object store exposing the same *narrow* API the
+//! DBMS actually uses (DESIGN.md §2):
+//!
+//! * whole-object `GET` ([`S3Store::get_object`]),
+//! * byte-range `GET` ([`S3Store::get_object_range`]) — one range per
+//!   request, exactly the S3 limitation the paper's Suggestion 1 (§X)
+//!   complains about,
+//! * `PUT` for data loading ([`S3Store::put_object`]),
+//! * listing by prefix ([`S3Store::list_objects`]) for partitioned tables.
+//!
+//! Every client-visible request is metered on a shared
+//! [`pushdown_common::CostLedger`] with AWS-bill semantics:
+//! plain GETs count a request plus transferred bytes (free in-region, but
+//! tracked); the S3 Select engine (crate `pushdown-select`) reads object
+//! bytes through [`S3Store::raw_object`], which is *storage-internal* and
+//! deliberately unmetered — Select traffic is billed by that engine as
+//! scanned/returned bytes instead.
+//!
+//! Deterministic fault injection ([`S3Store::inject_faults`]) lets tests
+//! exercise retry paths.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use pushdown_common::{CostLedger, Error, Result};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Handle to the simulated store. Cloning shares the underlying state.
+#[derive(Clone, Default)]
+pub struct S3Store {
+    inner: Arc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// bucket → key → object bytes. BTreeMap gives ordered, deterministic
+    /// listings.
+    buckets: RwLock<BTreeMap<String, BTreeMap<String, Bytes>>>,
+    ledger: CostLedger,
+    /// Number of upcoming GET requests that will fail (fault injection).
+    pending_faults: AtomicU64,
+}
+
+impl S3Store {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ledger every request is billed to.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.inner.ledger
+    }
+
+    /// Create a bucket (idempotent).
+    pub fn create_bucket(&self, bucket: &str) {
+        self.inner
+            .buckets
+            .write()
+            .entry(bucket.to_string())
+            .or_default();
+    }
+
+    /// Store an object, replacing any previous version. PUTs are not
+    /// metered: the paper bills only GET requests (§II-B) and data loading
+    /// happens outside query execution.
+    pub fn put_object(&self, bucket: &str, key: &str, data: impl Into<Bytes>) {
+        let mut buckets = self.inner.buckets.write();
+        buckets
+            .entry(bucket.to_string())
+            .or_default()
+            .insert(key.to_string(), data.into());
+    }
+
+    /// Delete an object. Returns whether it existed.
+    pub fn delete_object(&self, bucket: &str, key: &str) -> bool {
+        let mut buckets = self.inner.buckets.write();
+        buckets
+            .get_mut(bucket)
+            .map(|b| b.remove(key).is_some())
+            .unwrap_or(false)
+    }
+
+    fn check_fault(&self) -> Result<()> {
+        let faults = &self.inner.pending_faults;
+        loop {
+            let n = faults.load(Ordering::Relaxed);
+            if n == 0 {
+                return Ok(());
+            }
+            if faults
+                .compare_exchange(n, n - 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Err(Error::ServiceFault(
+                    "injected fault: service unavailable, retry".into(),
+                ));
+            }
+        }
+    }
+
+    fn lookup(&self, bucket: &str, key: &str) -> Result<Bytes> {
+        let buckets = self.inner.buckets.read();
+        let b = buckets
+            .get(bucket)
+            .ok_or_else(|| Error::NoSuchKey(format!("bucket `{bucket}`")))?;
+        b.get(key)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchKey(format!("s3://{bucket}/{key}")))
+    }
+
+    /// Whole-object GET: bills one request and the object's bytes as plain
+    /// transfer.
+    pub fn get_object(&self, bucket: &str, key: &str) -> Result<Bytes> {
+        self.inner.ledger.add_request();
+        self.check_fault()?;
+        let data = self.lookup(bucket, key)?;
+        self.inner.ledger.add_plain_bytes(data.len() as u64);
+        Ok(data)
+    }
+
+    /// Byte-range GET (`first..=last`, HTTP semantics). Like S3, a range
+    /// starting past the end is an error, and `last` is clamped to the
+    /// object size. **One contiguous range per request** — the indexing
+    /// algorithm of paper §IV-A must therefore issue one request per
+    /// selected row, which is exactly the bottleneck Fig 1 exhibits and
+    /// Suggestion 1 (§X) proposes lifting.
+    pub fn get_object_range(&self, bucket: &str, key: &str, first: u64, last: u64) -> Result<Bytes> {
+        self.inner.ledger.add_request();
+        self.check_fault()?;
+        let data = self.lookup(bucket, key)?;
+        let len = data.len() as u64;
+        if first >= len {
+            return Err(Error::InvalidRange(format!(
+                "range {first}-{last} outside object of {len} bytes"
+            )));
+        }
+        if last < first {
+            return Err(Error::InvalidRange(format!("range {first}-{last} is inverted")));
+        }
+        let end = (last + 1).min(len);
+        let slice = data.slice(first as usize..end as usize);
+        self.inner.ledger.add_plain_bytes(slice.len() as u64);
+        Ok(slice)
+    }
+
+    /// **Extension (paper §X, Suggestion 1):** a single GET carrying
+    /// *multiple* byte ranges, as HTTP multipart range requests allow but
+    /// AWS S3 does not. One request is billed regardless of the range
+    /// count, which is exactly the cost the paper argues S3 should offer
+    /// the §IV-A index algorithm. Ranges follow the same `first..=last`
+    /// semantics as [`S3Store::get_object_range`].
+    pub fn get_object_ranges(
+        &self,
+        bucket: &str,
+        key: &str,
+        ranges: &[(u64, u64)],
+    ) -> Result<Vec<Bytes>> {
+        self.inner.ledger.add_request();
+        self.check_fault()?;
+        let data = self.lookup(bucket, key)?;
+        let len = data.len() as u64;
+        let mut out = Vec::with_capacity(ranges.len());
+        for &(first, last) in ranges {
+            if first >= len {
+                return Err(Error::InvalidRange(format!(
+                    "range {first}-{last} outside object of {len} bytes"
+                )));
+            }
+            if last < first {
+                return Err(Error::InvalidRange(format!("range {first}-{last} is inverted")));
+            }
+            let end = (last + 1).min(len);
+            let slice = data.slice(first as usize..end as usize);
+            self.inner.ledger.add_plain_bytes(slice.len() as u64);
+            out.push(slice);
+        }
+        Ok(out)
+    }
+
+    /// Whole-object GET with bounded retry on (injected) transient faults.
+    pub fn get_object_retrying(&self, bucket: &str, key: &str, max_attempts: u32) -> Result<Bytes> {
+        let mut last_err = None;
+        for _ in 0..max_attempts.max(1) {
+            match self.get_object(bucket, key) {
+                Ok(b) => return Ok(b),
+                Err(e) if e.is_retryable() => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| Error::Other("retry loop with zero attempts".into())))
+    }
+
+    /// Object size without transferring it (HEAD; not billed as a GET).
+    pub fn object_size(&self, bucket: &str, key: &str) -> Result<u64> {
+        Ok(self.lookup(bucket, key)?.len() as u64)
+    }
+
+    /// Whether the object exists.
+    pub fn object_exists(&self, bucket: &str, key: &str) -> bool {
+        self.lookup(bucket, key).is_ok()
+    }
+
+    /// Keys in a bucket with the given prefix, in lexicographic order.
+    /// Partitioned tables are stored as `prefix/part-00000.csv`, ... and
+    /// discovered through this.
+    pub fn list_objects(&self, bucket: &str, prefix: &str) -> Vec<String> {
+        let buckets = self.inner.buckets.read();
+        buckets
+            .get(bucket)
+            .map(|b| {
+                b.keys()
+                    .filter(|k| k.starts_with(prefix))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Total size of all objects with the given prefix.
+    pub fn total_size(&self, bucket: &str, prefix: &str) -> u64 {
+        let buckets = self.inner.buckets.read();
+        buckets
+            .get(bucket)
+            .map(|b| {
+                b.iter()
+                    .filter(|(k, _)| k.starts_with(prefix))
+                    .map(|(_, v)| v.len() as u64)
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Storage-internal, unmetered read used by the S3 Select engine (it
+    /// runs *inside* the storage service; its consumption is billed as
+    /// scan/return bytes by that engine, not as plain transfer).
+    pub fn raw_object(&self, bucket: &str, key: &str) -> Result<Bytes> {
+        self.lookup(bucket, key)
+    }
+
+    /// Make the next `n` GET requests fail with a retryable
+    /// [`Error::ServiceFault`]. Deterministic, for tests.
+    pub fn inject_faults(&self, n: u64) {
+        self.inner.pending_faults.store(n, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for S3Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let buckets = self.inner.buckets.read();
+        let mut d = f.debug_struct("S3Store");
+        for (name, objs) in buckets.iter() {
+            d.field(name, &format!("{} objects", objs.len()));
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(key: &str, data: &str) -> S3Store {
+        let s = S3Store::new();
+        s.create_bucket("tpch");
+        s.put_object("tpch", key, data.as_bytes().to_vec());
+        s
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let s = store_with("hello.csv", "a,b\n1,2\n");
+        let got = s.get_object("tpch", "hello.csv").unwrap();
+        assert_eq!(&got[..], b"a,b\n1,2\n");
+        let u = s.ledger().snapshot();
+        assert_eq!(u.requests, 1);
+        assert_eq!(u.plain_bytes, 8);
+        assert_eq!(u.select_scanned_bytes, 0);
+    }
+
+    #[test]
+    fn missing_objects_and_buckets() {
+        let s = store_with("x", "data");
+        assert_eq!(s.get_object("tpch", "y").unwrap_err().code(), "NoSuchKey");
+        assert_eq!(s.get_object("nope", "x").unwrap_err().code(), "NoSuchKey");
+        assert!(!s.object_exists("tpch", "y"));
+        assert!(s.object_exists("tpch", "x"));
+    }
+
+    #[test]
+    fn range_get_http_semantics() {
+        let s = store_with("obj", "0123456789");
+        assert_eq!(&s.get_object_range("tpch", "obj", 2, 4).unwrap()[..], b"234");
+        // Last clamps to object end.
+        assert_eq!(&s.get_object_range("tpch", "obj", 8, 100).unwrap()[..], b"89");
+        // Start past end is an error.
+        assert_eq!(
+            s.get_object_range("tpch", "obj", 10, 12).unwrap_err().code(),
+            "InvalidRange"
+        );
+        // Inverted range is an error.
+        assert_eq!(
+            s.get_object_range("tpch", "obj", 5, 2).unwrap_err().code(),
+            "InvalidRange"
+        );
+    }
+
+    #[test]
+    fn multi_range_get_is_one_request() {
+        let s = store_with("obj", "0123456789");
+        s.ledger().reset();
+        let parts = s
+            .get_object_ranges("tpch", "obj", &[(0, 1), (4, 6), (9, 9)])
+            .unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(&parts[0][..], b"01");
+        assert_eq!(&parts[1][..], b"456");
+        assert_eq!(&parts[2][..], b"9");
+        let u = s.ledger().snapshot();
+        assert_eq!(u.requests, 1, "suggestion 1: one request, many ranges");
+        assert_eq!(u.plain_bytes, 6);
+        // Bad ranges are still rejected.
+        assert!(s.get_object_ranges("tpch", "obj", &[(0, 1), (99, 100)]).is_err());
+    }
+
+    #[test]
+    fn range_get_bills_only_returned_bytes() {
+        let s = store_with("obj", "0123456789");
+        s.ledger().reset();
+        s.get_object_range("tpch", "obj", 0, 2).unwrap();
+        let u = s.ledger().snapshot();
+        assert_eq!(u.plain_bytes, 3);
+        assert_eq!(u.requests, 1);
+    }
+
+    #[test]
+    fn raw_object_is_unmetered() {
+        let s = store_with("obj", "0123456789");
+        s.ledger().reset();
+        let _ = s.raw_object("tpch", "obj").unwrap();
+        assert_eq!(s.ledger().snapshot().requests, 0);
+        assert_eq!(s.ledger().snapshot().plain_bytes, 0);
+    }
+
+    #[test]
+    fn listing_is_ordered_and_prefix_filtered() {
+        let s = S3Store::new();
+        s.put_object("b", "t/part-2.csv", "x");
+        s.put_object("b", "t/part-1.csv", "xy");
+        s.put_object("b", "u/part-1.csv", "z");
+        assert_eq!(
+            s.list_objects("b", "t/"),
+            vec!["t/part-1.csv".to_string(), "t/part-2.csv".to_string()]
+        );
+        assert_eq!(s.total_size("b", "t/"), 3);
+        assert_eq!(s.list_objects("missing", ""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn delete() {
+        let s = store_with("obj", "x");
+        assert!(s.delete_object("tpch", "obj"));
+        assert!(!s.delete_object("tpch", "obj"));
+        assert!(!s.object_exists("tpch", "obj"));
+    }
+
+    #[test]
+    fn fault_injection_and_retry() {
+        let s = store_with("obj", "payload");
+        s.inject_faults(2);
+        assert_eq!(s.get_object("tpch", "obj").unwrap_err().code(), "ServiceFault");
+        // Retry loop absorbs the second fault and succeeds on attempt 2.
+        let got = s.get_object_retrying("tpch", "obj", 3).unwrap();
+        assert_eq!(&got[..], b"payload");
+        // Exhausted retries surface the fault.
+        s.inject_faults(5);
+        assert!(s.get_object_retrying("tpch", "obj", 2).is_err());
+        s.inject_faults(0);
+        // Non-retryable errors are not retried.
+        assert_eq!(
+            s.get_object_retrying("tpch", "missing", 3).unwrap_err().code(),
+            "NoSuchKey"
+        );
+    }
+
+    #[test]
+    fn faulted_requests_still_bill_the_request() {
+        let s = store_with("obj", "x");
+        s.ledger().reset();
+        s.inject_faults(1);
+        let _ = s.get_object("tpch", "obj");
+        assert_eq!(s.ledger().snapshot().requests, 1);
+        assert_eq!(s.ledger().snapshot().plain_bytes, 0);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let s = S3Store::new();
+        s.create_bucket("b");
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        s.put_object("b", &format!("k-{t}-{i}"), vec![0u8; 16]);
+                        let _ = s.get_object("b", &format!("k-{t}-{i}"));
+                    }
+                });
+            }
+        });
+        assert_eq!(s.list_objects("b", "k-").len(), 200);
+        assert_eq!(s.ledger().snapshot().requests, 200);
+    }
+}

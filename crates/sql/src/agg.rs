@@ -1,0 +1,289 @@
+//! Aggregate functions and their accumulators.
+//!
+//! S3 Select supports aggregation *without* group-by (paper §II-A): a
+//! query is either all-scalar or all-aggregate. The same accumulators are
+//! reused by PushdownDB's server-side group-by operators, which maintain
+//! one accumulator row per group.
+
+use pushdown_common::{Error, Result, Value};
+
+/// The aggregate functions of the dialect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Sum,
+    Count,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "SUM" => Some(AggFunc::Sum),
+            "COUNT" => Some(AggFunc::Count),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            "AVG" => Some(AggFunc::Avg),
+            _ => None,
+        }
+    }
+
+    /// A fresh accumulator for this function.
+    pub fn accumulator(&self) -> Accumulator {
+        match self {
+            AggFunc::Sum => Accumulator::Sum { int: 0, float: 0.0, saw_float: false, count: 0 },
+            AggFunc::Count => Accumulator::Count(0),
+            AggFunc::Min => Accumulator::Min(None),
+            AggFunc::Max => Accumulator::Max(None),
+            AggFunc::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
+        }
+    }
+}
+
+/// Running state of one aggregate.
+///
+/// SQL NULL semantics: NULL inputs are skipped by every function;
+/// `SUM`/`MIN`/`MAX`/`AVG` of zero non-null rows is NULL, `COUNT` is 0.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Accumulator {
+    Sum { int: i64, float: f64, saw_float: bool, count: u64 },
+    Count(u64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, count: u64 },
+}
+
+impl Accumulator {
+    /// Fold one input value in. For `COUNT(*)` pass `Value::Bool(true)` or
+    /// any non-null value per row.
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        match self {
+            Accumulator::Sum { int, float, saw_float, count } => {
+                match v {
+                    Value::Int(i) => {
+                        *int = int.checked_add(*i).ok_or_else(|| {
+                            Error::Eval("integer overflow in SUM".into())
+                        })?;
+                    }
+                    _ => {
+                        *float += v.as_f64()?;
+                        *saw_float = true;
+                    }
+                }
+                *count += 1;
+            }
+            Accumulator::Count(n) => *n += 1,
+            Accumulator::Min(cur) => {
+                let replace = match cur {
+                    None => true,
+                    Some(c) => v.sql_cmp(c) == Some(std::cmp::Ordering::Less),
+                };
+                if replace {
+                    *cur = Some(v.clone());
+                }
+            }
+            Accumulator::Max(cur) => {
+                let replace = match cur {
+                    None => true,
+                    Some(c) => v.sql_cmp(c) == Some(std::cmp::Ordering::Greater),
+                };
+                if replace {
+                    *cur = Some(v.clone());
+                }
+            }
+            Accumulator::Avg { sum, count } => {
+                *sum += v.as_f64()?;
+                *count += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another accumulator of the same function (partition merge).
+    pub fn merge(&mut self, other: &Accumulator) -> Result<()> {
+        match (self, other) {
+            (
+                Accumulator::Sum { int, float, saw_float, count },
+                Accumulator::Sum { int: i2, float: f2, saw_float: s2, count: c2 },
+            ) => {
+                *int = int
+                    .checked_add(*i2)
+                    .ok_or_else(|| Error::Eval("integer overflow in SUM".into()))?;
+                *float += f2;
+                *saw_float |= s2;
+                *count += c2;
+            }
+            (Accumulator::Count(n), Accumulator::Count(m)) => *n += m,
+            (Accumulator::Min(a), Accumulator::Min(b)) => {
+                if let Some(bv) = b {
+                    let mut tmp = Accumulator::Min(a.take());
+                    tmp.update(bv)?;
+                    if let Accumulator::Min(v) = tmp {
+                        *a = v;
+                    }
+                }
+            }
+            (Accumulator::Max(a), Accumulator::Max(b)) => {
+                if let Some(bv) = b {
+                    let mut tmp = Accumulator::Max(a.take());
+                    tmp.update(bv)?;
+                    if let Accumulator::Max(v) = tmp {
+                        *a = v;
+                    }
+                }
+            }
+            (Accumulator::Avg { sum, count }, Accumulator::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            _ => return Err(Error::Eval("mismatched accumulators in merge".into())),
+        }
+        Ok(())
+    }
+
+    /// Final result.
+    pub fn finish(&self) -> Value {
+        match self {
+            Accumulator::Sum { int, float, saw_float, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else if *saw_float {
+                    Value::Float(*float + *int as f64)
+                } else {
+                    Value::Int(*int)
+                }
+            }
+            Accumulator::Count(n) => Value::Int(*n as i64),
+            Accumulator::Min(v) | Accumulator::Max(v) => v.clone().unwrap_or(Value::Null),
+            Accumulator::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, vals: &[Value]) -> Value {
+        let mut acc = func.accumulator();
+        for v in vals {
+            acc.update(v).unwrap();
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn sum_stays_integer_for_ints() {
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Int(2), Value::Int(3)]),
+            Value::Int(6)
+        );
+    }
+
+    #[test]
+    fn sum_promotes_to_float() {
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Float(0.5)]),
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn nulls_are_skipped() {
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Null, Value::Int(2), Value::Null]),
+            Value::Int(2)
+        );
+        assert_eq!(run(AggFunc::Count, &[Value::Null, Value::Int(2)]), Value::Int(1));
+        assert_eq!(run(AggFunc::Avg, &[Value::Null, Value::Int(4)]), Value::Float(4.0));
+    }
+
+    #[test]
+    fn empty_input_semantics() {
+        assert_eq!(run(AggFunc::Sum, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Min, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Count, &[]), Value::Int(0));
+        assert_eq!(run(AggFunc::Avg, &[]), Value::Null);
+    }
+
+    #[test]
+    fn min_max_over_mixed_numerics_and_dates() {
+        assert_eq!(
+            run(AggFunc::Min, &[Value::Float(2.5), Value::Int(2)]),
+            Value::Int(2)
+        );
+        assert_eq!(
+            run(AggFunc::Max, &[Value::Date(10), Value::Date(20)]),
+            Value::Date(20)
+        );
+        assert_eq!(
+            run(AggFunc::Min, &[Value::Str("b".into()), Value::Str("a".into())]),
+            Value::Str("a".into())
+        );
+    }
+
+    #[test]
+    fn avg_matches_hand_calc() {
+        assert_eq!(
+            run(AggFunc::Avg, &[Value::Int(1), Value::Int(2), Value::Int(6)]),
+            Value::Float(3.0)
+        );
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            let vals: Vec<Value> = (0..10).map(|i| Value::Int(i * 7 % 13)).collect();
+            let mut whole = func.accumulator();
+            for v in &vals {
+                whole.update(v).unwrap();
+            }
+            let mut left = func.accumulator();
+            let mut right = func.accumulator();
+            for v in &vals[..4] {
+                left.update(v).unwrap();
+            }
+            for v in &vals[4..] {
+                right.update(v).unwrap();
+            }
+            left.merge(&right).unwrap();
+            assert_eq!(left.finish(), whole.finish(), "{func:?}");
+        }
+    }
+
+    #[test]
+    fn sum_overflow_is_an_error() {
+        let mut acc = AggFunc::Sum.accumulator();
+        acc.update(&Value::Int(i64::MAX)).unwrap();
+        assert!(acc.update(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for f in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            assert_eq!(AggFunc::from_name(f.name()), Some(f));
+        }
+        assert_eq!(AggFunc::from_name("sum"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+}

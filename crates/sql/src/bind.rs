@@ -1,0 +1,408 @@
+//! Name resolution: turn parsed expressions into index-addressed
+//! [`BoundExpr`]s ready for evaluation against rows of a known
+//! [`Schema`].
+
+use crate::agg::AggFunc;
+use crate::ast::{BinOp, Expr, Func, SelectItem, SelectStmt, UnOp};
+use pushdown_common::{DataType, Error, Field, Result, Schema, Value};
+
+/// An expression with column references resolved to row indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    Literal(Value),
+    /// Row index plus the column's declared type.
+    Column(usize, DataType),
+    Unary {
+        op: UnOp,
+        expr: Box<BoundExpr>,
+    },
+    Binary {
+        left: Box<BoundExpr>,
+        op: BinOp,
+        right: Box<BoundExpr>,
+    },
+    Between {
+        expr: Box<BoundExpr>,
+        low: Box<BoundExpr>,
+        high: Box<BoundExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<BoundExpr>,
+        list: Vec<BoundExpr>,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<BoundExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<BoundExpr>,
+        pattern: Box<BoundExpr>,
+        negated: bool,
+    },
+    Case {
+        branches: Vec<(BoundExpr, BoundExpr)>,
+        else_expr: Option<Box<BoundExpr>>,
+    },
+    Cast {
+        expr: Box<BoundExpr>,
+        dtype: DataType,
+    },
+    Call {
+        func: Func,
+        args: Vec<BoundExpr>,
+    },
+}
+
+impl BoundExpr {
+    /// Best-effort output type (used to construct output schemas; the
+    /// engine is dynamically typed so this is advisory, defaulting to
+    /// `Str` when unknown).
+    pub fn infer_type(&self) -> DataType {
+        match self {
+            BoundExpr::Literal(v) => v.data_type().unwrap_or(DataType::Str),
+            BoundExpr::Column(_, dt) => *dt,
+            BoundExpr::Unary { op, expr } => match op {
+                UnOp::Neg => expr.infer_type(),
+                UnOp::Not => DataType::Bool,
+            },
+            BoundExpr::Binary { left, op, right } => {
+                if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
+                    DataType::Bool
+                } else if left.infer_type() == DataType::Int
+                    && right.infer_type() == DataType::Int
+                {
+                    DataType::Int
+                } else {
+                    DataType::Float
+                }
+            }
+            BoundExpr::Between { .. }
+            | BoundExpr::InList { .. }
+            | BoundExpr::IsNull { .. }
+            | BoundExpr::Like { .. } => DataType::Bool,
+            BoundExpr::Case { branches, else_expr } => branches
+                .first()
+                .map(|(_, v)| v.infer_type())
+                .or_else(|| else_expr.as_ref().map(|e| e.infer_type()))
+                .unwrap_or(DataType::Str),
+            BoundExpr::Cast { dtype, .. } => *dtype,
+            BoundExpr::Call { func, .. } => match func {
+                Func::Substring | Func::Lower | Func::Upper | Func::Trim => DataType::Str,
+                Func::CharLength | Func::BitAt => DataType::Int,
+                Func::Abs => DataType::Float,
+            },
+        }
+    }
+}
+
+/// One bound projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundItem {
+    /// A scalar output column.
+    Expr { expr: BoundExpr, name: String },
+    /// An aggregate output column (`arg` is `None` for `COUNT(*)`).
+    Agg {
+        func: AggFunc,
+        arg: Option<BoundExpr>,
+        name: String,
+    },
+}
+
+/// A fully bound SELECT, ready for the execution engine.
+#[derive(Debug, Clone)]
+pub struct BoundSelect {
+    pub items: Vec<BoundItem>,
+    pub where_clause: Option<BoundExpr>,
+    pub limit: Option<u64>,
+    /// Schema of the result rows.
+    pub output_schema: Schema,
+    /// True if the query aggregates (then it returns exactly one row).
+    pub is_aggregate: bool,
+}
+
+/// Binds expressions against a schema.
+pub struct Binder<'a> {
+    schema: &'a Schema,
+}
+
+impl<'a> Binder<'a> {
+    pub fn new(schema: &'a Schema) -> Self {
+        Binder { schema }
+    }
+
+    /// Resolve a column name. Supports the S3 Select positional form
+    /// `_N` (1-based) used when CSV objects carry no header row.
+    fn resolve_column(&self, name: &str) -> Result<(usize, DataType)> {
+        if let Some(rest) = name.strip_prefix('_') {
+            if let Ok(pos) = rest.parse::<usize>() {
+                if pos >= 1 && pos <= self.schema.len() && self.schema.index_of(name).is_none() {
+                    return Ok((pos - 1, self.schema.dtype_of(pos - 1)));
+                }
+            }
+        }
+        let idx = self.schema.resolve(name)?;
+        Ok((idx, self.schema.dtype_of(idx)))
+    }
+
+    /// Bind one expression.
+    pub fn bind_expr(&self, expr: &Expr) -> Result<BoundExpr> {
+        Ok(match expr {
+            Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+            Expr::Column(name) => {
+                let (idx, dt) = self.resolve_column(name)?;
+                BoundExpr::Column(idx, dt)
+            }
+            Expr::Unary { op, expr } => BoundExpr::Unary {
+                op: *op,
+                expr: Box::new(self.bind_expr(expr)?),
+            },
+            Expr::Binary { left, op, right } => BoundExpr::Binary {
+                left: Box::new(self.bind_expr(left)?),
+                op: *op,
+                right: Box::new(self.bind_expr(right)?),
+            },
+            Expr::Between { expr, low, high, negated } => BoundExpr::Between {
+                expr: Box::new(self.bind_expr(expr)?),
+                low: Box::new(self.bind_expr(low)?),
+                high: Box::new(self.bind_expr(high)?),
+                negated: *negated,
+            },
+            Expr::InList { expr, list, negated } => BoundExpr::InList {
+                expr: Box::new(self.bind_expr(expr)?),
+                list: list.iter().map(|e| self.bind_expr(e)).collect::<Result<_>>()?,
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(self.bind_expr(expr)?),
+                negated: *negated,
+            },
+            Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+                expr: Box::new(self.bind_expr(expr)?),
+                pattern: Box::new(self.bind_expr(pattern)?),
+                negated: *negated,
+            },
+            Expr::Case { branches, else_expr } => BoundExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, v)| Ok((self.bind_expr(c)?, self.bind_expr(v)?)))
+                    .collect::<Result<_>>()?,
+                else_expr: match else_expr {
+                    Some(e) => Some(Box::new(self.bind_expr(e)?)),
+                    None => None,
+                },
+            },
+            Expr::Cast { expr, dtype } => BoundExpr::Cast {
+                expr: Box::new(self.bind_expr(expr)?),
+                dtype: *dtype,
+            },
+            Expr::Call { func, args } => {
+                let arity_ok = match func {
+                    Func::Substring => (2..=3).contains(&args.len()),
+                    Func::BitAt => args.len() == 2,
+                    Func::Lower | Func::Upper | Func::Abs | Func::CharLength | Func::Trim => {
+                        args.len() == 1
+                    }
+                };
+                if !arity_ok {
+                    return Err(Error::Bind(format!(
+                        "wrong number of arguments to {}",
+                        func.name()
+                    )));
+                }
+                BoundExpr::Call {
+                    func: *func,
+                    args: args.iter().map(|e| self.bind_expr(e)).collect::<Result<_>>()?,
+                }
+            }
+        })
+    }
+
+    /// Bind a whole statement: expands `*`, enforces the dialect's
+    /// aggregate rules (all-or-nothing projection, no group-by), and
+    /// produces the output schema.
+    pub fn bind_select(&self, stmt: &SelectStmt) -> Result<BoundSelect> {
+        let has_agg = stmt.is_aggregate();
+        let has_wildcard = stmt.items.iter().any(|i| matches!(i, SelectItem::Wildcard));
+        if has_wildcard && stmt.items.len() > 1 {
+            return Err(Error::Bind(
+                "`*` cannot be combined with other projection items".into(),
+            ));
+        }
+        if has_agg && has_wildcard {
+            return Err(Error::Bind("`*` cannot be combined with aggregates".into()));
+        }
+
+        let mut items = Vec::new();
+        let mut fields = Vec::new();
+
+        for (i, item) in stmt.items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    for (idx, f) in self.schema.fields().iter().enumerate() {
+                        items.push(BoundItem::Expr {
+                            expr: BoundExpr::Column(idx, f.dtype),
+                            name: f.name.clone(),
+                        });
+                        fields.push(f.clone());
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    if has_agg {
+                        return Err(Error::Bind(format!(
+                            "cannot mix scalar expression `{expr}` with aggregates \
+                             (S3 Select has no GROUP BY)"
+                        )));
+                    }
+                    let bound = self.bind_expr(expr)?;
+                    let name = alias.clone().unwrap_or_else(|| match expr {
+                        Expr::Column(n) => n.clone(),
+                        _ => format!("_{}", i + 1),
+                    });
+                    fields.push(Field::new(name.clone(), bound.infer_type()));
+                    items.push(BoundItem::Expr { expr: bound, name });
+                }
+                SelectItem::Agg { func, arg, alias } => {
+                    let bound_arg = match arg {
+                        Some(e) => Some(self.bind_expr(e)?),
+                        None => None,
+                    };
+                    let name = alias.clone().unwrap_or_else(|| format!("_{}", i + 1));
+                    let dtype = match func {
+                        AggFunc::Count => DataType::Int,
+                        AggFunc::Avg => DataType::Float,
+                        AggFunc::Sum | AggFunc::Min | AggFunc::Max => bound_arg
+                            .as_ref()
+                            .map(|e| e.infer_type())
+                            .unwrap_or(DataType::Float),
+                    };
+                    fields.push(Field::new(name.clone(), dtype));
+                    items.push(BoundItem::Agg { func: *func, arg: bound_arg, name });
+                }
+            }
+        }
+
+        let where_clause = match &stmt.where_clause {
+            Some(w) => Some(self.bind_expr(w)?),
+            None => None,
+        };
+
+        Ok(BoundSelect {
+            items,
+            where_clause,
+            limit: stmt.limit,
+            output_schema: Schema::new(fields),
+            is_aggregate: has_agg,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_select};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("c_custkey", DataType::Int),
+            ("c_name", DataType::Str),
+            ("c_acctbal", DataType::Float),
+            ("c_date", DataType::Date),
+        ])
+    }
+
+    fn bind(sql: &str) -> Result<BoundExpr> {
+        let s = schema();
+        Binder::new(&s).bind_expr(&parse_expr(sql)?)
+    }
+
+    #[test]
+    fn binds_columns_case_insensitively() {
+        match bind("C_ACCTBAL").unwrap() {
+            BoundExpr::Column(2, DataType::Float) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn positional_columns() {
+        match bind("_1").unwrap() {
+            BoundExpr::Column(0, DataType::Int) => {}
+            other => panic!("{other:?}"),
+        }
+        match bind("_4").unwrap() {
+            BoundExpr::Column(3, DataType::Date) => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(bind("_5").is_err());
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let err = bind("no_such_col + 1").unwrap_err();
+        assert_eq!(err.code(), "BindError");
+    }
+
+    #[test]
+    fn type_inference() {
+        assert_eq!(bind("c_custkey + 1").unwrap().infer_type(), DataType::Int);
+        assert_eq!(bind("c_custkey + 0.5").unwrap().infer_type(), DataType::Float);
+        assert_eq!(bind("c_acctbal <= -950").unwrap().infer_type(), DataType::Bool);
+        assert_eq!(bind("CAST(c_custkey AS STRING)").unwrap().infer_type(), DataType::Str);
+        assert_eq!(bind("CHAR_LENGTH(c_name)").unwrap().infer_type(), DataType::Int);
+    }
+
+    #[test]
+    fn bind_select_star_expands() {
+        let s = schema();
+        let stmt = parse_select("SELECT * FROM S3Object").unwrap();
+        let b = Binder::new(&s).bind_select(&stmt).unwrap();
+        assert_eq!(b.output_schema, s);
+        assert_eq!(b.items.len(), 4);
+        assert!(!b.is_aggregate);
+    }
+
+    #[test]
+    fn bind_select_aggregates() {
+        let s = schema();
+        let stmt =
+            parse_select("SELECT SUM(c_acctbal), COUNT(*) AS n FROM S3Object WHERE c_custkey < 10")
+                .unwrap();
+        let b = Binder::new(&s).bind_select(&stmt).unwrap();
+        assert!(b.is_aggregate);
+        assert_eq!(b.output_schema.names(), vec!["_1", "n"]);
+        assert_eq!(b.output_schema.dtype_of(0), DataType::Float);
+        assert_eq!(b.output_schema.dtype_of(1), DataType::Int);
+    }
+
+    #[test]
+    fn mixing_scalars_and_aggregates_rejected() {
+        let s = schema();
+        let stmt = parse_select("SELECT c_custkey, SUM(c_acctbal) FROM S3Object").unwrap();
+        assert!(Binder::new(&s).bind_select(&stmt).is_err());
+    }
+
+    #[test]
+    fn wildcard_with_other_items_rejected() {
+        let s = schema();
+        let stmt = parse_select("SELECT *, c_custkey FROM S3Object").unwrap();
+        assert!(Binder::new(&s).bind_select(&stmt).is_err());
+    }
+
+    #[test]
+    fn substring_arity_checked() {
+        assert!(bind("SUBSTRING(c_name, 1, 2)").is_ok());
+        assert!(bind("SUBSTRING(c_name, 1)").is_ok());
+        assert!(bind("SUBSTRING(c_name)").is_err());
+        assert!(bind("LOWER(c_name, c_name)").is_err());
+    }
+
+    #[test]
+    fn output_names_default_to_positions() {
+        let s = schema();
+        let stmt = parse_select("SELECT c_custkey + 1, c_name FROM S3Object").unwrap();
+        let b = Binder::new(&s).bind_select(&stmt).unwrap();
+        assert_eq!(b.output_schema.names(), vec!["_1", "c_name"]);
+    }
+}

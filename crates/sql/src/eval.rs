@@ -1,0 +1,512 @@
+//! Expression evaluation with SQL three-valued logic.
+//!
+//! The same interpreter serves both the simulated S3 Select engine and
+//! PushdownDB's server-side operators, which guarantees that a pushed-down
+//! predicate and its local equivalent agree — property tests in the
+//! `select` crate rely on this.
+
+use crate::ast::{BinOp, Func, UnOp};
+use crate::bind::BoundExpr;
+use pushdown_common::{Error, Result, Row, Value};
+use std::cmp::Ordering;
+
+/// Evaluate a bound expression against one row.
+pub fn eval(expr: &BoundExpr, row: &Row) -> Result<Value> {
+    match expr {
+        BoundExpr::Literal(v) => Ok(v.clone()),
+        BoundExpr::Column(idx, _) => Ok(row[*idx].clone()),
+        BoundExpr::Unary { op, expr } => {
+            let v = eval(expr, row)?;
+            match op {
+                UnOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(i.checked_neg().ok_or_else(|| {
+                        Error::Eval("integer overflow in negation".into())
+                    })?)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(Error::Eval(format!("cannot negate {}", other.type_name()))),
+                },
+                UnOp::Not => match v.as_bool()? {
+                    None => Ok(Value::Null),
+                    Some(b) => Ok(Value::Bool(!b)),
+                },
+            }
+        }
+        BoundExpr::Binary { left, op, right } => eval_binary(left, *op, right, row),
+        BoundExpr::Between { expr, low, high, negated } => {
+            let v = eval(expr, row)?;
+            let lo = eval(low, row)?;
+            let hi = eval(high, row)?;
+            let ge_low = compare(&v, &lo).map(|o| o != Ordering::Less);
+            let le_high = compare(&v, &hi).map(|o| o != Ordering::Greater);
+            let result = kleene_and(ge_low, le_high);
+            Ok(maybe_negate(result, *negated))
+        }
+        BoundExpr::InList { expr, list, negated } => {
+            let v = eval(expr, row)?;
+            let mut saw_null = false;
+            let mut found = false;
+            for item in list {
+                let iv = eval(item, row)?;
+                match v.sql_eq(&iv) {
+                    Some(true) => {
+                        found = true;
+                        break;
+                    }
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            let result = if found {
+                Some(true)
+            } else if saw_null {
+                None
+            } else {
+                Some(false)
+            };
+            Ok(maybe_negate(result, *negated))
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let v = eval(expr, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        BoundExpr::Like { expr, pattern, negated } => {
+            let v = eval(expr, row)?;
+            let p = eval(pattern, row)?;
+            if v.is_null() || p.is_null() {
+                return Ok(Value::Null);
+            }
+            let matched = like_match(v.as_str()?, p.as_str()?);
+            Ok(Value::Bool(matched != *negated))
+        }
+        BoundExpr::Case { branches, else_expr } => {
+            for (cond, val) in branches {
+                if eval(cond, row)?.as_bool()? == Some(true) {
+                    return eval(val, row);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(e, row),
+                None => Ok(Value::Null),
+            }
+        }
+        BoundExpr::Cast { expr, dtype } => eval(expr, row)?.cast(*dtype),
+        BoundExpr::Call { func, args } => eval_call(*func, args, row),
+    }
+}
+
+/// Evaluate a predicate expression to a plain pass/fail decision
+/// (`NULL` ⇒ the row does not pass, as in SQL `WHERE`).
+pub fn eval_predicate(expr: &BoundExpr, row: &Row) -> Result<bool> {
+    Ok(eval(expr, row)?.as_bool()? == Some(true))
+}
+
+fn eval_binary(left: &BoundExpr, op: BinOp, right: &BoundExpr, row: &Row) -> Result<Value> {
+    // AND/OR need Kleene short-circuit semantics, handled first.
+    match op {
+        BinOp::And => {
+            let l = eval(left, row)?.as_bool()?;
+            if l == Some(false) {
+                return Ok(Value::Bool(false));
+            }
+            let r = eval(right, row)?.as_bool()?;
+            return Ok(tristate(kleene_and(l, r)));
+        }
+        BinOp::Or => {
+            let l = eval(left, row)?.as_bool()?;
+            if l == Some(true) {
+                return Ok(Value::Bool(true));
+            }
+            let r = eval(right, row)?.as_bool()?;
+            return Ok(tristate(kleene_or(l, r)));
+        }
+        _ => {}
+    }
+
+    let l = eval(left, row)?;
+    let r = eval(right, row)?;
+    if op.is_comparison() {
+        let result = compare(&l, &r).map(|ord| match op {
+            BinOp::Eq => ord == Ordering::Equal,
+            BinOp::NotEq => ord != Ordering::Equal,
+            BinOp::Lt => ord == Ordering::Less,
+            BinOp::LtEq => ord != Ordering::Greater,
+            BinOp::Gt => ord == Ordering::Greater,
+            BinOp::GtEq => ord != Ordering::Less,
+            _ => unreachable!(),
+        });
+        return Ok(tristate(result));
+    }
+
+    // Arithmetic: NULL propagates.
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    arith(&l, op, &r)
+}
+
+/// SQL comparison. Returns `None` if either side is NULL. Incomparable
+/// types are an evaluation error rather than silent NULL — S3 Select
+/// surfaces a cast error in that situation, which we mirror.
+fn compare(l: &Value, r: &Value) -> Option<Ordering> {
+    l.sql_cmp(r)
+}
+
+fn arith(l: &Value, op: BinOp, r: &Value) -> Result<Value> {
+    // Integer × integer stays integral (SQL semantics: `/` truncates).
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        let (a, b) = (*a, *b);
+        let out = match op {
+            BinOp::Add => a.checked_add(b),
+            BinOp::Sub => a.checked_sub(b),
+            BinOp::Mul => a.checked_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return Err(Error::Eval("division by zero".into()));
+                }
+                a.checked_div(b)
+            }
+            BinOp::Mod => {
+                if b == 0 {
+                    return Err(Error::Eval("modulo by zero".into()));
+                }
+                a.checked_rem(b)
+            }
+            _ => unreachable!(),
+        };
+        return out
+            .map(Value::Int)
+            .ok_or_else(|| Error::Eval("integer overflow".into()));
+    }
+    let a = l.as_f64()?;
+    let b = r.as_f64()?;
+    let out = match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => {
+            if b == 0.0 {
+                return Err(Error::Eval("division by zero".into()));
+            }
+            a / b
+        }
+        BinOp::Mod => {
+            if b == 0.0 {
+                return Err(Error::Eval("modulo by zero".into()));
+            }
+            a % b
+        }
+        _ => unreachable!(),
+    };
+    Ok(Value::Float(out))
+}
+
+fn eval_call(func: Func, args: &[BoundExpr], row: &Row) -> Result<Value> {
+    let vals: Vec<Value> = args.iter().map(|a| eval(a, row)).collect::<Result<_>>()?;
+    if vals.iter().any(Value::is_null) {
+        return Ok(Value::Null);
+    }
+    match func {
+        Func::Substring => {
+            let s = vals[0].as_str()?;
+            let start = vals[1].as_i64()?;
+            let len = if vals.len() == 3 {
+                let l = vals[2].as_i64()?;
+                if l < 0 {
+                    return Err(Error::Eval("negative SUBSTRING length".into()));
+                }
+                Some(l)
+            } else {
+                None
+            };
+            Ok(Value::Str(substring(s, start, len)))
+        }
+        Func::BitAt => {
+            let hex = vals[0].as_str()?;
+            let pos = vals[1].as_i64()?;
+            if pos < 1 || pos > hex.len() as i64 * 4 {
+                return Err(Error::Eval(format!(
+                    "BIT_AT position {pos} outside bit array of {} bits",
+                    hex.len() * 4
+                )));
+            }
+            let idx = (pos - 1) as usize;
+            let c = hex.as_bytes()[idx / 4];
+            let nibble = (c as char).to_digit(16).ok_or_else(|| {
+                Error::Eval(format!("BIT_AT: `{}` is not a hex digit", c as char))
+            })?;
+            // Bit 0 of the nibble is its most significant bit, so a bit
+            // array reads left-to-right like the '0'/'1' string encoding.
+            let bit = (nibble >> (3 - (idx % 4))) & 1;
+            Ok(Value::Int(bit as i64))
+        }
+        Func::Lower => Ok(Value::Str(vals[0].as_str()?.to_lowercase())),
+        Func::Upper => Ok(Value::Str(vals[0].as_str()?.to_uppercase())),
+        Func::Trim => Ok(Value::Str(vals[0].as_str()?.trim().to_string())),
+        Func::CharLength => Ok(Value::Int(vals[0].as_str()?.chars().count() as i64)),
+        Func::Abs => match &vals[0] {
+            Value::Int(i) => Ok(Value::Int(i.checked_abs().ok_or_else(|| {
+                Error::Eval("integer overflow in ABS".into())
+            })?)),
+            Value::Float(f) => Ok(Value::Float(f.abs())),
+            other => Err(Error::Eval(format!("ABS of {}", other.type_name()))),
+        },
+    }
+}
+
+/// SQL `SUBSTRING(s, start [, len])` with 1-based indexing. A start before
+/// position 1 consumes length before the string begins (standard SQL).
+fn substring(s: &str, start: i64, len: Option<i64>) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    let n = chars.len() as i64;
+    let (from, to) = match len {
+        Some(l) => (start, start.saturating_add(l)),
+        None => (start, n + 1),
+    };
+    let from = from.max(1);
+    let to = to.clamp(1, n + 1);
+    if from >= to {
+        return String::new();
+    }
+    chars[(from - 1) as usize..(to - 1) as usize].iter().collect()
+}
+
+/// SQL LIKE: `%` matches any run (including empty), `_` matches exactly one
+/// character. Implemented with the classic two-pointer glob algorithm.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let (mut star_p, mut star_t) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star_p = pi;
+            star_t = ti;
+            pi += 1;
+        } else if star_p != usize::MAX {
+            pi = star_p + 1;
+            star_t += 1;
+            ti = star_t;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn kleene_and(l: Option<bool>, r: Option<bool>) -> Option<bool> {
+    match (l, r) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+fn kleene_or(l: Option<bool>, r: Option<bool>) -> Option<bool> {
+    match (l, r) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+fn tristate(b: Option<bool>) -> Value {
+    match b {
+        Some(v) => Value::Bool(v),
+        None => Value::Null,
+    }
+}
+
+fn maybe_negate(b: Option<bool>, negated: bool) -> Value {
+    match b {
+        Some(v) => Value::Bool(v != negated),
+        None => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::Binder;
+    use crate::parser::parse_expr;
+    use pushdown_common::{DataType, Schema};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("i", DataType::Int),
+            ("f", DataType::Float),
+            ("s", DataType::Str),
+            ("d", DataType::Date),
+            ("n", DataType::Int), // always NULL in the test row
+        ])
+    }
+
+    fn row() -> Row {
+        Row::new(vec![
+            Value::Int(7),
+            Value::Float(2.5),
+            Value::Str("hello".into()),
+            Value::Date(pushdown_common::date::ymd(1994, 6, 15)),
+            Value::Null,
+        ])
+    }
+
+    fn run(src: &str) -> Result<Value> {
+        let s = schema();
+        let e = Binder::new(&s).bind_expr(&parse_expr(src).unwrap())?;
+        eval(&e, &row())
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run("i + 1").unwrap(), Value::Int(8));
+        assert_eq!(run("i * 2 - 3").unwrap(), Value::Int(11));
+        assert_eq!(run("i / 2").unwrap(), Value::Int(3)); // truncating
+        assert_eq!(run("i % 4").unwrap(), Value::Int(3));
+        assert_eq!(run("f * 2").unwrap(), Value::Float(5.0));
+        assert_eq!(run("i + f").unwrap(), Value::Float(9.5));
+        assert_eq!(run("-i").unwrap(), Value::Int(-7));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert!(run("i / 0").is_err());
+        assert!(run("i % 0").is_err());
+        assert!(run("f / 0.0").is_err());
+    }
+
+    #[test]
+    fn null_propagation_in_arithmetic() {
+        assert_eq!(run("n + 1").unwrap(), Value::Null);
+        assert_eq!(run("-n").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn comparisons_and_three_valued_logic() {
+        assert_eq!(run("i = 7").unwrap(), Value::Bool(true));
+        assert_eq!(run("i <> 7").unwrap(), Value::Bool(false));
+        assert_eq!(run("n = 1").unwrap(), Value::Null);
+        // NULL AND FALSE = FALSE; NULL OR TRUE = TRUE (Kleene).
+        assert_eq!(run("n = 1 AND i = 0").unwrap(), Value::Bool(false));
+        assert_eq!(run("n = 1 OR i = 7").unwrap(), Value::Bool(true));
+        assert_eq!(run("n = 1 AND i = 7").unwrap(), Value::Null);
+        assert_eq!(run("NOT (n = 1)").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn between_and_in() {
+        assert_eq!(run("i BETWEEN 5 AND 10").unwrap(), Value::Bool(true));
+        assert_eq!(run("i NOT BETWEEN 5 AND 10").unwrap(), Value::Bool(false));
+        assert_eq!(run("i BETWEEN 8 AND 10").unwrap(), Value::Bool(false));
+        assert_eq!(run("i IN (1, 7, 9)").unwrap(), Value::Bool(true));
+        assert_eq!(run("i NOT IN (1, 9)").unwrap(), Value::Bool(true));
+        // Unknown from NULL list element when no match is found.
+        assert_eq!(run("i IN (1, n)").unwrap(), Value::Null);
+        assert_eq!(run("i IN (7, n)").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn is_null() {
+        assert_eq!(run("n IS NULL").unwrap(), Value::Bool(true));
+        assert_eq!(run("i IS NULL").unwrap(), Value::Bool(false));
+        assert_eq!(run("i IS NOT NULL").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "hello"));
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "%ell%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(!like_match("hello", "h_"));
+        assert!(!like_match("hello", "x%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        // TPC-H Q14-style pattern.
+        assert!(like_match("PROMO BURNISHED COPPER", "PROMO%"));
+        assert_eq!(run("s LIKE 'h%o'").unwrap(), Value::Bool(true));
+        assert_eq!(run("s NOT LIKE 'x%'").unwrap(), Value::Bool(true));
+        assert_eq!(run("n IS NULL AND s LIKE '%'").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn case_expressions() {
+        assert_eq!(
+            run("CASE WHEN i = 7 THEN 'seven' ELSE 'other' END").unwrap(),
+            Value::Str("seven".into())
+        );
+        assert_eq!(
+            run("CASE WHEN i = 8 THEN 'eight' END").unwrap(),
+            Value::Null
+        );
+        // The paper's group-by rewrite shape (Listing 4).
+        assert_eq!(
+            run("CASE WHEN i = 7 THEN f ELSE 0 END").unwrap(),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn substring_is_one_based() {
+        assert_eq!(run("SUBSTRING(s, 1, 1)").unwrap(), Value::Str("h".into()));
+        assert_eq!(run("SUBSTRING(s, 2, 3)").unwrap(), Value::Str("ell".into()));
+        assert_eq!(run("SUBSTRING(s, 4)").unwrap(), Value::Str("lo".into()));
+        // Out-of-range behaviour.
+        assert_eq!(run("SUBSTRING(s, 10, 5)").unwrap(), Value::Str("".into()));
+        assert_eq!(run("SUBSTRING(s, 0, 2)").unwrap(), Value::Str("h".into()));
+        assert_eq!(run("SUBSTRING(s, -3, 5)").unwrap(), Value::Str("h".into()));
+        assert!(run("SUBSTRING(s, 1, -1)").is_err());
+    }
+
+    #[test]
+    fn bloom_probe_expression_shape() {
+        // The exact shape from paper Listing 1, small scale: bit array of
+        // length 8, hash ((3*x + 1) % 11) % 8 + 1.
+        let src = "SUBSTRING('10010110', ((3 * CAST(i AS INT) + 1) % 11) % 8 + 1, 1) = '1'";
+        // i = 7 -> ((21+1)%11)%8 = 0 -> position 1 -> '1'.
+        assert_eq!(run(src).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        assert_eq!(run("UPPER(s)").unwrap(), Value::Str("HELLO".into()));
+        assert_eq!(run("LOWER('ABC')").unwrap(), Value::Str("abc".into()));
+        assert_eq!(run("CHAR_LENGTH(s)").unwrap(), Value::Int(5));
+        assert_eq!(run("ABS(-3)").unwrap(), Value::Int(3));
+        assert_eq!(run("ABS(0.0 - f)").unwrap(), Value::Float(2.5));
+        assert_eq!(run("TRIM('  x ')").unwrap(), Value::Str("x".into()));
+        assert!(run("SUBSTRING(n, 1, 1)").is_ok());
+        assert_eq!(run("UPPER(n)").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn date_comparisons() {
+        assert_eq!(run("d < DATE '1995-01-01'").unwrap(), Value::Bool(true));
+        assert_eq!(run("d >= DATE '1994-06-15'").unwrap(), Value::Bool(true));
+        assert_eq!(run("d = '1994-06-15'").unwrap(), Value::Bool(true));
+        assert_eq!(run("d BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn eval_predicate_null_fails_row() {
+        let s = schema();
+        let e = Binder::new(&s)
+            .bind_expr(&parse_expr("n = 1").unwrap())
+            .unwrap();
+        assert!(!eval_predicate(&e, &row()).unwrap());
+    }
+
+    #[test]
+    fn overflow_errors() {
+        assert!(run(&format!("{} + 1", i64::MAX)).is_err());
+        assert!(run(&format!("{} * 2", i64::MAX)).is_err());
+    }
+}

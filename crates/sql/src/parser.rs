@@ -1,0 +1,754 @@
+//! Recursive-descent parser for the S3 Select dialect.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! select    := SELECT item (',' item)* FROM ident [alias]
+//!              [WHERE expr] [LIMIT int]
+//! item      := '*' | AGG '(' ('*' | expr) ')' [[AS] ident]
+//!            | expr [[AS] ident]
+//! expr      := or-precedence expression over the operators in ast::BinOp,
+//!              plus NOT / IS NULL / BETWEEN / IN / LIKE / CASE / CAST /
+//!              scalar functions
+//! ```
+//!
+//! Three dialects share this parser:
+//!
+//! * [`parse_select`] — the **S3 Select** dialect: `GROUP BY` and
+//!   `ORDER BY` are recognized and rejected with a clear error, because
+//!   the whole point of the paper is that S3 Select does not support them
+//!   (§II-A), forcing the decompositions PushdownDB implements;
+//! * [`parse_select_extended`] — the §X-Suggestion-4 what-if dialect,
+//!   which additionally accepts `GROUP BY`;
+//! * [`parse_query`] — PushdownDB's own *client* dialect (§III), which
+//!   accepts `GROUP BY` and `ORDER BY` for the planner to decompose.
+
+use crate::agg::AggFunc;
+use crate::ast::{BinOp, Expr, Func, SelectItem, SelectStmt, UnOp};
+use crate::lexer::{tokenize, Token, TokenKind};
+use pushdown_common::{date, DataType, Error, Result, Value};
+
+/// Parse a full `SELECT` statement.
+pub fn parse_select(input: &str) -> Result<SelectStmt> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser::new(tokens);
+    let stmt = p.select()?;
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a standalone expression (used by tests and by PushdownDB's local
+/// filter operators).
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser::new(tokens);
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Parse a `SELECT` allowing the **partial group-by extension** of paper
+/// §X Suggestion 4 (`GROUP BY col [, col]*`). The standard
+/// [`parse_select`] keeps rejecting it, like real S3 Select.
+pub fn parse_select_extended(input: &str) -> Result<crate::ast::ExtendedSelect> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser::new(tokens);
+    p.allow_group_by = true;
+    let stmt = p.select()?;
+    p.expect_eof()?;
+    Ok(crate::ast::ExtendedSelect { select: stmt, group_by: p.group_by })
+}
+
+/// Parse PushdownDB's *client* dialect: single-table SELECT with
+/// optional WHERE / GROUP BY / ORDER BY / LIMIT. This is the query
+/// language of the paper's own testbed (§III); the planner decides which
+/// fragments ship to S3.
+pub fn parse_query(input: &str) -> Result<crate::ast::QuerySpec> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser::new(tokens);
+    p.allow_group_by = true;
+    p.allow_order_by = true;
+    let stmt = p.select()?;
+    p.expect_eof()?;
+    Ok(crate::ast::QuerySpec { select: stmt, group_by: p.group_by, order_by: p.order_by })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    /// Accept `GROUP BY` (the Suggestion-4 extension dialect).
+    allow_group_by: bool,
+    /// Grouping columns collected when the extension dialect is active.
+    group_by: Vec<String>,
+    /// Accept `ORDER BY` (the client dialect only).
+    allow_order_by: bool,
+    /// Sort spec collected when the client dialect is active.
+    order_by: Option<crate::ast::OrderBy>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            allow_group_by: false,
+            group_by: Vec::new(),
+            allow_order_by: false,
+            order_by: None,
+        }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn error(&self, msg: impl Into<String>) -> Error {
+        Error::Parse(format!("{} at offset {}", msg.into(), self.offset()))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(k) if *k == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{kw}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected trailing input {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.advance() {
+            TokenKind::Ident(s) => Ok(s),
+            TokenKind::QuotedIdent(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ---- statement ----
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("SELECT")?;
+        let mut items = vec![self.select_item()?];
+        while self.eat(&TokenKind::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let _table = self.ident()?; // conventionally `S3Object`
+        // Optional dotted suffixes like S3Object.something are not in the
+        // dialect; an optional alias identifier may follow.
+        let alias = match self.peek() {
+            TokenKind::Ident(_) | TokenKind::QuotedIdent(_) => Some(self.ident()?),
+            _ => None,
+        };
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        if self.eat_keyword("GROUP") {
+            if !self.allow_group_by {
+                return Err(Error::SelectRejected(
+                    "GROUP BY is not supported by S3 Select".into(),
+                ));
+            }
+            self.expect_keyword("BY")?;
+            let first = self.ident()?;
+            self.group_by.push(first);
+            while self.eat(&TokenKind::Comma) {
+                let next = self.ident()?;
+                self.group_by.push(next);
+            }
+        }
+        if self.eat_keyword("ORDER") {
+            if !self.allow_order_by {
+                return Err(Error::SelectRejected(
+                    "ORDER BY is not supported by S3 Select".into(),
+                ));
+            }
+            self.expect_keyword("BY")?;
+            let column = self.ident()?;
+            // ASC/DESC are not reserved words; they lex as identifiers.
+            let asc = match self.peek() {
+                TokenKind::Ident(d) if d.eq_ignore_ascii_case("desc") => {
+                    self.advance();
+                    false
+                }
+                TokenKind::Ident(d) if d.eq_ignore_ascii_case("asc") => {
+                    self.advance();
+                    true
+                }
+                _ => true,
+            };
+            self.order_by = Some(crate::ast::OrderBy { column, asc });
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.advance() {
+                TokenKind::Int(n) if n >= 0 => Some(n as u64),
+                other => return Err(self.error(format!("expected LIMIT count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt { items, alias, where_clause, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Aggregate call? Only valid at the top level of a select item.
+        if let TokenKind::Ident(name) = self.peek() {
+            if let Some(func) = AggFunc::from_name(name) {
+                if matches!(self.peek2(), TokenKind::LParen) {
+                    self.advance(); // name
+                    self.advance(); // (
+                    let arg = if self.eat(&TokenKind::Star) {
+                        if func != AggFunc::Count {
+                            return Err(self.error("`*` argument is only valid for COUNT"));
+                        }
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect(&TokenKind::RParen)?;
+                    let alias = self.maybe_alias()?;
+                    return Ok(SelectItem::Agg { func, arg, alias });
+                }
+            }
+        }
+        let expr = self.expr()?;
+        let alias = self.maybe_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn maybe_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_keyword("AS") {
+            return Ok(Some(self.ident()?));
+        }
+        match self.peek() {
+            TokenKind::Ident(_) | TokenKind::QuotedIdent(_) => Ok(Some(self.ident()?)),
+            _ => Ok(None),
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::binary(left, BinOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::binary(left, BinOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) });
+        }
+        self.predicate()
+    }
+
+    /// Comparison and the SQL predicate suffixes (IS NULL, BETWEEN, IN,
+    /// LIKE). These do not chain: `a < b < c` is rejected, like SQL.
+    fn predicate(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        let negated = if matches!(self.peek(), TokenKind::Keyword("NOT"))
+            && matches!(
+                self.peek2(),
+                TokenKind::Keyword("BETWEEN") | TokenKind::Keyword("IN") | TokenKind::Keyword("LIKE")
+            ) {
+            self.advance();
+            true
+        } else {
+            false
+        };
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("IN") {
+            self.expect(&TokenKind::LParen)?;
+            let mut list = vec![self.expr()?];
+            while self.eat(&TokenKind::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.error("expected BETWEEN, IN or LIKE after NOT"));
+        }
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::NotEq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::LtEq => BinOp::LtEq,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::GtEq => BinOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.additive()?;
+        Ok(Expr::binary(left, op, right))
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            // Fold negation into numeric literals so `-950` displays and
+            // compares as a literal, not a unary expression.
+            match self.peek().clone() {
+                TokenKind::Int(i) => {
+                    self.advance();
+                    return Ok(Expr::Literal(Value::Int(-i)));
+                }
+                TokenKind::Float(x) => {
+                    self.advance();
+                    return Ok(Expr::Literal(Value::Float(-x)));
+                }
+                _ => {}
+            }
+            let inner = self.unary()?;
+            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(inner) });
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        let offset = self.offset();
+        match self.advance() {
+            TokenKind::Int(i) => Ok(Expr::Literal(Value::Int(i))),
+            TokenKind::Float(x) => Ok(Expr::Literal(Value::Float(x))),
+            TokenKind::Str(s) => Ok(Expr::Literal(Value::Str(s))),
+            TokenKind::Keyword("NULL") => Ok(Expr::Literal(Value::Null)),
+            TokenKind::Keyword("TRUE") => Ok(Expr::Literal(Value::Bool(true))),
+            TokenKind::Keyword("FALSE") => Ok(Expr::Literal(Value::Bool(false))),
+            TokenKind::Keyword("DATE") => {
+                // DATE 'yyyy-mm-dd'
+                match self.advance() {
+                    TokenKind::Str(s) => {
+                        let d = date::parse_date(&s).ok_or_else(|| {
+                            Error::Parse(format!("invalid DATE literal '{s}'"))
+                        })?;
+                        Ok(Expr::Literal(Value::Date(d)))
+                    }
+                    other => Err(self.error(format!(
+                        "expected date string after DATE, found {other:?}"
+                    ))),
+                }
+            }
+            TokenKind::Keyword("CASE") => {
+                let mut branches = Vec::new();
+                while self.eat_keyword("WHEN") {
+                    let cond = self.expr()?;
+                    self.expect_keyword("THEN")?;
+                    let val = self.expr()?;
+                    branches.push((cond, val));
+                }
+                if branches.is_empty() {
+                    return Err(self.error("CASE requires at least one WHEN arm"));
+                }
+                let else_expr = if self.eat_keyword("ELSE") {
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                self.expect_keyword("END")?;
+                Ok(Expr::Case { branches, else_expr })
+            }
+            TokenKind::Keyword("CAST") => {
+                self.expect(&TokenKind::LParen)?;
+                let inner = self.expr()?;
+                self.expect_keyword("AS")?;
+                let dtype = match self.advance() {
+                    TokenKind::Ident(t) => match t.to_ascii_uppercase().as_str() {
+                        "INT" | "INTEGER" | "BIGINT" => DataType::Int,
+                        "FLOAT" | "DOUBLE" | "DECIMAL" | "REAL" | "NUMERIC" => DataType::Float,
+                        "STRING" | "VARCHAR" | "CHAR" | "TEXT" => DataType::Str,
+                        "BOOL" | "BOOLEAN" => DataType::Bool,
+                        other => {
+                            return Err(self.error(format!("unknown CAST target `{other}`")))
+                        }
+                    },
+                    TokenKind::Keyword("DATE") => DataType::Date,
+                    other => {
+                        return Err(self.error(format!("expected type name, found {other:?}")))
+                    }
+                };
+                self.expect(&TokenKind::RParen)?;
+                Ok(Expr::Cast { expr: Box::new(inner), dtype })
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if matches!(self.peek(), TokenKind::LParen) {
+                    // Scalar function call.
+                    let Some(func) = Func::from_name(&name) else {
+                        if AggFunc::from_name(&name).is_some() {
+                            return Err(Error::SelectRejected(format!(
+                                "aggregate {} is only allowed at the top level of the \
+                                 SELECT list",
+                                name.to_ascii_uppercase()
+                            )));
+                        }
+                        return Err(self.error(format!("unknown function `{name}`")));
+                    };
+                    self.advance(); // (
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        args.push(self.expr()?);
+                        while self.eat(&TokenKind::Comma) {
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    return Ok(Expr::Call { func, args });
+                }
+                // Qualified column `alias.column`: drop the qualifier —
+                // there is only ever one table (`S3Object`).
+                if self.eat(&TokenKind::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column(col));
+                }
+                Ok(Expr::Column(name))
+            }
+            TokenKind::QuotedIdent(name) => Ok(Expr::Column(name)),
+            other => Err(Error::Parse(format!(
+                "unexpected token {other:?} at offset {offset}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select_star() {
+        let s = parse_select("SELECT * FROM S3Object").unwrap();
+        assert_eq!(s.items, vec![SelectItem::Wildcard]);
+        assert!(s.where_clause.is_none());
+        assert!(s.limit.is_none());
+    }
+
+    #[test]
+    fn select_with_everything() {
+        let s = parse_select(
+            "SELECT a, b AS bee, SUM(c) total FROM S3Object s WHERE a <= -950 AND b <> 'x' LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(s.items.len(), 3);
+        assert_eq!(s.alias.as_deref(), Some("s"));
+        assert_eq!(s.limit, Some(10));
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn qualified_columns_drop_qualifier() {
+        let e = parse_expr("s.c_acctbal <= -950").unwrap();
+        assert_eq!(e.to_string(), "c_acctbal <= -950");
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        assert_eq!(parse_expr("-950").unwrap(), Expr::int(-950));
+        assert_eq!(parse_expr("-9.5").unwrap(), Expr::float(-9.5));
+    }
+
+    #[test]
+    fn precedence_and_or() {
+        let e = parse_expr("a = 1 OR b = 2 AND c = 3").unwrap();
+        // AND binds tighter: a=1 OR (b=2 AND c=3)
+        assert_eq!(e.to_string(), "a = 1 OR b = 2 AND c = 3");
+        match e {
+            Expr::Binary { op: BinOp::Or, .. } => {}
+            other => panic!("expected OR at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+        let e2 = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e2.to_string(), "(1 + 2) * 3");
+    }
+
+    #[test]
+    fn bloom_filter_query_from_paper_listing_1() {
+        // Paper Listing 1 (modulo the projection list).
+        let sql = "SELECT o_custkey FROM S3Object WHERE \
+                   SUBSTRING('1000011111101101', ((69 * CAST(o_custkey as INT) + 92) % 97) % 68 + 1, 1) = '1'";
+        let s = parse_select(sql).unwrap();
+        assert!(s.where_clause.is_some());
+        let w = s.where_clause.unwrap();
+        assert!(w.term_count() >= 4, "terms: {}", w.term_count());
+    }
+
+    #[test]
+    fn case_when_groupby_rewrite_from_paper_listing_4() {
+        let sql = "SELECT sum(CASE WHEN c_nationkey = 0 THEN c_acctbal ELSE 0 END), \
+                          sum(CASE WHEN c_nationkey = 1 THEN c_acctbal ELSE 0 END) \
+                   FROM S3Object";
+        let s = parse_select(sql).unwrap();
+        assert_eq!(s.items.len(), 2);
+        assert!(s.is_aggregate());
+    }
+
+    #[test]
+    fn group_by_is_rejected() {
+        let err =
+            parse_select("SELECT c_nationkey, SUM(c_acctbal) FROM S3Object GROUP BY c_nationkey")
+                .unwrap_err();
+        assert_eq!(err.code(), "SelectRejected");
+        assert!(err.to_string().contains("GROUP BY"));
+    }
+
+    #[test]
+    fn order_by_is_rejected() {
+        let err = parse_select("SELECT * FROM S3Object ORDER BY x").unwrap_err();
+        assert_eq!(err.code(), "SelectRejected");
+    }
+
+    #[test]
+    fn nested_aggregates_are_rejected() {
+        let err = parse_select("SELECT SUM(SUM(x)) FROM S3Object").unwrap_err();
+        assert_eq!(err.code(), "SelectRejected");
+        let err2 = parse_select("SELECT * FROM S3Object WHERE SUM(x) > 3").unwrap_err();
+        assert_eq!(err2.code(), "SelectRejected");
+    }
+
+    #[test]
+    fn between_in_like_is_null() {
+        let e = parse_expr("x BETWEEN 1 AND 10").unwrap();
+        assert_eq!(e.to_string(), "x BETWEEN 1 AND 10");
+        let e = parse_expr("x NOT IN (1, 2, 3)").unwrap();
+        assert_eq!(e.to_string(), "x NOT IN (1, 2, 3)");
+        let e = parse_expr("name LIKE '%green%'").unwrap();
+        assert_eq!(e.to_string(), "name LIKE '%green%'");
+        let e = parse_expr("x IS NOT NULL").unwrap();
+        assert_eq!(e.to_string(), "x IS NOT NULL");
+    }
+
+    #[test]
+    fn date_literals() {
+        let e = parse_expr("o_orderdate < DATE '1995-03-15'").unwrap();
+        assert_eq!(e.to_string(), "o_orderdate < DATE '1995-03-15'");
+        assert!(parse_expr("DATE '1995-02-31'").is_err());
+    }
+
+    #[test]
+    fn cast_types() {
+        for (src, want) in [
+            ("CAST(x AS INT)", DataType::Int),
+            ("CAST(x AS integer)", DataType::Int),
+            ("CAST(x AS FLOAT)", DataType::Float),
+            ("CAST(x AS decimal)", DataType::Float),
+            ("CAST(x AS STRING)", DataType::Str),
+            ("CAST(x AS DATE)", DataType::Date),
+            ("CAST(x AS BOOL)", DataType::Bool),
+        ] {
+            match parse_expr(src).unwrap() {
+                Expr::Cast { dtype, .. } => assert_eq!(dtype, want, "{src}"),
+                other => panic!("{src}: {other:?}"),
+            }
+        }
+        assert!(parse_expr("CAST(x AS blob)").is_err());
+    }
+
+    #[test]
+    fn chained_comparisons_rejected() {
+        assert!(parse_expr("a < b < c").is_err());
+    }
+
+    #[test]
+    fn errors_report_offsets() {
+        let err = parse_select("SELECT FROM S3Object").unwrap_err();
+        assert!(err.to_string().contains("offset"), "{err}");
+    }
+
+    #[test]
+    fn extended_dialect_parses_group_by() {
+        let ext = parse_select_extended(
+            "SELECT c_nationkey, SUM(c_acctbal) FROM S3Object WHERE c_acctbal < 0 \
+             GROUP BY c_nationkey",
+        )
+        .unwrap();
+        assert_eq!(ext.group_by, vec!["c_nationkey"]);
+        assert!(ext.select.is_aggregate());
+        // Display round-trips through the extended parser.
+        let text = ext.to_string();
+        assert_eq!(parse_select_extended(&text).unwrap(), ext);
+        // The stock parser still rejects the same text.
+        assert_eq!(parse_select(&text).unwrap_err().code(), "SelectRejected");
+    }
+
+    #[test]
+    fn client_dialect_parses_order_by() {
+        use crate::ast::OrderBy;
+        let q = parse_query("SELECT * FROM t ORDER BY price DESC LIMIT 10").unwrap();
+        assert_eq!(q.order_by, Some(OrderBy { column: "price".into(), asc: false }));
+        assert_eq!(q.select.limit, Some(10));
+        let q2 = parse_query("SELECT * FROM t ORDER BY price").unwrap();
+        assert_eq!(q2.order_by, Some(OrderBy { column: "price".into(), asc: true }));
+        let q3 = parse_query("SELECT * FROM t ORDER BY price asc").unwrap();
+        assert!(q3.order_by.unwrap().asc);
+        // Display round-trips.
+        let q4 = parse_query(
+            "SELECT g, SUM(v) FROM t WHERE v > 0 GROUP BY g LIMIT 3",
+        )
+        .unwrap();
+        assert_eq!(parse_query(&q4.to_string()).unwrap(), q4);
+        // The S3 dialect still rejects ORDER BY.
+        assert_eq!(
+            parse_select("SELECT * FROM t ORDER BY price").unwrap_err().code(),
+            "SelectRejected"
+        );
+    }
+
+    #[test]
+    fn multi_column_group_by() {
+        let ext =
+            parse_select_extended("SELECT a, b, COUNT(*) FROM t GROUP BY a, b").unwrap();
+        assert_eq!(ext.group_by, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let cases = [
+            "SELECT * FROM S3Object",
+            "SELECT a, b AS c FROM S3Object WHERE a <= -950 AND b < 3 LIMIT 7",
+            "SELECT SUM(x), COUNT(*), MIN(y), MAX(y), AVG(z) FROM S3Object",
+            "SELECT CASE WHEN g = 0 THEN v ELSE 0 END FROM S3Object",
+            "SELECT SUBSTRING('101', x % 3 + 1, 1) FROM S3Object WHERE x IN (1, 2) OR y IS NULL",
+            "SELECT * FROM S3Object WHERE (a OR b) AND NOT c",
+            "SELECT * FROM S3Object WHERE d BETWEEN DATE '1994-01-01' AND DATE '1995-01-01'",
+        ];
+        for sql in cases {
+            let s1 = parse_select(sql).unwrap();
+            let text = s1.to_string();
+            let s2 = parse_select(&text).unwrap();
+            assert_eq!(s1, s2, "round trip failed:\n  in : {sql}\n  out: {text}");
+        }
+    }
+}

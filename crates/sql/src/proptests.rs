@@ -1,0 +1,149 @@
+//! Crate-level property tests: randomly generated ASTs must round-trip
+//! through `Display` + the parser, and evaluation must be deterministic.
+//! (The Bloom-join and group-by rewrites depend on programmatically
+//! generated SQL surviving the wire exactly.)
+
+#![cfg(test)]
+
+use crate::ast::{BinOp, Expr, Func, UnOp};
+use crate::bind::Binder;
+use crate::eval::eval;
+use crate::parser::parse_expr;
+use proptest::prelude::*;
+use pushdown_common::{DataType, Row, Schema, Value};
+
+/// Strategy for random literals (restricted to values whose SQL text
+/// round-trips exactly: no NaN/inf, date range sane).
+fn arb_literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Expr::int(i as i64)),
+        (-1e6f64..1e6).prop_map(Expr::float),
+        "[a-zA-Z0-9 ']{0,12}".prop_map(Expr::str),
+        (0i32..20000).prop_map(Expr::date),
+        Just(Expr::Literal(Value::Bool(true))),
+        Just(Expr::Literal(Value::Null)),
+    ]
+}
+
+fn arb_column() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::col("a")),
+        Just(Expr::col("b")),
+        Just(Expr::col("s")),
+    ]
+}
+
+/// Random expression trees over a fixed schema (a: Int, b: Float, s: Str).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![arb_literal(), arb_column()];
+    leaf.prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            // Binary operators.
+            (
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::GtEq),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                inner.clone()
+            )
+                .prop_map(|(l, op, r)| Expr::binary(l, op, r)),
+            // Unary.
+            inner.clone().prop_map(|e| Expr::Unary { op: UnOp::Not, expr: Box::new(e) }),
+            // BETWEEN / IN / IS NULL / LIKE.
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(e, lo, hi)| {
+                Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated: false,
+                }
+            }),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            // CASE WHEN.
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::Case {
+                branches: vec![(c, t)],
+                else_expr: Some(Box::new(e)),
+            }),
+            // CAST and scalar functions.
+            inner.clone().prop_map(|e| Expr::Cast {
+                expr: Box::new(e),
+                dtype: DataType::Str,
+            }),
+            (inner.clone(), 0i64..20).prop_map(|(e, start)| Expr::Call {
+                func: Func::Substring,
+                args: vec![e, Expr::int(start.max(1)), Expr::int(3)],
+            }),
+        ]
+    })
+}
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[
+        ("a", DataType::Int),
+        ("b", DataType::Float),
+        ("s", DataType::Str),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(display(e)) == e` for arbitrary expression trees — the
+    /// property the programmatic SQL generation (Bloom predicates,
+    /// CASE-WHEN rewrites) depends on.
+    #[test]
+    fn display_parse_round_trip(e in arb_expr()) {
+        let text = e.to_string();
+        let reparsed = parse_expr(&text)
+            .unwrap_or_else(|err| panic!("reparse failed for `{text}`: {err}"));
+        prop_assert_eq!(reparsed, e, "text was `{}`", text);
+    }
+
+    /// Evaluation is deterministic and total modulo Eval errors: it never
+    /// panics, and re-evaluating gives the same result.
+    #[test]
+    fn evaluation_is_deterministic(e in arb_expr(), a in any::<i32>(), b in -1e6f64..1e6) {
+        let schema = schema();
+        let Ok(bound) = Binder::new(&schema).bind_expr(&e) else {
+            return Ok(()); // arity errors are fine
+        };
+        let row = Row::new(vec![
+            Value::Int(a as i64),
+            Value::Float(b),
+            Value::Str("probe".into()),
+        ]);
+        let r1 = eval(&bound, &row);
+        let r2 = eval(&bound, &row);
+        match (r1, r2) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(x), Err(y)) => prop_assert_eq!(x.code(), y.code()),
+            (x, y) => prop_assert!(false, "diverged: {x:?} vs {y:?}"),
+        }
+    }
+
+    /// Term counts are stable under the display/parse round trip (the
+    /// performance model charges by terms, so they must survive the wire).
+    #[test]
+    fn term_count_survives_round_trip(e in arb_expr()) {
+        let text = e.to_string();
+        if let Ok(reparsed) = parse_expr(&text) {
+            prop_assert_eq!(reparsed.term_count(), e.term_count());
+        }
+    }
+}

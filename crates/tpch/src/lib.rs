@@ -1,0 +1,22 @@
+//! # pushdown-tpch
+//!
+//! Workloads for the PushdownDB experiments:
+//!
+//! * [`schema`] / [`gen`] — a deterministic, seeded TPC-H-style data
+//!   generator (the paper's 10 GB `dbgen` CSV dataset, §III, scaled by an
+//!   arbitrary scale factor);
+//! * [`load`] — partitioned upload into the simulated store;
+//! * [`synthetic`] — the synthetic group-by tables of §VI-C (uniform and
+//!   Zipf-skewed group sizes) and the wide float tables of §IX;
+//! * [`queries`] — TPC-H Q1, Q3, Q6, Q14, Q17, Q19 in baseline and
+//!   optimized (pushdown) configurations, the Fig 10 suite.
+
+pub mod gen;
+pub mod load;
+pub mod queries;
+pub mod schema;
+pub mod synthetic;
+
+pub use gen::TpchGen;
+pub use load::{load_tpch, tpch_context, TpchTables};
+pub use queries::{all_queries, Mode};

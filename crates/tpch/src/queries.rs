@@ -1,0 +1,795 @@
+//! The paper's TPC-H queries (§VIII): Q1, Q3, Q6, Q14, Q17, Q19, each in
+//! two configurations:
+//!
+//! * **baseline** — "PushdownDB (Baseline)": the server loads entire
+//!   tables over plain GETs and computes locally;
+//! * **optimized** — "PushdownDB (Optimized)": filters/projections push
+//!   into S3 Select, group-bys use the CASE-WHEN rewrite, joins use Bloom
+//!   filters where the 256 KB SQL limit permits (the
+//!   [`BloomBuilder`](pushdown_bloom::BloomBuilder) decides and degrades
+//!   exactly as §V-B1 describes).
+//!
+//! Every query returns a [`QueryOutput`] whose rows are identical between
+//! the two configurations (integration tests assert this), with metrics
+//! that the Fig 10 harness converts into runtime and cost bars.
+
+use crate::load::TpchTables;
+use pushdown_common::perf::PhaseStats;
+use pushdown_common::{DataType, Field, Result, Row, Schema, Value};
+use pushdown_core::metrics::QueryMetrics;
+use pushdown_core::ops;
+use pushdown_core::output::QueryOutput;
+use pushdown_core::scan::{plain_scan, select_scan, ScanResult};
+use pushdown_core::QueryContext;
+use pushdown_sql::agg::AggFunc;
+use pushdown_sql::bind::Binder;
+use pushdown_sql::parse_expr;
+use pushdown_sql::{Expr, SelectItem, SelectStmt};
+use std::collections::{HashMap, HashSet};
+
+/// Which implementation of a query to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Baseline,
+    Optimized,
+}
+
+fn projection_stmt(cols: &[&str], pred: Option<Expr>) -> SelectStmt {
+    SelectStmt {
+        items: cols
+            .iter()
+            .map(|c| SelectItem::Expr { expr: Expr::col(*c), alias: None })
+            .collect(),
+        alias: None,
+        where_clause: pred,
+        limit: None,
+    }
+}
+
+/// Filter a plain-scanned table locally.
+fn filter_local(scan: &mut ScanResult, pred: &str, stats: &mut PhaseStats) -> Result<()> {
+    let bound = Binder::new(&scan.schema).bind_expr(&parse_expr(pred)?)?;
+    scan.rows = ops::filter_rows(std::mem::take(&mut scan.rows), &bound, stats)?;
+    Ok(())
+}
+
+/// Build a Bloom (or no) probe-side predicate from build-side integer
+/// keys: `base AND bloom(attr)` when a filter fits, otherwise `base`.
+fn bloom_pred(
+    ctx: &QueryContext,
+    keys: &[i64],
+    attr: &str,
+    base: Option<Expr>,
+) -> Option<Expr> {
+    let bloom = ctx
+        .bloom
+        .build(keys, 0.01, attr)
+        .map(|(f, _)| f.sql_predicate(attr));
+    match (base, bloom) {
+        (Some(b), Some(f)) => Some(Expr::and(b, f)),
+        (Some(b), None) => Some(b),
+        (None, Some(f)) => Some(f),
+        (None, None) => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Q1 — pricing summary report (filter + group-by aggregation)
+// ---------------------------------------------------------------------
+
+const Q1_AGG_EXPRS: [(&str, AggFunc); 8] = [
+    ("l_quantity", AggFunc::Sum),
+    ("l_extendedprice", AggFunc::Sum),
+    ("l_extendedprice * (1 - l_discount)", AggFunc::Sum),
+    ("l_extendedprice * (1 - l_discount) * (1 + l_tax)", AggFunc::Sum),
+    ("l_quantity", AggFunc::Avg),
+    ("l_extendedprice", AggFunc::Avg),
+    ("l_discount", AggFunc::Avg),
+    ("1", AggFunc::Count),
+];
+
+fn q1_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("l_returnflag", DataType::Str),
+        ("l_linestatus", DataType::Str),
+        ("sum_qty", DataType::Float),
+        ("sum_base_price", DataType::Float),
+        ("sum_disc_price", DataType::Float),
+        ("sum_charge", DataType::Float),
+        ("avg_qty", DataType::Float),
+        ("avg_price", DataType::Float),
+        ("avg_disc", DataType::Float),
+        ("count_order", DataType::Int),
+    ])
+}
+
+/// TPC-H Q1: `WHERE l_shipdate <= 1998-09-02 GROUP BY returnflag,
+/// linestatus` with eight aggregates.
+pub fn q1(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput> {
+    match mode {
+        Mode::Baseline => q1_baseline(ctx, t),
+        Mode::Optimized => q1_optimized(ctx, t),
+    }
+}
+
+fn q1_baseline(ctx: &QueryContext, t: &TpchTables) -> Result<QueryOutput> {
+    let mut scan = plain_scan(ctx, &t.lineitem)?;
+    let mut stats = scan.stats;
+    filter_local(&mut scan, "l_shipdate <= DATE '1998-09-02'", &mut stats)?;
+    // Derive [rf, ls, qty, ext, disc_price, charge, disc].
+    let binder = Binder::new(&scan.schema);
+    let exprs: Vec<_> = [
+        "l_returnflag",
+        "l_linestatus",
+        "l_quantity",
+        "l_extendedprice",
+        "l_extendedprice * (1 - l_discount)",
+        "l_extendedprice * (1 - l_discount) * (1 + l_tax)",
+        "l_discount",
+    ]
+    .iter()
+    .map(|s| binder.bind_expr(&parse_expr(s).unwrap()))
+    .collect::<Result<_>>()?;
+    let derived = ops::map_rows(&scan.rows, &exprs, &mut stats)?;
+    let rows = ops::hash_group_by(
+        &derived,
+        &[0, 1],
+        &[
+            (AggFunc::Sum, Some(2)),
+            (AggFunc::Sum, Some(3)),
+            (AggFunc::Sum, Some(4)),
+            (AggFunc::Sum, Some(5)),
+            (AggFunc::Avg, Some(2)),
+            (AggFunc::Avg, Some(3)),
+            (AggFunc::Avg, Some(6)),
+            (AggFunc::Count, None),
+        ],
+        &mut stats,
+    )?;
+    let mut metrics = QueryMetrics::new();
+    metrics.push_serial("q1 baseline: load + aggregate", stats);
+    Ok(QueryOutput { schema: q1_schema(), rows, metrics })
+}
+
+fn q1_optimized(ctx: &QueryContext, t: &TpchTables) -> Result<QueryOutput> {
+    let pred = parse_expr("l_shipdate <= DATE '1998-09-02'")?;
+    // Phase 1 (S3-side group-by, §VI-A): find the distinct groups.
+    let stmt = projection_stmt(&["l_returnflag", "l_linestatus"], Some(pred.clone()));
+    let scan = select_scan(ctx, &t.lineitem, &stmt)?;
+    let mut phase1 = scan.stats;
+    phase1.server_cpu_units += scan.rows.len() as u64;
+    let mut groups: Vec<(Value, Value)> = scan
+        .rows
+        .iter()
+        .map(|r| (r[0].clone(), r[1].clone()))
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    groups.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)));
+
+    // Phase 2: one CASE-WHEN aggregate item per (group, aggregate).
+    let mut items = Vec::new();
+    for (rf, ls) in &groups {
+        let eq = Expr::and(
+            Expr::eq(Expr::col("l_returnflag"), Expr::Literal(rf.clone())),
+            Expr::eq(Expr::col("l_linestatus"), Expr::Literal(ls.clone())),
+        );
+        for (src, func) in Q1_AGG_EXPRS {
+            let arg = Expr::Case {
+                branches: vec![(eq.clone(), parse_expr(src)?)],
+                else_expr: None,
+            };
+            items.push(SelectItem::Agg { func, arg: Some(arg), alias: None });
+        }
+    }
+    let stmt = SelectStmt { items, alias: None, where_clause: Some(pred), limit: None };
+    let agg = select_scan(ctx, &t.lineitem, &stmt)?;
+    let phase2 = agg.stats;
+    let row = &agg.rows[0];
+    let n = Q1_AGG_EXPRS.len();
+    let rows: Vec<Row> = groups
+        .iter()
+        .enumerate()
+        .map(|(gi, (rf, ls))| {
+            let mut vals = vec![rf.clone(), ls.clone()];
+            for ai in 0..n {
+                let mut v = row[gi * n + ai].clone();
+                if Q1_AGG_EXPRS[ai].1 == AggFunc::Count && v.is_null() {
+                    v = Value::Int(0);
+                }
+                vals.push(v);
+            }
+            Row::new(vals)
+        })
+        .collect();
+
+    let mut metrics = QueryMetrics::new();
+    metrics.push_serial("q1 optimized: distinct groups", phase1);
+    metrics.push_serial("q1 optimized: s3-side aggregation", phase2);
+    Ok(QueryOutput { schema: q1_schema(), rows, metrics })
+}
+
+// ---------------------------------------------------------------------
+// Q3 — shipping priority (3-way join + group-by + top-10)
+// ---------------------------------------------------------------------
+
+fn q3_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("l_orderkey", DataType::Int),
+        ("revenue", DataType::Float),
+        ("o_orderdate", DataType::Date),
+        ("o_shippriority", DataType::Int),
+    ])
+}
+
+/// TPC-H Q3: BUILDING customers' unshipped orders, top 10 by revenue.
+pub fn q3(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput> {
+    let (cust, ords, lines, mut metrics) = match mode {
+        Mode::Baseline => {
+            let mut cust = plain_scan(ctx, &t.customer)?;
+            let mut ords = plain_scan(ctx, &t.orders)?;
+            let mut lines = plain_scan(ctx, &t.lineitem)?;
+            let scans = vec![
+                ("load customer".to_string(), cust.stats),
+                ("load orders".to_string(), ords.stats),
+                ("load lineitem".to_string(), lines.stats),
+            ];
+            let mut local = PhaseStats::default();
+            filter_local(&mut cust, "c_mktsegment = 'BUILDING'", &mut local)?;
+            filter_local(&mut ords, "o_orderdate < DATE '1995-03-15'", &mut local)?;
+            filter_local(&mut lines, "l_shipdate > DATE '1995-03-15'", &mut local)?;
+            let mut m = QueryMetrics::new();
+            m.push_parallel(scans);
+            m.push_serial("local filters", local);
+            (cust, ords, lines, m)
+        }
+        Mode::Optimized => {
+            // Phase 1: customers (build side for the Bloom filter).
+            let cust = select_scan(
+                ctx,
+                &t.customer,
+                &projection_stmt(
+                    &["c_custkey"],
+                    Some(parse_expr("c_mktsegment = 'BUILDING'")?),
+                ),
+            )?;
+            let cust_stats = cust.stats;
+            let keys: Vec<i64> = cust
+                .rows
+                .iter()
+                .filter_map(|r| r[0].as_i64().ok())
+                .collect();
+            // Phase 2 (concurrent): orders with date predicate + Bloom on
+            // o_custkey; lineitem with ship-date predicate.
+            let ord_pred = bloom_pred(
+                ctx,
+                &keys,
+                "o_custkey",
+                Some(parse_expr("o_orderdate < DATE '1995-03-15'")?),
+            );
+            let ords = select_scan(
+                ctx,
+                &t.orders,
+                &projection_stmt(
+                    &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+                    ord_pred,
+                ),
+            )?;
+            let lines = select_scan(
+                ctx,
+                &t.lineitem,
+                &projection_stmt(
+                    &["l_orderkey", "l_extendedprice", "l_discount"],
+                    Some(parse_expr("l_shipdate > DATE '1995-03-15'")?),
+                ),
+            )?;
+            let mut m = QueryMetrics::new();
+            m.push_serial("select customer", cust_stats);
+            m.push_parallel(vec![
+                ("select orders (bloom)".to_string(), ords.stats),
+                ("select lineitem".to_string(), lines.stats),
+            ]);
+            (cust, ords, lines, m)
+        }
+    };
+
+    let mut local = PhaseStats::default();
+    // customer ⋈ orders on custkey.
+    let ck = cust.schema.resolve("c_custkey")?;
+    let ok = ords.schema.resolve("o_custkey")?;
+    let co = ops::hash_join(cust.rows, ck, ords.rows, ok, &mut local);
+    let co_schema = cust.schema.join(&ords.schema);
+    // (customer ⋈ orders) ⋈ lineitem on orderkey.
+    let cok = co_schema.resolve("o_orderkey")?;
+    let lk = lines.schema.resolve("l_orderkey")?;
+    let col = ops::hash_join(co, cok, lines.rows, lk, &mut local);
+    let full = co_schema.join(&lines.schema);
+    // Derive group key + revenue, aggregate, top-10 by revenue desc.
+    let binder = Binder::new(&full);
+    let exprs: Vec<_> = [
+        "l_orderkey",
+        "o_orderdate",
+        "o_shippriority",
+        "l_extendedprice * (1 - l_discount)",
+    ]
+    .iter()
+    .map(|s| binder.bind_expr(&parse_expr(s).unwrap()))
+    .collect::<Result<_>>()?;
+    let derived = ops::map_rows(&col, &exprs, &mut local)?;
+    let grouped = ops::hash_group_by(&derived, &[0, 1, 2], &[(AggFunc::Sum, Some(3))], &mut local)?;
+    let top = ops::top_k(&grouped, 3, 10, false, &mut local);
+    // Reorder to (orderkey, revenue, orderdate, shippriority).
+    let rows: Vec<Row> = top
+        .into_iter()
+        .map(|r| Row::new(vec![r[0].clone(), r[3].clone(), r[1].clone(), r[2].clone()]))
+        .collect();
+    metrics.push_serial("local join + group + top-k", local);
+    Ok(QueryOutput { schema: q3_schema(), rows, metrics })
+}
+
+// ---------------------------------------------------------------------
+// Q6 — forecasting revenue change (pure filter + aggregate)
+// ---------------------------------------------------------------------
+
+/// TPC-H Q6: `SUM(l_extendedprice * l_discount)` under date, discount and
+/// quantity predicates. The ideal pushdown: one S3-side aggregation.
+pub fn q6(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput> {
+    let pred_src = "l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+                    AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24";
+    let schema = Schema::new(vec![Field::new("revenue", DataType::Float)]);
+    match mode {
+        Mode::Baseline => {
+            let mut scan = plain_scan(ctx, &t.lineitem)?;
+            let mut stats = scan.stats;
+            filter_local(&mut scan, pred_src, &mut stats)?;
+            let binder = Binder::new(&scan.schema);
+            let rev = binder.bind_expr(&parse_expr("l_extendedprice * l_discount")?)?;
+            let derived = ops::map_rows(&scan.rows, &[rev], &mut stats)?;
+            let mut acc = AggFunc::Sum.accumulator();
+            stats.server_cpu_units += derived.len() as u64;
+            for r in &derived {
+                acc.update(&r[0])?;
+            }
+            let mut metrics = QueryMetrics::new();
+            metrics.push_serial("q6 baseline: load + aggregate", stats);
+            Ok(QueryOutput {
+                schema,
+                rows: vec![Row::new(vec![acc.finish()])],
+                metrics,
+            })
+        }
+        Mode::Optimized => {
+            let stmt = SelectStmt {
+                items: vec![SelectItem::Agg {
+                    func: AggFunc::Sum,
+                    arg: Some(parse_expr("l_extendedprice * l_discount")?),
+                    alias: None,
+                }],
+                alias: None,
+                where_clause: Some(parse_expr(pred_src)?),
+                limit: None,
+            };
+            let scan = select_scan(ctx, &t.lineitem, &stmt)?;
+            let mut metrics = QueryMetrics::new();
+            metrics.push_serial("q6 optimized: s3-side aggregation", scan.stats);
+            Ok(QueryOutput { schema, rows: scan.rows, metrics })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Q14 — promotion effect (join + conditional aggregate)
+// ---------------------------------------------------------------------
+
+/// TPC-H Q14: share of September-1995 revenue from PROMO parts.
+pub fn q14(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput> {
+    let date_pred = "l_shipdate >= DATE '1995-09-01' AND l_shipdate < DATE '1995-10-01'";
+    let schema = Schema::new(vec![Field::new("promo_revenue", DataType::Float)]);
+
+    let (lines, parts, mut metrics) = match mode {
+        Mode::Baseline => {
+            let mut lines = plain_scan(ctx, &t.lineitem)?;
+            let parts = plain_scan(ctx, &t.part)?;
+            let scans = vec![
+                ("load lineitem".to_string(), lines.stats),
+                ("load part".to_string(), parts.stats),
+            ];
+            let mut local = PhaseStats::default();
+            filter_local(&mut lines, date_pred, &mut local)?;
+            let mut m = QueryMetrics::new();
+            m.push_parallel(scans);
+            m.push_serial("local filter", local);
+            (lines, parts, m)
+        }
+        Mode::Optimized => {
+            // Build side: the month's lineitems (projected).
+            let lines = select_scan(
+                ctx,
+                &t.lineitem,
+                &projection_stmt(
+                    &["l_partkey", "l_extendedprice", "l_discount"],
+                    Some(parse_expr(date_pred)?),
+                ),
+            )?;
+            let lines_stats = lines.stats;
+            let mut keys: Vec<i64> = lines
+                .rows
+                .iter()
+                .filter_map(|r| r[0].as_i64().ok())
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            // Probe side: part, Bloom-filtered on p_partkey.
+            let part_pred = bloom_pred(ctx, &keys, "p_partkey", None);
+            let parts = select_scan(
+                ctx,
+                &t.part,
+                &projection_stmt(&["p_partkey", "p_type"], part_pred),
+            )?;
+            let mut m = QueryMetrics::new();
+            m.push_serial("select lineitem", lines_stats);
+            m.push_serial("select part (bloom)", parts.stats);
+            (lines, parts, m)
+        }
+    };
+
+    let mut local = PhaseStats::default();
+    let lk = lines.schema.resolve("l_partkey")?;
+    let pk = parts.schema.resolve("p_partkey")?;
+    let joined = ops::hash_join(lines.rows, lk, parts.rows, pk, &mut local);
+    let full = lines.schema.join(&parts.schema);
+    let binder = Binder::new(&full);
+    let promo = binder.bind_expr(&parse_expr(
+        "CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice * (1 - l_discount) ELSE 0 END",
+    )?)?;
+    let total = binder.bind_expr(&parse_expr("l_extendedprice * (1 - l_discount)")?)?;
+    let derived = ops::map_rows(&joined, &[promo, total], &mut local)?;
+    let mut promo_sum = 0.0;
+    let mut total_sum = 0.0;
+    local.server_cpu_units += derived.len() as u64;
+    for r in &derived {
+        promo_sum += r[0].as_f64()?;
+        total_sum += r[1].as_f64()?;
+    }
+    let value = if total_sum == 0.0 {
+        Value::Null
+    } else {
+        Value::Float(100.0 * promo_sum / total_sum)
+    };
+    metrics.push_serial("local join + aggregate", local);
+    Ok(QueryOutput { schema, rows: vec![Row::new(vec![value])], metrics })
+}
+
+// ---------------------------------------------------------------------
+// Q17 — small-quantity-order revenue (join + correlated aggregate)
+// ---------------------------------------------------------------------
+
+/// TPC-H Q17: average yearly revenue lost if small orders of Brand#23
+/// MED BOX parts were not filled. The inner query needs *per-part* mean
+/// quantity, which S3 Select cannot compute — the optimized plan pushes
+/// the part filter and a Bloom filter on `l_partkey`, then correlates
+/// locally.
+pub fn q17(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput> {
+    let part_pred = "p_brand = 'Brand#23' AND p_container = 'MED BOX'";
+    let schema = Schema::new(vec![Field::new("avg_yearly", DataType::Float)]);
+
+    let (parts, lines, mut metrics) = match mode {
+        Mode::Baseline => {
+            let mut parts = plain_scan(ctx, &t.part)?;
+            let lines = plain_scan(ctx, &t.lineitem)?;
+            let scans = vec![
+                ("load part".to_string(), parts.stats),
+                ("load lineitem".to_string(), lines.stats),
+            ];
+            let mut local = PhaseStats::default();
+            filter_local(&mut parts, part_pred, &mut local)?;
+            let mut m = QueryMetrics::new();
+            m.push_parallel(scans);
+            m.push_serial("local filter", local);
+            (parts, lines, m)
+        }
+        Mode::Optimized => {
+            let parts = select_scan(
+                ctx,
+                &t.part,
+                &projection_stmt(&["p_partkey"], Some(parse_expr(part_pred)?)),
+            )?;
+            let parts_stats = parts.stats;
+            let keys: Vec<i64> = parts
+                .rows
+                .iter()
+                .filter_map(|r| r[0].as_i64().ok())
+                .collect();
+            let line_pred = bloom_pred(ctx, &keys, "l_partkey", None);
+            let lines = select_scan(
+                ctx,
+                &t.lineitem,
+                &projection_stmt(&["l_partkey", "l_quantity", "l_extendedprice"], line_pred),
+            )?;
+            let mut m = QueryMetrics::new();
+            m.push_serial("select part", parts_stats);
+            m.push_serial("select lineitem (bloom)", lines.stats);
+            (parts, lines, m)
+        }
+    };
+
+    let mut local = PhaseStats::default();
+    let wanted: HashSet<i64> = parts
+        .rows
+        .iter()
+        .filter_map(|r| r[parts.schema.resolve("p_partkey").ok()?].as_i64().ok())
+        .collect();
+    let lp = lines.schema.resolve("l_partkey")?;
+    let lq = lines.schema.resolve("l_quantity")?;
+    let le = lines.schema.resolve("l_extendedprice")?;
+    // Per-part mean quantity over the *qualifying* parts' lineitems.
+    let mut sums: HashMap<i64, (f64, u64)> = HashMap::new();
+    local.server_cpu_units += lines.rows.len() as u64;
+    for r in &lines.rows {
+        let Ok(k) = r[lp].as_i64() else { continue };
+        if wanted.contains(&k) {
+            let e = sums.entry(k).or_insert((0.0, 0));
+            e.0 += r[lq].as_f64()?;
+            e.1 += 1;
+        }
+    }
+    let mut total = 0.0;
+    for r in &lines.rows {
+        let Ok(k) = r[lp].as_i64() else { continue };
+        if let Some((qty_sum, n)) = sums.get(&k) {
+            let avg = qty_sum / *n as f64;
+            if r[lq].as_f64()? < 0.2 * avg {
+                total += r[le].as_f64()?;
+            }
+        }
+    }
+    local.server_cpu_units += lines.rows.len() as u64;
+    metrics.push_serial("local correlate + aggregate", local);
+    Ok(QueryOutput {
+        schema,
+        rows: vec![Row::new(vec![Value::Float(total / 7.0)])],
+        metrics,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Q19 — discounted revenue (disjunctive join predicate)
+// ---------------------------------------------------------------------
+
+const Q19_FULL_PRED: &str = "\
+    (p_brand = 'Brand#12' \
+     AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') \
+     AND l_quantity >= 1 AND l_quantity <= 11 AND p_size BETWEEN 1 AND 5) \
+ OR (p_brand = 'Brand#23' \
+     AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') \
+     AND l_quantity >= 10 AND l_quantity <= 20 AND p_size BETWEEN 1 AND 10) \
+ OR (p_brand = 'Brand#34' \
+     AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') \
+     AND l_quantity >= 20 AND l_quantity <= 30 AND p_size BETWEEN 1 AND 15)";
+
+const Q19_LINE_BASE: &str = "l_shipmode IN ('AIR', 'REG AIR') \
+                             AND l_shipinstruct = 'DELIVER IN PERSON'";
+
+/// Per-side relaxations of the disjunction, pushable into S3 Select.
+const Q19_PART_PUSH: &str = "\
+    (p_brand = 'Brand#12' AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') \
+     AND p_size BETWEEN 1 AND 5) \
+ OR (p_brand = 'Brand#23' AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') \
+     AND p_size BETWEEN 1 AND 10) \
+ OR (p_brand = 'Brand#34' AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') \
+     AND p_size BETWEEN 1 AND 15)";
+
+/// TPC-H Q19: `SUM(l_extendedprice * (1 - l_discount))` over a three-way
+/// disjunction of brand/container/quantity/size clauses.
+pub fn q19(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput> {
+    let schema = Schema::new(vec![Field::new("revenue", DataType::Float)]);
+    let (lines, parts, mut metrics) = match mode {
+        Mode::Baseline => {
+            let mut lines = plain_scan(ctx, &t.lineitem)?;
+            let parts = plain_scan(ctx, &t.part)?;
+            let scans = vec![
+                ("load lineitem".to_string(), lines.stats),
+                ("load part".to_string(), parts.stats),
+            ];
+            let mut local = PhaseStats::default();
+            filter_local(&mut lines, Q19_LINE_BASE, &mut local)?;
+            let mut m = QueryMetrics::new();
+            m.push_parallel(scans);
+            m.push_serial("local filter", local);
+            (lines, parts, m)
+        }
+        Mode::Optimized => {
+            // Push the part-side disjunction; take the surviving keys as a
+            // Bloom filter for the lineitem scan.
+            let parts = select_scan(
+                ctx,
+                &t.part,
+                &projection_stmt(
+                    &["p_partkey", "p_brand", "p_container", "p_size"],
+                    Some(parse_expr(Q19_PART_PUSH)?),
+                ),
+            )?;
+            let parts_stats = parts.stats;
+            let keys: Vec<i64> = parts
+                .rows
+                .iter()
+                .filter_map(|r| r[0].as_i64().ok())
+                .collect();
+            let line_pred = bloom_pred(
+                ctx,
+                &keys,
+                "l_partkey",
+                Some(parse_expr(&format!(
+                    "{Q19_LINE_BASE} AND l_quantity >= 1 AND l_quantity <= 30"
+                ))?),
+            );
+            let lines = select_scan(
+                ctx,
+                &t.lineitem,
+                &projection_stmt(
+                    &["l_partkey", "l_quantity", "l_extendedprice", "l_discount"],
+                    line_pred,
+                ),
+            )?;
+            let mut m = QueryMetrics::new();
+            m.push_serial("select part", parts_stats);
+            m.push_serial("select lineitem (bloom)", lines.stats);
+            (lines, parts, m)
+        }
+    };
+
+    let mut local = PhaseStats::default();
+    let lk = lines.schema.resolve("l_partkey")?;
+    let pk = parts.schema.resolve("p_partkey")?;
+    let joined = ops::hash_join(lines.rows, lk, parts.rows, pk, &mut local);
+    let full = lines.schema.join(&parts.schema);
+    let binder = Binder::new(&full);
+    let keep = binder.bind_expr(&parse_expr(Q19_FULL_PRED)?)?;
+    let matched = ops::filter_rows(joined, &keep, &mut local)?;
+    let rev = binder.bind_expr(&parse_expr("l_extendedprice * (1 - l_discount)")?)?;
+    let derived = ops::map_rows(&matched, &[rev], &mut local)?;
+    let mut acc = AggFunc::Sum.accumulator();
+    for r in &derived {
+        acc.update(&r[0])?;
+    }
+    let v = match acc.finish() {
+        Value::Null => Value::Float(0.0),
+        other => other,
+    };
+    metrics.push_serial("local join + filter + aggregate", local);
+    Ok(QueryOutput { schema, rows: vec![Row::new(vec![v])], metrics })
+}
+
+/// A TPC-H query entry point.
+pub type QueryFn = fn(&QueryContext, &TpchTables, Mode) -> Result<QueryOutput>;
+
+/// All six queries by name (the Fig 10 suite).
+pub fn all_queries() -> Vec<(&'static str, QueryFn)> {
+    vec![
+        ("TPCH Q1", q1),
+        ("TPCH Q3", q3),
+        ("TPCH Q6", q6),
+        ("TPCH Q14", q14),
+        ("TPCH Q17", q17),
+        ("TPCH Q19", q19),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::tpch_context;
+
+    fn close(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Float(x), Value::Float(y)) => {
+                (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs()))
+            }
+            _ => a == b,
+        }
+    }
+
+    fn assert_outputs_match(a: &QueryOutput, b: &QueryOutput, name: &str) {
+        assert_eq!(a.rows.len(), b.rows.len(), "{name}: row counts");
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            for (vx, vy) in x.values().iter().zip(y.values()) {
+                assert!(close(vx, vy), "{name}: {vx:?} vs {vy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_and_optimized_agree_on_all_queries() {
+        let (ctx, t) = tpch_context(0.002, 700).unwrap();
+        for (name, q) in all_queries() {
+            let base = q(&ctx, &t, Mode::Baseline).unwrap();
+            let opt = q(&ctx, &t, Mode::Optimized).unwrap();
+            assert_outputs_match(&base, &opt, name);
+        }
+    }
+
+    #[test]
+    fn q1_has_expected_groups_and_plausible_sums() {
+        let (ctx, t) = tpch_context(0.002, 700).unwrap();
+        let out = q1(&ctx, &t, Mode::Optimized).unwrap();
+        // Groups: (A,F), (N,F), (N,O), (R,F) — the classic Q1 output.
+        let keys: Vec<(String, String)> = out
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    r[0].as_str().unwrap().to_string(),
+                    r[1].as_str().unwrap().to_string(),
+                )
+            })
+            .collect();
+        assert!(keys.contains(&("A".into(), "F".into())), "{keys:?}");
+        assert!(keys.contains(&("N".into(), "O".into())), "{keys:?}");
+        for r in &out.rows {
+            let count = r[9].as_i64().unwrap();
+            assert!(count > 0);
+            let sum_base = r[3].as_f64().unwrap();
+            let avg_price = r[7].as_f64().unwrap();
+            assert!((sum_base / count as f64 - avg_price).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn q3_returns_at_most_ten_ordered_rows() {
+        let (ctx, t) = tpch_context(0.002, 700).unwrap();
+        let out = q3(&ctx, &t, Mode::Optimized).unwrap();
+        assert!(out.rows.len() <= 10);
+        for w in out.rows.windows(2) {
+            assert!(w[0][1].as_f64().unwrap() >= w[1][1].as_f64().unwrap());
+        }
+    }
+
+    #[test]
+    fn q6_single_scalar() {
+        let (ctx, t) = tpch_context(0.002, 700).unwrap();
+        let out = q6(&ctx, &t, Mode::Optimized).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert!(out.rows[0][0].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn q14_is_a_percentage() {
+        let (ctx, t) = tpch_context(0.002, 700).unwrap();
+        let out = q14(&ctx, &t, Mode::Optimized).unwrap();
+        let v = out.rows[0][0].as_f64().unwrap();
+        assert!((0.0..=100.0).contains(&v), "{v}");
+    }
+
+    #[test]
+    fn optimized_transfers_fewer_bytes() {
+        let (ctx, t) = tpch_context(0.002, 700).unwrap();
+        for (name, q) in all_queries() {
+            let base = q(&ctx, &t, Mode::Baseline).unwrap();
+            let opt = q(&ctx, &t, Mode::Optimized).unwrap();
+            assert!(
+                opt.metrics.bytes_returned() < base.metrics.bytes_returned(),
+                "{name}: optimized {} vs baseline {}",
+                opt.metrics.bytes_returned(),
+                base.metrics.bytes_returned()
+            );
+        }
+    }
+
+    #[test]
+    fn optimized_is_faster_under_the_model() {
+        let (ctx, t) = tpch_context(0.002, 700).unwrap();
+        for (name, q) in all_queries() {
+            let base = q(&ctx, &t, Mode::Baseline).unwrap();
+            let opt = q(&ctx, &t, Mode::Optimized).unwrap();
+            // Project to SF 10 so fixed startup costs don't mask the
+            // asymptotic behaviour at the tiny test scale.
+            let f = 10.0 / t.scale_factor;
+            let bt = base.metrics.scaled(f).runtime(&ctx.model);
+            let ot = opt.metrics.scaled(f).runtime(&ctx.model);
+            assert!(
+                ot < bt,
+                "{name}: optimized {ot:.2}s !< baseline {bt:.2}s at SF10"
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! TPC-H table schemas (the columns of the official `dbgen` layout).
+
+use pushdown_common::{DataType, Schema};
+
+pub fn customer() -> Schema {
+    Schema::from_pairs(&[
+        ("c_custkey", DataType::Int),
+        ("c_name", DataType::Str),
+        ("c_address", DataType::Str),
+        ("c_nationkey", DataType::Int),
+        ("c_phone", DataType::Str),
+        ("c_acctbal", DataType::Float),
+        ("c_mktsegment", DataType::Str),
+        ("c_comment", DataType::Str),
+    ])
+}
+
+pub fn orders() -> Schema {
+    Schema::from_pairs(&[
+        ("o_orderkey", DataType::Int),
+        ("o_custkey", DataType::Int),
+        ("o_orderstatus", DataType::Str),
+        ("o_totalprice", DataType::Float),
+        ("o_orderdate", DataType::Date),
+        ("o_orderpriority", DataType::Str),
+        ("o_clerk", DataType::Str),
+        ("o_shippriority", DataType::Int),
+        ("o_comment", DataType::Str),
+    ])
+}
+
+pub fn lineitem() -> Schema {
+    Schema::from_pairs(&[
+        ("l_orderkey", DataType::Int),
+        ("l_partkey", DataType::Int),
+        ("l_suppkey", DataType::Int),
+        ("l_linenumber", DataType::Int),
+        ("l_quantity", DataType::Float),
+        ("l_extendedprice", DataType::Float),
+        ("l_discount", DataType::Float),
+        ("l_tax", DataType::Float),
+        ("l_returnflag", DataType::Str),
+        ("l_linestatus", DataType::Str),
+        ("l_shipdate", DataType::Date),
+        ("l_commitdate", DataType::Date),
+        ("l_receiptdate", DataType::Date),
+        ("l_shipinstruct", DataType::Str),
+        ("l_shipmode", DataType::Str),
+        ("l_comment", DataType::Str),
+    ])
+}
+
+pub fn part() -> Schema {
+    Schema::from_pairs(&[
+        ("p_partkey", DataType::Int),
+        ("p_name", DataType::Str),
+        ("p_mfgr", DataType::Str),
+        ("p_brand", DataType::Str),
+        ("p_type", DataType::Str),
+        ("p_size", DataType::Int),
+        ("p_container", DataType::Str),
+        ("p_retailprice", DataType::Float),
+        ("p_comment", DataType::Str),
+    ])
+}
+
+pub fn supplier() -> Schema {
+    Schema::from_pairs(&[
+        ("s_suppkey", DataType::Int),
+        ("s_name", DataType::Str),
+        ("s_address", DataType::Str),
+        ("s_nationkey", DataType::Int),
+        ("s_phone", DataType::Str),
+        ("s_acctbal", DataType::Float),
+        ("s_comment", DataType::Str),
+    ])
+}
+
+pub fn partsupp() -> Schema {
+    Schema::from_pairs(&[
+        ("ps_partkey", DataType::Int),
+        ("ps_suppkey", DataType::Int),
+        ("ps_availqty", DataType::Int),
+        ("ps_supplycost", DataType::Float),
+        ("ps_comment", DataType::Str),
+    ])
+}
+
+pub fn nation() -> Schema {
+    Schema::from_pairs(&[
+        ("n_nationkey", DataType::Int),
+        ("n_name", DataType::Str),
+        ("n_regionkey", DataType::Int),
+        ("n_comment", DataType::Str),
+    ])
+}
+
+pub fn region() -> Schema {
+    Schema::from_pairs(&[
+        ("r_regionkey", DataType::Int),
+        ("r_name", DataType::Str),
+        ("r_comment", DataType::Str),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lineitem_has_sixteen_columns() {
+        assert_eq!(super::lineitem().len(), 16);
+        assert_eq!(super::customer().len(), 8);
+        assert_eq!(super::orders().len(), 9);
+        assert_eq!(super::part().len(), 9);
+    }
+}

@@ -1,0 +1,45 @@
+//! PushdownDB's SQL front-end (paper §III: "a minimal optimizer and an
+//! executor"): run client-dialect SQL against a TPC-H table under both
+//! strategies and watch what the optimizer ships to S3.
+//!
+//! ```sh
+//! cargo run --release --example sql_frontend
+//! cargo run --release --example sql_frontend "SELECT * FROM orders ORDER BY o_totalprice DESC LIMIT 5"
+//! ```
+
+use pushdowndb::common::fmtutil;
+use pushdowndb::core::planner::{execute_sql_explained, Strategy};
+use pushdowndb::tpch::tpch_context;
+
+fn main() -> pushdowndb::common::Result<()> {
+    let (ctx, t) = tpch_context(0.005, 5_000)?;
+    let user_query: Option<String> = std::env::args().nth(1);
+    let queries: Vec<String> = match user_query {
+        Some(q) => vec![q],
+        None => vec![
+            "SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice < 1500".into(),
+            "SELECT SUM(o_totalprice), COUNT(*) FROM orders WHERE o_orderdate < DATE '1995-01-01'".into(),
+            "SELECT o_orderpriority, SUM(o_totalprice), COUNT(*) FROM orders GROUP BY o_orderpriority".into(),
+            "SELECT * FROM orders ORDER BY o_totalprice ASC LIMIT 3".into(),
+        ],
+    };
+    for sql in queries {
+        println!("\nSQL> {sql}");
+        for strategy in [Strategy::Baseline, Strategy::Pushdown] {
+            let (out, plan) = execute_sql_explained(&ctx, &t.orders, &sql, strategy)?;
+            println!(
+                "  {:?} -> {plan}: {} rows, modeled {}, wire {}",
+                strategy,
+                out.rows.len(),
+                fmtutil::secs(out.runtime(&ctx)),
+                fmtutil::bytes(out.metrics.bytes_returned()),
+            );
+            if out.rows.len() <= 5 {
+                for r in &out.rows {
+                    println!("    {:?}", r.values());
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! The §VII top-K experiment in miniature: server-side heap vs the
+//! two-phase sampling algorithm, including the analytic optimal sample
+//! size `S* = sqrt(K·N/α)`.
+//!
+//! ```sh
+//! cargo run --release --example topk_sampling
+//! ```
+
+use pushdowndb::common::fmtutil;
+use pushdowndb::core::algos::topk::{self, optimal_sample_size, TopKQuery};
+use pushdowndb::tpch::tpch_context;
+
+fn main() -> pushdowndb::common::Result<()> {
+    let (ctx, t) = tpch_context(0.005, 4_000)?;
+    let k = 10;
+    let q = TopKQuery {
+        table: t.lineitem.clone(),
+        order_col: "l_extendedprice".into(),
+        k,
+        asc: true,
+    };
+    let n = t.lineitem.row_count;
+    let alpha = 1.0 / t.lineitem.schema.len() as f64;
+    println!(
+        "lineitem: {n} rows; K = {k}; analytic optimal sample size S* = {}",
+        optimal_sample_size(k, n, alpha)
+    );
+
+    let server = topk::server_side(&ctx, &q)?;
+    let sampled = topk::sampling(&ctx, &q, None)?;
+
+    println!("\ncheapest {k} lineitems by l_extendedprice (both algorithms agree):");
+    for (a, b) in server.rows.iter().zip(&sampled.rows) {
+        assert_eq!(a[5], b[5], "order keys must agree");
+        println!("  order {:?} price {:?}", a[0], a[5]);
+    }
+
+    for (name, out) in [("server-side", &server), ("sampling  ", &sampled)] {
+        println!(
+            "{name}: runtime {}, wire {}",
+            fmtutil::secs(out.runtime(&ctx)),
+            fmtutil::bytes(out.metrics.bytes_returned()),
+        );
+    }
+    println!(
+        "\nsampling phases: {:?}",
+        sampled
+            .metrics
+            .phase_seconds(&ctx.model)
+            .iter()
+            .map(|(l, s)| format!("{l}: {}", fmtutil::secs(*s)))
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}

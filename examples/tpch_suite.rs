@@ -1,0 +1,39 @@
+//! Run the paper's TPC-H suite (Q1, Q3, Q6, Q14, Q17, Q19) in both
+//! configurations and print the Fig-10-style comparison.
+//!
+//! ```sh
+//! cargo run --release --example tpch_suite [scale_factor]
+//! ```
+
+use pushdowndb::common::fmtutil;
+use pushdowndb::tpch::{all_queries, tpch_context, Mode};
+
+fn main() -> pushdowndb::common::Result<()> {
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.005);
+    let (ctx, t) = tpch_context(sf, 10_000)?;
+    let f = 10.0 / sf;
+    println!("TPC-H at SF {sf} (metrics projected to the paper's SF 10):\n");
+    let mut speedups = Vec::new();
+    for (name, q) in all_queries() {
+        let base = q(&ctx, &t, Mode::Baseline)?;
+        let opt = q(&ctx, &t, Mode::Optimized)?;
+        let bt = base.metrics.scaled(f).runtime(&ctx.model);
+        let ot = opt.metrics.scaled(f).runtime(&ctx.model);
+        speedups.push(bt / ot);
+        println!(
+            "{name}: baseline {} -> optimized {}  ({:.1}x)   first row: {:?}",
+            fmtutil::secs(bt),
+            fmtutil::secs(ot),
+            bt / ot,
+            opt.rows.first().map(|r| r.values()),
+        );
+    }
+    println!(
+        "\ngeo-mean speedup: {:.1}x (paper: 6.7x)",
+        fmtutil::geo_mean(&speedups)
+    );
+    Ok(())
+}

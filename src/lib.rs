@@ -1,0 +1,31 @@
+//! # PushdownDB
+//!
+//! A from-scratch Rust reproduction of *"PushdownDB: Accelerating a DBMS
+//! using S3 Computation"* (Yu et al., ICDE 2020), including the simulated
+//! S3 + S3 Select substrate the experiments run against.
+//!
+//! This facade crate re-exports the workspace's public API. See the
+//! individual crates for details:
+//!
+//! * [`common`] — values, schemas, pricing, the analytical performance model
+//! * [`sql`] — the S3 Select SQL dialect (lexer/parser/binder/evaluator)
+//! * [`s3`] — the simulated object store
+//! * [`format`](mod@format) — CSV and ColumnarLite (Parquet-like) formats
+//! * [`select`] — the S3 Select engine
+//! * [`bloom`] — Bloom filters with SQL predicate generation
+//! * [`core`] — the PushdownDB engine: operators and the paper's algorithms
+//! * [`tpch`] — TPC-H generator, synthetic workloads, and the paper's queries
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`, or run `cargo run --release --example
+//! quickstart`.
+
+pub use pushdown_bloom as bloom;
+pub use pushdown_common as common;
+pub use pushdown_core as core;
+pub use pushdown_format as format;
+pub use pushdown_s3 as s3;
+pub use pushdown_select as select;
+pub use pushdown_sql as sql;
+pub use pushdown_tpch as tpch;

@@ -1,0 +1,211 @@
+//! End-to-end correctness: every pushdown algorithm must produce exactly
+//! the answer its no-pushdown baseline produces, across operators and
+//! under fault injection.
+
+use pushdowndb::common::{DataType, Row, Schema, Value};
+use pushdowndb::core::algos::{filter, groupby, join, topk};
+use pushdowndb::core::{build_index, upload_csv_table, QueryContext};
+use pushdowndb::s3::S3Store;
+use pushdowndb::sql::agg::AggFunc;
+use pushdowndb::sql::parse_expr;
+use pushdowndb::tpch::{all_queries, tpch_context, Mode};
+
+fn assert_rows_close(a: &[Row], b: &[Row], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: row counts differ");
+    for (x, y) in a.iter().zip(b) {
+        for (vx, vy) in x.values().iter().zip(y.values()) {
+            match (vx, vy) {
+                (Value::Float(fx), Value::Float(fy)) => assert!(
+                    (fx - fy).abs() <= 1e-6 * (1.0 + fx.abs().max(fy.abs())),
+                    "{what}: {fx} vs {fy}"
+                ),
+                _ => assert_eq!(vx, vy, "{what}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn tpch_queries_agree_and_push_less_data() {
+    let (ctx, t) = tpch_context(0.003, 1_500).unwrap();
+    for (name, q) in all_queries() {
+        let base = q(&ctx, &t, Mode::Baseline).unwrap();
+        let opt = q(&ctx, &t, Mode::Optimized).unwrap();
+        assert_rows_close(&base.rows, &opt.rows, name);
+        assert!(
+            opt.metrics.bytes_returned() < base.metrics.bytes_returned(),
+            "{name}: pushdown should reduce wire bytes"
+        );
+    }
+}
+
+#[test]
+fn filter_strategies_agree_under_fault_injection() {
+    let store = S3Store::new();
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("s", DataType::Str)]);
+    let rows: Vec<Row> = (0..2_000)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Str(format!("val-{i}"))]))
+        .collect();
+    let table = upload_csv_table(&store, "b", "t", &schema, &rows, 333).unwrap();
+    let ctx = QueryContext::new(store);
+    let index = build_index(&ctx, &table, "k").unwrap();
+    let q = filter::FilterQuery {
+        table: table.clone(),
+        predicate: parse_expr("k >= 100 AND k < 160").unwrap(),
+        projection: None,
+    };
+    // Transient faults on the plain-GET path are retried transparently.
+    ctx.store.inject_faults(2);
+    let server = filter::server_side(&ctx, &q).unwrap();
+    let s3 = filter::s3_side(&ctx, &q).unwrap();
+    let indexed = filter::indexed(&ctx, &index, &q).unwrap();
+    assert_eq!(server.rows.len(), 60);
+    assert_rows_close(&server.rows, &s3.rows, "filter s3");
+    assert_rows_close(&server.rows, &indexed.rows, "filter indexed");
+}
+
+#[test]
+fn join_agrees_across_fpr_extremes_and_fallback() {
+    let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+    let q = join::JoinQuery {
+        left: t.customer.clone(),
+        right: t.orders.clone(),
+        left_key: "c_custkey".into(),
+        right_key: "o_custkey".into(),
+        left_pred: Some(parse_expr("c_acctbal <= -500").unwrap()),
+        right_pred: Some(parse_expr("o_orderdate < DATE '1996-01-01'").unwrap()),
+        left_proj: vec!["c_custkey".into()],
+        right_proj: vec!["o_totalprice".into()],
+        sum_column: Some("o_totalprice".into()),
+    };
+    let reference = join::baseline(&ctx, &q).unwrap();
+    for fpr in [0.0001, 0.01, 0.5] {
+        let out = join::bloom(&ctx, &q, fpr).unwrap();
+        assert_rows_close(&reference.rows, &out.rows, &format!("bloom fpr {fpr}"));
+    }
+    // Forced fallback (tiny SQL limit) must still agree.
+    let mut tight = ctx.clone();
+    tight.bloom.max_sql_bytes = 32;
+    let (out, outcome) = join::bloom_with_outcome(&tight, &q, 0.01).unwrap();
+    assert_eq!(outcome, join::BloomOutcome::FellBack);
+    assert_rows_close(&reference.rows, &out.rows, "bloom fallback");
+}
+
+#[test]
+fn groupby_agrees_with_tiny_sql_limit_chunking() {
+    // A reduced SQL limit forces the CASE-WHEN phase to split into many
+    // statements; results must be unchanged.
+    let store = S3Store::new();
+    let schema = Schema::from_pairs(&[("g", DataType::Int), ("v", DataType::Float)]);
+    let rows: Vec<Row> = (0..3_000)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int((i % 50) as i64),
+                Value::Float((i as f64 * 3.3) % 97.0),
+            ])
+        })
+        .collect();
+    let table = upload_csv_table(&store, "b", "t", &schema, &rows, 1_000).unwrap();
+    let mut ctx = QueryContext::new(store);
+    ctx.engine = pushdowndb::select::S3SelectEngine::with_limits(
+        ctx.store.clone(),
+        pushdowndb::select::SelectLimits { max_sql_bytes: 2_048 },
+    );
+    let q = groupby::GroupByQuery {
+        table,
+        group_cols: vec!["g".into()],
+        aggs: vec![(AggFunc::Sum, "v".into()), (AggFunc::Avg, "v".into())],
+        predicate: None,
+    };
+    let server = groupby::server_side(&ctx, &q).unwrap();
+    let s3 = groupby::s3_side(&ctx, &q).unwrap();
+    let hybrid = groupby::hybrid(&ctx, &q, groupby::HybridOptions::default()).unwrap();
+    assert_eq!(server.rows.len(), 50);
+    assert_rows_close(&server.rows, &s3.rows, "s3-side chunked");
+    assert_rows_close(&server.rows, &hybrid.rows, "hybrid chunked");
+}
+
+#[test]
+fn topk_agrees_on_tpch_lineitem() {
+    let (ctx, t) = tpch_context(0.002, 2_000).unwrap();
+    for (k, asc) in [(1, true), (17, true), (100, false)] {
+        let q = topk::TopKQuery {
+            table: t.lineitem.clone(),
+            order_col: "l_extendedprice".into(),
+            k,
+            asc,
+        };
+        let server = topk::server_side(&ctx, &q).unwrap();
+        let sampled = topk::sampling(&ctx, &q, None).unwrap();
+        assert_eq!(server.rows.len(), sampled.rows.len());
+        for (a, b) in server.rows.iter().zip(&sampled.rows) {
+            assert_eq!(a[5], b[5], "k={k} asc={asc}: order keys");
+        }
+    }
+}
+
+#[test]
+fn ledger_matches_metrics_for_select_queries() {
+    // The metrics attached to an output must agree with the store's own
+    // AWS-style ledger for the billable Select quantities.
+    let (ctx, t) = tpch_context(0.002, 2_000).unwrap();
+    ctx.store.ledger().reset();
+    let q = filter::FilterQuery {
+        table: t.orders.clone(),
+        predicate: parse_expr("o_totalprice < 1000").unwrap(),
+        projection: Some(vec!["o_orderkey".into()]),
+    };
+    let out = filter::s3_side(&ctx, &q).unwrap();
+    let usage = ctx.store.ledger().snapshot();
+    let metered = out.metrics.usage();
+    assert_eq!(usage.select_scanned_bytes, metered.select_scanned_bytes);
+    assert_eq!(usage.select_returned_bytes, metered.select_returned_bytes);
+    assert_eq!(usage.requests, metered.requests);
+}
+
+#[test]
+fn csv_and_columnar_tables_give_identical_query_answers() {
+    let store = S3Store::new();
+    let schema = Schema::from_pairs(&[
+        ("k", DataType::Int),
+        ("v", DataType::Float),
+        ("s", DataType::Str),
+    ]);
+    let rows: Vec<Row> = (0..2_500)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i),
+                Value::Float((i as f64 * 1.7) % 31.0),
+                Value::Str(format!("tag-{}", i % 7)),
+            ])
+        })
+        .collect();
+    let csv = upload_csv_table(&store, "b", "csvt", &schema, &rows, 600).unwrap();
+    let clt = pushdowndb::core::upload_columnar_table(
+        &store,
+        "b",
+        "cltt",
+        &schema,
+        &rows,
+        600,
+        pushdowndb::format::WriterOptions::default(),
+    )
+    .unwrap();
+    let ctx = QueryContext::new(store);
+    for pred in ["k < 100", "v > 15.0 AND s = 'tag-3'", "k >= 2499"] {
+        let make = |t: &pushdowndb::core::Table| filter::FilterQuery {
+            table: t.clone(),
+            predicate: parse_expr(pred).unwrap(),
+            projection: None,
+        };
+        let a = filter::s3_side(&ctx, &make(&csv)).unwrap();
+        let b = filter::s3_side(&ctx, &make(&clt)).unwrap();
+        assert_rows_close(&a.rows, &b.rows, pred);
+        // Columnar scans fewer bytes for any non-trivial width.
+        assert!(
+            b.metrics.usage().select_scanned_bytes
+                <= a.metrics.usage().select_scanned_bytes,
+            "{pred}"
+        );
+    }
+}
