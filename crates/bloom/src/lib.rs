@@ -111,15 +111,27 @@ impl BloomFilter {
     }
 
     /// Build with explicit geometry (used by the size-capped builder).
+    ///
+    /// Each hash function gets its **own** prime modulus, all well above
+    /// the bit-array size. With a single shared modulus `n`, any two keys
+    /// congruent mod `n` collide in *every* hash function at once, which
+    /// floors the false-positive rate near `keys/n` no matter how many
+    /// hashes are used. Distinct primes break that systematic collision
+    /// while keeping `a·x + b` small enough for the S3 Select engine's
+    /// checked 64-bit integer arithmetic.
     pub fn with_geometry(m: u64, k: u32, seed: u64) -> BloomFilter {
-        let n = next_prime(m.max(2));
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = next_prime(m.max(1 << 20) + 1);
         let hashes = (0..k)
-            .map(|_| UniversalHash {
-                a: rng.random_range(1..n),
-                b: rng.random_range(0..n),
-                n,
-                m,
+            .map(|_| {
+                let h = UniversalHash {
+                    a: rng.random_range(1..n),
+                    b: rng.random_range(0..n),
+                    n,
+                    m,
+                };
+                n = next_prime(n + 1);
+                h
             })
             .collect();
         BloomFilter {

@@ -29,11 +29,10 @@
 //! the calibration from the paper's figures, and the tests at the bottom of
 //! this file pin the calibration targets.
 
-use serde::{Deserialize, Serialize};
 
 /// Model parameters. Defaults are calibrated against the paper (see below
 /// and `DESIGN.md` §5); experiments can perturb them for ablations.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerfParams {
     /// S3 → compute-node network bandwidth, bytes/s. The paper's testbed
     /// has a 10 GigE NIC: 1.25 GB/s.
@@ -85,7 +84,7 @@ impl Default for PerfParams {
 }
 
 /// Resource footprint of one execution phase, filled in by the executor.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseStats {
     /// **Bulk** HTTP requests: one per table partition (scan fan-out).
     /// Partition count is a *layout* constant — scaling a measurement to a

@@ -17,7 +17,7 @@ const GB: f64 = 1_000_000_000.0;
 /// Price book. Defaults to the paper's US-East prices; tests and ablations
 /// can construct alternatives (e.g. the "computation-aware pricing" thought
 /// experiment from paper §X, Suggestion 5).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pricing {
     /// $/GB scanned by S3 Select.
     pub scan_per_gb: f64,
@@ -63,7 +63,7 @@ impl Pricing {
 }
 
 /// Raw billable resource consumption of a query (what the ledger collects).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Usage {
     /// HTTP GET requests issued (plain + S3 Select).
     pub requests: u64,
@@ -115,7 +115,7 @@ impl AddAssign for Usage {
 
 /// A query's dollar cost, split exactly as the paper's stacked cost bars:
 /// compute / request / scan / transfer.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CostBreakdown {
     pub compute: f64,
     pub request: f64,

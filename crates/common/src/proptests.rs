@@ -6,7 +6,9 @@
 use crate::date;
 use crate::perf::{PerfModel, PhaseStats};
 use crate::pricing::{Pricing, Usage};
-use crate::value::Value;
+use crate::row::{BatchBuilder, Row, RowBatch};
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
 use proptest::prelude::*;
 
 proptest! {
@@ -121,6 +123,74 @@ proptest! {
         prop_assert!(v[0].total_cmp(&v[1]) != Greater);
         prop_assert!(v[1].total_cmp(&v[2]) != Greater);
         prop_assert!(v[0].total_cmp(&v[2]) != Greater);
+    }
+}
+
+fn batch_schema() -> Schema {
+    Schema::from_pairs(&[("k", DataType::Int), ("s", DataType::Str)])
+}
+
+fn arb_batch_rows() -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(
+        (any::<i64>(), "[a-z]{0,5}")
+            .prop_map(|(k, s)| Row::new(vec![Value::Int(k), Value::Str(s)])),
+        0..400,
+    )
+}
+
+proptest! {
+    /// Chunking never splits a row, never exceeds the capacity, fills
+    /// every batch except possibly the last, and concatenating the
+    /// batches reproduces the unbatched input exactly.
+    #[test]
+    fn row_batch_chunks_round_trip(rows in arb_batch_rows(), cap in 1usize..64) {
+        let schema = batch_schema();
+        let batches = RowBatch::chunks(&schema, rows.clone(), cap);
+        for (i, b) in batches.iter().enumerate() {
+            prop_assert!(!b.is_empty(), "batch {i} empty");
+            prop_assert!(b.len() <= cap, "batch {i} overflows capacity");
+            if i + 1 < batches.len() {
+                prop_assert_eq!(b.len(), cap, "only the last batch may be partial");
+            }
+            prop_assert!(b.rows.iter().all(|r| r.len() == schema.len()));
+        }
+        prop_assert_eq!(RowBatch::concat(batches), rows);
+    }
+
+    /// The incremental builder and one-shot chunking agree batch-for-
+    /// batch: pushing row-by-row is just a streamed `chunks`.
+    #[test]
+    fn batch_builder_equals_chunks(rows in arb_batch_rows(), cap in 1usize..64) {
+        let schema = batch_schema();
+        let mut built = Vec::new();
+        let mut builder = BatchBuilder::new(schema.clone(), cap);
+        prop_assert_eq!(builder.capacity(), cap);
+        for r in rows.clone() {
+            if let Some(full) = builder.push(r) {
+                prop_assert_eq!(full.len(), cap, "emitted batches are exactly full");
+                built.push(full);
+            }
+        }
+        if let Some(tail) = builder.finish() {
+            prop_assert!(!tail.is_empty() && tail.len() <= cap);
+            built.push(tail);
+        }
+        let direct = RowBatch::chunks(&schema, rows, cap);
+        prop_assert_eq!(built.len(), direct.len());
+        for (a, b) in built.iter().zip(&direct) {
+            prop_assert_eq!(&a.rows, &b.rows);
+        }
+    }
+
+    /// A degenerate capacity of 1 yields one batch per row, in order.
+    #[test]
+    fn capacity_one_is_row_per_batch(rows in arb_batch_rows()) {
+        let schema = batch_schema();
+        let batches = RowBatch::chunks(&schema, rows.clone(), 1);
+        prop_assert_eq!(batches.len(), rows.len());
+        for (b, r) in batches.iter().zip(&rows) {
+            prop_assert_eq!(b.rows.as_slice(), std::slice::from_ref(r));
+        }
     }
 }
 

@@ -7,7 +7,7 @@ use crate::value::Value;
 ///
 /// Rows are plain vectors; PushdownDB (like the paper's Python testbed) is a
 /// row-oriented engine and passes batches of rows between operators.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row(pub Vec<Value>);
 
 impl Row {
@@ -90,6 +90,12 @@ impl std::ops::Index<usize> for Row {
 /// A batch of rows sharing a schema. Operators exchange these to amortize
 /// per-row overheads (paper §III: "passes batches of tuples from producer
 /// to consumer").
+///
+/// Batches are the unit of the streaming execution path: scans decode
+/// partitions into fixed-capacity batches and push them through the
+/// operators, so peak resident rows stay `O(workers × batch)` instead of
+/// `O(table)`. A batch never splits a row — each [`Row`] lives in exactly
+/// one batch.
 #[derive(Debug, Clone)]
 pub struct RowBatch {
     pub schema: Schema,
@@ -118,6 +124,84 @@ impl RowBatch {
 
     pub fn approx_size(&self) -> usize {
         self.rows.iter().map(Row::approx_size).sum()
+    }
+
+    /// Split `rows` into batches of at most `capacity` rows (the last
+    /// batch holds the remainder). Inverse of [`RowBatch::concat`].
+    pub fn chunks(schema: &Schema, rows: Vec<Row>, capacity: usize) -> Vec<RowBatch> {
+        let capacity = capacity.max(1);
+        if rows.len() <= capacity {
+            if rows.is_empty() {
+                return Vec::new();
+            }
+            return vec![RowBatch::new(schema.clone(), rows)];
+        }
+        let mut out = Vec::with_capacity(rows.len().div_ceil(capacity));
+        let mut rows = rows.into_iter();
+        loop {
+            let chunk: Vec<Row> = rows.by_ref().take(capacity).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            out.push(RowBatch::new(schema.clone(), chunk));
+        }
+        out
+    }
+
+    /// Concatenate batches back into one row vector, in order.
+    pub fn concat(batches: impl IntoIterator<Item = RowBatch>) -> Vec<Row> {
+        let mut rows = Vec::new();
+        for b in batches {
+            rows.extend(b.rows);
+        }
+        rows
+    }
+}
+
+/// Accumulates rows and hands out full, fixed-capacity [`RowBatch`]es.
+///
+/// Producers `push` rows one at a time; every `capacity`-th push returns
+/// a full batch to forward downstream, and [`BatchBuilder::finish`]
+/// flushes the partial tail (if any).
+#[derive(Debug)]
+pub struct BatchBuilder {
+    schema: Schema,
+    capacity: usize,
+    rows: Vec<Row>,
+}
+
+impl BatchBuilder {
+    pub fn new(schema: Schema, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BatchBuilder {
+            schema,
+            capacity,
+            rows: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Add a row; returns a full batch once `capacity` rows accumulate.
+    pub fn push(&mut self, row: Row) -> Option<RowBatch> {
+        self.rows.push(row);
+        if self.rows.len() >= self.capacity {
+            let full = std::mem::replace(&mut self.rows, Vec::with_capacity(self.capacity));
+            Some(RowBatch::new(self.schema.clone(), full))
+        } else {
+            None
+        }
+    }
+
+    /// Flush the remaining partial batch, if any rows are buffered.
+    pub fn finish(self) -> Option<RowBatch> {
+        if self.rows.is_empty() {
+            None
+        } else {
+            Some(RowBatch::new(self.schema, self.rows))
+        }
     }
 }
 

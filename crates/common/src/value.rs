@@ -11,7 +11,7 @@ use std::cmp::Ordering;
 use std::fmt;
 
 /// Logical column types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Bool,
     Int,
@@ -39,7 +39,7 @@ impl fmt::Display for DataType {
 /// Comparison follows SQL-ish semantics via [`Value::sql_cmp`] (NULLs are
 /// incomparable) but a total order is also available via [`Value::total_cmp`]
 /// for sorting, where NULL sorts first and floats use IEEE total ordering.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Bool(bool),

@@ -16,7 +16,7 @@ use crate::index::IndexTable;
 use crate::metrics::QueryMetrics;
 use crate::ops;
 use crate::output::QueryOutput;
-use crate::scan::{plain_scan, select_scan};
+use crate::scan::{plain_scan_streamed, select_scan};
 use pushdown_common::perf::PhaseStats;
 use pushdown_common::{Result, Row, Schema};
 use pushdown_format::csv::split_line;
@@ -61,24 +61,35 @@ impl FilterQuery {
     }
 }
 
-/// Server-side filter: full load, local predicate.
+/// Server-side filter: full load, local predicate — streamed. Each scan
+/// batch is filtered (and projected) as it arrives, so only the matches
+/// are ever resident.
 pub fn server_side(ctx: &QueryContext, q: &FilterQuery) -> Result<QueryOutput> {
-    let mut scan = plain_scan(ctx, &q.table)?;
     let pred = Binder::new(&q.table.schema).bind_expr(&q.predicate)?;
-    let mut stats = scan.stats;
-    let rows = ops::filter_rows(std::mem::take(&mut scan.rows), &pred, &mut stats)?;
-    let (schema, rows) = match &q.projection {
-        None => (q.table.schema.clone(), rows),
+    let proj_idx = match &q.projection {
+        None => None,
         Some(cols) => {
             let idx: Result<Vec<usize>> =
                 cols.iter().map(|c| q.table.schema.resolve(c)).collect();
-            let idx = idx?;
-            (
-                q.table.schema.project(&idx),
-                ops::project_rows(rows, &idx, &mut stats),
-            )
+            Some(idx?)
         }
     };
+    let mut op_stats = PhaseStats::default();
+    let mut rows = Vec::new();
+    let summary = plain_scan_streamed(ctx, &q.table, |batch| {
+        let kept = ops::filter_rows(batch.rows, &pred, &mut op_stats)?;
+        match &proj_idx {
+            Some(idx) => rows.extend(ops::project_rows(kept, idx, &mut op_stats)),
+            None => rows.extend(kept),
+        }
+        Ok(())
+    })?;
+    let schema = match &proj_idx {
+        None => q.table.schema.clone(),
+        Some(idx) => q.table.schema.project(idx),
+    };
+    let mut stats = summary.stats;
+    stats.merge(&op_stats);
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("server-side filter", stats);
     Ok(QueryOutput { schema, rows, metrics })

@@ -19,7 +19,7 @@ use crate::context::QueryContext;
 use crate::metrics::QueryMetrics;
 use crate::ops;
 use crate::output::QueryOutput;
-use crate::scan::{plain_scan, select_scan};
+use crate::scan::{plain_scan_streamed, select_scan, select_scan_streamed};
 use pushdown_common::perf::PhaseStats;
 use pushdown_common::{DataType, Error, Field, Result, Row, Schema, Value};
 use pushdown_sql::agg::AggFunc;
@@ -73,41 +73,75 @@ impl GroupByQuery {
     }
 }
 
-/// Aggregate locally given rows whose schema contains the needed columns.
-fn local_aggregate(
-    q: &GroupByQuery,
-    schema: &Schema,
-    rows: &[Row],
-    stats: &mut PhaseStats,
-) -> Result<Vec<Row>> {
+/// Build the streaming aggregation state for `q` against the schema the
+/// input rows arrive in.
+fn group_accumulator(q: &GroupByQuery, schema: &Schema) -> Result<ops::GroupByAccumulator> {
     let gidx: Result<Vec<usize>> = q.group_cols.iter().map(|c| schema.resolve(c)).collect();
-    let gidx = gidx?;
     let aggs: Result<Vec<(AggFunc, Option<usize>)>> = q
         .aggs
         .iter()
         .map(|(f, c)| Ok((*f, Some(schema.resolve(c)?))))
         .collect();
-    ops::hash_group_by(rows, &gidx, &aggs?, stats)
+    Ok(ops::GroupByAccumulator::new(gidx?, aggs?))
 }
 
-/// Server-side group-by: full table load, everything local.
+/// Stream `stmt` through S3 Select and fold every batch into local
+/// group accumulators. The accumulator resolves its columns against the
+/// response schema, so it is built lazily from the first batch; a scan
+/// that returns no rows yields an empty result. Returns the aggregated
+/// rows plus the phase footprint (scan merged with local CPU).
+fn streamed_group_aggregate(
+    ctx: &QueryContext,
+    q: &GroupByQuery,
+    stmt: &SelectStmt,
+) -> Result<(Vec<Row>, PhaseStats)> {
+    let mut acc: Option<ops::GroupByAccumulator> = None;
+    let mut op_stats = PhaseStats::default();
+    let summary = select_scan_streamed(ctx, &q.table, stmt, |batch| {
+        if acc.is_none() {
+            acc = Some(group_accumulator(q, &batch.schema)?);
+        }
+        acc.as_mut()
+            .expect("accumulator initialized above")
+            .update_batch(&batch.rows, &mut op_stats)
+    })?;
+    let rows = match acc {
+        Some(acc) => acc.finish(&mut op_stats),
+        None => Vec::new(), // no batch arrived: no matching rows at all
+    };
+    let mut stats = summary.stats;
+    stats.merge(&op_stats);
+    Ok((rows, stats))
+}
+
+/// Server-side group-by: full table load, everything local — streamed.
+/// Scan batches are filtered and folded into the group accumulators as
+/// they arrive; only the groups themselves are ever resident.
 pub fn server_side(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
-    let scan = plain_scan(ctx, &q.table)?;
-    let mut stats = scan.stats;
-    let mut rows = scan.rows;
-    if let Some(p) = &q.predicate {
-        let bound = Binder::new(&scan.schema).bind_expr(p)?;
-        rows = ops::filter_rows(rows, &bound, &mut stats)?;
-    }
-    let out = local_aggregate(q, &scan.schema, &rows, &mut stats)?;
+    let bound = match &q.predicate {
+        Some(p) => Some(Binder::new(&q.table.schema).bind_expr(p)?),
+        None => None,
+    };
+    let mut acc = group_accumulator(q, &q.table.schema)?;
+    let mut op_stats = PhaseStats::default();
+    let summary = plain_scan_streamed(ctx, &q.table, |batch| {
+        let rows = match &bound {
+            Some(pred) => ops::filter_rows(batch.rows, pred, &mut op_stats)?,
+            None => batch.rows,
+        };
+        acc.update_batch(&rows, &mut op_stats)
+    })?;
+    let out = acc.finish(&mut op_stats);
+    let mut stats = summary.stats;
+    stats.merge(&op_stats);
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("server-side group-by", stats);
     Ok(QueryOutput { schema: q.output_schema()?, rows: out, metrics })
 }
 
 /// Filtered group-by: projection (and predicate) pushed to S3 Select,
-/// aggregation local. "Filtered group-by loads only the four columns on
-/// which aggregation is performed" (paper §VI-C1).
+/// aggregation local — streamed. "Filtered group-by loads only the four
+/// columns on which aggregation is performed" (paper §VI-C1).
 pub fn filtered(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
     let cols = q.needed_cols();
     let stmt = SelectStmt {
@@ -119,9 +153,7 @@ pub fn filtered(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
         where_clause: q.predicate.clone(),
         limit: None,
     };
-    let scan = select_scan(ctx, &q.table, &stmt)?;
-    let mut stats = scan.stats;
-    let out = local_aggregate(q, &scan.schema, &scan.rows, &mut stats)?;
+    let (out, stats) = streamed_group_aggregate(ctx, q, &stmt)?;
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("filtered group-by", stats);
     Ok(QueryOutput { schema: q.output_schema()?, rows: out, metrics })
@@ -219,18 +251,24 @@ pub fn s3_side(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
         where_clause: q.predicate.clone(),
         limit: None,
     };
-    let scan = select_scan(ctx, &q.table, &stmt)?;
-    let mut phase1 = scan.stats;
-    phase1.server_cpu_units += scan.rows.len() as u64;
+    // Stream the projected group column(s): only the distinct values are
+    // kept, not the projected rows themselves.
     let mut groups: Vec<Vec<Value>> = Vec::new();
-    {
+    let mut seen_rows = 0u64;
+    let summary = {
         let mut seen: HashMap<Vec<Value>, ()> = HashMap::new();
-        for r in &scan.rows {
-            if seen.insert(r.values().to_vec(), ()).is_none() {
-                groups.push(r.values().to_vec());
+        select_scan_streamed(ctx, &q.table, &stmt, |batch| {
+            seen_rows += batch.len() as u64;
+            for r in &batch.rows {
+                if seen.insert(r.values().to_vec(), ()).is_none() {
+                    groups.push(r.values().to_vec());
+                }
             }
-        }
-    }
+            Ok(())
+        })?
+    };
+    let mut phase1 = summary.stats;
+    phase1.server_cpu_units += seen_rows;
     groups.sort_by(|a, b| {
         for (x, y) in a.iter().zip(b) {
             let o = x.total_cmp(y);
@@ -357,9 +395,8 @@ pub fn hybrid(
         where_clause: Some(tail_pred),
         limit: None,
     };
-    let tail = select_scan(ctx, &q.table, &tail_stmt)?;
-    let mut server_stats = tail.stats;
-    let tail_rows = local_aggregate(q, &tail.schema, &tail.rows, &mut server_stats)?;
+    // The long tail streams straight into local group accumulators.
+    let (tail_rows, server_stats) = streamed_group_aggregate(ctx, q, &tail_stmt)?;
 
     metrics.push_parallel(vec![
         ("hybrid: s3-side aggregation".into(), s3_stats),

@@ -21,7 +21,7 @@ use crate::context::QueryContext;
 use crate::metrics::QueryMetrics;
 use crate::ops;
 use crate::output::QueryOutput;
-use crate::scan::{plain_scan, select_scan, ScanResult};
+use crate::scan::{plain_scan_streamed, select_scan, ScanResult};
 use pushdown_bloom::BloomPlan;
 use pushdown_common::perf::PhaseStats;
 use pushdown_common::{Error, Result, Row, Schema, Value};
@@ -128,22 +128,43 @@ impl JoinFinisher<'_> {
     }
 }
 
-/// Baseline join: full plain loads of both tables, all work local.
+/// Stream one side's plain scan, applying its local predicate to every
+/// batch as it arrives so only passing rows are ever resident. Returns
+/// the filtered scan plus the filter's CPU footprint (accounted to the
+/// local-join phase, as when filtering ran after the load).
+fn plain_scan_filtered(
+    ctx: &QueryContext,
+    table: &Table,
+    pred: Option<&Expr>,
+) -> Result<(ScanResult, PhaseStats)> {
+    let bound = match pred {
+        Some(p) => Some(Binder::new(&table.schema).bind_expr(p)?),
+        None => None,
+    };
+    let mut filter_stats = PhaseStats::default();
+    let mut rows = Vec::new();
+    let summary = plain_scan_streamed(ctx, table, |batch| {
+        match &bound {
+            Some(b) => rows.extend(ops::filter_rows(batch.rows, b, &mut filter_stats)?),
+            None => rows.extend(batch.rows),
+        }
+        Ok(())
+    })?;
+    Ok((
+        ScanResult { schema: summary.schema, rows, stats: summary.stats },
+        filter_stats,
+    ))
+}
+
+/// Baseline join: full plain loads of both tables, all work local. The
+/// two loads stream concurrently, filtering batch-at-a-time.
 pub fn baseline(ctx: &QueryContext, q: &JoinQuery) -> Result<QueryOutput> {
-    let (mut left, mut right) = parallel_scans(
-        || plain_scan(ctx, &q.left),
-        || plain_scan(ctx, &q.right),
+    let ((left, left_filter), (right, right_filter)) = parallel_scans(
+        || plain_scan_filtered(ctx, &q.left, q.left_pred.as_ref()),
+        || plain_scan_filtered(ctx, &q.right, q.right_pred.as_ref()),
     )?;
-    // Predicates evaluate locally.
-    let mut local = PhaseStats::default();
-    if let Some(p) = &q.left_pred {
-        let bound = Binder::new(&left.schema).bind_expr(p)?;
-        left.rows = ops::filter_rows(std::mem::take(&mut left.rows), &bound, &mut local)?;
-    }
-    if let Some(p) = &q.right_pred {
-        let bound = Binder::new(&right.schema).bind_expr(p)?;
-        right.rows = ops::filter_rows(std::mem::take(&mut right.rows), &bound, &mut local)?;
-    }
+    let mut local = left_filter;
+    local.merge(&right_filter);
     let left_stats = left.stats;
     let right_stats = right.stats;
     let finisher = JoinFinisher { q };
@@ -276,10 +297,12 @@ pub fn bloom_with_outcome(
 }
 
 /// Run two scans concurrently (they are independent I/O).
-fn parallel_scans<L, R>(l: L, r: R) -> Result<(ScanResult, ScanResult)>
+fn parallel_scans<L, R, A, B>(l: L, r: R) -> Result<(A, B)>
 where
-    L: FnOnce() -> Result<ScanResult> + Send,
-    R: FnOnce() -> Result<ScanResult> + Send,
+    A: Send,
+    B: Send,
+    L: FnOnce() -> Result<A> + Send,
+    R: FnOnce() -> Result<B> + Send,
 {
     let mut left = None;
     let mut right = None;

@@ -17,7 +17,8 @@ use crate::context::QueryContext;
 use crate::metrics::QueryMetrics;
 use crate::ops;
 use crate::output::QueryOutput;
-use crate::scan::{plain_scan, select_scan};
+use crate::scan::{plain_scan_streamed, select_scan, select_scan_streamed};
+use pushdown_common::perf::PhaseStats;
 use pushdown_common::{Result, Value};
 use pushdown_sql::{Expr, SelectItem, SelectStmt};
 
@@ -39,15 +40,23 @@ pub fn optimal_sample_size(k: usize, n: u64, alpha: f64) -> usize {
     s.max(lo).min(n as f64).ceil() as usize
 }
 
-/// Server-side top-K: full load plus a local heap.
+/// Server-side top-K: full load plus a local heap — streamed. Scan
+/// batches feed the K-heap directly, so at most K rows plus one batch
+/// are resident at any moment.
 pub fn server_side(ctx: &QueryContext, q: &TopKQuery) -> Result<QueryOutput> {
-    let scan = plain_scan(ctx, &q.table)?;
-    let mut stats = scan.stats;
-    let col = scan.schema.resolve(&q.order_col)?;
-    let rows = ops::top_k(&scan.rows, col, q.k, q.asc, &mut stats);
+    let col = q.table.schema.resolve(&q.order_col)?;
+    let mut op_stats = PhaseStats::default();
+    let mut heap = ops::TopKAccumulator::new(col, q.k, q.asc);
+    let summary = plain_scan_streamed(ctx, &q.table, |batch| {
+        heap.push_batch(&batch.rows, &mut op_stats);
+        Ok(())
+    })?;
+    let rows = heap.finish(&mut op_stats);
+    let mut stats = summary.stats;
+    stats.merge(&op_stats);
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("server-side top-k", stats);
-    Ok(QueryOutput { schema: scan.schema, rows, metrics })
+    Ok(QueryOutput { schema: summary.schema, rows, metrics })
 }
 
 /// Sampling-based top-K (paper §VII-A). `sample_size = None` uses the
@@ -113,15 +122,23 @@ pub fn sampling(
         where_clause: pred,
         limit: None,
     };
-    let scan = select_scan(ctx, &q.table, &scan_stmt)?;
-    let mut phase2 = scan.stats;
-    let col = scan.schema.resolve(&q.order_col)?;
-    let rows = ops::top_k(&scan.rows, col, q.k, q.asc, &mut phase2);
+    // Stream the scanning phase: survivors feed the K-heap batch-at-a-
+    // time instead of materializing first.
+    let col = q.table.schema.resolve(&q.order_col)?;
+    let mut op_stats = PhaseStats::default();
+    let mut heap = ops::TopKAccumulator::new(col, q.k, q.asc);
+    let summary = select_scan_streamed(ctx, &q.table, &scan_stmt, |batch| {
+        heap.push_batch(&batch.rows, &mut op_stats);
+        Ok(())
+    })?;
+    let rows = heap.finish(&mut op_stats);
+    let mut phase2 = summary.stats;
+    phase2.merge(&op_stats);
 
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("sampling phase", phase1);
     metrics.push_serial("scanning phase", phase2);
-    Ok(QueryOutput { schema: scan.schema, rows, metrics })
+    Ok(QueryOutput { schema: summary.schema, rows, metrics })
 }
 
 #[cfg(test)]

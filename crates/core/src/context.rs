@@ -16,6 +16,11 @@ pub struct QueryContext {
     pub bloom: BloomBuilder,
     /// Worker threads for parallel partition scans.
     pub scan_threads: usize,
+    /// Rows per [`pushdown_common::row::RowBatch`] on the streaming scan
+    /// path. Together with `scan_threads` this bounds peak resident rows:
+    /// scans hold `O(scan_threads × batch_rows)` rows in flight instead
+    /// of materializing whole tables.
+    pub batch_rows: usize,
     /// Retry attempts for transient store faults.
     pub max_attempts: u32,
 }
@@ -32,8 +37,15 @@ impl QueryContext {
             scan_threads: std::thread::available_parallelism()
                 .map(|n| n.get().min(16))
                 .unwrap_or(4),
+            batch_rows: 1024,
             max_attempts: 3,
         }
+    }
+
+    /// Override the streaming batch capacity (rows per batch, ≥ 1).
+    pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
+        self.batch_rows = batch_rows.max(1);
+        self
     }
 
     pub fn with_perf(mut self, params: PerfParams) -> Self {
@@ -56,6 +68,8 @@ mod tests {
         let ctx = QueryContext::new(S3Store::new());
         assert!(ctx.scan_threads >= 1);
         assert_eq!(ctx.max_attempts, 3);
+        assert_eq!(ctx.batch_rows, 1024);
         assert_eq!(ctx.pricing, Pricing::us_east());
+        assert_eq!(ctx.with_batch_rows(0).batch_rows, 1);
     }
 }

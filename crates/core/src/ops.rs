@@ -1,10 +1,22 @@
 //! Server-side (compute-node) operators.
 //!
-//! These run on materialized row vectors — PushdownDB is a bare-bones
-//! row engine, like the paper's testbed (§III). Each operator reports its
-//! work into a [`PhaseStats`] as `server_cpu_units` so the performance
-//! model can charge compute time (one unit ≈ one row visited by one
-//! non-trivial operator; heap pushes charge `log2(K)`).
+//! PushdownDB is a bare-bones row engine, like the paper's testbed
+//! (§III). Operators come in two shapes:
+//!
+//! * **batch state machines** ([`TopKAccumulator`], [`GroupByAccumulator`],
+//!   [`HashJoinBuild`]) that consume the streaming scan's `RowBatch`es
+//!   incrementally, so a pipeline holds its *state* (a K-heap, a hash of
+//!   group accumulators, a build table) plus one batch — never the whole
+//!   table;
+//! * thin **whole-input wrappers** ([`top_k`], [`hash_group_by`],
+//!   [`hash_join`]) over those state machines for callers that already
+//!   hold materialized rows.
+//!
+//! Each operator reports its work into a [`PhaseStats`] as
+//! `server_cpu_units` so the performance model can charge compute time
+//! (one unit ≈ one row visited by one non-trivial operator; heap pushes
+//! charge `log2(K)`). The wrappers charge exactly what the equivalent
+//! batch-wise run charges: accounting is independent of batching.
 
 use pushdown_common::perf::PhaseStats;
 use pushdown_common::{Result, Row, Value};
@@ -14,7 +26,8 @@ use pushdown_sql::eval::{eval, eval_predicate};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
-/// Keep rows passing the predicate.
+/// Keep rows passing the predicate. Call once per batch on the streaming
+/// path; per-call CPU charges sum to the whole-input charge.
 pub fn filter_rows(
     rows: Vec<Row>,
     pred: &BoundExpr,
@@ -51,8 +64,58 @@ pub fn map_rows(
         .collect()
 }
 
-/// Hash inner join: build on `left`, probe with `right`; output rows are
-/// `left ++ right`. NULL keys never match (SQL semantics).
+/// The build side of a hash inner join, fed batch-at-a-time. NULL keys
+/// never enter the table (SQL semantics).
+pub struct HashJoinBuild {
+    key: usize,
+    table: HashMap<Value, Vec<Row>>,
+}
+
+impl HashJoinBuild {
+    pub fn new(key: usize) -> Self {
+        HashJoinBuild { key, table: HashMap::new() }
+    }
+
+    /// Insert one batch of build-side rows.
+    pub fn add_batch(&mut self, rows: Vec<Row>, stats: &mut PhaseStats) {
+        stats.server_cpu_units += rows.len() as u64;
+        for row in rows {
+            let k = &row[self.key];
+            if k.is_null() {
+                continue;
+            }
+            self.table.entry(k.clone()).or_default().push(row);
+        }
+    }
+
+    /// Probe one batch of rows against the finished build table; output
+    /// rows are `build ++ probe`. NULL probe keys never match.
+    pub fn probe_batch(
+        &self,
+        rows: &[Row],
+        probe_key: usize,
+        stats: &mut PhaseStats,
+    ) -> Vec<Row> {
+        stats.server_cpu_units += rows.len() as u64;
+        let mut out = Vec::new();
+        for r in rows {
+            let k = &r[probe_key];
+            if k.is_null() {
+                continue;
+            }
+            if let Some(matches) = self.table.get(k) {
+                stats.server_cpu_units += matches.len() as u64;
+                for l in matches {
+                    out.push(l.concat(r));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Hash inner join over materialized inputs: build on `left`, probe with
+/// `right`. Wrapper over [`HashJoinBuild`].
 pub fn hash_join(
     left: Vec<Row>,
     left_key: usize,
@@ -60,65 +123,73 @@ pub fn hash_join(
     right_key: usize,
     stats: &mut PhaseStats,
 ) -> Vec<Row> {
-    stats.server_cpu_units += left.len() as u64 + right.len() as u64;
-    let mut table: HashMap<Value, Vec<&Row>> = HashMap::with_capacity(left.len());
-    for row in &left {
-        let k = &row[left_key];
-        if k.is_null() {
-            continue;
-        }
-        table.entry(k.clone()).or_default().push(row);
-    }
-    let mut out = Vec::new();
-    for r in &right {
-        let k = &r[right_key];
-        if k.is_null() {
-            continue;
-        }
-        if let Some(matches) = table.get(k) {
-            stats.server_cpu_units += matches.len() as u64;
-            for l in matches {
-                out.push(l.concat(r));
-            }
-        }
-    }
-    out
+    let mut build = HashJoinBuild::new(left_key);
+    build.add_batch(left, stats);
+    build.probe_batch(&right, right_key, stats)
 }
 
-/// Hash aggregation with grouping. `aggs` pairs an aggregate function with
-/// the input column it consumes (`None` = COUNT(*)). Output rows are
-/// `group values ++ aggregate values`, sorted by group for determinism.
+/// Hash aggregation state, fed batch-at-a-time. `aggs` pairs an aggregate
+/// function with the input column it consumes (`None` = COUNT(*)).
+pub struct GroupByAccumulator {
+    group_cols: Vec<usize>,
+    aggs: Vec<(AggFunc, Option<usize>)>,
+    groups: HashMap<Vec<Value>, Vec<Accumulator>>,
+}
+
+impl GroupByAccumulator {
+    pub fn new(group_cols: Vec<usize>, aggs: Vec<(AggFunc, Option<usize>)>) -> Self {
+        GroupByAccumulator { group_cols, aggs, groups: HashMap::new() }
+    }
+
+    /// Fold one batch of input rows into the group table.
+    pub fn update_batch(&mut self, rows: &[Row], stats: &mut PhaseStats) -> Result<()> {
+        stats.server_cpu_units += rows.len() as u64;
+        for r in rows {
+            let key: Vec<Value> = self.group_cols.iter().map(|&c| r[c].clone()).collect();
+            let accs = self
+                .groups
+                .entry(key)
+                .or_insert_with(|| self.aggs.iter().map(|(f, _)| f.accumulator()).collect());
+            for (acc, (_, col)) in accs.iter_mut().zip(&self.aggs) {
+                match col {
+                    Some(c) => acc.update(&r[*c])?,
+                    None => acc.update(&Value::Bool(true))?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emit `group values ++ aggregate values`, sorted by group for
+    /// determinism.
+    pub fn finish(self, stats: &mut PhaseStats) -> Vec<Row> {
+        let group_width = self.group_cols.len();
+        let mut out: Vec<Row> = self
+            .groups
+            .into_iter()
+            .map(|(key, accs)| {
+                let mut vals = key;
+                vals.extend(accs.iter().map(Accumulator::finish));
+                Row::new(vals)
+            })
+            .collect();
+        out.sort_by(|a, b| cmp_rows(a, b, group_width));
+        stats.server_cpu_units += out.len() as u64;
+        out
+    }
+}
+
+/// Hash aggregation over materialized input. Wrapper over
+/// [`GroupByAccumulator`].
 pub fn hash_group_by(
     rows: &[Row],
     group_cols: &[usize],
     aggs: &[(AggFunc, Option<usize>)],
     stats: &mut PhaseStats,
 ) -> Result<Vec<Row>> {
-    stats.server_cpu_units += rows.len() as u64;
-    let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
-    for r in rows {
-        let key: Vec<Value> = group_cols.iter().map(|&c| r[c].clone()).collect();
-        let accs = groups
-            .entry(key)
-            .or_insert_with(|| aggs.iter().map(|(f, _)| f.accumulator()).collect());
-        for (acc, (_, col)) in accs.iter_mut().zip(aggs) {
-            match col {
-                Some(c) => acc.update(&r[*c])?,
-                None => acc.update(&Value::Bool(true))?,
-            }
-        }
-    }
-    let mut out: Vec<Row> = groups
-        .into_iter()
-        .map(|(key, accs)| {
-            let mut vals = key;
-            vals.extend(accs.iter().map(Accumulator::finish));
-            Row::new(vals)
-        })
-        .collect();
-    out.sort_by(|a, b| cmp_rows(a, b, group_cols.len()));
-    stats.server_cpu_units += out.len() as u64;
-    Ok(out)
+    let mut acc = GroupByAccumulator::new(group_cols.to_vec(), aggs.to_vec());
+    acc.update_batch(rows, stats)?;
+    Ok(acc.finish(stats))
 }
 
 fn cmp_rows(a: &Row, b: &Row, prefix: usize) -> Ordering {
@@ -176,81 +247,120 @@ fn merge_accumulator(f: AggFunc) -> Accumulator {
     }
 }
 
-/// Heap-based top-K by the given column. `asc = true` keeps the K
-/// smallest (the paper's `ORDER BY … ASC LIMIT K`). Ties are broken by
-/// full-row comparison for determinism. Rows with NULL keys are skipped
-/// (SQL: NULLs sort last and can't enter an ASC top-K unless K exceeds
-/// the non-null count; we mirror the paper's numeric workloads).
-pub fn top_k(rows: &[Row], order_col: usize, k: usize, asc: bool, stats: &mut PhaseStats) -> Vec<Row> {
-    use std::collections::BinaryHeap;
+/// Max-heap entry ordering by key then full row (ties broken by full-row
+/// comparison for determinism).
+struct HeapEntry {
+    row: Row,
+    col: usize,
+    asc: bool,
+}
 
-    /// Max-heap entry ordering by key then full row.
-    struct Entry {
-        row: Row,
-        col: usize,
-        asc: bool,
-    }
-    impl Entry {
-        fn cmp_inner(&self, other: &Self) -> Ordering {
-            let o = self.row[self.col]
-                .total_cmp(&other.row[self.col])
-                .then_with(|| {
-                    for (a, b) in self.row.values().iter().zip(other.row.values()) {
-                        let c = a.total_cmp(b);
-                        if c != Ordering::Equal {
-                            return c;
-                        }
+impl HeapEntry {
+    fn cmp_inner(&self, other: &Self) -> Ordering {
+        let o = self.row[self.col]
+            .total_cmp(&other.row[self.col])
+            .then_with(|| {
+                for (a, b) in self.row.values().iter().zip(other.row.values()) {
+                    let c = a.total_cmp(b);
+                    if c != Ordering::Equal {
+                        return c;
                     }
-                    Ordering::Equal
-                });
-            if self.asc {
-                o
-            } else {
-                o.reverse()
+                }
+                Ordering::Equal
+            });
+        if self.asc {
+            o
+        } else {
+            o.reverse()
+        }
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_inner(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_inner(other)
+    }
+}
+
+/// Heap-based top-K state, fed batch-at-a-time. `asc = true` keeps the K
+/// smallest (the paper's `ORDER BY … ASC LIMIT K`). Rows with NULL keys
+/// are skipped (SQL: NULLs sort last and can't enter an ASC top-K unless
+/// K exceeds the non-null count; we mirror the paper's numeric
+/// workloads). Holds at most K rows no matter how many flow through.
+pub struct TopKAccumulator {
+    heap: std::collections::BinaryHeap<HeapEntry>,
+    order_col: usize,
+    k: usize,
+    asc: bool,
+    log_k: u64,
+}
+
+impl TopKAccumulator {
+    pub fn new(order_col: usize, k: usize, asc: bool) -> Self {
+        TopKAccumulator {
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+            order_col,
+            k,
+            asc,
+            log_k: (k.max(2) as f64).log2().ceil() as u64,
+        }
+    }
+
+    /// Offer one batch of rows to the heap.
+    pub fn push_batch(&mut self, rows: &[Row], stats: &mut PhaseStats) {
+        if self.k == 0 {
+            return;
+        }
+        for row in rows {
+            if row[self.order_col].is_null() {
+                continue;
+            }
+            stats.server_cpu_units += self.log_k;
+            let e = HeapEntry { row: row.clone(), col: self.order_col, asc: self.asc };
+            if self.heap.len() < self.k {
+                self.heap.push(e);
+            } else if let Some(top) = self.heap.peek() {
+                if e.cmp_inner(top) == Ordering::Less {
+                    self.heap.pop();
+                    self.heap.push(e);
+                }
             }
         }
     }
-    impl PartialEq for Entry {
-        fn eq(&self, other: &Self) -> bool {
-            self.cmp_inner(other) == Ordering::Equal
-        }
-    }
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            self.cmp_inner(other)
-        }
-    }
 
+    /// The top K rows in order.
+    pub fn finish(self, stats: &mut PhaseStats) -> Vec<Row> {
+        let mut out: Vec<Row> = self
+            .heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|e| e.row)
+            .collect();
+        stats.server_cpu_units += out.len() as u64;
+        out.truncate(self.k);
+        out
+    }
+}
+
+/// Top-K over materialized input. Wrapper over [`TopKAccumulator`].
+pub fn top_k(rows: &[Row], order_col: usize, k: usize, asc: bool, stats: &mut PhaseStats) -> Vec<Row> {
     if k == 0 {
         return Vec::new();
     }
-    let log_k = (k.max(2) as f64).log2().ceil() as u64;
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
-    for row in rows {
-        if row[order_col].is_null() {
-            continue;
-        }
-        stats.server_cpu_units += log_k;
-        let e = Entry { row: row.clone(), col: order_col, asc };
-        if heap.len() < k {
-            heap.push(e);
-        } else if let Some(top) = heap.peek() {
-            if e.cmp_inner(top) == Ordering::Less {
-                heap.pop();
-                heap.push(e);
-            }
-        }
-    }
-    let mut out: Vec<Row> = heap.into_sorted_vec().into_iter().map(|e| e.row).collect();
-    stats.server_cpu_units += out.len() as u64;
-    out.truncate(k);
-    out
+    let mut acc = TopKAccumulator::new(order_col, k, asc);
+    acc.push_batch(rows, stats);
+    acc.finish(stats)
 }
 
 /// Full sort by one column (used by small final result orderings).
@@ -315,6 +425,27 @@ mod tests {
     }
 
     #[test]
+    fn batched_join_equals_whole_input_join() {
+        let left: Vec<Row> = (0..200).map(|i| row(vec![i % 40, i])).collect();
+        let right: Vec<Row> = (0..300).map(|i| row(vec![i % 55, 1000 + i])).collect();
+        let mut s1 = PhaseStats::default();
+        let whole = hash_join(left.clone(), 0, right.clone(), 0, &mut s1);
+
+        let mut s2 = PhaseStats::default();
+        let mut build = HashJoinBuild::new(0);
+        for chunk in left.chunks(33) {
+            build.add_batch(chunk.to_vec(), &mut s2);
+        }
+        let mut probed = Vec::new();
+        for chunk in right.chunks(29) {
+            probed.extend(build.probe_batch(chunk, 0, &mut s2));
+        }
+        assert_eq!(whole, probed);
+        // Batching must not change the CPU accounting.
+        assert_eq!(s1.server_cpu_units, s2.server_cpu_units);
+    }
+
+    #[test]
     fn group_by_matches_hand_computation() {
         let rows = vec![
             row(vec![1, 10]),
@@ -354,6 +485,26 @@ mod tests {
                 Row::new(vec![Value::Int(1), Value::Int(2), Value::Int(6)]),
             ]
         );
+    }
+
+    #[test]
+    fn batched_group_by_equals_whole_input() {
+        let rows: Vec<Row> = (0..500).map(|i| row(vec![i % 13, i, i % 7])).collect();
+        let aggs = [
+            (AggFunc::Sum, Some(1)),
+            (AggFunc::Count, None),
+            (AggFunc::Min, Some(2)),
+        ];
+        let mut s1 = PhaseStats::default();
+        let whole = hash_group_by(&rows, &[0], &aggs, &mut s1).unwrap();
+
+        let mut s2 = PhaseStats::default();
+        let mut acc = GroupByAccumulator::new(vec![0], aggs.to_vec());
+        for chunk in rows.chunks(37) {
+            acc.update_batch(chunk, &mut s2).unwrap();
+        }
+        assert_eq!(whole, acc.finish(&mut s2));
+        assert_eq!(s1.server_cpu_units, s2.server_cpu_units);
     }
 
     #[test]
@@ -406,6 +557,21 @@ mod tests {
         for (a, b) in heap.iter().zip(&sorted) {
             assert_eq!(a[0], b[0]);
         }
+    }
+
+    #[test]
+    fn batched_top_k_equals_whole_input() {
+        let rows: Vec<Row> = (0..400).map(|i| row(vec![(i * 6151) % 977, i])).collect();
+        let mut s1 = PhaseStats::default();
+        let whole = top_k(&rows, 0, 17, true, &mut s1);
+
+        let mut s2 = PhaseStats::default();
+        let mut acc = TopKAccumulator::new(0, 17, true);
+        for chunk in rows.chunks(41) {
+            acc.push_batch(chunk, &mut s2);
+        }
+        assert_eq!(whole, acc.finish(&mut s2));
+        assert_eq!(s1.server_cpu_units, s2.server_cpu_units);
     }
 
     #[test]

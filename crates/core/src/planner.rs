@@ -20,7 +20,7 @@ use crate::context::QueryContext;
 use crate::metrics::QueryMetrics;
 use crate::ops;
 use crate::output::QueryOutput;
-use crate::scan::{plain_scan, select_scan};
+use crate::scan::{self, select_scan};
 use pushdown_common::{Error, Result, Row, Schema, Value};
 use pushdown_sql::agg::AggFunc;
 use pushdown_sql::ast::QuerySpec;
@@ -242,16 +242,14 @@ fn groupby_query(table: &Table, spec: &QuerySpec) -> Result<groupby::GroupByQuer
 }
 
 /// Baseline scalar aggregation: full load, evaluate aggregate items
-/// locally.
+/// locally — streamed. Scan batches fold straight into the accumulators;
+/// only the accumulators are resident.
 fn local_aggregate(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Result<QueryOutput> {
-    let scan = plain_scan(ctx, table)?;
-    let mut stats = scan.stats;
-    let binder = Binder::new(&scan.schema);
-    let mut rows = scan.rows;
-    if let Some(w) = &stmt.where_clause {
-        let bound = binder.bind_expr(w)?;
-        rows = ops::filter_rows(rows, &bound, &mut stats)?;
-    }
+    let binder = Binder::new(&table.schema);
+    let pred = match &stmt.where_clause {
+        Some(w) => Some(binder.bind_expr(w)?),
+        None => None,
+    };
     let mut accs = Vec::new();
     let mut fields = Vec::new();
     for (i, item) in stmt.items.iter().enumerate() {
@@ -276,16 +274,26 @@ fn local_aggregate(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Resu
         ));
         accs.push((func.accumulator(), bound));
     }
-    stats.server_cpu_units += rows.len() as u64 * accs.len() as u64;
-    for r in &rows {
-        for (acc, arg) in accs.iter_mut() {
-            match arg {
-                Some(e) => acc.update(&pushdown_sql::eval::eval(e, r)?)?,
-                None => acc.update(&Value::Bool(true))?,
+    let mut op_stats = pushdown_common::perf::PhaseStats::default();
+    let summary = scan::plain_scan_streamed(ctx, table, |batch| {
+        let rows = match &pred {
+            Some(p) => ops::filter_rows(batch.rows, p, &mut op_stats)?,
+            None => batch.rows,
+        };
+        op_stats.server_cpu_units += rows.len() as u64 * accs.len() as u64;
+        for r in &rows {
+            for (acc, arg) in accs.iter_mut() {
+                match arg {
+                    Some(e) => acc.update(&pushdown_sql::eval::eval(e, r)?)?,
+                    None => acc.update(&Value::Bool(true))?,
+                }
             }
         }
-    }
+        Ok(())
+    })?;
     let row = Row::new(accs.iter().map(|(a, _)| a.finish()).collect());
+    let mut stats = summary.stats;
+    stats.merge(&op_stats);
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("server-side aggregation", stats);
     Ok(QueryOutput { schema: Schema::new(fields), rows: vec![row], metrics })

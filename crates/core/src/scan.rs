@@ -1,30 +1,50 @@
 //! Table scans: the two ways PushdownDB gets bytes out of S3.
 //!
-//! * [`plain_scan`] — GET every partition and deserialize on the compute
-//!   node (the *baseline* path: all bytes cross the wire; billed as plain
-//!   transfer, which is free in-region, plus compute time to parse).
-//! * [`select_scan`] — ship a `SELECT` statement to the storage engine
-//!   for every partition (the *pushdown* path: bytes scanned and returned
-//!   are billed; the response parses slower per byte, but there are fewer
-//!   of them).
+//! * [`plain_scan`] / [`plain_scan_streamed`] — GET every partition and
+//!   deserialize on the compute node (the *baseline* path: all bytes
+//!   cross the wire; billed as plain transfer, which is free in-region,
+//!   plus compute time to parse).
+//! * [`select_scan`] / [`select_scan_streamed`] — ship a `SELECT`
+//!   statement to the storage engine for every partition (the *pushdown*
+//!   path: bytes scanned and returned are billed; the response parses
+//!   slower per byte, but there are fewer of them).
 //!
-//! Both scan partitions concurrently on worker threads and merge results
-//! in partition order, so results are deterministic. Aggregate statements
-//! are re-written per partition and merged on the compute node —
-//! `AVG` is decomposed into `SUM`+`COUNT` because per-partition averages
-//! do not merge.
+//! # Streaming execution
+//!
+//! Both scans run partitions concurrently on a bounded worker pool and
+//! deliver rows downstream as fixed-capacity [`RowBatch`]es **in
+//! partition order**, so results stay deterministic. Each in-flight
+//! partition feeds a small bounded queue; workers block once their queue
+//! fills. Plain scans decode incrementally (CSV record-by-record,
+//! columnar row-group-by-row-group), capping their peak resident rows at
+//! `O(scan_threads × queue depth × batch_rows)` regardless of table
+//! size. Select scans decode each partition's *response* before
+//! batching, so their bound is `O(scan_threads × response rows)` — the
+//! billed returned subset, not the table. The `*_streamed` entry points
+//! expose the batch stream directly; [`plain_scan`] / [`select_scan`]
+//! are thin collecting wrappers for callers that genuinely need the
+//! full result.
+//!
+//! Aggregate statements are re-written per partition and merged on the
+//! compute node — `AVG` is decomposed into `SUM`+`COUNT` because
+//! per-partition averages do not merge.
 
 use crate::catalog::Table;
 use crate::context::QueryContext;
 use pushdown_common::perf::PhaseStats;
+use pushdown_common::row::{BatchBuilder, RowBatch};
 use pushdown_common::{Error, Result, Row, Schema, Value};
 use pushdown_format::columnar::ColumnarReader;
 use pushdown_format::csv::CsvReader;
-use pushdown_select::{InputFormat, SelectResponse};
+use pushdown_select::InputFormat;
 use pushdown_sql::agg::AggFunc;
 use pushdown_sql::ast::{SelectItem, SelectStmt};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::OnceLock;
 
-/// Result of a scan: rows, their schema, and the phase footprint.
+/// Result of a fully materialized scan: rows, their schema, and the
+/// phase footprint.
 #[derive(Debug, Clone)]
 pub struct ScanResult {
     pub schema: Schema,
@@ -32,13 +52,158 @@ pub struct ScanResult {
     pub stats: PhaseStats,
 }
 
-/// Run `f` over the table's partitions on `threads` workers, preserving
-/// partition order in the output.
+/// What a streamed scan reports once every batch has been consumed.
+#[derive(Debug, Clone)]
+pub struct ScanSummary {
+    pub schema: Schema,
+    pub stats: PhaseStats,
+}
+
+/// Full batches buffered per in-flight partition before its worker
+/// blocks. Small on purpose: memory is bounded by
+/// `scan_threads × (PARTITION_QUEUE_DEPTH + 1) × batch_rows` rows.
+const PARTITION_QUEUE_DEPTH: usize = 2;
+
+enum PartMsg<T> {
+    Item(T),
+    /// Terminates one partition's stream, carrying its phase footprint.
+    Done(Result<PhaseStats>),
+}
+
+/// Handed to partition producers to push items downstream. Sending
+/// blocks while the partition's queue is full; a consumer that aborts
+/// the scan drops every receiver, which wakes all blocked senders with
+/// a disconnection error.
+pub struct Emitter<'a, T> {
+    tx: &'a SyncSender<PartMsg<T>>,
+}
+
+impl<T> Emitter<'_, T> {
+    fn send(&self, msg: PartMsg<T>) -> Result<()> {
+        self.tx
+            .send(msg)
+            .map_err(|_| Error::Other("scan cancelled by consumer".into()))
+    }
+
+    pub fn emit(&self, item: T) -> Result<()> {
+        self.send(PartMsg::Item(item))
+    }
+}
+
+/// Run `produce` over every partition on `ctx.scan_threads` workers and
+/// feed everything it emits to `consume` **in partition order**, merging
+/// the per-partition [`PhaseStats`] the producers return.
+///
+/// Workers claim partitions in index order and push into one bounded
+/// queue per partition; the consumer drains queues in index order, so
+/// output order is deterministic while decode work overlaps across
+/// partitions. A consumer error cancels outstanding producers.
+fn stream_partitions<T, P, C>(
+    ctx: &QueryContext,
+    keys: &[String],
+    produce: P,
+    mut consume: C,
+) -> Result<PhaseStats>
+where
+    T: Send,
+    P: Fn(&str, &Emitter<'_, T>) -> Result<PhaseStats> + Sync,
+    C: FnMut(T) -> Result<()>,
+{
+    let threads = ctx.scan_threads.clamp(1, keys.len().max(1));
+    let mut senders = Vec::with_capacity(keys.len());
+    let mut receivers = Vec::with_capacity(keys.len());
+    for _ in keys {
+        let (tx, rx) = sync_channel(PARTITION_QUEUE_DEPTH);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let next = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let mut outcome: Result<PhaseStats> = Ok(PhaseStats::default());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= keys.len() || cancelled.load(Ordering::Relaxed) {
+                    break;
+                }
+                let emitter = Emitter { tx: &senders[i] };
+                let result = produce(&keys[i], &emitter);
+                let failed = result.is_err();
+                // Best-effort: if the consumer aborted, this queue's
+                // receiver is gone and the send simply errors.
+                let _ = emitter.send(PartMsg::Done(result));
+                if failed {
+                    break;
+                }
+            });
+        }
+
+        let mut stats = PhaseStats::default();
+        'partitions: for rx in &receivers {
+            loop {
+                match rx.recv() {
+                    Ok(PartMsg::Item(item)) => {
+                        if let Err(e) = consume(item) {
+                            outcome = Err(e);
+                            break 'partitions;
+                        }
+                    }
+                    Ok(PartMsg::Done(Ok(part_stats))) => {
+                        stats.merge(&part_stats);
+                        break;
+                    }
+                    Ok(PartMsg::Done(Err(e))) => {
+                        outcome = Err(e);
+                        break 'partitions;
+                    }
+                    Err(_) => {
+                        outcome =
+                            Err(Error::Other("partition worker exited unexpectedly".into()));
+                        break 'partitions;
+                    }
+                }
+            }
+        }
+        if outcome.is_ok() {
+            outcome = Ok(stats);
+        } else {
+            // Abort: stop workers claiming new partitions, and drop every
+            // receiver so producers blocked on full queues wake with a
+            // disconnection error and the scope can join.
+            cancelled.store(true, Ordering::Relaxed);
+            receivers.clear();
+        }
+    });
+    outcome
+}
+
+/// Run `f` once per partition on the worker pool, returning results in
+/// partition order (the non-streaming fan-out used by aggregate scans).
 fn for_each_partition<T, F>(ctx: &QueryContext, table: &Table, f: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(&str) -> Result<T> + Sync,
 {
+    let keys = partition_keys(ctx, table)?;
+    let mut out = Vec::with_capacity(keys.len());
+    stream_partitions(
+        ctx,
+        &keys,
+        |key, emitter| {
+            emitter.emit(f(key)?)?;
+            Ok(PhaseStats::default())
+        },
+        |item| {
+            out.push(item);
+            Ok(())
+        },
+    )?;
+    Ok(out)
+}
+
+fn partition_keys(ctx: &QueryContext, table: &Table) -> Result<Vec<String>> {
     let keys = table.partitions(&ctx.store);
     if keys.is_empty() {
         return Err(Error::NoSuchKey(format!(
@@ -46,65 +211,98 @@ where
             table.name, table.bucket, table.prefix
         )));
     }
-    let threads = ctx.scan_threads.clamp(1, keys.len());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<Result<T>>> = (0..keys.len()).map(|_| None).collect();
-    let slot_refs: Vec<_> = slots.iter_mut().map(parking_lot::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= keys.len() {
-                    break;
-                }
-                let out = f(&keys[i]);
-                **slot_refs[i].lock() = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every partition slot filled"))
-        .collect()
+    Ok(keys)
 }
 
-fn decode_partition(
-    data: &[u8],
+/// Decode one partition's bytes incrementally, pushing full batches out
+/// through `sink`. Returns the number of rows decoded.
+fn decode_partition_batches(
+    data: bytes::Bytes,
     schema: &Schema,
     format: InputFormat,
-) -> Result<Vec<Row>> {
+    batch_rows: usize,
+    mut sink: impl FnMut(RowBatch) -> Result<()>,
+) -> Result<u64> {
+    let mut builder = BatchBuilder::new(schema.clone(), batch_rows);
+    let mut count = 0u64;
     match format {
-        InputFormat::Csv => CsvReader::with_header(data, schema.clone())
-            .map(|r| r.map(|rec| rec.row))
-            .collect(),
-        InputFormat::CsvNoHeader => CsvReader::without_header(data, schema.clone())
-            .map(|r| r.map(|rec| rec.row))
-            .collect(),
+        InputFormat::Csv | InputFormat::CsvNoHeader => {
+            let reader = if format == InputFormat::Csv {
+                CsvReader::with_header(&data, schema.clone())
+            } else {
+                CsvReader::without_header(&data, schema.clone())
+            };
+            for record in reader {
+                count += 1;
+                if let Some(full) = builder.push(record?.row) {
+                    sink(full)?;
+                }
+            }
+        }
         InputFormat::Columnar => {
-            let reader = ColumnarReader::open(bytes::Bytes::copy_from_slice(data))?;
-            reader.read_all()
+            let reader = ColumnarReader::open(data)?;
+            let all_cols: Vec<usize> = (0..schema.len()).collect();
+            for g in 0..reader.num_row_groups() {
+                for row in reader.read_rows_projected(g, &all_cols)? {
+                    count += 1;
+                    if let Some(full) = builder.push(row) {
+                        sink(full)?;
+                    }
+                }
+            }
         }
     }
+    if let Some(tail) = builder.finish() {
+        sink(tail)?;
+    }
+    Ok(count)
+}
+
+/// Baseline path, streaming: GET each partition, decode it batch-at-a-
+/// time, and hand batches to `on_batch` in partition order. Peak
+/// resident rows are bounded by the worker pool, not the table.
+pub fn plain_scan_streamed(
+    ctx: &QueryContext,
+    table: &Table,
+    mut on_batch: impl FnMut(RowBatch) -> Result<()>,
+) -> Result<ScanSummary> {
+    let keys = partition_keys(ctx, table)?;
+    let stats = stream_partitions(
+        ctx,
+        &keys,
+        |key, emitter| {
+            let data = ctx
+                .store
+                .get_object_retrying(&table.bucket, key, ctx.max_attempts)?;
+            let mut part = PhaseStats {
+                requests: 1,
+                plain_bytes: data.len() as u64,
+                ..Default::default()
+            };
+            let rows = decode_partition_batches(
+                data,
+                &table.schema,
+                table.format,
+                ctx.batch_rows,
+                |batch| emitter.emit(batch),
+            )?;
+            part.server_cpu_units += rows;
+            Ok(part)
+        },
+        &mut on_batch,
+    )?;
+    Ok(ScanSummary { schema: table.schema.clone(), stats })
 }
 
 /// Baseline path: load whole partitions over the wire and parse locally.
+/// Collecting wrapper over [`plain_scan_streamed`].
 pub fn plain_scan(ctx: &QueryContext, table: &Table) -> Result<ScanResult> {
-    let parts = for_each_partition(ctx, table, |key| {
-        let data = ctx
-            .store
-            .get_object_retrying(&table.bucket, key, ctx.max_attempts)?;
-        let rows = decode_partition(&data, &table.schema, table.format)?;
-        Ok((data.len() as u64, rows))
-    })?;
-    let mut stats = PhaseStats::default();
     let mut rows = Vec::new();
-    for (bytes, part_rows) in parts {
-        stats.requests += 1;
-        stats.plain_bytes += bytes;
-        stats.server_cpu_units += part_rows.len() as u64;
-        rows.extend(part_rows);
-    }
-    Ok(ScanResult { schema: table.schema.clone(), rows, stats })
+    let summary = plain_scan_streamed(ctx, table, |batch| {
+        rows.extend(batch.rows);
+        Ok(())
+    })?;
+    Ok(ScanResult { schema: summary.schema, rows, stats: summary.stats })
 }
 
 /// How a per-partition aggregate column folds into the final answer.
@@ -118,26 +316,7 @@ enum MergeKind {
     Avg { sum_col: usize, count_col: usize },
 }
 
-/// Pushdown path: run `stmt` against every partition via S3 Select and
-/// merge the responses.
-///
-/// * Scalar statements: responses concatenate in partition order; a
-///   `LIMIT` is satisfied by querying partitions *sequentially* and
-///   stopping early (the sampling phases of §VI-B and §VII-A rely on the
-///   scan — and its bill — stopping with the limit).
-/// * Aggregate statements: rewritten per partition (`AVG → SUM, COUNT`)
-///   and merged on the compute node.
-pub fn select_scan(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Result<ScanResult> {
-    if stmt.is_aggregate() {
-        select_scan_aggregate(ctx, table, stmt)
-    } else if stmt.limit.is_some() {
-        select_scan_limited(ctx, table, stmt)
-    } else {
-        select_scan_scalar(ctx, table, stmt)
-    }
-}
-
-fn accumulate_response(stats: &mut PhaseStats, resp: &SelectResponse) {
+fn accumulate_response(stats: &mut PhaseStats, resp: &pushdown_select::SelectResponse) {
     stats.requests += 1;
     stats.s3_scanned_bytes += resp.stats.bytes_scanned;
     stats.select_returned_bytes += resp.stats.bytes_returned;
@@ -145,30 +324,74 @@ fn accumulate_response(stats: &mut PhaseStats, resp: &SelectResponse) {
     stats.expr_terms = stats.expr_terms.max(resp.stats.expr_terms);
 }
 
-fn select_scan_scalar(
+/// Pushdown path, streaming: run `stmt` against every partition via S3
+/// Select and deliver response rows as batches in partition order.
+///
+/// * Scalar statements stream with full partition parallelism. Each
+///   worker materializes its partition's *response* rows before
+///   batching, so peak residency follows the billed returned subset
+///   (small under pushdown), not the table.
+/// * `LIMIT` statements query partitions *sequentially* and stop early
+///   (the sampling phases of §VI-B and §VII-A rely on the scan — and its
+///   bill — stopping with the limit), streaming each response.
+/// * Aggregate statements produce their single merged row as one batch.
+pub fn select_scan_streamed(
     ctx: &QueryContext,
     table: &Table,
     stmt: &SelectStmt,
-) -> Result<ScanResult> {
-    let responses = for_each_partition(ctx, table, |key| {
-        ctx.engine
-            .select_stmt(&table.bucket, key, stmt, &table.schema, table.format)
-    })?;
-    let mut stats = PhaseStats::default();
-    let mut rows = Vec::new();
-    let mut schema = None;
-    for resp in responses {
-        accumulate_response(&mut stats, &resp);
-        if schema.is_none() {
-            schema = Some(resp.output_schema.clone());
+    mut on_batch: impl FnMut(RowBatch) -> Result<()>,
+) -> Result<ScanSummary> {
+    if stmt.is_aggregate() || stmt.limit.is_some() {
+        // Both shapes produce bounded output (one row, or ≤ LIMIT rows):
+        // materialize via the dedicated paths and re-batch.
+        let scan = select_scan(ctx, table, stmt)?;
+        for batch in RowBatch::chunks(&scan.schema, scan.rows, ctx.batch_rows) {
+            on_batch(batch)?;
         }
-        rows.extend(resp.rows()?);
+        return Ok(ScanSummary { schema: scan.schema, stats: scan.stats });
     }
-    Ok(ScanResult {
-        schema: schema.expect("at least one partition"),
-        rows,
-        stats,
-    })
+
+    let keys = partition_keys(ctx, table)?;
+    let schema_slot: OnceLock<Schema> = OnceLock::new();
+    let stats = stream_partitions(
+        ctx,
+        &keys,
+        |key, emitter| {
+            let resp = ctx
+                .engine
+                .select_stmt(&table.bucket, key, stmt, &table.schema, table.format)?;
+            let mut part = PhaseStats::default();
+            accumulate_response(&mut part, &resp);
+            let _ = schema_slot.set(resp.output_schema.clone());
+            let rows = resp.rows()?;
+            for batch in RowBatch::chunks(&resp.output_schema, rows, ctx.batch_rows) {
+                emitter.emit(batch)?;
+            }
+            Ok(part)
+        },
+        &mut on_batch,
+    )?;
+    let schema = schema_slot
+        .into_inner()
+        .expect("at least one partition responded");
+    Ok(ScanSummary { schema, stats })
+}
+
+/// Pushdown path: run `stmt` against every partition via S3 Select and
+/// merge the responses. Collecting wrapper over the streaming scans.
+pub fn select_scan(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Result<ScanResult> {
+    if stmt.is_aggregate() {
+        select_scan_aggregate(ctx, table, stmt)
+    } else if stmt.limit.is_some() {
+        select_scan_limited(ctx, table, stmt)
+    } else {
+        let mut rows = Vec::new();
+        let summary = select_scan_streamed(ctx, table, stmt, |batch| {
+            rows.extend(batch.rows);
+            Ok(())
+        })?;
+        Ok(ScanResult { schema: summary.schema, rows, stats: summary.stats })
+    }
 }
 
 fn select_scan_limited(
@@ -368,8 +591,9 @@ fn select_scan_aggregate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::catalog::upload_csv_table;
+    use crate::catalog::{upload_columnar_table, upload_csv_table};
     use pushdown_common::DataType;
+    use pushdown_format::columnar::WriterOptions;
     use pushdown_s3::S3Store;
     use pushdown_sql::parse_select;
 
@@ -397,6 +621,101 @@ mod tests {
         assert_eq!(r.stats.requests, 5);
         assert_eq!(r.stats.plain_bytes, t.total_bytes(&ctx.store));
         assert_eq!(r.stats.s3_scanned_bytes, 0);
+    }
+
+    #[test]
+    fn streamed_scan_batches_are_bounded_ordered_and_complete() {
+        let (mut ctx, t) = ctx_with_table(1000, 170);
+        ctx.batch_rows = 64;
+        let mut seen = Vec::new();
+        let mut max_batch = 0;
+        let summary = plain_scan_streamed(&ctx, &t, |batch| {
+            assert!(!batch.is_empty());
+            max_batch = max_batch.max(batch.len());
+            seen.extend(batch.rows);
+            Ok(())
+        })
+        .unwrap();
+        // Batches respect the capacity, arrive in partition order, and
+        // concatenate to exactly the materialized result.
+        assert!(max_batch <= 64);
+        assert_eq!(seen, rows(1000));
+        let materialized = plain_scan(&ctx, &t).unwrap();
+        assert_eq!(summary.stats, materialized.stats);
+        assert_eq!(summary.schema, materialized.schema);
+    }
+
+    #[test]
+    fn streamed_scan_matches_across_batch_sizes_and_threads() {
+        let (ctx, t) = ctx_with_table(700, 90);
+        let want = plain_scan(&ctx, &t).unwrap();
+        for (batch_rows, threads) in [(1, 1), (7, 2), (256, 8), (100_000, 3)] {
+            let mut ctx2 = ctx.clone();
+            ctx2.batch_rows = batch_rows;
+            ctx2.scan_threads = threads;
+            let got = plain_scan(&ctx2, &t).unwrap();
+            assert_eq!(got.rows, want.rows, "batch {batch_rows} threads {threads}");
+            assert_eq!(got.stats, want.stats);
+        }
+    }
+
+    #[test]
+    fn streamed_select_scan_matches_materialized() {
+        let (mut ctx, t) = ctx_with_table(900, 128);
+        ctx.batch_rows = 50;
+        let stmt = parse_select("SELECT k FROM S3Object WHERE k % 3 = 0").unwrap();
+        let mut streamed = Vec::new();
+        let summary = select_scan_streamed(&ctx, &t, &stmt, |batch| {
+            assert!(batch.len() <= 50);
+            streamed.extend(batch.rows);
+            Ok(())
+        })
+        .unwrap();
+        let materialized = select_scan(&ctx, &t, &stmt).unwrap();
+        assert_eq!(streamed, materialized.rows);
+        assert_eq!(summary.stats, materialized.stats);
+    }
+
+    #[test]
+    fn streamed_scan_consumer_errors_cancel_cleanly() {
+        let (mut ctx, t) = ctx_with_table(5000, 100);
+        ctx.batch_rows = 32;
+        let mut batches = 0;
+        let err = plain_scan_streamed(&ctx, &t, |_| {
+            batches += 1;
+            if batches == 3 {
+                Err(Error::Other("stop".into()))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), Error::Other("stop".into()).to_string());
+    }
+
+    #[test]
+    fn streamed_columnar_scan_preserves_rows() {
+        let store = S3Store::new();
+        let t = upload_columnar_table(
+            &store,
+            "b",
+            "t",
+            &schema(),
+            &rows(600),
+            150,
+            WriterOptions { rows_per_group: 47, compress: true },
+        )
+        .unwrap();
+        let mut ctx = QueryContext::new(store);
+        ctx.batch_rows = 33;
+        let mut seen = Vec::new();
+        plain_scan_streamed(&ctx, &t, |batch| {
+            assert!(batch.len() <= 33);
+            seen.extend(batch.rows);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, rows(600));
     }
 
     #[test]

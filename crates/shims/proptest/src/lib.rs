@@ -1,0 +1,742 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace ships
+//! a compact, deterministic property-testing harness covering the subset
+//! of the real API the test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`, multiple
+//!   `#[test]` functions, `arg in strategy` bindings);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_oneof!`] (plain and weighted arms);
+//! * strategies: numeric ranges, `any::<T>()`, `Just`, regex-like string
+//!   literals (`"[a-z]{0,6}"`), tuples, `prop_map`, `prop_recursive`,
+//!   `boxed`, and [`collection::vec`].
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! per-test seed (fully deterministic run-to-run) and failing inputs are
+//! reported but **not shrunk**.
+
+pub mod test_runner {
+    /// Per-test configuration. Only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property within one generated case.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic generator state (xoshiro256**, seeded from the test
+    /// path so every test has its own stable stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// Seed from an arbitrary label (e.g. the test's module path).
+        pub fn deterministic(label: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng::seed_from_u64(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of values of `Self::Value`.
+    ///
+    /// Unlike the real crate there is no value tree / shrinking: a
+    /// strategy simply produces one value per case.
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Depth-bounded recursive strategy. `depth` is honored; the
+        /// size/branch hints are accepted for API compatibility.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            let base = self.boxed();
+            let mut level = base.clone();
+            for _ in 0..depth {
+                // Mix the base back in at every level so generated trees
+                // have varied depth rather than always hitting the bound.
+                level = Union::weighted(vec![
+                    (1, base.clone()),
+                    (2, recurse(level).boxed()),
+                ])
+                .boxed();
+            }
+            level
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A cloneable, type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.new_value(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type
+    /// (the expansion of [`prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+        }
+
+        pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total as u64) as u32;
+            for (w, arm) in &self.arms {
+                if pick < *w {
+                    return arm.new_value(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    // ---- numeric range strategies ----------------------------------
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (start as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "empty range strategy");
+            start + rng.unit_f64() * (end - start)
+        }
+    }
+
+    // ---- string pattern strategies ---------------------------------
+
+    /// String literals act as regex-like generators for the subset
+    /// `[class]{lo,hi}` / `[class]{n}` / literal characters, e.g.
+    /// `"[a-zA-Z0-9 ']{0,12}"` or `"[ -~]{0,20}"`.
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if chars[i] == '[' {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern `{pattern}`"));
+                let alphabet = expand_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                let (lo, hi, next) = parse_quantifier(&chars, i, pattern);
+                i = next;
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+                }
+            } else {
+                // Literal character (optionally quantified).
+                let c = chars[i];
+                i += 1;
+                let (lo, hi, next) = parse_quantifier(&chars, i, pattern);
+                i = next;
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+        assert!(!class.is_empty(), "empty class in pattern `{pattern}`");
+        let mut alphabet = Vec::new();
+        let mut j = 0;
+        while j < class.len() {
+            if j + 2 < class.len() && class[j + 1] == '-' {
+                let (lo, hi) = (class[j] as u32, class[j + 2] as u32);
+                assert!(lo <= hi, "inverted class range in pattern `{pattern}`");
+                for c in lo..=hi {
+                    alphabet.push(char::from_u32(c).unwrap());
+                }
+                j += 3;
+            } else {
+                alphabet.push(class[j]);
+                j += 1;
+            }
+        }
+        alphabet
+    }
+
+    /// Parse `{lo,hi}` or `{n}` at position `i`; defaults to `{1}`.
+    fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+        if i >= chars.len() || chars[i] != '{' {
+            return (1, 1, i);
+        }
+        let close = chars[i + 1..]
+            .iter()
+            .position(|&c| c == '}')
+            .map(|p| p + i + 1)
+            .unwrap_or_else(|| panic!("unclosed quantifier in pattern `{pattern}`"));
+        let body: String = chars[i + 1..close].iter().collect();
+        let (lo, hi) = match body.split_once(',') {
+            Some((a, b)) => (
+                a.trim().parse().expect("quantifier lower bound"),
+                b.trim().parse().expect("quantifier upper bound"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("quantifier count");
+                (n, n)
+            }
+        };
+        assert!(lo <= hi, "inverted quantifier in pattern `{pattern}`");
+        (lo, hi, close + 1)
+    }
+
+    // ---- tuple strategies ------------------------------------------
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical [`any`] strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Mix full-range values with small magnitudes so edge
+                    // cases near zero are exercised often.
+                    let raw = rng.next_u64();
+                    match rng.next_u64() % 4 {
+                        0 => (raw % 17) as $t,
+                        1 => (raw % 1024) as $t,
+                        _ => raw as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            const SPECIALS: [f64; 8] = [
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NAN,
+                f64::EPSILON,
+            ];
+            if rng.next_u64().is_multiple_of(16) {
+                SPECIALS[(rng.next_u64() % SPECIALS.len() as u64) as usize]
+            } else {
+                (rng.unit_f64() - 0.5) * 2e9
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(32 + (rng.next_u64() % 95) as u32).unwrap()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Accepted size specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// `Vec<T>` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+// Re-export the guts the macros reference through `$crate`.
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+/// The entry point: a block of deterministic property tests.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let strategies = ( $($strat,)+ );
+            for case in 0..config.cases {
+                let ( $($arg,)+ ) = {
+                    let ( $(ref $arg,)+ ) = strategies;
+                    ( $($crate::strategy::Strategy::new_value($arg, &mut rng),)+ )
+                };
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert within a property; failure aborts only the current case with
+/// the generated inputs reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} (left: {:?}, right: {:?})", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Choose among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat),)+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in -5i64..5, b in 0usize..10, f in -1.0f64..1.0) {
+            prop_assert!((-5..5).contains(&a));
+            prop_assert!(b < 10);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in collection::vec((0i32..3, any::<bool>()), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (x, _) in &v {
+                prop_assert!((0..3).contains(x));
+            }
+        }
+
+        #[test]
+        fn string_patterns_match_their_class(s in "[a-c]{2,4}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![3 => (0i64..5).prop_map(|x| x * 2), 1 => Just(-1i64)]) {
+            prop_assert!(v == -1 || (v % 2 == 0 && (0..10).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => (*v >= 0 && *v < 10) as usize,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::deterministic("recursive");
+        for _ in 0..200 {
+            let t = strat.new_value(&mut rng);
+            assert!(depth(&t) <= 16);
+        }
+    }
+}

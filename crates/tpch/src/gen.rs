@@ -151,7 +151,7 @@ impl TpchGen {
         let rows = (1..=n as i64)
             .map(|k| {
                 let date = rng.random_range(start..=end);
-                let status = ["F", "O", "P"][rng.random_range(0..3)];
+                let status = ["F", "O", "P"][rng.random_range(0..3usize)];
                 Row::new(vec![
                     Value::Int(k),
                     // Spec: only 2/3 of customers have orders; we draw

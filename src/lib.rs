@@ -4,22 +4,54 @@
 //! using S3 Computation"* (Yu et al., ICDE 2020), including the simulated
 //! S3 + S3 Select substrate the experiments run against.
 //!
+//! ## Workspace layout
+//!
 //! This facade crate re-exports the workspace's public API. See the
 //! individual crates for details:
 //!
-//! * [`common`] — values, schemas, pricing, the analytical performance model
+//! * [`common`] — values, schemas, rows and [`common::row::RowBatch`]es,
+//!   pricing, the cost ledger, the analytical performance model
 //! * [`sql`] — the S3 Select SQL dialect (lexer/parser/binder/evaluator)
 //! * [`s3`] — the simulated object store
 //! * [`format`](mod@format) — CSV and ColumnarLite (Parquet-like) formats
 //! * [`select`] — the S3 Select engine
 //! * [`bloom`] — Bloom filters with SQL predicate generation
-//! * [`core`] — the PushdownDB engine: operators and the paper's algorithms
-//! * [`tpch`] — TPC-H generator, synthetic workloads, and the paper's queries
+//! * [`core`] — the PushdownDB engine: streaming scans, operators and the
+//!   paper's algorithms
+//! * [`tpch`] — TPC-H generator, synthetic workloads, and the paper's
+//!   queries
+//!
+//! The external dependencies the sources use (`bytes`, `parking_lot`,
+//! `rand`, `proptest`, `criterion`) are vendored as minimal shims under
+//! `crates/shims/` so the workspace builds with **no network access**;
+//! swap the `[workspace.dependencies]` entries for the real crates when a
+//! registry is available.
+//!
+//! ## Batched streaming execution
+//!
+//! Scans decode partitions on a bounded worker pool and hand rows to the
+//! operators as fixed-capacity [`common::row::RowBatch`]es, **in
+//! partition order** (deterministic results). Filters, aggregations,
+//! joins and top-K consume batches incrementally through the state
+//! machines in [`core::ops`], so a query pipeline holds its *state* (a
+//! K-heap, group accumulators, a join build table, the matches) plus
+//! the in-flight rows — `O(scan_threads × batch_rows)` for plain scans,
+//! the billed response subset for select scans — never a whole
+//! materialized table. `QueryContext::batch_rows` tunes the batch
+//! capacity; `QueryContext::scan_threads` the pool width. Cost accounting
+//! is batching-invariant: the `CostLedger` and per-query `PhaseStats`
+//! charge exactly what the materializing engine charged.
 //!
 //! ## Quickstart
 //!
-//! See `examples/quickstart.rs`, or run `cargo run --release --example
-//! quickstart`.
+//! Build and verify everything (tier-1 gate):
+//!
+//! ```text
+//! cargo build --release && cargo test -q
+//! ```
+//!
+//! Then see `examples/quickstart.rs`, or run `cargo run --release
+//! --example quickstart`.
 
 pub use pushdown_bloom as bloom;
 pub use pushdown_common as common;

@@ -163,6 +163,101 @@ fn ledger_matches_metrics_for_select_queries() {
     assert_eq!(usage.requests, metered.requests);
 }
 
+/// Batched streaming must survive transient faults injected mid-scan:
+/// with more faults than partitions, retries are exercised *during* the
+/// streamed scan (not just on the first request), for both storage
+/// formats and for plain and pushdown paths.
+#[test]
+fn streamed_scans_survive_faults_mid_scan_for_both_formats() {
+    let store = S3Store::new();
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Float)]);
+    let rows: Vec<Row> = (0..3_000)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Float((i as f64 * 2.3) % 59.0)]))
+        .collect();
+    let csv = upload_csv_table(&store, "b", "csvt", &schema, &rows, 250).unwrap();
+    let clt = pushdowndb::core::upload_columnar_table(
+        &store,
+        "b",
+        "cltt",
+        &schema,
+        &rows,
+        250,
+        pushdowndb::format::WriterOptions::default(),
+    )
+    .unwrap();
+    let mut ctx = QueryContext::new(store);
+    ctx.batch_rows = 64; // many batches per partition
+    ctx.scan_threads = 4;
+    // A faulted worker retries immediately, so one GET may absorb several
+    // consecutive injected faults; a generous retry budget keeps the
+    // success cases deterministic under any scheduling.
+    ctx.max_attempts = 10;
+
+    for table in [&csv, &clt] {
+        let q = filter::FilterQuery {
+            table: table.clone(),
+            predicate: parse_expr("k % 7 = 0").unwrap(),
+            projection: None,
+        };
+        // Clean reference first.
+        let want = filter::server_side(&ctx, &q).unwrap();
+        assert_eq!(want.rows.len(), 3_000 / 7 + 1);
+
+        // 8 faults across a 12-partition scan: several workers hit a
+        // fault partway through and must retry transparently.
+        ctx.store.inject_faults(8);
+        let got = filter::server_side(&ctx, &q).unwrap();
+        assert_rows_close(&want.rows, &got.rows, "plain streamed under faults");
+
+        // Drain any leftover faults, then re-check the pushdown path.
+        ctx.store.inject_faults(0);
+        let s3 = filter::s3_side(&ctx, &q).unwrap();
+        assert_rows_close(&want.rows, &s3.rows, "select streamed");
+    }
+
+    // Exhausting retries surfaces the fault instead of corrupting rows.
+    ctx.store.inject_faults(10_000);
+    let q = filter::FilterQuery {
+        table: csv.clone(),
+        predicate: parse_expr("k >= 0").unwrap(),
+        projection: None,
+    };
+    assert!(filter::server_side(&ctx, &q).is_err());
+    ctx.store.inject_faults(0);
+}
+
+/// Mid-scan faults during streamed group-by and top-K pipelines: the
+/// operator state machines never see a partial partition.
+#[test]
+fn streamed_operators_survive_faults_mid_scan() {
+    let store = S3Store::new();
+    let schema = Schema::from_pairs(&[("g", DataType::Int), ("v", DataType::Int)]);
+    let rows: Vec<Row> = (0..2_400)
+        .map(|i| Row::new(vec![Value::Int(i % 11), Value::Int((i * 37) % 1000)]))
+        .collect();
+    let table = upload_csv_table(&store, "b", "t", &schema, &rows, 200).unwrap();
+    let mut ctx = QueryContext::new(store);
+    ctx.batch_rows = 50;
+    ctx.max_attempts = 8;
+
+    let gq = groupby::GroupByQuery {
+        table: table.clone(),
+        group_cols: vec!["g".into()],
+        aggs: vec![(AggFunc::Sum, "v".into()), (AggFunc::Count, "v".into())],
+        predicate: None,
+    };
+    let want_groups = groupby::server_side(&ctx, &gq).unwrap();
+    ctx.store.inject_faults(6);
+    let got_groups = groupby::server_side(&ctx, &gq).unwrap();
+    assert_rows_close(&want_groups.rows, &got_groups.rows, "group-by under faults");
+
+    let tq = topk::TopKQuery { table, order_col: "v".into(), k: 13, asc: true };
+    let want_topk = topk::server_side(&ctx, &tq).unwrap();
+    ctx.store.inject_faults(6);
+    let got_topk = topk::server_side(&ctx, &tq).unwrap();
+    assert_rows_close(&want_topk.rows, &got_topk.rows, "top-k under faults");
+}
+
 #[test]
 fn csv_and_columnar_tables_give_identical_query_answers() {
     let store = S3Store::new();
