@@ -57,7 +57,10 @@ fn bench_csv(c: &mut Criterion) {
 fn bench_columnar(c: &mut Criterion) {
     let schema = sample_schema();
     let rows = sample_rows(10_000);
-    let opts = WriterOptions { rows_per_group: 4096, compress: true };
+    let opts = WriterOptions {
+        rows_per_group: 4096,
+        compress: true,
+    };
     let bytes = encode_columnar(&schema, &rows, opts);
     let mut g = c.benchmark_group("columnar");
     g.throughput(Throughput::Bytes(bytes.len() as u64));

@@ -6,28 +6,48 @@ use pushdown_bench::table::{cost, print_table, rt};
 use pushdown_common::fmtutil;
 
 fn main() {
-    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
 
     let idx = ab::run_index_ablation(60_000).expect("index ablation");
     print_table(
         "Suggestions 1 & 2 — index execution models (projected to 60M rows)",
-        &["selectivity", "single-range GET", "multi-range GET", "lookup in S3",
-          "req(single)", "req(multi)", "req(in-S3)"],
-        &idx.iter().map(|r| vec![
-            format!("{:.0e}", r.selectivity),
-            rt(r.single_range.runtime),
-            rt(r.multi_range.runtime),
-            rt(r.in_s3.runtime),
-            r.requests_single.to_string(),
-            r.requests_multi.to_string(),
-            r.requests_in_s3.to_string(),
-        ]).collect::<Vec<_>>(),
+        &[
+            "selectivity",
+            "single-range GET",
+            "multi-range GET",
+            "lookup in S3",
+            "req(single)",
+            "req(multi)",
+            "req(in-S3)",
+        ],
+        &idx.iter()
+            .map(|r| {
+                vec![
+                    format!("{:.0e}", r.selectivity),
+                    rt(r.single_range.runtime),
+                    rt(r.multi_range.runtime),
+                    rt(r.in_s3.runtime),
+                    r.requests_single.to_string(),
+                    r.requests_multi.to_string(),
+                    r.requests_in_s3.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 
     let bloom = ab::run_bloom_ablation(sf).expect("bloom ablation");
     print_table(
         "Suggestion 3 — Bloom filter encodings (5k keys, FPR 0.01)",
-        &["encoding", "SQL bytes", "max keys in 256KB", "join runtime", "join cost"],
+        &[
+            "encoding",
+            "SQL bytes",
+            "max keys in 256KB",
+            "join runtime",
+            "join cost",
+        ],
         &[
             vec![
                 "'0'/'1' string".into(),
@@ -50,24 +70,39 @@ fn main() {
     print_table(
         "Suggestion 4 — CASE-WHEN rewrite vs native partial group-by (10 GB)",
         &["groups", "case-when (stock)", "native GROUP BY", "speedup"],
-        &gb.iter().map(|r| vec![
-            r.n_groups.to_string(),
-            rt(r.case_when.runtime),
-            rt(r.native.runtime),
-            format!("{:.1}x", r.case_when.runtime / r.native.runtime),
-        ]).collect::<Vec<_>>(),
+        &gb.iter()
+            .map(|r| {
+                vec![
+                    r.n_groups.to_string(),
+                    rt(r.case_when.runtime),
+                    rt(r.native.runtime),
+                    format!("{:.1}x", r.case_when.runtime / r.native.runtime),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 
     let pricing = ab::run_pricing_ablation(sf).expect("pricing ablation");
     print_table(
         "Suggestion 5 — flat vs computation-aware scan pricing (optimized queries)",
-        &["query", "flat scan $", "aware scan $", "flat total", "aware total"],
-        &pricing.iter().map(|r| vec![
-            r.name.clone(),
-            fmtutil::dollars(r.flat.scan),
-            fmtutil::dollars(r.aware.scan),
-            cost(&r.flat),
-            cost(&r.aware),
-        ]).collect::<Vec<_>>(),
+        &[
+            "query",
+            "flat scan $",
+            "aware scan $",
+            "flat total",
+            "aware total",
+        ],
+        &pricing
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    fmtutil::dollars(r.flat.scan),
+                    fmtutil::dollars(r.aware.scan),
+                    cost(&r.flat),
+                    cost(&r.aware),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 }

@@ -3,9 +3,17 @@
 
 fn main() {
     let bins = [
-        "fig01_filter", "fig02_join_customer", "fig03_join_orders", "fig04_join_fpr",
-        "fig05_groupby_uniform", "fig06_hybrid_split", "fig07_groupby_skew",
-        "fig08_topk_sample_size", "fig09_topk_k", "fig10_tpch", "fig11_parquet",
+        "fig01_filter",
+        "fig02_join_customer",
+        "fig03_join_orders",
+        "fig04_join_fpr",
+        "fig05_groupby_uniform",
+        "fig06_hybrid_split",
+        "fig07_groupby_skew",
+        "fig08_topk_sample_size",
+        "fig09_topk_k",
+        "fig10_tpch",
+        "fig11_parquet",
         "ablation_suggestions",
     ];
     let exe = std::env::current_exe().expect("current exe");

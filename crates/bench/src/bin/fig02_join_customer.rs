@@ -5,26 +5,39 @@ use pushdown_bench::experiments::fig02_join_customer as fig;
 use pushdown_bench::table::{cost, print_table, rt};
 
 fn main() {
-    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
     let rows = fig::run(sf).expect("fig02");
     print_table(
         "Fig 2a — join runtime vs customer selectivity (projected to SF 10)",
         &["c_acctbal <=", "baseline", "filtered", "bloom (fpr 0.01)"],
-        &rows.iter().map(|r| vec![
-            r.upper_acctbal.to_string(),
-            rt(r.baseline.runtime),
-            rt(r.filtered.runtime),
-            rt(r.bloom.runtime),
-        ]).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.upper_acctbal.to_string(),
+                    rt(r.baseline.runtime),
+                    rt(r.filtered.runtime),
+                    rt(r.bloom.runtime),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
     print_table(
         "Fig 2b — join cost vs customer selectivity",
         &["c_acctbal <=", "baseline", "filtered", "bloom (fpr 0.01)"],
-        &rows.iter().map(|r| vec![
-            r.upper_acctbal.to_string(),
-            cost(&r.baseline.cost),
-            cost(&r.filtered.cost),
-            cost(&r.bloom.cost),
-        ]).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.upper_acctbal.to_string(),
+                    cost(&r.baseline.cost),
+                    cost(&r.filtered.cost),
+                    cost(&r.bloom.cost),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 }

@@ -5,27 +5,40 @@ use pushdown_bench::experiments::fig03_join_orders as fig;
 use pushdown_bench::table::{cost, print_table, rt};
 
 fn main() {
-    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
     let rows = fig::run(sf).expect("fig03");
     let label = |b: &Option<&str>| b.unwrap_or("None").to_string();
     print_table(
         "Fig 3a — join runtime vs orders selectivity (projected to SF 10)",
         &["o_orderdate <", "baseline", "filtered", "bloom (fpr 0.01)"],
-        &rows.iter().map(|r| vec![
-            label(&r.upper_orderdate),
-            rt(r.baseline.runtime),
-            rt(r.filtered.runtime),
-            rt(r.bloom.runtime),
-        ]).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    label(&r.upper_orderdate),
+                    rt(r.baseline.runtime),
+                    rt(r.filtered.runtime),
+                    rt(r.bloom.runtime),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
     print_table(
         "Fig 3b — join cost vs orders selectivity",
         &["o_orderdate <", "baseline", "filtered", "bloom (fpr 0.01)"],
-        &rows.iter().map(|r| vec![
-            label(&r.upper_orderdate),
-            cost(&r.baseline.cost),
-            cost(&r.filtered.cost),
-            cost(&r.bloom.cost),
-        ]).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    label(&r.upper_orderdate),
+                    cost(&r.baseline.cost),
+                    cost(&r.filtered.cost),
+                    cost(&r.bloom.cost),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 }

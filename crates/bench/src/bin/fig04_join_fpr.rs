@@ -5,11 +5,22 @@ use pushdown_bench::experiments::fig04_join_fpr as fig;
 use pushdown_bench::table::{cost, print_table, rt};
 
 fn main() {
-    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
     let res = fig::run(sf).expect("fig04");
     let mut rows = vec![
-        vec!["baseline".to_string(), rt(res.baseline.runtime), cost(&res.baseline.cost)],
-        vec!["filtered".to_string(), rt(res.filtered.runtime), cost(&res.filtered.cost)],
+        vec![
+            "baseline".to_string(),
+            rt(res.baseline.runtime),
+            cost(&res.baseline.cost),
+        ],
+        vec![
+            "filtered".to_string(),
+            rt(res.filtered.runtime),
+            cost(&res.filtered.cost),
+        ],
     ];
     for r in &res.sweep {
         rows.push(vec![

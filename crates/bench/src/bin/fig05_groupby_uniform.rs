@@ -5,26 +5,39 @@ use pushdown_bench::experiments::fig05_groupby_uniform as fig;
 use pushdown_bench::table::{cost, print_table, rt};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
     let rows = fig::run(n).expect("fig05");
     print_table(
         "Fig 5a — group-by runtime vs group count (projected to 10 GB)",
         &["groups", "server-side", "filtered", "s3-side"],
-        &rows.iter().map(|r| vec![
-            r.n_groups.to_string(),
-            rt(r.server.runtime),
-            rt(r.filtered.runtime),
-            rt(r.s3_side.runtime),
-        ]).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n_groups.to_string(),
+                    rt(r.server.runtime),
+                    rt(r.filtered.runtime),
+                    rt(r.s3_side.runtime),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
     print_table(
         "Fig 5b — group-by cost vs group count",
         &["groups", "server-side", "filtered", "s3-side"],
-        &rows.iter().map(|r| vec![
-            r.n_groups.to_string(),
-            cost(&r.server.cost),
-            cost(&r.filtered.cost),
-            cost(&r.s3_side.cost),
-        ]).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n_groups.to_string(),
+                    cost(&r.server.cost),
+                    cost(&r.filtered.cost),
+                    cost(&r.s3_side.cost),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 }

@@ -6,17 +6,31 @@ use pushdown_bench::table::{print_table, rt};
 use pushdown_common::fmtutil;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
     let rows = fig::run(n).expect("fig06");
     print_table(
         "Fig 6 — hybrid group-by: server vs S3 aggregation split (10 GB zipf θ=1.3)",
-        &["groups in S3", "server-side time", "s3-side time", "total", "bytes returned"],
-        &rows.iter().map(|r| vec![
-            r.s3_groups.to_string(),
-            rt(r.server_seconds),
-            rt(r.s3_seconds),
-            rt(r.total.runtime),
-            fmtutil::bytes(r.bytes_returned),
-        ]).collect::<Vec<_>>(),
+        &[
+            "groups in S3",
+            "server-side time",
+            "s3-side time",
+            "total",
+            "bytes returned",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.s3_groups.to_string(),
+                    rt(r.server_seconds),
+                    rt(r.s3_seconds),
+                    rt(r.total.runtime),
+                    fmtutil::bytes(r.bytes_returned),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 }

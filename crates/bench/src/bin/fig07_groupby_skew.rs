@@ -5,26 +5,39 @@ use pushdown_bench::experiments::fig07_groupby_skew as fig;
 use pushdown_bench::table::{cost, print_table, rt};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
     let rows = fig::run(n).expect("fig07");
     print_table(
         "Fig 7a — group-by runtime vs skew (projected to 10 GB)",
         &["theta", "server-side", "filtered", "hybrid"],
-        &rows.iter().map(|r| vec![
-            format!("{:.1}", r.theta),
-            rt(r.server.runtime),
-            rt(r.filtered.runtime),
-            rt(r.hybrid.runtime),
-        ]).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.1}", r.theta),
+                    rt(r.server.runtime),
+                    rt(r.filtered.runtime),
+                    rt(r.hybrid.runtime),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
     print_table(
         "Fig 7b — group-by cost vs skew",
         &["theta", "server-side", "filtered", "hybrid"],
-        &rows.iter().map(|r| vec![
-            format!("{:.1}", r.theta),
-            cost(&r.server.cost),
-            cost(&r.filtered.cost),
-            cost(&r.hybrid.cost),
-        ]).collect::<Vec<_>>(),
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.1}", r.theta),
+                    cost(&r.server.cost),
+                    cost(&r.filtered.cost),
+                    cost(&r.hybrid.cost),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 }

@@ -6,7 +6,10 @@ use pushdown_bench::table::{cost, print_table, rt};
 use pushdown_common::fmtutil;
 
 fn main() {
-    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
     let res = fig::run(sf, 100).expect("fig08");
     println!(
         "lineitem rows = {}, K = {}, analytic optimum S* = {}",
@@ -14,14 +17,26 @@ fn main() {
     );
     print_table(
         "Fig 8 — sampling top-K phase breakdown vs sample size (projected to 60M rows)",
-        &["sample size", "sampling", "scanning", "total", "bytes returned", "cost"],
-        &res.sweep.iter().map(|r| vec![
-            r.sample_size.to_string(),
-            rt(r.sampling_seconds),
-            rt(r.scanning_seconds),
-            rt(r.total.runtime),
-            fmtutil::bytes(r.bytes_returned),
-            cost(&r.total.cost),
-        ]).collect::<Vec<_>>(),
+        &[
+            "sample size",
+            "sampling",
+            "scanning",
+            "total",
+            "bytes returned",
+            "cost",
+        ],
+        &res.sweep
+            .iter()
+            .map(|r| {
+                vec![
+                    r.sample_size.to_string(),
+                    rt(r.sampling_seconds),
+                    rt(r.scanning_seconds),
+                    rt(r.total.runtime),
+                    fmtutil::bytes(r.bytes_returned),
+                    cost(&r.total.cost),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 }

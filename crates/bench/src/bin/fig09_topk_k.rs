@@ -5,17 +5,31 @@ use pushdown_bench::experiments::fig09_topk_k as fig;
 use pushdown_bench::table::{cost, print_table, rt};
 
 fn main() {
-    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
     let rows = fig::run(sf).expect("fig09");
     print_table(
         "Fig 9 — top-K: server-side vs sampling (projected to 60M rows)",
-        &["K", "server runtime", "sampling runtime", "server cost", "sampling cost"],
-        &rows.iter().map(|r| vec![
-            r.k.to_string(),
-            rt(r.server.runtime),
-            rt(r.sampling.runtime),
-            cost(&r.server.cost),
-            cost(&r.sampling.cost),
-        ]).collect::<Vec<_>>(),
+        &[
+            "K",
+            "server runtime",
+            "sampling runtime",
+            "server cost",
+            "sampling cost",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.k.to_string(),
+                    rt(r.server.runtime),
+                    rt(r.sampling.runtime),
+                    cost(&r.server.cost),
+                    cost(&r.sampling.cost),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 }

@@ -6,19 +6,34 @@ use pushdown_bench::experiments::fig10_tpch as fig;
 use pushdown_bench::table::{cost, print_table, rt};
 
 fn main() {
-    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
     let res = fig::run(sf).expect("fig10");
     print_table(
         "Fig 10 — PushdownDB baseline vs optimized (projected to SF 10)",
-        &["query", "baseline", "optimized", "speedup", "baseline $", "optimized $"],
-        &res.rows.iter().map(|r| vec![
-            r.name.clone(),
-            rt(r.baseline.runtime),
-            rt(r.optimized.runtime),
-            format!("{:.1}x", r.speedup()),
-            cost(&r.baseline.cost),
-            cost(&r.optimized.cost),
-        ]).collect::<Vec<_>>(),
+        &[
+            "query",
+            "baseline",
+            "optimized",
+            "speedup",
+            "baseline $",
+            "optimized $",
+        ],
+        &res.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    rt(r.baseline.runtime),
+                    rt(r.optimized.runtime),
+                    format!("{:.1}x", r.speedup()),
+                    cost(&r.baseline.cost),
+                    cost(&r.optimized.cost),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
     println!(
         "\nGeo-mean speedup: {:.1}x (paper: 6.7x)   Geo-mean cost ratio: {:.2} (paper: 0.70)",

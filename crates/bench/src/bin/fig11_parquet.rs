@@ -5,17 +5,31 @@ use pushdown_bench::experiments::fig11_parquet as fig;
 use pushdown_bench::table::{print_table, rt};
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40_000);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000);
     let rows = fig::run(n).expect("fig11");
     print_table(
         "Fig 11 — CSV vs ColumnarLite runtime (projected to 100 MB/column)",
-        &["columns", "selectivity", "csv", "columnar", "columnar/csv size"],
-        &rows.iter().map(|r| vec![
-            r.columns.to_string(),
-            format!("{:.2}", r.selectivity),
-            rt(r.csv.runtime),
-            rt(r.columnar.runtime),
-            format!("{:.2}", r.size_ratio),
-        ]).collect::<Vec<_>>(),
+        &[
+            "columns",
+            "selectivity",
+            "csv",
+            "columnar",
+            "columnar/csv size",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.columns.to_string(),
+                    format!("{:.2}", r.selectivity),
+                    rt(r.csv.runtime),
+                    rt(r.columnar.runtime),
+                    format!("{:.2}", r.size_ratio),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 }

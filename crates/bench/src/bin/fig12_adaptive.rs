@@ -1,0 +1,46 @@
+//! Cost-based adaptive strategy selection vs the fixed strategies
+//! (Figure 12, beyond the paper).
+//! Usage: `fig12_adaptive [scale_factor]` (default 0.01).
+
+use pushdown_bench::experiments::fig12_adaptive as fig;
+use pushdown_bench::table::{cost, print_table, rt};
+
+fn main() {
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    let res = fig::run(sf).expect("fig12");
+    print_table(
+        "Fig 12 — adaptive vs fixed strategies (measured at bench scale)",
+        &[
+            "query",
+            "baseline",
+            "pushdown",
+            "adaptive",
+            "baseline $",
+            "pushdown $",
+            "adaptive $",
+            "adaptive plan",
+        ],
+        &res.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    rt(r.baseline.runtime),
+                    rt(r.pushdown.runtime),
+                    rt(r.adaptive.runtime),
+                    cost(&r.baseline.cost),
+                    cost(&r.pushdown.cost),
+                    cost(&r.adaptive.cost),
+                    r.chosen.clone(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "\nWorst adaptive/min(fixed) cost ratio: {:.3}  (≤ 1.0: adaptive never lost)",
+        res.worst_cost_ratio
+    );
+}

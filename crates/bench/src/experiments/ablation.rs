@@ -126,9 +126,7 @@ pub fn run_bloom_ablation(scale_factor: f64) -> Result<BloomAblation> {
     };
     let string_join = join::bloom(&ctx, &q, 0.01)?;
     let binary_join = whatif::bloom_binary(&ctx, &q, 0.01)?;
-    assert!(
-        (string_join.rows[0][0].as_f64()? - binary_join.rows[0][0].as_f64()?).abs() < 1e-6
-    );
+    assert!((string_join.rows[0][0].as_f64()? - binary_join.rows[0][0].as_f64()?).abs() < 1e-6);
     Ok(BloomAblation {
         string_sql_bytes,
         binary_sql_bytes,
@@ -196,10 +194,7 @@ pub struct PricingAblationRow {
 /// scan actually incurred — simple scans pay 25 % of list price, and the
 /// fee grows with the term count toward 2× list price for heavy CASE
 /// chains.
-pub fn computation_aware_cost(
-    metrics: &QueryMetrics,
-    ctx: &QueryContext,
-) -> CostBreakdown {
+pub fn computation_aware_cost(metrics: &QueryMetrics, ctx: &QueryContext) -> CostBreakdown {
     let base = metrics.cost(&ctx.model, &ctx.pricing);
     let mut scan = 0.0;
     for g in &metrics.groups {

@@ -52,7 +52,14 @@ fn filter_table(ctx: &QueryContext, n_rows: usize) -> Result<pushdown_core::Tabl
             ])
         })
         .collect();
-    upload_csv_table(&ctx.store, "bench", "filterdata", &schema, &rows, n_rows / 16 + 1)
+    upload_csv_table(
+        &ctx.store,
+        "bench",
+        "filterdata",
+        &schema,
+        &rows,
+        n_rows / 16 + 1,
+    )
 }
 
 /// Run the sweep at `n_rows` (projection factor `PAPER_ROWS / n_rows`).

@@ -37,7 +37,14 @@ pub fn run(scale_factor: f64) -> Result<Fig4Result> {
     let mut sweep = Vec::new();
     for fpr in fprs() {
         let out = join::bloom(&ctx, &q, fpr)?;
-        sweep.push(Fig4Row { fpr, bloom: Measure::of(&ctx, &out, factor) });
+        sweep.push(Fig4Row {
+            fpr,
+            bloom: Measure::of(&ctx, &out, factor),
+        });
     }
-    Ok(Fig4Result { baseline, filtered, sweep })
+    Ok(Fig4Result {
+        baseline,
+        filtered,
+        sweep,
+    })
 }

@@ -33,7 +33,14 @@ pub fn group_counts() -> Vec<u32> {
 
 fn upload(ctx: &QueryContext, n_rows: usize) -> Result<Table> {
     let (schema, rows) = uniform_group_table(n_rows, 42);
-    upload_csv_table(&ctx.store, "bench", "uniform", &schema, &rows, n_rows / 8 + 1)
+    upload_csv_table(
+        &ctx.store,
+        "bench",
+        "uniform",
+        &schema,
+        &rows,
+        n_rows / 8 + 1,
+    )
 }
 
 fn query(table: &Table, group_col: &str) -> GroupByQuery {

@@ -55,7 +55,10 @@ pub fn run(n_rows: usize) -> Result<Vec<Fig6Row>> {
     let q = query(&table);
     let mut out = Vec::new();
     for n in split_points() {
-        let opts = HybridOptions { force_s3_groups: Some(n), ..Default::default() };
+        let opts = HybridOptions {
+            force_s3_groups: Some(n),
+            ..Default::default()
+        };
         let res = groupby::hybrid(&ctx, &q, opts)?;
         let scaled = res.metrics.scaled(factor);
         out.push(Fig6Row {

@@ -33,8 +33,7 @@ pub fn run(n_rows: usize) -> Result<Vec<Fig7Row>> {
     for theta in thetas() {
         let ctx = QueryContext::new(S3Store::new());
         let (schema, rows) = zipf_group_table(n_rows, theta, 7);
-        let table =
-            upload_csv_table(&ctx.store, "bench", "zipf", &schema, &rows, n_rows / 8 + 1)?;
+        let table = upload_csv_table(&ctx.store, "bench", "zipf", &schema, &rows, n_rows / 8 + 1)?;
         let factor = PAPER_BYTES / table.total_bytes(&ctx.store) as f64;
         let q = query(&table);
         let server = groupby::server_side(&ctx, &q)?;

@@ -81,5 +81,10 @@ pub fn run(scale_factor: f64, k: usize) -> Result<Fig8Result> {
             bytes_returned: scaled.bytes_returned(),
         });
     }
-    Ok(Fig8Result { n_rows: n, k, analytic_optimum: analytic, sweep })
+    Ok(Fig8Result {
+        n_rows: n,
+        k,
+        analytic_optimum: analytic,
+        sweep,
+    })
 }

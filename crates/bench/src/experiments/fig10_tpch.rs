@@ -133,7 +133,10 @@ pub fn run(scale_factor: f64) -> Result<Fig10Result> {
     }
 
     let geo_mean_speedup = geo_mean(&rows.iter().map(Fig10Row::speedup).collect::<Vec<_>>());
-    let geo_mean_cost_ratio =
-        geo_mean(&rows.iter().map(Fig10Row::cost_ratio).collect::<Vec<_>>());
-    Ok(Fig10Result { rows, geo_mean_speedup, geo_mean_cost_ratio })
+    let geo_mean_cost_ratio = geo_mean(&rows.iter().map(Fig10Row::cost_ratio).collect::<Vec<_>>());
+    Ok(Fig10Result {
+        rows,
+        geo_mean_speedup,
+        geo_mean_cost_ratio,
+    })
 }

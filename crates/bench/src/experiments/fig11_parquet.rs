@@ -45,8 +45,14 @@ pub fn run(n_rows: usize) -> Result<Vec<Fig11Row>> {
     for cols in column_counts() {
         let ctx = QueryContext::new(S3Store::new());
         let (schema, rows) = wide_float_table(n_rows, cols, 11);
-        let csv_table =
-            upload_csv_table(&ctx.store, "bench", "wide_csv", &schema, &rows, n_rows / 8 + 1)?;
+        let csv_table = upload_csv_table(
+            &ctx.store,
+            "bench",
+            "wide_csv",
+            &schema,
+            &rows,
+            n_rows / 8 + 1,
+        )?;
         let clt_table = upload_columnar_table(
             &ctx.store,
             "bench",
@@ -54,7 +60,10 @@ pub fn run(n_rows: usize) -> Result<Vec<Fig11Row>> {
             &schema,
             &rows,
             n_rows / 8 + 1,
-            WriterOptions { rows_per_group: 16_384, compress: true },
+            WriterOptions {
+                rows_per_group: 16_384,
+                compress: true,
+            },
         )?;
         let csv_bytes = csv_table.total_bytes(&ctx.store) as f64;
         let clt_bytes = clt_table.total_bytes(&ctx.store) as f64;
@@ -63,7 +72,10 @@ pub fn run(n_rows: usize) -> Result<Vec<Fig11Row>> {
 
         for s in selectivities() {
             let stmt = SelectStmt {
-                items: vec![SelectItem::Expr { expr: Expr::col("c0"), alias: None }],
+                items: vec![SelectItem::Expr {
+                    expr: Expr::col("c0"),
+                    alias: None,
+                }],
                 alias: None,
                 where_clause: Some(Expr::lt(Expr::col("c0"), Expr::float(s))),
                 limit: None,

@@ -1,0 +1,68 @@
+//! **Figure 12** (beyond the paper; ISSUE 2) — cost-based adaptive
+//! strategy selection.
+//!
+//! The paper's testbed takes the algorithm choice as an explicit input
+//! (§VIII); this harness measures what the repo's cost-based optimizer
+//! (`Strategy::Adaptive`) buys over both fixed strategies on the
+//! planner-dialect TPC-H suite. The headline claim: Adaptive is never
+//! measurably worse than *either* fixed strategy, and beats both where
+//! a third algorithm (e.g. the filtered group-by) wins.
+//!
+//! Measurements are reported at bench scale (no SF-10 projection): the
+//! optimizer's decision is made from the statistics of the data actually
+//! loaded, so projecting the measurement of a bench-scale decision would
+//! misattribute plans the optimizer might not pick at SF 10.
+
+use crate::Measure;
+use pushdown_common::Result;
+use pushdown_core::planner::{execute_sql_verbose, Strategy};
+use pushdown_tpch::{planner_suite, tpch_context};
+
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    pub name: String,
+    pub baseline: Measure,
+    pub pushdown: Measure,
+    pub adaptive: Measure,
+    /// The plan Adaptive executed (`PlanKind` rendering).
+    pub chosen: String,
+}
+
+impl Fig12Row {
+    /// Measured-dollar ratio of Adaptive to the cheaper fixed strategy
+    /// (≤ 1.0 means Adaptive did not lose on this query).
+    pub fn cost_ratio(&self) -> f64 {
+        self.adaptive.cost.total() / self.baseline.cost.total().min(self.pushdown.cost.total())
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Fig12Result {
+    pub rows: Vec<Fig12Row>,
+    /// Worst `adaptive / min(baseline, pushdown)` measured-dollar ratio
+    /// across the suite.
+    pub worst_cost_ratio: f64,
+}
+
+pub fn run(scale_factor: f64) -> Result<Fig12Result> {
+    let (ctx, t) = tpch_context(scale_factor, 2_000)?;
+    let mut rows = Vec::new();
+    for q in planner_suite() {
+        let table = (q.table)(&t);
+        let (base, _) = execute_sql_verbose(&ctx, table, q.sql, Strategy::Baseline)?;
+        let (push, _) = execute_sql_verbose(&ctx, table, q.sql, Strategy::Pushdown)?;
+        let (adapt, explain) = execute_sql_verbose(&ctx, table, q.sql, Strategy::Adaptive)?;
+        rows.push(Fig12Row {
+            name: q.name.to_string(),
+            baseline: Measure::of(&ctx, &base, 1.0),
+            pushdown: Measure::of(&ctx, &push, 1.0),
+            adaptive: Measure::of(&ctx, &adapt, 1.0),
+            chosen: explain.kind.to_string(),
+        });
+    }
+    let worst_cost_ratio = rows.iter().map(Fig12Row::cost_ratio).fold(0.0f64, f64::max);
+    Ok(Fig12Result {
+        rows,
+        worst_cost_ratio,
+    })
+}

@@ -37,13 +37,16 @@ pub struct Measure {
 
 impl Measure {
     /// Measure a query output, projecting extensive quantities by
-    /// `factor` first (1.0 = no projection).
+    /// `factor` first (1.0 = no projection). Billable bytes are scaled
+    /// once at the aggregate level (`QueryMetrics::scaled_usage`) so
+    /// multi-phase projections do not accumulate per-phase rounding.
     pub fn of(ctx: &QueryContext, out: &QueryOutput, factor: f64) -> Measure {
-        let m = out.metrics.scaled(factor);
+        let usage = out.metrics.scaled_usage(factor);
+        let runtime = out.metrics.scaled(factor).runtime(&ctx.model);
         Measure {
-            runtime: m.runtime(&ctx.model),
-            cost: m.cost(&ctx.model, &ctx.pricing),
-            bytes_returned: m.bytes_returned(),
+            runtime,
+            cost: ctx.pricing.cost(&usage, runtime),
+            bytes_returned: usage.select_returned_bytes + usage.plain_bytes,
         }
     }
 }

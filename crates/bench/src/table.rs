@@ -17,17 +17,16 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, c) in cells.iter().enumerate() {
-            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+            s.push_str(&format!(
+                "{:<w$}  ",
+                c,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("{}", s.trim_end());
     };
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }
@@ -66,7 +65,12 @@ mod tests {
             &[vec!["1".into(), "x".into()], vec!["22".into(), "yy".into()]],
         );
         assert!(rt(1.5).contains('s'));
-        let c = CostBreakdown { compute: 0.01, request: 0.0, scan: 0.002, transfer: 0.0001 };
+        let c = CostBreakdown {
+            compute: 0.01,
+            request: 0.0,
+            scan: 0.002,
+            transfer: 0.0001,
+        };
         assert!(cost(&c).starts_with('$'));
         assert!(cost_parts(&c).contains("scan"));
     }

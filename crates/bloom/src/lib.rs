@@ -347,7 +347,10 @@ pub struct BloomBuilder {
 
 impl Default for BloomBuilder {
     fn default() -> Self {
-        BloomBuilder { max_sql_bytes: 256 * 1024, seed: 0x5eed_b100 }
+        BloomBuilder {
+            max_sql_bytes: 256 * 1024,
+            seed: 0x5eed_b100,
+        }
     }
 }
 
@@ -362,7 +365,10 @@ impl BloomBuilder {
         while q < 0.5 {
             q = (q * 4.0).min(0.5);
             if self.fits(s, q, attr) {
-                return BloomPlan::Degraded { requested: p, fpr: q };
+                return BloomPlan::Degraded {
+                    requested: p,
+                    fpr: q,
+                };
             }
         }
         BloomPlan::Fallback
@@ -512,10 +518,15 @@ mod tests {
         // SQL-size win: ~4x smaller.
         let text_len = f.sql_predicate("k").to_string().len();
         let bin_len = f.sql_predicate_binary("k").to_string().len();
-        assert!(bin_len * 3 < text_len, "binary {bin_len} vs text {text_len}");
+        assert!(
+            bin_len * 3 < text_len,
+            "binary {bin_len} vs text {text_len}"
+        );
         // Evaluation equivalence via the shared engine.
         let schema = Schema::from_pairs(&[("k", DataType::Int)]);
-        let p1 = Binder::new(&schema).bind_expr(&f.sql_predicate("k")).unwrap();
+        let p1 = Binder::new(&schema)
+            .bind_expr(&f.sql_predicate("k"))
+            .unwrap();
         let p2 = Binder::new(&schema)
             .bind_expr(&f.sql_predicate_binary("k"))
             .unwrap();
@@ -572,7 +583,10 @@ mod tests {
     #[test]
     fn builder_fits_small_sets() {
         let b = BloomBuilder::default();
-        assert_eq!(b.plan(1000, 0.01, "k"), BloomPlan::AsRequested { fpr: 0.01 });
+        assert_eq!(
+            b.plan(1000, 0.01, "k"),
+            BloomPlan::AsRequested { fpr: 0.01 }
+        );
         let (f, _) = b.build(&(0..1000).collect::<Vec<_>>(), 0.01, "k").unwrap();
         assert!(f.sql_predicate("k").to_string().len() <= b.max_sql_bytes);
     }
@@ -580,7 +594,10 @@ mod tests {
     #[test]
     fn builder_degrades_then_falls_back() {
         // A tight limit forces degradation.
-        let tight = BloomBuilder { max_sql_bytes: 40_000, ..Default::default() };
+        let tight = BloomBuilder {
+            max_sql_bytes: 40_000,
+            ..Default::default()
+        };
         match tight.plan(10_000, 0.0001, "k") {
             BloomPlan::Degraded { requested, fpr } => {
                 assert_eq!(requested, 0.0001);
@@ -589,14 +606,22 @@ mod tests {
             other => panic!("expected degradation, got {other:?}"),
         }
         // An impossible limit forces fallback.
-        let impossible = BloomBuilder { max_sql_bytes: 512, ..Default::default() };
+        let impossible = BloomBuilder {
+            max_sql_bytes: 512,
+            ..Default::default()
+        };
         assert_eq!(impossible.plan(1_000_000, 0.01, "k"), BloomPlan::Fallback);
-        assert!(impossible.build(&(0..1_000_000).collect::<Vec<_>>(), 0.01, "k").is_none());
+        assert!(impossible
+            .build(&(0..1_000_000).collect::<Vec<_>>(), 0.01, "k")
+            .is_none());
     }
 
     #[test]
     fn degraded_filter_still_has_no_false_negatives() {
-        let tight = BloomBuilder { max_sql_bytes: 40_000, ..Default::default() };
+        let tight = BloomBuilder {
+            max_sql_bytes: 40_000,
+            ..Default::default()
+        };
         let keys: Vec<i64> = (0..10_000).collect();
         let (f, plan) = tight.build(&keys, 0.0001, "k").unwrap();
         assert!(matches!(plan, BloomPlan::Degraded { .. }));

@@ -130,7 +130,14 @@ mod tests {
     #[test]
     fn epoch_is_day_zero() {
         assert_eq!(ymd(1970, 1, 1), 0);
-        assert_eq!(civil_from_days(0), Civil { year: 1970, month: 1, day: 1 });
+        assert_eq!(
+            civil_from_days(0),
+            Civil {
+                year: 1970,
+                month: 1,
+                day: 1
+            }
+        );
     }
 
     #[test]
@@ -146,7 +153,13 @@ mod tests {
 
     #[test]
     fn round_trips_text() {
-        for s in ["1992-03-01", "1995-12-31", "1996-02-29", "2000-02-29", "1970-01-01"] {
+        for s in [
+            "1992-03-01",
+            "1995-12-31",
+            "1996-02-29",
+            "2000-02-29",
+            "1970-01-01",
+        ] {
             let d = parse_date(s).unwrap();
             assert_eq!(format_date(d), s);
         }

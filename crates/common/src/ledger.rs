@@ -42,12 +42,16 @@ impl CostLedger {
 
     /// Record bytes scanned inside S3 Select.
     pub fn add_select_scanned(&self, bytes: u64) {
-        self.inner.select_scanned.fetch_add(bytes, Ordering::Relaxed);
+        self.inner
+            .select_scanned
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Record bytes returned by an S3 Select response.
     pub fn add_select_returned(&self, bytes: u64) {
-        self.inner.select_returned.fetch_add(bytes, Ordering::Relaxed);
+        self.inner
+            .select_returned
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Record bytes returned by a plain (non-Select) GET.

@@ -29,7 +29,6 @@
 //! the calibration from the paper's figures, and the tests at the bottom of
 //! this file pin the calibration targets.
 
-
 /// Model parameters. Defaults are calibrated against the paper (see below
 /// and `DESIGN.md` §5); experiments can perturb them for ablations.
 #[derive(Debug, Clone, Copy, PartialEq)]

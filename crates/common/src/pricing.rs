@@ -79,6 +79,14 @@ impl Usage {
     /// Scale all byte/request quantities by a factor — used to project
     /// results measured at a small TPC-H scale factor to the paper's SF 10
     /// (every quantity is linear in table size; see DESIGN.md §2).
+    ///
+    /// Each field is rounded to integer units exactly **once**, so scaling
+    /// is *not* distributive over addition: `scaled(a) + scaled(b)` may
+    /// differ from `scaled(a + b)` by up to one unit per operand. When
+    /// projecting a multi-phase plan, **sum first, then scale once** —
+    /// that is what `QueryMetrics::scaled_usage` does — rather than
+    /// scaling each phase and summing, which drifts by up to half a unit
+    /// per phase. The test below pins this invariant.
     pub fn scaled(&self, factor: f64) -> Usage {
         let s = |v: u64| ((v as f64) * factor).round() as u64;
         Usage {
@@ -166,9 +174,9 @@ mod tests {
         let p = Pricing::us_east();
         let usage = Usage {
             requests: 10_000,
-            select_scanned_bytes: 10 * 1_000_000_000,  // 10 GB scanned
-            select_returned_bytes: 1_000_000_000,      // 1 GB returned
-            plain_bytes: 5 * 1_000_000_000,            // free in-region
+            select_scanned_bytes: 10 * 1_000_000_000, // 10 GB scanned
+            select_returned_bytes: 1_000_000_000,     // 1 GB returned
+            plain_bytes: 5 * 1_000_000_000,           // free in-region
         };
         let c = p.cost(&usage, 3600.0); // one hour of compute
         assert!((c.compute - 2.128).abs() < 1e-12);
@@ -202,6 +210,30 @@ mod tests {
         assert_eq!(s.requests, 1000);
         assert_eq!(s.select_scanned_bytes, 10_000);
         assert_eq!(s.total_transferred(), 8000);
+    }
+
+    #[test]
+    fn scaling_is_rounded_once_at_the_aggregate_level() {
+        // Per-part rounding drifts: each of 10 parts of 3 bytes scaled by
+        // 1.25 rounds 3.75 → 4 (total 40), while the summed 30 bytes scale
+        // to exactly 37.5 → 38. Projections must therefore scale the *sum*.
+        let part = Usage {
+            select_scanned_bytes: 3,
+            ..Default::default()
+        };
+        let factor = 1.25;
+        let mut summed = Usage::default();
+        let mut per_part = Usage::default();
+        for _ in 0..10 {
+            summed += part;
+            per_part += part.scaled(factor);
+        }
+        let once = summed.scaled(factor);
+        assert_eq!(once.select_scanned_bytes, 38);
+        assert_eq!(per_part.select_scanned_bytes, 40);
+        // The aggregate-level rounding is within half a unit of exact.
+        let exact = 30.0 * factor;
+        assert!((once.select_scanned_bytes as f64 - exact).abs() <= 0.5);
     }
 
     #[test]

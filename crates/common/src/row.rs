@@ -212,8 +212,15 @@ mod tests {
 
     #[test]
     fn project_and_concat() {
-        let r = Row::new(vec![Value::Int(1), Value::Str("x".into()), Value::Float(2.5)]);
-        assert_eq!(r.project(&[2, 0]).values(), &[Value::Float(2.5), Value::Int(1)]);
+        let r = Row::new(vec![
+            Value::Int(1),
+            Value::Str("x".into()),
+            Value::Float(2.5),
+        ]);
+        assert_eq!(
+            r.project(&[2, 0]).values(),
+            &[Value::Float(2.5), Value::Int(1)]
+        );
         let s = Row::new(vec![Value::Bool(true)]);
         assert_eq!(r.concat(&s).len(), 4);
     }

@@ -39,12 +39,7 @@ impl Schema {
 
     /// Build from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
-        Schema::new(
-            pairs
-                .iter()
-                .map(|(n, t)| Field::new(*n, *t))
-                .collect(),
-        )
+        Schema::new(pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect())
     }
 
     pub fn fields(&self) -> &[Field] {

@@ -239,9 +239,8 @@ impl Value {
             (Value::Bool(b), DataType::Int) => Ok(Value::Int(*b as i64)),
             (Value::Date(d), DataType::Int) => Ok(Value::Int(*d as i64)),
             (Value::Int(i), DataType::Date) => Ok(Value::Date(*i as i32)),
-            (Value::Str(s), _) => Value::parse_typed(s.trim(), dt).map_err(|_| {
-                Error::Eval(format!("cannot CAST {s:?} to {dt}"))
-            }),
+            (Value::Str(s), _) => Value::parse_typed(s.trim(), dt)
+                .map_err(|_| Error::Eval(format!("cannot CAST {s:?} to {dt}"))),
             (v, DataType::Str) => Ok(Value::Str(v.to_csv_field())),
             (v, _) => Err(Error::Eval(format!(
                 "cannot CAST {} to {dt}",
@@ -362,10 +361,7 @@ mod tests {
             Value::Int(2).sql_cmp(&Value::Float(2.5)),
             Some(Ordering::Less)
         );
-        assert_eq!(
-            Value::Float(2.0).sql_eq(&Value::Int(2)),
-            Some(true)
-        );
+        assert_eq!(Value::Float(2.0).sql_eq(&Value::Int(2)), Some(true));
     }
 
     #[test]
@@ -375,18 +371,17 @@ mod tests {
             d.sql_cmp(&Value::Str("1995-01-01".into())),
             Some(Ordering::Less)
         );
-        assert_eq!(
-            Value::Str("1994-01-01".into()).sql_eq(&d),
-            Some(true)
-        );
+        assert_eq!(Value::Str("1994-01-01".into()).sql_eq(&d), Some(true));
     }
 
     #[test]
     fn total_order_sorts_nulls_first() {
-        let mut vals = [Value::Str("a".into()),
+        let mut vals = [
+            Value::Str("a".into()),
             Value::Int(5),
             Value::Null,
-            Value::Float(-1.5)];
+            Value::Float(-1.5),
+        ];
         vals.sort_by(Value::total_cmp);
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Float(-1.5));
@@ -422,7 +417,9 @@ mod tests {
             Value::Int(3)
         );
         assert_eq!(
-            Value::Str("1994-01-01".into()).cast(DataType::Date).unwrap(),
+            Value::Str("1994-01-01".into())
+                .cast(DataType::Date)
+                .unwrap(),
             Value::Date(date::ymd(1994, 1, 1))
         );
         assert!(Value::Str("xyz".into()).cast(DataType::Int).is_err());

@@ -37,7 +37,10 @@ impl FilterQuery {
             None => vec![SelectItem::Wildcard],
             Some(cols) => cols
                 .iter()
-                .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+                .map(|c| SelectItem::Expr {
+                    expr: Expr::col(c.clone()),
+                    alias: None,
+                })
                 .collect(),
         };
         SelectStmt {
@@ -69,8 +72,7 @@ pub fn server_side(ctx: &QueryContext, q: &FilterQuery) -> Result<QueryOutput> {
     let proj_idx = match &q.projection {
         None => None,
         Some(cols) => {
-            let idx: Result<Vec<usize>> =
-                cols.iter().map(|c| q.table.schema.resolve(c)).collect();
+            let idx: Result<Vec<usize>> = cols.iter().map(|c| q.table.schema.resolve(c)).collect();
             Some(idx?)
         }
     };
@@ -92,7 +94,11 @@ pub fn server_side(ctx: &QueryContext, q: &FilterQuery) -> Result<QueryOutput> {
     stats.merge(&op_stats);
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("server-side filter", stats);
-    Ok(QueryOutput { schema, rows, metrics })
+    Ok(QueryOutput {
+        schema,
+        rows,
+        metrics,
+    })
 }
 
 /// S3-side filter: predicate and projection pushed into S3 Select.
@@ -100,7 +106,11 @@ pub fn s3_side(ctx: &QueryContext, q: &FilterQuery) -> Result<QueryOutput> {
     let scan = select_scan(ctx, &q.table, &q.stmt())?;
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("s3-side filter", scan.stats);
-    Ok(QueryOutput { schema: scan.schema, rows: scan.rows, metrics })
+    Ok(QueryOutput {
+        schema: scan.schema,
+        rows: scan.rows,
+        metrics,
+    })
 }
 
 /// Indexed filter (paper §IV-A): phase 1 pushes the predicate (rewritten
@@ -125,8 +135,14 @@ pub fn indexed(ctx: &QueryContext, idx: &IndexTable, q: &FilterQuery) -> Result<
     // partition (offsets must stay associated with their data partition).
     let lookup_stmt = SelectStmt {
         items: vec![
-            SelectItem::Expr { expr: Expr::col("first_byte_offset"), alias: None },
-            SelectItem::Expr { expr: Expr::col("last_byte_offset"), alias: None },
+            SelectItem::Expr {
+                expr: Expr::col("first_byte_offset"),
+                alias: None,
+            },
+            SelectItem::Expr {
+                expr: Expr::col("last_byte_offset"),
+                alias: None,
+            },
         ],
         alias: None,
         where_clause: Some(index_pred),
@@ -164,9 +180,9 @@ pub fn indexed(ctx: &QueryContext, idx: &IndexTable, q: &FilterQuery) -> Result<
     let mut phase2 = PhaseStats::default();
     let mut rows: Vec<Row> = Vec::with_capacity(ranges.len());
     for (p, first, last) in &ranges {
-        let slice =
-            ctx.store
-                .get_object_range(&idx.data.bucket, &data_parts[*p], *first, *last)?;
+        let slice = ctx
+            .store
+            .get_object_range(&idx.data.bucket, &data_parts[*p], *first, *last)?;
         phase2.point_requests += 1;
         phase2.plain_bytes += slice.len() as u64;
         phase2.server_cpu_units += 1;
@@ -207,7 +223,11 @@ pub fn indexed(ctx: &QueryContext, idx: &IndexTable, q: &FilterQuery) -> Result<
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("index lookup", phase1);
     metrics.push_serial("row fetch", phase2);
-    Ok(QueryOutput { schema, rows, metrics })
+    Ok(QueryOutput {
+        schema,
+        rows,
+        metrics,
+    })
 }
 
 /// Rewrite every reference to `from` into `to`.
@@ -224,13 +244,22 @@ pub(crate) fn rename_column(e: &Expr, from: &str, to: &str) -> Expr {
             op: *op,
             right: Box::new(rename_column(right, from, to)),
         },
-        Expr::Between { expr, low, high, negated } => Expr::Between {
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
             expr: Box::new(rename_column(expr, from, to)),
             low: Box::new(rename_column(low, from, to)),
             high: Box::new(rename_column(high, from, to)),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(rename_column(expr, from, to)),
             list: list.iter().map(|e| rename_column(e, from, to)).collect(),
             negated: *negated,
@@ -239,12 +268,19 @@ pub(crate) fn rename_column(e: &Expr, from: &str, to: &str) -> Expr {
             expr: Box::new(rename_column(expr, from, to)),
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(rename_column(expr, from, to)),
             pattern: Box::new(rename_column(pattern, from, to)),
             negated: *negated,
         },
-        Expr::Case { branches, else_expr } => Expr::Case {
+        Expr::Case {
+            branches,
+            else_expr,
+        } => Expr::Case {
             branches: branches
                 .iter()
                 .map(|(c, v)| (rename_column(c, from, to), rename_column(v, from, to)))

@@ -136,7 +136,11 @@ pub fn server_side(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> 
     stats.merge(&op_stats);
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("server-side group-by", stats);
-    Ok(QueryOutput { schema: q.output_schema()?, rows: out, metrics })
+    Ok(QueryOutput {
+        schema: q.output_schema()?,
+        rows: out,
+        metrics,
+    })
 }
 
 /// Filtered group-by: projection (and predicate) pushed to S3 Select,
@@ -147,7 +151,10 @@ pub fn filtered(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
     let stmt = SelectStmt {
         items: cols
             .iter()
-            .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+            .map(|c| SelectItem::Expr {
+                expr: Expr::col(c.clone()),
+                alias: None,
+            })
             .collect(),
         alias: None,
         where_clause: q.predicate.clone(),
@@ -156,7 +163,11 @@ pub fn filtered(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
     let (out, stats) = streamed_group_aggregate(ctx, q, &stmt)?;
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("filtered group-by", stats);
-    Ok(QueryOutput { schema: q.output_schema()?, rows: out, metrics })
+    Ok(QueryOutput {
+        schema: q.output_schema()?,
+        rows: out,
+        metrics,
+    })
 }
 
 /// Equality predicate for a (possibly multi-column) group value.
@@ -209,7 +220,11 @@ fn case_when_aggregate(
                     )],
                     else_expr: None,
                 };
-                items.push(SelectItem::Agg { func: *f, arg: Some(arg), alias: None });
+                items.push(SelectItem::Agg {
+                    func: *f,
+                    arg: Some(arg),
+                    alias: None,
+                });
             }
         }
         let stmt = SelectStmt {
@@ -245,7 +260,10 @@ pub fn s3_side(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
         items: q
             .group_cols
             .iter()
-            .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+            .map(|c| SelectItem::Expr {
+                expr: Expr::col(c.clone()),
+                alias: None,
+            })
             .collect(),
         alias: None,
         where_clause: q.predicate.clone(),
@@ -286,7 +304,11 @@ pub fn s3_side(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("s3-side group-by: distinct", phase1);
     metrics.push_serial("s3-side group-by: aggregate", phase2);
-    Ok(QueryOutput { schema: q.output_schema()?, rows, metrics })
+    Ok(QueryOutput {
+        schema: q.output_schema()?,
+        rows,
+        metrics,
+    })
 }
 
 /// Tuning for [`hybrid`].
@@ -317,11 +339,7 @@ impl Default for HybridOptions {
 
 /// Hybrid group-by (paper §VI-B). Only single-column grouping is
 /// supported (as in the paper's workloads).
-pub fn hybrid(
-    ctx: &QueryContext,
-    q: &GroupByQuery,
-    opts: HybridOptions,
-) -> Result<QueryOutput> {
+pub fn hybrid(ctx: &QueryContext, q: &GroupByQuery, opts: HybridOptions) -> Result<QueryOutput> {
     if q.group_cols.len() != 1 {
         return Err(Error::Bind(
             "hybrid group-by supports a single grouping column".into(),
@@ -330,9 +348,19 @@ pub fn hybrid(
     let gcol = &q.group_cols[0];
 
     // ---- Phase 1: sample the first ~1% of rows, count group frequency.
+    // The *prefix* sample is the paper's §VI-B design ("the first 1% of
+    // data") and is kept faithfully; note it shares the storage-order
+    // bias the striped top-K sample fixes — on input clustered by the
+    // grouping column the populous-group detection degenerates (the
+    // result stays correct, only the S3/local split is suboptimal).
+    // `crate::scan::select_scan_striped_limit` is the drop-in cure if
+    // that workload ever matters.
     let sample_rows = ((q.table.row_count as f64 * opts.sample_fraction).ceil() as u64).max(64);
     let stmt = SelectStmt {
-        items: vec![SelectItem::Expr { expr: Expr::col(gcol.clone()), alias: None }],
+        items: vec![SelectItem::Expr {
+            expr: Expr::col(gcol.clone()),
+            alias: None,
+        }],
         alias: None,
         where_clause: q.predicate.clone(),
         limit: Some(sample_rows),
@@ -364,7 +392,11 @@ pub fn hybrid(
         // No populous groups: degenerate to a filtered group-by.
         let rest = filtered(ctx, q)?;
         metrics.extend(&rest.metrics);
-        return Ok(QueryOutput { schema: rest.schema, rows: rest.rows, metrics });
+        return Ok(QueryOutput {
+            schema: rest.schema,
+            rows: rest.rows,
+            metrics,
+        });
     }
 
     // ---- Phase 2 (two concurrent requests, paper Listing 5):
@@ -389,7 +421,10 @@ pub fn hybrid(
     let tail_stmt = SelectStmt {
         items: cols
             .iter()
-            .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+            .map(|c| SelectItem::Expr {
+                expr: Expr::col(c.clone()),
+                alias: None,
+            })
             .collect(),
         alias: None,
         where_clause: Some(tail_pred),
@@ -407,7 +442,11 @@ pub fn hybrid(
     let mut rows = s3_rows;
     rows.extend(tail_rows);
     rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
-    Ok(QueryOutput { schema: q.output_schema()?, rows, metrics })
+    Ok(QueryOutput {
+        schema: q.output_schema()?,
+        rows,
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -470,10 +509,7 @@ mod tests {
             for (vx, vy) in x.values().iter().zip(y.values()) {
                 match (vx, vy) {
                     (Value::Float(fx), Value::Float(fy)) => {
-                        assert!(
-                            (fx - fy).abs() <= 1e-6 * (1.0 + fx.abs()),
-                            "{fx} vs {fy}"
-                        );
+                        assert!((fx - fy).abs() <= 1e-6 * (1.0 + fx.abs()), "{fx} vs {fy}");
                     }
                     _ => assert_eq!(vx, vy),
                 }
@@ -554,7 +590,9 @@ mod tests {
         let store = ctx.store.clone();
         ctx.engine = pushdown_select::S3SelectEngine::with_limits(
             store,
-            pushdown_select::SelectLimits { max_sql_bytes: 4 * 1024 },
+            pushdown_select::SelectLimits {
+                max_sql_bytes: 4 * 1024,
+            },
         );
         let a = server_side(&ctx, &q).unwrap();
         let c = s3_side(&ctx, &q).unwrap();
@@ -609,7 +647,10 @@ mod tests {
             let out = hybrid(
                 &ctx,
                 &q,
-                HybridOptions { force_s3_groups: Some(n), ..Default::default() },
+                HybridOptions {
+                    force_s3_groups: Some(n),
+                    ..Default::default()
+                },
             )
             .unwrap();
             let a = server_side(&ctx, &q).unwrap();

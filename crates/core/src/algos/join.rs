@@ -64,7 +64,10 @@ impl JoinQuery {
         SelectStmt {
             items: cols
                 .iter()
-                .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+                .map(|c| SelectItem::Expr {
+                    expr: Expr::col(c.clone()),
+                    alias: None,
+                })
                 .collect(),
             alias: None,
             where_clause: pred.cloned(),
@@ -116,10 +119,7 @@ impl JoinFinisher<'_> {
             for r in &joined {
                 acc.update(&r[si])?;
             }
-            let schema = Schema::from_pairs(&[(
-                "sum",
-                join_schema.dtype_of(si),
-            )]);
+            let schema = Schema::from_pairs(&[("sum", join_schema.dtype_of(si))]);
             return Ok((schema, vec![Row::new(vec![acc.finish()])]));
         }
 
@@ -151,7 +151,11 @@ fn plain_scan_filtered(
         Ok(())
     })?;
     Ok((
-        ScanResult { schema: summary.schema, rows, stats: summary.stats },
+        ScanResult {
+            schema: summary.schema,
+            rows,
+            stats: summary.stats,
+        },
         filter_stats,
     ))
 }
@@ -175,7 +179,11 @@ pub fn baseline(ctx: &QueryContext, q: &JoinQuery) -> Result<QueryOutput> {
         (format!("load {}", q.right.name), right_stats),
     ]);
     metrics.push_serial("local join", local);
-    Ok(QueryOutput { schema, rows, metrics })
+    Ok(QueryOutput {
+        schema,
+        rows,
+        metrics,
+    })
 }
 
 /// Filtered join: predicates + projections pushed to S3, join local.
@@ -199,7 +207,11 @@ pub fn filtered(ctx: &QueryContext, q: &JoinQuery) -> Result<QueryOutput> {
         (format!("select {}", q.right.name), right_stats),
     ]);
     metrics.push_serial("local join", local);
-    Ok(QueryOutput { schema, rows, metrics })
+    Ok(QueryOutput {
+        schema,
+        rows,
+        metrics,
+    })
 }
 
 /// How the Bloom join actually executed (recorded for experiments).
@@ -267,9 +279,7 @@ pub fn bloom_with_outcome(
                     bits: filter.bit_len(),
                     hashes: filter.num_hashes(),
                 },
-                BloomPlan::Degraded { requested, fpr } => {
-                    BloomOutcome::Degraded { requested, fpr }
-                }
+                BloomPlan::Degraded { requested, fpr } => BloomOutcome::Degraded { requested, fpr },
                 BloomPlan::Fallback => unreachable!("build() returns None on fallback"),
             };
             (right, outcome, "bloom probe")
@@ -293,7 +303,31 @@ pub fn bloom_with_outcome(
     metrics.push_serial(format!("build: select {}", q.left.name), left_stats);
     metrics.push_serial(probe_label, right_stats);
     metrics.push_serial("local join", local);
-    Ok((QueryOutput { schema, rows, metrics }, outcome))
+    Ok((
+        QueryOutput {
+            schema,
+            rows,
+            metrics,
+        },
+        outcome,
+    ))
+}
+
+/// Cost-based join: predict every applicable variant's footprint
+/// ([`crate::cost::join_candidates`]) and execute the cheapest by
+/// predicted dollars. Returns the output plus the chosen algorithm name
+/// (`"baseline"`, `"filtered"`, `"bloom"`, `"bloom-binary"`).
+pub fn adaptive(ctx: &QueryContext, q: &JoinQuery) -> Result<(QueryOutput, &'static str)> {
+    let candidates = crate::cost::join_candidates(ctx, q);
+    let chosen = &candidates[crate::cost::cheapest(&candidates, ctx)];
+    let algorithm = chosen.algorithm;
+    let out = match algorithm {
+        "filtered" => filtered(ctx, q)?,
+        "bloom" => bloom(ctx, q, 0.01)?,
+        "bloom-binary" => crate::algos::whatif::bloom_binary(ctx, q, 0.01)?,
+        _ => baseline(ctx, q)?,
+    };
+    Ok((out, algorithm))
 }
 
 /// Run two scans concurrently (they are independent I/O).
@@ -325,10 +359,8 @@ mod tests {
     /// A miniature customer ⋈ orders setup mirroring the paper's Listing 2.
     fn setup() -> (QueryContext, JoinQuery) {
         let store = S3Store::new();
-        let cust_schema = Schema::from_pairs(&[
-            ("c_custkey", DataType::Int),
-            ("c_acctbal", DataType::Float),
-        ]);
+        let cust_schema =
+            Schema::from_pairs(&[("c_custkey", DataType::Int), ("c_acctbal", DataType::Float)]);
         let customers: Vec<Row> = (0..200)
             .map(|i| {
                 Row::new(vec![
@@ -353,10 +385,8 @@ mod tests {
                 ])
             })
             .collect();
-        let left =
-            upload_csv_table(&store, "b", "customer", &cust_schema, &customers, 64).unwrap();
-        let right =
-            upload_csv_table(&store, "b", "orders", &orders_schema, &orders, 256).unwrap();
+        let left = upload_csv_table(&store, "b", "customer", &cust_schema, &customers, 64).unwrap();
+        let right = upload_csv_table(&store, "b", "orders", &orders_schema, &orders, 256).unwrap();
         let ctx = QueryContext::new(store);
         let q = JoinQuery {
             left,
@@ -396,9 +426,8 @@ mod tests {
         let mut b = filtered(&ctx, &q).unwrap();
         let mut c = bloom(&ctx, &q, 0.05).unwrap();
         for out in [&mut a, &mut b, &mut c] {
-            out.rows.sort_by(|x, y| {
-                x[0].total_cmp(&y[0]).then(x[1].total_cmp(&y[1]))
-            });
+            out.rows
+                .sort_by(|x, y| x[0].total_cmp(&y[0]).then(x[1].total_cmp(&y[1])));
         }
         assert_eq!(a.rows, b.rows);
         assert_eq!(a.rows, c.rows);
@@ -413,8 +442,7 @@ mod tests {
         // The Bloom filter suppresses non-joining orders rows at S3, so
         // far fewer bytes come back on the probe side.
         assert!(
-            c.metrics.usage().select_returned_bytes * 3
-                < b.metrics.usage().select_returned_bytes,
+            c.metrics.usage().select_returned_bytes * 3 < b.metrics.usage().select_returned_bytes,
             "bloom {} vs filtered {}",
             c.metrics.usage().select_returned_bytes,
             b.metrics.usage().select_returned_bytes
@@ -478,6 +506,29 @@ mod tests {
         assert!(
             b.metrics.usage().select_returned_bytes
                 < unfiltered.metrics.usage().select_returned_bytes
+        );
+    }
+
+    #[test]
+    fn adaptive_join_agrees_and_never_measurably_loses() {
+        let (ctx, q) = setup();
+        let (out, algorithm) = adaptive(&ctx, &q).unwrap();
+        assert!(
+            ["baseline", "filtered", "bloom"].contains(&algorithm),
+            "{algorithm}"
+        );
+        let others = [
+            baseline(&ctx, &q).unwrap(),
+            filtered(&ctx, &q).unwrap(),
+            bloom(&ctx, &q, 0.01).unwrap(),
+        ];
+        assert!((total(&out) - total(&others[0])).abs() < 1e-6);
+        let cost = |o: &QueryOutput| o.metrics.cost(&ctx.model, &ctx.pricing).total();
+        let min = others.iter().map(cost).fold(f64::INFINITY, f64::min);
+        assert!(
+            cost(&out) <= min * 1.10,
+            "adaptive {algorithm} ${:.6} vs min ${min:.6}",
+            cost(&out)
         );
     }
 

@@ -7,6 +7,15 @@
 //!   the survivors. The sample always contains K records at or below the
 //!   threshold, so the final answer is exact.
 //!
+//! The sampling phase **stripes** its `LIMIT` across partitions
+//! (per-partition shares, [`select_scan_striped_limit`]) rather than
+//! taking the table's first `S` rows: a plain `LIMIT S` is a storage-
+//! order *prefix*, and on input sorted opposite to the query order the
+//! phase-1 threshold degenerates until phase 2 re-fetches nearly the
+//! whole table. With striping every partition contributes, so phase-2
+//! traffic stays bounded regardless of how the table is ordered (the
+//! regression test below pins this).
+//!
 //! The paper's §VII-B analysis gives the traffic-optimal sample size
 //! `S* = sqrt(K·N/α)` where `α` is the fraction of each record the
 //! sampling phase must read — implemented by [`optimal_sample_size`] and
@@ -17,7 +26,7 @@ use crate::context::QueryContext;
 use crate::metrics::QueryMetrics;
 use crate::ops;
 use crate::output::QueryOutput;
-use crate::scan::{plain_scan_streamed, select_scan, select_scan_streamed};
+use crate::scan::{plain_scan_streamed, select_scan_streamed, select_scan_striped_limit};
 use pushdown_common::perf::PhaseStats;
 use pushdown_common::{Result, Value};
 use pushdown_sql::{Expr, SelectItem, SelectStmt};
@@ -56,7 +65,11 @@ pub fn server_side(ctx: &QueryContext, q: &TopKQuery) -> Result<QueryOutput> {
     stats.merge(&op_stats);
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("server-side top-k", stats);
-    Ok(QueryOutput { schema: summary.schema, rows, metrics })
+    Ok(QueryOutput {
+        schema: summary.schema,
+        rows,
+        metrics,
+    })
 }
 
 /// Sampling-based top-K (paper §VII-A). `sample_size = None` uses the
@@ -72,14 +85,18 @@ pub fn sampling(
         .unwrap_or_else(|| optimal_sample_size(q.k, q.table.row_count, alpha))
         .max(q.k);
 
-    // ---- Phase 1: sample S values of the order column.
+    // ---- Phase 1: sample S values of the order column, striped across
+    // partitions so the sample is not a storage-order prefix.
     let sample_stmt = SelectStmt {
-        items: vec![SelectItem::Expr { expr: Expr::col(q.order_col.clone()), alias: None }],
+        items: vec![SelectItem::Expr {
+            expr: Expr::col(q.order_col.clone()),
+            alias: None,
+        }],
         alias: None,
         where_clause: None,
-        limit: Some(s as u64),
+        limit: None, // per-partition shares are applied by the striped scan
     };
-    let sample = select_scan(ctx, &q.table, &sample_stmt)?;
+    let sample = select_scan_striped_limit(ctx, &q.table, &sample_stmt, s)?;
     let mut phase1 = sample.stats;
 
     // K-th order statistic of the sample = threshold. If the sample holds
@@ -138,7 +155,11 @@ pub fn sampling(
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("sampling phase", phase1);
     metrics.push_serial("scanning phase", phase2);
-    Ok(QueryOutput { schema: summary.schema, rows, metrics })
+    Ok(QueryOutput {
+        schema: summary.schema,
+        rows,
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -169,7 +190,12 @@ mod tests {
         let t = upload_csv_table(&store, "b", "lineitem", &schema, &rows, 512).unwrap();
         (
             QueryContext::new(store),
-            TopKQuery { table: t, order_col: "price".into(), k: 25, asc: true },
+            TopKQuery {
+                table: t,
+                order_col: "price".into(),
+                k: 25,
+                asc: true,
+            },
         )
     }
 
@@ -284,6 +310,66 @@ mod tests {
     }
 
     #[test]
+    fn striped_sampling_bounds_phase2_on_adversarial_order() {
+        // The table is sorted exactly opposite to the query order — the
+        // worst case for a prefix sample: a plain `LIMIT S` would collect
+        // the S *largest* values, the ascending threshold would be huge,
+        // and phase 2 would re-fetch nearly the whole table. Striping the
+        // sample across partitions keeps phase-2 returned bytes within a
+        // small multiple of K/N of the table.
+        let store = S3Store::new();
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("price", DataType::Float),
+            ("pad", DataType::Str),
+        ]);
+        let n = 6000usize;
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i as i64),
+                    Value::Float((n - i) as f64), // sorted descending
+                    Value::Str(format!("pad-{i:08}")),
+                ])
+            })
+            .collect();
+        let t = upload_csv_table(&store, "b", "sorted", &schema, &rows, 150).unwrap();
+        let total = t.total_bytes(&store) as f64;
+        let ctx = QueryContext::new(store);
+        let k = 30usize;
+        let q = TopKQuery {
+            table: t,
+            order_col: "price".into(),
+            k,
+            asc: true,
+        };
+        let want = server_side(&ctx, &q).unwrap();
+        let kn_bytes = total * k as f64 / n as f64; // "K/N of the table"
+        for sample_size in [None, Some(1200)] {
+            let got = sampling(&ctx, &q, sample_size).unwrap();
+            assert_eq!(want.rows.len(), got.rows.len());
+            for (x, y) in want.rows.iter().zip(&got.rows) {
+                assert_eq!(x[1], y[1], "sample {sample_size:?}");
+            }
+            // Worst case for a striped sample of share s/P per partition
+            // is ~N/P + K rows (one partition's span plus the threshold
+            // overshoot) — a small multiple of K/N here, and nowhere near
+            // the ~full table the prefix sample degenerates to.
+            let phase2 = got.metrics.groups[1].phases[0].stats.select_returned_bytes as f64;
+            assert!(
+                phase2 <= 12.0 * kn_bytes,
+                "sample {sample_size:?}: phase 2 returned {phase2:.0} bytes, \
+                 want ≤ 12×(K/N)×table = {:.0} (table {total:.0})",
+                12.0 * kn_bytes
+            );
+            assert!(
+                phase2 <= total / 10.0,
+                "phase 2 must stay far from a full re-fetch"
+            );
+        }
+    }
+
+    #[test]
     fn duplicate_keys_at_the_threshold() {
         // Many duplicate order keys exactly at the K-th position.
         let store = S3Store::new();
@@ -293,7 +379,12 @@ mod tests {
             .collect();
         let t = upload_csv_table(&store, "b", "t", &schema, &rows, 128).unwrap();
         let ctx = QueryContext::new(store);
-        let q = TopKQuery { table: t, order_col: "v".into(), k: 10, asc: true };
+        let q = TopKQuery {
+            table: t,
+            order_col: "v".into(),
+            k: 10,
+            asc: true,
+        };
         let a = server_side(&ctx, &q).unwrap();
         let b = sampling(&ctx, &q, Some(50)).unwrap();
         assert_eq!(a.rows.len(), 10);

@@ -65,8 +65,14 @@ pub fn indexed_multirange(
     // Phase 1: unchanged index lookup.
     let lookup = SelectStmt {
         items: vec![
-            SelectItem::Expr { expr: Expr::col("first_byte_offset"), alias: None },
-            SelectItem::Expr { expr: Expr::col("last_byte_offset"), alias: None },
+            SelectItem::Expr {
+                expr: Expr::col("first_byte_offset"),
+                alias: None,
+            },
+            SelectItem::Expr {
+                expr: Expr::col("last_byte_offset"),
+                alias: None,
+            },
         ],
         alias: None,
         where_clause: Some(index_pred),
@@ -98,17 +104,16 @@ pub fn indexed_multirange(
     let mut rows: Vec<Row> = Vec::new();
     for (p, ranges) in per_partition.iter().enumerate() {
         for batch in ranges.chunks(RANGES_PER_REQUEST) {
-            let slices =
-                ctx.store
-                    .get_object_ranges(&idx.data.bucket, &data_parts[p], batch)?;
+            let slices = ctx
+                .store
+                .get_object_ranges(&idx.data.bucket, &data_parts[p], batch)?;
             phase2.point_requests += 1;
             for slice in slices {
                 phase2.plain_bytes += slice.len() as u64;
                 phase2.server_cpu_units += 1;
                 let line = std::str::from_utf8(&slice)
                     .map_err(|_| Error::Corrupt("non-UTF8 record".into()))?;
-                let fields =
-                    pushdown_format::csv::split_line(line.trim_end_matches(['\n', '\r']))?;
+                let fields = pushdown_format::csv::split_line(line.trim_end_matches(['\n', '\r']))?;
                 let mut vals = Vec::with_capacity(fields.len());
                 for (i, f) in fields.iter().enumerate() {
                     vals.push(Value::parse_typed(f, idx.data.schema.dtype_of(i))?);
@@ -122,17 +127,17 @@ pub fn indexed_multirange(
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("index lookup", phase1);
     metrics.push_serial("row fetch (multi-range)", phase2);
-    Ok(QueryOutput { schema, rows, metrics })
+    Ok(QueryOutput {
+        schema,
+        rows,
+        metrics,
+    })
 }
 
 /// Suggestion 2: the index lookup runs entirely inside the storage
 /// service — one `select_indexed` request per partition, no per-row GETs
 /// at all.
-pub fn indexed_in_s3(
-    ctx: &QueryContext,
-    idx: &IndexTable,
-    q: &FilterQuery,
-) -> Result<QueryOutput> {
+pub fn indexed_in_s3(ctx: &QueryContext, idx: &IndexTable, q: &FilterQuery) -> Result<QueryOutput> {
     let mut refs = Vec::new();
     q.predicate.referenced_columns(&mut refs);
     if !(refs.len() == 1 && refs[0].eq_ignore_ascii_case(&idx.column)) {
@@ -167,7 +172,11 @@ pub fn indexed_in_s3(
     let (schema, rows) = apply_projection(&idx.data, q, rows, &mut stats)?;
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("index lookup in S3", stats);
-    Ok(QueryOutput { schema, rows, metrics })
+    Ok(QueryOutput {
+        schema,
+        rows,
+        metrics,
+    })
 }
 
 fn apply_projection(
@@ -179,8 +188,7 @@ fn apply_projection(
     match &q.projection {
         None => Ok((table.schema.clone(), rows)),
         Some(cols) => {
-            let idx: Result<Vec<usize>> =
-                cols.iter().map(|c| table.schema.resolve(c)).collect();
+            let idx: Result<Vec<usize>> = cols.iter().map(|c| table.schema.resolve(c)).collect();
             let idx = idx?;
             Ok((
                 table.schema.project(&idx),
@@ -207,7 +215,10 @@ pub fn bloom_binary(ctx: &QueryContext, q: &JoinQuery, fpr: f64) -> Result<Query
     let left_stmt = SelectStmt {
         items: left_cols
             .iter()
-            .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+            .map(|c| SelectItem::Expr {
+                expr: Expr::col(c.clone()),
+                alias: None,
+            })
             .collect(),
         alias: None,
         where_clause: q.left_pred.clone(),
@@ -246,7 +257,10 @@ pub fn bloom_binary(ctx: &QueryContext, q: &JoinQuery, fpr: f64) -> Result<Query
             let right_stmt = SelectStmt {
                 items: right_cols
                     .iter()
-                    .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+                    .map(|c| SelectItem::Expr {
+                        expr: Expr::col(c.clone()),
+                        alias: None,
+                    })
                     .collect(),
                 alias: None,
                 where_clause: Some(pred),
@@ -275,7 +289,11 @@ pub fn bloom_binary(ctx: &QueryContext, q: &JoinQuery, fpr: f64) -> Result<Query
                 rows.extend(resp.rows()?);
             }
             (
-                ScanResult { schema: schema.expect("partitions"), rows, stats },
+                ScanResult {
+                    schema: schema.expect("partitions"),
+                    rows,
+                    stats,
+                },
                 "bloom probe (binary)",
             )
         }
@@ -283,7 +301,10 @@ pub fn bloom_binary(ctx: &QueryContext, q: &JoinQuery, fpr: f64) -> Result<Query
             let right_stmt = SelectStmt {
                 items: right_cols
                     .iter()
-                    .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+                    .map(|c| SelectItem::Expr {
+                        expr: Expr::col(c.clone()),
+                        alias: None,
+                    })
                     .collect(),
                 alias: None,
                 where_clause: q.right_pred.clone(),
@@ -333,7 +354,11 @@ pub fn bloom_binary(ctx: &QueryContext, q: &JoinQuery, fpr: f64) -> Result<Query
     metrics.push_serial(format!("build: select {}", q.left.name), left_stats);
     metrics.push_serial(probe_label, right_stats);
     metrics.push_serial("local join", local);
-    Ok(QueryOutput { schema, rows, metrics })
+    Ok(QueryOutput {
+        schema,
+        rows,
+        metrics,
+    })
 }
 
 /// Suggestion 4: group-by pushed natively — a single `GROUP BY` select
@@ -346,7 +371,10 @@ pub fn s3_native_groupby(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOu
     let mut items: Vec<SelectItem> = q
         .group_cols
         .iter()
-        .map(|c| SelectItem::Expr { expr: Expr::col(c.clone()), alias: None })
+        .map(|c| SelectItem::Expr {
+            expr: Expr::col(c.clone()),
+            alias: None,
+        })
         .collect();
     let mut merge_plan: Vec<(AggFunc, usize)> = Vec::new(); // (orig func, first col)
     let mut col = q.group_cols.len();
@@ -436,7 +464,11 @@ pub fn s3_native_groupby(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOu
 
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("s3-native group-by (suggestion 4)", stats);
-    Ok(QueryOutput { schema: q.output_schema()?, rows, metrics })
+    Ok(QueryOutput {
+        schema: q.output_schema()?,
+        rows,
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -476,7 +508,11 @@ mod tests {
         let multi_u = multi.metrics.usage();
         // 600 per-row GETs collapse into ceil-per-batch requests.
         assert_eq!(stock_u.requests, 4 + 600);
-        assert!(multi_u.requests < stock_u.requests / 50, "{}", multi_u.requests);
+        assert!(
+            multi_u.requests < stock_u.requests / 50,
+            "{}",
+            multi_u.requests
+        );
         // Same bytes either way.
         assert_eq!(stock_u.plain_bytes, multi_u.plain_bytes);
         // And the model rewards it.
@@ -546,7 +582,13 @@ mod tests {
         );
         let err = ctx
             .engine
-            .select("b", "r/part-00000.csv", &sql, &q.right.schema, q.right.format)
+            .select(
+                "b",
+                "r/part-00000.csv",
+                &sql,
+                &q.right.schema,
+                q.right.format,
+            )
             .unwrap_err();
         assert_eq!(err.code(), "SelectRejected");
     }
@@ -635,7 +677,13 @@ mod tests {
         .unwrap();
         let err = ctx
             .engine
-            .select_grouped("b", "t/part-00000.csv", &ext, &schema, pushdown_select::InputFormat::Csv)
+            .select_grouped(
+                "b",
+                "t/part-00000.csv",
+                &ext,
+                &schema,
+                pushdown_select::InputFormat::Csv,
+            )
             .unwrap_err();
         assert_eq!(err.code(), "SelectRejected");
     }

@@ -1,16 +1,124 @@
-//! Tables: partitioned objects in the store, plus loaders.
+//! Tables: partitioned objects in the store, loaders, and the catalog's
+//! statistics layer.
 //!
 //! Paper §III: "To facilitate parallel processing, each table is
 //! partitioned into multiple objects in S3. The techniques discussed in
 //! this paper do not make any assumptions about how the data is
 //! partitioned." Tables here are a key prefix plus numbered partition
 //! objects (`<prefix>/part-00000.csv`, ...).
+//!
+//! ## Statistics
+//!
+//! The cost-based optimizer ([`crate::cost`], `Strategy::Adaptive`)
+//! needs table statistics to predict what each candidate algorithm will
+//! scan, return and compute. [`TableStats`] carries row count plus
+//! per-column min/max, distinct-value count, null fraction and mean CSV
+//! width ([`ColumnStats`]). Loaders gather exact statistics for free at
+//! load time (one pass over the rows being uploaded, unmetered like the
+//! load itself); for tables whose data changed since load — or that were
+//! registered without statistics — [`probe_stats`] refreshes them with a
+//! cheap `LIMIT`-bounded Select probe striped across partitions, which
+//! *is* metered like any other query traffic.
 
-use pushdown_common::{Result, Row, Schema};
+use crate::context::QueryContext;
+use pushdown_common::{Result, Row, Schema, Value};
 use pushdown_format::columnar::{encode_columnar, WriterOptions};
 use pushdown_format::csv::CsvWriter;
 use pushdown_s3::S3Store;
 use pushdown_select::InputFormat;
+use pushdown_sql::{Expr, SelectItem, SelectStmt};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Per-column statistics: the inputs to selectivity and width estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Smallest non-null value (NULL when the column is all-NULL).
+    pub min: Value,
+    /// Largest non-null value (NULL when the column is all-NULL).
+    pub max: Value,
+    /// Number of distinct non-null values.
+    pub ndv: u64,
+    /// Fraction of rows that are NULL.
+    pub null_fraction: f64,
+    /// Mean width of the CSV-rendered field, bytes.
+    pub avg_width: f64,
+}
+
+/// Table-level statistics: row count plus one [`ColumnStats`] per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Rows in the table (exact — tracked by the catalog).
+    pub row_count: u64,
+    /// Rows actually examined to build the column statistics. Equals
+    /// `row_count` for load-time statistics; smaller for probe refreshes.
+    pub sample_rows: u64,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Exact statistics from a full pass over `rows` (the load-time path).
+    pub fn from_rows(schema: &Schema, rows: &[Row]) -> TableStats {
+        let mut stats = Self::from_sample(schema, rows);
+        stats.row_count = rows.len() as u64;
+        stats
+    }
+
+    /// Statistics from a sample, leaving `row_count` at the sample size;
+    /// callers that know the true row count fix it up (see [`probe_stats`]).
+    fn from_sample(schema: &Schema, rows: &[Row]) -> TableStats {
+        let n = rows.len() as u64;
+        let columns = (0..schema.len())
+            .map(|c| {
+                let mut min = Value::Null;
+                let mut max = Value::Null;
+                let mut nulls = 0u64;
+                let mut width = 0usize;
+                let mut distinct: HashSet<String> = HashSet::new();
+                for r in rows {
+                    let v = &r[c];
+                    let field = v.to_csv_field();
+                    width += field.len();
+                    if v.is_null() {
+                        nulls += 1;
+                        continue;
+                    }
+                    distinct.insert(field);
+                    if min.is_null() || v.total_cmp(&min) == std::cmp::Ordering::Less {
+                        min = v.clone();
+                    }
+                    if max.is_null() || v.total_cmp(&max) == std::cmp::Ordering::Greater {
+                        max = v.clone();
+                    }
+                }
+                ColumnStats {
+                    min,
+                    max,
+                    ndv: distinct.len() as u64,
+                    null_fraction: if n == 0 { 0.0 } else { nulls as f64 / n as f64 },
+                    avg_width: if n == 0 { 0.0 } else { width as f64 / n as f64 },
+                }
+            })
+            .collect();
+        TableStats {
+            row_count: n,
+            sample_rows: n,
+            columns,
+        }
+    }
+
+    /// Mean CSV row width in bytes: field widths plus separators and the
+    /// line terminator — the unit every byte prediction multiplies by.
+    pub fn avg_row_bytes(&self) -> f64 {
+        let widths: f64 = self.columns.iter().map(|c| c.avg_width).sum();
+        widths + self.columns.len().saturating_sub(1) as f64 + 1.0
+    }
+
+    /// Statistics for column `i`, if tracked.
+    pub fn column(&self, i: usize) -> Option<&ColumnStats> {
+        self.columns.get(i)
+    }
+}
 
 /// A table registered in the catalog: schema + location + format.
 #[derive(Debug, Clone)]
@@ -24,6 +132,11 @@ pub struct Table {
     /// Total row count, known at load time (used by sampling phases to
     /// size LIMITs; a real system would keep this statistic in a catalog).
     pub row_count: u64,
+    /// Column statistics for the cost-based optimizer. Loaders fill these
+    /// in; `None` (a table registered by hand) makes the estimator fall
+    /// back to schema-derived defaults. Shared — cloning a `Table` does
+    /// not copy the statistics.
+    pub stats: Option<Arc<TableStats>>,
 }
 
 impl Table {
@@ -36,6 +149,52 @@ impl Table {
     pub fn total_bytes(&self, store: &S3Store) -> u64 {
         store.total_size(&self.bucket, &format!("{}/", self.prefix))
     }
+
+    /// Replace the attached statistics (e.g. after a [`probe_stats`]
+    /// refresh).
+    pub fn with_stats(mut self, stats: TableStats) -> Table {
+        self.stats = Some(Arc::new(stats));
+        self
+    }
+}
+
+/// Refresh a table's statistics with a cheap `LIMIT`-bounded Select
+/// probe: `SELECT * LIMIT probe_rows`, striped across partitions so the
+/// sample is not a storage-order prefix. Unlike load-time statistics
+/// this runs at query time and is metered (requests + scanned +
+/// returned bytes land on the ledger). Distinct counts are extrapolated:
+/// a column that looks unique in the sample is assumed unique in the
+/// table; low-cardinality columns keep their sampled count.
+pub fn probe_stats(ctx: &QueryContext, table: &Table, probe_rows: u64) -> Result<TableStats> {
+    // Explicit columns rather than `*`, so the response schema matches
+    // the table schema exactly.
+    let stmt = SelectStmt {
+        items: table
+            .schema
+            .fields()
+            .iter()
+            .map(|f| SelectItem::Expr {
+                expr: Expr::col(f.name.clone()),
+                alias: None,
+            })
+            .collect(),
+        alias: None,
+        where_clause: None,
+        limit: None,
+    };
+    let scan = crate::scan::select_scan_striped_limit(ctx, table, &stmt, probe_rows as usize)?;
+    let mut stats = TableStats::from_sample(&scan.schema, &scan.rows);
+    let sampled = stats.sample_rows.max(1);
+    for col in &mut stats.columns {
+        let non_null = ((sampled as f64) * (1.0 - col.null_fraction)).max(1.0);
+        if (col.ndv as f64) >= 0.8 * non_null {
+            // Looks unique (or near): extrapolate to the full table.
+            let full_non_null = (table.row_count as f64) * (1.0 - col.null_fraction);
+            col.ndv = full_non_null.round().max(col.ndv as f64) as u64;
+        }
+    }
+    stats.row_count = table.row_count;
+    Ok(stats)
 }
 
 fn partition_key(prefix: &str, i: usize, ext: &str) -> String {
@@ -76,6 +235,7 @@ pub fn upload_csv_table(
         schema: schema.clone(),
         format: InputFormat::Csv,
         row_count: rows.len() as u64,
+        stats: Some(Arc::new(TableStats::from_rows(schema, rows))),
     })
 }
 
@@ -108,6 +268,7 @@ pub fn upload_columnar_table(
         schema: schema.clone(),
         format: InputFormat::Columnar,
         row_count: rows.len() as u64,
+        stats: Some(Arc::new(TableStats::from_rows(schema, rows))),
     })
 }
 
@@ -133,10 +294,7 @@ mod tests {
         assert_eq!(t.partitions(&store).len(), 3);
         assert_eq!(t.row_count, 250);
         assert!(t.total_bytes(&store) > 0);
-        assert_eq!(
-            t.partitions(&store)[0],
-            "t/part-00000.csv"
-        );
+        assert_eq!(t.partitions(&store)[0], "t/part-00000.csv");
     }
 
     #[test]
@@ -172,6 +330,70 @@ mod tests {
         .unwrap();
         assert_eq!(t.partitions(&store).len(), 3);
         assert_eq!(t.format, InputFormat::Columnar);
+    }
+
+    #[test]
+    fn load_time_statistics_are_exact() {
+        let store = S3Store::new();
+        let t = upload_csv_table(&store, "b", "t", &schema(), &rows(100), 40).unwrap();
+        let s = t.stats.as_ref().expect("loader attaches stats");
+        assert_eq!(s.row_count, 100);
+        assert_eq!(s.sample_rows, 100);
+        let k = s.column(0).unwrap();
+        assert_eq!(k.min, Value::Int(0));
+        assert_eq!(k.max, Value::Int(99));
+        assert_eq!(k.ndv, 100);
+        assert_eq!(k.null_fraction, 0.0);
+        let name = s.column(1).unwrap();
+        assert_eq!(name.ndv, 100);
+        assert!(name.avg_width > 2.0);
+        // Row-width estimate tracks the real object size closely.
+        let est = s.avg_row_bytes() * 100.0;
+        let header = 4.0; // "k,s\n" per partition ≈ noise
+        let actual = t.total_bytes(&store) as f64 - 3.0 * header;
+        assert!((est - actual).abs() / actual < 0.05, "{est} vs {actual}");
+    }
+
+    #[test]
+    fn empty_and_null_columns_have_null_stats() {
+        let s = TableStats::from_rows(
+            &schema(),
+            &[
+                Row::new(vec![Value::Null, Value::Null]),
+                Row::new(vec![Value::Int(3), Value::Null]),
+            ],
+        );
+        assert_eq!(s.column(0).unwrap().null_fraction, 0.5);
+        assert_eq!(s.column(0).unwrap().min, Value::Int(3));
+        assert!(s.column(1).unwrap().min.is_null());
+        assert_eq!(s.column(1).unwrap().ndv, 0);
+        assert_eq!(s.column(1).unwrap().null_fraction, 1.0);
+        let empty = TableStats::from_rows(&schema(), &[]);
+        assert_eq!(empty.row_count, 0);
+        assert!(empty.column(0).unwrap().min.is_null());
+    }
+
+    #[test]
+    fn probe_refresh_approximates_load_time_stats_and_is_metered() {
+        let store = S3Store::new();
+        let t = upload_csv_table(&store, "b", "t", &schema(), &rows(1000), 100).unwrap();
+        let ctx = crate::context::QueryContext::new(store);
+        ctx.store.ledger().reset();
+        let probed = probe_stats(&ctx, &t, 200).unwrap();
+        // The probe is billed like any query.
+        let billed = ctx.store.ledger().snapshot();
+        assert!(billed.requests > 0 && billed.select_returned_bytes > 0);
+        // Row count comes from the catalog, not the sample.
+        assert_eq!(probed.row_count, 1000);
+        assert_eq!(probed.sample_rows, 200);
+        // The unique key column extrapolates to ~the full table.
+        let exact = t.stats.as_ref().unwrap();
+        let k = probed.column(0).unwrap();
+        assert!(k.ndv >= 900, "extrapolated ndv {}", k.ndv);
+        // Width estimates land near the exact ones.
+        let we = exact.avg_row_bytes();
+        let wp = probed.avg_row_bytes();
+        assert!((we - wp).abs() / we < 0.15, "{we} vs {wp}");
     }
 
     #[test]

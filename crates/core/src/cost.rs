@@ -1,0 +1,1041 @@
+//! Analytical cost estimation for cost-based strategy selection.
+//!
+//! The paper takes the algorithm choice as an input — "dynamically
+//! determining which optimization to use is orthogonal to and beyond the
+//! scope of this paper" (§VIII) — yet every figure shows the winner
+//! flipping with selectivity, group count and K. This module closes that
+//! loop: [`Estimator`] predicts, for every algorithm family applicable
+//! to a query, the [`PhaseStats`] footprint each phase would charge,
+//! straight from catalog statistics ([`crate::catalog::TableStats`]).
+//!
+//! Predictions are expressed as a [`QueryMetrics`] — the *same* structure
+//! measurements use — so predicted runtime and dollars come from the
+//! *same* [`PerfModel`](pushdown_common::perf::PerfModel) and
+//! [`Pricing`](pushdown_common::pricing::Pricing) that score real
+//! executions. A prediction and a measurement can disagree only because
+//! the *footprint* was estimated imperfectly, never because they were
+//! priced by different models. The planner's `Strategy::Adaptive`
+//! executes the argmin-dollar candidate and reports predicted-vs-actual
+//! per phase through its EXPLAIN surface.
+
+use crate::algos::filter::FilterQuery;
+use crate::algos::groupby::{GroupByQuery, HybridOptions};
+use crate::algos::join::JoinQuery;
+use crate::algos::topk::{optimal_sample_size, TopKQuery};
+use crate::catalog::{ColumnStats, Table, TableStats};
+use crate::context::QueryContext;
+use crate::metrics::QueryMetrics;
+use pushdown_common::perf::PhaseStats;
+use pushdown_common::pricing::Usage;
+use pushdown_common::{Schema, Value};
+use pushdown_sql::agg::AggFunc;
+use pushdown_sql::ast::BinOp;
+use pushdown_sql::{Expr, SelectItem, SelectStmt};
+
+/// Selectivity assumed for predicate shapes the estimator cannot reason
+/// about (arbitrary expressions, LIKE over unknown data, ...).
+const DEFAULT_SELECTIVITY: f64 = 0.33;
+
+/// Mean CSV width assumed for one aggregate output value (`SUM(...)`
+/// renders as a float of roughly this many characters plus separator).
+const AGG_VALUE_WIDTH: f64 = 11.0;
+
+/// One candidate plan with its predicted phase-structured footprint.
+#[derive(Debug, Clone)]
+pub struct PlanEstimate {
+    /// Algorithm name, matching the planner's `PlanKind` vocabulary
+    /// (`"server-side"`, `"s3-side"`, `"filtered"`, `"hybrid"`,
+    /// `"sampling"`, ...).
+    pub algorithm: &'static str,
+    /// Predicted footprint, phase for phase, of the plan.
+    pub predicted: QueryMetrics,
+}
+
+impl PlanEstimate {
+    /// Predicted billable usage (single aggregation over phases).
+    pub fn usage(&self) -> Usage {
+        self.predicted.usage()
+    }
+
+    /// Predicted runtime under the context's performance model.
+    pub fn runtime(&self, ctx: &QueryContext) -> f64 {
+        self.predicted.runtime(&ctx.model)
+    }
+
+    /// Predicted total dollar cost (compute + request + scan + transfer)
+    /// — the objective `Strategy::Adaptive` minimizes. The compute
+    /// component is the modeled runtime, so minimizing dollars balances
+    /// time against billed bytes exactly as the paper's cost bars do.
+    pub fn dollars(&self, ctx: &QueryContext) -> f64 {
+        self.predicted.cost(&ctx.model, &ctx.pricing).total()
+    }
+}
+
+/// Index of the cheapest candidate by predicted dollars (ties broken by
+/// predicted runtime). Panics on an empty slice.
+pub fn cheapest(candidates: &[PlanEstimate], ctx: &QueryContext) -> usize {
+    assert!(!candidates.is_empty(), "no candidate plans");
+    let mut best = 0;
+    for i in 1..candidates.len() {
+        let (d, r) = (candidates[i].dollars(ctx), candidates[i].runtime(ctx));
+        let (bd, br) = (candidates[best].dollars(ctx), candidates[best].runtime(ctx));
+        if d < bd || (d == bd && r < br) {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Cost estimator over one table (joins build one per side).
+pub struct Estimator<'a> {
+    ctx: &'a QueryContext,
+    table: &'a Table,
+    /// Partition count (a layout constant; per-partition fan-out).
+    parts: u64,
+    /// Total stored bytes of the table.
+    bytes: f64,
+    /// Row count (≥ 1 internally to keep ratios finite).
+    rows: f64,
+    /// Mean stored CSV row width.
+    row_bytes: f64,
+}
+
+impl<'a> Estimator<'a> {
+    pub fn new(ctx: &'a QueryContext, table: &'a Table) -> Self {
+        let parts = table.partitions(&ctx.store).len().max(1) as u64;
+        let bytes = table.total_bytes(&ctx.store) as f64;
+        let rows = (table.row_count.max(1)) as f64;
+        let row_bytes = table
+            .stats
+            .as_ref()
+            .map(|s| s.avg_row_bytes())
+            .unwrap_or(bytes / rows)
+            .max(2.0);
+        Estimator {
+            ctx,
+            table,
+            parts,
+            bytes,
+            rows,
+            row_bytes,
+        }
+    }
+
+    fn stats(&self) -> Option<&TableStats> {
+        self.table.stats.as_deref()
+    }
+
+    /// Mean CSV width of one column (falls back to an even split of the
+    /// row width when no statistics are attached).
+    fn col_width(&self, name: &str) -> f64 {
+        let fallback = self.row_bytes / self.table.schema.len().max(1) as f64;
+        let Ok(idx) = self.table.schema.resolve(name) else {
+            return fallback;
+        };
+        self.stats()
+            .and_then(|s| s.column(idx))
+            .map(|c| c.avg_width)
+            .unwrap_or(fallback)
+    }
+
+    /// Mean CSV width of an output row over the given columns (fields +
+    /// separators + newline) — what one returned record bills.
+    fn out_row_bytes(&self, cols: &[String]) -> f64 {
+        let widths: f64 = cols.iter().map(|c| self.col_width(c)).sum();
+        widths + cols.len().saturating_sub(1) as f64 + 1.0
+    }
+
+    /// Distinct-value estimate for one column.
+    fn ndv(&self, name: &str) -> f64 {
+        let idx = match self.table.schema.resolve(name) {
+            Ok(i) => i,
+            Err(_) => return self.rows,
+        };
+        self.stats()
+            .and_then(|s| s.column(idx))
+            .map(|c| (c.ndv as f64).max(1.0))
+            .unwrap_or(self.rows)
+    }
+
+    /// Predicate selectivity against this table's statistics.
+    pub fn selectivity(&self, pred: Option<&Expr>) -> f64 {
+        match pred {
+            None => 1.0,
+            Some(p) => selectivity(p, &self.table.schema, self.stats()),
+        }
+    }
+
+    /// Baseline load phase: GET every partition, decode every row.
+    fn plain_load(&self, extra_cpu: f64) -> PhaseStats {
+        PhaseStats {
+            requests: self.parts,
+            plain_bytes: self.bytes as u64,
+            server_cpu_units: (self.rows + extra_cpu) as u64,
+            ..Default::default()
+        }
+    }
+
+    /// Select phase scanning the whole table and returning `ret_rows`
+    /// records of `ret_row_bytes` each.
+    fn select_full_scan(&self, ret_rows: f64, ret_row_bytes: f64, terms: u32) -> PhaseStats {
+        let ret_rows = ret_rows.min(self.rows).max(0.0);
+        PhaseStats {
+            requests: self.parts,
+            s3_scanned_bytes: self.bytes as u64,
+            select_returned_bytes: (ret_rows * ret_row_bytes) as u64,
+            server_cpu_units: ret_rows as u64,
+            expr_terms: terms,
+            ..Default::default()
+        }
+    }
+
+    // ---- Filter (§IV) --------------------------------------------------
+
+    /// Candidates for a filter query: server-side vs S3-side.
+    pub fn filter(&self, q: &FilterQuery) -> Vec<PlanEstimate> {
+        let sel = self.selectivity(Some(&q.predicate));
+        let out_cols: Vec<String> = match &q.projection {
+            Some(cols) => cols.clone(),
+            None => self
+                .table
+                .schema
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect(),
+        };
+        let matches = sel * self.rows;
+
+        // Server-side: full plain load, local filter (+ projection).
+        let extra = self.rows + if q.projection.is_some() { matches } else { 0.0 };
+        let mut server = QueryMetrics::new();
+        server.push_serial("server-side filter", self.plain_load(extra));
+
+        // S3-side: predicate + projection pushed.
+        let mut s3 = QueryMetrics::new();
+        s3.push_serial(
+            "s3-side filter",
+            self.select_full_scan(
+                matches,
+                self.out_row_bytes(&out_cols),
+                q.predicate.term_count(),
+            ),
+        );
+
+        vec![
+            PlanEstimate {
+                algorithm: "server-side",
+                predicted: server,
+            },
+            PlanEstimate {
+                algorithm: "s3-side",
+                predicted: s3,
+            },
+        ]
+    }
+
+    // ---- Scalar aggregation (§VIII Q6 shape) ---------------------------
+
+    /// Candidates for aggregates without GROUP BY: local vs S3-side.
+    pub fn aggregate(&self, stmt: &SelectStmt) -> Vec<PlanEstimate> {
+        let sel = self.selectivity(stmt.where_clause.as_ref());
+        let n_aggs = stmt.items.len() as f64;
+        // AVG decomposes into SUM+COUNT per partition on the pushed path.
+        let pushed_vals: f64 = stmt
+            .items
+            .iter()
+            .map(|i| match i {
+                SelectItem::Agg {
+                    func: AggFunc::Avg, ..
+                } => 2.0,
+                _ => 1.0,
+            })
+            .sum();
+
+        let mut server = QueryMetrics::new();
+        server.push_serial(
+            "server-side aggregation",
+            self.plain_load(self.rows + sel * self.rows * n_aggs),
+        );
+
+        let mut s3 = QueryMetrics::new();
+        let mut phase = self.select_full_scan(0.0, 0.0, stmt.term_count());
+        // One partial row per partition: `pushed_vals` values wide.
+        phase.select_returned_bytes =
+            (self.parts as f64 * (pushed_vals * AGG_VALUE_WIDTH + 1.0)) as u64;
+        phase.server_cpu_units = self.parts;
+        s3.push_serial("s3-side aggregation", phase);
+
+        vec![
+            PlanEstimate {
+                algorithm: "server-side",
+                predicted: server,
+            },
+            PlanEstimate {
+                algorithm: "s3-side",
+                predicted: s3,
+            },
+        ]
+    }
+
+    // ---- Group-by (§VI) ------------------------------------------------
+
+    /// Estimated group count: product of per-column NDVs, capped at the
+    /// row count.
+    fn group_count(&self, q: &GroupByQuery) -> f64 {
+        q.group_cols
+            .iter()
+            .map(|c| self.ndv(c))
+            .product::<f64>()
+            .min(self.rows)
+            .max(1.0)
+    }
+
+    /// Phase-2 CASE-WHEN footprint for `groups` pushed groups — mirrors
+    /// `groupby::case_when_aggregate` (statement chunking under the SQL
+    /// size limit included).
+    fn case_when_phase(&self, q: &GroupByQuery, groups: f64) -> PhaseStats {
+        let key_width: f64 = q.group_cols.iter().map(|c| self.col_width(c)).sum();
+        let est_per_group = q.aggs.len() as f64 * 96.0 + key_width + 24.0;
+        let budget = (self.ctx.engine.limits().max_sql_bytes.saturating_sub(256)) as f64;
+        let chunk = (budget / est_per_group).floor().max(1.0);
+        let statements = (groups / chunk).ceil().max(1.0);
+        let per_stmt_groups = (groups / statements).ceil();
+        PhaseStats {
+            requests: (statements * self.parts as f64) as u64,
+            s3_scanned_bytes: (statements * self.bytes) as u64,
+            select_returned_bytes: (statements
+                * self.parts as f64
+                * (per_stmt_groups * q.aggs.len() as f64 * AGG_VALUE_WIDTH + 1.0))
+                as u64,
+            server_cpu_units: (statements * self.parts as f64) as u64,
+            // Each (group, aggregate) item contributes a CASE arm plus the
+            // group-equality comparison(s).
+            expr_terms: (per_stmt_groups * q.aggs.len() as f64 * (2.0 + q.group_cols.len() as f64))
+                as u32,
+            ..Default::default()
+        }
+    }
+
+    /// Candidates for a GROUP BY query: server-side, filtered, S3-side
+    /// and (single grouping column only) hybrid. When the engine's
+    /// `native_group_by` extension is enabled, the §X Suggestion-4
+    /// variant joins the lineup.
+    pub fn groupby(&self, q: &GroupByQuery) -> Vec<PlanEstimate> {
+        let sel = self.selectivity(q.predicate.as_ref());
+        let groups = self.group_count(q);
+        let matches = sel * self.rows;
+        let needed: Vec<String> = {
+            let mut cols = q.group_cols.clone();
+            for (_, c) in &q.aggs {
+                if !cols.iter().any(|x| x.eq_ignore_ascii_case(c)) {
+                    cols.push(c.clone());
+                }
+            }
+            cols
+        };
+        let pred_terms = q.predicate.as_ref().map(Expr::term_count).unwrap_or(0);
+
+        let mut out = Vec::new();
+
+        // Server-side: full load + local hash aggregation.
+        let mut server = QueryMetrics::new();
+        let filter_cpu = if q.predicate.is_some() {
+            self.rows
+        } else {
+            0.0
+        };
+        server.push_serial(
+            "server-side group-by",
+            self.plain_load(filter_cpu + matches + groups),
+        );
+        out.push(PlanEstimate {
+            algorithm: "server-side",
+            predicted: server,
+        });
+
+        // Filtered: projection (+ predicate) pushed, aggregation local.
+        let mut filtered = QueryMetrics::new();
+        let mut phase = self.select_full_scan(matches, self.out_row_bytes(&needed), pred_terms);
+        phase.server_cpu_units += (matches + groups) as u64;
+        filtered.push_serial("filtered group-by", phase);
+        out.push(PlanEstimate {
+            algorithm: "filtered",
+            predicted: filtered,
+        });
+
+        // S3-side: distinct phase + CASE-WHEN aggregation phase.
+        let mut s3 = QueryMetrics::new();
+        let mut distinct =
+            self.select_full_scan(matches, self.out_row_bytes(&q.group_cols), pred_terms);
+        distinct.server_cpu_units += matches as u64;
+        s3.push_serial("s3-side group-by: distinct", distinct);
+        s3.push_serial(
+            "s3-side group-by: aggregate",
+            self.case_when_phase(q, groups),
+        );
+        out.push(PlanEstimate {
+            algorithm: "s3-side",
+            predicted: s3,
+        });
+
+        // Hybrid (single-column grouping, §VI-B): sample, then push the
+        // populous groups while the long tail ships for local aggregation.
+        if q.group_cols.len() == 1 {
+            let opts = HybridOptions::default();
+            let sample_rows = (self.rows * opts.sample_fraction).ceil().max(64.0);
+            let rows_per_part = (self.rows / self.parts as f64).max(1.0);
+            // The sequential LIMIT scan touches partitions until the
+            // sample fills; with a predicate it reads sample/sel rows.
+            let scanned_rows = (sample_rows / sel.max(1e-6)).min(self.rows);
+            let sample_phase = PhaseStats {
+                requests: (scanned_rows / rows_per_part).ceil().max(1.0) as u64,
+                s3_scanned_bytes: (scanned_rows * self.row_bytes).min(self.bytes) as u64,
+                select_returned_bytes: (sample_rows * (self.col_width(&q.group_cols[0]) + 1.0))
+                    as u64,
+                server_cpu_units: sample_rows as u64,
+                expr_terms: pred_terms,
+                ..Default::default()
+            };
+            let mut hybrid = QueryMetrics::new();
+            hybrid.push_serial("hybrid: sample", sample_phase);
+            // Uniform-share assumption: every group holds ~1/G of the
+            // sample, so either all of the top `max_s3_groups` qualify or
+            // none does.
+            let n_big = if 1.0 / groups >= opts.min_share {
+                groups.min(opts.max_s3_groups as f64)
+            } else {
+                0.0
+            };
+            if n_big == 0.0 {
+                let mut phase =
+                    self.select_full_scan(matches, self.out_row_bytes(&needed), pred_terms);
+                phase.server_cpu_units += (matches + groups) as u64;
+                hybrid.push_serial("filtered group-by", phase);
+            } else {
+                let tail_frac = (1.0 - n_big / groups).max(0.0);
+                let tail_rows = matches * tail_frac;
+                let mut tail = self.select_full_scan(
+                    tail_rows,
+                    self.out_row_bytes(&needed),
+                    pred_terms + n_big as u32 + 1,
+                );
+                tail.server_cpu_units += (tail_rows + groups) as u64;
+                hybrid.push_parallel(vec![
+                    (
+                        "hybrid: s3-side aggregation".into(),
+                        self.case_when_phase(q, n_big),
+                    ),
+                    ("hybrid: server-side aggregation".into(), tail),
+                ]);
+            }
+            out.push(PlanEstimate {
+                algorithm: "hybrid",
+                predicted: hybrid,
+            });
+        }
+
+        // What-if (§X Suggestion 4): native storage-side GROUP BY, when
+        // the extended engine is enabled.
+        if self.ctx.engine.extensions().native_group_by {
+            let mut native = QueryMetrics::new();
+            let mut phase = self.select_full_scan(
+                (self.parts as f64 * groups).min(self.rows),
+                self.out_row_bytes(&needed),
+                pred_terms + q.group_cols.len() as u32,
+            );
+            phase.server_cpu_units += (self.parts as f64 * groups) as u64;
+            native.push_serial("s3-native group-by (suggestion 4)", phase);
+            out.push(PlanEstimate {
+                algorithm: "s3-native",
+                predicted: native,
+            });
+        }
+
+        out
+    }
+
+    // ---- Top-K (§VII) --------------------------------------------------
+
+    /// Candidates for `ORDER BY col LIMIT k`: server-side heap vs the
+    /// two-phase sampling algorithm at the §VII-B optimal sample size.
+    pub fn topk(&self, q: &TopKQuery) -> Vec<PlanEstimate> {
+        let k = q.k as f64;
+        let log_k = (q.k.max(2) as f64).log2().ceil();
+
+        let mut server = QueryMetrics::new();
+        server.push_serial("server-side top-k", self.plain_load(self.rows * log_k + k));
+        let mut out = vec![PlanEstimate {
+            algorithm: "server-side",
+            predicted: server,
+        }];
+
+        // Sampling: mirror `topk::sampling`'s default sample size.
+        let alpha = 1.0 / self.table.schema.len().max(1) as f64;
+        let s = optimal_sample_size(q.k, self.table.row_count, alpha).max(q.k) as f64;
+        let order_width = self.col_width(&q.order_col) + 1.0;
+        let phase1 = PhaseStats {
+            // Striped: every partition serves its share.
+            requests: self.parts.min(s as u64),
+            s3_scanned_bytes: (s * self.row_bytes).min(self.bytes) as u64,
+            select_returned_bytes: (s * order_width) as u64,
+            server_cpu_units: s as u64,
+            ..Default::default()
+        };
+        // Threshold = K-th order statistic of the sample ⇒ phase 2
+        // matches ≈ K/(S+1) of the table (plus the K survivors' heap).
+        let phase2_rows = (self.rows * k / (s + 1.0) + k).min(self.rows);
+        let mut phase2 = self.select_full_scan(phase2_rows, self.row_bytes, 1);
+        phase2.server_cpu_units = (phase2_rows * (1.0 + log_k)) as u64;
+        let mut sampling = QueryMetrics::new();
+        sampling.push_serial("sampling phase", phase1);
+        sampling.push_serial("scanning phase", phase2);
+        out.push(PlanEstimate {
+            algorithm: "sampling",
+            predicted: sampling,
+        });
+
+        out
+    }
+}
+
+/// Candidates for a two-table equi-join (§V): baseline plain loads,
+/// filtered pushdown, and the Bloom join (plus the §X Suggestion-3
+/// binary Bloom variant when the engine's `bitwise` extension is on).
+pub fn join_candidates(ctx: &QueryContext, q: &JoinQuery) -> Vec<PlanEstimate> {
+    let left = Estimator::new(ctx, &q.left);
+    let right = Estimator::new(ctx, &q.right);
+    let lsel = left.selectivity(q.left_pred.as_ref());
+    let rsel = right.selectivity(q.right_pred.as_ref());
+    let lcols = needed_cols(&q.left_proj, &q.left_key);
+    let rcols = needed_cols(&q.right_proj, &q.right_key);
+    let l_out = lsel * left.rows;
+    let join_cpu = l_out + rsel * right.rows;
+
+    let mut out = Vec::new();
+
+    let mut baseline = QueryMetrics::new();
+    baseline.push_parallel(vec![
+        (
+            "load build side".into(),
+            left.plain_load(if q.left_pred.is_some() {
+                left.rows
+            } else {
+                0.0
+            }),
+        ),
+        (
+            "load probe side".into(),
+            right.plain_load(if q.right_pred.is_some() {
+                right.rows
+            } else {
+                0.0
+            }),
+        ),
+    ]);
+    baseline.push_serial(
+        "local join",
+        PhaseStats {
+            server_cpu_units: join_cpu as u64,
+            ..Default::default()
+        },
+    );
+    out.push(PlanEstimate {
+        algorithm: "baseline",
+        predicted: baseline,
+    });
+
+    let lterms = q.left_pred.as_ref().map(Expr::term_count).unwrap_or(0);
+    let rterms = q.right_pred.as_ref().map(Expr::term_count).unwrap_or(0);
+    let mut filtered = QueryMetrics::new();
+    filtered.push_parallel(vec![
+        (
+            "select build side".into(),
+            left.select_full_scan(l_out, left.out_row_bytes(&lcols), lterms),
+        ),
+        (
+            "select probe side".into(),
+            right.select_full_scan(rsel * right.rows, right.out_row_bytes(&rcols), rterms),
+        ),
+    ]);
+    filtered.push_serial(
+        "local join",
+        PhaseStats {
+            server_cpu_units: join_cpu as u64,
+            ..Default::default()
+        },
+    );
+    out.push(PlanEstimate {
+        algorithm: "filtered",
+        predicted: filtered,
+    });
+
+    // Bloom join: serial build → filtered probe. Only applicable when
+    // *both* join keys are integers (§V-A2): the build side feeds the
+    // filter, and the probe predicate CASTs the right key to INT.
+    // Containment assumption: the probe retains right rows whose key
+    // joins a build-side key, plus the false-positive share.
+    let is_int = |table: &Table, key: &str| {
+        table
+            .schema
+            .resolve(key)
+            .map(|i| table.schema.dtype_of(i) == pushdown_common::DataType::Int)
+            .unwrap_or(false)
+    };
+    let int_keys = is_int(&q.left, &q.left_key) && is_int(&q.right, &q.right_key);
+    if !int_keys {
+        return out;
+    }
+    let fpr = 0.01;
+    let build_keys = l_out.min(left.ndv(&q.left_key));
+    let match_frac = (build_keys / right.ndv(&q.right_key).max(1.0)).min(1.0);
+    let keep = (match_frac + fpr * (1.0 - match_frac)).min(1.0);
+    let hashes = (1.0 / fpr).log2().ceil().max(1.0) as u32;
+    let mut bloom = QueryMetrics::new();
+    bloom.push_serial(
+        "build: select",
+        left.select_full_scan(l_out, left.out_row_bytes(&lcols), lterms),
+    );
+    bloom.push_serial(
+        "bloom probe",
+        right.select_full_scan(
+            rsel * keep * right.rows,
+            right.out_row_bytes(&rcols),
+            rterms + hashes,
+        ),
+    );
+    bloom.push_serial(
+        "local join",
+        PhaseStats {
+            server_cpu_units: (l_out + rsel * keep * right.rows) as u64,
+            ..Default::default()
+        },
+    );
+    out.push(PlanEstimate {
+        algorithm: "bloom",
+        predicted: bloom.clone(),
+    });
+
+    if ctx.engine.extensions().bitwise {
+        // Suggestion 3: identical traffic shape, but the binary encoding
+        // packs 4 bits per character — a quarter of the expression terms
+        // reach the scanner for the same filter.
+        let mut binary = bloom.clone();
+        if let Some(phase) = binary.groups.get_mut(1).and_then(|g| g.phases.get_mut(0)) {
+            phase.stats.expr_terms = rterms + hashes.div_ceil(4);
+            phase.label = "bloom probe (binary)".into();
+        }
+        out.push(PlanEstimate {
+            algorithm: "bloom-binary",
+            predicted: binary,
+        });
+    }
+
+    out
+}
+
+fn needed_cols(proj: &[String], key: &str) -> Vec<String> {
+    let mut cols: Vec<String> = proj.to_vec();
+    if !cols.iter().any(|c| c.eq_ignore_ascii_case(key)) {
+        cols.push(key.to_string());
+    }
+    cols
+}
+
+// ---------------------------------------------------------------------
+// selectivity estimation
+// ---------------------------------------------------------------------
+
+/// Estimate the fraction of rows satisfying `pred`, using per-column
+/// statistics where available. Conjunctions multiply (independence),
+/// disjunctions use inclusion–exclusion, comparisons against literals
+/// assume a uniform distribution over `[min, max]`, equality uses
+/// `1/NDV`. Shapes outside the model fall back to
+/// [`DEFAULT_SELECTIVITY`].
+pub fn selectivity(pred: &Expr, schema: &Schema, stats: Option<&TableStats>) -> f64 {
+    let s = sel_inner(pred, schema, stats);
+    s.clamp(0.0, 1.0)
+}
+
+fn sel_inner(pred: &Expr, schema: &Schema, stats: Option<&TableStats>) -> f64 {
+    match pred {
+        Expr::Literal(Value::Bool(b)) => {
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Expr::Literal(Value::Null) => 0.0,
+        Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } => sel_inner(left, schema, stats) * sel_inner(right, schema, stats),
+        Expr::Binary {
+            left,
+            op: BinOp::Or,
+            right,
+        } => {
+            let a = sel_inner(left, schema, stats);
+            let b = sel_inner(right, schema, stats);
+            a + b - a * b
+        }
+        Expr::Binary { left, op, right } => match (&**left, &**right) {
+            (Expr::Column(c), Expr::Literal(v)) => cmp_sel(c, *op, v, schema, stats),
+            (Expr::Literal(v), Expr::Column(c)) => cmp_sel(c, flip(*op), v, schema, stats),
+            _ => DEFAULT_SELECTIVITY,
+        },
+        Expr::Unary {
+            op: pushdown_sql::ast::UnOp::Not,
+            expr,
+        } => 1.0 - sel_inner(expr, schema, stats),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let s = match (&**expr, &**low, &**high) {
+                (Expr::Column(c), Expr::Literal(lo), Expr::Literal(hi)) => {
+                    let a = cmp_sel(c, BinOp::GtEq, lo, schema, stats);
+                    let b = cmp_sel(c, BinOp::LtEq, hi, schema, stats);
+                    (a + b - 1.0).max(0.0)
+                }
+                _ => DEFAULT_SELECTIVITY,
+            };
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let s = match &**expr {
+                Expr::Column(c) => list
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Literal(v) => cmp_sel(c, BinOp::Eq, v, schema, stats),
+                        _ => DEFAULT_SELECTIVITY / list.len() as f64,
+                    })
+                    .sum::<f64>()
+                    .min(1.0),
+                _ => DEFAULT_SELECTIVITY,
+            };
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let frac = match &**expr {
+                Expr::Column(c) => column_stats(c, schema, stats)
+                    .map(|cs| cs.null_fraction)
+                    .unwrap_or(0.05),
+                _ => 0.05,
+            };
+            if *negated {
+                1.0 - frac
+            } else {
+                frac
+            }
+        }
+        Expr::Like { negated, .. } => {
+            if *negated {
+                0.75
+            } else {
+                0.25
+            }
+        }
+        _ => DEFAULT_SELECTIVITY,
+    }
+}
+
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+fn column_stats<'s>(
+    name: &str,
+    schema: &Schema,
+    stats: Option<&'s TableStats>,
+) -> Option<&'s ColumnStats> {
+    let idx = schema.resolve(name).ok()?;
+    stats?.column(idx)
+}
+
+/// Numeric view of a value for range interpolation (dates count as
+/// day numbers, matching their comparison order).
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Date(d) => Some(*d as f64),
+        _ => None,
+    }
+}
+
+/// Selectivity of `col op literal`.
+fn cmp_sel(col: &str, op: BinOp, lit: &Value, schema: &Schema, stats: Option<&TableStats>) -> f64 {
+    let Some(cs) = column_stats(col, schema, stats) else {
+        return match op {
+            BinOp::Eq => 0.05,
+            BinOp::NotEq => 0.95,
+            _ => DEFAULT_SELECTIVITY,
+        };
+    };
+    let non_null = 1.0 - cs.null_fraction;
+    match op {
+        BinOp::Eq => non_null / (cs.ndv.max(1) as f64),
+        BinOp::NotEq => non_null * (1.0 - 1.0 / (cs.ndv.max(1) as f64)),
+        BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+            let (Some(lo), Some(hi), Some(x)) = (numeric(&cs.min), numeric(&cs.max), numeric(lit))
+            else {
+                // Non-numeric range (strings): fall back.
+                return non_null * DEFAULT_SELECTIVITY;
+            };
+            if hi <= lo {
+                // Single-valued column: compare directly.
+                let matched = match op {
+                    BinOp::Lt => lo < x,
+                    BinOp::LtEq => lo <= x,
+                    BinOp::Gt => lo > x,
+                    BinOp::GtEq => lo >= x,
+                    _ => unreachable!(),
+                };
+                return if matched { non_null } else { 0.0 };
+            }
+            let frac = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+            let below = match op {
+                BinOp::Lt | BinOp::LtEq => frac,
+                _ => 1.0 - frac,
+            };
+            non_null * below
+        }
+        _ => DEFAULT_SELECTIVITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::upload_csv_table;
+    use pushdown_common::{DataType, Row};
+    use pushdown_s3::S3Store;
+    use pushdown_sql::parse_expr;
+
+    /// Uniform table: k = 0..n (unique), v = k % 100 (100 distinct),
+    /// s = one of 4 strings, plus a NULL-heavy column.
+    fn setup(n: i64) -> (QueryContext, Table) {
+        let store = S3Store::new();
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("v", DataType::Float),
+            ("s", DataType::Str),
+            ("maybe", DataType::Int),
+        ]);
+        let rows: Vec<Row> = (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::Float((i % 100) as f64),
+                    Value::Str(format!("tag-{}", i % 4)),
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i % 10)
+                    },
+                ])
+            })
+            .collect();
+        let t = upload_csv_table(&store, "b", "t", &schema, &rows, 250).unwrap();
+        (QueryContext::new(store), t)
+    }
+
+    fn sel(t: &Table, pred: &str) -> f64 {
+        selectivity(&parse_expr(pred).unwrap(), &t.schema, t.stats.as_deref())
+    }
+
+    #[test]
+    fn selectivity_from_statistics() {
+        let (_, t) = setup(1000);
+        // Uniform range interpolation.
+        assert!((sel(&t, "k < 500") - 0.5).abs() < 0.05);
+        assert!((sel(&t, "k >= 900") - 0.1).abs() < 0.05);
+        assert!(
+            (sel(&t, "500 > k") - 0.5).abs() < 0.05,
+            "flipped operand order"
+        );
+        // Equality via NDV.
+        assert!((sel(&t, "k = 7") - 0.001).abs() < 1e-4);
+        assert!((sel(&t, "s = 'tag-1'") - 0.25).abs() < 0.01);
+        // Conjunction multiplies; disjunction via inclusion-exclusion.
+        assert!((sel(&t, "k < 500 AND v < 50") - 0.25).abs() < 0.05);
+        assert!((sel(&t, "k < 500 OR k >= 500") - 0.75).abs() < 0.06);
+        // BETWEEN and IN.
+        assert!((sel(&t, "k BETWEEN 100 AND 299") - 0.2).abs() < 0.05);
+        assert!((sel(&t, "v IN (1, 2, 3)") - 0.03).abs() < 0.01);
+        // NULL fraction.
+        assert!((sel(&t, "maybe IS NULL") - 0.2).abs() < 0.01);
+        assert!((sel(&t, "maybe IS NOT NULL") - 0.8).abs() < 0.01);
+        // Out-of-range literals clamp.
+        assert_eq!(sel(&t, "k < -5"), 0.0);
+        assert!((sel(&t, "k >= -5") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_defaults_without_statistics() {
+        let (_, mut t) = setup(100);
+        t.stats = None;
+        assert_eq!(sel(&t, "k < 50"), DEFAULT_SELECTIVITY);
+        assert_eq!(sel(&t, "k = 5"), 0.05);
+    }
+
+    #[test]
+    fn filter_candidates_have_the_right_shapes() {
+        let (ctx, t) = setup(1000);
+        let est = Estimator::new(&ctx, &t);
+        let q = FilterQuery {
+            table: t.clone(),
+            predicate: parse_expr("k < 10").unwrap(),
+            projection: Some(vec!["k".into()]),
+        };
+        let cands = est.filter(&q);
+        assert_eq!(cands.len(), 2);
+        let server = cands.iter().find(|c| c.algorithm == "server-side").unwrap();
+        let s3 = cands.iter().find(|c| c.algorithm == "s3-side").unwrap();
+        let bytes = t.total_bytes(&ctx.store);
+        // Server loads everything as plain bytes; S3 scans everything and
+        // returns only the matches.
+        assert_eq!(server.usage().plain_bytes, bytes);
+        assert_eq!(server.usage().select_scanned_bytes, 0);
+        assert_eq!(s3.usage().select_scanned_bytes, bytes);
+        assert!(s3.usage().select_returned_bytes < bytes / 20);
+    }
+
+    #[test]
+    fn groupby_candidates_respect_applicability() {
+        let (ctx, t) = setup(1000);
+        let est = Estimator::new(&ctx, &t);
+        let mut q = GroupByQuery {
+            table: t.clone(),
+            group_cols: vec!["s".into()],
+            aggs: vec![(AggFunc::Sum, "v".into())],
+            predicate: None,
+        };
+        let names: Vec<&str> = est.groupby(&q).iter().map(|c| c.algorithm).collect();
+        assert_eq!(names, vec!["server-side", "filtered", "s3-side", "hybrid"]);
+        // Multi-column grouping: hybrid is not applicable.
+        q.group_cols.push("v".into());
+        let names: Vec<&str> = est.groupby(&q).iter().map(|c| c.algorithm).collect();
+        assert!(!names.contains(&"hybrid"));
+        // The §X native variant joins only under the extended engine.
+        let mut ext = ctx.clone();
+        ext.engine = ext
+            .engine
+            .clone()
+            .with_extensions(pushdown_select::EngineExtensions {
+                native_group_by: true,
+                ..Default::default()
+            });
+        let est_ext = Estimator::new(&ext, &t);
+        q.group_cols.pop();
+        let names: Vec<&str> = est_ext.groupby(&q).iter().map(|c| c.algorithm).collect();
+        assert!(names.contains(&"s3-native"));
+    }
+
+    #[test]
+    fn join_candidates_gate_bloom_on_integer_keys() {
+        let (ctx, t) = setup(500);
+        let q = JoinQuery {
+            left: t.clone(),
+            right: t.clone(),
+            left_key: "k".into(),
+            right_key: "k".into(),
+            left_pred: Some(parse_expr("v < 10").unwrap()),
+            right_pred: None,
+            left_proj: vec!["k".into()],
+            right_proj: vec!["v".into()],
+            sum_column: None,
+        };
+        let names: Vec<&str> = join_candidates(&ctx, &q)
+            .iter()
+            .map(|c| c.algorithm)
+            .collect();
+        assert_eq!(names, vec!["baseline", "filtered", "bloom"]);
+        let mut sq = q.clone();
+        sq.left_key = "s".into();
+        sq.right_key = "s".into();
+        let names: Vec<&str> = join_candidates(&ctx, &sq)
+            .iter()
+            .map(|c| c.algorithm)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["baseline", "filtered"],
+            "no bloom over string keys"
+        );
+        // Mixed keys: the probe predicate CASTs the *right* key to INT,
+        // so an integer build side is not enough.
+        let mut mq = q.clone();
+        mq.right_key = "s".into();
+        let names: Vec<&str> = join_candidates(&ctx, &mq)
+            .iter()
+            .map(|c| c.algorithm)
+            .collect();
+        assert_eq!(
+            names,
+            vec!["baseline", "filtered"],
+            "no bloom when only the left key is an integer"
+        );
+    }
+
+    #[test]
+    fn cheapest_is_the_argmin_by_dollars() {
+        let (ctx, t) = setup(1000);
+        let est = Estimator::new(&ctx, &t);
+        let q = FilterQuery {
+            table: t.clone(),
+            predicate: parse_expr("k < 10").unwrap(),
+            projection: None,
+        };
+        let cands = est.filter(&q);
+        let i = cheapest(&cands, &ctx);
+        for (j, c) in cands.iter().enumerate() {
+            assert!(
+                cands[i].dollars(&ctx) <= c.dollars(&ctx),
+                "candidate {j} beats the chosen one"
+            );
+        }
+    }
+
+    #[test]
+    fn topk_candidates_price_both_phases() {
+        let (ctx, t) = setup(2000);
+        let est = Estimator::new(&ctx, &t);
+        let q = TopKQuery {
+            table: t.clone(),
+            order_col: "v".into(),
+            k: 10,
+            asc: true,
+        };
+        let cands = est.topk(&q);
+        assert_eq!(cands.len(), 2);
+        let sampling = cands.iter().find(|c| c.algorithm == "sampling").unwrap();
+        assert_eq!(sampling.predicted.groups.len(), 2, "sample + scan phases");
+        // The scanning phase scans the table but returns only ~K/S of it.
+        let u = sampling.usage();
+        assert!(u.select_returned_bytes < t.total_bytes(&ctx.store) / 4);
+    }
+}

@@ -83,6 +83,7 @@ pub fn build_index(ctx: &QueryContext, table: &Table, column: &str) -> Result<In
             schema: ischema,
             format: InputFormat::Csv,
             row_count: table.row_count,
+            stats: None,
         },
     })
 }
@@ -112,7 +113,10 @@ mod tests {
             idx.index.partitions(&ctx.store).len(),
             t.partitions(&ctx.store).len()
         );
-        assert_eq!(idx.index.schema.names(), vec!["value", "first_byte_offset", "last_byte_offset"]);
+        assert_eq!(
+            idx.index.schema.names(),
+            vec!["value", "first_byte_offset", "last_byte_offset"]
+        );
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`index`] — the §IV-A byte-range index tables;
 //! * [`algos`] — the paper's algorithms (filter/join/group-by/top-K in
 //!   all their variants);
+//! * [`cost`] — the analytical cost estimator behind
+//!   [`planner::Strategy::Adaptive`]: predicts every candidate
+//!   algorithm's footprint from catalog statistics, priced by the same
+//!   models that score measurements;
 //! * [`metrics`] / [`output`] — phase-structured accounting that the
 //!   analytical performance model turns into seconds and dollars;
 //! * [`context`] — wiring (store, Select engine, models).
@@ -23,6 +27,7 @@
 pub mod algos;
 pub mod catalog;
 pub mod context;
+pub mod cost;
 pub mod index;
 pub mod metrics;
 pub mod ops;
@@ -30,9 +35,12 @@ pub mod output;
 pub mod planner;
 pub mod scan;
 
-pub use catalog::{upload_columnar_table, upload_csv_table, Table};
+pub use catalog::{
+    probe_stats, upload_columnar_table, upload_csv_table, ColumnStats, Table, TableStats,
+};
 pub use context::QueryContext;
+pub use cost::{Estimator, PlanEstimate};
 pub use index::{build_index, IndexTable};
 pub use metrics::QueryMetrics;
 pub use output::QueryOutput;
-pub use planner::{execute_sql, Strategy};
+pub use planner::{execute_sql, execute_sql_verbose, Explain, Strategy};

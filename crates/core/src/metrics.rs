@@ -51,7 +51,10 @@ impl QueryMetrics {
     /// Append a phase that runs by itself.
     pub fn push_serial(&mut self, label: impl Into<String>, stats: PhaseStats) {
         self.groups.push(PhaseGroup {
-            phases: vec![Phase { label: label.into(), stats }],
+            phases: vec![Phase {
+                label: label.into(),
+                stats,
+            }],
         });
     }
 
@@ -125,6 +128,27 @@ impl QueryMetrics {
         u.select_returned_bytes + u.plain_bytes
     }
 
+    /// Project the total billable usage by `factor`, rounding **once** at
+    /// the aggregate level. This is the accounting-correct projection for
+    /// multi-phase plans: `self.scaled(factor).usage()` rounds every phase
+    /// independently and drifts by up to half a unit per phase, so
+    /// `scaled(a).usage() + scaled(b).usage() != scaled_usage` in general
+    /// (see `Usage::scaled`). Use [`QueryMetrics::scaled`] for the runtime
+    /// model (which needs the per-phase structure) and this for dollars.
+    pub fn scaled_usage(&self, factor: f64) -> Usage {
+        self.usage().scaled(factor)
+    }
+
+    /// Dollar cost of the projection by `factor`: runtime from the
+    /// per-phase scaled footprint, billable bytes scaled once at the
+    /// aggregate level.
+    pub fn scaled_cost(&self, factor: f64, model: &PerfModel, pricing: &Pricing) -> CostBreakdown {
+        pricing.cost(
+            &self.scaled_usage(factor),
+            self.scaled(factor).runtime(model),
+        )
+    }
+
     /// Project all extensive quantities by `factor` (measurement at small
     /// scale factor → paper's SF 10; see DESIGN.md §2).
     pub fn scaled(&self, factor: f64) -> QueryMetrics {
@@ -152,7 +176,11 @@ mod tests {
     use super::*;
 
     fn stats(plain: u64) -> PhaseStats {
-        PhaseStats { plain_bytes: plain, requests: 1, ..Default::default() }
+        PhaseStats {
+            plain_bytes: plain,
+            requests: 1,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -191,7 +219,11 @@ mod tests {
         );
         m.push_serial(
             "y",
-            PhaseStats { requests: 1, plain_bytes: 7, ..Default::default() },
+            PhaseStats {
+                requests: 1,
+                plain_bytes: 7,
+                ..Default::default()
+            },
         );
         let u = m.usage();
         assert_eq!(u.requests, 3);
@@ -233,11 +265,41 @@ mod tests {
     }
 
     #[test]
+    fn scaled_usage_rounds_once_across_phases() {
+        // 9 phases of 5 bytes each, factor 1.15: per-phase rounding gives
+        // 9 × round(5.75) = 54; the aggregate path gives round(45 × 1.15)
+        // = round(51.75) = 52, within half a unit of exact.
+        let mut m = QueryMetrics::new();
+        for i in 0..9 {
+            m.push_serial(
+                format!("p{i}"),
+                PhaseStats {
+                    select_returned_bytes: 5,
+                    ..Default::default()
+                },
+            );
+        }
+        let per_phase = m.scaled(1.15).usage().select_returned_bytes;
+        let once = m.scaled_usage(1.15).select_returned_bytes;
+        assert_eq!(per_phase, 54);
+        assert_eq!(once, 52);
+        assert!((once as f64 - 45.0 * 1.15).abs() <= 0.5);
+        // And the invariant the adaptive projections rely on: the single
+        // rounding equals scaling the summed usage.
+        assert_eq!(m.scaled_usage(1.15), m.usage().scaled(1.15));
+    }
+
+    #[test]
     fn scaling_projects_linearly() {
         let mut m = QueryMetrics::new();
         m.push_serial(
             "x",
-            PhaseStats { plain_bytes: 100, requests: 1, point_requests: 2, ..Default::default() },
+            PhaseStats {
+                plain_bytes: 100,
+                requests: 1,
+                point_requests: 2,
+                ..Default::default()
+            },
         );
         let s = m.scaled(100.0);
         assert_eq!(s.usage().plain_bytes, 10_000);

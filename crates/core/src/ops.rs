@@ -28,11 +28,7 @@ use std::collections::HashMap;
 
 /// Keep rows passing the predicate. Call once per batch on the streaming
 /// path; per-call CPU charges sum to the whole-input charge.
-pub fn filter_rows(
-    rows: Vec<Row>,
-    pred: &BoundExpr,
-    stats: &mut PhaseStats,
-) -> Result<Vec<Row>> {
+pub fn filter_rows(rows: Vec<Row>, pred: &BoundExpr, stats: &mut PhaseStats) -> Result<Vec<Row>> {
     stats.server_cpu_units += rows.len() as u64;
     let mut out = Vec::new();
     for r in rows {
@@ -50,11 +46,7 @@ pub fn project_rows(rows: Vec<Row>, indices: &[usize], stats: &mut PhaseStats) -
 }
 
 /// Evaluate one expression per row (generalized projection).
-pub fn map_rows(
-    rows: &[Row],
-    exprs: &[BoundExpr],
-    stats: &mut PhaseStats,
-) -> Result<Vec<Row>> {
+pub fn map_rows(rows: &[Row], exprs: &[BoundExpr], stats: &mut PhaseStats) -> Result<Vec<Row>> {
     stats.server_cpu_units += rows.len() as u64;
     rows.iter()
         .map(|r| {
@@ -73,7 +65,10 @@ pub struct HashJoinBuild {
 
 impl HashJoinBuild {
     pub fn new(key: usize) -> Self {
-        HashJoinBuild { key, table: HashMap::new() }
+        HashJoinBuild {
+            key,
+            table: HashMap::new(),
+        }
     }
 
     /// Insert one batch of build-side rows.
@@ -90,12 +85,7 @@ impl HashJoinBuild {
 
     /// Probe one batch of rows against the finished build table; output
     /// rows are `build ++ probe`. NULL probe keys never match.
-    pub fn probe_batch(
-        &self,
-        rows: &[Row],
-        probe_key: usize,
-        stats: &mut PhaseStats,
-    ) -> Vec<Row> {
+    pub fn probe_batch(&self, rows: &[Row], probe_key: usize, stats: &mut PhaseStats) -> Vec<Row> {
         stats.server_cpu_units += rows.len() as u64;
         let mut out = Vec::new();
         for r in rows {
@@ -138,7 +128,11 @@ pub struct GroupByAccumulator {
 
 impl GroupByAccumulator {
     pub fn new(group_cols: Vec<usize>, aggs: Vec<(AggFunc, Option<usize>)>) -> Self {
-        GroupByAccumulator { group_cols, aggs, groups: HashMap::new() }
+        GroupByAccumulator {
+            group_cols,
+            aggs,
+            groups: HashMap::new(),
+        }
     }
 
     /// Fold one batch of input rows into the group table.
@@ -327,7 +321,11 @@ impl TopKAccumulator {
                 continue;
             }
             stats.server_cpu_units += self.log_k;
-            let e = HeapEntry { row: row.clone(), col: self.order_col, asc: self.asc };
+            let e = HeapEntry {
+                row: row.clone(),
+                col: self.order_col,
+                asc: self.asc,
+            };
             if self.heap.len() < self.k {
                 self.heap.push(e);
             } else if let Some(top) = self.heap.peek() {
@@ -354,7 +352,13 @@ impl TopKAccumulator {
 }
 
 /// Top-K over materialized input. Wrapper over [`TopKAccumulator`].
-pub fn top_k(rows: &[Row], order_col: usize, k: usize, asc: bool, stats: &mut PhaseStats) -> Vec<Row> {
+pub fn top_k(
+    rows: &[Row],
+    order_col: usize,
+    k: usize,
+    asc: bool,
+    stats: &mut PhaseStats,
+) -> Vec<Row> {
     if k == 0 {
         return Vec::new();
     }
@@ -412,8 +416,12 @@ mod tests {
         let out = hash_join(left, 0, right, 0, &mut stats);
         // key 2: 2 left x 2 right = 4 rows; keys 1,3 unmatched.
         assert_eq!(out.len(), 4);
-        assert!(out.iter().all(|r| r[0] == Value::Int(2) && r[2] == Value::Int(2)));
-        assert!(out.iter().any(|r| r[1] == Value::Int(200) && r[3] == Value::Int(9)));
+        assert!(out
+            .iter()
+            .all(|r| r[0] == Value::Int(2) && r[2] == Value::Int(2)));
+        assert!(out
+            .iter()
+            .any(|r| r[1] == Value::Int(200) && r[3] == Value::Int(9)));
     }
 
     #[test]
@@ -458,16 +466,35 @@ mod tests {
         let out = hash_group_by(
             &rows,
             &[0],
-            &[(AggFunc::Sum, Some(1)), (AggFunc::Count, None), (AggFunc::Max, Some(1))],
+            &[
+                (AggFunc::Sum, Some(1)),
+                (AggFunc::Count, None),
+                (AggFunc::Max, Some(1)),
+            ],
             &mut stats,
         )
         .unwrap();
         assert_eq!(
             out,
             vec![
-                Row::new(vec![Value::Int(1), Value::Int(40), Value::Int(2), Value::Int(30)]),
-                Row::new(vec![Value::Int(2), Value::Int(25), Value::Int(2), Value::Int(20)]),
-                Row::new(vec![Value::Int(3), Value::Int(7), Value::Int(1), Value::Int(7)]),
+                Row::new(vec![
+                    Value::Int(1),
+                    Value::Int(40),
+                    Value::Int(2),
+                    Value::Int(30)
+                ]),
+                Row::new(vec![
+                    Value::Int(2),
+                    Value::Int(25),
+                    Value::Int(2),
+                    Value::Int(20)
+                ]),
+                Row::new(vec![
+                    Value::Int(3),
+                    Value::Int(7),
+                    Value::Int(1),
+                    Value::Int(7)
+                ]),
             ]
         );
     }
@@ -476,8 +503,7 @@ mod tests {
     fn group_by_multi_column_keys() {
         let rows = vec![row(vec![1, 1, 5]), row(vec![1, 2, 6]), row(vec![1, 1, 7])];
         let mut stats = PhaseStats::default();
-        let out =
-            hash_group_by(&rows, &[0, 1], &[(AggFunc::Sum, Some(2))], &mut stats).unwrap();
+        let out = hash_group_by(&rows, &[0, 1], &[(AggFunc::Sum, Some(2))], &mut stats).unwrap();
         assert_eq!(
             out,
             vec![
@@ -517,13 +543,8 @@ mod tests {
             Row::new(vec![Value::Int(2), Value::Int(7), Value::Int(3)]),
         ];
         let mut stats = PhaseStats::default();
-        let out = merge_group_rows(
-            vec![p1, p2],
-            1,
-            &[AggFunc::Sum, AggFunc::Count],
-            &mut stats,
-        )
-        .unwrap();
+        let out =
+            merge_group_rows(vec![p1, p2], 1, &[AggFunc::Sum, AggFunc::Count], &mut stats).unwrap();
         assert_eq!(
             out,
             vec![
@@ -535,7 +556,10 @@ mod tests {
 
     #[test]
     fn top_k_smallest_and_largest() {
-        let rows: Vec<Row> = [5, 3, 9, 1, 7, 1, 8].iter().map(|&v| row(vec![v])).collect();
+        let rows: Vec<Row> = [5, 3, 9, 1, 7, 1, 8]
+            .iter()
+            .map(|&v| row(vec![v]))
+            .collect();
         let mut stats = PhaseStats::default();
         let smallest = top_k(&rows, 0, 3, true, &mut stats);
         assert_eq!(smallest, vec![row(vec![1]), row(vec![1]), row(vec![3])]);
@@ -545,9 +569,7 @@ mod tests {
 
     #[test]
     fn top_k_equals_sort_truncate() {
-        let rows: Vec<Row> = (0..500)
-            .map(|i| row(vec![(i * 7919) % 1000, i]))
-            .collect();
+        let rows: Vec<Row> = (0..500).map(|i| row(vec![(i * 7919) % 1000, i])).collect();
         let mut s1 = PhaseStats::default();
         let heap = top_k(&rows, 0, 25, true, &mut s1);
         let mut s2 = PhaseStats::default();

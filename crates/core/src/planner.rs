@@ -1,26 +1,37 @@
-//! The "minimal optimizer" (paper §III).
+//! The optimizer (paper §III, grown a cost-based mode).
 //!
 //! PushdownDB's testbed exposes a single-table SQL front-end and decides
-//! *which algorithm family* evaluates each query; "dynamically
-//! determining which optimization to use is orthogonal to and beyond the
-//! scope of this paper" (§VIII), so the strategy is an explicit input:
-//! [`Strategy::Baseline`] never pushes computation, [`Strategy::Pushdown`]
-//! always uses the paper's pushdown variant of the matching operator.
+//! *which algorithm family* evaluates each query. The paper takes that
+//! choice as an explicit input — "dynamically determining which
+//! optimization to use is orthogonal to and beyond the scope of this
+//! paper" (§VIII): [`Strategy::Baseline`] never pushes computation,
+//! [`Strategy::Pushdown`] always uses the paper's pushdown variant of
+//! the matching operator. [`Strategy::Adaptive`] goes beyond the paper:
+//! it enumerates *every* applicable algorithm family, predicts each
+//! candidate's [`Usage`] and runtime analytically from catalog
+//! statistics ([`crate::cost`]), and executes the cheapest by predicted
+//! dollars. [`execute_sql_verbose`] returns the [`Explain`] surface —
+//! the candidates considered, the prediction for the chosen plan, and a
+//! predicted-vs-actual report per phase.
 //!
 //! Shapes handled (one table, as in the paper's testbed):
 //!
 //! * plain filter/projection → §IV filter strategies;
 //! * aggregates without GROUP BY → local vs S3-side aggregation (§VIII Q6);
-//! * GROUP BY → §VI group-by algorithms (hybrid when single-column);
+//! * GROUP BY → §VI group-by algorithms (adaptive additionally considers
+//!   the filtered variant, and §X's native group-by when the extended
+//!   engine is enabled);
 //! * ORDER BY … LIMIT k → §VII top-K algorithms.
 
-use crate::algos::{filter, groupby, topk};
+use crate::algos::{filter, groupby, topk, whatif};
 use crate::catalog::Table;
 use crate::context::QueryContext;
+use crate::cost::{self, Estimator, PlanEstimate};
 use crate::metrics::QueryMetrics;
 use crate::ops;
 use crate::output::QueryOutput;
 use crate::scan::{self, select_scan};
+use pushdown_common::pricing::Usage;
 use pushdown_common::{Error, Result, Row, Schema, Value};
 use pushdown_sql::agg::AggFunc;
 use pushdown_sql::ast::QuerySpec;
@@ -35,6 +46,9 @@ pub enum Strategy {
     Baseline,
     /// Use the paper's pushdown algorithm for the query's operator family.
     Pushdown,
+    /// Cost-based: predict every candidate's footprint from catalog
+    /// statistics and execute the argmin-dollar plan.
+    Adaptive,
 }
 
 /// What the planner decided (for EXPLAIN-style output).
@@ -50,15 +64,176 @@ impl std::fmt::Display for PlanKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlanKind::Filter { pushdown } => {
-                write!(f, "Filter[{}]", if *pushdown { "s3-side" } else { "server-side" })
+                write!(
+                    f,
+                    "Filter[{}]",
+                    if *pushdown { "s3-side" } else { "server-side" }
+                )
             }
             PlanKind::Aggregate { pushdown } => {
-                write!(f, "Aggregate[{}]", if *pushdown { "s3-side" } else { "server-side" })
+                write!(
+                    f,
+                    "Aggregate[{}]",
+                    if *pushdown { "s3-side" } else { "server-side" }
+                )
             }
             PlanKind::GroupBy { algorithm } => write!(f, "GroupBy[{algorithm}]"),
             PlanKind::TopK { sampling } => {
-                write!(f, "TopK[{}]", if *sampling { "sampling" } else { "server-side" })
+                write!(
+                    f,
+                    "TopK[{}]",
+                    if *sampling { "sampling" } else { "server-side" }
+                )
             }
+        }
+    }
+}
+
+/// Cost prediction for one candidate the optimizer considered
+/// (Adaptive only).
+#[derive(Debug, Clone)]
+pub struct CandidateCost {
+    pub algorithm: &'static str,
+    /// Predicted billable usage.
+    pub usage: Usage,
+    /// Predicted runtime, seconds.
+    pub runtime: f64,
+    /// Predicted total dollars (the selection objective).
+    pub dollars: f64,
+    pub chosen: bool,
+}
+
+/// The planner's EXPLAIN surface: what was chosen, and — under
+/// [`Strategy::Adaptive`] — every candidate's predicted cost plus the
+/// phase-structured prediction for the executed plan.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    pub kind: PlanKind,
+    pub strategy: Strategy,
+    /// Candidates considered, cheapest marked (empty for the fixed
+    /// strategies, which consider nothing).
+    pub candidates: Vec<CandidateCost>,
+    /// Predicted metrics of the executed plan (Adaptive only).
+    pub predicted: Option<QueryMetrics>,
+}
+
+impl Explain {
+    /// EXPLAIN ANALYZE-style text: the chosen plan, each candidate's
+    /// predicted cost, and predicted-vs-actual resource use per phase.
+    pub fn report(&self, out: &QueryOutput, ctx: &QueryContext) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "plan: {}  (strategy: {:?})", self.kind, self.strategy);
+        if !self.candidates.is_empty() {
+            let _ = writeln!(s, "candidates:");
+            for c in &self.candidates {
+                let _ = writeln!(
+                    s,
+                    "  {} {:<12} predicted ${:.6}  {:.2}s  ({} req, {} scanned, {} returned, {} plain)",
+                    if c.chosen { "*" } else { " " },
+                    c.algorithm,
+                    c.dollars,
+                    c.runtime,
+                    c.usage.requests,
+                    c.usage.select_scanned_bytes,
+                    c.usage.select_returned_bytes,
+                    c.usage.plain_bytes,
+                );
+            }
+        }
+        if let Some(predicted) = &self.predicted {
+            let _ = writeln!(s, "phases (predicted vs actual):");
+            for (i, actual) in out.metrics.groups.iter().enumerate() {
+                let label = actual
+                    .phases
+                    .first()
+                    .map(|p| p.label.as_str())
+                    .unwrap_or("?");
+                let a_secs = actual.seconds(&ctx.model);
+                match predicted.groups.get(i) {
+                    Some(pred) => {
+                        let _ = writeln!(
+                            s,
+                            "  {label}: predicted {:.2}s vs actual {a_secs:.2}s",
+                            pred.seconds(&ctx.model),
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(s, "  {label}: (unpredicted) actual {a_secs:.2}s");
+                    }
+                }
+            }
+            let pu = predicted.usage();
+            let au = out.metrics.usage();
+            let _ = writeln!(
+                s,
+                "usage: predicted {} req / {} scanned / {} returned / {} plain\n\
+                 usage: actual    {} req / {} scanned / {} returned / {} plain",
+                pu.requests,
+                pu.select_scanned_bytes,
+                pu.select_returned_bytes,
+                pu.plain_bytes,
+                au.requests,
+                au.select_scanned_bytes,
+                au.select_returned_bytes,
+                au.plain_bytes,
+            );
+            let _ = writeln!(
+                s,
+                "cost: predicted ${:.6} vs actual ${:.6}",
+                predicted.cost(&ctx.model, &ctx.pricing).total(),
+                out.metrics.cost(&ctx.model, &ctx.pricing).total(),
+            );
+        }
+        s
+    }
+}
+
+/// How one operator family resolved: which algorithm runs, and (under
+/// Adaptive) the full candidate list backing the decision.
+struct Choice {
+    algorithm: &'static str,
+    candidates: Vec<PlanEstimate>,
+    chosen: Option<usize>,
+}
+
+impl Choice {
+    /// A fixed strategy: no candidates were weighed.
+    fn fixed(algorithm: &'static str) -> Choice {
+        Choice {
+            algorithm,
+            candidates: Vec::new(),
+            chosen: None,
+        }
+    }
+
+    /// Adaptive: pick the cheapest predicted candidate.
+    fn adaptive(ctx: &QueryContext, candidates: Vec<PlanEstimate>) -> Choice {
+        let i = cost::cheapest(&candidates, ctx);
+        Choice {
+            algorithm: candidates[i].algorithm,
+            candidates,
+            chosen: Some(i),
+        }
+    }
+
+    fn explain(&self, ctx: &QueryContext, kind: PlanKind, strategy: Strategy) -> Explain {
+        Explain {
+            kind,
+            strategy,
+            candidates: self
+                .candidates
+                .iter()
+                .enumerate()
+                .map(|(i, c)| CandidateCost {
+                    algorithm: c.algorithm,
+                    usage: c.usage(),
+                    runtime: c.runtime(ctx),
+                    dollars: c.dollars(ctx),
+                    chosen: Some(i) == self.chosen,
+                })
+                .collect(),
+            predicted: self.chosen.map(|i| self.candidates[i].predicted.clone()),
         }
     }
 }
@@ -70,7 +245,7 @@ pub fn execute_sql(
     sql: &str,
     strategy: Strategy,
 ) -> Result<QueryOutput> {
-    let (out, _) = execute_sql_explained(ctx, table, sql, strategy)?;
+    let (out, _) = execute_sql_verbose(ctx, table, sql, strategy)?;
     Ok(out)
 }
 
@@ -81,6 +256,19 @@ pub fn execute_sql_explained(
     sql: &str,
     strategy: Strategy,
 ) -> Result<(QueryOutput, PlanKind)> {
+    let (out, explain) = execute_sql_verbose(ctx, table, sql, strategy)?;
+    Ok((out, explain.kind))
+}
+
+/// Like [`execute_sql`], returning the full [`Explain`] surface —
+/// candidate predictions and the predicted-vs-actual breakdown under
+/// [`Strategy::Adaptive`].
+pub fn execute_sql_verbose(
+    ctx: &QueryContext,
+    table: &Table,
+    sql: &str,
+    strategy: Strategy,
+) -> Result<(QueryOutput, Explain)> {
     let spec = parse_query(sql)?;
     plan_and_run(ctx, table, &spec, strategy)
 }
@@ -90,9 +278,7 @@ fn plan_and_run(
     table: &Table,
     spec: &QuerySpec,
     strategy: Strategy,
-) -> Result<(QueryOutput, PlanKind)> {
-    let push = strategy == Strategy::Pushdown;
-
+) -> Result<(QueryOutput, Explain)> {
     // ---- ORDER BY ... LIMIT k → top-K (§VII).
     if let Some(order) = &spec.order_by {
         if !spec.group_by.is_empty() {
@@ -121,43 +307,77 @@ fn plan_and_run(
             k: k as usize,
             asc: order.asc,
         };
-        let out = if push {
-            topk::sampling(ctx, &q, None)?
-        } else {
-            topk::server_side(ctx, &q)?
+        let choice = match strategy {
+            Strategy::Baseline => Choice::fixed("server-side"),
+            Strategy::Pushdown => Choice::fixed("sampling"),
+            Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).topk(&q)),
         };
-        return Ok((out, PlanKind::TopK { sampling: push }));
+        let out = match choice.algorithm {
+            "sampling" => topk::sampling(ctx, &q, None)?,
+            _ => topk::server_side(ctx, &q)?,
+        };
+        let kind = PlanKind::TopK {
+            sampling: choice.algorithm == "sampling",
+        };
+        let explain = choice.explain(ctx, kind.clone(), strategy);
+        return Ok((out, explain));
     }
 
     // ---- GROUP BY → §VI.
     if !spec.group_by.is_empty() {
         let q = groupby_query(table, spec)?;
-        let (out, algorithm) = if push {
-            if q.group_cols.len() == 1 {
-                (
-                    groupby::hybrid(ctx, &q, groupby::HybridOptions::default())?,
-                    "hybrid",
-                )
-            } else {
-                (groupby::s3_side(ctx, &q)?, "s3-side")
+        let choice = match strategy {
+            Strategy::Baseline => Choice::fixed("server-side"),
+            Strategy::Pushdown => {
+                if q.group_cols.len() == 1 {
+                    Choice::fixed("hybrid")
+                } else {
+                    Choice::fixed("s3-side")
+                }
             }
-        } else {
-            (groupby::server_side(ctx, &q)?, "server-side")
+            Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).groupby(&q)),
         };
-        return Ok((apply_limit(out, spec.select.limit), PlanKind::GroupBy { algorithm }));
+        let out = match choice.algorithm {
+            "filtered" => groupby::filtered(ctx, &q)?,
+            "s3-side" => groupby::s3_side(ctx, &q)?,
+            "hybrid" => groupby::hybrid(ctx, &q, groupby::HybridOptions::default())?,
+            "s3-native" => whatif::s3_native_groupby(ctx, &q)?,
+            _ => groupby::server_side(ctx, &q)?,
+        };
+        let kind = PlanKind::GroupBy {
+            algorithm: choice.algorithm,
+        };
+        let explain = choice.explain(ctx, kind.clone(), strategy);
+        return Ok((apply_limit(out, spec.select.limit), explain));
     }
 
     // ---- Aggregates without GROUP BY.
     if spec.select.is_aggregate() {
-        let out = if push {
-            let scan = select_scan(ctx, table, &spec.select)?;
-            let mut metrics = QueryMetrics::new();
-            metrics.push_serial("s3-side aggregation", scan.stats);
-            QueryOutput { schema: scan.schema, rows: scan.rows, metrics }
-        } else {
-            local_aggregate(ctx, table, &spec.select)?
+        let choice = match strategy {
+            Strategy::Baseline => Choice::fixed("server-side"),
+            Strategy::Pushdown => Choice::fixed("s3-side"),
+            Strategy::Adaptive => {
+                Choice::adaptive(ctx, Estimator::new(ctx, table).aggregate(&spec.select))
+            }
         };
-        return Ok((out, PlanKind::Aggregate { pushdown: push }));
+        let out = match choice.algorithm {
+            "s3-side" => {
+                let scan = select_scan(ctx, table, &spec.select)?;
+                let mut metrics = QueryMetrics::new();
+                metrics.push_serial("s3-side aggregation", scan.stats);
+                QueryOutput {
+                    schema: scan.schema,
+                    rows: scan.rows,
+                    metrics,
+                }
+            }
+            _ => local_aggregate(ctx, table, &spec.select)?,
+        };
+        let kind = PlanKind::Aggregate {
+            pushdown: choice.algorithm == "s3-side",
+        };
+        let explain = choice.explain(ctx, kind.clone(), strategy);
+        return Ok((out, explain));
     }
 
     // ---- Plain filter/projection → §IV.
@@ -171,12 +391,20 @@ fn plan_and_run(
             .unwrap_or_else(|| Expr::lit(Value::Bool(true))),
         projection,
     };
-    let out = if push {
-        filter::s3_side(ctx, &q)?
-    } else {
-        filter::server_side(ctx, &q)?
+    let choice = match strategy {
+        Strategy::Baseline => Choice::fixed("server-side"),
+        Strategy::Pushdown => Choice::fixed("s3-side"),
+        Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).filter(&q)),
     };
-    Ok((apply_limit(out, spec.select.limit), PlanKind::Filter { pushdown: push }))
+    let out = match choice.algorithm {
+        "s3-side" => filter::s3_side(ctx, &q)?,
+        _ => filter::server_side(ctx, &q)?,
+    };
+    let kind = PlanKind::Filter {
+        pushdown: choice.algorithm == "s3-side",
+    };
+    let explain = choice.explain(ctx, kind.clone(), strategy);
+    Ok((apply_limit(out, spec.select.limit), explain))
 }
 
 /// Extract a plain-column projection list (None for `*`).
@@ -187,7 +415,10 @@ fn projection_columns(stmt: &SelectStmt) -> Result<Option<Vec<String>>> {
     let mut cols = Vec::new();
     for item in &stmt.items {
         match item {
-            SelectItem::Expr { expr: Expr::Column(name), .. } => cols.push(name.clone()),
+            SelectItem::Expr {
+                expr: Expr::Column(name),
+                ..
+            } => cols.push(name.clone()),
             other => {
                 return Err(Error::Bind(format!(
                     "this planner projects plain columns only, found `{other}`"
@@ -205,7 +436,10 @@ fn groupby_query(table: &Table, spec: &QuerySpec) -> Result<groupby::GroupByQuer
     let mut aggs: Vec<(AggFunc, String)> = Vec::new();
     for item in &spec.select.items {
         match item {
-            SelectItem::Expr { expr: Expr::Column(name), .. } => {
+            SelectItem::Expr {
+                expr: Expr::Column(name),
+                ..
+            } => {
                 if !spec.group_by.iter().any(|g| g.eq_ignore_ascii_case(name)) {
                     return Err(Error::Bind(format!(
                         "column `{name}` must appear in GROUP BY"
@@ -254,7 +488,9 @@ fn local_aggregate(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Resu
     let mut fields = Vec::new();
     for (i, item) in stmt.items.iter().enumerate() {
         let SelectItem::Agg { func, arg, alias } = item else {
-            return Err(Error::Bind("aggregate query cannot contain scalar items".into()));
+            return Err(Error::Bind(
+                "aggregate query cannot contain scalar items".into(),
+            ));
         };
         let bound = match arg {
             Some(e) => Some(binder.bind_expr(e)?),
@@ -296,7 +532,11 @@ fn local_aggregate(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Resu
     stats.merge(&op_stats);
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("server-side aggregation", stats);
-    Ok(QueryOutput { schema: Schema::new(fields), rows: vec![row], metrics })
+    Ok(QueryOutput {
+        schema: Schema::new(fields),
+        rows: vec![row],
+        metrics,
+    })
 }
 
 fn apply_limit(mut out: QueryOutput, limit: Option<u64>) -> QueryOutput {
@@ -401,9 +641,19 @@ mod tests {
         let (ctx, t) = setup();
         let sql = "SELECT g, SUM(v), COUNT(*) FROM t GROUP BY g";
         let (base, kind) = execute_sql_explained(&ctx, &t, sql, Strategy::Baseline).unwrap();
-        assert_eq!(kind, PlanKind::GroupBy { algorithm: "server-side" });
+        assert_eq!(
+            kind,
+            PlanKind::GroupBy {
+                algorithm: "server-side"
+            }
+        );
         let (push, kind) = execute_sql_explained(&ctx, &t, sql, Strategy::Pushdown).unwrap();
-        assert_eq!(kind, PlanKind::GroupBy { algorithm: "hybrid" });
+        assert_eq!(
+            kind,
+            PlanKind::GroupBy {
+                algorithm: "hybrid"
+            }
+        );
         assert_eq!(base.rows.len(), 7);
         assert_close(&base, &push, sql);
     }
@@ -428,24 +678,125 @@ mod tests {
     fn unsupported_shapes_are_rejected_cleanly() {
         let (ctx, t) = setup();
         for sql in [
-            "SELECT * FROM t ORDER BY v",                    // top-K needs LIMIT
-            "SELECT v FROM t ORDER BY v LIMIT 5",            // top-K projects *
+            "SELECT * FROM t ORDER BY v",         // top-K needs LIMIT
+            "SELECT v FROM t ORDER BY v LIMIT 5", // top-K projects *
             "SELECT g, SUM(v) FROM t GROUP BY g ORDER BY g LIMIT 5",
-            "SELECT v + 1 FROM t",                           // computed projection
-            "SELECT s, SUM(v) FROM t GROUP BY g",            // non-grouped column
+            "SELECT v + 1 FROM t",                // computed projection
+            "SELECT s, SUM(v) FROM t GROUP BY g", // non-grouped column
         ] {
             let err = execute_sql(&ctx, &t, sql, Strategy::Pushdown);
             assert!(err.is_err(), "{sql} should be rejected");
         }
     }
 
+    const ALL_SHAPES: [&str; 5] = [
+        "SELECT g, v FROM t WHERE v < 10 AND g = 3",
+        "SELECT s FROM t",
+        "SELECT SUM(v), COUNT(*), AVG(v) FROM t WHERE g <> 2",
+        "SELECT g, SUM(v), COUNT(*) FROM t GROUP BY g",
+        "SELECT * FROM t ORDER BY v DESC LIMIT 12",
+    ];
+
+    #[test]
+    fn adaptive_agrees_with_baseline_on_every_shape() {
+        let (ctx, t) = setup();
+        for sql in ALL_SHAPES {
+            let base = execute_sql(&ctx, &t, sql, Strategy::Baseline).unwrap();
+            let adapt = execute_sql(&ctx, &t, sql, Strategy::Adaptive).unwrap();
+            assert_close(&base, &adapt, sql);
+        }
+    }
+
+    #[test]
+    fn adaptive_never_costs_measurably_more_than_either_fixed_strategy() {
+        let (ctx, t) = setup();
+        for sql in ALL_SHAPES {
+            let costs: Vec<f64> = [Strategy::Baseline, Strategy::Pushdown, Strategy::Adaptive]
+                .into_iter()
+                .map(|s| {
+                    execute_sql(&ctx, &t, sql, s)
+                        .unwrap()
+                        .metrics
+                        .cost(&ctx.model, &ctx.pricing)
+                        .total()
+                })
+                .collect();
+            let min_fixed = costs[0].min(costs[1]);
+            assert!(
+                costs[2] <= min_fixed * 1.10,
+                "{sql}: adaptive ${:.6} vs min(fixed) ${min_fixed:.6}",
+                costs[2]
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_explain_reports_candidates_and_prediction() {
+        let (ctx, t) = setup();
+        let sql = "SELECT g, v FROM t WHERE v < 10";
+        let (out, ex) = execute_sql_verbose(&ctx, &t, sql, Strategy::Adaptive).unwrap();
+        assert!(matches!(ex.kind, PlanKind::Filter { .. }));
+        assert_eq!(ex.strategy, Strategy::Adaptive);
+        assert_eq!(ex.candidates.len(), 2);
+        assert_eq!(ex.candidates.iter().filter(|c| c.chosen).count(), 1);
+        let chosen = ex.candidates.iter().find(|c| c.chosen).unwrap();
+        for c in &ex.candidates {
+            assert!(chosen.dollars <= c.dollars, "chosen plan is the argmin");
+            assert!(c.dollars > 0.0 && c.runtime > 0.0);
+        }
+        let predicted = ex
+            .predicted
+            .as_ref()
+            .expect("adaptive carries a prediction");
+        assert!(!predicted.groups.is_empty());
+        // The report renders candidates and the predicted-vs-actual table.
+        let report = ex.report(&out, &ctx);
+        assert!(report.contains("candidates:"), "{report}");
+        assert!(report.contains("predicted"), "{report}");
+        assert!(report.contains("actual"), "{report}");
+        // Fixed strategies consider nothing and predict nothing.
+        let (_, fixed) = execute_sql_verbose(&ctx, &t, sql, Strategy::Baseline).unwrap();
+        assert!(fixed.candidates.is_empty());
+        assert!(fixed.predicted.is_none());
+        assert!(!fixed.report(&out, &ctx).contains("candidates:"));
+    }
+
+    #[test]
+    fn adaptive_groupby_may_choose_beyond_the_paper_lineup() {
+        // The adaptive planner considers `filtered` — a variant the fixed
+        // Pushdown strategy never picks. Whatever it chooses must agree
+        // with the baseline answer.
+        let (ctx, t) = setup();
+        let sql = "SELECT g, SUM(v) FROM t WHERE v < 50 GROUP BY g";
+        let (out, ex) = execute_sql_verbose(&ctx, &t, sql, Strategy::Adaptive).unwrap();
+        let PlanKind::GroupBy { algorithm } = ex.kind else {
+            panic!("expected a group-by plan")
+        };
+        assert!(
+            ["server-side", "filtered", "s3-side", "hybrid"].contains(&algorithm),
+            "{algorithm}"
+        );
+        assert_eq!(ex.candidates.len(), 4, "all four §VI families considered");
+        let base = execute_sql(&ctx, &t, sql, Strategy::Baseline).unwrap();
+        assert_close(&base, &out, sql);
+    }
+
     #[test]
     fn plan_kind_display() {
-        assert_eq!(PlanKind::Filter { pushdown: true }.to_string(), "Filter[s3-side]");
         assert_eq!(
-            PlanKind::GroupBy { algorithm: "hybrid" }.to_string(),
+            PlanKind::Filter { pushdown: true }.to_string(),
+            "Filter[s3-side]"
+        );
+        assert_eq!(
+            PlanKind::GroupBy {
+                algorithm: "hybrid"
+            }
+            .to_string(),
             "GroupBy[hybrid]"
         );
-        assert_eq!(PlanKind::TopK { sampling: true }.to_string(), "TopK[sampling]");
+        assert_eq!(
+            PlanKind::TopK { sampling: true }.to_string(),
+            "TopK[sampling]"
+        );
     }
 }

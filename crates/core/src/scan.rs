@@ -159,8 +159,7 @@ where
                         break 'partitions;
                     }
                     Err(_) => {
-                        outcome =
-                            Err(Error::Other("partition worker exited unexpectedly".into()));
+                        outcome = Err(Error::Other("partition worker exited unexpectedly".into()));
                         break 'partitions;
                     }
                 }
@@ -291,7 +290,10 @@ pub fn plain_scan_streamed(
         },
         &mut on_batch,
     )?;
-    Ok(ScanSummary { schema: table.schema.clone(), stats })
+    Ok(ScanSummary {
+        schema: table.schema.clone(),
+        stats,
+    })
 }
 
 /// Baseline path: load whole partitions over the wire and parse locally.
@@ -302,7 +304,11 @@ pub fn plain_scan(ctx: &QueryContext, table: &Table) -> Result<ScanResult> {
         rows.extend(batch.rows);
         Ok(())
     })?;
-    Ok(ScanResult { schema: summary.schema, rows, stats: summary.stats })
+    Ok(ScanResult {
+        schema: summary.schema,
+        rows,
+        stats: summary.stats,
+    })
 }
 
 /// How a per-partition aggregate column folds into the final answer.
@@ -313,7 +319,10 @@ enum MergeKind {
     Max,
     /// `AVG` decomposed: positions of its SUM and COUNT columns in the
     /// per-partition result.
-    Avg { sum_col: usize, count_col: usize },
+    Avg {
+        sum_col: usize,
+        count_col: usize,
+    },
 }
 
 fn accumulate_response(stats: &mut PhaseStats, resp: &pushdown_select::SelectResponse) {
@@ -348,7 +357,10 @@ pub fn select_scan_streamed(
         for batch in RowBatch::chunks(&scan.schema, scan.rows, ctx.batch_rows) {
             on_batch(batch)?;
         }
-        return Ok(ScanSummary { schema: scan.schema, stats: scan.stats });
+        return Ok(ScanSummary {
+            schema: scan.schema,
+            stats: scan.stats,
+        });
     }
 
     let keys = partition_keys(ctx, table)?;
@@ -357,9 +369,9 @@ pub fn select_scan_streamed(
         ctx,
         &keys,
         |key, emitter| {
-            let resp = ctx
-                .engine
-                .select_stmt(&table.bucket, key, stmt, &table.schema, table.format)?;
+            let resp =
+                ctx.engine
+                    .select_stmt(&table.bucket, key, stmt, &table.schema, table.format)?;
             let mut part = PhaseStats::default();
             accumulate_response(&mut part, &resp);
             let _ = schema_slot.set(resp.output_schema.clone());
@@ -390,15 +402,15 @@ pub fn select_scan(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Resu
             rows.extend(batch.rows);
             Ok(())
         })?;
-        Ok(ScanResult { schema: summary.schema, rows, stats: summary.stats })
+        Ok(ScanResult {
+            schema: summary.schema,
+            rows,
+            stats: summary.stats,
+        })
     }
 }
 
-fn select_scan_limited(
-    ctx: &QueryContext,
-    table: &Table,
-    stmt: &SelectStmt,
-) -> Result<ScanResult> {
+fn select_scan_limited(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Result<ScanResult> {
     let limit = stmt.limit.expect("limited scan") as usize;
     let mut stats = PhaseStats::default();
     let mut rows = Vec::new();
@@ -419,10 +431,73 @@ fn select_scan_limited(
         }
         rows.extend(resp.rows()?);
     }
-    let schema = schema.ok_or_else(|| {
-        Error::NoSuchKey(format!("table `{}` has no partitions", table.name))
+    let schema = schema
+        .ok_or_else(|| Error::NoSuchKey(format!("table `{}` has no partitions", table.name)))?;
+    Ok(ScanResult {
+        schema,
+        rows,
+        stats,
+    })
+}
+
+/// Run a `LIMIT`-bounded statement with the limit **striped across
+/// partitions** (per-partition shares) instead of taking a prefix of the
+/// table.
+///
+/// A plain `LIMIT n` scan ([`select_scan`]) queries partitions in order
+/// and stops early, so it returns the table's first `n` rows *in storage
+/// order* — a prefix, not a sample. Phases that treat the result as a
+/// sample (the §VII-A top-K sampling phase, statistics probes) degrade
+/// badly on sorted input: the prefix is the most biased subset possible.
+/// This scan gives partition `i` the share `⌊(i+1)·n/P⌋ − ⌊i·n/P⌋`
+/// (shares telescope to exactly `n`), so
+/// every partition contributes proportionally and the worst-case bias is
+/// bounded by the per-partition storage order. Shares run concurrently
+/// on the worker pool; rows return in partition order (deterministic).
+pub fn select_scan_striped_limit(
+    ctx: &QueryContext,
+    table: &Table,
+    stmt: &SelectStmt,
+    limit: usize,
+) -> Result<ScanResult> {
+    let keys = partition_keys(ctx, table)?;
+    let parts = keys.len();
+    let limit = limit.max(1);
+    let share_of = |key: &str| -> u64 {
+        let i = keys
+            .iter()
+            .position(|k| k == key)
+            .expect("key comes from the same partition listing");
+        ((i + 1) * limit / parts - i * limit / parts) as u64
+    };
+    let responses = for_each_partition(ctx, table, |key| {
+        let share = share_of(key);
+        if share == 0 {
+            return Ok(None);
+        }
+        let mut part_stmt = stmt.clone();
+        part_stmt.limit = Some(share);
+        ctx.engine
+            .select_stmt(&table.bucket, key, &part_stmt, &table.schema, table.format)
+            .map(Some)
     })?;
-    Ok(ScanResult { schema, rows, stats })
+    let mut stats = PhaseStats::default();
+    let mut rows = Vec::new();
+    let mut schema = None;
+    for resp in responses.into_iter().flatten() {
+        accumulate_response(&mut stats, &resp);
+        if schema.is_none() {
+            schema = Some(resp.output_schema.clone());
+        }
+        rows.extend(resp.rows()?);
+    }
+    let schema = schema
+        .ok_or_else(|| Error::NoSuchKey(format!("table `{}` has no partitions", table.name)))?;
+    Ok(ScanResult {
+        schema,
+        rows,
+        stats,
+    })
 }
 
 fn select_scan_aggregate(
@@ -465,7 +540,10 @@ fn select_scan_aggregate(
                         arg: arg.clone(),
                         alias: None,
                     });
-                    merges.push(MergeKind::Avg { sum_col, count_col: sum_col + 1 });
+                    merges.push(MergeKind::Avg {
+                        sum_col,
+                        count_col: sum_col + 1,
+                    });
                 }
             },
             other => {
@@ -566,7 +644,9 @@ fn select_scan_aggregate(
         .iter()
         .enumerate()
         .map(|(i, item)| {
-            let SelectItem::Agg { func, alias, .. } = item else { unreachable!() };
+            let SelectItem::Agg { func, alias, .. } = item else {
+                unreachable!()
+            };
             let name = alias.clone().unwrap_or_else(|| format!("_{}", i + 1));
             let dtype = match func {
                 AggFunc::Count => pushdown_common::DataType::Int,
@@ -703,7 +783,10 @@ mod tests {
             &schema(),
             &rows(600),
             150,
-            WriterOptions { rows_per_group: 47, compress: true },
+            WriterOptions {
+                rows_per_group: 47,
+                compress: true,
+            },
         )
         .unwrap();
         let mut ctx = QueryContext::new(store);
@@ -760,8 +843,7 @@ mod tests {
     #[test]
     fn aggregate_of_empty_match_is_null_and_zero() {
         let (ctx, t) = ctx_with_table(100, 30);
-        let stmt =
-            parse_select("SELECT SUM(v), COUNT(*) FROM S3Object WHERE k > 10000").unwrap();
+        let stmt = parse_select("SELECT SUM(v), COUNT(*) FROM S3Object WHERE k > 10000").unwrap();
         let r = select_scan(&ctx, &t, &stmt).unwrap();
         assert_eq!(r.rows[0][0], Value::Null);
         assert_eq!(r.rows[0][1], Value::Int(0));
@@ -800,6 +882,7 @@ mod tests {
             schema: schema(),
             format: InputFormat::Csv,
             row_count: 0,
+            stats: None,
         };
         assert!(plain_scan(&ctx, &ghost).is_err());
     }

@@ -181,9 +181,53 @@ impl<'a> Dec<'a> {
 // chunk encoding
 // ---------------------------------------------------------------------
 
+/// Does a value store losslessly in a column of `dtype`? (NULLs always
+/// do — the validity bitmap carries them.)
+fn matches_dtype(v: &Value, dtype: DataType) -> bool {
+    matches!(
+        (dtype, v),
+        (_, Value::Null)
+            | (DataType::Int, Value::Int(_))
+            | (DataType::Float, Value::Float(_))
+            | (DataType::Date, Value::Date(_))
+            | (DataType::Bool, Value::Bool(_))
+            | (DataType::Str, Value::Str(_))
+    )
+}
+
+/// The value a wrong-typed entry is stored (and later decoded) as: the
+/// encoders below write a fixed default when a non-null value does not
+/// match the column's declared type.
+fn coerce_to_dtype(v: &Value, dtype: DataType) -> Value {
+    if matches_dtype(v, dtype) {
+        return v.clone();
+    }
+    match dtype {
+        DataType::Int => Value::Int(0),
+        DataType::Float => Value::Float(0.0),
+        DataType::Date => Value::Date(0),
+        DataType::Bool => Value::Bool(false),
+        DataType::Str => Value::Str(String::new()),
+    }
+}
+
 /// Encode one column of one row group (raw, pre-compression):
 /// validity bitmap, then the value stream per the chosen encoding.
 fn encode_chunk(values: &[Value], dtype: DataType) -> (Vec<u8>, Encoding, Option<(Value, Value)>) {
+    // Coerce wrong-typed entries to the declared type *first*: the byte
+    // stream below stores the coerced value, so the min/max statistics
+    // must be computed over the coerced data too — stats over the
+    // original values would not bound what a reader decodes, and
+    // row-group pruning could skip a group whose stored values still
+    // match a predicate. Well-typed chunks (the common case) borrow the
+    // original slice; only chunks with a mismatch pay the clone.
+    let coerced: Vec<Value>;
+    let values: &[Value] = if values.iter().all(|v| matches_dtype(v, dtype)) {
+        values
+    } else {
+        coerced = values.iter().map(|v| coerce_to_dtype(v, dtype)).collect();
+        &coerced
+    };
     let n = values.len();
     let mut buf = Vec::new();
     // Validity bitmap.
@@ -246,7 +290,11 @@ fn encode_chunk(values: &[Value], dtype: DataType) -> (Vec<u8>, Encoding, Option
             let mut index: HashMap<&str, u32> = HashMap::new();
             let mut codes: Vec<u32> = Vec::with_capacity(n);
             for v in values {
-                let s = if let Value::Str(s) = v { s.as_str() } else { "" };
+                let s = if let Value::Str(s) = v {
+                    s.as_str()
+                } else {
+                    ""
+                };
                 let code = *index.entry(s).or_insert_with(|| {
                     dict.push(s);
                     (dict.len() - 1) as u32
@@ -256,7 +304,13 @@ fn encode_chunk(values: &[Value], dtype: DataType) -> (Vec<u8>, Encoding, Option
             let dict_bytes: usize = dict.iter().map(|s| s.len() + 4).sum();
             let plain_bytes: usize = values
                 .iter()
-                .map(|v| if let Value::Str(s) = v { s.len() + 4 } else { 4 })
+                .map(|v| {
+                    if let Value::Str(s) = v {
+                        s.len() + 4
+                    } else {
+                        4
+                    }
+                })
                 .sum();
             if n > 0 && dict.len() * 2 < n && dict_bytes + n * 4 < plain_bytes {
                 enc.u32(dict.len() as u32);
@@ -269,7 +323,11 @@ fn encode_chunk(values: &[Value], dtype: DataType) -> (Vec<u8>, Encoding, Option
                 Encoding::Dict
             } else {
                 for v in values {
-                    let s = if let Value::Str(s) = v { s.as_str() } else { "" };
+                    let s = if let Value::Str(s) = v {
+                        s.as_str()
+                    } else {
+                        ""
+                    };
                     enc.bytes(s.as_bytes());
                 }
                 Encoding::Plain
@@ -293,25 +351,41 @@ fn decode_chunk(
         (DataType::Int, Encoding::Plain) => {
             for i in 0..row_count {
                 let x = i64::from_le_bytes(dec.raw(8)?.try_into().unwrap());
-                out.push(if is_valid(i) { Value::Int(x) } else { Value::Null });
+                out.push(if is_valid(i) {
+                    Value::Int(x)
+                } else {
+                    Value::Null
+                });
             }
         }
         (DataType::Float, Encoding::Plain) => {
             for i in 0..row_count {
                 let x = f64::from_le_bytes(dec.raw(8)?.try_into().unwrap());
-                out.push(if is_valid(i) { Value::Float(x) } else { Value::Null });
+                out.push(if is_valid(i) {
+                    Value::Float(x)
+                } else {
+                    Value::Null
+                });
             }
         }
         (DataType::Date, Encoding::Plain) => {
             for i in 0..row_count {
                 let x = i32::from_le_bytes(dec.raw(4)?.try_into().unwrap());
-                out.push(if is_valid(i) { Value::Date(x) } else { Value::Null });
+                out.push(if is_valid(i) {
+                    Value::Date(x)
+                } else {
+                    Value::Null
+                });
             }
         }
         (DataType::Bool, Encoding::Plain) => {
             for i in 0..row_count {
                 let x = dec.u8()? != 0;
-                out.push(if is_valid(i) { Value::Bool(x) } else { Value::Null });
+                out.push(if is_valid(i) {
+                    Value::Bool(x)
+                } else {
+                    Value::Null
+                });
             }
         }
         (DataType::Str, Encoding::Plain) => {
@@ -374,7 +448,10 @@ pub struct WriterOptions {
 
 impl Default for WriterOptions {
     fn default() -> Self {
-        WriterOptions { rows_per_group: 65_536, compress: true }
+        WriterOptions {
+            rows_per_group: 65_536,
+            compress: true,
+        }
     }
 }
 
@@ -391,7 +468,13 @@ impl ColumnarWriter {
     pub fn new(schema: Schema, options: WriterOptions) -> Self {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
-        ColumnarWriter { schema, options, out, groups: Vec::new(), pending: Vec::new() }
+        ColumnarWriter {
+            schema,
+            options,
+            out,
+            groups: Vec::new(),
+            pending: Vec::new(),
+        }
     }
 
     pub fn write_row(&mut self, row: Row) {
@@ -431,7 +514,10 @@ impl ColumnarWriter {
             });
             self.out.extend_from_slice(&stored);
         }
-        self.groups.push(RowGroupMeta { row_count: rows.len() as u64, chunks });
+        self.groups.push(RowGroupMeta {
+            row_count: rows.len() as u64,
+            chunks,
+        });
     }
 
     /// Flush pending rows and append the footer; returns the file bytes.
@@ -511,7 +597,10 @@ impl ColumnarReader {
             return Err(Error::Corrupt("footer length out of range".into()));
         }
         let footer = &data[flen_pos - footer_len..flen_pos];
-        let mut d = Dec { data: footer, pos: 0 };
+        let mut d = Dec {
+            data: footer,
+            pos: 0,
+        };
         let n_cols = d.u16()? as usize;
         let mut fields = Vec::with_capacity(n_cols);
         for _ in 0..n_cols {
@@ -551,11 +640,22 @@ impl ColumnarReader {
                 if offset + stored_len > (flen_pos - footer_len) as u64 {
                     return Err(Error::Corrupt("chunk extends past data region".into()));
                 }
-                chunks.push(ChunkMeta { offset, stored_len, raw_len, encoding, compressed, stats });
+                chunks.push(ChunkMeta {
+                    offset,
+                    stored_len,
+                    raw_len,
+                    encoding,
+                    compressed,
+                    stats,
+                });
             }
             groups.push(RowGroupMeta { row_count, chunks });
         }
-        Ok(ColumnarReader { data, schema: Schema::new(fields), groups })
+        Ok(ColumnarReader {
+            data,
+            schema: Schema::new(fields),
+            groups,
+        })
     }
 
     pub fn schema(&self) -> &Schema {
@@ -587,8 +687,7 @@ impl ColumnarReader {
         let stored = &self.data[meta.offset as usize..(meta.offset + meta.stored_len) as usize];
         let raw;
         let raw_slice: &[u8] = if meta.compressed {
-            raw = compress::decompress(stored, meta.raw_len as usize)
-                .map_err(Error::Corrupt)?;
+            raw = compress::decompress(stored, meta.raw_len as usize).map_err(Error::Corrupt)?;
             &raw
         } else {
             stored
@@ -604,8 +703,10 @@ impl ColumnarReader {
     /// Decode selected columns of one row group into rows (projected
     /// schema order = `cols` order).
     pub fn read_rows_projected(&self, g: usize, cols: &[usize]) -> Result<Vec<Row>> {
-        let columns: Vec<Vec<Value>> =
-            cols.iter().map(|&c| self.read_column(g, c)).collect::<Result<_>>()?;
+        let columns: Vec<Vec<Value>> = cols
+            .iter()
+            .map(|&c| self.read_column(g, c))
+            .collect::<Result<_>>()?;
         let n = self.groups[g].row_count as usize;
         let mut rows = Vec::with_capacity(n);
         for i in 0..n {
@@ -638,10 +739,10 @@ impl ColumnarReader {
         };
         match op {
             PruneOp::Eq => lo_cmp == Greater || hi_cmp == Less,
-            PruneOp::Lt => lo_cmp != Less,               // all values >= v
-            PruneOp::LtEq => lo_cmp == Greater,          // all values > v
-            PruneOp::Gt => hi_cmp != Greater,            // all values <= v
-            PruneOp::GtEq => hi_cmp == Less,             // all values < v
+            PruneOp::Lt => lo_cmp != Less,      // all values >= v
+            PruneOp::LtEq => lo_cmp == Greater, // all values > v
+            PruneOp::Gt => hi_cmp != Greater,   // all values <= v
+            PruneOp::GtEq => hi_cmp == Less,    // all values < v
         }
     }
 }
@@ -689,6 +790,32 @@ mod tests {
     }
 
     #[test]
+    fn stats_describe_stored_values_on_mixed_type_chunks() {
+        // A wrong-typed entry in an Int column is *stored* as 0; the chunk
+        // statistics must bound the stored data, or pruning `k < 3` would
+        // skip a group whose decoded values contain a match.
+        let s = Schema::from_pairs(&[("k", DataType::Int)]);
+        let rows = vec![
+            Row::new(vec![Value::Int(5)]),
+            Row::new(vec![Value::Float(100.0)]), // coerces to Int(0)
+            Row::new(vec![Value::Int(9)]),
+        ];
+        let bytes = encode_columnar(&s, &rows, WriterOptions::default());
+        let r = ColumnarReader::open(Bytes::from(bytes)).unwrap();
+        assert_eq!(
+            r.read_column(0, 0).unwrap(),
+            vec![Value::Int(5), Value::Int(0), Value::Int(9)]
+        );
+        let (lo, hi) = r.row_group(0).chunks[0].stats.clone().unwrap();
+        assert_eq!(lo, Value::Int(0), "min must cover the coerced value");
+        assert_eq!(hi, Value::Int(9));
+        assert!(
+            !r.can_prune(0, 0, PruneOp::Lt, &Value::Int(3)),
+            "group holds a stored 0 < 3; pruning it would change results"
+        );
+    }
+
+    #[test]
     fn round_trip_single_group() {
         let rows = sample_rows(100);
         let bytes = encode_columnar(&schema(), &rows, WriterOptions::default());
@@ -701,7 +828,10 @@ mod tests {
     #[test]
     fn round_trip_multiple_groups() {
         let rows = sample_rows(1000);
-        let opts = WriterOptions { rows_per_group: 128, compress: true };
+        let opts = WriterOptions {
+            rows_per_group: 128,
+            compress: true,
+        };
         let bytes = encode_columnar(&schema(), &rows, opts);
         let r = ColumnarReader::open(Bytes::from(bytes)).unwrap();
         assert_eq!(r.num_row_groups(), 8); // ceil(1000/128)
@@ -712,7 +842,10 @@ mod tests {
     #[test]
     fn round_trip_uncompressed() {
         let rows = sample_rows(200);
-        let opts = WriterOptions { rows_per_group: 64, compress: false };
+        let opts = WriterOptions {
+            rows_per_group: 64,
+            compress: false,
+        };
         let bytes = encode_columnar(&schema(), &rows, opts);
         let r = ColumnarReader::open(Bytes::from(bytes)).unwrap();
         assert_eq!(r.read_all().unwrap(), rows);
@@ -734,10 +867,10 @@ mod tests {
     fn pruned_scan_reads_fraction_of_bytes() {
         // 20 columns, query touches 1 -> stored bytes touched should be
         // roughly 1/20 of the file (the Fig-11 mechanism).
-        let fields: Vec<(String, DataType)> =
-            (0..20).map(|i| (format!("c{i}"), DataType::Float)).collect();
-        let pairs: Vec<(&str, DataType)> =
-            fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let fields: Vec<(String, DataType)> = (0..20)
+            .map(|i| (format!("c{i}"), DataType::Float))
+            .collect();
+        let pairs: Vec<(&str, DataType)> = fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         let schema = Schema::from_pairs(&pairs);
         let rows: Vec<Row> = (0..2000)
             .map(|i| {
@@ -748,11 +881,16 @@ mod tests {
                 )
             })
             .collect();
-        let opts = WriterOptions { rows_per_group: 1000, compress: false };
+        let opts = WriterOptions {
+            rows_per_group: 1000,
+            compress: false,
+        };
         let bytes = encode_columnar(&schema, &rows, opts);
         let total = bytes.len() as u64;
         let r = ColumnarReader::open(Bytes::from(bytes)).unwrap();
-        let one_col: u64 = (0..r.num_row_groups()).map(|g| r.chunk_stored_len(g, 3)).sum();
+        let one_col: u64 = (0..r.num_row_groups())
+            .map(|g| r.chunk_stored_len(g, 3))
+            .sum();
         assert!(
             one_col * 15 < total,
             "one column = {one_col} bytes of {total} total"
@@ -762,7 +900,10 @@ mod tests {
     #[test]
     fn stats_and_pruning() {
         let rows = sample_rows(1000);
-        let opts = WriterOptions { rows_per_group: 100, compress: true };
+        let opts = WriterOptions {
+            rows_per_group: 100,
+            compress: true,
+        };
         let bytes = encode_columnar(&schema(), &rows, opts);
         let r = ColumnarReader::open(Bytes::from(bytes)).unwrap();
         // Group 0 holds k in [0,99], group 5 holds [500,599].
@@ -786,7 +927,10 @@ mod tests {
     #[test]
     fn dictionary_encoding_kicks_in_for_repetitive_strings() {
         let rows = sample_rows(1000);
-        let opts = WriterOptions { rows_per_group: 1000, compress: false };
+        let opts = WriterOptions {
+            rows_per_group: 1000,
+            compress: false,
+        };
         let bytes = encode_columnar(&schema(), &rows, opts);
         let r = ColumnarReader::open(Bytes::from(bytes)).unwrap();
         assert_eq!(r.row_group(0).chunks[1].encoding, Encoding::Dict);
@@ -804,8 +948,22 @@ mod tests {
     #[test]
     fn compression_shrinks_text_heavy_files() {
         let rows = sample_rows(5000);
-        let on = encode_columnar(&schema(), &rows, WriterOptions { rows_per_group: 5000, compress: true });
-        let off = encode_columnar(&schema(), &rows, WriterOptions { rows_per_group: 5000, compress: false });
+        let on = encode_columnar(
+            &schema(),
+            &rows,
+            WriterOptions {
+                rows_per_group: 5000,
+                compress: true,
+            },
+        );
+        let off = encode_columnar(
+            &schema(),
+            &rows,
+            WriterOptions {
+                rows_per_group: 5000,
+                compress: false,
+            },
+        );
         assert!(
             (on.len() as f64) < (off.len() as f64) * 0.9,
             "compressed {} vs raw {}",

@@ -106,7 +106,10 @@ pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, String> 
             let dist = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
             i += 2;
             if dist == 0 || dist > out.len() {
-                return Err(format!("match distance {dist} outside window of {}", out.len()));
+                return Err(format!(
+                    "match distance {dist} outside window of {}",
+                    out.len()
+                ));
             }
             // Byte-at-a-time copy: matches may overlap themselves (RLE).
             let start = out.len() - dist;
@@ -190,7 +193,13 @@ mod tests {
     fn csv_like_data() {
         let mut data = String::new();
         for i in 0..2000 {
-            data.push_str(&format!("{},Customer#{:09},{}.{:02}\n", i, i, i * 7 % 999, i % 100));
+            data.push_str(&format!(
+                "{},Customer#{:09},{}.{:02}\n",
+                i,
+                i,
+                i * 7 % 999,
+                i % 100
+            ));
         }
         let data = data.into_bytes();
         let c = compress(&data);

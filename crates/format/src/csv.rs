@@ -98,12 +98,24 @@ impl<'a> CsvReader<'a> {
     /// Reader for an object whose first line is a header row (the layout
     /// the TPC-H loader writes).
     pub fn with_header(data: &'a [u8], schema: Schema) -> Self {
-        CsvReader { data, schema, pos: 0, header: true, started: false }
+        CsvReader {
+            data,
+            schema,
+            pos: 0,
+            header: true,
+            started: false,
+        }
     }
 
     /// Reader for headerless data (S3 Select responses).
     pub fn without_header(data: &'a [u8], schema: Schema) -> Self {
-        CsvReader { data, schema, pos: 0, header: false, started: false }
+        CsvReader {
+            data,
+            schema,
+            pos: 0,
+            header: false,
+            started: false,
+        }
     }
 
     /// Parse the header line of an object into column names (types must
@@ -273,8 +285,16 @@ mod tests {
     #[test]
     fn round_trip_simple() {
         let rows = vec![
-            Row::new(vec![Value::Int(1), Value::Str("alice".into()), Value::Float(10.5)]),
-            Row::new(vec![Value::Int(2), Value::Str("bob".into()), Value::Float(-3.25)]),
+            Row::new(vec![
+                Value::Int(1),
+                Value::Str("alice".into()),
+                Value::Float(10.5),
+            ]),
+            Row::new(vec![
+                Value::Int(2),
+                Value::Str("bob".into()),
+                Value::Float(-3.25),
+            ]),
         ];
         let bytes = encode_csv(&schema(), &rows);
         assert!(bytes.starts_with(b"id,name,bal\n"));
@@ -286,8 +306,16 @@ mod tests {
     fn round_trip_quoting_and_nulls() {
         let rows = vec![
             Row::new(vec![Value::Int(1), Value::Str("a,b".into()), Value::Null]),
-            Row::new(vec![Value::Int(2), Value::Str("say \"hi\"".into()), Value::Float(0.0)]),
-            Row::new(vec![Value::Null, Value::Str(String::new()), Value::Float(1.0)]),
+            Row::new(vec![
+                Value::Int(2),
+                Value::Str("say \"hi\"".into()),
+                Value::Float(0.0),
+            ]),
+            Row::new(vec![
+                Value::Null,
+                Value::Str(String::new()),
+                Value::Float(1.0),
+            ]),
         ];
         let bytes = encode_csv(&schema(), &rows);
         let back = decode_csv(&bytes, &schema()).unwrap();

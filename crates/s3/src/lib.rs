@@ -130,7 +130,13 @@ impl S3Store {
     /// algorithm of paper §IV-A must therefore issue one request per
     /// selected row, which is exactly the bottleneck Fig 1 exhibits and
     /// Suggestion 1 (§X) proposes lifting.
-    pub fn get_object_range(&self, bucket: &str, key: &str, first: u64, last: u64) -> Result<Bytes> {
+    pub fn get_object_range(
+        &self,
+        bucket: &str,
+        key: &str,
+        first: u64,
+        last: u64,
+    ) -> Result<Bytes> {
         self.inner.ledger.add_request();
         self.check_fault()?;
         let data = self.lookup(bucket, key)?;
@@ -141,7 +147,9 @@ impl S3Store {
             )));
         }
         if last < first {
-            return Err(Error::InvalidRange(format!("range {first}-{last} is inverted")));
+            return Err(Error::InvalidRange(format!(
+                "range {first}-{last} is inverted"
+            )));
         }
         let end = (last + 1).min(len);
         let slice = data.slice(first as usize..end as usize);
@@ -173,7 +181,9 @@ impl S3Store {
                 )));
             }
             if last < first {
-                return Err(Error::InvalidRange(format!("range {first}-{last} is inverted")));
+                return Err(Error::InvalidRange(format!(
+                    "range {first}-{last} is inverted"
+                )));
             }
             let end = (last + 1).min(len);
             let slice = data.slice(first as usize..end as usize);
@@ -295,12 +305,20 @@ mod tests {
     #[test]
     fn range_get_http_semantics() {
         let s = store_with("obj", "0123456789");
-        assert_eq!(&s.get_object_range("tpch", "obj", 2, 4).unwrap()[..], b"234");
+        assert_eq!(
+            &s.get_object_range("tpch", "obj", 2, 4).unwrap()[..],
+            b"234"
+        );
         // Last clamps to object end.
-        assert_eq!(&s.get_object_range("tpch", "obj", 8, 100).unwrap()[..], b"89");
+        assert_eq!(
+            &s.get_object_range("tpch", "obj", 8, 100).unwrap()[..],
+            b"89"
+        );
         // Start past end is an error.
         assert_eq!(
-            s.get_object_range("tpch", "obj", 10, 12).unwrap_err().code(),
+            s.get_object_range("tpch", "obj", 10, 12)
+                .unwrap_err()
+                .code(),
             "InvalidRange"
         );
         // Inverted range is an error.
@@ -325,7 +343,9 @@ mod tests {
         assert_eq!(u.requests, 1, "suggestion 1: one request, many ranges");
         assert_eq!(u.plain_bytes, 6);
         // Bad ranges are still rejected.
-        assert!(s.get_object_ranges("tpch", "obj", &[(0, 1), (99, 100)]).is_err());
+        assert!(s
+            .get_object_ranges("tpch", "obj", &[(0, 1), (99, 100)])
+            .is_err());
     }
 
     #[test]
@@ -373,7 +393,10 @@ mod tests {
     fn fault_injection_and_retry() {
         let s = store_with("obj", "payload");
         s.inject_faults(2);
-        assert_eq!(s.get_object("tpch", "obj").unwrap_err().code(), "ServiceFault");
+        assert_eq!(
+            s.get_object("tpch", "obj").unwrap_err().code(),
+            "ServiceFault"
+        );
         // Retry loop absorbs the second fault and succeeds on attempt 2.
         let got = s.get_object_retrying("tpch", "obj", 3).unwrap();
         assert_eq!(&got[..], b"payload");
@@ -383,7 +406,9 @@ mod tests {
         s.inject_faults(0);
         // Non-retryable errors are not retried.
         assert_eq!(
-            s.get_object_retrying("tpch", "missing", 3).unwrap_err().code(),
+            s.get_object_retrying("tpch", "missing", 3)
+                .unwrap_err()
+                .code(),
             "NoSuchKey"
         );
     }

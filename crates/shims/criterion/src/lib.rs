@@ -56,11 +56,7 @@ impl Criterion {
         }
     }
 
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
         run_benchmark(name, self.sample_size, self.measurement_time, None, f);
         self
     }
@@ -106,11 +102,7 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
         let full = format!("{}/{}", self.name, name);
         run_benchmark(
             &full,
@@ -167,7 +159,10 @@ fn run_benchmark(
 ) {
     // Warm-up + calibration: find an iteration count that keeps the whole
     // run near the measurement budget.
-    let mut calib = Bencher { samples: Vec::new(), iterations: 1 };
+    let mut calib = Bencher {
+        samples: Vec::new(),
+        iterations: 1,
+    };
     f(&mut calib);
     let per_iter = calib.samples.last().copied().unwrap_or(Duration::ZERO);
     let budget = measurement_time.as_secs_f64() / sample_size.max(1) as f64;
@@ -177,7 +172,10 @@ fn run_benchmark(
         (budget / per_iter.as_secs_f64()).clamp(1.0, 10_000.0) as u64
     };
 
-    let mut bencher = Bencher { samples: Vec::new(), iterations };
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iterations,
+    };
     for _ in 0..sample_size {
         f(&mut bencher);
     }

@@ -157,11 +157,8 @@ pub mod strategy {
             for _ in 0..depth {
                 // Mix the base back in at every level so generated trees
                 // have varied depth rather than always hitting the bound.
-                level = Union::weighted(vec![
-                    (1, base.clone()),
-                    (2, recurse(level).boxed()),
-                ])
-                .boxed();
+                level =
+                    Union::weighted(vec![(1, base.clone()), (2, recurse(level).boxed())]).boxed();
             }
             level
         }
@@ -519,19 +516,28 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
     /// `Vec<T>` strategy with lengths drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     pub struct VecStrategy<S> {
@@ -730,8 +736,7 @@ mod tests {
         let strat = (0i64..10)
             .prop_map(Tree::Leaf)
             .prop_recursive(3, 16, 2, |inner| {
-                (inner.clone(), inner)
-                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
             });
         let mut rng = TestRng::deterministic("recursive");
         for _ in 0..200 {

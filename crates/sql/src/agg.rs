@@ -42,7 +42,12 @@ impl AggFunc {
     /// A fresh accumulator for this function.
     pub fn accumulator(&self) -> Accumulator {
         match self {
-            AggFunc::Sum => Accumulator::Sum { int: 0, float: 0.0, saw_float: false, count: 0 },
+            AggFunc::Sum => Accumulator::Sum {
+                int: 0,
+                float: 0.0,
+                saw_float: false,
+                count: 0,
+            },
             AggFunc::Count => Accumulator::Count(0),
             AggFunc::Min => Accumulator::Min(None),
             AggFunc::Max => Accumulator::Max(None),
@@ -57,11 +62,19 @@ impl AggFunc {
 /// `SUM`/`MIN`/`MAX`/`AVG` of zero non-null rows is NULL, `COUNT` is 0.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Accumulator {
-    Sum { int: i64, float: f64, saw_float: bool, count: u64 },
+    Sum {
+        int: i64,
+        float: f64,
+        saw_float: bool,
+        count: u64,
+    },
     Count(u64),
     Min(Option<Value>),
     Max(Option<Value>),
-    Avg { sum: f64, count: u64 },
+    Avg {
+        sum: f64,
+        count: u64,
+    },
 }
 
 impl Accumulator {
@@ -72,12 +85,17 @@ impl Accumulator {
             return Ok(());
         }
         match self {
-            Accumulator::Sum { int, float, saw_float, count } => {
+            Accumulator::Sum {
+                int,
+                float,
+                saw_float,
+                count,
+            } => {
                 match v {
                     Value::Int(i) => {
-                        *int = int.checked_add(*i).ok_or_else(|| {
-                            Error::Eval("integer overflow in SUM".into())
-                        })?;
+                        *int = int
+                            .checked_add(*i)
+                            .ok_or_else(|| Error::Eval("integer overflow in SUM".into()))?;
                     }
                     _ => {
                         *float += v.as_f64()?;
@@ -117,8 +135,18 @@ impl Accumulator {
     pub fn merge(&mut self, other: &Accumulator) -> Result<()> {
         match (self, other) {
             (
-                Accumulator::Sum { int, float, saw_float, count },
-                Accumulator::Sum { int: i2, float: f2, saw_float: s2, count: c2 },
+                Accumulator::Sum {
+                    int,
+                    float,
+                    saw_float,
+                    count,
+                },
+                Accumulator::Sum {
+                    int: i2,
+                    float: f2,
+                    saw_float: s2,
+                    count: c2,
+                },
             ) => {
                 *int = int
                     .checked_add(*i2)
@@ -158,7 +186,12 @@ impl Accumulator {
     /// Final result.
     pub fn finish(&self) -> Value {
         match self {
-            Accumulator::Sum { int, float, saw_float, count } => {
+            Accumulator::Sum {
+                int,
+                float,
+                saw_float,
+                count,
+            } => {
                 if *count == 0 {
                     Value::Null
                 } else if *saw_float {
@@ -214,8 +247,14 @@ mod tests {
             run(AggFunc::Sum, &[Value::Null, Value::Int(2), Value::Null]),
             Value::Int(2)
         );
-        assert_eq!(run(AggFunc::Count, &[Value::Null, Value::Int(2)]), Value::Int(1));
-        assert_eq!(run(AggFunc::Avg, &[Value::Null, Value::Int(4)]), Value::Float(4.0));
+        assert_eq!(
+            run(AggFunc::Count, &[Value::Null, Value::Int(2)]),
+            Value::Int(1)
+        );
+        assert_eq!(
+            run(AggFunc::Avg, &[Value::Null, Value::Int(4)]),
+            Value::Float(4.0)
+        );
     }
 
     #[test]
@@ -237,7 +276,10 @@ mod tests {
             Value::Date(20)
         );
         assert_eq!(
-            run(AggFunc::Min, &[Value::Str("b".into()), Value::Str("a".into())]),
+            run(
+                AggFunc::Min,
+                &[Value::Str("b".into()), Value::Str("a".into())]
+            ),
             Value::Str("a".into())
         );
     }
@@ -252,7 +294,13 @@ mod tests {
 
     #[test]
     fn merge_equals_single_pass() {
-        for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+        for func in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
             let vals: Vec<Value> = (0..10).map(|i| Value::Int(i * 7 % 13)).collect();
             let mut whole = func.accumulator();
             for v in &vals {
@@ -280,7 +328,13 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for f in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
             assert_eq!(AggFunc::from_name(f.name()), Some(f));
         }
         assert_eq!(AggFunc::from_name("sum"), Some(AggFunc::Sum));

@@ -262,9 +262,9 @@ impl Expr {
                 };
                 own + left.term_count() + right.term_count()
             }
-            Expr::Between { expr, low, high, .. } => {
-                2 + expr.term_count() + low.term_count() + high.term_count()
-            }
+            Expr::Between {
+                expr, low, high, ..
+            } => 2 + expr.term_count() + low.term_count() + high.term_count(),
             Expr::InList { expr, list, .. } => {
                 list.len() as u32
                     + expr.term_count()
@@ -276,7 +276,10 @@ impl Expr {
             // condition is short-circuited against the (single) matching
             // group and is deliberately not charged per-term — calibrated
             // against the paper's Fig 5 / Fig 10 S3-side group-by numbers.
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 branches
                     .iter()
                     .map(|(_, v)| 1 + v.term_count())
@@ -302,7 +305,9 @@ impl Expr {
                 left.referenced_columns(out);
                 right.referenced_columns(out);
             }
-            Expr::Between { expr, low, high, .. } => {
+            Expr::Between {
+                expr, low, high, ..
+            } => {
                 expr.referenced_columns(out);
                 low.referenced_columns(out);
                 high.referenced_columns(out);
@@ -318,7 +323,10 @@ impl Expr {
                 expr.referenced_columns(out);
                 pattern.referenced_columns(out);
             }
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 for (c, v) in branches {
                     c.referenced_columns(out);
                     v.referenced_columns(out);
@@ -352,7 +360,11 @@ fn fmt_literal(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
 /// Quote an identifier if it would not re-lex as a bare identifier.
 fn fmt_ident(name: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     let bare = !name.is_empty()
-        && name.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+        && name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
         && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && Expr::is_not_keyword(name);
     if bare {
@@ -416,7 +428,12 @@ impl Expr {
                 }
                 Ok(())
             }
-            Expr::Between { expr, low, high, negated } => {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
                 let need_parens = 3 < parent_prec;
                 if need_parens {
                     f.write_str("(")?;
@@ -434,7 +451,11 @@ impl Expr {
                 }
                 Ok(())
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let need_parens = 3 < parent_prec;
                 if need_parens {
                     f.write_str("(")?;
@@ -468,7 +489,11 @@ impl Expr {
                 }
                 Ok(())
             }
-            Expr::Like { expr, pattern, negated } => {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let need_parens = 3 < parent_prec;
                 if need_parens {
                     f.write_str("(")?;
@@ -484,7 +509,10 @@ impl Expr {
                 }
                 Ok(())
             }
-            Expr::Case { branches, else_expr } => {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
                 f.write_str("CASE")?;
                 for (cond, val) in branches {
                     f.write_str(" WHEN ")?;
@@ -595,7 +623,10 @@ impl SelectStmt {
         SelectStmt {
             items: columns
                 .iter()
-                .map(|c| SelectItem::Expr { expr: Expr::col(*c), alias: None })
+                .map(|c| SelectItem::Expr {
+                    expr: Expr::col(*c),
+                    alias: None,
+                })
                 .collect(),
             alias: None,
             where_clause: None,
@@ -615,7 +646,9 @@ impl SelectStmt {
 
     /// True if any projection item is an aggregate.
     pub fn is_aggregate(&self) -> bool {
-        self.items.iter().any(|i| matches!(i, SelectItem::Agg { .. }))
+        self.items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Agg { .. }))
     }
 
     /// Total term count of the statement (projection + predicate), the
@@ -627,9 +660,7 @@ impl SelectStmt {
             .map(|i| match i {
                 SelectItem::Wildcard => 0,
                 SelectItem::Expr { expr, .. } => expr.term_count(),
-                SelectItem::Agg { arg, .. } => {
-                    1 + arg.as_ref().map_or(0, |e| e.term_count())
-                }
+                SelectItem::Agg { arg, .. } => 1 + arg.as_ref().map_or(0, |e| e.term_count()),
             })
             .sum();
         proj + self.where_clause.as_ref().map_or(0, |w| w.term_count())
@@ -751,15 +782,15 @@ mod tests {
         let s = SelectStmt::project(&["a", "b"])
             .with_where(Expr::lt_eq(Expr::col("a"), Expr::int(10)))
             .with_limit(5);
-        assert_eq!(s.to_string(), "SELECT a, b FROM S3Object WHERE a <= 10 LIMIT 5");
+        assert_eq!(
+            s.to_string(),
+            "SELECT a, b FROM S3Object WHERE a <= 10 LIMIT 5"
+        );
     }
 
     #[test]
     fn display_parenthesizes_or_under_and() {
-        let e = Expr::and(
-            Expr::or(Expr::col("a"), Expr::col("b")),
-            Expr::col("c"),
-        );
+        let e = Expr::and(Expr::or(Expr::col("a"), Expr::col("b")), Expr::col("c"));
         assert_eq!(e.to_string(), "(a OR b) AND c");
     }
 
@@ -782,10 +813,7 @@ mod tests {
     #[test]
     fn display_case_when() {
         let e = Expr::Case {
-            branches: vec![(
-                Expr::eq(Expr::col("g"), Expr::int(0)),
-                Expr::col("v"),
-            )],
+            branches: vec![(Expr::eq(Expr::col("g"), Expr::int(0)), Expr::col("v"))],
             else_expr: Some(Box::new(Expr::int(0))),
         };
         assert_eq!(e.to_string(), "CASE WHEN g = 0 THEN v ELSE 0 END");
@@ -806,8 +834,16 @@ mod tests {
     fn display_agg_items() {
         let s = SelectStmt {
             items: vec![
-                SelectItem::Agg { func: AggFunc::Sum, arg: Some(Expr::col("x")), alias: None },
-                SelectItem::Agg { func: AggFunc::Count, arg: None, alias: Some("n".into()) },
+                SelectItem::Agg {
+                    func: AggFunc::Sum,
+                    arg: Some(Expr::col("x")),
+                    alias: None,
+                },
+                SelectItem::Agg {
+                    func: AggFunc::Count,
+                    arg: None,
+                    alias: Some("n".into()),
+                },
             ],
             alias: None,
             where_clause: None,
@@ -849,8 +885,7 @@ mod tests {
         assert_eq!(Expr::conjunction(vec![]), None);
         let one = Expr::conjunction(vec![Expr::col("x")]).unwrap();
         assert_eq!(one.to_string(), "x");
-        let two =
-            Expr::conjunction(vec![Expr::col("x"), Expr::col("y")]).unwrap();
+        let two = Expr::conjunction(vec![Expr::col("x"), Expr::col("y")]).unwrap();
         assert_eq!(two.to_string(), "x AND y");
     }
 

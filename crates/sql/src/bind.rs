@@ -70,8 +70,7 @@ impl BoundExpr {
             BoundExpr::Binary { left, op, right } => {
                 if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
                     DataType::Bool
-                } else if left.infer_type() == DataType::Int
-                    && right.infer_type() == DataType::Int
+                } else if left.infer_type() == DataType::Int && right.infer_type() == DataType::Int
                 {
                     DataType::Int
                 } else {
@@ -82,7 +81,10 @@ impl BoundExpr {
             | BoundExpr::InList { .. }
             | BoundExpr::IsNull { .. }
             | BoundExpr::Like { .. } => DataType::Bool,
-            BoundExpr::Case { branches, else_expr } => branches
+            BoundExpr::Case {
+                branches,
+                else_expr,
+            } => branches
                 .first()
                 .map(|(_, v)| v.infer_type())
                 .or_else(|| else_expr.as_ref().map(|e| e.infer_type()))
@@ -163,27 +165,46 @@ impl<'a> Binder<'a> {
                 op: *op,
                 right: Box::new(self.bind_expr(right)?),
             },
-            Expr::Between { expr, low, high, negated } => BoundExpr::Between {
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => BoundExpr::Between {
                 expr: Box::new(self.bind_expr(expr)?),
                 low: Box::new(self.bind_expr(low)?),
                 high: Box::new(self.bind_expr(high)?),
                 negated: *negated,
             },
-            Expr::InList { expr, list, negated } => BoundExpr::InList {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
                 expr: Box::new(self.bind_expr(expr)?),
-                list: list.iter().map(|e| self.bind_expr(e)).collect::<Result<_>>()?,
+                list: list
+                    .iter()
+                    .map(|e| self.bind_expr(e))
+                    .collect::<Result<_>>()?,
                 negated: *negated,
             },
             Expr::IsNull { expr, negated } => BoundExpr::IsNull {
                 expr: Box::new(self.bind_expr(expr)?),
                 negated: *negated,
             },
-            Expr::Like { expr, pattern, negated } => BoundExpr::Like {
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => BoundExpr::Like {
                 expr: Box::new(self.bind_expr(expr)?),
                 pattern: Box::new(self.bind_expr(pattern)?),
                 negated: *negated,
             },
-            Expr::Case { branches, else_expr } => BoundExpr::Case {
+            Expr::Case {
+                branches,
+                else_expr,
+            } => BoundExpr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| Ok((self.bind_expr(c)?, self.bind_expr(v)?)))
@@ -213,7 +234,10 @@ impl<'a> Binder<'a> {
                 }
                 BoundExpr::Call {
                     func: *func,
-                    args: args.iter().map(|e| self.bind_expr(e)).collect::<Result<_>>()?,
+                    args: args
+                        .iter()
+                        .map(|e| self.bind_expr(e))
+                        .collect::<Result<_>>()?,
                 }
             }
         })
@@ -278,7 +302,11 @@ impl<'a> Binder<'a> {
                             .unwrap_or(DataType::Float),
                     };
                     fields.push(Field::new(name.clone(), dtype));
-                    items.push(BoundItem::Agg { func: *func, arg: bound_arg, name });
+                    items.push(BoundItem::Agg {
+                        func: *func,
+                        arg: bound_arg,
+                        name,
+                    });
                 }
             }
         }
@@ -347,10 +375,22 @@ mod tests {
     #[test]
     fn type_inference() {
         assert_eq!(bind("c_custkey + 1").unwrap().infer_type(), DataType::Int);
-        assert_eq!(bind("c_custkey + 0.5").unwrap().infer_type(), DataType::Float);
-        assert_eq!(bind("c_acctbal <= -950").unwrap().infer_type(), DataType::Bool);
-        assert_eq!(bind("CAST(c_custkey AS STRING)").unwrap().infer_type(), DataType::Str);
-        assert_eq!(bind("CHAR_LENGTH(c_name)").unwrap().infer_type(), DataType::Int);
+        assert_eq!(
+            bind("c_custkey + 0.5").unwrap().infer_type(),
+            DataType::Float
+        );
+        assert_eq!(
+            bind("c_acctbal <= -950").unwrap().infer_type(),
+            DataType::Bool
+        );
+        assert_eq!(
+            bind("CAST(c_custkey AS STRING)").unwrap().infer_type(),
+            DataType::Str
+        );
+        assert_eq!(
+            bind("CHAR_LENGTH(c_name)").unwrap().infer_type(),
+            DataType::Int
+        );
     }
 
     #[test]

@@ -20,9 +20,11 @@ pub fn eval(expr: &BoundExpr, row: &Row) -> Result<Value> {
             match op {
                 UnOp::Neg => match v {
                     Value::Null => Ok(Value::Null),
-                    Value::Int(i) => Ok(Value::Int(i.checked_neg().ok_or_else(|| {
-                        Error::Eval("integer overflow in negation".into())
-                    })?)),
+                    Value::Int(i) => {
+                        Ok(Value::Int(i.checked_neg().ok_or_else(|| {
+                            Error::Eval("integer overflow in negation".into())
+                        })?))
+                    }
                     Value::Float(f) => Ok(Value::Float(-f)),
                     other => Err(Error::Eval(format!("cannot negate {}", other.type_name()))),
                 },
@@ -33,7 +35,12 @@ pub fn eval(expr: &BoundExpr, row: &Row) -> Result<Value> {
             }
         }
         BoundExpr::Binary { left, op, right } => eval_binary(left, *op, right, row),
-        BoundExpr::Between { expr, low, high, negated } => {
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
             let v = eval(expr, row)?;
             let lo = eval(low, row)?;
             let hi = eval(high, row)?;
@@ -42,7 +49,11 @@ pub fn eval(expr: &BoundExpr, row: &Row) -> Result<Value> {
             let result = kleene_and(ge_low, le_high);
             Ok(maybe_negate(result, *negated))
         }
-        BoundExpr::InList { expr, list, negated } => {
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
             let v = eval(expr, row)?;
             let mut saw_null = false;
             let mut found = false;
@@ -70,7 +81,11 @@ pub fn eval(expr: &BoundExpr, row: &Row) -> Result<Value> {
             let v = eval(expr, row)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
-        BoundExpr::Like { expr, pattern, negated } => {
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
             let v = eval(expr, row)?;
             let p = eval(pattern, row)?;
             if v.is_null() || p.is_null() {
@@ -79,7 +94,10 @@ pub fn eval(expr: &BoundExpr, row: &Row) -> Result<Value> {
             let matched = like_match(v.as_str()?, p.as_str()?);
             Ok(Value::Bool(matched != *negated))
         }
-        BoundExpr::Case { branches, else_expr } => {
+        BoundExpr::Case {
+            branches,
+            else_expr,
+        } => {
             for (cond, val) in branches {
                 if eval(cond, row)?.as_bool()? == Some(true) {
                     return eval(val, row);
@@ -245,9 +263,11 @@ fn eval_call(func: Func, args: &[BoundExpr], row: &Row) -> Result<Value> {
         Func::Trim => Ok(Value::Str(vals[0].as_str()?.trim().to_string())),
         Func::CharLength => Ok(Value::Int(vals[0].as_str()?.chars().count() as i64)),
         Func::Abs => match &vals[0] {
-            Value::Int(i) => Ok(Value::Int(i.checked_abs().ok_or_else(|| {
-                Error::Eval("integer overflow in ABS".into())
-            })?)),
+            Value::Int(i) => {
+                Ok(Value::Int(i.checked_abs().ok_or_else(|| {
+                    Error::Eval("integer overflow in ABS".into())
+                })?))
+            }
             Value::Float(f) => Ok(Value::Float(f.abs())),
             other => Err(Error::Eval(format!("ABS of {}", other.type_name()))),
         },
@@ -268,7 +288,9 @@ fn substring(s: &str, start: i64, len: Option<i64>) -> String {
     if from >= to {
         return String::new();
     }
-    chars[(from - 1) as usize..(to - 1) as usize].iter().collect()
+    chars[(from - 1) as usize..(to - 1) as usize]
+        .iter()
+        .collect()
 }
 
 /// SQL LIKE: `%` matches any run (including empty), `_` matches exactly one
@@ -492,7 +514,10 @@ mod tests {
         assert_eq!(run("d < DATE '1995-01-01'").unwrap(), Value::Bool(true));
         assert_eq!(run("d >= DATE '1994-06-15'").unwrap(), Value::Bool(true));
         assert_eq!(run("d = '1994-06-15'").unwrap(), Value::Bool(true));
-        assert_eq!(run("d BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'").unwrap(), Value::Bool(true));
+        assert_eq!(
+            run("d BETWEEN DATE '1994-01-01' AND DATE '1994-12-31'").unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]

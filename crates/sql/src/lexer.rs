@@ -73,48 +73,81 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 continue;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             b'+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             b'-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             b'/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             b'%' => {
-                tokens.push(Token { kind: TokenKind::Percent, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    offset: start,
+                });
                 i += 1;
             }
             b'.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             b'!' => {
                 if i + 1 < b.len() && b[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(Error::Parse(format!("unexpected `!` at offset {start}")));
@@ -122,22 +155,37 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             b'<' => {
                 if i + 1 < b.len() && b[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::LtEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::LtEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else if i + 1 < b.len() && b[i + 1] == b'>' {
-                    tokens.push(Token { kind: TokenKind::NotEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if i + 1 < b.len() && b[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::GtEq, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::GtEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
@@ -165,7 +213,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             b'"' => {
                 i += 1;
@@ -178,7 +229,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     .map_err(|_| Error::Parse("invalid UTF-8 in identifier".into()))?
                     .to_string();
                 i += rel + 1;
-                tokens.push(Token { kind: TokenKind::QuotedIdent(name), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::QuotedIdent(name),
+                    offset: start,
+                });
             }
             b'0'..=b'9' => {
                 let mut j = i;
@@ -216,7 +270,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         Error::Parse(format!("bad int literal `{text}` at offset {start}"))
                     })?)
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
@@ -227,9 +284,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 let text = std::str::from_utf8(&b[i..j]).unwrap();
                 let upper = text.to_ascii_uppercase();
                 if let Some(kw) = KEYWORDS.iter().find(|k| **k == upper) {
-                    tokens.push(Token { kind: TokenKind::Keyword(kw), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Keyword(kw),
+                        offset: start,
+                    });
                 } else {
-                    tokens.push(Token { kind: TokenKind::Ident(text.to_string()), offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(text.to_string()),
+                        offset: start,
+                    });
                 }
                 i = j;
             }
@@ -241,7 +304,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: b.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: b.len(),
+    });
     Ok(tokens)
 }
 
@@ -258,7 +324,13 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("SELECT * FROM S3Object"),
-            vec![Keyword("SELECT"), Star, Keyword("FROM"), Ident("S3Object".into()), Eof]
+            vec![
+                Keyword("SELECT"),
+                Star,
+                Keyword("FROM"),
+                Ident("S3Object".into()),
+                Eof
+            ]
         );
     }
 
@@ -333,6 +405,9 @@ mod tests {
 
     #[test]
     fn quoted_identifiers() {
-        assert_eq!(kinds("\"weird name\"")[0], TokenKind::QuotedIdent("weird name".into()));
+        assert_eq!(
+            kinds("\"weird name\"")[0],
+            TokenKind::QuotedIdent("weird name".into())
+        );
     }
 }

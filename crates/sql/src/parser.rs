@@ -56,7 +56,10 @@ pub fn parse_select_extended(input: &str) -> Result<crate::ast::ExtendedSelect> 
     p.allow_group_by = true;
     let stmt = p.select()?;
     p.expect_eof()?;
-    Ok(crate::ast::ExtendedSelect { select: stmt, group_by: p.group_by })
+    Ok(crate::ast::ExtendedSelect {
+        select: stmt,
+        group_by: p.group_by,
+    })
 }
 
 /// Parse PushdownDB's *client* dialect: single-table SELECT with
@@ -70,7 +73,11 @@ pub fn parse_query(input: &str) -> Result<crate::ast::QuerySpec> {
     p.allow_order_by = true;
     let stmt = p.select()?;
     p.expect_eof()?;
-    Ok(crate::ast::QuerySpec { select: stmt, group_by: p.group_by, order_by: p.order_by })
+    Ok(crate::ast::QuerySpec {
+        select: stmt,
+        group_by: p.group_by,
+        order_by: p.order_by,
+    })
 }
 
 struct Parser {
@@ -182,8 +189,8 @@ impl Parser {
         }
         self.expect_keyword("FROM")?;
         let _table = self.ident()?; // conventionally `S3Object`
-        // Optional dotted suffixes like S3Object.something are not in the
-        // dialect; an optional alias identifier may follow.
+                                    // Optional dotted suffixes like S3Object.something are not in the
+                                    // dialect; an optional alias identifier may follow.
         let alias = match self.peek() {
             TokenKind::Ident(_) | TokenKind::QuotedIdent(_) => Some(self.ident()?),
             _ => None,
@@ -237,7 +244,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStmt { items, alias, where_clause, limit })
+        Ok(SelectStmt {
+            items,
+            alias,
+            where_clause,
+            limit,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -306,7 +318,10 @@ impl Parser {
     fn not_expr(&mut self) -> Result<Expr> {
         if self.eat_keyword("NOT") {
             let inner = self.not_expr()?;
-            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.predicate()
     }
@@ -318,7 +333,9 @@ impl Parser {
         let negated = if matches!(self.peek(), TokenKind::Keyword("NOT"))
             && matches!(
                 self.peek2(),
-                TokenKind::Keyword("BETWEEN") | TokenKind::Keyword("IN") | TokenKind::Keyword("LIKE")
+                TokenKind::Keyword("BETWEEN")
+                    | TokenKind::Keyword("IN")
+                    | TokenKind::Keyword("LIKE")
             ) {
             self.advance();
             true
@@ -328,7 +345,10 @@ impl Parser {
         if self.eat_keyword("IS") {
             let negated = self.eat_keyword("NOT");
             self.expect_keyword("NULL")?;
-            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
         }
         if self.eat_keyword("BETWEEN") {
             let low = self.additive()?;
@@ -348,7 +368,11 @@ impl Parser {
                 list.push(self.expr()?);
             }
             self.expect(&TokenKind::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
         }
         if self.eat_keyword("LIKE") {
             let pattern = self.additive()?;
@@ -422,7 +446,10 @@ impl Parser {
                 _ => {}
             }
             let inner = self.unary()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(inner),
+            });
         }
         if self.eat(&TokenKind::Plus) {
             return self.unary();
@@ -443,14 +470,13 @@ impl Parser {
                 // DATE 'yyyy-mm-dd'
                 match self.advance() {
                     TokenKind::Str(s) => {
-                        let d = date::parse_date(&s).ok_or_else(|| {
-                            Error::Parse(format!("invalid DATE literal '{s}'"))
-                        })?;
+                        let d = date::parse_date(&s)
+                            .ok_or_else(|| Error::Parse(format!("invalid DATE literal '{s}'")))?;
                         Ok(Expr::Literal(Value::Date(d)))
                     }
-                    other => Err(self.error(format!(
-                        "expected date string after DATE, found {other:?}"
-                    ))),
+                    other => {
+                        Err(self.error(format!("expected date string after DATE, found {other:?}")))
+                    }
                 }
             }
             TokenKind::Keyword("CASE") => {
@@ -470,7 +496,10 @@ impl Parser {
                     None
                 };
                 self.expect_keyword("END")?;
-                Ok(Expr::Case { branches, else_expr })
+                Ok(Expr::Case {
+                    branches,
+                    else_expr,
+                })
             }
             TokenKind::Keyword("CAST") => {
                 self.expect(&TokenKind::LParen)?;
@@ -482,17 +511,16 @@ impl Parser {
                         "FLOAT" | "DOUBLE" | "DECIMAL" | "REAL" | "NUMERIC" => DataType::Float,
                         "STRING" | "VARCHAR" | "CHAR" | "TEXT" => DataType::Str,
                         "BOOL" | "BOOLEAN" => DataType::Bool,
-                        other => {
-                            return Err(self.error(format!("unknown CAST target `{other}`")))
-                        }
+                        other => return Err(self.error(format!("unknown CAST target `{other}`"))),
                     },
                     TokenKind::Keyword("DATE") => DataType::Date,
-                    other => {
-                        return Err(self.error(format!("expected type name, found {other:?}")))
-                    }
+                    other => return Err(self.error(format!("expected type name, found {other:?}"))),
                 };
                 self.expect(&TokenKind::RParen)?;
-                Ok(Expr::Cast { expr: Box::new(inner), dtype })
+                Ok(Expr::Cast {
+                    expr: Box::new(inner),
+                    dtype,
+                })
             }
             TokenKind::LParen => {
                 let e = self.expr()?;
@@ -707,29 +735,39 @@ mod tests {
     fn client_dialect_parses_order_by() {
         use crate::ast::OrderBy;
         let q = parse_query("SELECT * FROM t ORDER BY price DESC LIMIT 10").unwrap();
-        assert_eq!(q.order_by, Some(OrderBy { column: "price".into(), asc: false }));
+        assert_eq!(
+            q.order_by,
+            Some(OrderBy {
+                column: "price".into(),
+                asc: false
+            })
+        );
         assert_eq!(q.select.limit, Some(10));
         let q2 = parse_query("SELECT * FROM t ORDER BY price").unwrap();
-        assert_eq!(q2.order_by, Some(OrderBy { column: "price".into(), asc: true }));
+        assert_eq!(
+            q2.order_by,
+            Some(OrderBy {
+                column: "price".into(),
+                asc: true
+            })
+        );
         let q3 = parse_query("SELECT * FROM t ORDER BY price asc").unwrap();
         assert!(q3.order_by.unwrap().asc);
         // Display round-trips.
-        let q4 = parse_query(
-            "SELECT g, SUM(v) FROM t WHERE v > 0 GROUP BY g LIMIT 3",
-        )
-        .unwrap();
+        let q4 = parse_query("SELECT g, SUM(v) FROM t WHERE v > 0 GROUP BY g LIMIT 3").unwrap();
         assert_eq!(parse_query(&q4.to_string()).unwrap(), q4);
         // The S3 dialect still rejects ORDER BY.
         assert_eq!(
-            parse_select("SELECT * FROM t ORDER BY price").unwrap_err().code(),
+            parse_select("SELECT * FROM t ORDER BY price")
+                .unwrap_err()
+                .code(),
             "SelectRejected"
         );
     }
 
     #[test]
     fn multi_column_group_by() {
-        let ext =
-            parse_select_extended("SELECT a, b, COUNT(*) FROM t GROUP BY a, b").unwrap();
+        let ext = parse_select_extended("SELECT a, b, COUNT(*) FROM t GROUP BY a, b").unwrap();
         assert_eq!(ext.group_by, vec!["a", "b"]);
     }
 

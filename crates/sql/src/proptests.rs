@@ -55,7 +55,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             )
                 .prop_map(|(l, op, r)| Expr::binary(l, op, r)),
             // Unary.
-            inner.clone().prop_map(|e| Expr::Unary { op: UnOp::Not, expr: Box::new(e) }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e)
+            }),
             // BETWEEN / IN / IS NULL / LIKE.
             (inner.clone(), inner.clone(), inner.clone()).prop_map(|(e, lo, hi)| {
                 Expr::Between {
@@ -65,7 +68,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     negated: false,
                 }
             }),
-            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3), any::<bool>())
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
                 .prop_map(|(e, list, negated)| Expr::InList {
                     expr: Box::new(e),
                     list,

@@ -21,34 +21,86 @@ use rand::{Rng, SeedableRng};
 
 /// Nations (nationkey, name, regionkey) — the spec's fixed 25.
 pub const NATIONS: [(&str, i64); 25] = [
-    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
-    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
-    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
-    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
-    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
 
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
-const INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINER_SYLL1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
-const CONTAINER_SYLL2: [&str; 8] =
-    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const CONTAINER_SYLL2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 const COLORS: [&str; 16] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
-    "blue", "blush", "brown", "burlywood", "chartreuse", "chiffon", "chocolate", "coral",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
 ];
 const WORDS: [&str; 12] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "ironic", "final",
-    "pending", "regular", "express", "special", "unusual",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "ironic",
+    "final",
+    "pending",
+    "regular",
+    "express",
+    "special",
+    "unusual",
 ];
 
 /// Scale-factor-driven generator. All output is a pure function of
@@ -61,7 +113,10 @@ pub struct TpchGen {
 
 impl TpchGen {
     pub fn new(scale_factor: f64) -> Self {
-        TpchGen { scale_factor, seed: 0x7bc8_2026 }
+        TpchGen {
+            scale_factor,
+            seed: 0x7bc8_2026,
+        }
     }
 
     pub fn with_seed(scale_factor: f64, seed: u64) -> Self {
@@ -207,7 +262,11 @@ impl TpchGen {
                 } else {
                     "N"
                 };
-                let linestatus = if shipdate > ymd(1995, 6, 17) { "O" } else { "F" };
+                let linestatus = if shipdate > ymd(1995, 6, 17) {
+                    "O"
+                } else {
+                    "F"
+                };
                 rows.push(Row::new(vec![
                     Value::Int(okey),
                     Value::Int(partkey),
@@ -255,8 +314,7 @@ impl TpchGen {
                     COLORS[rng.random_range(0..COLORS.len())],
                 );
                 // Spec formula: (90000 + ((partkey/10) % 20001) + 100*(partkey % 1000))/100.
-                let retail =
-                    (90000 + ((k / 10) % 20001) + 100 * (k % 1000)) as f64 / 100.0;
+                let retail = (90000 + ((k / 10) % 20001) + 100 * (k % 1000)) as f64 / 100.0;
                 Row::new(vec![
                     Value::Int(k),
                     Value::Str(name),
@@ -402,10 +460,13 @@ mod tests {
         let order_dates: std::collections::HashMap<i64, i32> = orders
             .iter()
             .map(|o| {
-                (o[0].as_i64().unwrap(), match o[4] {
-                    Value::Date(d) => d,
-                    _ => unreachable!(),
-                })
+                (
+                    o[0].as_i64().unwrap(),
+                    match o[4] {
+                        Value::Date(d) => d,
+                        _ => unreachable!(),
+                    },
+                )
             })
             .collect();
         for l in lis.iter().step_by(97) {
@@ -435,7 +496,9 @@ mod tests {
         let g = TpchGen::new(0.001);
         let (_, parts) = g.parts();
         for p in &parts {
-            let mfgr: i64 = p[2].as_str().unwrap()["Manufacturer#".len()..].parse().unwrap();
+            let mfgr: i64 = p[2].as_str().unwrap()["Manufacturer#".len()..]
+                .parse()
+                .unwrap();
             let brand: i64 = p[3].as_str().unwrap()["Brand#".len()..].parse().unwrap();
             assert_eq!(brand / 10, mfgr);
             assert!((1..=5).contains(&(brand % 10)));
@@ -443,7 +506,9 @@ mod tests {
             assert!((1..=50).contains(&size));
         }
         // PROMO types exist (Q14 depends on them).
-        assert!(parts.iter().any(|p| p[4].as_str().unwrap().starts_with("PROMO")));
+        assert!(parts
+            .iter()
+            .any(|p| p[4].as_str().unwrap().starts_with("PROMO")));
     }
 
     #[test]

@@ -19,4 +19,4 @@ pub mod synthetic;
 
 pub use gen::TpchGen;
 pub use load::{load_tpch, tpch_context, TpchTables};
-pub use queries::{all_queries, Mode};
+pub use queries::{all_queries, planner_suite, Mode, PlannerQuery};

@@ -37,12 +37,40 @@ pub fn load_tpch(
     let (ns, nations) = gen.nations();
     let (rs, regions) = gen.regions();
     Ok(TpchTables {
-        customer: upload_csv_table(store, bucket, "customer", &cs, &customers, rows_per_partition)?,
+        customer: upload_csv_table(
+            store,
+            bucket,
+            "customer",
+            &cs,
+            &customers,
+            rows_per_partition,
+        )?,
         orders: upload_csv_table(store, bucket, "orders", &os, &orders, rows_per_partition)?,
-        lineitem: upload_csv_table(store, bucket, "lineitem", &ls, &lineitems, rows_per_partition)?,
+        lineitem: upload_csv_table(
+            store,
+            bucket,
+            "lineitem",
+            &ls,
+            &lineitems,
+            rows_per_partition,
+        )?,
         part: upload_csv_table(store, bucket, "part", &ps, &parts, rows_per_partition)?,
-        supplier: upload_csv_table(store, bucket, "supplier", &ss, &suppliers, rows_per_partition)?,
-        partsupp: upload_csv_table(store, bucket, "partsupp", &pss, &partsupps, rows_per_partition)?,
+        supplier: upload_csv_table(
+            store,
+            bucket,
+            "supplier",
+            &ss,
+            &suppliers,
+            rows_per_partition,
+        )?,
+        partsupp: upload_csv_table(
+            store,
+            bucket,
+            "partsupp",
+            &pss,
+            &partsupps,
+            rows_per_partition,
+        )?,
         nation: upload_csv_table(store, bucket, "nation", &ns, &nations, rows_per_partition)?,
         region: upload_csv_table(store, bucket, "region", &rs, &regions, rows_per_partition)?,
         scale_factor: gen.scale_factor,
@@ -50,9 +78,17 @@ pub fn load_tpch(
 }
 
 /// Convenience for tests and examples: a context plus loaded tables.
-pub fn tpch_context(scale_factor: f64, rows_per_partition: usize) -> Result<(QueryContext, TpchTables)> {
+pub fn tpch_context(
+    scale_factor: f64,
+    rows_per_partition: usize,
+) -> Result<(QueryContext, TpchTables)> {
     let store = S3Store::new();
-    let tables = load_tpch(&store, "tpch", TpchGen::new(scale_factor), rows_per_partition)?;
+    let tables = load_tpch(
+        &store,
+        "tpch",
+        TpchGen::new(scale_factor),
+        rows_per_partition,
+    )?;
     Ok((QueryContext::new(store), tables))
 }
 
@@ -70,8 +106,14 @@ mod tests {
         assert_eq!(t.nation.row_count, 25);
         // CSV bytes exist for every table.
         for table in [
-            &t.customer, &t.orders, &t.lineitem, &t.part,
-            &t.supplier, &t.partsupp, &t.nation, &t.region,
+            &t.customer,
+            &t.orders,
+            &t.lineitem,
+            &t.part,
+            &t.supplier,
+            &t.partsupp,
+            &t.nation,
+            &t.region,
         ] {
             assert!(table.total_bytes(&ctx.store) > 0, "{}", table.name);
         }

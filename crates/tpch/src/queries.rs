@@ -38,7 +38,10 @@ fn projection_stmt(cols: &[&str], pred: Option<Expr>) -> SelectStmt {
     SelectStmt {
         items: cols
             .iter()
-            .map(|c| SelectItem::Expr { expr: Expr::col(*c), alias: None })
+            .map(|c| SelectItem::Expr {
+                expr: Expr::col(*c),
+                alias: None,
+            })
             .collect(),
         alias: None,
         where_clause: pred,
@@ -55,12 +58,7 @@ fn filter_local(scan: &mut ScanResult, pred: &str, stats: &mut PhaseStats) -> Re
 
 /// Build a Bloom (or no) probe-side predicate from build-side integer
 /// keys: `base AND bloom(attr)` when a filter fits, otherwise `base`.
-fn bloom_pred(
-    ctx: &QueryContext,
-    keys: &[i64],
-    attr: &str,
-    base: Option<Expr>,
-) -> Option<Expr> {
+fn bloom_pred(ctx: &QueryContext, keys: &[i64], attr: &str, base: Option<Expr>) -> Option<Expr> {
     let bloom = ctx
         .bloom
         .build(keys, 0.01, attr)
@@ -81,7 +79,10 @@ const Q1_AGG_EXPRS: [(&str, AggFunc); 8] = [
     ("l_quantity", AggFunc::Sum),
     ("l_extendedprice", AggFunc::Sum),
     ("l_extendedprice * (1 - l_discount)", AggFunc::Sum),
-    ("l_extendedprice * (1 - l_discount) * (1 + l_tax)", AggFunc::Sum),
+    (
+        "l_extendedprice * (1 - l_discount) * (1 + l_tax)",
+        AggFunc::Sum,
+    ),
     ("l_quantity", AggFunc::Avg),
     ("l_extendedprice", AggFunc::Avg),
     ("l_discount", AggFunc::Avg),
@@ -148,7 +149,11 @@ fn q1_baseline(ctx: &QueryContext, t: &TpchTables) -> Result<QueryOutput> {
     )?;
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("q1 baseline: load + aggregate", stats);
-    Ok(QueryOutput { schema: q1_schema(), rows, metrics })
+    Ok(QueryOutput {
+        schema: q1_schema(),
+        rows,
+        metrics,
+    })
 }
 
 fn q1_optimized(ctx: &QueryContext, t: &TpchTables) -> Result<QueryOutput> {
@@ -179,10 +184,19 @@ fn q1_optimized(ctx: &QueryContext, t: &TpchTables) -> Result<QueryOutput> {
                 branches: vec![(eq.clone(), parse_expr(src)?)],
                 else_expr: None,
             };
-            items.push(SelectItem::Agg { func, arg: Some(arg), alias: None });
+            items.push(SelectItem::Agg {
+                func,
+                arg: Some(arg),
+                alias: None,
+            });
         }
     }
-    let stmt = SelectStmt { items, alias: None, where_clause: Some(pred), limit: None };
+    let stmt = SelectStmt {
+        items,
+        alias: None,
+        where_clause: Some(pred),
+        limit: None,
+    };
     let agg = select_scan(ctx, &t.lineitem, &stmt)?;
     let phase2 = agg.stats;
     let row = &agg.rows[0];
@@ -206,7 +220,11 @@ fn q1_optimized(ctx: &QueryContext, t: &TpchTables) -> Result<QueryOutput> {
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("q1 optimized: distinct groups", phase1);
     metrics.push_serial("q1 optimized: s3-side aggregation", phase2);
-    Ok(QueryOutput { schema: q1_schema(), rows, metrics })
+    Ok(QueryOutput {
+        schema: q1_schema(),
+        rows,
+        metrics,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -324,7 +342,11 @@ pub fn q3(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput>
         .map(|r| Row::new(vec![r[0].clone(), r[3].clone(), r[1].clone(), r[2].clone()]))
         .collect();
     metrics.push_serial("local join + group + top-k", local);
-    Ok(QueryOutput { schema: q3_schema(), rows, metrics })
+    Ok(QueryOutput {
+        schema: q3_schema(),
+        rows,
+        metrics,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -372,7 +394,11 @@ pub fn q6(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput>
             let scan = select_scan(ctx, &t.lineitem, &stmt)?;
             let mut metrics = QueryMetrics::new();
             metrics.push_serial("q6 optimized: s3-side aggregation", scan.stats);
-            Ok(QueryOutput { schema, rows: scan.rows, metrics })
+            Ok(QueryOutput {
+                schema,
+                rows: scan.rows,
+                metrics,
+            })
         }
     }
 }
@@ -457,7 +483,11 @@ pub fn q14(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput
         Value::Float(100.0 * promo_sum / total_sum)
     };
     metrics.push_serial("local join + aggregate", local);
-    Ok(QueryOutput { schema, rows: vec![Row::new(vec![value])], metrics })
+    Ok(QueryOutput {
+        schema,
+        rows: vec![Row::new(vec![value])],
+        metrics,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -657,7 +687,11 @@ pub fn q19(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput
         other => other,
     };
     metrics.push_serial("local join + filter + aggregate", local);
-    Ok(QueryOutput { schema, rows: vec![Row::new(vec![v])], metrics })
+    Ok(QueryOutput {
+        schema,
+        rows: vec![Row::new(vec![v])],
+        metrics,
+    })
 }
 
 /// A TPC-H query entry point.
@@ -672,6 +706,67 @@ pub fn all_queries() -> Vec<(&'static str, QueryFn)> {
         ("TPCH Q14", q14),
         ("TPCH Q17", q17),
         ("TPCH Q19", q19),
+    ]
+}
+
+/// One query of the planner-dialect suite: a single-table SQL statement
+/// plus the TPC-H table it runs against.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerQuery {
+    pub name: &'static str,
+    /// Which table of the loaded dataset the statement targets.
+    pub table: fn(&TpchTables) -> &pushdown_core::Table,
+    pub sql: &'static str,
+}
+
+/// The planner-dialect TPC-H suite: single-table queries covering every
+/// operator family the planner routes (filter, scalar aggregate,
+/// group-by, top-K), with shapes chosen so the winning strategy *flips*
+/// across the suite — the differential tests run all of
+/// `Strategy::{Baseline, Pushdown, Adaptive}` over these, and the
+/// `fig12_adaptive` harness turns them into the adaptive-vs-fixed
+/// figure.
+pub fn planner_suite() -> Vec<PlannerQuery> {
+    vec![
+        PlannerQuery {
+            name: "filter-selective",
+            table: |t| &t.lineitem,
+            sql: "SELECT l_orderkey, l_extendedprice FROM lineitem \
+                  WHERE l_shipdate < DATE '1993-01-01'",
+        },
+        PlannerQuery {
+            name: "filter-wide",
+            table: |t| &t.orders,
+            sql: "SELECT * FROM orders WHERE o_totalprice > 1000",
+        },
+        PlannerQuery {
+            name: "aggregate",
+            table: |t| &t.lineitem,
+            sql: "SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem \
+                  WHERE l_shipdate <= DATE '1998-09-02'",
+        },
+        PlannerQuery {
+            name: "groupby-uniform",
+            table: |t| &t.orders,
+            sql: "SELECT o_orderpriority, COUNT(*), SUM(o_totalprice) FROM orders \
+                  GROUP BY o_orderpriority",
+        },
+        PlannerQuery {
+            name: "groupby-filtered",
+            table: |t| &t.lineitem,
+            sql: "SELECT l_returnflag, SUM(l_quantity) FROM lineitem \
+                  WHERE l_shipdate < DATE '1996-01-01' GROUP BY l_returnflag",
+        },
+        PlannerQuery {
+            name: "topk-100",
+            table: |t| &t.lineitem,
+            sql: "SELECT * FROM lineitem ORDER BY l_extendedprice DESC LIMIT 100",
+        },
+        PlannerQuery {
+            name: "topk-10",
+            table: |t| &t.orders,
+            sql: "SELECT * FROM orders ORDER BY o_totalprice LIMIT 10",
+        },
     ]
 }
 

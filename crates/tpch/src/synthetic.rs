@@ -106,8 +106,9 @@ pub fn zipf_group_table(rows: usize, theta: f64, seed: u64) -> (Schema, Vec<Row>
 /// ("rounded to four decimals", §IX). Column `c0` doubles as the filter
 /// column (uniform in [0,1), so a predicate `c0 < s` has selectivity `s`).
 pub fn wide_float_table(rows: usize, cols: usize, seed: u64) -> (Schema, Vec<Row>) {
-    let names: Vec<(String, DataType)> =
-        (0..cols).map(|c| (format!("c{c}"), DataType::Float)).collect();
+    let names: Vec<(String, DataType)> = (0..cols)
+        .map(|c| (format!("c{c}"), DataType::Float))
+        .collect();
     let pairs: Vec<(&str, DataType)> = names.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     let schema = Schema::from_pairs(&pairs);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF1A7);
@@ -185,7 +186,13 @@ mod tests {
 
     #[test]
     fn determinism() {
-        assert_eq!(zipf_group_table(100, 1.1, 5).1, zipf_group_table(100, 1.1, 5).1);
-        assert_ne!(zipf_group_table(100, 1.1, 5).1, zipf_group_table(100, 1.1, 6).1);
+        assert_eq!(
+            zipf_group_table(100, 1.1, 5).1,
+            zipf_group_table(100, 1.1, 5).1
+        );
+        assert_ne!(
+            zipf_group_table(100, 1.1, 5).1,
+            zipf_group_table(100, 1.1, 6).1
+        );
     }
 }

@@ -31,7 +31,10 @@ fn main() -> pushdowndb::common::Result<()> {
     // (paper Listing 1).
     let mut demo = BloomFilter::with_geometry(68, 1, 5);
     demo.insert(42);
-    println!("a 1-hash Bloom probe, as shipped to S3 Select:\n  {}\n", demo.sql_predicate("o_custkey"));
+    println!(
+        "a 1-hash Bloom probe, as shipped to S3 Select:\n  {}\n",
+        demo.sql_predicate("o_custkey")
+    );
 
     let f = 10.0 / t.scale_factor; // project to the paper's SF 10
     let base = join::baseline(&ctx, &q)?;
@@ -39,7 +42,11 @@ fn main() -> pushdowndb::common::Result<()> {
     let (bloom, outcome) = join::bloom_with_outcome(&ctx, &q, 0.01)?;
 
     println!("join algorithms on SUM(o_totalprice), projected to SF 10:");
-    for (name, out) in [("baseline", &base), ("filtered", &filt), ("bloom   ", &bloom)] {
+    for (name, out) in [
+        ("baseline", &base),
+        ("filtered", &filt),
+        ("bloom   ", &bloom),
+    ] {
         let m = out.metrics.scaled(f);
         println!(
             "  {name}: answer {:?}, runtime {}, cost {}, bytes over the wire {}",

@@ -31,7 +31,10 @@ fn main() -> pushdowndb::common::Result<()> {
         ("server-side", groupby::server_side(&ctx, &q)?),
         ("filtered   ", groupby::filtered(&ctx, &q)?),
         ("s3-side    ", groupby::s3_side(&ctx, &q)?),
-        ("hybrid     ", groupby::hybrid(&ctx, &q, HybridOptions::default())?),
+        (
+            "hybrid     ",
+            groupby::hybrid(&ctx, &q, HybridOptions::default())?,
+        ),
     ];
     println!("group-by over 100 zipf(θ=1.3) groups, projected to 10 GB:");
     for (name, out) in &runs {

@@ -42,6 +42,33 @@
 //! is batching-invariant: the `CostLedger` and per-query `PhaseStats`
 //! charge exactly what the materializing engine charged.
 //!
+//! ## Cost-based adaptive strategy selection
+//!
+//! The paper takes the algorithm choice as an explicit input (§VIII);
+//! this repo's planner can also choose for itself. `Strategy::Adaptive`
+//! ([`core::planner`]) enumerates every applicable algorithm family,
+//! predicts each candidate's billable `Usage` and runtime analytically
+//! from catalog statistics ([`core::catalog::TableStats`], gathered for
+//! free at load time and refreshable with a striped `LIMIT` Select
+//! probe, [`core::catalog::probe_stats`]), and executes the cheapest by
+//! predicted dollars. Predictions reuse the *same*
+//! [`common::perf::PerfModel`] and [`common::pricing::Pricing`] that
+//! score measurements ([`core::cost`]), and
+//! [`core::planner::execute_sql_verbose`] returns the EXPLAIN surface:
+//! every candidate's predicted cost plus a predicted-vs-actual
+//! breakdown per phase ([`core::planner::Explain::report`]).
+//!
+//! ```no_run
+//! use pushdowndb::core::planner::execute_sql_verbose;
+//! use pushdowndb::core::Strategy;
+//! # fn demo(ctx: &pushdowndb::core::QueryContext, table: &pushdowndb::core::Table)
+//! # -> pushdowndb::common::Result<()> {
+//! let sql = "SELECT id, balance FROM accounts WHERE balance < -990";
+//! let (out, explain) = execute_sql_verbose(ctx, table, sql, Strategy::Adaptive)?;
+//! println!("{}", explain.report(&out, ctx)); // candidates + predicted vs actual
+//! # Ok(()) }
+//! ```
+//!
 //! ## Quickstart
 //!
 //! Build and verify everything (tier-1 gate):

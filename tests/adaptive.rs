@@ -1,0 +1,134 @@
+//! `Strategy::Adaptive` acceptance and calibration (ISSUE 2):
+//!
+//! * on every TPC-H query of the planner-dialect differential suite the
+//!   adaptive strategy returns the same rows as both fixed strategies,
+//!   is never measurably worse than either, and matches the cheaper of
+//!   the two (measured dollars + modeled runtime) within 10%;
+//! * the cost estimator is calibrated: for the plan actually chosen, the
+//!   predicted `Usage` (requests, scanned, returned, plain bytes) lands
+//!   within 15% of the measured ledger (with a small absolute floor for
+//!   near-zero quantities such as aggregate response payloads);
+//! * ledger/metrics agreement holds on multi-phase adaptive plans, and
+//!   scaled projections round once at the aggregate level.
+
+use pushdowndb::common::{Row, Value};
+use pushdowndb::core::planner::execute_sql_verbose;
+use pushdowndb::core::{execute_sql, Strategy};
+use pushdowndb::tpch::{planner_suite, tpch_context};
+
+fn assert_rows_close(a: &[Row], b: &[Row], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: row counts differ");
+    for (x, y) in a.iter().zip(b) {
+        for (vx, vy) in x.values().iter().zip(y.values()) {
+            match (vx, vy) {
+                (Value::Float(fx), Value::Float(fy)) => assert!(
+                    (fx - fy).abs() <= 1e-6 * (1.0 + fx.abs().max(fy.abs())),
+                    "{what}: {fx} vs {fy}"
+                ),
+                _ => assert_eq!(vx, vy, "{what}"),
+            }
+        }
+    }
+}
+
+/// Acceptance: Adaptive is never measurably worse than *both* fixed
+/// strategies, and matches the cheaper of the two within 10% on measured
+/// dollar cost and modeled runtime — on every query of the suite.
+#[test]
+fn adaptive_matches_the_cheaper_fixed_strategy_within_10_percent() {
+    let (ctx, t) = tpch_context(0.005, 1_500).unwrap();
+    for q in planner_suite() {
+        let table = (q.table)(&t);
+        let run = |s: Strategy| execute_sql(&ctx, table, q.sql, s).unwrap();
+        let base = run(Strategy::Baseline);
+        let push = run(Strategy::Pushdown);
+        let adapt = run(Strategy::Adaptive);
+        assert_rows_close(&base.rows, &push.rows, q.name);
+        assert_rows_close(&base.rows, &adapt.rows, &format!("{} (adaptive)", q.name));
+
+        let cost =
+            |o: &pushdowndb::core::QueryOutput| o.metrics.cost(&ctx.model, &ctx.pricing).total();
+        let runtime = |o: &pushdowndb::core::QueryOutput| o.metrics.runtime(&ctx.model);
+        let min_cost = cost(&base).min(cost(&push));
+        let min_runtime = runtime(&base).min(runtime(&push));
+        assert!(
+            cost(&adapt) <= min_cost * 1.10,
+            "{}: adaptive ${:.6} vs min(fixed) ${min_cost:.6}",
+            q.name,
+            cost(&adapt)
+        );
+        assert!(
+            runtime(&adapt) <= min_runtime * 1.10,
+            "{}: adaptive {:.3}s vs min(fixed) {min_runtime:.3}s",
+            q.name,
+            runtime(&adapt)
+        );
+    }
+}
+
+/// Calibration: predicted `Usage` of the chosen plan within 15% of the
+/// measured ledger, field by field. Near-zero quantities (aggregate
+/// payloads of a few hundred bytes) get a 512-byte absolute floor so the
+/// relative bound stays meaningful.
+#[test]
+fn cost_estimator_predictions_are_calibrated_against_the_ledger() {
+    let (ctx, t) = tpch_context(0.005, 1_500).unwrap();
+    for q in planner_suite() {
+        let table = (q.table)(&t);
+        ctx.store.ledger().reset();
+        let (_, explain) = execute_sql_verbose(&ctx, table, q.sql, Strategy::Adaptive).unwrap();
+        let measured = ctx.store.ledger().snapshot();
+        let predicted = explain
+            .predicted
+            .as_ref()
+            .expect("adaptive plans carry a prediction")
+            .usage();
+        let check = |pred: u64, meas: u64, what: &str| {
+            let slack = (0.15 * meas as f64).max(512.0);
+            assert!(
+                (pred as f64 - meas as f64).abs() <= slack,
+                "{} [{}]: predicted {pred} vs measured {meas} (slack {slack:.0})",
+                q.name,
+                what
+            );
+        };
+        check(predicted.requests, measured.requests, "requests");
+        check(
+            predicted.select_scanned_bytes,
+            measured.select_scanned_bytes,
+            "scanned",
+        );
+        check(
+            predicted.select_returned_bytes,
+            measured.select_returned_bytes,
+            "returned",
+        );
+        check(predicted.plain_bytes, measured.plain_bytes, "plain");
+    }
+}
+
+/// The AWS-style ledger and the per-query metrics agree exactly on
+/// multi-phase adaptive plans, and the scaled projection equals scaling
+/// the summed usage once (`Usage::scaled` is not distributive, so the
+/// single-rounding path is the one projections must take).
+#[test]
+fn ledger_agrees_with_metrics_on_adaptive_plans() {
+    let (ctx, t) = tpch_context(0.003, 1_000).unwrap();
+    for q in planner_suite() {
+        let table = (q.table)(&t);
+        ctx.store.ledger().reset();
+        let out = execute_sql(&ctx, table, q.sql, Strategy::Adaptive).unwrap();
+        let billed = ctx.store.ledger().snapshot();
+        let metered = out.metrics.usage();
+        assert_eq!(billed, metered, "{}: ledger vs metrics", q.name);
+        // Multi-phase projection invariant (the Usage::scaled bugfix).
+        for factor in [1.0, 2.5, 2000.0 / 3.0] {
+            assert_eq!(
+                out.metrics.scaled_usage(factor),
+                out.metrics.usage().scaled(factor),
+                "{}: projection must round once at the aggregate level",
+                q.name
+            );
+        }
+    }
+}

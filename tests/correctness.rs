@@ -109,7 +109,9 @@ fn groupby_agrees_with_tiny_sql_limit_chunking() {
     let mut ctx = QueryContext::new(store);
     ctx.engine = pushdowndb::select::S3SelectEngine::with_limits(
         ctx.store.clone(),
-        pushdowndb::select::SelectLimits { max_sql_bytes: 2_048 },
+        pushdowndb::select::SelectLimits {
+            max_sql_bytes: 2_048,
+        },
     );
     let q = groupby::GroupByQuery {
         table,
@@ -251,7 +253,12 @@ fn streamed_operators_survive_faults_mid_scan() {
     let got_groups = groupby::server_side(&ctx, &gq).unwrap();
     assert_rows_close(&want_groups.rows, &got_groups.rows, "group-by under faults");
 
-    let tq = topk::TopKQuery { table, order_col: "v".into(), k: 13, asc: true };
+    let tq = topk::TopKQuery {
+        table,
+        order_col: "v".into(),
+        k: 13,
+        asc: true,
+    };
     let want_topk = topk::server_side(&ctx, &tq).unwrap();
     ctx.store.inject_faults(6);
     let got_topk = topk::server_side(&ctx, &tq).unwrap();
@@ -298,8 +305,7 @@ fn csv_and_columnar_tables_give_identical_query_answers() {
         assert_rows_close(&a.rows, &b.rows, pred);
         // Columnar scans fewer bytes for any non-trivial width.
         assert!(
-            b.metrics.usage().select_scanned_bytes
-                <= a.metrics.usage().select_scanned_bytes,
+            b.metrics.usage().select_scanned_bytes <= a.metrics.usage().select_scanned_bytes,
             "{pred}"
         );
     }

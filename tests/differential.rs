@@ -67,6 +67,7 @@ fn tpch_differential_is_batch_size_invariant() {
 
 /// The planner-level strategies agree on SQL queries of every supported
 /// shape, and pushdown's billable transfer never exceeds the baseline's.
+/// `Strategy::Adaptive` must return the same rows as both.
 #[test]
 fn planner_strategies_differential() {
     let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
@@ -82,7 +83,9 @@ fn planner_strategies_differential() {
     ] {
         let base = execute_sql(&ctx, orders, sql, Strategy::Baseline).unwrap();
         let push = execute_sql(&ctx, orders, sql, Strategy::Pushdown).unwrap();
+        let adapt = execute_sql(&ctx, orders, sql, Strategy::Adaptive).unwrap();
         assert_rows_close(&base.rows, &push.rows, sql);
+        assert_rows_close(&base.rows, &adapt.rows, &format!("{sql} (adaptive)"));
         assert!(
             push.metrics.bytes_returned() <= base.metrics.bytes_returned(),
             "{sql}: pushdown must not transfer more"
@@ -110,8 +113,14 @@ fn ledger_agrees_with_metrics_across_the_suite() {
                 billed.select_returned_bytes, metered.select_returned_bytes,
                 "{name} {mode:?}: returned bytes"
             );
-            assert_eq!(billed.plain_bytes, metered.plain_bytes, "{name} {mode:?}: plain bytes");
-            assert_eq!(billed.requests, metered.requests, "{name} {mode:?}: requests");
+            assert_eq!(
+                billed.plain_bytes, metered.plain_bytes,
+                "{name} {mode:?}: plain bytes"
+            );
+            assert_eq!(
+                billed.requests, metered.requests,
+                "{name} {mode:?}: requests"
+            );
         }
     }
 }
@@ -124,19 +133,16 @@ fn repeated_runs_are_deterministic() {
     let (ctx_b, tb) = tpch_context(0.002, 900).unwrap();
     // Different partitioning of the identical logical data.
     let store_c = pushdowndb::s3::S3Store::new();
-    let tc = load_tpch(
-        &store_c,
-        "tpch",
-        pushdowndb::tpch::TpchGen::new(0.002),
-        333,
-    )
-    .unwrap();
+    let tc = load_tpch(&store_c, "tpch", pushdowndb::tpch::TpchGen::new(0.002), 333).unwrap();
     let ctx_c = QueryContext::new(store_c);
     for (name, q) in all_queries() {
         let a = q(&ctx_a, &ta, Mode::Optimized).unwrap();
         let b = q(&ctx_b, &tb, Mode::Optimized).unwrap();
         let c = q(&ctx_c, &tc, Mode::Optimized).unwrap();
-        assert_eq!(a.rows, b.rows, "{name}: identical setup must be bit-identical");
+        assert_eq!(
+            a.rows, b.rows,
+            "{name}: identical setup must be bit-identical"
+        );
         assert_rows_close(&a.rows, &c.rows, &format!("{name}: repartitioned"));
     }
 }

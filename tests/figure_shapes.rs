@@ -38,8 +38,16 @@ fn fig02_join_customer_shapes() {
     let rows = ex::fig02_join_customer::run(0.004).unwrap();
     for r in &rows {
         // Bloom wins while the customer predicate is selective.
-        assert!(r.bloom.runtime < r.filtered.runtime, "upper {}", r.upper_acctbal);
-        assert!(r.bloom.runtime < r.baseline.runtime, "upper {}", r.upper_acctbal);
+        assert!(
+            r.bloom.runtime < r.filtered.runtime,
+            "upper {}",
+            r.upper_acctbal
+        );
+        assert!(
+            r.bloom.runtime < r.baseline.runtime,
+            "upper {}",
+            r.upper_acctbal
+        );
         // Baseline and filtered are within the same regime (paper:
         // "perform similarly") — no more than ~2.5x apart.
         assert!(r.baseline.runtime < 2.5 * r.filtered.runtime);
@@ -57,9 +65,15 @@ fn fig03_join_orders_shapes() {
     // ...and beats baseline when selective.
     assert!(rows[0].filtered.runtime * 2.0 < rows[0].baseline.runtime);
     // Bloom stays roughly constant (paper: "remains fairly constant").
-    let bloom_min = rows.iter().map(|r| r.bloom.runtime).fold(f64::MAX, f64::min);
+    let bloom_min = rows
+        .iter()
+        .map(|r| r.bloom.runtime)
+        .fold(f64::MAX, f64::min);
     let bloom_max = rows.iter().map(|r| r.bloom.runtime).fold(0.0, f64::max);
-    assert!(bloom_max < 1.5 * bloom_min, "bloom {bloom_min}..{bloom_max}");
+    assert!(
+        bloom_max < 1.5 * bloom_min,
+        "bloom {bloom_min}..{bloom_max}"
+    );
 }
 
 #[test]
@@ -131,7 +145,11 @@ fn fig07_skew_shapes() {
     // Server-side and filtered are insensitive to skew (±10%).
     let s0 = rows[0].server.runtime;
     for r in &rows {
-        assert!((r.server.runtime / s0 - 1.0).abs() < 0.1, "theta {}", r.theta);
+        assert!(
+            (r.server.runtime / s0 - 1.0).abs() < 0.1,
+            "theta {}",
+            r.theta
+        );
     }
     // Hybrid improves monotonically with skew and wins clearly at 1.3
     // (paper: 31% over filtered).
@@ -222,11 +240,17 @@ fn ablation_shapes() {
     // slower than the CASE-WHEN rewrite.
     let gb = ex::ablation::run_groupby_ablation(10_000).unwrap();
     for r in &gb {
-        assert!(r.native.runtime <= r.case_when.runtime, "{} groups", r.n_groups);
+        assert!(
+            r.native.runtime <= r.case_when.runtime,
+            "{} groups",
+            r.n_groups
+        );
     }
-    let native_spread =
-        gb.last().unwrap().native.runtime / gb[0].native.runtime;
-    assert!(native_spread < 1.2, "native should be flat, spread {native_spread}");
+    let native_spread = gb.last().unwrap().native.runtime / gb[0].native.runtime;
+    assert!(
+        native_spread < 1.2,
+        "native should be flat, spread {native_spread}"
+    );
     assert!(gb.last().unwrap().case_when.runtime > 1.5 * gb[0].case_when.runtime);
 
     // Suggestion 5: simple scans get cheaper under aware pricing (Q6 is
