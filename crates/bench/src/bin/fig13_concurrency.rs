@@ -1,0 +1,56 @@
+//! Concurrent multi-query throughput/latency/cost over one shared engine
+//! (Figure 13, beyond the paper).
+//! Usage: `fig13_concurrency [scale_factor] [queries] [seed]`
+//! (defaults 0.005, 24, 42).
+
+use pushdown_bench::experiments::fig13_concurrency as fig;
+use pushdown_bench::table::print_table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let sf: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.005);
+    let queries: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(24);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let res = fig::run(sf, seed, queries, &[1, 2, 4, 8]).expect("fig13");
+    print_table(
+        &format!(
+            "Fig 13 — {} mixed TPC-H queries (seed {}), one shared engine",
+            res.queries, res.seed
+        ),
+        &[
+            "threads",
+            "wall s",
+            "qps",
+            "p50 lat",
+            "p95 lat",
+            "total $",
+            "requests",
+            "≡ serial",
+            "ledger conserved",
+        ],
+        &res.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.concurrency.to_string(),
+                    format!("{:.3}", r.report.wall_s),
+                    format!("{:.1}", r.report.throughput_qps),
+                    format!("{:.3}s", r.report.latency_percentile(50.0)),
+                    format!("{:.3}s", r.report.latency_percentile(95.0)),
+                    format!("${:.6}", r.report.total_dollars),
+                    r.report.sum_billed.requests.to_string(),
+                    if r.matches_serial { "yes" } else { "NO" }.to_string(),
+                    if r.conserved { "yes" } else { "NO" }.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let all_ok = res.rows.iter().all(|r| r.matches_serial && r.conserved);
+    println!(
+        "\nEquivalence + conservation across all levels: {}",
+        if all_ok { "OK" } else { "VIOLATED" }
+    );
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -96,11 +96,13 @@ pub fn run(n_rows: usize) -> Result<Vec<Fig11Row>> {
                     runtime: am.scaled(factor).runtime(&ctx.model),
                     cost: am.scaled(factor).cost(&ctx.model, &ctx.pricing),
                     bytes_returned: am.scaled(factor).bytes_returned(),
+                    billed: am.usage(),
                 },
                 columnar: Measure {
                     runtime: bm.scaled(factor).runtime(&ctx.model),
                     cost: bm.scaled(factor).cost(&ctx.model, &ctx.pricing),
                     bytes_returned: bm.scaled(factor).bytes_returned(),
+                    billed: bm.usage(),
                 },
                 size_ratio: clt_bytes / csv_bytes,
             });

@@ -1,0 +1,77 @@
+//! **Figure 13** (beyond the paper; ISSUE 3) — concurrent multi-query
+//! execution over one shared engine.
+//!
+//! A seeded stream of mixed TPC-H queries (every planner family) is
+//! driven at increasing concurrency against a single `S3SelectEngine`.
+//! The claims this experiment demonstrates (and the concurrency test
+//! suite pins):
+//!
+//! * **equivalence** — every query's result digest at concurrency *c* is
+//!   identical to its serial execution;
+//! * **conservation** — the store-global ledger delta equals the sum of
+//!   the per-query child ledgers, at every concurrency level;
+//! * **observability** — per-query dollars and virtual-time latency
+//!   percentiles come from exact per-query scoped accounting, not from
+//!   resetting a shared counter between queries.
+//!
+//! Wall-clock throughput is the only machine-dependent number reported;
+//! everything else is deterministic.
+
+use crate::workload::{run_workload, WorkloadReport, WorkloadSpec};
+use pushdown_common::Result;
+use pushdown_core::planner::Strategy;
+use pushdown_tpch::tpch_context;
+
+#[derive(Debug, Clone)]
+pub struct Fig13Row {
+    pub concurrency: usize,
+    pub report: WorkloadReport,
+    /// Every per-query digest equals the serial run's.
+    pub matches_serial: bool,
+    /// Global-ledger delta == Σ child ledgers for this run.
+    pub conserved: bool,
+}
+
+#[derive(Debug, Clone)]
+pub struct Fig13Result {
+    pub rows: Vec<Fig13Row>,
+    pub queries: usize,
+    pub seed: u64,
+}
+
+/// Drive the same seeded workload at each concurrency level and check
+/// equivalence + ledger conservation against the serial run.
+pub fn run(scale_factor: f64, seed: u64, queries: usize, levels: &[usize]) -> Result<Fig13Result> {
+    let (ctx, tables) = tpch_context(scale_factor, 1_500)?;
+    let mut spec = WorkloadSpec {
+        seed,
+        queries,
+        concurrency: 1,
+        strategy: Strategy::Adaptive,
+    };
+    let serial = run_workload(&ctx, &tables, &spec)?;
+    let mut rows = Vec::new();
+    for &concurrency in levels {
+        spec.concurrency = concurrency;
+        let before = ctx.store.global_ledger().snapshot();
+        let report = run_workload(&ctx, &tables, &spec)?;
+        let after = ctx.store.global_ledger().snapshot();
+        let conserved = after == before + report.sum_billed;
+        let matches_serial = report
+            .per_query
+            .iter()
+            .zip(&serial.per_query)
+            .all(|(c, s)| c.row_digest == s.row_digest && c.billed == s.billed);
+        rows.push(Fig13Row {
+            concurrency,
+            report,
+            matches_serial,
+            conserved,
+        });
+    }
+    Ok(Fig13Result {
+        rows,
+        queries,
+        seed,
+    })
+}

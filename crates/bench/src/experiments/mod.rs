@@ -15,3 +15,4 @@ pub mod fig09_topk_k;
 pub mod fig10_tpch;
 pub mod fig11_parquet;
 pub mod fig12_adaptive;
+pub mod fig13_concurrency;

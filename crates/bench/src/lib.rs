@@ -23,8 +23,9 @@
 
 pub mod experiments;
 pub mod table;
+pub mod workload;
 
-use pushdown_common::pricing::CostBreakdown;
+use pushdown_common::pricing::{CostBreakdown, Usage};
 use pushdown_core::{QueryContext, QueryOutput};
 
 /// One measured configuration: modeled runtime and cost.
@@ -33,6 +34,9 @@ pub struct Measure {
     pub runtime: f64,
     pub cost: CostBreakdown,
     pub bytes_returned: u64,
+    /// The query's exact child-ledger usage at bench scale (unprojected) —
+    /// concurrency-safe provenance for every figure row.
+    pub billed: Usage,
 }
 
 impl Measure {
@@ -47,6 +51,7 @@ impl Measure {
             runtime,
             cost: ctx.pricing.cost(&usage, runtime),
             bytes_returned: usage.select_returned_bytes + usage.plain_bytes,
+            billed: out.billed,
         }
     }
 }

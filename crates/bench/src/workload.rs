@@ -1,0 +1,275 @@
+//! Seeded multi-query workloads and the concurrent driver.
+//!
+//! The paper evaluates one query at a time; the ROADMAP's north star is a
+//! system serving many concurrent queries from one shared engine. This
+//! module provides the two pieces the `fig13_concurrency` experiment and
+//! the concurrency/chaos test suites build on:
+//!
+//! * [`generate`] — a seeded, deterministic stream of mixed TPC-H queries
+//!   drawn from [`pushdown_tpch::planner_suite`] (every operator family:
+//!   filter, scalar aggregate, group-by, top-K);
+//! * [`run_workload`] — executes the stream at a configurable concurrency
+//!   over **one shared** [`QueryContext`], each query in its own scoped
+//!   child-ledger context ([`QueryContext::scoped_with_salt`]), and
+//!   reports throughput, per-query dollars (from the exact per-query
+//!   child ledgers) and virtual-time latency percentiles.
+//!
+//! Everything except wall-clock throughput is deterministic: results,
+//! ledgers and virtual latencies depend only on (data, workload seed,
+//! chaos plan), never on thread interleaving. Under a
+//! [`pushdown_s3::FaultPlan`], query *i* gets chaos salt
+//! `mix(seed, i)` — printed on failure so any chaos outcome can be
+//! replayed by seed.
+
+use pushdown_common::mix::{fnv1a, splitmix64};
+use pushdown_common::pricing::Usage;
+use pushdown_common::Result;
+use pushdown_core::planner::{execute_sql, Strategy};
+use pushdown_core::{QueryContext, QueryOutput};
+use pushdown_tpch::{planner_suite, PlannerQuery, TpchTables};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The chaos salt assigned to query `index` of a workload with `seed` —
+/// public so a chaos failure can be reproduced outside the driver.
+pub fn query_salt(seed: u64, index: usize) -> u64 {
+    splitmix64(seed ^ (index as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// One generated query of a workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// Position in the stream (also determines its chaos salt).
+    pub index: usize,
+    pub query: PlannerQuery,
+}
+
+/// A seeded stream of `n` mixed queries drawn uniformly (by hash) from
+/// the planner-dialect TPC-H suite. Deterministic in `seed`.
+pub fn generate(seed: u64, n: usize) -> Vec<WorkloadQuery> {
+    let suite = planner_suite();
+    (0..n)
+        .map(|index| WorkloadQuery {
+            index,
+            query: suite[(splitmix64(seed ^ index as u64) % suite.len() as u64) as usize],
+        })
+        .collect()
+}
+
+/// What to run and how hard to push.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Seed for both the query mix and the per-query chaos salts.
+    pub seed: u64,
+    /// Queries in the stream.
+    pub queries: usize,
+    /// Worker threads executing the stream over the shared engine.
+    pub concurrency: usize,
+    pub strategy: Strategy,
+}
+
+/// Per-query outcome. Deterministic given (data, seed, fault plan).
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    pub index: usize,
+    pub name: &'static str,
+    /// Chaos salt this query ran under (replay: same plan seed + salt).
+    pub salt: u64,
+    /// Order-sensitive digest of the result rows (serial/concurrent
+    /// equivalence is digest equality).
+    pub row_digest: u64,
+    pub rows: usize,
+    /// Exactly what this query billed on its child ledger.
+    pub billed: Usage,
+    /// Billed dollars (ledger usage + modeled compute time).
+    pub dollars: f64,
+    /// Virtual-time latency: modeled runtime, or the scope's virtual I/O
+    /// clock when a fault plan's latency model is active (whichever is
+    /// larger — the clock includes retry backoff the model cannot see).
+    pub latency_s: f64,
+    /// `Some(code)` when the query failed (under chaos: always a
+    /// retryable fault that out-lasted the retry budget).
+    pub error: Option<String>,
+}
+
+/// Aggregate outcome of one driven workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    pub per_query: Vec<QueryReport>,
+    /// Wall-clock seconds the driver took (the only non-deterministic
+    /// number here; everything else is virtual or exact).
+    pub wall_s: f64,
+    /// Queries per wall-clock second.
+    pub throughput_qps: f64,
+    /// Σ per-query billed dollars.
+    pub total_dollars: f64,
+    /// Σ per-query child-ledger usage (equals the store-global delta —
+    /// the conservation law the concurrency tests pin).
+    pub sum_billed: Usage,
+    pub succeeded: usize,
+    pub failed: usize,
+}
+
+impl WorkloadReport {
+    /// Virtual-latency percentile over successful queries (`p` in 0..=100).
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        let mut lats: Vec<f64> = self
+            .per_query
+            .iter()
+            .filter(|q| q.error.is_none())
+            .map(|q| q.latency_s)
+            .collect();
+        if lats.is_empty() {
+            return 0.0;
+        }
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p / 100.0) * (lats.len() - 1) as f64).round() as usize;
+        lats[rank.min(lats.len() - 1)]
+    }
+}
+
+/// Order-sensitive FNV-1a digest over the CSV rendering of result rows.
+fn digest_rows(out: &QueryOutput) -> u64 {
+    fnv1a(out.rows.iter().flat_map(|row| {
+        row.values()
+            .iter()
+            .flat_map(|v| {
+                let mut field = v.to_csv_field().into_bytes();
+                field.push(b',');
+                field
+            })
+            .chain(std::iter::once(b'\n'))
+    }))
+}
+
+/// Execute one workload query in its own scope of `ctx`. Public so test
+/// suites can replay a single (seed, index) pair.
+pub fn run_one(
+    ctx: &QueryContext,
+    tables: &TpchTables,
+    spec: &WorkloadSpec,
+    wq: &WorkloadQuery,
+) -> QueryReport {
+    let salt = query_salt(spec.seed, wq.index);
+    let qctx = ctx.scoped_with_salt(salt);
+    let table = (wq.query.table)(tables);
+    match execute_sql(&qctx, table, wq.query.sql, spec.strategy) {
+        Ok(out) => {
+            let latency_s = out.runtime(&qctx).max(qctx.virtual_time_s());
+            QueryReport {
+                index: wq.index,
+                name: wq.query.name,
+                salt,
+                row_digest: digest_rows(&out),
+                rows: out.rows.len(),
+                billed: out.billed,
+                dollars: out.billed_cost(&qctx).total(),
+                latency_s,
+                error: None,
+            }
+        }
+        Err(e) => QueryReport {
+            index: wq.index,
+            name: wq.query.name,
+            salt,
+            row_digest: 0,
+            rows: 0,
+            billed: qctx.billed(),
+            dollars: 0.0,
+            latency_s: qctx.virtual_time_s(),
+            error: Some(e.code().to_string()),
+        },
+    }
+}
+
+/// Drive the seeded stream at `spec.concurrency` over one shared context.
+/// Reports come back indexed by stream position regardless of completion
+/// order.
+pub fn run_workload(
+    ctx: &QueryContext,
+    tables: &TpchTables,
+    spec: &WorkloadSpec,
+) -> Result<WorkloadReport> {
+    let stream = generate(spec.seed, spec.queries);
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<QueryReport>>> = Mutex::new(vec![None; spec.queries]);
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..spec.concurrency.max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(wq) = stream.get(i) else { break };
+                let report = run_one(ctx, tables, spec, wq);
+                slots.lock().unwrap()[i] = Some(report);
+            });
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    let per_query: Vec<QueryReport> = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("every stream slot filled"))
+        .collect();
+    let mut sum_billed = Usage::default();
+    let mut total_dollars = 0.0;
+    let mut failed = 0;
+    for q in &per_query {
+        sum_billed += q.billed;
+        total_dollars += q.dollars;
+        if q.error.is_some() {
+            failed += 1;
+        }
+    }
+    Ok(WorkloadReport {
+        succeeded: per_query.len() - failed,
+        failed,
+        throughput_qps: per_query.len() as f64 / wall_s.max(1e-9),
+        wall_s,
+        total_dollars,
+        sum_billed,
+        per_query,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushdown_tpch::tpch_context;
+
+    #[test]
+    fn generation_is_seeded_and_mixed() {
+        let a = generate(7, 40);
+        let b = generate(7, 40);
+        let c = generate(8, 40);
+        let names = |v: &[WorkloadQuery]| v.iter().map(|q| q.query.name).collect::<Vec<_>>();
+        assert_eq!(names(&a), names(&b), "same seed, same stream");
+        assert_ne!(names(&a), names(&c), "different seed, different stream");
+        // Mixed: more than one family shows up in a 40-query stream.
+        let distinct: std::collections::BTreeSet<_> = names(&a).into_iter().collect();
+        assert!(distinct.len() >= 3, "{distinct:?}");
+    }
+
+    #[test]
+    fn driver_results_and_ledgers_are_concurrency_invariant() {
+        let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+        let mut spec = WorkloadSpec {
+            seed: 11,
+            queries: 10,
+            concurrency: 1,
+            strategy: Strategy::Adaptive,
+        };
+        let serial = run_workload(&ctx, &t, &spec).unwrap();
+        assert_eq!(serial.failed, 0);
+        spec.concurrency = 4;
+        let concurrent = run_workload(&ctx, &t, &spec).unwrap();
+        for (a, b) in serial.per_query.iter().zip(&concurrent.per_query) {
+            assert_eq!(a.row_digest, b.row_digest, "query {} rows", a.index);
+            assert_eq!(a.billed, b.billed, "query {} ledger", a.index);
+        }
+        assert_eq!(serial.sum_billed, concurrent.sum_billed);
+        assert!(serial.total_dollars > 0.0);
+        assert!(serial.latency_percentile(50.0) > 0.0);
+        assert!(serial.latency_percentile(95.0) >= serial.latency_percentile(50.0));
+    }
+}

@@ -1,9 +1,19 @@
-//! Thread-safe resource accounting.
+//! Thread-safe, *scoped* resource accounting.
 //!
 //! Every interaction with the simulated S3 service is metered here, exactly
 //! as AWS would meter a bill: requests issued, bytes scanned by S3 Select,
-//! bytes returned by S3 Select, and bytes moved by plain GETs. The executor
-//! snapshots the ledger around phases to attribute consumption.
+//! bytes returned by S3 Select, and bytes moved by plain GETs.
+//!
+//! # Scoping
+//!
+//! A ledger can spawn **child** ledgers ([`CostLedger::child`]). Every
+//! addition to a child is applied atomically to the child *and* to every
+//! ancestor, so a store-global ledger always equals the sum of its
+//! per-query children plus whatever was billed directly against it. This
+//! is what makes per-query accounting sound under concurrency: each query
+//! reads its own child, and nobody needs the racy
+//! snapshot-run-snapshot (`delta_since`) pattern that interleaved queries
+//! corrupt.
 
 use crate::pricing::Usage;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,6 +26,10 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Default)]
 pub struct CostLedger {
     inner: Arc<Counters>,
+    /// Ancestor counters (nearest parent first). Every addition applied to
+    /// `inner` is also applied to each of these, so parents see the sum of
+    /// their children without any reconciliation step.
+    uplinks: Vec<Arc<Counters>>,
 }
 
 #[derive(Debug, Default)]
@@ -31,32 +45,54 @@ impl CostLedger {
         Self::default()
     }
 
+    /// A child ledger: starts at zero, and every addition rolls up
+    /// atomically into this ledger (and its ancestors, if any). Children
+    /// may be nested arbitrarily deep.
+    pub fn child(&self) -> CostLedger {
+        let mut uplinks = Vec::with_capacity(self.uplinks.len() + 1);
+        uplinks.push(Arc::clone(&self.inner));
+        uplinks.extend(self.uplinks.iter().cloned());
+        CostLedger {
+            inner: Arc::new(Counters::default()),
+            uplinks,
+        }
+    }
+
+    /// Whether this ledger rolls up into a parent (i.e. was created by
+    /// [`CostLedger::child`]).
+    pub fn is_scoped(&self) -> bool {
+        !self.uplinks.is_empty()
+    }
+
+    fn add(&self, field: fn(&Counters) -> &AtomicU64, n: u64) {
+        field(&self.inner).fetch_add(n, Ordering::Relaxed);
+        for up in &self.uplinks {
+            field(up).fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Record one HTTP request (plain GET or Select alike — AWS bills both).
     pub fn add_request(&self) {
-        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+        self.add(|c| &c.requests, 1);
     }
 
     pub fn add_requests(&self, n: u64) {
-        self.inner.requests.fetch_add(n, Ordering::Relaxed);
+        self.add(|c| &c.requests, n);
     }
 
     /// Record bytes scanned inside S3 Select.
     pub fn add_select_scanned(&self, bytes: u64) {
-        self.inner
-            .select_scanned
-            .fetch_add(bytes, Ordering::Relaxed);
+        self.add(|c| &c.select_scanned, bytes);
     }
 
     /// Record bytes returned by an S3 Select response.
     pub fn add_select_returned(&self, bytes: u64) {
-        self.inner
-            .select_returned
-            .fetch_add(bytes, Ordering::Relaxed);
+        self.add(|c| &c.select_returned, bytes);
     }
 
     /// Record bytes returned by a plain (non-Select) GET.
     pub fn add_plain_bytes(&self, bytes: u64) {
-        self.inner.plain_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.add(|c| &c.plain_bytes, bytes);
     }
 
     /// Current cumulative usage.
@@ -70,6 +106,11 @@ impl CostLedger {
     }
 
     /// Usage accumulated since an earlier snapshot.
+    ///
+    /// **Only sound when nothing else writes to this ledger in between.**
+    /// Under concurrency, interleaved queries corrupt each other's deltas;
+    /// use a [`CostLedger::child`] per query instead — its
+    /// [`CostLedger::snapshot`] *is* the per-query usage.
     pub fn delta_since(&self, earlier: &Usage) -> Usage {
         let now = self.snapshot();
         Usage {
@@ -78,14 +119,6 @@ impl CostLedger {
             select_returned_bytes: now.select_returned_bytes - earlier.select_returned_bytes,
             plain_bytes: now.plain_bytes - earlier.plain_bytes,
         }
-    }
-
-    /// Reset all counters to zero (between experiments).
-    pub fn reset(&self) {
-        self.inner.requests.store(0, Ordering::Relaxed);
-        self.inner.select_scanned.store(0, Ordering::Relaxed);
-        self.inner.select_returned.store(0, Ordering::Relaxed);
-        self.inner.plain_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -129,11 +162,52 @@ mod tests {
     }
 
     #[test]
-    fn reset_zeroes() {
-        let l = CostLedger::new();
-        l.add_requests(3);
-        l.reset();
-        assert_eq!(l.snapshot(), Usage::default());
+    fn children_roll_up_into_parents() {
+        let root = CostLedger::new();
+        assert!(!root.is_scoped());
+        let a = root.child();
+        let b = root.child();
+        let b_inner = b.child(); // nesting rolls up through the chain
+        assert!(a.is_scoped());
+        a.add_requests(2);
+        a.add_select_scanned(10);
+        b.add_plain_bytes(5);
+        b_inner.add_select_returned(7);
+        assert_eq!(a.snapshot().requests, 2);
+        assert_eq!(b.snapshot().select_returned_bytes, 7);
+        assert_eq!(b_inner.snapshot().select_returned_bytes, 7);
+        // Parent = sum of all scopes; direct writes still land too.
+        root.add_request();
+        let u = root.snapshot();
+        assert_eq!(u.requests, 3);
+        assert_eq!(u.select_scanned_bytes, 10);
+        assert_eq!(u.select_returned_bytes, 7);
+        assert_eq!(u.plain_bytes, 5);
+        // Children never see each other or the parent's direct writes.
+        assert_eq!(a.snapshot().plain_bytes, 0);
+        assert_eq!(b.snapshot().select_scanned_bytes, 0);
+    }
+
+    #[test]
+    fn concurrent_children_conserve_the_global_total() {
+        let root = CostLedger::new();
+        let children: Vec<CostLedger> = (0..8).map(|_| root.child()).collect();
+        std::thread::scope(|s| {
+            for child in &children {
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        child.add_request();
+                        child.add_select_scanned(3);
+                    }
+                });
+            }
+        });
+        let mut sum = Usage::default();
+        for child in &children {
+            sum += child.snapshot();
+        }
+        assert_eq!(root.snapshot(), sum);
+        assert_eq!(sum.requests, 8000);
     }
 
     #[test]

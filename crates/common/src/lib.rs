@@ -14,9 +14,12 @@
 //! * [`row`] — row and row-batch containers.
 //! * [`pricing`] — the AWS US-East price constants the paper computes its
 //!   dollar costs with, and [`pricing::CostBreakdown`].
-//! * [`ledger`] — thread-safe accounting of bytes scanned / returned /
-//!   transferred and HTTP requests issued, mirroring what an AWS bill
-//!   would be computed from.
+//! * [`ledger`] — thread-safe, scoped accounting of bytes scanned /
+//!   returned / transferred and HTTP requests issued, mirroring what an
+//!   AWS bill would be computed from; per-query child ledgers roll up
+//!   atomically into the store-global one.
+//! * [`retry`] — the uniform bounded-backoff retry policy shared by every
+//!   request path (whole-object, range, multi-range and Select requests).
 //! * [`perf`] — the deterministic analytical performance model that maps
 //!   ledger quantities to simulated elapsed seconds (the paper's testbed —
 //!   an r4.8xlarge behind a 10 GigE link — is not available, so elapsed
@@ -27,10 +30,12 @@ pub mod date;
 pub mod error;
 pub mod fmtutil;
 pub mod ledger;
+pub mod mix;
 pub mod perf;
 pub mod pricing;
 #[cfg(test)]
 mod proptests;
+pub mod retry;
 pub mod row;
 pub mod schema;
 pub mod value;
@@ -39,6 +44,7 @@ pub use error::{Error, Result};
 pub use ledger::CostLedger;
 pub use perf::{PerfModel, PhaseStats};
 pub use pricing::{CostBreakdown, Pricing};
+pub use retry::RetryPolicy;
 pub use row::Row;
 pub use schema::{Field, Schema};
 pub use value::{DataType, Value};

@@ -1,0 +1,49 @@
+//! Deterministic, dependency-free hashing/mixing primitives shared by
+//! the seeded subsystems.
+//!
+//! The store's fault plan, the workload generator's query mix and the
+//! chaos salts all derive from **one** pair of functions, so seed-replay
+//! documentation ("install the same plan, scope with the same salt")
+//! stays true by construction — a change here changes every consumer in
+//! lockstep rather than silently desynchronizing them.
+
+/// SplitMix64 — the standard 64-bit finalizer. Bijective, so distinct
+/// inputs keep distinct outputs.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a byte stream (64-bit).
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        // A tiny avalanche check: flipping one input bit flips many
+        // output bits.
+        let d = (splitmix64(42) ^ splitmix64(43)).count_ones();
+        assert!(d > 16, "avalanche too weak: {d} bits");
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vector() {
+        // Known FNV-1a 64 test vector: "a" → 0xaf63dc4c8601ec8c.
+        assert_eq!(fnv1a(*b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a([]), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,78 @@
+//! The one retry policy every request path shares.
+//!
+//! Transient service faults ([`crate::Error::ServiceFault`]) are the only
+//! retryable failure. Whole-object GETs, byte-range GETs, multi-range GETs
+//! and S3 Select requests all retry under the *same* bounded-backoff
+//! policy, so fault-tolerance behaviour cannot diverge per path. Backoff
+//! is deterministic (no jitter) and is charged to the store's **virtual
+//! clock**, not the wall clock — chaos runs stay fast and reproducible.
+//!
+//! Every attempt (including failed ones) bills one request on the ledger,
+//! exactly as AWS would: a retried query costs more requests than a clean
+//! one, and the accounting shows it.
+
+/// Bounded exponential backoff retry for transient faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try + retries). Clamped to ≥ 1 at use sites.
+    pub max_attempts: u32,
+    /// Virtual seconds slept before the first retry.
+    pub base_backoff_s: f64,
+    /// Cap on any single backoff, virtual seconds.
+    pub max_backoff_s: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_s: 0.05,
+            max_backoff_s: 1.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` and the default backoff shape.
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            ..Default::default()
+        }
+    }
+
+    /// Virtual seconds to back off before attempt number `attempt`
+    /// (1-based; attempt 0 is the initial try and never waits):
+    /// `min(base · 2^(attempt-1), max)`.
+    pub fn backoff_before(&self, attempt: u32) -> f64 {
+        if attempt == 0 {
+            return 0.0;
+        }
+        let exp = (attempt - 1).min(60);
+        (self.base_backoff_s * (1u64 << exp) as f64).min(self.max_backoff_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_bounded_exponential() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_before(0), 0.0);
+        assert!((p.backoff_before(1) - 0.05).abs() < 1e-12);
+        assert!((p.backoff_before(2) - 0.10).abs() < 1e-12);
+        assert!((p.backoff_before(3) - 0.20).abs() < 1e-12);
+        // Caps at max_backoff_s.
+        assert_eq!(p.backoff_before(30), p.max_backoff_s);
+        assert_eq!(p.backoff_before(300), p.max_backoff_s);
+    }
+
+    #[test]
+    fn with_attempts_keeps_backoff_shape() {
+        let p = RetryPolicy::with_attempts(7);
+        assert_eq!(p.max_attempts, 7);
+        assert_eq!(p.base_backoff_s, RetryPolicy::default().base_backoff_s);
+    }
+}

@@ -68,6 +68,7 @@ impl FilterQuery {
 /// batch is filtered (and projected) as it arrives, so only the matches
 /// are ever resident.
 pub fn server_side(ctx: &QueryContext, q: &FilterQuery) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let pred = Binder::new(&q.table.schema).bind_expr(&q.predicate)?;
     let proj_idx = match &q.projection {
         None => None,
@@ -98,11 +99,13 @@ pub fn server_side(ctx: &QueryContext, q: &FilterQuery) -> Result<QueryOutput> {
         schema,
         rows,
         metrics,
+        billed: ctx.billed(),
     })
 }
 
 /// S3-side filter: predicate and projection pushed into S3 Select.
 pub fn s3_side(ctx: &QueryContext, q: &FilterQuery) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let scan = select_scan(ctx, &q.table, &q.stmt())?;
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("s3-side filter", scan.stats);
@@ -110,6 +113,7 @@ pub fn s3_side(ctx: &QueryContext, q: &FilterQuery) -> Result<QueryOutput> {
         schema: scan.schema,
         rows: scan.rows,
         metrics,
+        billed: ctx.billed(),
     })
 }
 
@@ -119,6 +123,7 @@ pub fn s3_side(ctx: &QueryContext, q: &FilterQuery) -> Result<QueryOutput> {
 ///
 /// The predicate must reference only the indexed column.
 pub fn indexed(ctx: &QueryContext, idx: &IndexTable, q: &FilterQuery) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     // Validate the predicate touches only the indexed column, then rewrite
     // it onto the index table's `value` column.
     let mut refs = Vec::new();
@@ -165,7 +170,7 @@ pub fn indexed(ctx: &QueryContext, idx: &IndexTable, q: &FilterQuery) -> Result<
             &idx.index.schema,
             idx.index.format,
         )?;
-        phase1.requests += 1;
+        phase1.requests += u64::from(resp.stats.attempts.max(1));
         phase1.s3_scanned_bytes += resp.stats.bytes_scanned;
         phase1.select_returned_bytes += resp.stats.bytes_returned;
         phase1.expr_terms = phase1.expr_terms.max(resp.stats.expr_terms);
@@ -180,10 +185,15 @@ pub fn indexed(ctx: &QueryContext, idx: &IndexTable, q: &FilterQuery) -> Result<
     let mut phase2 = PhaseStats::default();
     let mut rows: Vec<Row> = Vec::with_capacity(ranges.len());
     for (p, first, last) in &ranges {
-        let slice = ctx
-            .store
-            .get_object_range(&idx.data.bucket, &data_parts[*p], *first, *last)?;
-        phase2.point_requests += 1;
+        let fetched = ctx.store.get_object_range_with(
+            &idx.data.bucket,
+            &data_parts[*p],
+            *first,
+            *last,
+            &ctx.retry,
+        )?;
+        let slice = fetched.value;
+        phase2.point_requests += u64::from(fetched.attempts);
         phase2.plain_bytes += slice.len() as u64;
         phase2.server_cpu_units += 1;
         let line = std::str::from_utf8(&slice)
@@ -227,6 +237,7 @@ pub fn indexed(ctx: &QueryContext, idx: &IndexTable, q: &FilterQuery) -> Result<
         schema,
         rows,
         metrics,
+        billed: ctx.billed(),
     })
 }
 

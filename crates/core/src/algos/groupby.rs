@@ -118,6 +118,7 @@ fn streamed_group_aggregate(
 /// Scan batches are filtered and folded into the group accumulators as
 /// they arrive; only the groups themselves are ever resident.
 pub fn server_side(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let bound = match &q.predicate {
         Some(p) => Some(Binder::new(&q.table.schema).bind_expr(p)?),
         None => None,
@@ -140,6 +141,7 @@ pub fn server_side(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> 
         schema: q.output_schema()?,
         rows: out,
         metrics,
+        billed: ctx.billed(),
     })
 }
 
@@ -147,6 +149,7 @@ pub fn server_side(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> 
 /// aggregation local — streamed. "Filtered group-by loads only the four
 /// columns on which aggregation is performed" (paper §VI-C1).
 pub fn filtered(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let cols = q.needed_cols();
     let stmt = SelectStmt {
         items: cols
@@ -167,6 +170,7 @@ pub fn filtered(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
         schema: q.output_schema()?,
         rows: out,
         metrics,
+        billed: ctx.billed(),
     })
 }
 
@@ -255,6 +259,7 @@ fn case_when_aggregate(
 /// S3-side group-by (paper §VI-A): distinct groups first, then one pushed
 /// CASE-WHEN aggregate per (group, aggregate).
 pub fn s3_side(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     // ---- Phase 1: project the group columns, find distinct values.
     let stmt = SelectStmt {
         items: q
@@ -308,6 +313,7 @@ pub fn s3_side(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
         schema: q.output_schema()?,
         rows,
         metrics,
+        billed: ctx.billed(),
     })
 }
 
@@ -340,6 +346,7 @@ impl Default for HybridOptions {
 /// Hybrid group-by (paper §VI-B). Only single-column grouping is
 /// supported (as in the paper's workloads).
 pub fn hybrid(ctx: &QueryContext, q: &GroupByQuery, opts: HybridOptions) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     if q.group_cols.len() != 1 {
         return Err(Error::Bind(
             "hybrid group-by supports a single grouping column".into(),
@@ -396,6 +403,7 @@ pub fn hybrid(ctx: &QueryContext, q: &GroupByQuery, opts: HybridOptions) -> Resu
             schema: rest.schema,
             rows: rest.rows,
             metrics,
+            billed: ctx.billed(),
         });
     }
 
@@ -446,6 +454,7 @@ pub fn hybrid(ctx: &QueryContext, q: &GroupByQuery, opts: HybridOptions) -> Resu
         schema: q.output_schema()?,
         rows,
         metrics,
+        billed: ctx.billed(),
     })
 }
 

@@ -163,6 +163,7 @@ fn plain_scan_filtered(
 /// Baseline join: full plain loads of both tables, all work local. The
 /// two loads stream concurrently, filtering batch-at-a-time.
 pub fn baseline(ctx: &QueryContext, q: &JoinQuery) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let ((left, left_filter), (right, right_filter)) = parallel_scans(
         || plain_scan_filtered(ctx, &q.left, q.left_pred.as_ref()),
         || plain_scan_filtered(ctx, &q.right, q.right_pred.as_ref()),
@@ -183,11 +184,13 @@ pub fn baseline(ctx: &QueryContext, q: &JoinQuery) -> Result<QueryOutput> {
         schema,
         rows,
         metrics,
+        billed: ctx.billed(),
     })
 }
 
 /// Filtered join: predicates + projections pushed to S3, join local.
 pub fn filtered(ctx: &QueryContext, q: &JoinQuery) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let left_cols = JoinQuery::needed(&q.left_proj, &q.left_key);
     let right_cols = JoinQuery::needed(&q.right_proj, &q.right_key);
     let left_stmt = JoinQuery::select_stmt(&left_cols, q.left_pred.as_ref());
@@ -211,6 +214,7 @@ pub fn filtered(ctx: &QueryContext, q: &JoinQuery) -> Result<QueryOutput> {
         schema,
         rows,
         metrics,
+        billed: ctx.billed(),
     })
 }
 
@@ -236,6 +240,7 @@ pub fn bloom_with_outcome(
     q: &JoinQuery,
     fpr: f64,
 ) -> Result<(QueryOutput, BloomOutcome)> {
+    let ctx = &ctx.scoped();
     // ---- Build phase: load the (filtered, projected) build side.
     let left_cols = JoinQuery::needed(&q.left_proj, &q.left_key);
     let left_stmt = JoinQuery::select_stmt(&left_cols, q.left_pred.as_ref());
@@ -308,6 +313,7 @@ pub fn bloom_with_outcome(
             schema,
             rows,
             metrics,
+            billed: ctx.billed(),
         },
         outcome,
     ))

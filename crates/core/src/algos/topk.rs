@@ -53,6 +53,7 @@ pub fn optimal_sample_size(k: usize, n: u64, alpha: f64) -> usize {
 /// batches feed the K-heap directly, so at most K rows plus one batch
 /// are resident at any moment.
 pub fn server_side(ctx: &QueryContext, q: &TopKQuery) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let col = q.table.schema.resolve(&q.order_col)?;
     let mut op_stats = PhaseStats::default();
     let mut heap = ops::TopKAccumulator::new(col, q.k, q.asc);
@@ -69,6 +70,7 @@ pub fn server_side(ctx: &QueryContext, q: &TopKQuery) -> Result<QueryOutput> {
         schema: summary.schema,
         rows,
         metrics,
+        billed: ctx.billed(),
     })
 }
 
@@ -80,6 +82,7 @@ pub fn sampling(
     q: &TopKQuery,
     sample_size: Option<usize>,
 ) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let alpha = 1.0 / q.table.schema.len().max(1) as f64;
     let s = sample_size
         .unwrap_or_else(|| optimal_sample_size(q.k, q.table.row_count, alpha))
@@ -159,6 +162,7 @@ pub fn sampling(
         schema: summary.schema,
         rows,
         metrics,
+        billed: ctx.billed(),
     })
 }
 

@@ -52,6 +52,7 @@ pub fn indexed_multirange(
     idx: &IndexTable,
     q: &FilterQuery,
 ) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let mut refs = Vec::new();
     q.predicate.referenced_columns(&mut refs);
     if !(refs.len() == 1 && refs[0].eq_ignore_ascii_case(&idx.column)) {
@@ -90,7 +91,7 @@ pub fn indexed_multirange(
             &idx.index.schema,
             idx.index.format,
         )?;
-        phase1.requests += 1;
+        phase1.requests += u64::from(resp.stats.attempts.max(1));
         phase1.s3_scanned_bytes += resp.stats.bytes_scanned;
         phase1.select_returned_bytes += resp.stats.bytes_returned;
         for row in resp.rows()? {
@@ -104,11 +105,14 @@ pub fn indexed_multirange(
     let mut rows: Vec<Row> = Vec::new();
     for (p, ranges) in per_partition.iter().enumerate() {
         for batch in ranges.chunks(RANGES_PER_REQUEST) {
-            let slices = ctx
-                .store
-                .get_object_ranges(&idx.data.bucket, &data_parts[p], batch)?;
-            phase2.point_requests += 1;
-            for slice in slices {
+            let fetched = ctx.store.get_object_ranges_with(
+                &idx.data.bucket,
+                &data_parts[p],
+                batch,
+                &ctx.retry,
+            )?;
+            phase2.point_requests += u64::from(fetched.attempts);
+            for slice in fetched.value {
                 phase2.plain_bytes += slice.len() as u64;
                 phase2.server_cpu_units += 1;
                 let line = std::str::from_utf8(&slice)
@@ -131,6 +135,7 @@ pub fn indexed_multirange(
         schema,
         rows,
         metrics,
+        billed: ctx.billed(),
     })
 }
 
@@ -138,6 +143,7 @@ pub fn indexed_multirange(
 /// service — one `select_indexed` request per partition, no per-row GETs
 /// at all.
 pub fn indexed_in_s3(ctx: &QueryContext, idx: &IndexTable, q: &FilterQuery) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let mut refs = Vec::new();
     q.predicate.referenced_columns(&mut refs);
     if !(refs.len() == 1 && refs[0].eq_ignore_ascii_case(&idx.column)) {
@@ -162,7 +168,7 @@ pub fn indexed_in_s3(ctx: &QueryContext, idx: &IndexTable, q: &FilterQuery) -> R
             &idx.data.schema,
             &pred,
         )?;
-        stats.requests += 1;
+        stats.requests += u64::from(resp.stats.attempts.max(1));
         stats.s3_scanned_bytes += resp.stats.bytes_scanned;
         stats.select_returned_bytes += resp.stats.bytes_returned;
         stats.server_cpu_units += resp.stats.records_returned;
@@ -176,6 +182,7 @@ pub fn indexed_in_s3(ctx: &QueryContext, idx: &IndexTable, q: &FilterQuery) -> R
         schema,
         rows,
         metrics,
+        billed: ctx.billed(),
     })
 }
 
@@ -203,6 +210,7 @@ fn apply_projection(
 /// under the 256 KB limit still fit. Mirrors
 /// [`crate::algos::join::bloom`] otherwise.
 pub fn bloom_binary(ctx: &QueryContext, q: &JoinQuery, fpr: f64) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let engine = extended_engine(ctx);
     // Build side.
     let left_cols = {
@@ -278,7 +286,7 @@ pub fn bloom_binary(ctx: &QueryContext, q: &JoinQuery, fpr: f64) -> Result<Query
                     &q.right.schema,
                     q.right.format,
                 )?;
-                stats.requests += 1;
+                stats.requests += u64::from(resp.stats.attempts.max(1));
                 stats.s3_scanned_bytes += resp.stats.bytes_scanned;
                 stats.select_returned_bytes += resp.stats.bytes_returned;
                 stats.server_cpu_units += resp.stats.records_returned;
@@ -358,6 +366,7 @@ pub fn bloom_binary(ctx: &QueryContext, q: &JoinQuery, fpr: f64) -> Result<Query
         schema,
         rows,
         metrics,
+        billed: ctx.billed(),
     })
 }
 
@@ -365,6 +374,7 @@ pub fn bloom_binary(ctx: &QueryContext, q: &JoinQuery, fpr: f64) -> Result<Query
 /// per partition, merged on the compute node. No distinct phase, no
 /// CASE-WHEN chains (compare with [`crate::algos::groupby::s3_side`]).
 pub fn s3_native_groupby(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let engine = extended_engine(ctx);
     // Build the extended statement: group cols, then aggregates with AVG
     // decomposed so partials merge.
@@ -420,7 +430,7 @@ pub fn s3_native_groupby(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOu
     for key in q.table.partitions(&ctx.store) {
         let resp =
             engine.select_grouped(&q.table.bucket, &key, &ext, &q.table.schema, q.table.format)?;
-        stats.requests += 1;
+        stats.requests += u64::from(resp.stats.attempts.max(1));
         stats.s3_scanned_bytes += resp.stats.bytes_scanned;
         stats.select_returned_bytes += resp.stats.bytes_returned;
         stats.server_cpu_units += resp.stats.records_returned;
@@ -468,6 +478,7 @@ pub fn s3_native_groupby(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOu
         schema: q.output_schema()?,
         rows,
         metrics,
+        billed: ctx.billed(),
     })
 }
 

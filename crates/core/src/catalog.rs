@@ -377,11 +377,10 @@ mod tests {
     fn probe_refresh_approximates_load_time_stats_and_is_metered() {
         let store = S3Store::new();
         let t = upload_csv_table(&store, "b", "t", &schema(), &rows(1000), 100).unwrap();
-        let ctx = crate::context::QueryContext::new(store);
-        ctx.store.ledger().reset();
+        let ctx = crate::context::QueryContext::new(store).scoped();
         let probed = probe_stats(&ctx, &t, 200).unwrap();
         // The probe is billed like any query.
-        let billed = ctx.store.ledger().snapshot();
+        let billed = ctx.billed();
         assert!(billed.requests > 0 && billed.select_returned_bytes > 0);
         // Row count comes from the catalog, not the sample.
         assert_eq!(probed.row_count, 1000);

@@ -1,8 +1,21 @@
 //! Query execution context: the store, the Select engine, and the models.
+//!
+//! # Concurrency & scoping
+//!
+//! One `QueryContext` (and the engine inside it) is safely shared by many
+//! concurrent queries. Each query runs against a **scoped** context
+//! ([`QueryContext::scoped`]): the scope's store handle bills a
+//! [`CostLedger`](pushdown_common::CostLedger) *child* that rolls up
+//! atomically into the store-global ledger, so per-query accounting is
+//! exact under any interleaving — no resets, no snapshot deltas. Every
+//! planner entry point and algorithm family scopes itself, so callers get
+//! correct per-query bills ([`crate::output::QueryOutput::billed`])
+//! without doing anything.
 
 use pushdown_bloom::BloomBuilder;
 use pushdown_common::perf::{PerfModel, PerfParams};
-use pushdown_common::pricing::Pricing;
+use pushdown_common::pricing::{Pricing, Usage};
+use pushdown_common::RetryPolicy;
 use pushdown_s3::S3Store;
 use pushdown_select::S3SelectEngine;
 
@@ -21,8 +34,10 @@ pub struct QueryContext {
     /// scans hold `O(scan_threads × batch_rows)` rows in flight instead
     /// of materializing whole tables.
     pub batch_rows: usize,
-    /// Retry attempts for transient store faults.
-    pub max_attempts: u32,
+    /// The uniform bounded-backoff retry policy for transient store
+    /// faults — applied identically to whole-object GETs, range GETs,
+    /// multi-range GETs and Select requests.
+    pub retry: RetryPolicy,
 }
 
 impl QueryContext {
@@ -38,8 +53,49 @@ impl QueryContext {
                 .map(|n| n.get().min(16))
                 .unwrap_or(4),
             batch_rows: 1024,
-            max_attempts: 3,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// A context for one query: same objects, models and engine
+    /// configuration, but billing to a fresh child ledger (rolling up into
+    /// this context's ledger and the store-global one), with its own
+    /// virtual clock and fault stream. Scoping composes — a scope of a
+    /// scope rolls up through the chain.
+    pub fn scoped(&self) -> QueryContext {
+        let store = self.store.scoped();
+        self.rebound(store)
+    }
+
+    /// [`QueryContext::scoped`] with an explicit chaos salt: a workload
+    /// giving query *i* salt *i* gets per-query-independent, reproducible
+    /// fault streams from a single [`pushdown_s3::FaultPlan`] seed.
+    pub fn scoped_with_salt(&self, salt: u64) -> QueryContext {
+        let store = self.store.scoped_with_salt(salt);
+        self.rebound(store)
+    }
+
+    fn rebound(&self, store: S3Store) -> QueryContext {
+        // Re-sync the engine onto the scoped store (so Select billing hits
+        // the child ledger) and onto the context's current retry policy.
+        let engine = self.engine.rebound(store.clone()).with_retry(self.retry);
+        QueryContext {
+            store,
+            engine,
+            ..self.clone()
+        }
+    }
+
+    /// What this context's scope has billed so far. On a scope made by
+    /// [`QueryContext::scoped`] this is exactly the per-query usage.
+    pub fn billed(&self) -> Usage {
+        self.store.ledger().snapshot()
+    }
+
+    /// Virtual seconds this scope's store traffic has accumulated (zero
+    /// unless a [`pushdown_s3::FaultPlan`] is installed).
+    pub fn virtual_time_s(&self) -> f64 {
+        self.store.virtual_time_s()
     }
 
     /// Override the streaming batch capacity (rows per batch, ≥ 1).
@@ -57,6 +113,13 @@ impl QueryContext {
         self.pricing = pricing;
         self
     }
+
+    /// Override the retry policy (engine and GET paths alike).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self.engine = self.engine.clone().with_retry(retry);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -67,9 +130,50 @@ mod tests {
     fn construction_defaults() {
         let ctx = QueryContext::new(S3Store::new());
         assert!(ctx.scan_threads >= 1);
-        assert_eq!(ctx.max_attempts, 3);
+        assert_eq!(ctx.retry, RetryPolicy::default());
         assert_eq!(ctx.batch_rows, 1024);
         assert_eq!(ctx.pricing, Pricing::us_east());
         assert_eq!(ctx.with_batch_rows(0).batch_rows, 1);
+    }
+
+    #[test]
+    fn scoped_contexts_bill_child_ledgers_that_roll_up() {
+        let store = S3Store::new();
+        store.put_object("b", "t/x.csv", "a\n1\n");
+        let ctx = QueryContext::new(store);
+        let q1 = ctx.scoped();
+        let q2 = ctx.scoped();
+        q1.store.get_object("b", "t/x.csv").unwrap();
+        q2.store.get_object("b", "t/x.csv").unwrap();
+        q2.store.get_object("b", "t/x.csv").unwrap();
+        assert_eq!(q1.billed().requests, 1);
+        assert_eq!(q2.billed().requests, 2);
+        assert_eq!(ctx.billed().requests, 3, "children roll up to the root");
+        // The scoped engine bills the scope too.
+        let schema = pushdown_common::Schema::from_pairs(&[("a", pushdown_common::DataType::Int)]);
+        let q3 = ctx.scoped();
+        q3.engine
+            .select(
+                "b",
+                "t/x.csv",
+                "SELECT a FROM S3Object",
+                &schema,
+                pushdown_select::InputFormat::Csv,
+            )
+            .unwrap();
+        assert_eq!(q3.billed().requests, 1);
+        assert!(q3.billed().select_scanned_bytes > 0);
+        assert_eq!(q1.billed().requests, 1, "sibling scopes stay isolated");
+        assert_eq!(ctx.billed().requests, 4);
+    }
+
+    #[test]
+    fn retry_policy_propagates_to_scoped_engines() {
+        let ctx = QueryContext::new(S3Store::new());
+        let mut custom = ctx.clone();
+        custom.retry = RetryPolicy::with_attempts(9);
+        let scoped = custom.scoped();
+        assert_eq!(scoped.engine.retry().max_attempts, 9);
+        assert_eq!(scoped.retry.max_attempts, 9);
     }
 }

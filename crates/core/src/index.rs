@@ -146,9 +146,9 @@ mod tests {
     #[test]
     fn index_build_is_unmetered() {
         let (ctx, t) = setup();
-        ctx.store.ledger().reset();
-        build_index(&ctx, &t, "k").unwrap();
-        assert_eq!(ctx.store.ledger().snapshot().requests, 0);
+        let scope = ctx.scoped();
+        build_index(&scope, &t, "k").unwrap();
+        assert_eq!(scope.billed().requests, 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::context::QueryContext;
 use crate::metrics::QueryMetrics;
-use pushdown_common::pricing::CostBreakdown;
+use pushdown_common::pricing::{CostBreakdown, Usage};
 use pushdown_common::{Row, Schema};
 
 /// The result of one query execution under one algorithm.
@@ -12,6 +12,11 @@ pub struct QueryOutput {
     pub schema: Schema,
     pub rows: Vec<Row>,
     pub metrics: QueryMetrics,
+    /// What this query actually billed on its scoped child ledger —
+    /// exact even when other queries run concurrently on the same store
+    /// (the child rolls up into the global ledger; see
+    /// [`pushdown_common::CostLedger::child`]).
+    pub billed: Usage,
 }
 
 impl QueryOutput {
@@ -23,5 +28,11 @@ impl QueryOutput {
     /// Dollar cost under the context's models.
     pub fn cost(&self, ctx: &QueryContext) -> CostBreakdown {
         self.metrics.cost(&ctx.model, &ctx.pricing)
+    }
+
+    /// Dollar cost computed from the *billed* ledger usage (rather than
+    /// the phase metrics) — what the AWS bill would say for this query.
+    pub fn billed_cost(&self, ctx: &QueryContext) -> CostBreakdown {
+        ctx.pricing.cost(&self.billed, self.runtime(ctx))
     }
 }

@@ -185,6 +185,18 @@ impl Explain {
                 out.metrics.cost(&ctx.model, &ctx.pricing).total(),
             );
         }
+        // The per-query child ledger — what AWS would bill this query,
+        // exact even with other queries running concurrently.
+        let b = out.billed;
+        let _ = writeln!(
+            s,
+            "ledger: billed   {} req / {} scanned / {} returned / {} plain (${:.6})",
+            b.requests,
+            b.select_scanned_bytes,
+            b.select_returned_bytes,
+            b.plain_bytes,
+            out.billed_cost(ctx).total(),
+        );
         s
     }
 }
@@ -279,6 +291,22 @@ fn plan_and_run(
     spec: &QuerySpec,
     strategy: Strategy,
 ) -> Result<(QueryOutput, Explain)> {
+    // One scope per query: everything below — estimator probes, the
+    // chosen algorithm, planner-level scans — bills a child ledger that
+    // rolls up into the store-global one, so `QueryOutput::billed` is
+    // exact even when many queries share this context concurrently.
+    let ctx = &ctx.scoped();
+    let (mut out, explain) = plan_and_run_scoped(ctx, table, spec, strategy)?;
+    out.billed = ctx.billed();
+    Ok((out, explain))
+}
+
+fn plan_and_run_scoped(
+    ctx: &QueryContext,
+    table: &Table,
+    spec: &QuerySpec,
+    strategy: Strategy,
+) -> Result<(QueryOutput, Explain)> {
     // ---- ORDER BY ... LIMIT k → top-K (§VII).
     if let Some(order) = &spec.order_by {
         if !spec.group_by.is_empty() {
@@ -362,6 +390,7 @@ fn plan_and_run(
         };
         let out = match choice.algorithm {
             "s3-side" => {
+                let ctx = &ctx.scoped();
                 let scan = select_scan(ctx, table, &spec.select)?;
                 let mut metrics = QueryMetrics::new();
                 metrics.push_serial("s3-side aggregation", scan.stats);
@@ -369,6 +398,7 @@ fn plan_and_run(
                     schema: scan.schema,
                     rows: scan.rows,
                     metrics,
+                    billed: ctx.billed(),
                 }
             }
             _ => local_aggregate(ctx, table, &spec.select)?,
@@ -479,6 +509,7 @@ fn groupby_query(table: &Table, spec: &QuerySpec) -> Result<groupby::GroupByQuer
 /// locally — streamed. Scan batches fold straight into the accumulators;
 /// only the accumulators are resident.
 fn local_aggregate(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let binder = Binder::new(&table.schema);
     let pred = match &stmt.where_clause {
         Some(w) => Some(binder.bind_expr(w)?),
@@ -536,6 +567,7 @@ fn local_aggregate(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Resu
         schema: Schema::new(fields),
         rows: vec![row],
         metrics,
+        billed: ctx.billed(),
     })
 }
 

@@ -270,11 +270,12 @@ pub fn plain_scan_streamed(
         ctx,
         &keys,
         |key, emitter| {
-            let data = ctx
-                .store
-                .get_object_retrying(&table.bucket, key, ctx.max_attempts)?;
+            let fetched = ctx.store.get_object_with(&table.bucket, key, &ctx.retry)?;
+            let data = fetched.value;
             let mut part = PhaseStats {
-                requests: 1,
+                // Every retried attempt billed a request; meter them all so
+                // metrics agree with the ledger even under injected faults.
+                requests: u64::from(fetched.attempts),
                 plain_bytes: data.len() as u64,
                 ..Default::default()
             };
@@ -326,7 +327,8 @@ enum MergeKind {
 }
 
 fn accumulate_response(stats: &mut PhaseStats, resp: &pushdown_select::SelectResponse) {
-    stats.requests += 1;
+    // attempts ≥ 1; each billed one ledger request (retries included).
+    stats.requests += u64::from(resp.stats.attempts.max(1));
     stats.s3_scanned_bytes += resp.stats.bytes_scanned;
     stats.select_returned_bytes += resp.stats.bytes_returned;
     stats.server_cpu_units += resp.stats.records_returned;
@@ -865,10 +867,15 @@ mod tests {
 
     #[test]
     fn scan_survives_transient_faults() {
-        let (ctx, t) = ctx_with_table(100, 50);
-        ctx.store.inject_faults(2);
+        let (mut ctx, t) = ctx_with_table(100, 50);
+        ctx.store
+            .set_fault_plan(Some(pushdown_s3::FaultPlan::new(5, 0.4)));
+        ctx.retry = pushdown_common::RetryPolicy::with_attempts(16);
         let r = plain_scan(&ctx, &t).unwrap();
         assert_eq!(r.rows.len(), 100);
+        // Retried attempts are metered as extra requests (2 partitions).
+        assert!(r.stats.requests >= 2);
+        assert_eq!(r.stats.requests, ctx.billed().requests);
     }
 
     #[test]

@@ -13,38 +13,217 @@
 //! * `PUT` for data loading ([`S3Store::put_object`]),
 //! * listing by prefix ([`S3Store::list_objects`]) for partitioned tables.
 //!
-//! Every client-visible request is metered on a shared
-//! [`pushdown_common::CostLedger`] with AWS-bill semantics:
-//! plain GETs count a request plus transferred bytes (free in-region, but
+//! # Scoped accounting
+//!
+//! Every client-visible request is metered with AWS-bill semantics: plain
+//! GETs count a request plus transferred bytes (free in-region, but
 //! tracked); the S3 Select engine (crate `pushdown-select`) reads object
 //! bytes through [`S3Store::raw_object`], which is *storage-internal* and
 //! deliberately unmetered — Select traffic is billed by that engine as
 //! scanned/returned bytes instead.
 //!
-//! Deterministic fault injection ([`S3Store::inject_faults`]) lets tests
-//! exercise retry paths.
+//! A store handle bills the ledger of its **scope**. The root handle's
+//! scope is the store-global ledger; [`S3Store::scoped`] derives a handle
+//! whose ledger is a [`CostLedger::child`] of the current scope, so every
+//! addition rolls up atomically into the global bill while the scope keeps
+//! its own exact per-query figure. Scopes also carry a **virtual clock**
+//! (request latency, byte transfer time and retry backoff in simulated
+//! seconds, [`S3Store::virtual_time_s`]) and an independent fault stream.
+//!
+//! # Deterministic chaos
+//!
+//! Fault injection is a seeded per-request policy ([`FaultPlan`]), not a
+//! countdown: whether a request faults is a **pure function** of
+//! `(plan.seed, scope salt, object key, per-key request ordinal)`. The
+//! per-key ordinal counts requests a scope has issued against that key, so
+//! fault sites do not depend on thread interleaving — the same seed
+//! produces the same faults whether a query runs alone or among dozens
+//! (concurrent requests within a scope always target distinct keys; only
+//! retries and sequential re-reads revisit one). A chaos failure printed
+//! as `seed=S salt=A key=K ordinal=N` is reproducible by re-running with
+//! the same plan and scope salt.
+//!
+//! Transient faults are retried under the workspace-wide
+//! [`RetryPolicy`] — uniformly for whole-object GETs, range GETs,
+//! multi-range GETs, and (in `pushdown-select`) Select requests. Every
+//! attempt bills one request; backoff advances the virtual clock only.
 
 use bytes::Bytes;
-use parking_lot::RwLock;
-use pushdown_common::{CostLedger, Error, Result};
-use std::collections::BTreeMap;
+use parking_lot::{Mutex, RwLock};
+use pushdown_common::mix::{fnv1a, splitmix64};
+use pushdown_common::perf::PerfParams;
+use pushdown_common::{CostLedger, Error, Result, RetryPolicy};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Handle to the simulated store. Cloning shares the underlying state.
-#[derive(Clone, Default)]
-pub struct S3Store {
-    inner: Arc<Inner>,
+/// Deterministic fault + latency model applied to every request.
+///
+/// * `seed` / `fault_prob` — request `(key, ordinal)` under scope salt `a`
+///   faults iff `mix(seed, a, key, ordinal)` maps below `fault_prob`
+///   (see [`FaultPlan::faults`]); faults surface as retryable
+///   [`Error::ServiceFault`]s *before* any byte is scanned or returned.
+/// * `latency` — per-request virtual latency derived from the bytes a
+///   request scans and moves: `request_latency + scanned/s3_scan_bw +
+///   wire_bytes/net_bw`, charged to the scope's virtual clock.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Chaos seed. Same seed ⇒ same fault sites, regardless of threading.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that any single request attempt faults.
+    pub fault_prob: f64,
+    /// Bandwidth/latency constants the virtual clock charges with.
+    pub latency: PerfParams,
 }
 
-#[derive(Default)]
+impl FaultPlan {
+    /// A plan with the default latency model.
+    pub fn new(seed: u64, fault_prob: f64) -> Self {
+        FaultPlan {
+            seed,
+            fault_prob,
+            latency: PerfParams::default(),
+        }
+    }
+
+    /// Pure fault function: does request number `ordinal` against
+    /// `key_hash` fault under scope `salt`? Deterministic for any thread
+    /// interleaving — nothing here reads mutable state.
+    pub fn faults(&self, salt: u64, key_hash: u64, ordinal: u64) -> bool {
+        if self.fault_prob <= 0.0 {
+            return false;
+        }
+        if self.fault_prob >= 1.0 {
+            return true;
+        }
+        let h = splitmix64(
+            self.seed
+                ^ salt.rotate_left(17)
+                ^ key_hash.rotate_left(31)
+                ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        // Map to [0,1) with 53-bit precision.
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.fault_prob
+    }
+
+    /// Virtual seconds one request costs given the bytes it scanned
+    /// storage-side and the bytes it put on the wire.
+    pub fn request_seconds(&self, scanned: u64, wire: u64) -> f64 {
+        self.latency.request_latency
+            + scanned as f64 / self.latency.s3_scan_bw
+            + wire as f64 / self.latency.net_bw
+    }
+}
+
+fn key_hash(bucket: &str, key: &str) -> u64 {
+    fnv1a(
+        bucket
+            .bytes()
+            .chain(std::iter::once(b'/'))
+            .chain(key.bytes()),
+    )
+}
+
+/// A value returned by a retrying request helper, carrying how many
+/// attempts (= billed requests) it took.
+#[derive(Debug, Clone)]
+pub struct Retried<T> {
+    pub value: T,
+    /// Total attempts made, including the successful one (≥ 1).
+    pub attempts: u32,
+}
+
+/// One accounting scope: a ledger, a virtual clock, and a fault stream.
+struct Scope {
+    ledger: CostLedger,
+    /// Salt mixed into the fault function — lets a workload give every
+    /// query an independent fault stream from one plan seed.
+    salt: u64,
+    /// Virtual nanoseconds accumulated by requests/transfers/backoff.
+    clock_ns: Arc<AtomicU64>,
+    /// Ancestor clocks (nearest parent first). Like the ledger, every
+    /// advance rolls up the chain, so a query scope observes the time its
+    /// inner algorithm scopes spend.
+    clock_uplinks: Vec<Arc<AtomicU64>>,
+    /// Per-key request ordinals (key hash → requests issued so far).
+    seq: Mutex<HashMap<u64, u64>>,
+}
+
+impl Scope {
+    fn root(ledger: CostLedger, salt: u64) -> Scope {
+        Scope {
+            ledger,
+            salt,
+            clock_ns: Arc::new(AtomicU64::new(0)),
+            clock_uplinks: Vec::new(),
+            seq: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn child(&self, salt: u64) -> Scope {
+        let mut clock_uplinks = Vec::with_capacity(self.clock_uplinks.len() + 1);
+        clock_uplinks.push(Arc::clone(&self.clock_ns));
+        clock_uplinks.extend(self.clock_uplinks.iter().cloned());
+        Scope {
+            ledger: self.ledger.child(),
+            salt,
+            clock_ns: Arc::new(AtomicU64::new(0)),
+            clock_uplinks,
+            seq: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn next_ordinal(&self, key_hash: u64) -> u64 {
+        let mut seq = self.seq.lock();
+        let slot = seq.entry(key_hash).or_insert(0);
+        let ordinal = *slot;
+        *slot += 1;
+        ordinal
+    }
+
+    fn advance(&self, seconds: f64) {
+        if seconds > 0.0 {
+            let ns = (seconds * 1e9) as u64;
+            self.clock_ns.fetch_add(ns, Ordering::Relaxed);
+            for up in &self.clock_uplinks {
+                up.fetch_add(ns, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Handle to the simulated store. Cloning shares the underlying state
+/// *and* the accounting scope; [`S3Store::scoped`] derives a handle with
+/// a fresh child scope.
+#[derive(Clone)]
+pub struct S3Store {
+    inner: Arc<Inner>,
+    scope: Arc<Scope>,
+}
+
 struct Inner {
     /// bucket → key → object bytes. BTreeMap gives ordered, deterministic
     /// listings.
     buckets: RwLock<BTreeMap<String, BTreeMap<String, Bytes>>>,
+    /// The store-global ledger every scope rolls up into.
     ledger: CostLedger,
-    /// Number of upcoming GET requests that will fail (fault injection).
-    pending_faults: AtomicU64,
+    /// Seeded fault/latency policy (None = no faults, zero latency).
+    fault_plan: RwLock<Option<FaultPlan>>,
+}
+
+impl Default for S3Store {
+    fn default() -> Self {
+        let ledger = CostLedger::new();
+        S3Store {
+            inner: Arc::new(Inner {
+                buckets: RwLock::new(BTreeMap::new()),
+                ledger: ledger.clone(),
+                fault_plan: RwLock::new(None),
+            }),
+            scope: Arc::new(Scope::root(ledger, 0)),
+        }
+    }
 }
 
 impl S3Store {
@@ -52,9 +231,137 @@ impl S3Store {
         Self::default()
     }
 
-    /// The ledger every request is billed to.
+    /// The ledger this handle bills to: the store-global ledger for the
+    /// root handle, a per-scope child for handles made by
+    /// [`S3Store::scoped`].
     pub fn ledger(&self) -> &CostLedger {
+        &self.scope.ledger
+    }
+
+    /// The store-global ledger (sum of every scope, always).
+    pub fn global_ledger(&self) -> &CostLedger {
         &self.inner.ledger
+    }
+
+    /// A handle onto the same objects whose billing goes to a fresh
+    /// [`CostLedger::child`] of this handle's ledger, with its own virtual
+    /// clock and fault stream. The scope salt is inherited; see
+    /// [`S3Store::scoped_with_salt`] to change it.
+    pub fn scoped(&self) -> S3Store {
+        self.scoped_with_salt(self.scope.salt)
+    }
+
+    /// [`S3Store::scoped`] with an explicit fault-stream salt — give every
+    /// query of a workload its own salt and one [`FaultPlan`] seed yields
+    /// per-query-independent, reproducible fault streams.
+    pub fn scoped_with_salt(&self, salt: u64) -> S3Store {
+        S3Store {
+            inner: Arc::clone(&self.inner),
+            scope: Arc::new(self.scope.child(salt)),
+        }
+    }
+
+    /// This scope's fault-stream salt.
+    pub fn scope_salt(&self) -> u64 {
+        self.scope.salt
+    }
+
+    /// Install (or clear) the store-wide fault/latency plan.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.inner.fault_plan.write() = plan;
+    }
+
+    /// The currently installed fault/latency plan.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        *self.inner.fault_plan.read()
+    }
+
+    /// Virtual seconds this scope has accumulated: per-request latency,
+    /// byte transfer time and retry backoff under the installed plan's
+    /// latency model. Like the ledger, child scopes roll their time up
+    /// the chain, so a query scope sees the time its inner algorithm
+    /// scopes spend. Zero when no plan is installed.
+    pub fn virtual_time_s(&self) -> f64 {
+        self.scope.clock_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Advance this scope's virtual clock (used for retry backoff; public
+    /// so the Select engine's retry loop charges the same clock).
+    pub fn advance_virtual(&self, seconds: f64) {
+        self.scope.advance(seconds);
+    }
+
+    /// Begin one billable request against `bucket/key`: bill the scope's
+    /// ledger, charge base request latency, and evaluate the deterministic
+    /// fault function. The request is billed even when it faults — AWS
+    /// bills failed GETs too, and retried attempts must show up as extra
+    /// requests.
+    pub fn begin_request(&self, bucket: &str, key: &str) -> Result<()> {
+        self.scope.ledger.add_request();
+        let kh = key_hash(bucket, key);
+        let ordinal = self.scope.next_ordinal(kh);
+        if let Some(plan) = self.fault_plan() {
+            self.scope.advance(plan.latency.request_latency);
+            if plan.faults(self.scope.salt, kh, ordinal) {
+                return Err(Error::ServiceFault(format!(
+                    "injected fault: service unavailable, retry \
+                     (seed={} salt={} key=s3://{bucket}/{key} ordinal={ordinal})",
+                    plan.seed, self.scope.salt,
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Meter Select traffic on this scope's ledger and charge its virtual
+    /// transfer time. Called by the `pushdown-select` engine, which runs
+    /// *inside* the storage service and bills scan/return bytes instead of
+    /// plain transfer.
+    pub fn bill_select(&self, scanned: u64, returned: u64) {
+        self.scope.ledger.add_select_scanned(scanned);
+        self.scope.ledger.add_select_returned(returned);
+        if let Some(plan) = self.fault_plan() {
+            self.scope
+                .advance(plan.request_seconds(scanned, returned) - plan.latency.request_latency);
+        }
+    }
+
+    fn bill_plain(&self, bytes: u64) {
+        self.scope.ledger.add_plain_bytes(bytes);
+        if let Some(plan) = self.fault_plan() {
+            self.scope
+                .advance(plan.request_seconds(0, bytes) - plan.latency.request_latency);
+        }
+    }
+
+    /// Run `op` under the uniform bounded-backoff policy: retryable faults
+    /// are retried up to `policy.max_attempts` total attempts, each backoff
+    /// advancing the virtual clock; non-retryable errors surface at once.
+    /// Every attempt bills whatever `op` bills (for request ops: one
+    /// request each).
+    pub fn with_retry<T>(
+        &self,
+        policy: &RetryPolicy,
+        mut op: impl FnMut() -> Result<T>,
+    ) -> Result<Retried<T>> {
+        let attempts_cap = policy.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts_cap {
+            if attempt > 0 {
+                self.scope.advance(policy.backoff_before(attempt));
+            }
+            match op() {
+                Ok(value) => {
+                    return Ok(Retried {
+                        value,
+                        attempts: attempt + 1,
+                    })
+                }
+                Err(e) if e.is_retryable() => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| Error::Other("retry loop with zero attempts".into())))
     }
 
     /// Create a bucket (idempotent).
@@ -86,24 +393,6 @@ impl S3Store {
             .unwrap_or(false)
     }
 
-    fn check_fault(&self) -> Result<()> {
-        let faults = &self.inner.pending_faults;
-        loop {
-            let n = faults.load(Ordering::Relaxed);
-            if n == 0 {
-                return Ok(());
-            }
-            if faults
-                .compare_exchange(n, n - 1, Ordering::Relaxed, Ordering::Relaxed)
-                .is_ok()
-            {
-                return Err(Error::ServiceFault(
-                    "injected fault: service unavailable, retry".into(),
-                ));
-            }
-        }
-    }
-
     fn lookup(&self, bucket: &str, key: &str) -> Result<Bytes> {
         let buckets = self.inner.buckets.read();
         let b = buckets
@@ -117,10 +406,9 @@ impl S3Store {
     /// Whole-object GET: bills one request and the object's bytes as plain
     /// transfer.
     pub fn get_object(&self, bucket: &str, key: &str) -> Result<Bytes> {
-        self.inner.ledger.add_request();
-        self.check_fault()?;
+        self.begin_request(bucket, key)?;
         let data = self.lookup(bucket, key)?;
-        self.inner.ledger.add_plain_bytes(data.len() as u64);
+        self.bill_plain(data.len() as u64);
         Ok(data)
     }
 
@@ -137,8 +425,7 @@ impl S3Store {
         first: u64,
         last: u64,
     ) -> Result<Bytes> {
-        self.inner.ledger.add_request();
-        self.check_fault()?;
+        self.begin_request(bucket, key)?;
         let data = self.lookup(bucket, key)?;
         let len = data.len() as u64;
         if first >= len {
@@ -153,7 +440,7 @@ impl S3Store {
         }
         let end = (last + 1).min(len);
         let slice = data.slice(first as usize..end as usize);
-        self.inner.ledger.add_plain_bytes(slice.len() as u64);
+        self.bill_plain(slice.len() as u64);
         Ok(slice)
     }
 
@@ -169,11 +456,11 @@ impl S3Store {
         key: &str,
         ranges: &[(u64, u64)],
     ) -> Result<Vec<Bytes>> {
-        self.inner.ledger.add_request();
-        self.check_fault()?;
+        self.begin_request(bucket, key)?;
         let data = self.lookup(bucket, key)?;
         let len = data.len() as u64;
         let mut out = Vec::with_capacity(ranges.len());
+        let mut billed = 0u64;
         for &(first, last) in ranges {
             if first >= len {
                 return Err(Error::InvalidRange(format!(
@@ -187,23 +474,52 @@ impl S3Store {
             }
             let end = (last + 1).min(len);
             let slice = data.slice(first as usize..end as usize);
-            self.inner.ledger.add_plain_bytes(slice.len() as u64);
+            billed += slice.len() as u64;
             out.push(slice);
         }
+        self.bill_plain(billed);
         Ok(out)
     }
 
-    /// Whole-object GET with bounded retry on (injected) transient faults.
+    /// Whole-object GET under the uniform retry policy. The attempt count
+    /// equals the requests billed for it.
+    pub fn get_object_with(
+        &self,
+        bucket: &str,
+        key: &str,
+        policy: &RetryPolicy,
+    ) -> Result<Retried<Bytes>> {
+        self.with_retry(policy, || self.get_object(bucket, key))
+    }
+
+    /// Byte-range GET under the uniform retry policy.
+    pub fn get_object_range_with(
+        &self,
+        bucket: &str,
+        key: &str,
+        first: u64,
+        last: u64,
+        policy: &RetryPolicy,
+    ) -> Result<Retried<Bytes>> {
+        self.with_retry(policy, || self.get_object_range(bucket, key, first, last))
+    }
+
+    /// Multi-range GET under the uniform retry policy.
+    pub fn get_object_ranges_with(
+        &self,
+        bucket: &str,
+        key: &str,
+        ranges: &[(u64, u64)],
+        policy: &RetryPolicy,
+    ) -> Result<Retried<Vec<Bytes>>> {
+        self.with_retry(policy, || self.get_object_ranges(bucket, key, ranges))
+    }
+
+    /// Whole-object GET with bounded retry on transient faults
+    /// (convenience wrapper over [`S3Store::get_object_with`]).
     pub fn get_object_retrying(&self, bucket: &str, key: &str, max_attempts: u32) -> Result<Bytes> {
-        let mut last_err = None;
-        for _ in 0..max_attempts.max(1) {
-            match self.get_object(bucket, key) {
-                Ok(b) => return Ok(b),
-                Err(e) if e.is_retryable() => last_err = Some(e),
-                Err(e) => return Err(e),
-            }
-        }
-        Err(last_err.unwrap_or_else(|| Error::Other("retry loop with zero attempts".into())))
+        self.get_object_with(bucket, key, &RetryPolicy::with_attempts(max_attempts))
+            .map(|r| r.value)
     }
 
     /// Object size without transferring it (HEAD; not billed as a GET).
@@ -251,12 +567,6 @@ impl S3Store {
     /// scan/return bytes by that engine, not as plain transfer).
     pub fn raw_object(&self, bucket: &str, key: &str) -> Result<Bytes> {
         self.lookup(bucket, key)
-    }
-
-    /// Make the next `n` GET requests fail with a retryable
-    /// [`Error::ServiceFault`]. Deterministic, for tests.
-    pub fn inject_faults(&self, n: u64) {
-        self.inner.pending_faults.store(n, Ordering::Relaxed);
     }
 }
 
@@ -331,19 +641,19 @@ mod tests {
     #[test]
     fn multi_range_get_is_one_request() {
         let s = store_with("obj", "0123456789");
-        s.ledger().reset();
-        let parts = s
+        let scope = s.scoped();
+        let parts = scope
             .get_object_ranges("tpch", "obj", &[(0, 1), (4, 6), (9, 9)])
             .unwrap();
         assert_eq!(parts.len(), 3);
         assert_eq!(&parts[0][..], b"01");
         assert_eq!(&parts[1][..], b"456");
         assert_eq!(&parts[2][..], b"9");
-        let u = s.ledger().snapshot();
+        let u = scope.ledger().snapshot();
         assert_eq!(u.requests, 1, "suggestion 1: one request, many ranges");
         assert_eq!(u.plain_bytes, 6);
         // Bad ranges are still rejected.
-        assert!(s
+        assert!(scope
             .get_object_ranges("tpch", "obj", &[(0, 1), (99, 100)])
             .is_err());
     }
@@ -351,9 +661,9 @@ mod tests {
     #[test]
     fn range_get_bills_only_returned_bytes() {
         let s = store_with("obj", "0123456789");
-        s.ledger().reset();
-        s.get_object_range("tpch", "obj", 0, 2).unwrap();
-        let u = s.ledger().snapshot();
+        let scope = s.scoped();
+        scope.get_object_range("tpch", "obj", 0, 2).unwrap();
+        let u = scope.ledger().snapshot();
         assert_eq!(u.plain_bytes, 3);
         assert_eq!(u.requests, 1);
     }
@@ -361,10 +671,10 @@ mod tests {
     #[test]
     fn raw_object_is_unmetered() {
         let s = store_with("obj", "0123456789");
-        s.ledger().reset();
-        let _ = s.raw_object("tpch", "obj").unwrap();
-        assert_eq!(s.ledger().snapshot().requests, 0);
-        assert_eq!(s.ledger().snapshot().plain_bytes, 0);
+        let scope = s.scoped();
+        let _ = scope.raw_object("tpch", "obj").unwrap();
+        assert_eq!(scope.ledger().snapshot().requests, 0);
+        assert_eq!(scope.ledger().snapshot().plain_bytes, 0);
     }
 
     #[test]
@@ -390,20 +700,72 @@ mod tests {
     }
 
     #[test]
+    fn scoped_ledgers_roll_up_into_the_global_bill() {
+        let s = store_with("obj", "payload");
+        let q1 = s.scoped();
+        let q2 = s.scoped();
+        q1.get_object("tpch", "obj").unwrap();
+        q2.get_object("tpch", "obj").unwrap();
+        q2.get_object("tpch", "obj").unwrap();
+        assert_eq!(q1.ledger().snapshot().requests, 1);
+        assert_eq!(q2.ledger().snapshot().requests, 2);
+        // Global = sum of children (plus nothing billed at the root here).
+        let global = s.global_ledger().snapshot();
+        assert_eq!(global.requests, 3);
+        assert_eq!(global.plain_bytes, 21);
+        // The root handle's billing ledger *is* the global one.
+        assert_eq!(s.ledger().snapshot(), global);
+    }
+
+    #[test]
+    fn fault_plan_is_a_pure_function_of_seed_key_ordinal() {
+        let plan = FaultPlan::new(42, 0.3);
+        let kh = key_hash("b", "k");
+        let sites: Vec<bool> = (0..64).map(|o| plan.faults(0, kh, o)).collect();
+        // Deterministic: identical on re-evaluation.
+        let again: Vec<bool> = (0..64).map(|o| plan.faults(0, kh, o)).collect();
+        assert_eq!(sites, again);
+        // Roughly the requested rate (loose bound; it is a hash, not luck).
+        let rate = sites.iter().filter(|f| **f).count();
+        assert!((5..35).contains(&rate), "rate {rate}/64 for prob 0.3");
+        // Different seeds / salts / keys give different streams.
+        let plan2 = FaultPlan::new(43, 0.3);
+        assert_ne!(
+            sites,
+            (0..64).map(|o| plan2.faults(0, kh, o)).collect::<Vec<_>>()
+        );
+        assert_ne!(
+            sites,
+            (0..64).map(|o| plan.faults(1, kh, o)).collect::<Vec<_>>()
+        );
+        // Extremes.
+        assert!(!FaultPlan::new(7, 0.0).faults(0, kh, 0));
+        assert!(FaultPlan::new(7, 1.0).faults(0, kh, 0));
+    }
+
+    #[test]
     fn fault_injection_and_retry() {
         let s = store_with("obj", "payload");
-        s.inject_faults(2);
+        // prob 1.0: every attempt faults; retries exhaust.
+        s.set_fault_plan(Some(FaultPlan::new(1, 1.0)));
+        let err = s.get_object("tpch", "obj").unwrap_err();
+        assert_eq!(err.code(), "ServiceFault");
+        assert!(err.to_string().contains("seed=1"), "{err}");
+        assert!(s.get_object_retrying("tpch", "obj", 3).is_err());
+        // A moderate probability: some scope ordinal faults, and the retry
+        // loop absorbs it (attempt count says how many requests it cost).
+        s.set_fault_plan(Some(FaultPlan::new(9, 0.4)));
+        let scope = s.scoped();
+        let got = scope
+            .get_object_with("tpch", "obj", &RetryPolicy::with_attempts(16))
+            .unwrap();
+        assert_eq!(&got.value[..], b"payload");
         assert_eq!(
-            s.get_object("tpch", "obj").unwrap_err().code(),
-            "ServiceFault"
+            scope.ledger().snapshot().requests,
+            u64::from(got.attempts),
+            "every attempt bills one request"
         );
-        // Retry loop absorbs the second fault and succeeds on attempt 2.
-        let got = s.get_object_retrying("tpch", "obj", 3).unwrap();
-        assert_eq!(&got[..], b"payload");
-        // Exhausted retries surface the fault.
-        s.inject_faults(5);
-        assert!(s.get_object_retrying("tpch", "obj", 2).is_err());
-        s.inject_faults(0);
+        s.set_fault_plan(None);
         // Non-retryable errors are not retried.
         assert_eq!(
             s.get_object_retrying("tpch", "missing", 3)
@@ -414,13 +776,96 @@ mod tests {
     }
 
     #[test]
+    fn same_seed_same_fault_sites_across_runs() {
+        let run = |salt: u64| -> (Vec<bool>, u64) {
+            let s = store_with("obj", "x".repeat(64).as_str());
+            s.set_fault_plan(Some(FaultPlan::new(77, 0.35)));
+            let scope = s.scoped_with_salt(salt);
+            let outcomes: Vec<bool> = (0..32)
+                .map(|_| scope.get_object("tpch", "obj").is_ok())
+                .collect();
+            (outcomes, scope.ledger().snapshot().requests)
+        };
+        let (a, ra) = run(5);
+        let (b, rb) = run(5);
+        assert_eq!(a, b, "same seed+salt ⇒ same fault sites");
+        assert_eq!(ra, rb);
+        let (c, _) = run(6);
+        assert_ne!(a, c, "different salt ⇒ different stream");
+    }
+
+    #[test]
     fn faulted_requests_still_bill_the_request() {
         let s = store_with("obj", "x");
-        s.ledger().reset();
-        s.inject_faults(1);
-        let _ = s.get_object("tpch", "obj");
-        assert_eq!(s.ledger().snapshot().requests, 1);
-        assert_eq!(s.ledger().snapshot().plain_bytes, 0);
+        let scope = s.scoped();
+        s.set_fault_plan(Some(FaultPlan::new(0, 1.0)));
+        let _ = scope.get_object("tpch", "obj");
+        assert_eq!(scope.ledger().snapshot().requests, 1);
+        assert_eq!(scope.ledger().snapshot().plain_bytes, 0);
+    }
+
+    #[test]
+    fn virtual_clock_charges_latency_transfer_and_backoff() {
+        let s = store_with("obj", &"x".repeat(1000));
+        let plan = FaultPlan::new(3, 0.0);
+        s.set_fault_plan(Some(plan));
+        let scope = s.scoped();
+        scope.get_object("tpch", "obj").unwrap();
+        let expect = plan.request_seconds(0, 1000);
+        let got = scope.virtual_time_s();
+        assert!(
+            (got - expect).abs() < 1e-9,
+            "clock {got} vs modeled {expect}"
+        );
+        // Backoff advances the clock too; with prob 1.0 every attempt
+        // faults, so a 3-attempt retry pays two backoffs + 3 latencies.
+        s.set_fault_plan(Some(FaultPlan::new(3, 1.0)));
+        let scope2 = s.scoped();
+        let policy = RetryPolicy::default();
+        let _ = scope2.get_object_with("tpch", "obj", &policy);
+        let want = 3.0 * plan.latency.request_latency
+            + policy.backoff_before(1)
+            + policy.backoff_before(2);
+        assert!((scope2.virtual_time_s() - want).abs() < 1e-9);
+        // Sibling scopes do not share clocks...
+        assert!((scope.virtual_time_s() - expect).abs() < 1e-9);
+        // ...but every scope rolls its time up into its ancestors (the
+        // root here), mirroring the ledger: a query scope observes the
+        // time its inner algorithm scopes spend.
+        assert!((s.virtual_time_s() - (expect + want)).abs() < 1e-9);
+        s.set_fault_plan(Some(plan)); // prob 0, default latency model
+        let parent = s.scoped();
+        let nested = parent.scoped();
+        nested.get_object("tpch", "obj").unwrap();
+        assert!(nested.virtual_time_s() > 0.0);
+        assert!((parent.virtual_time_s() - nested.virtual_time_s()).abs() < 1e-12);
+        // No plan ⇒ clock stays put.
+        s.set_fault_plan(None);
+        let scope3 = s.scoped();
+        scope3.get_object("tpch", "obj").unwrap();
+        assert_eq!(scope3.virtual_time_s(), 0.0);
+    }
+
+    #[test]
+    fn range_and_multirange_gets_retry_under_the_uniform_policy() {
+        let s = store_with("obj", "0123456789");
+        s.set_fault_plan(Some(FaultPlan::new(11, 0.45)));
+        let policy = RetryPolicy::with_attempts(20);
+        let scope = s.scoped();
+        let r = scope
+            .get_object_range_with("tpch", "obj", 2, 4, &policy)
+            .unwrap();
+        assert_eq!(&r.value[..], b"234");
+        let m = scope
+            .get_object_ranges_with("tpch", "obj", &[(0, 0), (9, 9)], &policy)
+            .unwrap();
+        assert_eq!(m.value.len(), 2);
+        // Requests billed = total attempts across both calls.
+        assert_eq!(
+            scope.ledger().snapshot().requests,
+            u64::from(r.attempts + m.attempts)
+        );
+        s.set_fault_plan(None);
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! maintained by hand.
 
 use bytes::Bytes;
-use pushdown_common::{Error, Result, Row, Schema, Value};
+use pushdown_common::{Error, Result, RetryPolicy, Row, Schema, Value};
 use pushdown_format::columnar::{ColumnarReader, PruneOp};
 use pushdown_format::csv::{CsvReader, CsvWriter};
 use pushdown_s3::S3Store;
@@ -68,6 +68,9 @@ pub struct SelectStats {
     pub records_returned: u64,
     /// Expression complexity (terms) — consumed by the performance model.
     pub expr_terms: u32,
+    /// Request attempts made, including the successful one (each attempt
+    /// bills one ledger request; > 1 means transient faults were retried).
+    pub attempts: u32,
 }
 
 /// A Select response: CSV payload plus metering.
@@ -129,6 +132,7 @@ pub struct S3SelectEngine {
     store: S3Store,
     limits: SelectLimits,
     extensions: EngineExtensions,
+    retry: RetryPolicy,
 }
 
 impl S3SelectEngine {
@@ -137,14 +141,14 @@ impl S3SelectEngine {
             store,
             limits: SelectLimits::default(),
             extensions: EngineExtensions::default(),
+            retry: RetryPolicy::default(),
         }
     }
 
     pub fn with_limits(store: S3Store, limits: SelectLimits) -> Self {
         S3SelectEngine {
-            store,
             limits,
-            extensions: EngineExtensions::default(),
+            ..S3SelectEngine::new(store)
         }
     }
 
@@ -152,6 +156,28 @@ impl S3SelectEngine {
     pub fn with_extensions(mut self, extensions: EngineExtensions) -> Self {
         self.extensions = extensions;
         self
+    }
+
+    /// Set the retry policy applied to every Select request (the same
+    /// uniform bounded-backoff policy the store's GET paths use).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// The same engine configuration bound to a different store handle —
+    /// how a query scope re-targets Select billing at its child ledger.
+    pub fn rebound(&self, store: S3Store) -> S3SelectEngine {
+        S3SelectEngine {
+            store,
+            limits: self.limits,
+            extensions: self.extensions,
+            retry: self.retry,
+        }
     }
 
     pub fn extensions(&self) -> &EngineExtensions {
@@ -169,7 +195,9 @@ impl S3SelectEngine {
     /// Execute a Select request given as SQL text.
     ///
     /// `schema` describes the object's columns (see the module docs for
-    /// why the schema is caller-supplied).
+    /// why the schema is caller-supplied). Transient faults are retried
+    /// under the engine's [`RetryPolicy`]; each attempt bills one request
+    /// and `stats.attempts` reports how many it took.
     pub fn select(
         &self,
         bucket: &str,
@@ -178,26 +206,32 @@ impl S3SelectEngine {
         schema: &Schema,
         format: InputFormat,
     ) -> Result<SelectResponse> {
-        // The request itself is billable even if it fails later.
-        self.store.ledger().add_request();
-        if sql.len() > self.limits.max_sql_bytes {
-            return Err(Error::SelectRejected(format!(
-                "SQL expression is {} bytes; the limit is {} (S3 Select caps \
-                 expressions at 256 KB)",
-                sql.len(),
-                self.limits.max_sql_bytes
-            )));
-        }
-        let stmt = parse_select(sql)?;
-        if !self.extensions.bitwise && stmt_uses_bitat(&stmt) {
-            return Err(Error::SelectRejected(
-                "S3 Select does not support bitwise operators or binary data \
-                 (paper §V-A2); enable the bitwise extension to model §X \
-                 Suggestion 3"
-                    .into(),
-            ));
-        }
-        self.execute(bucket, key, &stmt, schema, format)
+        let retried = self.store.with_retry(&self.retry, || {
+            // The request itself is billable even if it fails later, and a
+            // fault strikes before a single byte is scanned.
+            self.store.begin_request(bucket, key)?;
+            if sql.len() > self.limits.max_sql_bytes {
+                return Err(Error::SelectRejected(format!(
+                    "SQL expression is {} bytes; the limit is {} (S3 Select caps \
+                     expressions at 256 KB)",
+                    sql.len(),
+                    self.limits.max_sql_bytes
+                )));
+            }
+            let stmt = parse_select(sql)?;
+            if !self.extensions.bitwise && stmt_uses_bitat(&stmt) {
+                return Err(Error::SelectRejected(
+                    "S3 Select does not support bitwise operators or binary data \
+                     (paper §V-A2); enable the bitwise extension to model §X \
+                     Suggestion 3"
+                        .into(),
+                ));
+            }
+            self.execute(bucket, key, &stmt, schema, format)
+        })?;
+        let mut resp = retried.value;
+        resp.stats.attempts = retried.attempts;
+        Ok(resp)
     }
 
     /// Execute a Select request given as an AST (the client renders it to
@@ -229,7 +263,23 @@ impl S3SelectEngine {
         schema: &Schema,
         format: InputFormat,
     ) -> Result<SelectResponse> {
-        self.store.ledger().add_request();
+        let retried = self.store.with_retry(&self.retry, || {
+            self.store.begin_request(bucket, key)?;
+            self.select_grouped_attempt(bucket, key, ext, schema, format)
+        })?;
+        let mut resp = retried.value;
+        resp.stats.attempts = retried.attempts;
+        Ok(resp)
+    }
+
+    fn select_grouped_attempt(
+        &self,
+        bucket: &str,
+        key: &str,
+        ext: &pushdown_sql::ast::ExtendedSelect,
+        schema: &Schema,
+        format: InputFormat,
+    ) -> Result<SelectResponse> {
         if !self.extensions.native_group_by {
             return Err(Error::SelectRejected(
                 "GROUP BY is not supported by S3 Select (enable the \
@@ -400,11 +450,10 @@ impl S3SelectEngine {
             bytes_returned: payload.len() as u64,
             records_returned: out_rows.len() as u64,
             expr_terms: ext.select.term_count() + ext.group_by.len() as u32,
+            attempts: 1,
         };
-        self.store.ledger().add_select_scanned(stats.bytes_scanned);
         self.store
-            .ledger()
-            .add_select_returned(stats.bytes_returned);
+            .bill_select(stats.bytes_scanned, stats.bytes_returned);
         Ok(SelectResponse {
             data: Bytes::from(payload),
             output_schema: Schema::new(fields),
@@ -431,7 +480,31 @@ impl S3SelectEngine {
         data_schema: &Schema,
         value_pred: &pushdown_sql::Expr,
     ) -> Result<SelectResponse> {
-        self.store.ledger().add_request();
+        let retried = self.store.with_retry(&self.retry, || {
+            self.store.begin_request(bucket, index_key)?;
+            self.select_indexed_attempt(
+                bucket,
+                index_key,
+                data_key,
+                index_schema,
+                data_schema,
+                value_pred,
+            )
+        })?;
+        let mut resp = retried.value;
+        resp.stats.attempts = retried.attempts;
+        Ok(resp)
+    }
+
+    fn select_indexed_attempt(
+        &self,
+        bucket: &str,
+        index_key: &str,
+        data_key: &str,
+        index_schema: &Schema,
+        data_schema: &Schema,
+        value_pred: &pushdown_sql::Expr,
+    ) -> Result<SelectResponse> {
         if !self.extensions.index_in_s3 {
             return Err(Error::SelectRejected(
                 "index lookups inside S3 are not supported (enable the \
@@ -487,11 +560,10 @@ impl S3SelectEngine {
             bytes_returned: payload.len() as u64,
             records_returned: rows.len() as u64,
             expr_terms: value_pred.term_count(),
+            attempts: 1,
         };
-        self.store.ledger().add_select_scanned(stats.bytes_scanned);
         self.store
-            .ledger()
-            .add_select_returned(stats.bytes_returned);
+            .bill_select(stats.bytes_scanned, stats.bytes_returned);
         Ok(SelectResponse {
             data: Bytes::from(payload),
             output_schema: data_schema.clone(),
@@ -529,11 +601,10 @@ impl S3SelectEngine {
             bytes_returned: payload.len() as u64,
             records_returned: records,
             expr_terms,
+            attempts: 1,
         };
-        self.store.ledger().add_select_scanned(stats.bytes_scanned);
         self.store
-            .ledger()
-            .add_select_returned(stats.bytes_returned);
+            .bill_select(stats.bytes_scanned, stats.bytes_returned);
         Ok(SelectResponse {
             data: Bytes::from(payload),
             output_schema: bound.output_schema.clone(),
@@ -1059,7 +1130,6 @@ mod tests {
     fn ledger_meters_scan_and_return() {
         let rows = customer_rows(100);
         let e = engine_with_csv(&rows);
-        e.store().ledger().reset();
         let resp = e
             .select(
                 "tpch",
@@ -1193,7 +1263,6 @@ mod tests {
     #[test]
     fn missing_object_fails_but_bills_the_request() {
         let e = engine_with_csv(&customer_rows(1));
-        e.store().ledger().reset();
         let err = e
             .select(
                 "tpch",
@@ -1339,11 +1408,13 @@ mod tests {
                 .code(),
             "SelectRejected"
         );
-        let extended = S3SelectEngine::new(store.clone()).with_extensions(EngineExtensions {
+        // A scoped store handle isolates this lookup's bill from the
+        // failed stock attempt above.
+        let scope = store.scoped();
+        let extended = S3SelectEngine::new(scope.clone()).with_extensions(EngineExtensions {
             index_in_s3: true,
             ..Default::default()
         });
-        store.ledger().reset();
         let resp = extended
             .select_indexed("b", "index.csv", "data.csv", &index_schema, &schema, &pred)
             .unwrap();
@@ -1353,7 +1424,7 @@ mod tests {
         assert_eq!(got[2], rows[12]);
         // Exactly one request, no plain transfer — the whole point of
         // Suggestion 2.
-        let u = store.ledger().snapshot();
+        let u = scope.ledger().snapshot();
         assert_eq!(u.requests, 1);
         assert_eq!(u.plain_bytes, 0);
         assert!(u.select_scanned_bytes > 0);
@@ -1374,6 +1445,62 @@ mod tests {
             .unwrap();
         let expect = rows.iter().filter(|r| r[3] == Value::Int(7)).count() as i64;
         assert_eq!(resp.rows().unwrap()[0][0], Value::Int(expect));
+    }
+
+    #[test]
+    fn select_requests_retry_transient_faults_and_meter_attempts() {
+        use pushdown_s3::FaultPlan;
+        let rows = customer_rows(50);
+        let store = S3Store::new();
+        store.put_object(
+            "tpch",
+            "customer.csv",
+            encode_csv(&customer_schema(), rows.as_slice()),
+        );
+        store.set_fault_plan(Some(FaultPlan::new(21, 0.5)));
+        let scope = store.scoped();
+        let e = S3SelectEngine::new(scope.clone())
+            .with_retry(pushdown_common::RetryPolicy::with_attempts(24));
+        let resp = e
+            .select(
+                "tpch",
+                "customer.csv",
+                "SELECT c_custkey FROM S3Object WHERE c_custkey <= 5",
+                &customer_schema(),
+                InputFormat::Csv,
+            )
+            .unwrap();
+        assert_eq!(resp.rows().unwrap().len(), 5);
+        let u = scope.ledger().snapshot();
+        // Every attempt billed one request; bytes billed exactly once.
+        assert_eq!(u.requests, u64::from(resp.stats.attempts));
+        assert_eq!(u.select_scanned_bytes, resp.stats.bytes_scanned);
+        assert_eq!(u.select_returned_bytes, resp.stats.bytes_returned);
+        // prob 1.0 exhausts the policy and surfaces the fault.
+        store.set_fault_plan(Some(FaultPlan::new(21, 1.0)));
+        let err = e
+            .select(
+                "tpch",
+                "customer.csv",
+                "SELECT c_custkey FROM S3Object",
+                &customer_schema(),
+                InputFormat::Csv,
+            )
+            .unwrap_err();
+        assert_eq!(err.code(), "ServiceFault");
+        assert!(err.to_string().contains("seed=21"), "{err}");
+        // Deterministic failures (bad SQL) are not retried: one request.
+        store.set_fault_plan(None);
+        let scope2 = store.scoped();
+        let e2 = S3SelectEngine::new(scope2.clone());
+        let _ = e2.select(
+            "tpch",
+            "customer.csv",
+            "SELECT no_such FROM S3Object",
+            &customer_schema(),
+            InputFormat::Csv,
+        );
+        assert_eq!(scope2.ledger().snapshot().requests, 1);
     }
 }
 

@@ -107,6 +107,7 @@ fn q1_schema() -> Schema {
 /// TPC-H Q1: `WHERE l_shipdate <= 1998-09-02 GROUP BY returnflag,
 /// linestatus` with eight aggregates.
 pub fn q1(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     match mode {
         Mode::Baseline => q1_baseline(ctx, t),
         Mode::Optimized => q1_optimized(ctx, t),
@@ -150,6 +151,7 @@ fn q1_baseline(ctx: &QueryContext, t: &TpchTables) -> Result<QueryOutput> {
     let mut metrics = QueryMetrics::new();
     metrics.push_serial("q1 baseline: load + aggregate", stats);
     Ok(QueryOutput {
+        billed: ctx.billed(),
         schema: q1_schema(),
         rows,
         metrics,
@@ -221,6 +223,7 @@ fn q1_optimized(ctx: &QueryContext, t: &TpchTables) -> Result<QueryOutput> {
     metrics.push_serial("q1 optimized: distinct groups", phase1);
     metrics.push_serial("q1 optimized: s3-side aggregation", phase2);
     Ok(QueryOutput {
+        billed: ctx.billed(),
         schema: q1_schema(),
         rows,
         metrics,
@@ -242,6 +245,7 @@ fn q3_schema() -> Schema {
 
 /// TPC-H Q3: BUILDING customers' unshipped orders, top 10 by revenue.
 pub fn q3(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let (cust, ords, lines, mut metrics) = match mode {
         Mode::Baseline => {
             let mut cust = plain_scan(ctx, &t.customer)?;
@@ -343,6 +347,7 @@ pub fn q3(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput>
         .collect();
     metrics.push_serial("local join + group + top-k", local);
     Ok(QueryOutput {
+        billed: ctx.billed(),
         schema: q3_schema(),
         rows,
         metrics,
@@ -356,6 +361,7 @@ pub fn q3(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput>
 /// TPC-H Q6: `SUM(l_extendedprice * l_discount)` under date, discount and
 /// quantity predicates. The ideal pushdown: one S3-side aggregation.
 pub fn q6(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let pred_src = "l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
                     AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24";
     let schema = Schema::new(vec![Field::new("revenue", DataType::Float)]);
@@ -375,6 +381,7 @@ pub fn q6(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput>
             let mut metrics = QueryMetrics::new();
             metrics.push_serial("q6 baseline: load + aggregate", stats);
             Ok(QueryOutput {
+                billed: ctx.billed(),
                 schema,
                 rows: vec![Row::new(vec![acc.finish()])],
                 metrics,
@@ -395,6 +402,7 @@ pub fn q6(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput>
             let mut metrics = QueryMetrics::new();
             metrics.push_serial("q6 optimized: s3-side aggregation", scan.stats);
             Ok(QueryOutput {
+                billed: ctx.billed(),
                 schema,
                 rows: scan.rows,
                 metrics,
@@ -409,6 +417,7 @@ pub fn q6(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput>
 
 /// TPC-H Q14: share of September-1995 revenue from PROMO parts.
 pub fn q14(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let date_pred = "l_shipdate >= DATE '1995-09-01' AND l_shipdate < DATE '1995-10-01'";
     let schema = Schema::new(vec![Field::new("promo_revenue", DataType::Float)]);
 
@@ -484,6 +493,7 @@ pub fn q14(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput
     };
     metrics.push_serial("local join + aggregate", local);
     Ok(QueryOutput {
+        billed: ctx.billed(),
         schema,
         rows: vec![Row::new(vec![value])],
         metrics,
@@ -500,6 +510,7 @@ pub fn q14(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput
 /// the part filter and a Bloom filter on `l_partkey`, then correlates
 /// locally.
 pub fn q17(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let part_pred = "p_brand = 'Brand#23' AND p_container = 'MED BOX'";
     let schema = Schema::new(vec![Field::new("avg_yearly", DataType::Float)]);
 
@@ -576,6 +587,7 @@ pub fn q17(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput
     local.server_cpu_units += lines.rows.len() as u64;
     metrics.push_serial("local correlate + aggregate", local);
     Ok(QueryOutput {
+        billed: ctx.billed(),
         schema,
         rows: vec![Row::new(vec![Value::Float(total / 7.0)])],
         metrics,
@@ -612,6 +624,7 @@ const Q19_PART_PUSH: &str = "\
 /// TPC-H Q19: `SUM(l_extendedprice * (1 - l_discount))` over a three-way
 /// disjunction of brand/container/quantity/size clauses.
 pub fn q19(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput> {
+    let ctx = &ctx.scoped();
     let schema = Schema::new(vec![Field::new("revenue", DataType::Float)]);
     let (lines, parts, mut metrics) = match mode {
         Mode::Baseline => {
@@ -688,6 +701,7 @@ pub fn q19(ctx: &QueryContext, t: &TpchTables, mode: Mode) -> Result<QueryOutput
     };
     metrics.push_serial("local join + filter + aggregate", local);
     Ok(QueryOutput {
+        billed: ctx.billed(),
         schema,
         rows: vec![Row::new(vec![v])],
         metrics,

@@ -69,6 +69,43 @@
 //! # Ok(()) }
 //! ```
 //!
+//! ## Concurrent use, ledger scoping & chaos
+//!
+//! One [`core::QueryContext`] (and its engine) is safely shared by many
+//! concurrent queries. Per-query accounting is **scoped**: every planner
+//! entry point and algorithm family runs in [`core::QueryContext::scoped`],
+//! billing a [`common::CostLedger::child`] that rolls up atomically into
+//! the store-global ledger — [`core::QueryOutput::billed`] is the exact
+//! per-query AWS bill under any interleaving, and the store-global delta
+//! always equals the sum of the children (pinned by `tests/concurrency.rs`
+//! at 8-way concurrency).
+//!
+//! Fault injection is a seeded per-request policy
+//! ([`s3::FaultPlan`] via [`s3::S3Store::set_fault_plan`]): faults are a
+//! pure function of `(seed, scope salt, key, per-key ordinal)`, so the
+//! same seed yields the same fault sites single-threaded or parallel; a
+//! failure prints `seed=… salt=… key=… ordinal=…` and is replayed by
+//! installing the same plan and scoping with the same salt
+//! ([`core::QueryContext::scoped_with_salt`]). All request paths —
+//! whole-object, range, multi-range and Select — retry transient faults
+//! under one uniform bounded-backoff [`common::RetryPolicy`]
+//! (`QueryContext::retry`); each attempt bills a request, bytes bill
+//! once, and backoff advances the scope's virtual clock
+//! ([`s3::S3Store::virtual_time_s`]). The seeded workload harness
+//! (`pushdown_bench::workload`, `fig13_concurrency`) drives mixed TPC-H
+//! streams at configurable concurrency and reports throughput,
+//! per-query dollars and virtual-time latency percentiles.
+//!
+//! ```no_run
+//! use pushdowndb::core::{execute_sql, Strategy};
+//! # fn demo(ctx: &pushdowndb::core::QueryContext, table: &pushdowndb::core::Table)
+//! # -> pushdowndb::common::Result<()> {
+//! let qctx = ctx.scoped(); // one child-ledger scope per query
+//! let out = execute_sql(&qctx, table, "SELECT * FROM t WHERE id < 10", Strategy::Adaptive)?;
+//! assert_eq!(out.billed, qctx.billed()); // exact, concurrency-safe bill
+//! # Ok(()) }
+//! ```
+//!
 //! ## Quickstart
 //!
 //! Build and verify everything (tier-1 gate):

@@ -75,9 +75,8 @@ fn cost_estimator_predictions_are_calibrated_against_the_ledger() {
     let (ctx, t) = tpch_context(0.005, 1_500).unwrap();
     for q in planner_suite() {
         let table = (q.table)(&t);
-        ctx.store.ledger().reset();
-        let (_, explain) = execute_sql_verbose(&ctx, table, q.sql, Strategy::Adaptive).unwrap();
-        let measured = ctx.store.ledger().snapshot();
+        let (out, explain) = execute_sql_verbose(&ctx, table, q.sql, Strategy::Adaptive).unwrap();
+        let measured = out.billed;
         let predicted = explain
             .predicted
             .as_ref()
@@ -116,9 +115,8 @@ fn ledger_agrees_with_metrics_on_adaptive_plans() {
     let (ctx, t) = tpch_context(0.003, 1_000).unwrap();
     for q in planner_suite() {
         let table = (q.table)(&t);
-        ctx.store.ledger().reset();
         let out = execute_sql(&ctx, table, q.sql, Strategy::Adaptive).unwrap();
-        let billed = ctx.store.ledger().snapshot();
+        let billed = out.billed;
         let metered = out.metrics.usage();
         assert_eq!(billed, metered, "{}: ledger vs metrics", q.name);
         // Multi-phase projection invariant (the Usage::scaled bugfix).

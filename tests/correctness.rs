@@ -2,10 +2,11 @@
 //! the answer its no-pushdown baseline produces, across operators and
 //! under fault injection.
 
+use pushdowndb::common::RetryPolicy;
 use pushdowndb::common::{DataType, Row, Schema, Value};
 use pushdowndb::core::algos::{filter, groupby, join, topk};
 use pushdowndb::core::{build_index, upload_csv_table, QueryContext};
-use pushdowndb::s3::S3Store;
+use pushdowndb::s3::{FaultPlan, S3Store};
 use pushdowndb::sql::agg::AggFunc;
 use pushdowndb::sql::parse_expr;
 use pushdowndb::tpch::{all_queries, tpch_context, Mode};
@@ -54,8 +55,9 @@ fn filter_strategies_agree_under_fault_injection() {
         predicate: parse_expr("k >= 100 AND k < 160").unwrap(),
         projection: None,
     };
-    // Transient faults on the plain-GET path are retried transparently.
-    ctx.store.inject_faults(2);
+    // Transient faults are retried transparently on every request path.
+    ctx.store.set_fault_plan(Some(FaultPlan::new(17, 0.25)));
+    let ctx = ctx.with_retry(RetryPolicy::with_attempts(12));
     let server = filter::server_side(&ctx, &q).unwrap();
     let s3 = filter::s3_side(&ctx, &q).unwrap();
     let indexed = filter::indexed(&ctx, &index, &q).unwrap();
@@ -151,14 +153,14 @@ fn ledger_matches_metrics_for_select_queries() {
     // The metrics attached to an output must agree with the store's own
     // AWS-style ledger for the billable Select quantities.
     let (ctx, t) = tpch_context(0.002, 2_000).unwrap();
-    ctx.store.ledger().reset();
     let q = filter::FilterQuery {
         table: t.orders.clone(),
         predicate: parse_expr("o_totalprice < 1000").unwrap(),
         projection: Some(vec!["o_orderkey".into()]),
     };
     let out = filter::s3_side(&ctx, &q).unwrap();
-    let usage = ctx.store.ledger().snapshot();
+    // `billed` is the query's scoped child ledger — exact per-query usage.
+    let usage = out.billed;
     let metered = out.metrics.usage();
     assert_eq!(usage.select_scanned_bytes, metered.select_scanned_bytes);
     assert_eq!(usage.select_returned_bytes, metered.select_returned_bytes);
@@ -190,10 +192,9 @@ fn streamed_scans_survive_faults_mid_scan_for_both_formats() {
     let mut ctx = QueryContext::new(store);
     ctx.batch_rows = 64; // many batches per partition
     ctx.scan_threads = 4;
-    // A faulted worker retries immediately, so one GET may absorb several
-    // consecutive injected faults; a generous retry budget keeps the
-    // success cases deterministic under any scheduling.
-    ctx.max_attempts = 10;
+    // The seeded plan faults ~30% of attempts; a generous retry budget
+    // keeps the success cases deterministic under any scheduling.
+    ctx.retry = RetryPolicy::with_attempts(16);
 
     for table in [&csv, &clt] {
         let q = filter::FilterQuery {
@@ -205,27 +206,26 @@ fn streamed_scans_survive_faults_mid_scan_for_both_formats() {
         let want = filter::server_side(&ctx, &q).unwrap();
         assert_eq!(want.rows.len(), 3_000 / 7 + 1);
 
-        // 8 faults across a 12-partition scan: several workers hit a
-        // fault partway through and must retry transparently.
-        ctx.store.inject_faults(8);
+        // Seeded faults across a 12-partition scan: several workers hit a
+        // fault partway through and must retry transparently — on the
+        // plain path and the pushdown path alike.
+        ctx.store.set_fault_plan(Some(FaultPlan::new(99, 0.3)));
         let got = filter::server_side(&ctx, &q).unwrap();
         assert_rows_close(&want.rows, &got.rows, "plain streamed under faults");
-
-        // Drain any leftover faults, then re-check the pushdown path.
-        ctx.store.inject_faults(0);
         let s3 = filter::s3_side(&ctx, &q).unwrap();
-        assert_rows_close(&want.rows, &s3.rows, "select streamed");
+        assert_rows_close(&want.rows, &s3.rows, "select streamed under faults");
+        ctx.store.set_fault_plan(None);
     }
 
     // Exhausting retries surfaces the fault instead of corrupting rows.
-    ctx.store.inject_faults(10_000);
+    ctx.store.set_fault_plan(Some(FaultPlan::new(99, 1.0)));
     let q = filter::FilterQuery {
         table: csv.clone(),
         predicate: parse_expr("k >= 0").unwrap(),
         projection: None,
     };
     assert!(filter::server_side(&ctx, &q).is_err());
-    ctx.store.inject_faults(0);
+    ctx.store.set_fault_plan(None);
 }
 
 /// Mid-scan faults during streamed group-by and top-K pipelines: the
@@ -240,7 +240,7 @@ fn streamed_operators_survive_faults_mid_scan() {
     let table = upload_csv_table(&store, "b", "t", &schema, &rows, 200).unwrap();
     let mut ctx = QueryContext::new(store);
     ctx.batch_rows = 50;
-    ctx.max_attempts = 8;
+    ctx.retry = RetryPolicy::with_attempts(16);
 
     let gq = groupby::GroupByQuery {
         table: table.clone(),
@@ -249,7 +249,7 @@ fn streamed_operators_survive_faults_mid_scan() {
         predicate: None,
     };
     let want_groups = groupby::server_side(&ctx, &gq).unwrap();
-    ctx.store.inject_faults(6);
+    ctx.store.set_fault_plan(Some(FaultPlan::new(4, 0.35)));
     let got_groups = groupby::server_side(&ctx, &gq).unwrap();
     assert_rows_close(&want_groups.rows, &got_groups.rows, "group-by under faults");
 
@@ -259,8 +259,9 @@ fn streamed_operators_survive_faults_mid_scan() {
         k: 13,
         asc: true,
     };
+    ctx.store.set_fault_plan(None);
     let want_topk = topk::server_side(&ctx, &tq).unwrap();
-    ctx.store.inject_faults(6);
+    ctx.store.set_fault_plan(Some(FaultPlan::new(6, 0.35)));
     let got_topk = topk::server_side(&ctx, &tq).unwrap();
     assert_rows_close(&want_topk.rows, &got_topk.rows, "top-k under faults");
 }

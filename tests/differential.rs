@@ -101,9 +101,10 @@ fn ledger_agrees_with_metrics_across_the_suite() {
     let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
     for (name, q) in all_queries() {
         for mode in [Mode::Baseline, Mode::Optimized] {
-            ctx.store.ledger().reset();
             let out = q(&ctx, &t, mode).unwrap();
-            let billed = ctx.store.ledger().snapshot();
+            // The query's scoped child ledger: exact per-query usage, no
+            // reset needed (and correct even under concurrent queries).
+            let billed = out.billed;
             let metered = out.metrics.usage();
             assert_eq!(
                 billed.select_scanned_bytes, metered.select_scanned_bytes,
