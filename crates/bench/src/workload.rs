@@ -44,14 +44,25 @@ pub struct WorkloadQuery {
     pub query: PlannerQuery,
 }
 
-/// A seeded stream of `n` mixed queries drawn uniformly (by hash) from
-/// the planner-dialect TPC-H suite. Deterministic in `seed`.
+/// A seeded stream of `n` mixed queries from the planner-dialect TPC-H
+/// suite. The first `suite.len()` entries are a seeded *rotation* of the
+/// whole suite — any stream at least that long exercises every operator
+/// family, joined queries included — and the tail draws uniformly by
+/// hash. Deterministic in `seed`.
 pub fn generate(seed: u64, n: usize) -> Vec<WorkloadQuery> {
     let suite = planner_suite();
+    let len = suite.len() as u64;
     (0..n)
-        .map(|index| WorkloadQuery {
-            index,
-            query: suite[(splitmix64(seed ^ index as u64) % suite.len() as u64) as usize],
+        .map(|index| {
+            let pick = if index < suite.len() {
+                (splitmix64(seed).wrapping_add(index as u64) % len) as usize
+            } else {
+                (splitmix64(seed ^ index as u64) % len) as usize
+            };
+            WorkloadQuery {
+                index,
+                query: suite[pick],
+            }
         })
         .collect()
 }
@@ -248,6 +259,24 @@ mod tests {
         // Mixed: more than one family shows up in a 40-query stream.
         let distinct: std::collections::BTreeSet<_> = names(&a).into_iter().collect();
         assert!(distinct.len() >= 3, "{distinct:?}");
+    }
+
+    #[test]
+    fn streams_at_least_suite_long_cover_every_family() {
+        let suite_len = planner_suite().len();
+        // Any seed: the rotation prefix covers the whole suite, joined
+        // queries included (the fig13 CI smoke relies on this with
+        // seed 42 and 16 queries).
+        for seed in [0, 7, 42, 1234] {
+            let stream = generate(seed, suite_len.max(16));
+            let distinct: std::collections::BTreeSet<_> =
+                stream.iter().map(|q| q.query.name).collect();
+            assert_eq!(distinct.len(), suite_len, "seed {seed}: {distinct:?}");
+            assert!(
+                distinct.iter().any(|n| n.starts_with("join-")),
+                "seed {seed}: joined queries missing from {distinct:?}"
+            );
+        }
     }
 
     #[test]

@@ -139,6 +139,57 @@ pub struct Table {
     pub stats: Option<Arc<TableStats>>,
 }
 
+/// A name → [`Table`] registry shared by every scope of a
+/// [`QueryContext`].
+///
+/// Multi-table SQL (`FROM a JOIN b ON ...`) resolves its join tables
+/// here: the planner's `execute_sql*` entry points take the *primary*
+/// table as an argument (their signatures predate joins and ignore the
+/// FROM name, like the paper's testbed), and every additional table in
+/// the statement is looked up by name. Loaders don't register
+/// automatically — populate it with [`Catalog::register`] or
+/// [`QueryContext::with_tables`](crate::context::QueryContext::with_tables);
+/// `pushdown_tpch::tpch_context` registers all eight TPC-H tables.
+///
+/// Lookup is case-insensitive. Cloning shares the registry (scoped
+/// contexts see later registrations).
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Arc<std::sync::RwLock<std::collections::HashMap<String, Table>>>,
+}
+
+impl Catalog {
+    /// Register (or replace) a table under its own name.
+    pub fn register(&self, table: Table) {
+        self.tables
+            .write()
+            .expect("catalog lock")
+            .insert(table.name.to_ascii_lowercase(), table);
+    }
+
+    /// Case-insensitive lookup.
+    pub fn resolve(&self, name: &str) -> Option<Table> {
+        self.tables
+            .read()
+            .expect("catalog lock")
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+    }
+
+    /// Registered table names, sorted (for error messages).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tables
+            .read()
+            .expect("catalog lock")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
 impl Table {
     /// Keys of all partitions, in order.
     pub fn partitions(&self, store: &S3Store) -> Vec<String> {

@@ -12,6 +12,7 @@
 //! correct per-query bills ([`crate::output::QueryOutput::billed`])
 //! without doing anything.
 
+use crate::catalog::{Catalog, Table};
 use pushdown_bloom::BloomBuilder;
 use pushdown_common::perf::{PerfModel, PerfParams};
 use pushdown_common::pricing::{Pricing, Usage};
@@ -27,6 +28,10 @@ pub struct QueryContext {
     pub model: PerfModel,
     pub pricing: Pricing,
     pub bloom: BloomBuilder,
+    /// Name → table registry used to resolve the *join* tables of
+    /// multi-table SQL (the primary table is always passed explicitly).
+    /// Shared across scopes; empty by default.
+    pub catalog: Catalog,
     /// Worker threads for parallel partition scans.
     pub scan_threads: usize,
     /// Rows per [`pushdown_common::row::RowBatch`] on the streaming scan
@@ -49,6 +54,7 @@ impl QueryContext {
             model: PerfModel::default(),
             pricing: Pricing::us_east(),
             bloom: BloomBuilder::default(),
+            catalog: Catalog::default(),
             scan_threads: std::thread::available_parallelism()
                 .map(|n| n.get().min(16))
                 .unwrap_or(4),
@@ -96,6 +102,15 @@ impl QueryContext {
     /// unless a [`pushdown_s3::FaultPlan`] is installed).
     pub fn virtual_time_s(&self) -> f64 {
         self.store.virtual_time_s()
+    }
+
+    /// Register tables in the context's [`Catalog`] so multi-table SQL
+    /// can resolve them by name (builder form of [`Catalog::register`]).
+    pub fn with_tables(self, tables: impl IntoIterator<Item = Table>) -> Self {
+        for t in tables {
+            self.catalog.register(t);
+        }
+        self
     }
 
     /// Override the streaming batch capacity (rows per batch, ≥ 1).

@@ -643,6 +643,367 @@ fn needed_cols(proj: &[String], key: &str) -> Vec<String> {
 }
 
 // ---------------------------------------------------------------------
+// whole-plan pricing (the physical-plan IR)
+// ---------------------------------------------------------------------
+
+/// Per-node predicted footprint, shaped exactly like the plan tree (and
+/// therefore like the executor's [`crate::plan::OpReport`], which the
+/// planner zips it against for per-operator predicted-vs-actual).
+#[derive(Debug, Clone)]
+pub struct PredNode {
+    pub stats: PhaseStats,
+    pub children: Vec<PredNode>,
+}
+
+/// Prediction for a whole physical plan: the per-node tree plus a
+/// [`QueryMetrics`] whose group structure mirrors what execution will
+/// record — priced by the *same* `PerfModel`/`Pricing` as measurements,
+/// like every other estimate in this module.
+#[derive(Debug, Clone)]
+pub struct PlanPrediction {
+    pub metrics: QueryMetrics,
+    pub root: PredNode,
+}
+
+/// Estimated cardinality flowing out of a node.
+#[derive(Debug, Clone, Copy)]
+struct Card {
+    rows: f64,
+    row_bytes: f64,
+}
+
+/// Price a whole physical plan by summing per-operator [`PhaseStats`]:
+/// scan leaves from per-table statistics, joins by key-containment,
+/// group-bys by NDV products, local operators by their CPU charge.
+pub fn predict_plan(ctx: &QueryContext, node: &crate::plan::PlanNode) -> PlanPrediction {
+    let mut tables = Vec::new();
+    collect_tables(node, &mut tables);
+    let (root, metrics, _) = predict_node(ctx, node, &tables);
+    PlanPrediction { metrics, root }
+}
+
+fn collect_tables(node: &crate::plan::PlanNode, out: &mut Vec<Table>) {
+    use crate::plan::PlanOp;
+    match &node.op {
+        PlanOp::LocalScan { table, .. } | PlanOp::PushdownScan { table, .. } => {
+            out.push(table.clone())
+        }
+        _ => {}
+    }
+    for c in &node.children {
+        collect_tables(c, out);
+    }
+}
+
+/// NDV of `name` in whichever leaf table carries it (row count when no
+/// statistics are attached; 1 when the column is unknown).
+fn col_ndv(tables: &[Table], name: &str) -> f64 {
+    for t in tables {
+        if let Some(idx) = t.schema.index_of(name) {
+            return t
+                .stats
+                .as_ref()
+                .and_then(|s| s.column(idx))
+                .map(|c| (c.ndv as f64).max(1.0))
+                .unwrap_or((t.row_count.max(1)) as f64);
+        }
+    }
+    1.0
+}
+
+/// Mean CSV width of `name` in its leaf table (a generic value width for
+/// computed expressions).
+fn col_width_in(tables: &[Table], name: &str) -> f64 {
+    for t in tables {
+        if let Some(idx) = t.schema.index_of(name) {
+            return t
+                .stats
+                .as_ref()
+                .and_then(|s| s.column(idx))
+                .map(|c| c.avg_width)
+                .unwrap_or(AGG_VALUE_WIDTH);
+        }
+    }
+    AGG_VALUE_WIDTH
+}
+
+/// Join output cardinality under key containment: `|L ⋈ R| ≈
+/// |L|·|R| / max(ndv(lk), ndv(rk))`, with each NDV capped by its side's
+/// row estimate.
+fn join_out_rows(tables: &[Table], l_rows: f64, r_rows: f64, lk: &str, rk: &str) -> f64 {
+    let nl = col_ndv(tables, lk).min(l_rows.max(1.0));
+    let nr = col_ndv(tables, rk).min(r_rows.max(1.0));
+    (l_rows * r_rows / nl.max(nr).max(1.0)).max(0.0)
+}
+
+fn cpu_phase(units: f64) -> PhaseStats {
+    PhaseStats {
+        server_cpu_units: units.max(0.0) as u64,
+        ..Default::default()
+    }
+}
+
+/// Predicted footprint of one pushdown scan leaf: full storage-side
+/// scan, `keep × selectivity` of the rows returned at the projection's
+/// width, `extra_terms` added to the shipped predicate's term count
+/// (the Bloom probe's hash terms). `keep = 1` for a plain scan.
+fn predict_pushdown_scan(
+    ctx: &QueryContext,
+    table: &Table,
+    predicate: &Option<Expr>,
+    projection: &Option<Vec<String>>,
+    keep: f64,
+    extra_terms: u32,
+) -> (PhaseStats, Card) {
+    let est = Estimator::new(ctx, table);
+    let sel = est.selectivity(predicate.as_ref());
+    let cols: Vec<String> = match projection {
+        Some(cols) => cols.clone(),
+        None => table
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect(),
+    };
+    let width = est.out_row_bytes(&cols);
+    let terms = predicate.as_ref().map(Expr::term_count).unwrap_or(0) + extra_terms;
+    let rows = sel * keep * est.rows;
+    (
+        est.select_full_scan(rows, width, terms),
+        Card {
+            rows,
+            row_bytes: width,
+        },
+    )
+}
+
+fn predict_node(
+    ctx: &QueryContext,
+    node: &crate::plan::PlanNode,
+    tables: &[Table],
+) -> (PredNode, QueryMetrics, Card) {
+    use crate::plan::PlanOp;
+    let leaf = |stats: PhaseStats, label: &str, card: Card| {
+        let mut m = QueryMetrics::new();
+        m.push_serial(label, stats);
+        (
+            PredNode {
+                stats,
+                children: Vec::new(),
+            },
+            m,
+            card,
+        )
+    };
+    let stacked =
+        |stats: PhaseStats, label: &str, child: (PredNode, QueryMetrics, Card), card: Card| {
+            let (cn, mut cm, _) = child;
+            cm.push_serial(label, stats);
+            (
+                PredNode {
+                    stats,
+                    children: vec![cn],
+                },
+                cm,
+                card,
+            )
+        };
+    match &node.op {
+        PlanOp::LocalScan { table, predicate } => {
+            let est = Estimator::new(ctx, table);
+            let sel = est.selectivity(predicate.as_ref());
+            let extra = if predicate.is_some() { est.rows } else { 0.0 };
+            leaf(
+                est.plain_load(extra),
+                "load",
+                Card {
+                    rows: sel * est.rows,
+                    row_bytes: est.row_bytes,
+                },
+            )
+        }
+        PlanOp::PushdownScan {
+            table,
+            predicate,
+            projection,
+        } => {
+            let (stats, card) = predict_pushdown_scan(ctx, table, predicate, projection, 1.0, 0);
+            leaf(stats, "select", card)
+        }
+        PlanOp::HashJoin {
+            build_key,
+            probe_key,
+        } => {
+            let (bn, bm, bc) = predict_node(ctx, &node.children[0], tables);
+            let (pn, pm, pc) = predict_node(ctx, &node.children[1], tables);
+            let out = join_out_rows(tables, bc.rows, pc.rows, build_key, probe_key);
+            let stats = cpu_phase(bc.rows + pc.rows + out);
+            let mut metrics = crate::plan::merge_concurrent(bm, pm);
+            metrics.push_serial("hash join", stats);
+            (
+                PredNode {
+                    stats,
+                    children: vec![bn, pn],
+                },
+                metrics,
+                Card {
+                    rows: out,
+                    row_bytes: bc.row_bytes + pc.row_bytes,
+                },
+            )
+        }
+        PlanOp::BloomJoin {
+            build_key,
+            probe_key,
+            fpr,
+        } => {
+            let (bn, bm, bc) = predict_node(ctx, &node.children[0], tables);
+            // The probe is a PushdownScan whose predicate gains the Bloom
+            // filter: containment says a `keep` fraction of otherwise
+            // matching rows survives the storage-side filter.
+            let (pn, pm, pc) = match &node.children[1].op {
+                PlanOp::PushdownScan {
+                    table,
+                    predicate,
+                    projection,
+                } => {
+                    let build_keys = bc.rows.min(col_ndv(tables, build_key));
+                    let probe_ndv = col_ndv(tables, probe_key);
+                    let match_frac = (build_keys / probe_ndv.max(1.0)).min(1.0);
+                    let keep = (match_frac + fpr * (1.0 - match_frac)).min(1.0);
+                    let hashes = (1.0 / fpr).log2().ceil().max(1.0) as u32;
+                    let (stats, card) =
+                        predict_pushdown_scan(ctx, table, predicate, projection, keep, hashes);
+                    let mut m = QueryMetrics::new();
+                    m.push_serial("bloom probe", stats);
+                    (
+                        PredNode {
+                            stats,
+                            children: Vec::new(),
+                        },
+                        m,
+                        card,
+                    )
+                }
+                _ => predict_node(ctx, &node.children[1], tables),
+            };
+            let out = join_out_rows(tables, bc.rows, pc.rows, build_key, probe_key);
+            let stats = cpu_phase(bc.rows + pc.rows + out);
+            let mut metrics = bm;
+            metrics.extend(&pm);
+            metrics.push_serial("hash join (bloom)", stats);
+            (
+                PredNode {
+                    stats,
+                    children: vec![bn, pn],
+                },
+                metrics,
+                Card {
+                    rows: out,
+                    row_bytes: bc.row_bytes + pc.row_bytes,
+                },
+            )
+        }
+        PlanOp::LocalFilter { predicate } => {
+            let child = predict_node(ctx, &node.children[0], tables);
+            let sel = selectivity(predicate, &node.children[0].schema, None);
+            let card = Card {
+                rows: sel * child.2.rows,
+                row_bytes: child.2.row_bytes,
+            };
+            let stats = cpu_phase(child.2.rows);
+            stacked(stats, "residual filter", child, card)
+        }
+        PlanOp::Project { exprs } => {
+            let child = predict_node(ctx, &node.children[0], tables);
+            let width: f64 = exprs
+                .iter()
+                .map(|e| match e {
+                    Expr::Column(name) => col_width_in(tables, name),
+                    _ => AGG_VALUE_WIDTH,
+                })
+                .sum::<f64>()
+                + exprs.len() as f64;
+            let card = Card {
+                rows: child.2.rows,
+                row_bytes: width,
+            };
+            let stats = cpu_phase(child.2.rows);
+            stacked(stats, "project", child, card)
+        }
+        PlanOp::GroupBy { group_width, aggs } => {
+            let child = predict_node(ctx, &node.children[0], tables);
+            // Group count: NDV product over the grouped input expressions
+            // (readable through the Project the planner places below).
+            let groups = match &node.children[0].op {
+                PlanOp::Project { exprs } => exprs[..*group_width]
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Column(name) => col_ndv(tables, name),
+                        _ => child.2.rows.sqrt().max(1.0),
+                    })
+                    .product::<f64>(),
+                _ => child.2.rows,
+            }
+            .min(child.2.rows)
+            .max(1.0);
+            let card = Card {
+                rows: groups,
+                row_bytes: child.2.row_bytes + aggs.len() as f64 * AGG_VALUE_WIDTH,
+            };
+            let stats = cpu_phase(child.2.rows + groups);
+            stacked(stats, "group-by", child, card)
+        }
+        PlanOp::Aggregate { aggs } => {
+            let child = predict_node(ctx, &node.children[0], tables);
+            let stats = cpu_phase(child.2.rows * aggs.len().max(1) as f64);
+            let card = Card {
+                rows: 1.0,
+                row_bytes: aggs.len() as f64 * AGG_VALUE_WIDTH,
+            };
+            stacked(stats, "aggregate", child, card)
+        }
+        PlanOp::Sort { limit, .. } => {
+            let child = predict_node(ctx, &node.children[0], tables);
+            let n = child.2.rows.max(1.0);
+            let stats = cpu_phase(n * n.log2().max(1.0));
+            let card = Card {
+                rows: limit.map_or(n, |k| n.min(k as f64)),
+                row_bytes: child.2.row_bytes,
+            };
+            stacked(stats, "sort", child, card)
+        }
+        PlanOp::Limit { n } => {
+            let (cn, cm, cc) = predict_node(ctx, &node.children[0], tables);
+            let card = Card {
+                rows: cc.rows.min(*n as f64),
+                row_bytes: cc.row_bytes,
+            };
+            (
+                PredNode {
+                    stats: PhaseStats::default(),
+                    children: vec![cn],
+                },
+                cm,
+                card,
+            )
+        }
+        // Algorithm-family leaves are predicted by the Estimator's
+        // per-family candidates, not this walker; the planner attaches
+        // those predictions directly.
+        PlanOp::Algo(_) => leaf(
+            PhaseStats::default(),
+            "algo",
+            Card {
+                rows: 1.0,
+                row_bytes: AGG_VALUE_WIDTH,
+            },
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
 // selectivity estimation
 // ---------------------------------------------------------------------
 
@@ -650,8 +1011,8 @@ fn needed_cols(proj: &[String], key: &str) -> Vec<String> {
 /// statistics where available. Conjunctions multiply (independence),
 /// disjunctions use inclusion–exclusion, comparisons against literals
 /// assume a uniform distribution over `[min, max]`, equality uses
-/// `1/NDV`. Shapes outside the model fall back to
-/// [`DEFAULT_SELECTIVITY`].
+/// `1/NDV`. Shapes outside the model fall back to a default
+/// (`DEFAULT_SELECTIVITY`, 0.33).
 pub fn selectivity(pred: &Expr, schema: &Schema, stats: Option<&TableStats>) -> f64 {
     let s = sel_inner(pred, schema, stats);
     s.clamp(0.0, 1.0)

@@ -16,31 +16,40 @@
 //! * [`index`] — the §IV-A byte-range index tables;
 //! * [`algos`] — the paper's algorithms (filter/join/group-by/top-K in
 //!   all their variants);
+//! * [`plan`] — the physical-plan IR: scan leaves, joins, group-by,
+//!   sort/top-K, project/limit as one operator DAG, driven by a single
+//!   executor, with the [`algos`] families participating as leaf
+//!   operators;
 //! * [`cost`] — the analytical cost estimator behind
 //!   [`planner::Strategy::Adaptive`]: predicts every candidate
-//!   algorithm's footprint from catalog statistics, priced by the same
-//!   models that score measurements;
+//!   algorithm's footprint from catalog statistics — and prices whole
+//!   plan DAGs operator-by-operator — using the same models that score
+//!   measurements;
 //! * [`metrics`] / [`output`] — phase-structured accounting that the
 //!   analytical performance model turns into seconds and dollars;
-//! * [`context`] — wiring (store, Select engine, models).
+//! * [`context`] — wiring (store, Select engine, models, the
+//!   [`catalog::Catalog`] that resolves join tables by name).
 
 pub mod algos;
 pub mod catalog;
 pub mod context;
 pub mod cost;
 pub mod index;
+mod joinplan;
 pub mod metrics;
 pub mod ops;
 pub mod output;
+pub mod plan;
 pub mod planner;
 pub mod scan;
 
 pub use catalog::{
-    probe_stats, upload_columnar_table, upload_csv_table, ColumnStats, Table, TableStats,
+    probe_stats, upload_columnar_table, upload_csv_table, Catalog, ColumnStats, Table, TableStats,
 };
 pub use context::QueryContext;
-pub use cost::{Estimator, PlanEstimate};
+pub use cost::{Estimator, PlanEstimate, PlanPrediction};
 pub use index::{build_index, IndexTable};
 pub use metrics::QueryMetrics;
 pub use output::QueryOutput;
+pub use plan::{AlgoOp, OpReport, PlanNode, PlanOp};
 pub use planner::{execute_sql, execute_sql_verbose, Explain, Strategy};

@@ -382,6 +382,29 @@ pub fn sort_rows(mut rows: Vec<Row>, col: usize, asc: bool, stats: &mut PhaseSta
     rows
 }
 
+/// Full sort by several `(column, ascending)` keys, major key first —
+/// the Sort operator of the physical plan (`ORDER BY a DESC, b`). The
+/// sort is stable, so rows equal on every key keep their input order;
+/// with deterministic upstream operators the output is deterministic.
+pub fn sort_rows_by_keys(
+    mut rows: Vec<Row>,
+    keys: &[(usize, bool)],
+    stats: &mut PhaseStats,
+) -> Vec<Row> {
+    let n = rows.len() as u64;
+    stats.server_cpu_units += n * (64 - n.leading_zeros() as u64).max(1);
+    rows.sort_by(|a, b| {
+        for &(col, asc) in keys {
+            let o = a[col].total_cmp(&b[col]);
+            if o != Ordering::Equal {
+                return if asc { o } else { o.reverse() };
+            }
+        }
+        Ordering::Equal
+    });
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -605,6 +628,29 @@ mod tests {
         // NULL keys are skipped.
         let with_null = vec![Row::new(vec![Value::Null]), row(vec![5])];
         assert_eq!(top_k(&with_null, 0, 2, true, &mut stats).len(), 1);
+    }
+
+    #[test]
+    fn multi_key_sort_orders_major_then_minor() {
+        let rows = vec![
+            row(vec![2, 1]),
+            row(vec![1, 9]),
+            row(vec![2, 3]),
+            row(vec![1, 4]),
+        ];
+        let mut stats = PhaseStats::default();
+        // Major: col 0 DESC; minor: col 1 ASC.
+        let sorted = sort_rows_by_keys(rows, &[(0, false), (1, true)], &mut stats);
+        assert_eq!(
+            sorted,
+            vec![
+                row(vec![2, 1]),
+                row(vec![2, 3]),
+                row(vec![1, 4]),
+                row(vec![1, 9]),
+            ]
+        );
+        assert!(stats.server_cpu_units > 0);
     }
 
     #[test]

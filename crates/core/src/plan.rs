@@ -1,0 +1,724 @@
+//! The physical-plan IR: a small tree of vectorized operators over
+//! [`Row`]s, built by the planner ([`crate::planner`]) and driven by the
+//! one executor in this module ([`execute`]).
+//!
+//! Leaves are per-table scans — [`PlanOp::PushdownScan`] ships the
+//! predicate and projection to the storage engine, [`PlanOp::LocalScan`]
+//! GETs whole partitions and filters on the compute node. Interior operators
+//! compose them into multi-table queries: hash equi-joins (with an
+//! optional Bloom runtime filter injected into the probe scan, paper
+//! §V-A2), residual filters, projections, hash aggregation, multi-key
+//! sort and limit. The paper's single-table algorithm families (§IV
+//! filter, §VI group-by, §VII top-K, scalar aggregation) participate as
+//! leaf operators ([`PlanOp::Algo`]), so *every* query — single-table
+//! fast path or composed TPC-H Q3 shape — runs through the same
+//! executor.
+//!
+//! Execution reports per-operator [`PhaseStats`] in an [`OpReport`]
+//! tree; [`crate::cost::predict_plan`] produces the same tree shape from
+//! catalog statistics, and the planner zips the two so `EXPLAIN` can
+//! show predicted-vs-actual per node.
+
+use crate::algos::{filter, groupby, topk, whatif};
+use crate::catalog::Table;
+use crate::context::QueryContext;
+use crate::metrics::QueryMetrics;
+use crate::ops;
+use crate::output::QueryOutput;
+use crate::scan::{plain_scan_streamed, select_scan};
+use pushdown_common::perf::{PerfModel, PhaseStats};
+use pushdown_common::{Error, Result, Row, Schema, Value};
+use pushdown_sql::agg::AggFunc;
+use pushdown_sql::bind::Binder;
+use pushdown_sql::{Expr, SelectItem, SelectStmt};
+
+/// One node of a physical plan: an operator, its inputs, and the output
+/// schema the planner computed while lowering.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    pub op: PlanOp,
+    pub children: Vec<PlanNode>,
+    /// Output schema (lowering-time; execution re-derives and agrees).
+    pub schema: Schema,
+}
+
+/// The operator vocabulary of the plan IR.
+#[derive(Debug, Clone)]
+pub enum PlanOp {
+    /// Leaf: GET every partition of `table`, decode locally, apply
+    /// `predicate` batch-by-batch (baseline side — all bytes cross the
+    /// wire as free plain transfer).
+    LocalScan {
+        table: Table,
+        predicate: Option<Expr>,
+    },
+    /// Leaf: `predicate` + `projection` pushed into S3 Select
+    /// (`None` projection = `*`).
+    PushdownScan {
+        table: Table,
+        predicate: Option<Expr>,
+        projection: Option<Vec<String>>,
+    },
+    /// Hash inner equi-join: children `[build, probe]`, output rows are
+    /// `build ++ probe`. Independent subtrees scan concurrently.
+    HashJoin {
+        build_key: String,
+        probe_key: String,
+    },
+    /// Hash join whose probe child (a [`PlanOp::PushdownScan`]) is
+    /// additionally filtered by a Bloom filter built from the build
+    /// side's keys and shipped inside the probe's Select predicate
+    /// (paper §V-A2). Build and probe are serial by construction; falls
+    /// back to an unfiltered probe when no filter fits the SQL limit
+    /// (§V-B1).
+    BloomJoin {
+        build_key: String,
+        probe_key: String,
+        fpr: f64,
+    },
+    /// Residual predicate spanning tables, evaluated locally.
+    LocalFilter { predicate: Expr },
+    /// Compute one expression per output column (names carried by the
+    /// node schema).
+    Project { exprs: Vec<Expr> },
+    /// Hash aggregation: input columns `0..group_width` are the group
+    /// key; aggregate *i* consumes input column `aggs[i].1` (`None` =
+    /// `COUNT(*)`). Output sorted by group key (deterministic).
+    GroupBy {
+        group_width: usize,
+        aggs: Vec<(AggFunc, Option<usize>)>,
+    },
+    /// Scalar aggregation: one output row, even over empty input.
+    Aggregate { aggs: Vec<(AggFunc, Option<usize>)> },
+    /// Stable multi-key sort (`(column, ascending)`, major first),
+    /// optionally truncating to `limit` rows (ORDER BY … LIMIT k).
+    Sort {
+        keys: Vec<(usize, bool)>,
+        limit: Option<usize>,
+    },
+    /// Plain truncation (LIMIT without ORDER BY).
+    Limit { n: usize },
+    /// One of the paper's single-table algorithm families, as a leaf
+    /// operator: the planner's strategy choice picks the variant, the
+    /// executor drives it like any other operator.
+    Algo(AlgoOp),
+}
+
+/// A single-table algorithm family with its chosen variant.
+#[derive(Debug, Clone)]
+pub enum AlgoOp {
+    /// §IV filter: `"server-side"` or `"s3-side"`.
+    Filter(filter::FilterQuery, &'static str),
+    /// Scalar aggregation (§VIII Q6 shape): `"server-side"`/`"s3-side"`.
+    Aggregate(Table, SelectStmt, &'static str),
+    /// §VI group-by: `"server-side"`/`"filtered"`/`"s3-side"`/`"hybrid"`
+    /// /`"s3-native"`.
+    GroupBy(groupby::GroupByQuery, &'static str),
+    /// §VII top-K: `"server-side"` or `"sampling"`.
+    TopK(topk::TopKQuery, &'static str),
+}
+
+impl PlanNode {
+    pub fn new(op: PlanOp, children: Vec<PlanNode>, schema: Schema) -> PlanNode {
+        PlanNode {
+            op,
+            children,
+            schema,
+        }
+    }
+
+    /// Display label of this operator (used by `Explain::report`).
+    pub fn label(&self) -> String {
+        match &self.op {
+            PlanOp::LocalScan { table, .. } => format!("LocalScan[{}]", table.name),
+            PlanOp::PushdownScan { table, .. } => format!("PushdownScan[{}]", table.name),
+            PlanOp::HashJoin {
+                build_key,
+                probe_key,
+            } => {
+                let name = if self.children.iter().all(PlanNode::scans_pushed) {
+                    "FilteredJoin"
+                } else {
+                    "HashJoin"
+                };
+                format!("{name}[{build_key} = {probe_key}]")
+            }
+            PlanOp::BloomJoin {
+                build_key,
+                probe_key,
+                fpr,
+            } => format!("BloomJoin[{build_key} = {probe_key}, fpr {fpr}]"),
+            PlanOp::LocalFilter { predicate } => format!("Filter[{predicate}]"),
+            PlanOp::Project { exprs } => format!("Project[{} exprs]", exprs.len()),
+            PlanOp::GroupBy {
+                group_width, aggs, ..
+            } => format!("GroupBy[{group_width} keys, {} aggs]", aggs.len()),
+            PlanOp::Aggregate { aggs } => format!("Aggregate[{} aggs]", aggs.len()),
+            PlanOp::Sort { keys, limit } => match limit {
+                Some(k) => format!("TopK[{} keys, limit {k}]", keys.len()),
+                None => format!("Sort[{} keys]", keys.len()),
+            },
+            PlanOp::Limit { n } => format!("Limit[{n}]"),
+            PlanOp::Algo(a) => match a {
+                AlgoOp::Filter(q, algo) => format!("Filter[{algo}, {}]", q.table.name),
+                AlgoOp::Aggregate(t, _, algo) => format!("Aggregate[{algo}, {}]", t.name),
+                AlgoOp::GroupBy(q, algo) => format!("GroupBy[{algo}, {}]", q.table.name),
+                AlgoOp::TopK(q, algo) => format!("TopK[{algo}, {}]", q.table.name),
+            },
+        }
+    }
+
+    /// True when every scan leaf below (and including) this node pushes
+    /// into S3 Select.
+    fn scans_pushed(&self) -> bool {
+        match &self.op {
+            PlanOp::LocalScan { .. } => false,
+            PlanOp::PushdownScan { .. } => true,
+            _ => self.children.iter().all(PlanNode::scans_pushed),
+        }
+    }
+}
+
+/// Per-operator execution record: what one node actually cost, with the
+/// planner's prediction attached when available.
+#[derive(Debug, Clone)]
+pub struct OpReport {
+    pub label: String,
+    /// Predicted footprint of this operator (from
+    /// [`crate::cost::predict_plan`]); `None` when the planner had no
+    /// per-node prediction.
+    pub predicted: Option<PhaseStats>,
+    /// Measured footprint of this operator alone (children excluded).
+    pub actual: PhaseStats,
+    pub children: Vec<OpReport>,
+}
+
+impl OpReport {
+    fn leaf(label: String, actual: PhaseStats) -> OpReport {
+        OpReport {
+            label,
+            predicted: None,
+            actual,
+            children: Vec::new(),
+        }
+    }
+
+    /// Indented operator tree with predicted-vs-actual seconds per node.
+    pub fn render(&self, model: &PerfModel) -> String {
+        let mut out = String::new();
+        self.render_into(model, 1, &mut out);
+        out
+    }
+
+    fn render_into(&self, model: &PerfModel, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let indent = "  ".repeat(depth);
+        let actual = model.phase_seconds(&self.actual);
+        match &self.predicted {
+            Some(p) => {
+                let _ = writeln!(
+                    out,
+                    "{indent}{}  predicted {:.2}s vs actual {actual:.2}s",
+                    self.label,
+                    model.phase_seconds(p),
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{indent}{}  actual {actual:.2}s", self.label);
+            }
+        }
+        for c in &self.children {
+            c.render_into(model, depth + 1, out);
+        }
+    }
+}
+
+/// What executing a plan produced: rows, schema, the phase-structured
+/// metrics (identical in shape to the prediction's), and the per-node
+/// report tree.
+#[derive(Debug, Clone)]
+pub struct Executed {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+    pub metrics: QueryMetrics,
+    pub report: OpReport,
+}
+
+impl Executed {
+    /// Convert into a [`QueryOutput`] (the caller's scope fills `billed`).
+    pub fn into_output(self) -> QueryOutput {
+        QueryOutput {
+            schema: self.schema,
+            rows: self.rows,
+            metrics: self.metrics,
+            billed: Default::default(),
+        }
+    }
+}
+
+/// Build the Select statement a scan leaf ships: projection columns (or
+/// `*`) plus the pushed predicate.
+pub(crate) fn scan_stmt(projection: &Option<Vec<String>>, predicate: &Option<Expr>) -> SelectStmt {
+    let items = match projection {
+        None => vec![SelectItem::Wildcard],
+        Some(cols) => cols
+            .iter()
+            .map(|c| SelectItem::Expr {
+                expr: Expr::col(c.clone()),
+                alias: None,
+            })
+            .collect(),
+    };
+    SelectStmt {
+        items,
+        alias: None,
+        where_clause: predicate.clone(),
+        limit: None,
+    }
+}
+
+/// Compose two concurrently-executed children's metrics: two single
+/// groups merge into one parallel group (group time = max); anything
+/// deeper concatenates serially (conservative).
+pub(crate) fn merge_concurrent(a: QueryMetrics, b: QueryMetrics) -> QueryMetrics {
+    let mut out = QueryMetrics::new();
+    if a.groups.len() == 1 && b.groups.len() == 1 {
+        let mut phases = Vec::new();
+        for g in a.groups.into_iter().chain(b.groups) {
+            for p in g.phases {
+                phases.push((p.label, p.stats));
+            }
+        }
+        out.push_parallel(phases);
+    } else {
+        out.groups.extend(a.groups);
+        out.groups.extend(b.groups);
+    }
+    out
+}
+
+/// Sum every phase of `metrics` into one [`PhaseStats`] (leaf reports).
+pub(crate) fn merged_stats(metrics: &QueryMetrics) -> PhaseStats {
+    let mut stats = PhaseStats::default();
+    for g in &metrics.groups {
+        for p in &g.phases {
+            stats.merge(&p.stats);
+        }
+    }
+    stats
+}
+
+/// Attach the prediction tree's per-node stats to the execution report.
+/// The two trees have the same shape by construction (same plan).
+pub fn annotate(report: &mut OpReport, predicted: &crate::cost::PredNode) {
+    report.predicted = Some(predicted.stats);
+    for (r, p) in report.children.iter_mut().zip(&predicted.children) {
+        annotate(r, p);
+    }
+}
+
+/// Execute a physical plan against the context's store. Every operator
+/// reports its own [`PhaseStats`]; billable traffic comes only from the
+/// scan leaves, so the summed metrics agree exactly with the scope's
+/// cost ledger.
+pub fn execute(ctx: &QueryContext, node: &PlanNode) -> Result<Executed> {
+    match &node.op {
+        PlanOp::LocalScan { table, predicate } => {
+            let bound = match predicate {
+                Some(p) => Some(Binder::new(&table.schema).bind_expr(p)?),
+                None => None,
+            };
+            let mut op_stats = PhaseStats::default();
+            let mut rows = Vec::new();
+            let summary = plain_scan_streamed(ctx, table, |batch| {
+                match &bound {
+                    Some(b) => rows.extend(ops::filter_rows(batch.rows, b, &mut op_stats)?),
+                    None => rows.extend(batch.rows),
+                }
+                Ok(())
+            })?;
+            let mut stats = summary.stats;
+            stats.merge(&op_stats);
+            let mut metrics = QueryMetrics::new();
+            metrics.push_serial(format!("load {}", table.name), stats);
+            Ok(Executed {
+                schema: summary.schema,
+                rows,
+                metrics,
+                report: OpReport::leaf(node.label(), stats),
+            })
+        }
+        PlanOp::PushdownScan {
+            table,
+            predicate,
+            projection,
+        } => {
+            let scan = select_scan(ctx, table, &scan_stmt(projection, predicate))?;
+            let mut metrics = QueryMetrics::new();
+            metrics.push_serial(format!("select {}", table.name), scan.stats);
+            Ok(Executed {
+                schema: scan.schema,
+                rows: scan.rows,
+                metrics,
+                report: OpReport::leaf(node.label(), scan.stats),
+            })
+        }
+        PlanOp::HashJoin {
+            build_key,
+            probe_key,
+        } => {
+            let (build, probe) = execute_pair(ctx, &node.children[0], &node.children[1])?;
+            let metrics = merge_concurrent(build.metrics.clone(), probe.metrics.clone());
+            finish_join(
+                node,
+                build,
+                probe,
+                metrics,
+                build_key,
+                probe_key,
+                "hash join",
+            )
+        }
+        PlanOp::BloomJoin {
+            build_key,
+            probe_key,
+            fpr,
+        } => {
+            let build = execute(ctx, &node.children[0])?;
+            let bk = build.schema.resolve(build_key)?;
+            if build.schema.dtype_of(bk) != pushdown_common::DataType::Int {
+                return Err(Error::Bind(format!(
+                    "Bloom join requires an integer join key, `{build_key}` is {}",
+                    build.schema.dtype_of(bk)
+                )));
+            }
+            let mut keys = Vec::with_capacity(build.rows.len());
+            for r in &build.rows {
+                match &r[bk] {
+                    Value::Null => {}
+                    v => keys.push(v.as_i64()?),
+                }
+            }
+            let probe_node = &node.children[1];
+            let PlanOp::PushdownScan {
+                table,
+                predicate,
+                projection,
+            } = &probe_node.op
+            else {
+                return Err(Error::Other(
+                    "BloomJoin probe child must be a PushdownScan".into(),
+                ));
+            };
+            // §V-B1: degrade or fall back when the filter cannot fit the
+            // SQL size limit; either way the build side already loaded,
+            // so the two scans stay serial.
+            let (stmt, probe_label) = match ctx.bloom.build(&keys, *fpr, probe_key) {
+                Some((bloom_filter, _plan)) => {
+                    let bloom_pred = bloom_filter.sql_predicate(probe_key);
+                    let pred = match predicate {
+                        Some(p) => Expr::and(p.clone(), bloom_pred),
+                        None => bloom_pred,
+                    };
+                    (scan_stmt(projection, &Some(pred)), "bloom probe")
+                }
+                None => (
+                    scan_stmt(projection, predicate),
+                    "fallback probe (no bloom)",
+                ),
+            };
+            let scan = select_scan(ctx, table, &stmt)?;
+            let mut probe_metrics = QueryMetrics::new();
+            probe_metrics.push_serial(format!("{probe_label} {}", table.name), scan.stats);
+            let probe = Executed {
+                schema: scan.schema,
+                rows: scan.rows,
+                metrics: probe_metrics,
+                report: OpReport::leaf(probe_node.label(), scan.stats),
+            };
+            let mut metrics = build.metrics.clone();
+            metrics.extend(&probe.metrics);
+            finish_join(
+                node,
+                build,
+                probe,
+                metrics,
+                build_key,
+                probe_key,
+                "hash join (bloom)",
+            )
+        }
+        PlanOp::LocalFilter { predicate } => {
+            let child = execute(ctx, &node.children[0])?;
+            let bound = Binder::new(&child.schema).bind_expr(predicate)?;
+            let mut local = PhaseStats::default();
+            let rows = ops::filter_rows(child.rows, &bound, &mut local)?;
+            let mut metrics = child.metrics;
+            metrics.push_serial("residual filter", local);
+            Ok(Executed {
+                schema: child.schema,
+                rows,
+                metrics,
+                report: OpReport {
+                    label: node.label(),
+                    predicted: None,
+                    actual: local,
+                    children: vec![child.report],
+                },
+            })
+        }
+        PlanOp::Project { exprs } => {
+            let child = execute(ctx, &node.children[0])?;
+            let binder = Binder::new(&child.schema);
+            let bound: Vec<_> = exprs
+                .iter()
+                .map(|e| binder.bind_expr(e))
+                .collect::<Result<_>>()?;
+            let mut local = PhaseStats::default();
+            let rows = ops::map_rows(&child.rows, &bound, &mut local)?;
+            let mut metrics = child.metrics;
+            metrics.push_serial("project", local);
+            Ok(Executed {
+                schema: node.schema.clone(),
+                rows,
+                metrics,
+                report: OpReport {
+                    label: node.label(),
+                    predicted: None,
+                    actual: local,
+                    children: vec![child.report],
+                },
+            })
+        }
+        PlanOp::GroupBy { group_width, aggs } => {
+            let child = execute(ctx, &node.children[0])?;
+            let group_cols: Vec<usize> = (0..*group_width).collect();
+            let mut local = PhaseStats::default();
+            let rows = ops::hash_group_by(&child.rows, &group_cols, aggs, &mut local)?;
+            let mut metrics = child.metrics;
+            metrics.push_serial("group-by", local);
+            Ok(Executed {
+                schema: node.schema.clone(),
+                rows,
+                metrics,
+                report: OpReport {
+                    label: node.label(),
+                    predicted: None,
+                    actual: local,
+                    children: vec![child.report],
+                },
+            })
+        }
+        PlanOp::Aggregate { aggs } => {
+            let child = execute(ctx, &node.children[0])?;
+            let mut local = PhaseStats::default();
+            local.server_cpu_units += child.rows.len() as u64 * aggs.len().max(1) as u64;
+            let mut accs: Vec<_> = aggs.iter().map(|(f, c)| (f.accumulator(), *c)).collect();
+            for r in &child.rows {
+                for (acc, col) in accs.iter_mut() {
+                    match col {
+                        Some(c) => acc.update(&r[*c])?,
+                        None => acc.update(&Value::Bool(true))?,
+                    }
+                }
+            }
+            let rows = vec![Row::new(accs.iter().map(|(a, _)| a.finish()).collect())];
+            let mut metrics = child.metrics;
+            metrics.push_serial("aggregate", local);
+            Ok(Executed {
+                schema: node.schema.clone(),
+                rows,
+                metrics,
+                report: OpReport {
+                    label: node.label(),
+                    predicted: None,
+                    actual: local,
+                    children: vec![child.report],
+                },
+            })
+        }
+        PlanOp::Sort { keys, limit } => {
+            let child = execute(ctx, &node.children[0])?;
+            let mut local = PhaseStats::default();
+            let mut rows = ops::sort_rows_by_keys(child.rows, keys, &mut local);
+            if let Some(k) = limit {
+                rows.truncate(*k);
+            }
+            let mut metrics = child.metrics;
+            metrics.push_serial("sort", local);
+            Ok(Executed {
+                schema: child.schema,
+                rows,
+                metrics,
+                report: OpReport {
+                    label: node.label(),
+                    predicted: None,
+                    actual: local,
+                    children: vec![child.report],
+                },
+            })
+        }
+        PlanOp::Limit { n } => {
+            let mut child = execute(ctx, &node.children[0])?;
+            child.rows.truncate(*n);
+            Ok(Executed {
+                report: OpReport {
+                    label: node.label(),
+                    predicted: None,
+                    actual: PhaseStats::default(),
+                    children: vec![child.report],
+                },
+                ..child
+            })
+        }
+        PlanOp::Algo(algo) => {
+            let out = match algo {
+                AlgoOp::Filter(q, algorithm) => match *algorithm {
+                    "s3-side" => filter::s3_side(ctx, q)?,
+                    _ => filter::server_side(ctx, q)?,
+                },
+                AlgoOp::Aggregate(table, stmt, algorithm) => match *algorithm {
+                    "s3-side" => {
+                        let scan = select_scan(ctx, table, stmt)?;
+                        let mut metrics = QueryMetrics::new();
+                        metrics.push_serial("s3-side aggregation", scan.stats);
+                        QueryOutput {
+                            schema: scan.schema,
+                            rows: scan.rows,
+                            metrics,
+                            billed: Default::default(),
+                        }
+                    }
+                    _ => local_aggregate(ctx, table, stmt)?,
+                },
+                AlgoOp::GroupBy(q, algorithm) => match *algorithm {
+                    "filtered" => groupby::filtered(ctx, q)?,
+                    "s3-side" => groupby::s3_side(ctx, q)?,
+                    "hybrid" => groupby::hybrid(ctx, q, groupby::HybridOptions::default())?,
+                    "s3-native" => whatif::s3_native_groupby(ctx, q)?,
+                    _ => groupby::server_side(ctx, q)?,
+                },
+                AlgoOp::TopK(q, algorithm) => match *algorithm {
+                    "sampling" => topk::sampling(ctx, q, None)?,
+                    _ => topk::server_side(ctx, q)?,
+                },
+            };
+            let actual = merged_stats(&out.metrics);
+            Ok(Executed {
+                schema: out.schema,
+                rows: out.rows,
+                metrics: out.metrics,
+                report: OpReport::leaf(node.label(), actual),
+            })
+        }
+    }
+}
+
+/// Execute two independent subtrees concurrently (their scans are
+/// independent I/O, exactly like the §V filtered join's two sides).
+fn execute_pair(ctx: &QueryContext, a: &PlanNode, b: &PlanNode) -> Result<(Executed, Executed)> {
+    let mut left = None;
+    let mut right = None;
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| execute(ctx, a));
+        right = Some(execute(ctx, b));
+        left = Some(handle.join().expect("build subtree panicked"));
+    });
+    Ok((left.unwrap()?, right.unwrap()?))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_join(
+    node: &PlanNode,
+    build: Executed,
+    probe: Executed,
+    mut metrics: QueryMetrics,
+    build_key: &str,
+    probe_key: &str,
+    phase_label: &str,
+) -> Result<Executed> {
+    let bk = build.schema.resolve(build_key)?;
+    let pk = probe.schema.resolve(probe_key)?;
+    let mut local = PhaseStats::default();
+    let rows = ops::hash_join(build.rows, bk, probe.rows, pk, &mut local);
+    let schema = build.schema.join(&probe.schema);
+    metrics.push_serial(phase_label, local);
+    Ok(Executed {
+        schema,
+        rows,
+        metrics,
+        report: OpReport {
+            label: node.label(),
+            predicted: None,
+            actual: local,
+            children: vec![build.report, probe.report],
+        },
+    })
+}
+
+/// Baseline scalar aggregation: full load, evaluate aggregate items
+/// locally — streamed. Scan batches fold straight into the accumulators;
+/// only the accumulators are resident. (Billing is the caller's query
+/// scope's job — the executor fills `QueryOutput::billed` once, at the
+/// top.)
+fn local_aggregate(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Result<QueryOutput> {
+    let binder = Binder::new(&table.schema);
+    let pred = match &stmt.where_clause {
+        Some(w) => Some(binder.bind_expr(w)?),
+        None => None,
+    };
+    let mut accs = Vec::new();
+    let mut fields = Vec::new();
+    for (i, item) in stmt.items.iter().enumerate() {
+        let SelectItem::Agg { func, arg, alias } = item else {
+            return Err(Error::Bind(
+                "aggregate query cannot contain scalar items".into(),
+            ));
+        };
+        let bound = match arg {
+            Some(e) => Some(binder.bind_expr(e)?),
+            None => None,
+        };
+        let dtype = match func {
+            AggFunc::Count => pushdown_common::DataType::Int,
+            AggFunc::Avg => pushdown_common::DataType::Float,
+            _ => bound
+                .as_ref()
+                .map(|e| e.infer_type())
+                .unwrap_or(pushdown_common::DataType::Float),
+        };
+        fields.push(pushdown_common::Field::new(
+            alias.clone().unwrap_or_else(|| format!("_{}", i + 1)),
+            dtype,
+        ));
+        accs.push((func.accumulator(), bound));
+    }
+    let mut op_stats = PhaseStats::default();
+    let summary = plain_scan_streamed(ctx, table, |batch| {
+        let rows = match &pred {
+            Some(p) => ops::filter_rows(batch.rows, p, &mut op_stats)?,
+            None => batch.rows,
+        };
+        op_stats.server_cpu_units += rows.len() as u64 * accs.len() as u64;
+        for r in &rows {
+            for (acc, arg) in accs.iter_mut() {
+                match arg {
+                    Some(e) => acc.update(&pushdown_sql::eval::eval(e, r)?)?,
+                    None => acc.update(&Value::Bool(true))?,
+                }
+            }
+        }
+        Ok(())
+    })?;
+    let row = Row::new(accs.iter().map(|(a, _)| a.finish()).collect());
+    let mut stats = summary.stats;
+    stats.merge(&op_stats);
+    let mut metrics = QueryMetrics::new();
+    metrics.push_serial("server-side aggregation", stats);
+    Ok(QueryOutput {
+        schema: Schema::new(fields),
+        rows: vec![row],
+        metrics,
+        billed: Default::default(),
+    })
+}

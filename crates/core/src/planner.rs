@@ -14,28 +14,33 @@
 //! the candidates considered, the prediction for the chosen plan, and a
 //! predicted-vs-actual report per phase.
 //!
-//! Shapes handled (one table, as in the paper's testbed):
+//! Every query lowers to a **physical plan** ([`crate::plan`]) run by
+//! one executor. Shapes handled:
 //!
 //! * plain filter/projection → §IV filter strategies;
 //! * aggregates without GROUP BY → local vs S3-side aggregation (§VIII Q6);
 //! * GROUP BY → §VI group-by algorithms (adaptive additionally considers
 //!   the filtered variant, and §X's native group-by when the extended
 //!   engine is enabled);
-//! * ORDER BY … LIMIT k → §VII top-K algorithms.
+//! * `ORDER BY col LIMIT k` over `*` → §VII top-K algorithms; every
+//!   other ordered shape (multi-key ORDER BY, ordering over GROUP BY
+//!   results or projections) stacks a Sort operator on the matching
+//!   choice;
+//! * multi-table `JOIN ... ON` → a left-deep join DAG (the `joinplan`
+//!   lowering) whose join strategy and per-scan pushdown modes are
+//!   chosen **jointly**, priced whole-plan by [`cost::predict_plan`].
 
-use crate::algos::{filter, groupby, topk, whatif};
+use crate::algos::{filter, groupby, topk};
 use crate::catalog::Table;
 use crate::context::QueryContext;
 use crate::cost::{self, Estimator, PlanEstimate};
 use crate::metrics::QueryMetrics;
-use crate::ops;
 use crate::output::QueryOutput;
-use crate::scan::{self, select_scan};
+use crate::plan::{self, AlgoOp, OpReport, PlanNode, PlanOp};
 use pushdown_common::pricing::Usage;
-use pushdown_common::{Error, Result, Row, Schema, Value};
+use pushdown_common::{Error, Result};
 use pushdown_sql::agg::AggFunc;
 use pushdown_sql::ast::QuerySpec;
-use pushdown_sql::bind::Binder;
 use pushdown_sql::parser::parse_query;
 use pushdown_sql::{Expr, SelectItem, SelectStmt};
 
@@ -54,10 +59,24 @@ pub enum Strategy {
 /// What the planner decided (for EXPLAIN-style output).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlanKind {
-    Filter { pushdown: bool },
-    Aggregate { pushdown: bool },
-    GroupBy { algorithm: &'static str },
-    TopK { sampling: bool },
+    Filter {
+        pushdown: bool,
+    },
+    Aggregate {
+        pushdown: bool,
+    },
+    GroupBy {
+        algorithm: &'static str,
+    },
+    TopK {
+        sampling: bool,
+    },
+    /// A multi-table join plan; `algorithm` names the joint join ×
+    /// per-scan-pushdown candidate (`"baseline"`, `"filtered"`,
+    /// `"bloom"`, `"build-push"`, `"probe-push"`).
+    Join {
+        algorithm: &'static str,
+    },
 }
 
 impl std::fmt::Display for PlanKind {
@@ -85,6 +104,7 @@ impl std::fmt::Display for PlanKind {
                     if *sampling { "sampling" } else { "server-side" }
                 )
             }
+            PlanKind::Join { algorithm } => write!(f, "Join[{algorithm}]"),
         }
     }
 }
@@ -115,6 +135,10 @@ pub struct Explain {
     pub candidates: Vec<CandidateCost>,
     /// Predicted metrics of the executed plan (Adaptive only).
     pub predicted: Option<QueryMetrics>,
+    /// The executed physical-plan tree, one entry per operator, with
+    /// each node's measured footprint and — where the planner had one —
+    /// its prediction.
+    pub operators: Option<OpReport>,
 }
 
 impl Explain {
@@ -185,6 +209,10 @@ impl Explain {
                 out.metrics.cost(&ctx.model, &ctx.pricing).total(),
             );
         }
+        if let Some(ops) = &self.operators {
+            let _ = writeln!(s, "operators (predicted vs actual):");
+            s.push_str(&ops.render(&ctx.model));
+        }
         // The per-query child ledger — what AWS would bill this query,
         // exact even with other queries running concurrently.
         let b = out.billed;
@@ -246,8 +274,24 @@ impl Choice {
                 })
                 .collect(),
             predicted: self.chosen.map(|i| self.candidates[i].predicted.clone()),
+            operators: None,
         }
     }
+
+    /// The chosen candidate's predicted footprint, folded to one
+    /// [`pushdown_common::perf::PhaseStats`] (attached to algorithm-family
+    /// leaf operators in the report tree).
+    fn leaf_prediction(&self) -> Option<pushdown_common::perf::PhaseStats> {
+        self.chosen
+            .map(|i| plan::merged_stats(&self.candidates[i].predicted))
+    }
+}
+
+/// Execute a plan and split the result into output + report tree.
+fn run_plan(ctx: &QueryContext, node: &PlanNode) -> Result<(QueryOutput, OpReport)> {
+    let executed = plan::execute(ctx, node)?;
+    let report = executed.report.clone();
+    Ok((executed.into_output(), report))
 }
 
 /// Parse and execute a client-dialect SQL query against one table.
@@ -307,75 +351,68 @@ fn plan_and_run_scoped(
     spec: &QuerySpec,
     strategy: Strategy,
 ) -> Result<(QueryOutput, Explain)> {
-    // ---- ORDER BY ... LIMIT k → top-K (§VII).
-    if let Some(order) = &spec.order_by {
-        if !spec.group_by.is_empty() {
-            return Err(Error::Bind(
-                "ORDER BY over GROUP BY results is not supported by this planner".into(),
-            ));
+    // ---- Multi-table FROM → join DAG over the plan IR.
+    if !spec.joins.is_empty() {
+        return joined_plan_and_run(ctx, table, spec, strategy);
+    }
+
+    if !spec.order_by.is_empty() {
+        // ---- `ORDER BY col LIMIT k` over `*` → top-K (§VII), exactly
+        // the paper's shape. Every other ordered shape stacks a Sort
+        // operator over the matching scan/aggregation choice.
+        let topk_shape = spec.group_by.is_empty()
+            && spec.order_by.len() == 1
+            && spec.select.limit.is_some()
+            && spec.select.where_clause.is_none()
+            && matches!(spec.select.items.as_slice(), [SelectItem::Wildcard]);
+        if topk_shape {
+            let order = &spec.order_by[0];
+            let q = topk::TopKQuery {
+                table: table.clone(),
+                order_col: order.column.clone(),
+                k: spec.select.limit.expect("top-K shape has a LIMIT") as usize,
+                asc: order.asc,
+            };
+            // Unknown order columns are bind errors, not runtime errors.
+            q.table.schema.resolve(&q.order_col)?;
+            let choice = match strategy {
+                Strategy::Baseline => Choice::fixed("server-side"),
+                Strategy::Pushdown => Choice::fixed("sampling"),
+                Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).topk(&q)),
+            };
+            let node = PlanNode::new(
+                PlanOp::Algo(AlgoOp::TopK(q.clone(), choice.algorithm)),
+                Vec::new(),
+                q.table.schema.clone(),
+            );
+            let (out, mut report) = run_plan(ctx, &node)?;
+            report.predicted = choice.leaf_prediction();
+            let kind = PlanKind::TopK {
+                sampling: choice.algorithm == "sampling",
+            };
+            let mut explain = choice.explain(ctx, kind, strategy);
+            explain.operators = Some(report);
+            return Ok((out, explain));
         }
-        let Some(k) = spec.select.limit else {
-            return Err(Error::Bind(
-                "ORDER BY requires a LIMIT (top-K is the supported shape)".into(),
-            ));
-        };
-        if !matches!(spec.select.items.as_slice(), [SelectItem::Wildcard]) {
-            return Err(Error::Bind(
-                "top-K queries must project `*` in this planner".into(),
-            ));
-        }
-        if spec.select.where_clause.is_some() {
-            return Err(Error::Bind(
-                "top-K with a WHERE clause is not supported by this planner".into(),
-            ));
-        }
-        let q = topk::TopKQuery {
-            table: table.clone(),
-            order_col: order.column.clone(),
-            k: k as usize,
-            asc: order.asc,
-        };
-        let choice = match strategy {
-            Strategy::Baseline => Choice::fixed("server-side"),
-            Strategy::Pushdown => Choice::fixed("sampling"),
-            Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).topk(&q)),
-        };
-        let out = match choice.algorithm {
-            "sampling" => topk::sampling(ctx, &q, None)?,
-            _ => topk::server_side(ctx, &q)?,
-        };
-        let kind = PlanKind::TopK {
-            sampling: choice.algorithm == "sampling",
-        };
-        let explain = choice.explain(ctx, kind.clone(), strategy);
-        return Ok((out, explain));
+        return sorted_plan_and_run(ctx, table, spec, strategy);
     }
 
     // ---- GROUP BY → §VI.
     if !spec.group_by.is_empty() {
         let q = groupby_query(table, spec)?;
-        let choice = match strategy {
-            Strategy::Baseline => Choice::fixed("server-side"),
-            Strategy::Pushdown => {
-                if q.group_cols.len() == 1 {
-                    Choice::fixed("hybrid")
-                } else {
-                    Choice::fixed("s3-side")
-                }
-            }
-            Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).groupby(&q)),
-        };
-        let out = match choice.algorithm {
-            "filtered" => groupby::filtered(ctx, &q)?,
-            "s3-side" => groupby::s3_side(ctx, &q)?,
-            "hybrid" => groupby::hybrid(ctx, &q, groupby::HybridOptions::default())?,
-            "s3-native" => whatif::s3_native_groupby(ctx, &q)?,
-            _ => groupby::server_side(ctx, &q)?,
-        };
+        let choice = groupby_choice(ctx, table, &q, strategy);
+        let node = PlanNode::new(
+            PlanOp::Algo(AlgoOp::GroupBy(q.clone(), choice.algorithm)),
+            Vec::new(),
+            q.output_schema()?,
+        );
+        let (out, mut report) = run_plan(ctx, &node)?;
+        report.predicted = choice.leaf_prediction();
         let kind = PlanKind::GroupBy {
             algorithm: choice.algorithm,
         };
-        let explain = choice.explain(ctx, kind.clone(), strategy);
+        let mut explain = choice.explain(ctx, kind, strategy);
+        explain.operators = Some(report);
         return Ok((apply_limit(out, spec.select.limit), explain));
     }
 
@@ -388,29 +425,67 @@ fn plan_and_run_scoped(
                 Choice::adaptive(ctx, Estimator::new(ctx, table).aggregate(&spec.select))
             }
         };
-        let out = match choice.algorithm {
-            "s3-side" => {
-                let ctx = &ctx.scoped();
-                let scan = select_scan(ctx, table, &spec.select)?;
-                let mut metrics = QueryMetrics::new();
-                metrics.push_serial("s3-side aggregation", scan.stats);
-                QueryOutput {
-                    schema: scan.schema,
-                    rows: scan.rows,
-                    metrics,
-                    billed: ctx.billed(),
-                }
-            }
-            _ => local_aggregate(ctx, table, &spec.select)?,
-        };
+        let node = PlanNode::new(
+            PlanOp::Algo(AlgoOp::Aggregate(
+                table.clone(),
+                spec.select.clone(),
+                choice.algorithm,
+            )),
+            Vec::new(),
+            table.schema.clone(),
+        );
+        let (out, mut report) = run_plan(ctx, &node)?;
+        report.predicted = choice.leaf_prediction();
         let kind = PlanKind::Aggregate {
             pushdown: choice.algorithm == "s3-side",
         };
-        let explain = choice.explain(ctx, kind.clone(), strategy);
+        let mut explain = choice.explain(ctx, kind, strategy);
+        explain.operators = Some(report);
         return Ok((out, explain));
     }
 
     // ---- Plain filter/projection → §IV.
+    let (q, choice) = filter_choice(ctx, table, spec, strategy)?;
+    let node = PlanNode::new(
+        PlanOp::Algo(AlgoOp::Filter(q.clone(), choice.algorithm)),
+        Vec::new(),
+        q.output_schema()?,
+    );
+    let (out, mut report) = run_plan(ctx, &node)?;
+    report.predicted = choice.leaf_prediction();
+    let kind = PlanKind::Filter {
+        pushdown: choice.algorithm == "s3-side",
+    };
+    let mut explain = choice.explain(ctx, kind, strategy);
+    explain.operators = Some(report);
+    Ok((apply_limit(out, spec.select.limit), explain))
+}
+
+fn groupby_choice(
+    ctx: &QueryContext,
+    table: &Table,
+    q: &groupby::GroupByQuery,
+    strategy: Strategy,
+) -> Choice {
+    match strategy {
+        Strategy::Baseline => Choice::fixed("server-side"),
+        Strategy::Pushdown => {
+            if q.group_cols.len() == 1 {
+                Choice::fixed("hybrid")
+            } else {
+                Choice::fixed("s3-side")
+            }
+        }
+        Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).groupby(q)),
+    }
+}
+
+fn filter_choice(
+    ctx: &QueryContext,
+    table: &Table,
+    spec: &QuerySpec,
+    strategy: Strategy,
+) -> Result<(filter::FilterQuery, Choice)> {
     let projection = projection_columns(&spec.select)?;
     let q = filter::FilterQuery {
         table: table.clone(),
@@ -418,7 +493,7 @@ fn plan_and_run_scoped(
             .select
             .where_clause
             .clone()
-            .unwrap_or_else(|| Expr::lit(Value::Bool(true))),
+            .unwrap_or_else(|| Expr::lit(pushdown_common::Value::Bool(true))),
         projection,
     };
     let choice = match strategy {
@@ -426,15 +501,184 @@ fn plan_and_run_scoped(
         Strategy::Pushdown => Choice::fixed("s3-side"),
         Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).filter(&q)),
     };
-    let out = match choice.algorithm {
-        "s3-side" => filter::s3_side(ctx, &q)?,
-        _ => filter::server_side(ctx, &q)?,
+    Ok((q, choice))
+}
+
+/// Ordered shapes beyond the §VII fast path: GROUP BY + ORDER BY (keys
+/// may name grouping columns, aggregate output aliases, or default
+/// aggregate names) and multi-key / filtered / projected ORDER BY —
+/// lowered to a Sort operator over the matching algorithm-family leaf.
+fn sorted_plan_and_run(
+    ctx: &QueryContext,
+    table: &Table,
+    spec: &QuerySpec,
+    strategy: Strategy,
+) -> Result<(QueryOutput, Explain)> {
+    if spec.select.is_aggregate() && spec.group_by.is_empty() {
+        return Err(Error::Bind(
+            "ORDER BY over a scalar aggregate is not supported".into(),
+        ));
+    }
+    let limit = spec.select.limit.map(|l| l as usize);
+
+    // Alias → output position (aggregate aliases over GROUP BY results,
+    // column aliases over projections).
+    let mut aliases: Vec<(String, usize)> = Vec::new();
+    let (leaf, choice, kind, sort_schema) = if !spec.group_by.is_empty() {
+        let q = groupby_query(table, spec)?;
+        let choice = groupby_choice(ctx, table, &q, strategy);
+        let schema = q.output_schema()?;
+        let mut agg_idx = 0;
+        for item in &spec.select.items {
+            if let SelectItem::Agg { alias, .. } = item {
+                if let Some(a) = alias {
+                    aliases.push((a.clone(), q.group_cols.len() + agg_idx));
+                }
+                agg_idx += 1;
+            }
+        }
+        let kind = PlanKind::GroupBy {
+            algorithm: choice.algorithm,
+        };
+        let node = PlanNode::new(
+            PlanOp::Algo(AlgoOp::GroupBy(q, choice.algorithm)),
+            Vec::new(),
+            schema.clone(),
+        );
+        (node, choice, kind, schema)
+    } else {
+        let (q, choice) = filter_choice(ctx, table, spec, strategy)?;
+        let schema = q.output_schema()?;
+        for (i, item) in spec.select.items.iter().enumerate() {
+            if let SelectItem::Expr { alias: Some(a), .. } = item {
+                aliases.push((a.clone(), i));
+            }
+        }
+        let kind = PlanKind::Filter {
+            pushdown: choice.algorithm == "s3-side",
+        };
+        let node = PlanNode::new(
+            PlanOp::Algo(AlgoOp::Filter(q, choice.algorithm)),
+            Vec::new(),
+            schema.clone(),
+        );
+        (node, choice, kind, schema)
     };
-    let kind = PlanKind::Filter {
-        pushdown: choice.algorithm == "s3-side",
+
+    let mut keys = Vec::new();
+    for o in &spec.order_by {
+        let idx = aliases
+            .iter()
+            .find(|(a, _)| a.eq_ignore_ascii_case(&o.column))
+            .map(|(_, i)| *i)
+            .or_else(|| sort_schema.index_of(&o.column));
+        let Some(idx) = idx else {
+            return Err(Error::Bind(format!(
+                "unknown ORDER BY key `{}` (output columns: {}{})",
+                o.column,
+                sort_schema.names().join(", "),
+                if aliases.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "; aliases: {}",
+                        aliases
+                            .iter()
+                            .map(|(a, _)| a.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                }
+            )));
+        };
+        keys.push((idx, o.asc));
+    }
+
+    let plan = PlanNode::new(PlanOp::Sort { keys, limit }, vec![leaf], sort_schema);
+    let (out, mut report) = run_plan(ctx, &plan)?;
+    report.children[0].predicted = choice.leaf_prediction();
+    let mut explain = choice.explain(ctx, kind, strategy);
+    explain.operators = Some(report);
+    Ok((out, explain))
+}
+
+/// Multi-table queries: lower to candidate plans (join strategy ×
+/// per-scan pushdown chosen jointly), price each whole plan with
+/// [`cost::predict_plan`], execute the pick, and report the operator
+/// tree with per-node predicted-vs-actual.
+fn joined_plan_and_run(
+    ctx: &QueryContext,
+    table: &Table,
+    spec: &QuerySpec,
+    strategy: Strategy,
+) -> Result<(QueryOutput, Explain)> {
+    let candidates = crate::joinplan::lower_join_candidates(ctx, table, spec)?;
+    let position = |name: &str| candidates.iter().position(|(n, _)| *n == name);
+    // Fixed strategies pick by name and only price the plan they run;
+    // Adaptive prices every candidate tree and takes the argmin.
+    let (pick, mut predictions) = match strategy {
+        Strategy::Baseline => (
+            position("baseline").expect("baseline candidate always exists"),
+            Vec::new(),
+        ),
+        Strategy::Pushdown => (
+            position("bloom")
+                .or_else(|| position("filtered"))
+                .expect("filtered candidate always exists"),
+            Vec::new(),
+        ),
+        Strategy::Adaptive => {
+            let predictions: Vec<cost::PlanPrediction> = candidates
+                .iter()
+                .map(|(_, plan)| cost::predict_plan(ctx, plan))
+                .collect();
+            let estimates: Vec<PlanEstimate> = candidates
+                .iter()
+                .zip(&predictions)
+                .map(|((name, _), p)| PlanEstimate {
+                    algorithm: name,
+                    predicted: p.metrics.clone(),
+                })
+                .collect();
+            (cost::cheapest(&estimates, ctx), predictions)
+        }
     };
-    let explain = choice.explain(ctx, kind.clone(), strategy);
-    Ok((apply_limit(out, spec.select.limit), explain))
+    let (algorithm, plan) = &candidates[pick];
+    let adaptive = !predictions.is_empty();
+    let candidate_costs: Vec<CandidateCost> = candidates
+        .iter()
+        .zip(&predictions)
+        .enumerate()
+        .map(|(i, ((name, _), p))| {
+            let est = PlanEstimate {
+                algorithm: name,
+                predicted: p.metrics.clone(),
+            };
+            CandidateCost {
+                algorithm: name,
+                usage: est.usage(),
+                runtime: est.runtime(ctx),
+                dollars: est.dollars(ctx),
+                chosen: i == pick,
+            }
+        })
+        .collect();
+    let prediction = if adaptive {
+        predictions.swap_remove(pick)
+    } else {
+        cost::predict_plan(ctx, plan)
+    };
+    let executed = plan::execute(ctx, plan)?;
+    let mut report = executed.report.clone();
+    plan::annotate(&mut report, &prediction.root);
+    let explain = Explain {
+        kind: PlanKind::Join { algorithm },
+        strategy,
+        candidates: candidate_costs,
+        predicted: adaptive.then(|| prediction.metrics.clone()),
+        operators: Some(report),
+    };
+    Ok((executed.into_output(), explain))
 }
 
 /// Extract a plain-column projection list (None for `*`).
@@ -505,72 +749,6 @@ fn groupby_query(table: &Table, spec: &QuerySpec) -> Result<groupby::GroupByQuer
     })
 }
 
-/// Baseline scalar aggregation: full load, evaluate aggregate items
-/// locally — streamed. Scan batches fold straight into the accumulators;
-/// only the accumulators are resident.
-fn local_aggregate(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Result<QueryOutput> {
-    let ctx = &ctx.scoped();
-    let binder = Binder::new(&table.schema);
-    let pred = match &stmt.where_clause {
-        Some(w) => Some(binder.bind_expr(w)?),
-        None => None,
-    };
-    let mut accs = Vec::new();
-    let mut fields = Vec::new();
-    for (i, item) in stmt.items.iter().enumerate() {
-        let SelectItem::Agg { func, arg, alias } = item else {
-            return Err(Error::Bind(
-                "aggregate query cannot contain scalar items".into(),
-            ));
-        };
-        let bound = match arg {
-            Some(e) => Some(binder.bind_expr(e)?),
-            None => None,
-        };
-        let dtype = match func {
-            AggFunc::Count => pushdown_common::DataType::Int,
-            AggFunc::Avg => pushdown_common::DataType::Float,
-            _ => bound
-                .as_ref()
-                .map(|e| e.infer_type())
-                .unwrap_or(pushdown_common::DataType::Float),
-        };
-        fields.push(pushdown_common::Field::new(
-            alias.clone().unwrap_or_else(|| format!("_{}", i + 1)),
-            dtype,
-        ));
-        accs.push((func.accumulator(), bound));
-    }
-    let mut op_stats = pushdown_common::perf::PhaseStats::default();
-    let summary = scan::plain_scan_streamed(ctx, table, |batch| {
-        let rows = match &pred {
-            Some(p) => ops::filter_rows(batch.rows, p, &mut op_stats)?,
-            None => batch.rows,
-        };
-        op_stats.server_cpu_units += rows.len() as u64 * accs.len() as u64;
-        for r in &rows {
-            for (acc, arg) in accs.iter_mut() {
-                match arg {
-                    Some(e) => acc.update(&pushdown_sql::eval::eval(e, r)?)?,
-                    None => acc.update(&Value::Bool(true))?,
-                }
-            }
-        }
-        Ok(())
-    })?;
-    let row = Row::new(accs.iter().map(|(a, _)| a.finish()).collect());
-    let mut stats = summary.stats;
-    stats.merge(&op_stats);
-    let mut metrics = QueryMetrics::new();
-    metrics.push_serial("server-side aggregation", stats);
-    Ok(QueryOutput {
-        schema: Schema::new(fields),
-        rows: vec![row],
-        metrics,
-        billed: ctx.billed(),
-    })
-}
-
 fn apply_limit(mut out: QueryOutput, limit: Option<u64>) -> QueryOutput {
     if let Some(l) = limit {
         out.rows.truncate(l as usize);
@@ -582,7 +760,7 @@ fn apply_limit(mut out: QueryOutput, limit: Option<u64>) -> QueryOutput {
 mod tests {
     use super::*;
     use crate::catalog::upload_csv_table;
-    use pushdown_common::DataType;
+    use pushdown_common::{DataType, Row, Schema, Value};
     use pushdown_s3::S3Store;
 
     fn setup() -> (QueryContext, Table) {
@@ -710,15 +888,69 @@ mod tests {
     fn unsupported_shapes_are_rejected_cleanly() {
         let (ctx, t) = setup();
         for sql in [
-            "SELECT * FROM t ORDER BY v",         // top-K needs LIMIT
-            "SELECT v FROM t ORDER BY v LIMIT 5", // top-K projects *
-            "SELECT g, SUM(v) FROM t GROUP BY g ORDER BY g LIMIT 5",
-            "SELECT v + 1 FROM t",                // computed projection
-            "SELECT s, SUM(v) FROM t GROUP BY g", // non-grouped column
+            "SELECT v + 1 FROM t",                      // computed projection
+            "SELECT s, SUM(v) FROM t GROUP BY g",       // non-grouped column
+            "SELECT SUM(v) FROM t ORDER BY v LIMIT 1",  // ordering one scalar row
+            "SELECT * FROM t ORDER BY nope LIMIT 5",    // unknown sort key
+            "SELECT g FROM t ORDER BY v, nope LIMIT 5", // unknown second key
+            "SELECT * FROM t JOIN u ON g = g",          // unknown join table
         ] {
             let err = execute_sql(&ctx, &t, sql, Strategy::Pushdown);
             assert!(err.is_err(), "{sql} should be rejected");
         }
+    }
+
+    #[test]
+    fn sorted_shapes_beyond_topk_are_planned() {
+        let (ctx, t) = setup();
+        // ORDER BY without LIMIT: full sort.
+        for strategy in [Strategy::Baseline, Strategy::Pushdown, Strategy::Adaptive] {
+            let out = execute_sql(&ctx, &t, "SELECT * FROM t ORDER BY v", strategy).unwrap();
+            assert_eq!(out.rows.len(), 1_000);
+            for w in out.rows.windows(2) {
+                assert!(w[0][1].total_cmp(&w[1][1]).is_le());
+            }
+        }
+        // Projected + filtered multi-key ORDER BY with LIMIT.
+        let sql = "SELECT g, v FROM t WHERE v < 50 ORDER BY g DESC, v ASC LIMIT 9";
+        let base = execute_sql(&ctx, &t, sql, Strategy::Baseline).unwrap();
+        let push = execute_sql(&ctx, &t, sql, Strategy::Pushdown).unwrap();
+        assert_eq!(base.rows.len(), 9);
+        assert_close(&base, &push, sql);
+        for w in base.rows.windows(2) {
+            let major = w[0][0].total_cmp(&w[1][0]);
+            assert!(major.is_ge());
+            if major == std::cmp::Ordering::Equal {
+                assert!(w[0][1].total_cmp(&w[1][1]).is_le());
+            }
+        }
+    }
+
+    #[test]
+    fn group_by_with_order_by_alias_sorts_results() {
+        let (ctx, t) = setup();
+        let sql = "SELECT g, SUM(v) AS total FROM t GROUP BY g ORDER BY total DESC LIMIT 3";
+        for strategy in [Strategy::Baseline, Strategy::Pushdown, Strategy::Adaptive] {
+            let (out, ex) = execute_sql_verbose(&ctx, &t, sql, strategy).unwrap();
+            assert!(matches!(ex.kind, PlanKind::GroupBy { .. }));
+            assert_eq!(out.rows.len(), 3);
+            for w in out.rows.windows(2) {
+                assert!(w[0][1].total_cmp(&w[1][1]).is_ge(), "{strategy:?}");
+            }
+            // The operator tree shows the Sort over the group-by leaf.
+            let report = ex.report(&out, &ctx);
+            assert!(report.contains("TopK[1 keys, limit 3]"), "{report}");
+            assert!(report.contains("GroupBy["), "{report}");
+        }
+        // Ordering by the group column also works (name, not alias).
+        let by_g = execute_sql(
+            &ctx,
+            &t,
+            "SELECT g, SUM(v) FROM t GROUP BY g ORDER BY g DESC LIMIT 2",
+            Strategy::Adaptive,
+        )
+        .unwrap();
+        assert!(by_g.rows[0][0].total_cmp(&by_g.rows[1][0]).is_ge());
     }
 
     const ALL_SHAPES: [&str; 5] = [
@@ -811,6 +1043,121 @@ mod tests {
         assert_eq!(ex.candidates.len(), 4, "all four §VI families considered");
         let base = execute_sql(&ctx, &t, sql, Strategy::Baseline).unwrap();
         assert_close(&base, &out, sql);
+    }
+
+    fn join_setup() -> (QueryContext, Table) {
+        let store = S3Store::new();
+        let dim_schema = Schema::from_pairs(&[("k", DataType::Int), ("tag", DataType::Str)]);
+        let dims: Vec<Row> = (0..20)
+            .map(|i| Row::new(vec![Value::Int(i), Value::Str(format!("tag-{}", i % 4))]))
+            .collect();
+        let fact_schema = Schema::from_pairs(&[("fk", DataType::Int), ("val", DataType::Float)]);
+        let facts: Vec<Row> = (0..600)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int((i % 25) as i64), // some fks have no dim row
+                    Value::Float((i as f64 * 7.3) % 90.0),
+                ])
+            })
+            .collect();
+        let dim = upload_csv_table(&store, "b", "dim", &dim_schema, &dims, 8).unwrap();
+        let fact = upload_csv_table(&store, "b", "fact", &fact_schema, &facts, 150).unwrap();
+        let ctx = QueryContext::new(store).with_tables([dim]);
+        (ctx, fact)
+    }
+
+    #[test]
+    fn joined_queries_plan_and_execute_under_every_strategy() {
+        let (ctx, fact) = join_setup();
+        let sql = "SELECT tag, COUNT(*) AS n, SUM(val) AS total FROM fact \
+                   JOIN dim ON fk = k WHERE val < 60 GROUP BY tag \
+                   ORDER BY total DESC, tag LIMIT 3";
+        let base = execute_sql(&ctx, &fact, sql, Strategy::Baseline).unwrap();
+        assert_eq!(base.rows.len(), 3);
+        assert_eq!(base.schema.names(), vec!["tag", "n", "total"]);
+        for strategy in [Strategy::Pushdown, Strategy::Adaptive] {
+            let (out, ex) = execute_sql_verbose(&ctx, &fact, sql, strategy).unwrap();
+            assert_close(&base, &out, sql);
+            assert!(matches!(ex.kind, PlanKind::Join { .. }), "{:?}", ex.kind);
+            // The operator tree renders scans, the join and the sort,
+            // with predictions attached.
+            let report = ex.report(&out, &ctx);
+            assert!(report.contains("operators"), "{report}");
+            assert!(report.contains("Join["), "{report}");
+            assert!(report.contains("Scan["), "{report}");
+            assert!(report.contains("predicted"), "{report}");
+        }
+        // Adaptive weighs the joint join × scan-mode candidate space.
+        let (_, ex) = execute_sql_verbose(&ctx, &fact, sql, Strategy::Adaptive).unwrap();
+        let names: Vec<&str> = ex.candidates.iter().map(|c| c.algorithm).collect();
+        assert!(names.contains(&"baseline"), "{names:?}");
+        assert!(names.contains(&"filtered"), "{names:?}");
+        assert!(names.contains(&"bloom"), "{names:?}");
+        assert!(names.contains(&"build-push"), "{names:?}");
+        assert!(names.contains(&"probe-push"), "{names:?}");
+        assert_eq!(ex.candidates.iter().filter(|c| c.chosen).count(), 1);
+    }
+
+    #[test]
+    fn joined_scalar_aggregate_and_projection_shapes() {
+        let (ctx, fact) = join_setup();
+        // Scalar aggregate over the join (the paper's Listing 2 shape).
+        let sum = execute_sql(
+            &ctx,
+            &fact,
+            "SELECT SUM(val) FROM fact JOIN dim ON fk = k",
+            Strategy::Adaptive,
+        )
+        .unwrap();
+        assert_eq!(sum.rows.len(), 1);
+        let base = execute_sql(
+            &ctx,
+            &fact,
+            "SELECT SUM(val) FROM fact JOIN dim ON fk = k",
+            Strategy::Baseline,
+        )
+        .unwrap();
+        assert_close(&base, &sum, "join sum");
+        // Plain projection with LIMIT.
+        let rows = execute_sql(
+            &ctx,
+            &fact,
+            "SELECT tag, val FROM fact JOIN dim ON fk = k LIMIT 7",
+            Strategy::Pushdown,
+        )
+        .unwrap();
+        assert_eq!(rows.rows.len(), 7);
+        assert_eq!(rows.schema.names(), vec!["tag", "val"]);
+    }
+
+    #[test]
+    fn joined_queries_bind_errors() {
+        let (ctx, fact) = join_setup();
+        for (sql, needle) in [
+            (
+                "SELECT * FROM fact JOIN ghost ON fk = k",
+                "unknown table `ghost`",
+            ),
+            (
+                "SELECT * FROM fact JOIN dim ON fk = nope",
+                "unknown column `nope`",
+            ),
+            (
+                "SELECT * FROM fact JOIN dim ON fk = val",
+                "must compare a column",
+            ),
+            (
+                "SELECT tag, SUM(val) FROM fact JOIN dim ON fk = k \
+                 GROUP BY tag ORDER BY missing",
+                "unknown ORDER BY key",
+            ),
+        ] {
+            let err = execute_sql(&ctx, &fact, sql, Strategy::Baseline).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{sql}: expected `{needle}` in `{err}`"
+            );
+        }
     }
 
     #[test]

@@ -137,6 +137,22 @@ pub mod strategy {
             Map { inner: self, f }
         }
 
+        /// Keep only values passing `f`, regenerating otherwise. Panics
+        /// (citing `reason`) if 1000 consecutive draws all fail — a
+        /// filter that tight should be rewritten as a constructive
+        /// strategy.
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+
         /// Depth-bounded recursive strategy. `depth` is honored; the
         /// size/branch hints are accepted for API compatibility.
         fn prop_recursive<R, F>(
@@ -215,11 +231,48 @@ pub mod strategy {
         }
     }
 
+    /// `prop_filter` combinator: rejection sampling with a bounded retry
+    /// budget.
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) reason: &'static str,
+        pub(crate) f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.new_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 consecutive draws: {}",
+                self.reason
+            );
+        }
+    }
+
     /// Weighted choice between strategies of a common value type
-    /// (the expansion of [`prop_oneof!`]).
+    /// (the expansion of `prop_oneof!`).
     pub struct Union<T> {
         arms: Vec<(u32, BoxedStrategy<T>)>,
         total: u32,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
+        }
     }
 
     impl<T> Union<T> {
@@ -406,6 +459,8 @@ pub mod strategy {
     tuple_strategy!(A, B, C, D);
     tuple_strategy!(A, B, C, D, E);
     tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
 }
 
 pub mod arbitrary {
@@ -500,7 +555,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::test_runner::TestRng;
 
-    /// Accepted size specifications for [`vec`].
+    /// Accepted size specifications for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

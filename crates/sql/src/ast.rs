@@ -375,12 +375,12 @@ fn fmt_ident(name: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
 }
 
 impl Expr {
-    fn is_not_keyword(name: &str) -> bool {
+    pub(crate) fn is_not_keyword(name: &str) -> bool {
         let upper = name.to_ascii_uppercase();
         ![
             "SELECT", "FROM", "WHERE", "LIMIT", "AS", "AND", "OR", "NOT", "NULL", "TRUE", "FALSE",
             "IS", "IN", "BETWEEN", "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "DATE",
-            "GROUP", "ORDER", "BY", "ESCAPE",
+            "GROUP", "ORDER", "BY", "ESCAPE", "JOIN", "ON", "INNER",
         ]
         .contains(&upper.as_str())
     }
@@ -667,32 +667,79 @@ impl SelectStmt {
     }
 }
 
-/// Sort specification of the *client* dialect (PushdownDB's own SQL
-/// front-end; never shipped to S3, which has no ORDER BY).
+/// One sort key of the *client* dialect (PushdownDB's own SQL front-end;
+/// never shipped to S3, which has no ORDER BY). `column` may name a base
+/// column, a projected column, or — over GROUP BY results — an
+/// aggregate's output alias.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OrderBy {
     pub column: String,
     pub asc: bool,
 }
 
+/// One `JOIN table [alias] ON left = right` clause of the client
+/// dialect. The ON condition is restricted to a two-column equi-join;
+/// qualifiers on the key columns are dropped at parse time (column names
+/// are resolved across the joined schemas by the binder, which rejects
+/// ambiguity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinClause {
+    pub table: String,
+    pub alias: Option<String>,
+    pub left_col: String,
+    pub right_col: String,
+}
+
 /// A query in PushdownDB's *client* dialect (paper §III: the testbed has
-/// "a minimal optimizer and an executor"): single-table SELECT with
-/// optional WHERE / GROUP BY / ORDER BY / LIMIT. The planner
-/// (`pushdown-core::planner`) decomposes this into the §IV–§VII
-/// algorithms; only the S3-Select-compatible fragments are ever shipped
-/// to storage.
+/// "a minimal optimizer and an executor"): SELECT over one table or an
+/// equi-join chain, with optional WHERE / GROUP BY / multi-key ORDER BY
+/// / LIMIT. The planner (`pushdown-core::planner`) lowers this to a
+/// physical-plan DAG over the §IV–§VII operators; only the
+/// S3-Select-compatible fragments are ever shipped to storage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuerySpec {
     pub select: SelectStmt,
+    /// Primary FROM table name (its optional alias lives on
+    /// `select.alias`). The planner's single-table entry points ignore
+    /// it, as the paper's testbed did; join tables resolve by name.
+    pub from: String,
+    /// `JOIN ... ON` clauses, in syntactic order (joined left-deep).
+    pub joins: Vec<JoinClause>,
     pub group_by: Vec<String>,
-    pub order_by: Option<OrderBy>,
+    /// Sort keys, major first. Empty = no ORDER BY.
+    pub order_by: Vec<OrderBy>,
 }
 
 impl fmt::Display for QuerySpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut base = self.select.clone();
-        let limit = base.limit.take();
-        write!(f, "{base}")?;
+        f.write_str("SELECT ")?;
+        for (i, item) in self.select.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        f.write_str(" FROM ")?;
+        fmt_ident(&self.from, f)?;
+        if let Some(a) = &self.select.alias {
+            f.write_str(" ")?;
+            fmt_ident(a, f)?;
+        }
+        for j in &self.joins {
+            f.write_str(" JOIN ")?;
+            fmt_ident(&j.table, f)?;
+            if let Some(a) = &j.alias {
+                f.write_str(" ")?;
+                fmt_ident(a, f)?;
+            }
+            f.write_str(" ON ")?;
+            fmt_ident(&j.left_col, f)?;
+            f.write_str(" = ")?;
+            fmt_ident(&j.right_col, f)?;
+        }
+        if let Some(w) = &self.select.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
         if !self.group_by.is_empty() {
             f.write_str(" GROUP BY ")?;
             for (i, g) in self.group_by.iter().enumerate() {
@@ -702,12 +749,12 @@ impl fmt::Display for QuerySpec {
                 fmt_ident(g, f)?;
             }
         }
-        if let Some(o) = &self.order_by {
-            f.write_str(" ORDER BY ")?;
+        for (i, o) in self.order_by.iter().enumerate() {
+            f.write_str(if i == 0 { " ORDER BY " } else { ", " })?;
             fmt_ident(&o.column, f)?;
             f.write_str(if o.asc { " ASC" } else { " DESC" })?;
         }
-        if let Some(l) = limit {
+        if let Some(l) = self.select.limit {
             write!(f, " LIMIT {l}")?;
         }
         Ok(())
@@ -887,6 +934,53 @@ mod tests {
         assert_eq!(one.to_string(), "x");
         let two = Expr::conjunction(vec![Expr::col("x"), Expr::col("y")]).unwrap();
         assert_eq!(two.to_string(), "x AND y");
+    }
+
+    #[test]
+    fn query_spec_displays_joins_and_multi_key_order() {
+        let spec = QuerySpec {
+            select: SelectStmt {
+                items: vec![
+                    SelectItem::Expr {
+                        expr: Expr::col("o_orderdate"),
+                        alias: None,
+                    },
+                    SelectItem::Agg {
+                        func: AggFunc::Sum,
+                        arg: Some(Expr::col("o_totalprice")),
+                        alias: Some("revenue".into()),
+                    },
+                ],
+                alias: Some("c".into()),
+                where_clause: Some(Expr::eq(Expr::col("c_mktsegment"), Expr::str("BUILDING"))),
+                limit: Some(10),
+            },
+            from: "customer".into(),
+            joins: vec![JoinClause {
+                table: "orders".into(),
+                alias: Some("o".into()),
+                left_col: "c_custkey".into(),
+                right_col: "o_custkey".into(),
+            }],
+            group_by: vec!["o_orderdate".into()],
+            order_by: vec![
+                OrderBy {
+                    column: "revenue".into(),
+                    asc: false,
+                },
+                OrderBy {
+                    column: "o_orderdate".into(),
+                    asc: true,
+                },
+            ],
+        };
+        assert_eq!(
+            spec.to_string(),
+            "SELECT o_orderdate, SUM(o_totalprice) AS revenue FROM customer c \
+             JOIN orders o ON c_custkey = o_custkey \
+             WHERE c_mktsegment = 'BUILDING' GROUP BY o_orderdate \
+             ORDER BY revenue DESC, o_orderdate ASC LIMIT 10"
+        );
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub enum TokenKind {
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "LIMIT", "AS", "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "IS",
     "IN", "BETWEEN", "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END", "CAST", "DATE", "GROUP",
-    "ORDER", "BY", "ESCAPE",
+    "ORDER", "BY", "ESCAPE", "JOIN", "ON", "INNER",
 ];
 
 /// Tokenize `input` into a vector ending with an `Eof` token.

@@ -3,8 +3,10 @@
 //! Grammar (informal):
 //!
 //! ```text
-//! select    := SELECT item (',' item)* FROM ident [alias]
+//! select    := SELECT item (',' item)* FROM ident [alias] join*
 //!              [WHERE expr] [LIMIT int]
+//! join      := [INNER] JOIN ident [alias] ON key '=' key   (client dialect)
+//! key       := ident | ident '.' ident
 //! item      := '*' | AGG '(' ('*' | expr) ')' [[AS] ident]
 //!            | expr [[AS] ident]
 //! expr      := or-precedence expression over the operators in ast::BinOp,
@@ -62,19 +64,23 @@ pub fn parse_select_extended(input: &str) -> Result<crate::ast::ExtendedSelect> 
     })
 }
 
-/// Parse PushdownDB's *client* dialect: single-table SELECT with
-/// optional WHERE / GROUP BY / ORDER BY / LIMIT. This is the query
-/// language of the paper's own testbed (§III); the planner decides which
-/// fragments ship to S3.
+/// Parse PushdownDB's *client* dialect: SELECT over one table or an
+/// equi-`JOIN` chain, with optional WHERE / GROUP BY / multi-key ORDER
+/// BY / LIMIT. This is the query language of the paper's own testbed
+/// (§III), grown multi-table; the planner decides which fragments ship
+/// to S3.
 pub fn parse_query(input: &str) -> Result<crate::ast::QuerySpec> {
     let tokens = tokenize(input)?;
     let mut p = Parser::new(tokens);
     p.allow_group_by = true;
     p.allow_order_by = true;
+    p.allow_joins = true;
     let stmt = p.select()?;
     p.expect_eof()?;
     Ok(crate::ast::QuerySpec {
         select: stmt,
+        from: p.from_table,
+        joins: p.joins,
         group_by: p.group_by,
         order_by: p.order_by,
     })
@@ -89,8 +95,15 @@ struct Parser {
     group_by: Vec<String>,
     /// Accept `ORDER BY` (the client dialect only).
     allow_order_by: bool,
-    /// Sort spec collected when the client dialect is active.
-    order_by: Option<crate::ast::OrderBy>,
+    /// Sort keys collected when the client dialect is active.
+    order_by: Vec<crate::ast::OrderBy>,
+    /// Accept `JOIN ... ON` (the client dialect only).
+    allow_joins: bool,
+    /// Join clauses collected when the client dialect is active.
+    joins: Vec<crate::ast::JoinClause>,
+    /// The FROM clause's table name (conventionally `S3Object` in the
+    /// storage dialect; a real table name in the client dialect).
+    from_table: String,
 }
 
 impl Parser {
@@ -101,7 +114,10 @@ impl Parser {
             allow_group_by: false,
             group_by: Vec::new(),
             allow_order_by: false,
-            order_by: None,
+            order_by: Vec::new(),
+            allow_joins: false,
+            joins: Vec::new(),
+            from_table: String::new(),
         }
     }
 
@@ -188,13 +204,42 @@ impl Parser {
             items.push(self.select_item()?);
         }
         self.expect_keyword("FROM")?;
-        let _table = self.ident()?; // conventionally `S3Object`
-                                    // Optional dotted suffixes like S3Object.something are not in the
-                                    // dialect; an optional alias identifier may follow.
+        self.from_table = self.ident()?; // conventionally `S3Object`
+                                         // Optional dotted suffixes like S3Object.something are not in
+                                         // the dialect; an optional alias identifier may follow.
         let alias = match self.peek() {
             TokenKind::Ident(_) | TokenKind::QuotedIdent(_) => Some(self.ident()?),
             _ => None,
         };
+        loop {
+            let inner = self.eat_keyword("INNER");
+            if !self.eat_keyword("JOIN") {
+                if inner {
+                    return Err(self.error("expected JOIN after INNER"));
+                }
+                break;
+            }
+            if !self.allow_joins {
+                return Err(Error::SelectRejected(
+                    "JOIN is not supported by S3 Select".into(),
+                ));
+            }
+            let table = self.ident()?;
+            let join_alias = match self.peek() {
+                TokenKind::Ident(_) | TokenKind::QuotedIdent(_) => Some(self.ident()?),
+                _ => None,
+            };
+            self.expect_keyword("ON")?;
+            let left_col = self.join_key_column()?;
+            self.expect(&TokenKind::Eq)?;
+            let right_col = self.join_key_column()?;
+            self.joins.push(crate::ast::JoinClause {
+                table,
+                alias: join_alias,
+                left_col,
+                right_col,
+            });
+        }
         let where_clause = if self.eat_keyword("WHERE") {
             Some(self.expr()?)
         } else {
@@ -221,20 +266,25 @@ impl Parser {
                 ));
             }
             self.expect_keyword("BY")?;
-            let column = self.ident()?;
-            // ASC/DESC are not reserved words; they lex as identifiers.
-            let asc = match self.peek() {
-                TokenKind::Ident(d) if d.eq_ignore_ascii_case("desc") => {
-                    self.advance();
-                    false
+            loop {
+                let column = self.ident()?;
+                // ASC/DESC are not reserved words; they lex as identifiers.
+                let asc = match self.peek() {
+                    TokenKind::Ident(d) if d.eq_ignore_ascii_case("desc") => {
+                        self.advance();
+                        false
+                    }
+                    TokenKind::Ident(d) if d.eq_ignore_ascii_case("asc") => {
+                        self.advance();
+                        true
+                    }
+                    _ => true,
+                };
+                self.order_by.push(crate::ast::OrderBy { column, asc });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
                 }
-                TokenKind::Ident(d) if d.eq_ignore_ascii_case("asc") => {
-                    self.advance();
-                    true
-                }
-                _ => true,
-            };
-            self.order_by = Some(crate::ast::OrderBy { column, asc });
+            }
         }
         let limit = if self.eat_keyword("LIMIT") {
             match self.advance() {
@@ -279,6 +329,17 @@ impl Parser {
         let expr = self.expr()?;
         let alias = self.maybe_alias()?;
         Ok(SelectItem::Expr { expr, alias })
+    }
+
+    /// A join-key column reference: `col` or `qualifier.col` (the
+    /// qualifier is dropped; the binder resolves names across the joined
+    /// schemas and rejects ambiguity).
+    fn join_key_column(&mut self) -> Result<String> {
+        let first = self.ident()?;
+        if self.eat(&TokenKind::Dot) {
+            return self.ident();
+        }
+        Ok(first)
     }
 
     fn maybe_alias(&mut self) -> Result<Option<String>> {
@@ -737,22 +798,23 @@ mod tests {
         let q = parse_query("SELECT * FROM t ORDER BY price DESC LIMIT 10").unwrap();
         assert_eq!(
             q.order_by,
-            Some(OrderBy {
+            vec![OrderBy {
                 column: "price".into(),
                 asc: false
-            })
+            }]
         );
         assert_eq!(q.select.limit, Some(10));
+        assert_eq!(q.from, "t");
         let q2 = parse_query("SELECT * FROM t ORDER BY price").unwrap();
         assert_eq!(
             q2.order_by,
-            Some(OrderBy {
+            vec![OrderBy {
                 column: "price".into(),
                 asc: true
-            })
+            }]
         );
         let q3 = parse_query("SELECT * FROM t ORDER BY price asc").unwrap();
-        assert!(q3.order_by.unwrap().asc);
+        assert!(q3.order_by[0].asc);
         // Display round-trips.
         let q4 = parse_query("SELECT g, SUM(v) FROM t WHERE v > 0 GROUP BY g LIMIT 3").unwrap();
         assert_eq!(parse_query(&q4.to_string()).unwrap(), q4);
@@ -763,6 +825,69 @@ mod tests {
                 .code(),
             "SelectRejected"
         );
+    }
+
+    #[test]
+    fn client_dialect_parses_multi_key_order_by() {
+        use crate::ast::OrderBy;
+        let q = parse_query("SELECT * FROM t ORDER BY revenue DESC, d ASC, p LIMIT 10").unwrap();
+        assert_eq!(
+            q.order_by,
+            vec![
+                OrderBy {
+                    column: "revenue".into(),
+                    asc: false
+                },
+                OrderBy {
+                    column: "d".into(),
+                    asc: true
+                },
+                OrderBy {
+                    column: "p".into(),
+                    asc: true
+                },
+            ]
+        );
+        assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn client_dialect_parses_joins() {
+        let q = parse_query(
+            "SELECT o_orderdate, SUM(o_totalprice) AS revenue \
+             FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey \
+             WHERE c_mktsegment = 'BUILDING' GROUP BY o_orderdate \
+             ORDER BY revenue DESC LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.from, "customer");
+        assert_eq!(q.select.alias.as_deref(), Some("c"));
+        assert_eq!(q.joins.len(), 1);
+        let j = &q.joins[0];
+        assert_eq!(j.table, "orders");
+        assert_eq!(j.alias.as_deref(), Some("o"));
+        assert_eq!(j.left_col, "c_custkey");
+        assert_eq!(j.right_col, "o_custkey");
+        assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+
+        // INNER JOIN is accepted; chained joins collect in order.
+        let q2 = parse_query(
+            "SELECT * FROM a INNER JOIN b ON x = y JOIN c ON y = z WHERE x > 0 LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(q2.joins.len(), 2);
+        assert_eq!(q2.joins[1].table, "c");
+        assert_eq!(parse_query(&q2.to_string()).unwrap(), q2);
+    }
+
+    #[test]
+    fn join_is_rejected_outside_the_client_dialect() {
+        let err = parse_select("SELECT * FROM a JOIN b ON x = y").unwrap_err();
+        assert_eq!(err.code(), "SelectRejected");
+        assert!(err.to_string().contains("JOIN"));
+        // INNER without JOIN is a parse error; non-equi ON is rejected.
+        assert!(parse_query("SELECT * FROM a INNER b ON x = y").is_err());
+        assert!(parse_query("SELECT * FROM a JOIN b ON x < y").is_err());
     }
 
     #[test]

@@ -5,10 +5,11 @@
 
 #![cfg(test)]
 
-use crate::ast::{BinOp, Expr, Func, UnOp};
+use crate::agg::AggFunc;
+use crate::ast::{BinOp, Expr, Func, JoinClause, OrderBy, QuerySpec, SelectItem, SelectStmt, UnOp};
 use crate::bind::Binder;
 use crate::eval::eval;
-use crate::parser::parse_expr;
+use crate::parser::{parse_expr, parse_query};
 use proptest::prelude::*;
 use pushdown_common::{DataType, Row, Schema, Value};
 
@@ -108,6 +109,95 @@ fn schema() -> Schema {
     ])
 }
 
+/// Identifiers safe to round-trip bare (no keywords, no quoting needed).
+fn arb_ident() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("t".to_string()),
+        Just("orders".to_string()),
+        Just("customer".to_string()),
+        Just("x_key".to_string()),
+        Just("y_key".to_string()),
+        Just("revenue".to_string()),
+        Just("g1".to_string()),
+        "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| Expr::is_not_keyword(s)),
+    ]
+}
+
+fn arb_select_item() -> impl Strategy<Value = SelectItem> {
+    let alias = prop_oneof![Just(None), arb_ident().prop_map(Some)];
+    prop_oneof![
+        (arb_ident(), alias.clone()).prop_map(|(c, alias)| SelectItem::Expr {
+            expr: Expr::col(c),
+            alias,
+        }),
+        (
+            prop_oneof![
+                Just(AggFunc::Sum),
+                Just(AggFunc::Count),
+                Just(AggFunc::Min),
+                Just(AggFunc::Max),
+                Just(AggFunc::Avg),
+            ],
+            prop_oneof![Just(None), arb_ident().prop_map(|c| Some(Expr::col(c)))],
+            alias,
+        )
+            .prop_filter("COUNT is the only agg taking `*`", |(f, arg, _)| {
+                arg.is_some() || *f == AggFunc::Count
+            })
+            .prop_map(|(func, arg, alias)| SelectItem::Agg { func, arg, alias }),
+    ]
+}
+
+fn arb_join() -> impl Strategy<Value = JoinClause> {
+    (
+        arb_ident(),
+        prop_oneof![Just(None), arb_ident().prop_map(Some)],
+        arb_ident(),
+        arb_ident(),
+    )
+        .prop_map(|(table, alias, left_col, right_col)| JoinClause {
+            table,
+            alias,
+            left_col,
+            right_col,
+        })
+}
+
+/// Random client-dialect queries: multi-table FROM with equi-JOINs,
+/// WHERE, GROUP BY, multi-key ORDER BY, LIMIT — every clause optional.
+fn arb_query_spec() -> impl Strategy<Value = QuerySpec> {
+    (
+        prop_oneof![
+            Just(vec![SelectItem::Wildcard]),
+            proptest::collection::vec(arb_select_item(), 1..4),
+        ],
+        arb_ident(),
+        prop_oneof![Just(None), arb_ident().prop_map(Some)],
+        proptest::collection::vec(arb_join(), 0..3),
+        prop_oneof![Just(None), arb_expr().prop_map(Some)],
+        proptest::collection::vec(arb_ident(), 0..3),
+        proptest::collection::vec(
+            (arb_ident(), any::<bool>()).prop_map(|(column, asc)| OrderBy { column, asc }),
+            0..3,
+        ),
+        prop_oneof![Just(None), (0u64..1000).prop_map(Some)],
+    )
+        .prop_map(
+            |(items, from, alias, joins, where_clause, group_by, order_by, limit)| QuerySpec {
+                select: SelectStmt {
+                    items,
+                    alias,
+                    where_clause,
+                    limit,
+                },
+                from,
+                joins,
+                group_by,
+                order_by,
+            },
+        )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -152,5 +242,16 @@ proptest! {
         if let Ok(reparsed) = parse_expr(&text) {
             prop_assert_eq!(reparsed.term_count(), e.term_count());
         }
+    }
+
+    /// `parse_query(display(q)) == q` for arbitrary client-dialect
+    /// queries over the full grammar — multi-table FROM with equi-JOIN
+    /// chains, WHERE, GROUP BY, multi-key ORDER BY and LIMIT.
+    #[test]
+    fn query_spec_round_trip(q in arb_query_spec()) {
+        let text = q.to_string();
+        let reparsed = parse_query(&text)
+            .unwrap_or_else(|err| panic!("reparse failed for `{text}`: {err}"));
+        prop_assert_eq!(reparsed, q, "text was `{}`", text);
     }
 }

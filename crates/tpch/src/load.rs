@@ -77,7 +77,33 @@ pub fn load_tpch(
     })
 }
 
-/// Convenience for tests and examples: a context plus loaded tables.
+impl TpchTables {
+    /// All eight tables, in schema order.
+    pub fn all(&self) -> [&Table; 8] {
+        [
+            &self.customer,
+            &self.orders,
+            &self.lineitem,
+            &self.part,
+            &self.supplier,
+            &self.partsupp,
+            &self.nation,
+            &self.region,
+        ]
+    }
+
+    /// Register every table in a context's catalog so multi-table SQL
+    /// (`FROM customer JOIN orders ON ...`) resolves join tables by name.
+    pub fn register(&self, catalog: &pushdown_core::Catalog) {
+        for t in self.all() {
+            catalog.register((*t).clone());
+        }
+    }
+}
+
+/// Convenience for tests and examples: a context plus loaded tables,
+/// with every table registered in the context's catalog (so joined SQL
+/// resolves).
 pub fn tpch_context(
     scale_factor: f64,
     rows_per_partition: usize,
@@ -89,7 +115,9 @@ pub fn tpch_context(
         TpchGen::new(scale_factor),
         rows_per_partition,
     )?;
-    Ok((QueryContext::new(store), tables))
+    let ctx = QueryContext::new(store);
+    tables.register(&ctx.catalog);
+    Ok((ctx, tables))
 }
 
 #[cfg(test)]

@@ -5,9 +5,8 @@
 //!   tables over plain GETs and computes locally;
 //! * **optimized** — "PushdownDB (Optimized)": filters/projections push
 //!   into S3 Select, group-bys use the CASE-WHEN rewrite, joins use Bloom
-//!   filters where the 256 KB SQL limit permits (the
-//!   [`BloomBuilder`](pushdown_bloom::BloomBuilder) decides and degrades
-//!   exactly as §V-B1 describes).
+//!   filters where the 256 KB SQL limit permits (the `BloomBuilder` on
+//!   the query context decides and degrades exactly as §V-B1 describes).
 //!
 //! Every query returns a [`QueryOutput`] whose rows are identical between
 //! the two configurations (integration tests assert this), with metrics
@@ -733,13 +732,15 @@ pub struct PlannerQuery {
     pub sql: &'static str,
 }
 
-/// The planner-dialect TPC-H suite: single-table queries covering every
-/// operator family the planner routes (filter, scalar aggregate,
-/// group-by, top-K), with shapes chosen so the winning strategy *flips*
-/// across the suite — the differential tests run all of
-/// `Strategy::{Baseline, Pushdown, Adaptive}` over these, and the
-/// `fig12_adaptive` harness turns them into the adaptive-vs-fixed
-/// figure.
+/// The planner-dialect TPC-H suite: queries covering every operator
+/// family the planner routes (filter, scalar aggregate, group-by,
+/// top-K, and composed multi-table joins), with shapes chosen so the
+/// winning strategy *flips* across the suite — the differential tests
+/// run all of `Strategy::{Baseline, Pushdown, Adaptive}` over these,
+/// and the `fig12_adaptive` harness turns them into the
+/// adaptive-vs-fixed figure. The joined queries resolve their JOIN
+/// tables through the context catalog ([`crate::tpch_context`]
+/// registers all eight tables).
 pub fn planner_suite() -> Vec<PlannerQuery> {
     vec![
         PlannerQuery {
@@ -780,6 +781,28 @@ pub fn planner_suite() -> Vec<PlannerQuery> {
             name: "topk-10",
             table: |t| &t.orders,
             sql: "SELECT * FROM orders ORDER BY o_totalprice LIMIT 10",
+        },
+        // TPC-H Q3-shaped: filter + 2-table equi-join + GROUP BY +
+        // multi-key ORDER BY (by an aggregate alias) + LIMIT, one
+        // composed physical plan.
+        PlannerQuery {
+            name: "join-q3ish",
+            table: |t| &t.customer,
+            sql: "SELECT o_orderdate, o_shippriority, SUM(o_totalprice) AS revenue \
+                  FROM customer JOIN orders ON c_custkey = o_custkey \
+                  WHERE c_mktsegment = 'BUILDING' AND o_orderdate < DATE '1995-03-15' \
+                  GROUP BY o_orderdate, o_shippriority \
+                  ORDER BY revenue DESC, o_orderdate LIMIT 10",
+        },
+        // TPC-H Q12-shaped: date-filtered orders ⋈ lineitem rollup by
+        // ship mode, ordered by the group key.
+        PlannerQuery {
+            name: "join-q12ish",
+            table: |t| &t.orders,
+            sql: "SELECT l_shipmode, COUNT(*) AS n FROM orders \
+                  JOIN lineitem ON o_orderkey = l_orderkey \
+                  WHERE l_shipdate < DATE '1994-06-01' \
+                  GROUP BY l_shipmode ORDER BY l_shipmode",
         },
     ]
 }

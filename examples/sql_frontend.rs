@@ -1,42 +1,76 @@
 //! PushdownDB's SQL front-end (paper §III: "a minimal optimizer and an
-//! executor"): run client-dialect SQL against a TPC-H table under both
-//! strategies and watch what the optimizer ships to S3.
+//! executor"): run client-dialect SQL — single-table shapes and
+//! multi-table `JOIN ... ON` — against the TPC-H dataset under each
+//! strategy, and watch what the optimizer ships to S3.
 //!
 //! ```sh
 //! cargo run --release --example sql_frontend
 //! cargo run --release --example sql_frontend "SELECT * FROM orders ORDER BY o_totalprice DESC LIMIT 5"
 //! ```
+//!
+//! The primary FROM table of each statement resolves by name through
+//! the context catalog (`tpch_context` registers all eight tables), so
+//! any TPC-H table — joined or not — works on the command line.
 
 use pushdowndb::common::fmtutil;
-use pushdowndb::core::planner::{execute_sql_explained, Strategy};
+use pushdowndb::core::planner::{execute_sql_verbose, Strategy};
+use pushdowndb::sql::parse_query;
 use pushdowndb::tpch::tpch_context;
 
 fn main() -> pushdowndb::common::Result<()> {
-    let (ctx, t) = tpch_context(0.005, 5_000)?;
+    let (ctx, _t) = tpch_context(0.005, 5_000)?;
     let user_query: Option<String> = std::env::args().nth(1);
     let queries: Vec<String> = match user_query {
         Some(q) => vec![q],
         None => vec![
             "SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice < 1500".into(),
-            "SELECT SUM(o_totalprice), COUNT(*) FROM orders WHERE o_orderdate < DATE '1995-01-01'".into(),
-            "SELECT o_orderpriority, SUM(o_totalprice), COUNT(*) FROM orders GROUP BY o_orderpriority".into(),
+            "SELECT SUM(o_totalprice), COUNT(*) FROM orders \
+             WHERE o_orderdate < DATE '1995-01-01'"
+                .into(),
+            "SELECT o_orderpriority, SUM(o_totalprice), COUNT(*) FROM orders \
+             GROUP BY o_orderpriority"
+                .into(),
             "SELECT * FROM orders ORDER BY o_totalprice ASC LIMIT 3".into(),
+            // TPC-H Q3-shaped: one composed physical plan — filter +
+            // equi-join + group-by + multi-key order-by (by the
+            // aggregate's alias) + limit.
+            "SELECT o_orderdate, o_shippriority, SUM(o_totalprice) AS revenue \
+             FROM customer JOIN orders ON c_custkey = o_custkey \
+             WHERE c_mktsegment = 'BUILDING' AND o_orderdate < DATE '1995-03-15' \
+             GROUP BY o_orderdate, o_shippriority \
+             ORDER BY revenue DESC, o_orderdate LIMIT 5"
+                .into(),
         ],
     };
     for sql in queries {
         println!("\nSQL> {sql}");
-        for strategy in [Strategy::Baseline, Strategy::Pushdown] {
-            let (out, plan) = execute_sql_explained(&ctx, &t.orders, &sql, strategy)?;
+        // The planner's entry points take the primary table explicitly;
+        // look it up from the statement's FROM clause.
+        let from = parse_query(&sql)?.from;
+        let table = ctx
+            .catalog
+            .resolve(&from)
+            .ok_or_else(|| pushdowndb::common::Error::Bind(format!("unknown table `{from}`")))?;
+        for strategy in [Strategy::Baseline, Strategy::Pushdown, Strategy::Adaptive] {
+            let (out, explain) = execute_sql_verbose(&ctx, &table, &sql, strategy)?;
             println!(
-                "  {:?} -> {plan}: {} rows, modeled {}, wire {}",
+                "  {:?} -> {}: {} rows, modeled {}, wire {}",
                 strategy,
+                explain.kind,
                 out.rows.len(),
                 fmtutil::secs(out.runtime(&ctx)),
                 fmtutil::bytes(out.metrics.bytes_returned()),
             );
-            if out.rows.len() <= 5 {
-                for r in &out.rows {
-                    println!("    {:?}", r.values());
+            // The adaptive run shows the full EXPLAIN surface: candidate
+            // costs, per-phase prediction, the operator tree.
+            if strategy == Strategy::Adaptive {
+                for line in explain.report(&out, &ctx).lines() {
+                    println!("    {line}");
+                }
+                if out.rows.len() <= 5 {
+                    for r in &out.rows {
+                        println!("    {:?}", r.values());
+                    }
                 }
             }
         }

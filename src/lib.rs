@@ -69,6 +69,38 @@
 //! # Ok(()) }
 //! ```
 //!
+//! ## Multi-table SQL & the physical-plan IR
+//!
+//! Every query lowers to a physical plan ([`core::plan`]) — scan leaves
+//! per table (`PushdownScan`/`LocalScan`), hash/Bloom joins, residual
+//! filter, project, group-by, multi-key sort and limit — driven by one
+//! executor, with the paper's single-table algorithm families
+//! participating as leaf operators. The client dialect
+//! ([`sql::parse_query`]) accepts equi-`JOIN ... ON` chains, multi-key
+//! `ORDER BY`, and ordering GROUP BY results by an aggregate's alias.
+//! The primary table is still passed explicitly (`execute_sql*`
+//! signatures are unchanged); JOIN tables resolve by name through the
+//! context's [`core::Catalog`]:
+//!
+//! ```no_run
+//! use pushdowndb::core::planner::execute_sql_verbose;
+//! use pushdowndb::core::Strategy;
+//! # fn demo(ctx: &pushdowndb::core::QueryContext,
+//! #         customer: &pushdowndb::core::Table, orders: pushdowndb::core::Table)
+//! # -> pushdowndb::common::Result<()> {
+//! ctx.catalog.register(orders); // or QueryContext::with_tables(...)
+//! let sql = "SELECT o_orderdate, SUM(o_totalprice) AS revenue \
+//!            FROM customer JOIN orders ON c_custkey = o_custkey \
+//!            WHERE c_mktsegment = 'BUILDING' \
+//!            GROUP BY o_orderdate ORDER BY revenue DESC LIMIT 10";
+//! let (out, explain) = execute_sql_verbose(ctx, customer, sql, Strategy::Adaptive)?;
+//! // The report renders the operator tree with per-node predicted vs
+//! // actual; Adaptive weighed every join × per-scan-pushdown candidate
+//! // ("baseline", "filtered", "build-push", "probe-push", "bloom").
+//! println!("{}", explain.report(&out, ctx));
+//! # Ok(()) }
+//! ```
+//!
 //! ## Concurrent use, ledger scoping & chaos
 //!
 //! One [`core::QueryContext`] (and its engine) is safely shared by many

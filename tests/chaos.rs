@@ -214,11 +214,17 @@ fn pinned_regression_seeds_per_algo_family() {
             .unwrap_or_else(|| panic!("suite query {name}"))
     };
 
-    // (family, suite query, pinned seed, salt)
+    // (family, suite query, pinned seed, salt). The joined-plan pins
+    // exercise retries through *both* join phases (build-side select and
+    // probe-side select) of a composed physical plan: success must be
+    // row-identical to the fault-free run with no byte double-billed,
+    // even when a retry lands mid-join.
     let pinned = [
         ("filter", by_name("filter-selective"), 3u64, 0u64),
         ("group-by", by_name("groupby-uniform"), 5, 1),
         ("top-k", by_name("topk-100"), 7, 2),
+        ("join-plan-q3", by_name("join-q3ish"), 21, 4),
+        ("join-plan-q12", by_name("join-q12ish"), 22, 5),
     ];
     for (family, q, seed, salt) in pinned {
         let table = (q.table)(&tables);
