@@ -1,0 +1,127 @@
+//! **Figure "cache"** (beyond the paper; ISSUE 5) — billed dollars and
+//! bytes vs segment-cache budget under a Zipf-skewed repeated workload.
+//!
+//! The paper re-bills every repeated scan; the hybrid caching tier
+//! serves hot segments locally for $0 and pushes down only the cold
+//! tail, priced by the same cost model as everything else. This
+//! experiment drives the same seeded Zipf (θ configurable, 1.0 by
+//! default) stream of planner-suite queries against a sweep of cache
+//! budgets — 0 (disabled) up to the full dataset — and reports, per
+//! budget, the exact ledger bill, the cache's hit/fill/eviction
+//! counters, and the reduction in remotely scanned bytes vs the
+//! cache-disabled run.
+//!
+//! Everything except wall time is deterministic in (scale factor, seed).
+
+use crate::workload::{generate_zipf, run_stream, WorkloadReport, WorkloadSpec};
+use pushdown_cache::CacheStats;
+use pushdown_common::pricing::Usage;
+use pushdown_common::Result;
+use pushdown_core::planner::Strategy;
+use pushdown_tpch::tpch_context;
+
+/// Outcome of one budget point of the sweep.
+#[derive(Debug, Clone)]
+pub struct FigCacheRow {
+    /// Cache budget in bytes (0 = cache disabled).
+    pub budget: u64,
+    pub report: WorkloadReport,
+    /// Remote bytes billed: Select-scanned + plain-transferred.
+    pub remote_bytes: u64,
+    /// Fraction of the disabled run's remote bytes this budget avoided.
+    pub saved_fraction: f64,
+    /// Cache counters at the end of the run (zeroed when disabled).
+    pub cache: CacheStats,
+}
+
+#[derive(Debug, Clone)]
+pub struct FigCacheResult {
+    pub rows: Vec<FigCacheRow>,
+    pub queries: usize,
+    pub seed: u64,
+    pub theta: f64,
+    /// Total stored bytes of the dataset (the budget sweep's yardstick).
+    pub dataset_bytes: u64,
+}
+
+fn remote_bytes(u: &Usage) -> u64 {
+    u.select_scanned_bytes + u.plain_bytes
+}
+
+/// Sweep cache budgets over the same seeded Zipf workload. Each budget
+/// runs on a freshly generated (identical) dataset so occupancy starts
+/// cold and runs stay independent. The cache-**disabled** reference
+/// always runs (regardless of what `budget_fractions` contains), so
+/// every row's `saved_fraction` compares against the true disabled
+/// bill; a `0.0` entry in the sweep reuses that reference instead of
+/// running twice.
+pub fn run(
+    scale_factor: f64,
+    seed: u64,
+    queries: usize,
+    theta: f64,
+    budget_fractions: &[f64],
+) -> Result<FigCacheResult> {
+    let stream = generate_zipf(seed, queries, theta);
+    let spec = WorkloadSpec {
+        seed,
+        queries,
+        concurrency: 1,
+        strategy: Strategy::Adaptive,
+    };
+    // The disabled baseline run.
+    let (base_ctx, base_tables) = tpch_context(scale_factor, 1_500)?;
+    let dataset_bytes = base_tables
+        .all()
+        .iter()
+        .map(|t| t.total_bytes(&base_ctx.store))
+        .sum::<u64>();
+    let baseline = run_stream(&base_ctx, &base_tables, &spec, &stream)?;
+    let baseline_remote = remote_bytes(&baseline.sum_billed);
+    let mut baseline = Some(baseline);
+
+    let mut rows: Vec<FigCacheRow> = Vec::new();
+    for &fraction in budget_fractions {
+        let budget = (dataset_bytes as f64 * fraction) as u64;
+        // A zero budget admits nothing, so it *is* the disabled run —
+        // serve it from the reference instead of re-running.
+        let (report, cache) = if budget == 0 {
+            match baseline.take() {
+                Some(r) => (r, CacheStats::default()),
+                None => {
+                    let (ctx, tables) = tpch_context(scale_factor, 1_500)?;
+                    (
+                        run_stream(&ctx, &tables, &spec, &stream)?,
+                        CacheStats::default(),
+                    )
+                }
+            }
+        } else {
+            let (ctx, tables) = tpch_context(scale_factor, 1_500)?;
+            let ctx = ctx.with_cache(budget);
+            let report = run_stream(&ctx, &tables, &spec, &stream)?;
+            let cache = ctx.cache().map(|c| c.stats()).unwrap_or_default();
+            (report, cache)
+        };
+        let remote = remote_bytes(&report.sum_billed);
+        let saved_fraction = if baseline_remote > 0 {
+            1.0 - remote as f64 / baseline_remote as f64
+        } else {
+            0.0
+        };
+        rows.push(FigCacheRow {
+            budget,
+            report,
+            remote_bytes: remote,
+            saved_fraction,
+            cache,
+        });
+    }
+    Ok(FigCacheResult {
+        rows,
+        queries,
+        seed,
+        theta,
+        dataset_bytes,
+    })
+}

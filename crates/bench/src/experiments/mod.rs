@@ -16,3 +16,4 @@ pub mod fig10_tpch;
 pub mod fig11_parquet;
 pub mod fig12_adaptive;
 pub mod fig13_concurrency;
+pub mod fig_cache;

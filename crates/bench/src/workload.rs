@@ -67,6 +67,42 @@ pub fn generate(seed: u64, n: usize) -> Vec<WorkloadQuery> {
         .collect()
 }
 
+/// A seeded **Zipf-skewed repeated-query** stream: draw `n` queries from
+/// the planner suite with rank-`i` probability ∝ `1/i^theta` (`theta =
+/// 1.0` is the classic hot-set skew; `0.0` degrades to uniform). Which
+/// suite query is "rank 1" rotates with the seed, so different seeds
+/// heat different tables. This is the driver behind the `fig_cache`
+/// experiment: a hot set that fits the cache budget gets served locally
+/// after its first fill, and billed bytes collapse.
+pub fn generate_zipf(seed: u64, n: usize, theta: f64) -> Vec<WorkloadQuery> {
+    let suite = planner_suite();
+    let len = suite.len();
+    let weights: Vec<f64> = (0..len)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(theta))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let rotation = (splitmix64(seed) % len as u64) as usize;
+    (0..n)
+        .map(|index| {
+            let h = splitmix64(seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64 * total;
+            let mut acc = 0.0;
+            let mut rank = len - 1;
+            for (i, w) in weights.iter().enumerate() {
+                acc += w;
+                if u < acc {
+                    rank = i;
+                    break;
+                }
+            }
+            WorkloadQuery {
+                index,
+                query: suite[(rank + rotation) % len],
+            }
+        })
+        .collect()
+}
+
 /// What to run and how hard to push.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkloadSpec {
@@ -202,8 +238,20 @@ pub fn run_workload(
     spec: &WorkloadSpec,
 ) -> Result<WorkloadReport> {
     let stream = generate(spec.seed, spec.queries);
+    run_stream(ctx, tables, spec, &stream)
+}
+
+/// Drive an explicit query stream (e.g. [`generate_zipf`]) at
+/// `spec.concurrency` over one shared context. `spec.queries` is ignored
+/// in favor of the stream's length.
+pub fn run_stream(
+    ctx: &QueryContext,
+    tables: &TpchTables,
+    spec: &WorkloadSpec,
+    stream: &[WorkloadQuery],
+) -> Result<WorkloadReport> {
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<QueryReport>>> = Mutex::new(vec![None; spec.queries]);
+    let slots: Mutex<Vec<Option<QueryReport>>> = Mutex::new(vec![None; stream.len()]);
     let started = std::time::Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..spec.concurrency.max(1) {
@@ -277,6 +325,32 @@ mod tests {
                 "seed {seed}: joined queries missing from {distinct:?}"
             );
         }
+    }
+
+    #[test]
+    fn zipf_streams_are_seeded_and_skewed() {
+        let a = generate_zipf(7, 200, 1.0);
+        let b = generate_zipf(7, 200, 1.0);
+        let names = |v: &[WorkloadQuery]| v.iter().map(|q| q.query.name).collect::<Vec<_>>();
+        assert_eq!(names(&a), names(&b), "same seed, same stream");
+        assert_ne!(names(&a), names(&generate_zipf(8, 200, 1.0)));
+        // θ=1.0 concentrates mass: the most frequent query dominates a
+        // uniform share, and the hot set is small.
+        let mut counts: std::collections::BTreeMap<&str, usize> = Default::default();
+        for q in &a {
+            *counts.entry(q.query.name).or_default() += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let uniform = a.len() / planner_suite().len();
+        assert!(max > 2 * uniform, "hot query {max} vs uniform {uniform}");
+        // θ=0 degrades to a uniform draw (no rank dominates wildly).
+        let flat = generate_zipf(7, 900, 0.0);
+        let mut fc: std::collections::BTreeMap<&str, usize> = Default::default();
+        for q in &flat {
+            *fc.entry(q.query.name).or_default() += 1;
+        }
+        let fmax = *fc.values().max().unwrap();
+        assert!(fmax < 2 * (900 / planner_suite().len()), "{fc:?}");
     }
 
     #[test]

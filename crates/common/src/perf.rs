@@ -52,6 +52,11 @@ pub struct PerfParams {
     /// (a CASE-WHEN arm, a Bloom-hash SUBSTRING conjunct, a predicate
     /// comparison). Scan rate becomes `s3_scan_bw / (1 + coeff * terms)`.
     pub expr_term_coeff: f64,
+    /// Read bandwidth of the local segment-cache tier (NVMe-class),
+    /// bytes/s. Cache hits move no bytes over the wire and issue no
+    /// requests; they pay this local scan rate instead (and the usual
+    /// parse cost — the bytes still deserialize on the compute node).
+    pub cache_read_bw: f64,
     /// Round-trip latency of one HTTP request, seconds.
     pub request_latency: f64,
     /// Maximum concurrently in-flight requests the compute node sustains.
@@ -72,6 +77,7 @@ impl Default for PerfParams {
             parse_plain_bw: 160e6,
             parse_select_bw: 80e6,
             s3_scan_bw: 2.4e9,
+            cache_read_bw: 2.0e9,
             expr_term_coeff: 0.05,
             request_latency: 0.010,
             max_inflight: 32,
@@ -99,6 +105,11 @@ pub struct PhaseStats {
     pub select_returned_bytes: u64,
     /// Bytes returned by plain GETs.
     pub plain_bytes: u64,
+    /// Bytes served from the **local segment cache** (no request, no
+    /// wire, no storage-side scan — and nothing billable: these never
+    /// reach [`crate::pricing::Usage`]). They still parse on the compute
+    /// node and read at [`PerfParams::cache_read_bw`].
+    pub cache_bytes: u64,
     /// Server-side operator work units (see [`PerfParams::cpu_per_unit`]).
     pub server_cpu_units: u64,
     /// Number of terms in the pushed-down expression (0 if no pushdown).
@@ -114,6 +125,7 @@ impl PhaseStats {
         self.s3_scanned_bytes += other.s3_scanned_bytes;
         self.select_returned_bytes += other.select_returned_bytes;
         self.plain_bytes += other.plain_bytes;
+        self.cache_bytes += other.cache_bytes;
         self.server_cpu_units += other.server_cpu_units;
         self.expr_terms = self.expr_terms.max(other.expr_terms);
     }
@@ -131,6 +143,7 @@ impl PhaseStats {
             s3_scanned_bytes: s(self.s3_scanned_bytes),
             select_returned_bytes: s(self.select_returned_bytes),
             plain_bytes: s(self.plain_bytes),
+            cache_bytes: s(self.cache_bytes),
             server_cpu_units: s(self.server_cpu_units),
             expr_terms: self.expr_terms,
         }
@@ -166,10 +179,11 @@ impl PerfModel {
         let latency = total_requests as f64 * p.request_latency / inflight;
         let scan = s.s3_scanned_bytes as f64 / self.effective_scan_bw(s.expr_terms);
         let wire = (s.select_returned_bytes + s.plain_bytes) as f64 / p.net_bw;
-        let server = s.plain_bytes as f64 / p.parse_plain_bw
+        let local = s.cache_bytes as f64 / p.cache_read_bw;
+        let server = (s.plain_bytes + s.cache_bytes) as f64 / p.parse_plain_bw
             + s.select_returned_bytes as f64 / p.parse_select_bw
             + s.server_cpu_units as f64 * p.cpu_per_unit;
-        p.phase_startup + latency + scan.max(wire).max(server)
+        p.phase_startup + latency + scan.max(wire).max(server).max(local)
     }
 
     /// Compose phases that run one after another.
@@ -369,6 +383,7 @@ mod tests {
             s3_scanned_bytes: 100,
             select_returned_bytes: 50,
             plain_bytes: 20,
+            cache_bytes: 30,
             server_cpu_units: 5,
             expr_terms: 7,
         };
@@ -376,7 +391,31 @@ mod tests {
         assert_eq!(t.requests, 10, "bulk requests are a layout constant");
         assert_eq!(t.point_requests, 400, "point requests are per-row");
         assert_eq!(t.s3_scanned_bytes, 10_000);
+        assert_eq!(t.cache_bytes, 3_000, "cache bytes scale with data");
         assert_eq!(t.expr_terms, 7, "expr terms are intensive");
+    }
+
+    /// Cache hits pay local scan + parse, never wire, scan or latency:
+    /// a cached phase is no slower than the same bytes as plain GETs and
+    /// strictly faster once request latency is in play.
+    #[test]
+    fn cached_phases_cost_local_scan_and_parse_only() {
+        let m = model();
+        let cached = PhaseStats {
+            cache_bytes: GB,
+            ..Default::default()
+        };
+        let remote = PhaseStats {
+            requests: 100,
+            plain_bytes: GB,
+            ..Default::default()
+        };
+        let t_cached = m.phase_seconds(&cached);
+        let t_remote = m.phase_seconds(&remote);
+        assert!(t_cached < t_remote, "{t_cached} vs {t_remote}");
+        // Parse-bound: the dominant term is bytes / parse_plain_bw.
+        let parse = GB as f64 / m.params.parse_plain_bw;
+        assert!((t_cached - (m.params.phase_startup + parse)).abs() < 1e-9);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::catalog::{Catalog, Table};
 use pushdown_bloom::BloomBuilder;
+use pushdown_cache::SegmentCache;
 use pushdown_common::perf::{PerfModel, PerfParams};
 use pushdown_common::pricing::{Pricing, Usage};
 use pushdown_common::RetryPolicy;
@@ -43,6 +44,12 @@ pub struct QueryContext {
     /// faults — applied identically to whole-object GETs, range GETs,
     /// multi-range GETs and Select requests.
     pub retry: RetryPolicy,
+    /// Route plain partition GETs through the store's segment cache
+    /// (when one is installed; see [`QueryContext::with_cache`]).
+    /// `false` by default so the fixed strategies keep their pure
+    /// remote-scan semantics; the planner's `cached-local` candidates
+    /// and forced-cached runs flip it per execution.
+    pub cache_reads: bool,
 }
 
 impl QueryContext {
@@ -60,6 +67,7 @@ impl QueryContext {
                 .unwrap_or(4),
             batch_rows: 1024,
             retry: RetryPolicy::default(),
+            cache_reads: false,
         }
     }
 
@@ -133,6 +141,47 @@ impl QueryContext {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self.engine = self.engine.clone().with_retry(retry);
+        self
+    }
+
+    /// Install a cost-aware segment cache of `budget_bytes` on the store
+    /// (the caching tier's budget knob), weighted by this context's
+    /// current [`Pricing`].
+    ///
+    /// **Store-wide, not per-copy**: like
+    /// [`QueryContext::with_tables`] and the shared [`Catalog`], this
+    /// mutates state every context on the same store shares — cloned
+    /// and scoped contexts (and concurrently running queries) see the
+    /// cache immediately, and dropping the returned context does not
+    /// uninstall it (`ctx.store.set_cache(None)` does). The adaptive
+    /// planner starts weighing `cached-local` candidates against
+    /// pushdown and remote scans as soon as a cache is present. A
+    /// budget of 0 effectively disables admission.
+    pub fn with_cache(self, budget_bytes: u64) -> Self {
+        self.store
+            .set_cache(Some(SegmentCache::new(budget_bytes, self.pricing)));
+        self
+    }
+
+    /// Install a pre-built [`SegmentCache`] (for custom pricing or for
+    /// observing one cache handle from outside). Store-wide, like
+    /// [`QueryContext::with_cache`].
+    pub fn with_segment_cache(self, cache: SegmentCache) -> Self {
+        self.store.set_cache(Some(cache));
+        self
+    }
+
+    /// The store's segment cache, if one is installed (cloning shares).
+    pub fn cache(&self) -> Option<SegmentCache> {
+        self.store.cache()
+    }
+
+    /// A copy of this context that routes plain partition GETs through
+    /// the segment cache — what `cached-local` plan candidates execute
+    /// under, and a way to *force* the cached-local strategy end to end
+    /// (e.g. `ctx.with_cache_reads(true)` + `Strategy::Baseline`).
+    pub fn with_cache_reads(mut self, cache_reads: bool) -> Self {
+        self.cache_reads = cache_reads;
         self
     }
 }

@@ -175,6 +175,52 @@ impl<'a> Estimator<'a> {
         }
     }
 
+    /// Cached-local load phase: read partitions through the segment
+    /// cache, **per segment** — partitions currently cached cost local
+    /// scan + parse only (`cache_bytes`; zero billable), the cold tail
+    /// is priced as read-through fills (a request + plain transfer
+    /// each). `None` when the store has no cache installed, so the
+    /// candidate only exists on cache-enabled contexts.
+    fn cached_load(&self, extra_cpu: f64) -> Option<PhaseStats> {
+        let cache = self.ctx.store.cache()?;
+        let mut cached = 0u64;
+        let mut uncached = 0u64;
+        let mut fills = 0u64;
+        for key in self.table.partitions(&self.ctx.store) {
+            let size = self
+                .ctx
+                .store
+                .object_size(&self.table.bucket, &key)
+                .unwrap_or(0);
+            match cache.peek(&self.table.bucket, &key) {
+                Some(_) => cached += size,
+                None => {
+                    uncached += size;
+                    fills += 1;
+                }
+            }
+        }
+        Some(PhaseStats {
+            requests: fills,
+            plain_bytes: uncached,
+            cache_bytes: cached,
+            server_cpu_units: (self.rows + extra_cpu) as u64,
+            ..Default::default()
+        })
+    }
+
+    /// Wrap a cached-local load phase into a one-phase candidate, when a
+    /// cache is installed.
+    fn cached_candidate(&self, label: &str, extra_cpu: f64) -> Option<PlanEstimate> {
+        let phase = self.cached_load(extra_cpu)?;
+        let mut m = QueryMetrics::new();
+        m.push_serial(label, phase);
+        Some(PlanEstimate {
+            algorithm: "cached-local",
+            predicted: m,
+        })
+    }
+
     /// Select phase scanning the whole table and returning `ret_rows`
     /// records of `ret_row_bytes` each.
     fn select_full_scan(&self, ret_rows: f64, ret_row_bytes: f64, terms: u32) -> PhaseStats {
@@ -222,16 +268,20 @@ impl<'a> Estimator<'a> {
             ),
         );
 
-        vec![
-            PlanEstimate {
-                algorithm: "server-side",
-                predicted: server,
-            },
-            PlanEstimate {
-                algorithm: "s3-side",
-                predicted: s3,
-            },
-        ]
+        // Cached-local first: a cold fill costs exactly what the remote
+        // load costs, so ties must break toward warming the cache (the
+        // argmin keeps the earliest minimum).
+        let mut out = Vec::new();
+        out.extend(self.cached_candidate("cached-local filter", extra));
+        out.push(PlanEstimate {
+            algorithm: "server-side",
+            predicted: server,
+        });
+        out.push(PlanEstimate {
+            algorithm: "s3-side",
+            predicted: s3,
+        });
+        out
     }
 
     // ---- Scalar aggregation (§VIII Q6 shape) ---------------------------
@@ -252,11 +302,12 @@ impl<'a> Estimator<'a> {
             })
             .sum();
 
+        // One shared CPU estimate: the cold-cache tie with server-side
+        // (which the warm-the-cache tie-break relies on) requires the
+        // cached and plain loads to price *identically*.
+        let extra = self.rows + sel * self.rows * n_aggs;
         let mut server = QueryMetrics::new();
-        server.push_serial(
-            "server-side aggregation",
-            self.plain_load(self.rows + sel * self.rows * n_aggs),
-        );
+        server.push_serial("server-side aggregation", self.plain_load(extra));
 
         let mut s3 = QueryMetrics::new();
         let mut phase = self.select_full_scan(0.0, 0.0, stmt.term_count());
@@ -266,16 +317,17 @@ impl<'a> Estimator<'a> {
         phase.server_cpu_units = self.parts;
         s3.push_serial("s3-side aggregation", phase);
 
-        vec![
-            PlanEstimate {
-                algorithm: "server-side",
-                predicted: server,
-            },
-            PlanEstimate {
-                algorithm: "s3-side",
-                predicted: s3,
-            },
-        ]
+        let mut out = Vec::new();
+        out.extend(self.cached_candidate("cached-local aggregation", extra));
+        out.push(PlanEstimate {
+            algorithm: "server-side",
+            predicted: server,
+        });
+        out.push(PlanEstimate {
+            algorithm: "s3-side",
+            predicted: s3,
+        });
+        out
     }
 
     // ---- Group-by (§VI) ------------------------------------------------
@@ -338,17 +390,19 @@ impl<'a> Estimator<'a> {
 
         let mut out = Vec::new();
 
-        // Server-side: full load + local hash aggregation.
+        // Server-side: full load + local hash aggregation — preceded by
+        // its cached-local twin so cold ties warm the cache.
         let mut server = QueryMetrics::new();
         let filter_cpu = if q.predicate.is_some() {
             self.rows
         } else {
             0.0
         };
-        server.push_serial(
-            "server-side group-by",
-            self.plain_load(filter_cpu + matches + groups),
-        );
+        // Shared so the cold-cache candidate ties the server-side load
+        // exactly (the warm-the-cache tie-break depends on it).
+        let extra = filter_cpu + matches + groups;
+        out.extend(self.cached_candidate("cached-local group-by", extra));
+        server.push_serial("server-side group-by", self.plain_load(extra));
         out.push(PlanEstimate {
             algorithm: "server-side",
             predicted: server,
@@ -463,12 +517,17 @@ impl<'a> Estimator<'a> {
         let k = q.k as f64;
         let log_k = (q.k.max(2) as f64).log2().ceil();
 
+        // Shared so the cold-cache candidate ties the server-side load
+        // exactly (the warm-the-cache tie-break depends on it).
+        let extra = self.rows * log_k + k;
         let mut server = QueryMetrics::new();
-        server.push_serial("server-side top-k", self.plain_load(self.rows * log_k + k));
-        let mut out = vec![PlanEstimate {
+        server.push_serial("server-side top-k", self.plain_load(extra));
+        let mut out = Vec::new();
+        out.extend(self.cached_candidate("cached-local top-k", extra));
+        out.push(PlanEstimate {
             algorithm: "server-side",
             predicted: server,
-        }];
+        });
 
         // Sampling: mirror `topk::sampling`'s default sample size.
         let alpha = 1.0 / self.table.schema.len().max(1) as f64;
@@ -685,9 +744,9 @@ pub fn predict_plan(ctx: &QueryContext, node: &crate::plan::PlanNode) -> PlanPre
 fn collect_tables(node: &crate::plan::PlanNode, out: &mut Vec<Table>) {
     use crate::plan::PlanOp;
     match &node.op {
-        PlanOp::LocalScan { table, .. } | PlanOp::PushdownScan { table, .. } => {
-            out.push(table.clone())
-        }
+        PlanOp::LocalScan { table, .. }
+        | PlanOp::PushdownScan { table, .. }
+        | PlanOp::CachedScan { table, .. } => out.push(table.clone()),
         _ => {}
     }
     for c in &node.children {
@@ -830,6 +889,26 @@ fn predict_node(
         } => {
             let (stats, card) = predict_pushdown_scan(ctx, table, predicate, projection, 1.0, 0);
             leaf(stats, "select", card)
+        }
+        PlanOp::CachedScan { table, predicate } => {
+            let est = Estimator::new(ctx, table);
+            let sel = est.selectivity(predicate.as_ref());
+            let extra = if predicate.is_some() { est.rows } else { 0.0 };
+            // Per-segment occupancy pricing: cached partitions are free,
+            // the cold tail bills as read-through fills. Falls back to a
+            // full plain load if no cache is installed (a CachedScan
+            // then degrades to exactly a LocalScan).
+            let stats = est
+                .cached_load(extra)
+                .unwrap_or_else(|| est.plain_load(extra));
+            leaf(
+                stats,
+                "cached load",
+                Card {
+                    rows: sel * est.rows,
+                    row_bytes: est.row_bytes,
+                },
+            )
         }
         PlanOp::HashJoin {
             build_key,

@@ -36,11 +36,28 @@ struct JoinEdge {
     int_keys: bool,
 }
 
+/// How one scan leaf of a join candidate fetches its table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScanMode {
+    /// Plain remote GETs, filtered locally (remote-full).
+    Local,
+    /// Predicate + projection pushed into S3 Select.
+    Pushed,
+    /// Read through the local segment cache (hybrid tier).
+    Cached,
+}
+
 /// Lower a joined query to its candidate plans, named by strategy:
 /// `"baseline"` (all plain loads), `"filtered"` (all scans pushed),
 /// `"bloom"` (pushed + Bloom probe filters, when keys are integers),
 /// and — for two-table joins — the mixed `"build-push"`/`"probe-push"`
-/// combinations. The `baseline` and `filtered` candidates always exist.
+/// combinations. When the store carries a segment cache, the lineup
+/// grows `"cached"` (every scan through the cache) and — for two-table
+/// joins — `"cached-build"` (build side cached, probe side pushed down,
+/// with a Bloom runtime filter when the keys are integers), so the
+/// planner weighs cached-local vs pushdown vs remote **per scan**,
+/// jointly with the join strategy. The `baseline` and `filtered`
+/// candidates always exist.
 pub(crate) fn lower_join_candidates(
     ctx: &QueryContext,
     primary: &Table,
@@ -52,22 +69,38 @@ pub(crate) fn lower_join_candidates(
     let needed = needed_columns(&tables, spec, &edges, &residual)?;
 
     let n = tables.len();
-    let mut combos: Vec<(&'static str, Vec<bool>, bool)> = vec![
-        ("baseline", vec![false; n], false),
-        ("filtered", vec![true; n], false),
-    ];
-    if n == 2 {
-        combos.push(("build-push", vec![true, false], false));
-        combos.push(("probe-push", vec![false, true], false));
+    let int_keys = edges.iter().any(|e| e.int_keys);
+    let mut combos: Vec<(&'static str, Vec<ScanMode>, bool)> = Vec::new();
+    // Cached combos lead the lineup: a cold fill prices exactly like the
+    // remote load it replaces, and the argmin keeps the earliest
+    // minimum, so ties break toward warming the cache.
+    if ctx.store.cache().is_some() {
+        combos.push(("cached", vec![ScanMode::Cached; n], false));
+        if n == 2 {
+            // The hybrid mixed plan: hot build side from the cache, cold
+            // probe side pushed down (with the Bloom runtime filter when
+            // the join keys admit one).
+            combos.push((
+                "cached-build",
+                vec![ScanMode::Cached, ScanMode::Pushed],
+                int_keys,
+            ));
+        }
     }
-    if edges.iter().any(|e| e.int_keys) {
-        combos.push(("bloom", vec![true; n], true));
+    combos.push(("baseline", vec![ScanMode::Local; n], false));
+    combos.push(("filtered", vec![ScanMode::Pushed; n], false));
+    if n == 2 {
+        combos.push(("build-push", vec![ScanMode::Pushed, ScanMode::Local], false));
+        combos.push(("probe-push", vec![ScanMode::Local, ScanMode::Pushed], false));
+    }
+    if int_keys {
+        combos.push(("bloom", vec![ScanMode::Pushed; n], true));
     }
 
     let mut out = Vec::new();
-    for (name, pushed, bloom) in combos {
+    for (name, modes, bloom) in combos {
         let plan = build_plan(
-            &tables, &edges, &per_table, &residual, &needed, &pushed, bloom, spec,
+            &tables, &edges, &per_table, &residual, &needed, &modes, bloom, spec,
         )?;
         out.push((name, plan));
     }
@@ -266,30 +299,44 @@ fn needed_columns(
         .collect())
 }
 
-fn scan_node(table: &Table, predicate: Option<Expr>, needed: &[String], pushed: bool) -> PlanNode {
-    if pushed {
-        let indices: Vec<usize> = needed
-            .iter()
-            .map(|c| table.schema.index_of(c).expect("needed column resolved"))
-            .collect();
-        PlanNode::new(
-            PlanOp::PushdownScan {
-                table: table.clone(),
-                predicate,
-                projection: Some(needed.to_vec()),
-            },
-            Vec::new(),
-            table.schema.project(&indices),
-        )
-    } else {
-        PlanNode::new(
+fn scan_node(
+    table: &Table,
+    predicate: Option<Expr>,
+    needed: &[String],
+    mode: ScanMode,
+) -> PlanNode {
+    match mode {
+        ScanMode::Pushed => {
+            let indices: Vec<usize> = needed
+                .iter()
+                .map(|c| table.schema.index_of(c).expect("needed column resolved"))
+                .collect();
+            PlanNode::new(
+                PlanOp::PushdownScan {
+                    table: table.clone(),
+                    predicate,
+                    projection: Some(needed.to_vec()),
+                },
+                Vec::new(),
+                table.schema.project(&indices),
+            )
+        }
+        ScanMode::Local => PlanNode::new(
             PlanOp::LocalScan {
                 table: table.clone(),
                 predicate,
             },
             Vec::new(),
             table.schema.clone(),
-        )
+        ),
+        ScanMode::Cached => PlanNode::new(
+            PlanOp::CachedScan {
+                table: table.clone(),
+                predicate,
+            },
+            Vec::new(),
+            table.schema.clone(),
+        ),
     }
 }
 
@@ -300,16 +347,16 @@ fn build_plan(
     per_table: &[Option<Expr>],
     residual: &Option<Expr>,
     needed: &[Vec<String>],
-    pushed: &[bool],
+    modes: &[ScanMode],
     bloom: bool,
     spec: &QuerySpec,
 ) -> Result<PlanNode> {
-    let mut node = scan_node(&tables[0], per_table[0].clone(), &needed[0], pushed[0]);
+    let mut node = scan_node(&tables[0], per_table[0].clone(), &needed[0], modes[0]);
     for (i, edge) in edges.iter().enumerate() {
         let t = i + 1;
-        let probe = scan_node(&tables[t], per_table[t].clone(), &needed[t], pushed[t]);
+        let probe = scan_node(&tables[t], per_table[t].clone(), &needed[t], modes[t]);
         let schema = node.schema.join(&probe.schema);
-        let op = if bloom && edge.int_keys && pushed[t] {
+        let op = if bloom && edge.int_keys && modes[t] == ScanMode::Pushed {
             PlanOp::BloomJoin {
                 build_key: edge.build_key.clone(),
                 probe_key: edge.probe_key.clone(),

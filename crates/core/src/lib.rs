@@ -9,14 +9,16 @@
 //! Layers, bottom-up:
 //!
 //! * [`catalog`] — partitioned tables in the object store and loaders;
-//! * [`scan`] — the two data paths: plain GET scans vs S3 Select scans
-//!   (with partition-parallelism, aggregate merging, early-stop LIMIT);
+//! * [`scan`] — the data paths: plain GET scans, S3 Select scans (with
+//!   partition-parallelism, aggregate merging, early-stop LIMIT), and
+//!   cache-aware scans reading through the store's segment cache;
 //! * [`ops`] — compute-node operators (filter/project/hash join/hash
 //!   aggregation/heap top-K) with CPU metering;
 //! * [`index`] — the §IV-A byte-range index tables;
 //! * [`algos`] — the paper's algorithms (filter/join/group-by/top-K in
 //!   all their variants);
-//! * [`plan`] — the physical-plan IR: scan leaves, joins, group-by,
+//! * [`plan`] — the physical-plan IR: scan leaves (pushdown, local, and
+//!   `CachedScan` through the hybrid caching tier), joins, group-by,
 //!   sort/top-K, project/limit as one operator DAG, driven by a single
 //!   executor, with the [`algos`] families participating as leaf
 //!   operators;

@@ -25,7 +25,7 @@ use crate::context::QueryContext;
 use crate::metrics::QueryMetrics;
 use crate::ops;
 use crate::output::QueryOutput;
-use crate::scan::{plain_scan_streamed, select_scan};
+use crate::scan::{cached_scan_streamed, plain_scan_streamed, select_scan};
 use pushdown_common::perf::{PerfModel, PhaseStats};
 use pushdown_common::{Error, Result, Row, Schema, Value};
 use pushdown_sql::agg::AggFunc;
@@ -58,6 +58,14 @@ pub enum PlanOp {
         table: Table,
         predicate: Option<Expr>,
         projection: Option<Vec<String>>,
+    },
+    /// Leaf: read every partition **through the local segment cache**
+    /// (hybrid tier): hits bill zero bytes/requests and pay local scan +
+    /// parse time; misses are read-through fills billed exactly once.
+    /// `predicate` is applied locally, like [`PlanOp::LocalScan`].
+    CachedScan {
+        table: Table,
+        predicate: Option<Expr>,
     },
     /// Hash inner equi-join: children `[build, probe]`, output rows are
     /// `build ++ probe`. Independent subtrees scan concurrently.
@@ -118,6 +126,19 @@ pub enum AlgoOp {
     TopK(topk::TopKQuery, &'static str),
 }
 
+impl AlgoOp {
+    /// The chosen variant's name (`"server-side"`, `"s3-side"`,
+    /// `"cached-local"`, ...).
+    pub fn algorithm(&self) -> &'static str {
+        match self {
+            AlgoOp::Filter(_, a) => a,
+            AlgoOp::Aggregate(_, _, a) => a,
+            AlgoOp::GroupBy(_, a) => a,
+            AlgoOp::TopK(_, a) => a,
+        }
+    }
+}
+
 impl PlanNode {
     pub fn new(op: PlanOp, children: Vec<PlanNode>, schema: Schema) -> PlanNode {
         PlanNode {
@@ -132,6 +153,7 @@ impl PlanNode {
         match &self.op {
             PlanOp::LocalScan { table, .. } => format!("LocalScan[{}]", table.name),
             PlanOp::PushdownScan { table, .. } => format!("PushdownScan[{}]", table.name),
+            PlanOp::CachedScan { table, .. } => format!("CachedScan[{}]", table.name),
             PlanOp::HashJoin {
                 build_key,
                 probe_key,
@@ -172,7 +194,7 @@ impl PlanNode {
     /// into S3 Select.
     fn scans_pushed(&self) -> bool {
         match &self.op {
-            PlanOp::LocalScan { .. } => false,
+            PlanOp::LocalScan { .. } | PlanOp::CachedScan { .. } => false,
             PlanOp::PushdownScan { .. } => true,
             _ => self.children.iter().all(PlanNode::scans_pushed),
         }
@@ -214,17 +236,28 @@ impl OpReport {
         use std::fmt::Write;
         let indent = "  ".repeat(depth);
         let actual = model.phase_seconds(&self.actual);
+        // Cache-serving nodes show their local-vs-remote byte split
+        // (hit bytes come from the segment cache; on a cached scan, the
+        // plain bytes are the billed read-through fills).
+        let cache = if self.actual.cache_bytes > 0 || self.label.starts_with("CachedScan") {
+            format!(
+                "  [cache: {} B hit, {} B filled]",
+                self.actual.cache_bytes, self.actual.plain_bytes
+            )
+        } else {
+            String::new()
+        };
         match &self.predicted {
             Some(p) => {
                 let _ = writeln!(
                     out,
-                    "{indent}{}  predicted {:.2}s vs actual {actual:.2}s",
+                    "{indent}{}  predicted {:.2}s vs actual {actual:.2}s{cache}",
                     self.label,
                     model.phase_seconds(p),
                 );
             }
             None => {
-                let _ = writeln!(out, "{indent}{}  actual {actual:.2}s", self.label);
+                let _ = writeln!(out, "{indent}{}  actual {actual:.2}s{cache}", self.label);
             }
         }
         for c in &self.children {
@@ -346,6 +379,38 @@ pub fn execute(ctx: &QueryContext, node: &PlanNode) -> Result<Executed> {
                 rows,
                 metrics,
                 report: OpReport::leaf(node.label(), stats),
+            })
+        }
+        PlanOp::CachedScan { table, predicate } => {
+            let bound = match predicate {
+                Some(p) => Some(Binder::new(&table.schema).bind_expr(p)?),
+                None => None,
+            };
+            let mut op_stats = PhaseStats::default();
+            let mut rows = Vec::new();
+            let summary = cached_scan_streamed(ctx, table, |batch| {
+                match &bound {
+                    Some(b) => rows.extend(ops::filter_rows(batch.rows, b, &mut op_stats)?),
+                    None => rows.extend(batch.rows),
+                }
+                Ok(())
+            })?;
+            let mut stats = summary.stats;
+            stats.merge(&op_stats);
+            let mut metrics = QueryMetrics::new();
+            metrics.push_serial(format!("cached load {}", table.name), stats);
+            // The EXPLAIN tree reports the hit/miss/fill split per node.
+            let label = format!(
+                "{} ({}/{} partitions hit)",
+                node.label(),
+                summary.hit_parts,
+                summary.hit_parts + summary.fill_parts,
+            );
+            Ok(Executed {
+                schema: summary.schema,
+                rows,
+                metrics,
+                report: OpReport::leaf(label, stats),
             })
         }
         PlanOp::PushdownScan {
@@ -572,6 +637,17 @@ pub fn execute(ctx: &QueryContext, node: &PlanNode) -> Result<Executed> {
             })
         }
         PlanOp::Algo(algo) => {
+            // `cached-local` variants are the server-side algorithms with
+            // plain partition GETs routed through the segment cache — the
+            // match arms below fall through to their server-side branch
+            // under a cache-reading context.
+            let cached_ctx;
+            let ctx = if algo.algorithm() == "cached-local" {
+                cached_ctx = ctx.clone().with_cache_reads(true);
+                &cached_ctx
+            } else {
+                ctx
+            };
             let out = match algo {
                 AlgoOp::Filter(q, algorithm) => match *algorithm {
                     "s3-side" => filter::s3_side(ctx, q)?,

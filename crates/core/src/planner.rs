@@ -225,6 +225,23 @@ impl Explain {
             b.plain_bytes,
             out.billed_cost(ctx).total(),
         );
+        // The hybrid tier's store-wide cache counters (cross-query, so a
+        // fleet of reports shows the cache heating up).
+        if let Some(cache) = ctx.store.cache() {
+            let cs = cache.stats();
+            let _ = writeln!(
+                s,
+                "cache:  {} hits / {} misses, {} B hit, {} B filled, {} evicted; \
+                 {} B of {} B budget used",
+                cs.hits,
+                cs.misses,
+                cs.hit_bytes,
+                cs.fill_bytes,
+                cs.evictions,
+                cs.used_bytes,
+                cs.budget_bytes,
+            );
+        }
         s
     }
 }

@@ -59,6 +59,20 @@ pub struct ScanSummary {
     pub stats: PhaseStats,
 }
 
+/// [`ScanSummary`] of a cache-aware scan, with per-partition hit/fill
+/// counts for the EXPLAIN surface. Hit bytes land in
+/// `stats.cache_bytes`, fill bytes in `stats.plain_bytes` (a fill *is* a
+/// billed plain GET).
+#[derive(Debug, Clone)]
+pub struct CachedScanSummary {
+    pub schema: Schema,
+    pub stats: PhaseStats,
+    /// Partitions served from the local segment cache.
+    pub hit_parts: u64,
+    /// Partitions read through from the store (billed fills).
+    pub fill_parts: u64,
+}
+
 /// Full batches buffered per in-flight partition before its worker
 /// blocks. Small on purpose: memory is bounded by
 /// `scan_threads × (PARTITION_QUEUE_DEPTH + 1) × batch_rows` rows.
@@ -260,11 +274,24 @@ fn decode_partition_batches(
 /// Baseline path, streaming: GET each partition, decode it batch-at-a-
 /// time, and hand batches to `on_batch` in partition order. Peak
 /// resident rows are bounded by the worker pool, not the table.
+///
+/// When the context has `cache_reads` set **and** the store carries a
+/// [`pushdown_cache::SegmentCache`], partitions are read *through* the
+/// cache instead ([`cached_scan_streamed`]): hits bill nothing, misses
+/// fill. This is how `cached-local` plan candidates reuse every
+/// server-side algorithm unchanged.
 pub fn plain_scan_streamed(
     ctx: &QueryContext,
     table: &Table,
     mut on_batch: impl FnMut(RowBatch) -> Result<()>,
 ) -> Result<ScanSummary> {
+    if ctx.cache_reads && ctx.store.cache().is_some() {
+        let cached = cached_scan_streamed(ctx, table, on_batch)?;
+        return Ok(ScanSummary {
+            schema: cached.schema,
+            stats: cached.stats,
+        });
+    }
     let keys = partition_keys(ctx, table)?;
     let stats = stream_partitions(
         ctx,
@@ -294,6 +321,58 @@ pub fn plain_scan_streamed(
     Ok(ScanSummary {
         schema: table.schema.clone(),
         stats,
+    })
+}
+
+/// Cache-aware baseline scan: read every partition **through** the
+/// store's segment cache. Hits consume `stats.cache_bytes` (nothing
+/// billed — zero requests, zero billable bytes — the virtual clock
+/// advances by local-scan time); misses are read-through fills under the
+/// uniform [`pushdown_common::RetryPolicy`], billed exactly once (every
+/// attempt a request, the bytes once) like any plain GET. Decoding and
+/// batch delivery are identical to [`plain_scan_streamed`], so results
+/// are byte-for-byte the same with the cache hot, cold, or absent.
+pub fn cached_scan_streamed(
+    ctx: &QueryContext,
+    table: &Table,
+    mut on_batch: impl FnMut(RowBatch) -> Result<()>,
+) -> Result<CachedScanSummary> {
+    let keys = partition_keys(ctx, table)?;
+    let hit_parts = std::sync::atomic::AtomicU64::new(0);
+    let fill_parts = std::sync::atomic::AtomicU64::new(0);
+    let stats = stream_partitions(
+        ctx,
+        &keys,
+        |key, emitter| {
+            let fetched = ctx
+                .store
+                .get_object_cached_with(&table.bucket, key, &ctx.retry)?;
+            let mut part = PhaseStats::default();
+            if fetched.hit {
+                part.cache_bytes = fetched.data.len() as u64;
+                hit_parts.fetch_add(1, Ordering::Relaxed);
+            } else {
+                part.requests = u64::from(fetched.attempts);
+                part.plain_bytes = fetched.data.len() as u64;
+                fill_parts.fetch_add(1, Ordering::Relaxed);
+            }
+            let rows = decode_partition_batches(
+                fetched.data,
+                &table.schema,
+                table.format,
+                ctx.batch_rows,
+                |batch| emitter.emit(batch),
+            )?;
+            part.server_cpu_units += rows;
+            Ok(part)
+        },
+        &mut on_batch,
+    )?;
+    Ok(CachedScanSummary {
+        schema: table.schema.clone(),
+        stats,
+        hit_parts: hit_parts.into_inner(),
+        fill_parts: fill_parts.into_inner(),
     })
 }
 

@@ -50,6 +50,7 @@
 
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
+use pushdown_cache::SegmentCache;
 use pushdown_common::mix::{fnv1a, splitmix64};
 use pushdown_common::perf::PerfParams;
 use pushdown_common::{CostLedger, Error, Result, RetryPolicy};
@@ -134,6 +135,17 @@ pub struct Retried<T> {
     pub attempts: u32,
 }
 
+/// Result of a read through the segment cache
+/// ([`S3Store::get_object_cached_with`]).
+#[derive(Debug, Clone)]
+pub struct CachedFetch {
+    pub data: Bytes,
+    /// GET attempts billed for a fill (0 on a cache hit).
+    pub attempts: u32,
+    /// Whether the bytes came from the local cache.
+    pub hit: bool,
+}
+
 /// One accounting scope: a ledger, a virtual clock, and a fault stream.
 struct Scope {
     ledger: CostLedger,
@@ -210,6 +222,10 @@ struct Inner {
     ledger: CostLedger,
     /// Seeded fault/latency policy (None = no faults, zero latency).
     fault_plan: RwLock<Option<FaultPlan>>,
+    /// Optional local segment cache behind the read-through path
+    /// ([`S3Store::get_object_cached_with`]); `put_object` and
+    /// `delete_object` invalidate overlapping segments.
+    cache: RwLock<Option<SegmentCache>>,
 }
 
 impl Default for S3Store {
@@ -220,6 +236,7 @@ impl Default for S3Store {
                 buckets: RwLock::new(BTreeMap::new()),
                 ledger: ledger.clone(),
                 fault_plan: RwLock::new(None),
+                cache: RwLock::new(None),
             }),
             scope: Arc::new(Scope::root(ledger, 0)),
         }
@@ -274,6 +291,18 @@ impl S3Store {
     /// The currently installed fault/latency plan.
     pub fn fault_plan(&self) -> Option<FaultPlan> {
         *self.inner.fault_plan.read()
+    }
+
+    /// Install (or remove) the local segment cache behind
+    /// [`S3Store::get_object_cached_with`]. Store-wide: every scope
+    /// shares it, exactly like the objects themselves.
+    pub fn set_cache(&self, cache: Option<SegmentCache>) {
+        *self.inner.cache.write() = cache;
+    }
+
+    /// A handle to the installed segment cache, if any (cloning shares).
+    pub fn cache(&self) -> Option<SegmentCache> {
+        self.inner.cache.read().clone()
     }
 
     /// Virtual seconds this scope has accumulated: per-request latency,
@@ -375,22 +404,38 @@ impl S3Store {
 
     /// Store an object, replacing any previous version. PUTs are not
     /// metered: the paper bills only GET requests (§II-B) and data loading
-    /// happens outside query execution.
+    /// happens outside query execution. Overlapping cached segments are
+    /// invalidated (epoch-tagged, so an in-flight fill of the old bytes
+    /// can never re-publish them).
     pub fn put_object(&self, bucket: &str, key: &str, data: impl Into<Bytes>) {
-        let mut buckets = self.inner.buckets.write();
-        buckets
-            .entry(bucket.to_string())
-            .or_default()
-            .insert(key.to_string(), data.into());
+        {
+            let mut buckets = self.inner.buckets.write();
+            buckets
+                .entry(bucket.to_string())
+                .or_default()
+                .insert(key.to_string(), data.into());
+        }
+        if let Some(cache) = self.cache() {
+            cache.invalidate(bucket, key);
+        }
     }
 
-    /// Delete an object. Returns whether it existed.
+    /// Delete an object. Returns whether it existed. Cached segments of
+    /// the object are invalidated like [`S3Store::put_object`] does.
     pub fn delete_object(&self, bucket: &str, key: &str) -> bool {
-        let mut buckets = self.inner.buckets.write();
-        buckets
-            .get_mut(bucket)
-            .map(|b| b.remove(key).is_some())
-            .unwrap_or(false)
+        let existed = {
+            let mut buckets = self.inner.buckets.write();
+            buckets
+                .get_mut(bucket)
+                .map(|b| b.remove(key).is_some())
+                .unwrap_or(false)
+        };
+        if existed {
+            if let Some(cache) = self.cache() {
+                cache.invalidate(bucket, key);
+            }
+        }
+        existed
     }
 
     fn lookup(&self, bucket: &str, key: &str) -> Result<Bytes> {
@@ -515,11 +560,53 @@ impl S3Store {
         self.with_retry(policy, || self.get_object_ranges(bucket, key, ranges))
     }
 
-    /// Whole-object GET with bounded retry on transient faults
-    /// (convenience wrapper over [`S3Store::get_object_with`]).
-    pub fn get_object_retrying(&self, bucket: &str, key: &str, max_attempts: u32) -> Result<Bytes> {
-        self.get_object_with(bucket, key, &RetryPolicy::with_attempts(max_attempts))
-            .map(|r| r.value)
+    /// Whole-object GET **through the segment cache** under the uniform
+    /// retry policy — the read path of the hybrid caching tier.
+    ///
+    /// * **Hit** — the bytes come from the local cache: zero requests
+    ///   and zero bytes billed, no fault-plan ordinal consumed; the
+    ///   scope's virtual clock advances by the local scan time
+    ///   (`len / cache_read_bw` under the installed plan's latency
+    ///   model).
+    /// * **Miss** — a read-through fill: one retried GET under `policy`,
+    ///   billed exactly like [`S3Store::get_object_with`] (every attempt
+    ///   a request, the bytes once), then admitted into the cache unless
+    ///   a concurrent `put_object`/`delete_object` moved the object's
+    ///   epoch mid-flight.
+    /// * **No cache installed** — plain [`S3Store::get_object_with`].
+    pub fn get_object_cached_with(
+        &self,
+        bucket: &str,
+        key: &str,
+        policy: &RetryPolicy,
+    ) -> Result<CachedFetch> {
+        let Some(cache) = self.cache() else {
+            let fetched = self.get_object_with(bucket, key, policy)?;
+            return Ok(CachedFetch {
+                data: fetched.value,
+                attempts: fetched.attempts,
+                hit: false,
+            });
+        };
+        if let Some(data) = cache.get(bucket, key) {
+            if let Some(plan) = self.fault_plan() {
+                self.scope
+                    .advance(data.len() as f64 / plan.latency.cache_read_bw);
+            }
+            return Ok(CachedFetch {
+                data,
+                attempts: 0,
+                hit: true,
+            });
+        }
+        let epoch = cache.begin_fill(bucket, key);
+        let fetched = self.get_object_with(bucket, key, policy)?;
+        cache.insert(bucket, key, fetched.value.clone(), epoch);
+        Ok(CachedFetch {
+            data: fetched.value,
+            attempts: fetched.attempts,
+            hit: false,
+        })
     }
 
     /// Object size without transferring it (HEAD; not billed as a GET).
@@ -751,7 +838,9 @@ mod tests {
         let err = s.get_object("tpch", "obj").unwrap_err();
         assert_eq!(err.code(), "ServiceFault");
         assert!(err.to_string().contains("seed=1"), "{err}");
-        assert!(s.get_object_retrying("tpch", "obj", 3).is_err());
+        assert!(s
+            .get_object_with("tpch", "obj", &RetryPolicy::with_attempts(3))
+            .is_err());
         // A moderate probability: some scope ordinal faults, and the retry
         // loop absorbs it (attempt count says how many requests it cost).
         s.set_fault_plan(Some(FaultPlan::new(9, 0.4)));
@@ -768,7 +857,7 @@ mod tests {
         s.set_fault_plan(None);
         // Non-retryable errors are not retried.
         assert_eq!(
-            s.get_object_retrying("tpch", "missing", 3)
+            s.get_object_with("tpch", "missing", &RetryPolicy::with_attempts(3))
                 .unwrap_err()
                 .code(),
             "NoSuchKey"
@@ -865,6 +954,118 @@ mod tests {
             scope.ledger().snapshot().requests,
             u64::from(r.attempts + m.attempts)
         );
+        s.set_fault_plan(None);
+    }
+
+    #[test]
+    fn cached_get_hits_bill_nothing_and_fills_bill_once() {
+        let s = store_with("obj", "0123456789");
+        s.set_cache(Some(SegmentCache::new(
+            1 << 20,
+            pushdown_common::pricing::Pricing::us_east(),
+        )));
+        let policy = RetryPolicy::default();
+        let scope = s.scoped();
+        // Miss: a read-through fill, billed like a plain GET.
+        let fill = scope
+            .get_object_cached_with("tpch", "obj", &policy)
+            .unwrap();
+        assert!(!fill.hit);
+        assert_eq!(fill.attempts, 1);
+        assert_eq!(&fill.data[..], b"0123456789");
+        let after_fill = scope.ledger().snapshot();
+        assert_eq!(after_fill.requests, 1);
+        assert_eq!(after_fill.plain_bytes, 10);
+        // Hit: zero requests, zero bytes.
+        let hit = scope
+            .get_object_cached_with("tpch", "obj", &policy)
+            .unwrap();
+        assert!(hit.hit);
+        assert_eq!(hit.attempts, 0);
+        assert_eq!(&hit.data[..], b"0123456789");
+        assert_eq!(scope.ledger().snapshot(), after_fill, "hits bill nothing");
+        // Without a cache installed, the call degrades to a plain GET.
+        s.set_cache(None);
+        let plain = scope
+            .get_object_cached_with("tpch", "obj", &policy)
+            .unwrap();
+        assert!(!plain.hit);
+        assert_eq!(scope.ledger().snapshot().requests, 2);
+    }
+
+    #[test]
+    fn cached_hits_advance_the_virtual_clock_by_local_scan_time() {
+        let s = store_with("obj", &"x".repeat(1000));
+        s.set_cache(Some(SegmentCache::new(
+            1 << 20,
+            pushdown_common::pricing::Pricing::us_east(),
+        )));
+        let plan = FaultPlan::new(0, 0.0);
+        s.set_fault_plan(Some(plan));
+        let policy = RetryPolicy::default();
+        let warm = s.scoped();
+        warm.get_object_cached_with("tpch", "obj", &policy).unwrap();
+        let fill_time = warm.virtual_time_s();
+        assert!(fill_time > 0.0);
+        let scope = s.scoped();
+        scope
+            .get_object_cached_with("tpch", "obj", &policy)
+            .unwrap();
+        let expect = 1000.0 / plan.latency.cache_read_bw;
+        assert!(
+            (scope.virtual_time_s() - expect).abs() < 1e-12,
+            "hit clock {} vs local-scan {expect}",
+            scope.virtual_time_s()
+        );
+        assert!(scope.virtual_time_s() < fill_time, "local beats remote");
+        s.set_fault_plan(None);
+    }
+
+    #[test]
+    fn writes_invalidate_cached_segments() {
+        let s = store_with("obj", "old-bytes");
+        s.set_cache(Some(SegmentCache::new(
+            1 << 20,
+            pushdown_common::pricing::Pricing::us_east(),
+        )));
+        let policy = RetryPolicy::default();
+        s.get_object_cached_with("tpch", "obj", &policy).unwrap();
+        assert!(s.cache().unwrap().peek("tpch", "obj").is_some());
+        // Overwrite: the cache must never serve the old bytes again.
+        s.put_object("tpch", "obj", "new!");
+        assert!(s.cache().unwrap().peek("tpch", "obj").is_none());
+        let got = s.get_object_cached_with("tpch", "obj", &policy).unwrap();
+        assert!(!got.hit);
+        assert_eq!(&got.data[..], b"new!");
+        // Delete invalidates too.
+        s.delete_object("tpch", "obj");
+        assert!(s.cache().unwrap().peek("tpch", "obj").is_none());
+        assert!(s.get_object_cached_with("tpch", "obj", &policy).is_err());
+    }
+
+    #[test]
+    fn cached_fills_retry_under_chaos_and_bill_bytes_once() {
+        let s = store_with("obj", "payload");
+        s.set_cache(Some(SegmentCache::new(
+            1 << 20,
+            pushdown_common::pricing::Pricing::us_east(),
+        )));
+        s.set_fault_plan(Some(FaultPlan::new(9, 0.4)));
+        let scope = s.scoped();
+        let got = scope
+            .get_object_cached_with("tpch", "obj", &RetryPolicy::with_attempts(16))
+            .unwrap();
+        assert!(!got.hit);
+        assert_eq!(&got.data[..], b"payload");
+        let u = scope.ledger().snapshot();
+        assert_eq!(u.requests, u64::from(got.attempts), "every attempt billed");
+        assert_eq!(u.plain_bytes, 7, "bytes billed once across retries");
+        // The hit after a chaotic fill is still free.
+        let hit = scope
+            .get_object_cached_with("tpch", "obj", &RetryPolicy::with_attempts(16))
+            .unwrap();
+        assert!(hit.hit);
+        assert_eq!(scope.ledger().snapshot().requests, u.requests);
         s.set_fault_plan(None);
     }
 

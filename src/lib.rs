@@ -12,7 +12,9 @@
 //! * [`common`] — values, schemas, rows and [`common::row::RowBatch`]es,
 //!   pricing, the cost ledger, the analytical performance model
 //! * [`sql`] — the S3 Select SQL dialect (lexer/parser/binder/evaluator)
-//! * [`s3`] — the simulated object store
+//! * [`cache`] — the hybrid tier's cost-aware segment cache
+//! * [`s3`] — the simulated object store (with the cache's read-through
+//!   path)
 //! * [`format`](mod@format) — CSV and ColumnarLite (Parquet-like) formats
 //! * [`select`] — the S3 Select engine
 //! * [`bloom`] — Bloom filters with SQL predicate generation
@@ -101,6 +103,41 @@
 //! # Ok(()) }
 //! ```
 //!
+//! ## The hybrid caching tier
+//!
+//! Repeated queries stop re-billing S3 for the same bytes: a
+//! cost-aware **segment cache** ([`cache::SegmentCache`], installed
+//! with [`core::QueryContext::with_cache`]) sits between the engine and
+//! the store. Hits bill zero requests/bytes (they appear as
+//! `PhaseStats::cache_bytes`, local scan + parse time only); misses
+//! fill through the uniform retry policy and bill exactly once;
+//! `put_object`/`delete_object` invalidate overlapping segments with an
+//! epoch tag so in-flight fills can never publish stale bytes. Eviction
+//! is weighted LFU by **dollars saved per byte** under the current
+//! [`common::pricing::Pricing`]. The adaptive planner prices
+//! cached-local vs pushdown vs remote-full **per scan** (the
+//! [`core::plan`] IR gains a `CachedScan` leaf; joined queries add the
+//! all-`cached` and mixed `cached-build` candidates), and
+//! `Explain::report` shows a `cache:` hit/fill line plus per-node
+//! splits in the operator tree.
+//!
+//! ```no_run
+//! use pushdowndb::core::planner::execute_sql_verbose;
+//! use pushdowndb::core::{execute_sql, Strategy};
+//! # fn demo(ctx: pushdowndb::core::QueryContext, table: &pushdowndb::core::Table)
+//! # -> pushdowndb::common::Result<()> {
+//! let ctx = ctx.with_cache(256 << 20); // budget knob: 256 MiB
+//! let sql = "SELECT g, SUM(v) FROM t GROUP BY g";
+//! let _warm = execute_sql(&ctx, table, sql, Strategy::Adaptive)?; // fills
+//! let (out, explain) = execute_sql_verbose(&ctx, table, sql, Strategy::Adaptive)?;
+//! println!("{}", explain.report(&out, &ctx)); // cached-local candidate + cache: line
+//! assert_eq!(out.billed.plain_bytes, 0);      // warm hits bill nothing
+//! // Force the cached tier end to end (fills cold, hits warm):
+//! let forced = ctx.clone().with_cache_reads(true);
+//! let _same_rows = execute_sql(&forced, table, sql, Strategy::Baseline)?;
+//! # Ok(()) }
+//! ```
+//!
 //! ## Concurrent use, ledger scoping & chaos
 //!
 //! One [`core::QueryContext`] (and its engine) is safely shared by many
@@ -150,6 +187,7 @@
 //! --example quickstart`.
 
 pub use pushdown_bloom as bloom;
+pub use pushdown_cache as cache;
 pub use pushdown_common as common;
 pub use pushdown_core as core;
 pub use pushdown_format as format;

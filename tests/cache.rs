@@ -1,0 +1,445 @@
+//! Hybrid caching-tier suite (ISSUE 5).
+//!
+//! * **Differential** — `cached ≡ uncached`: every planner-suite query
+//!   (joins included) returns identical rows with the cache cold, warm,
+//!   forced, or absent; a proptest interleaves `put_object` /
+//!   `delete_object` invalidation between runs and checks the cache
+//!   never serves stale bytes.
+//! * **Ledger conservation** — global = Σ child ledgers at 8 threads
+//!   sharing one `SegmentCache`; a hit never bills a byte, and a fill
+//!   never bills its bytes twice across retries.
+//! * **Acceptance** — on a Zipf(θ=1.0) repeated workload whose hot set
+//!   fits the budget, remotely scanned billed bytes drop ≥ 50% vs
+//!   cache-disabled; the cache-aware adaptive plan's measured $ stays
+//!   ≤ 1.1× min(cached-local, pushdown, remote-full) per suite query;
+//!   and predicted Usage for chosen cached plans stays within the 15%
+//!   calibration bound.
+
+use proptest::prelude::*;
+use pushdown_bench::workload::{generate_zipf, run_stream, WorkloadSpec};
+use pushdowndb::common::pricing::Usage;
+use pushdowndb::common::{DataType, Row, Schema, Value};
+use pushdowndb::core::planner::execute_sql_verbose;
+use pushdowndb::core::{execute_sql, upload_csv_table, QueryContext, QueryOutput, Strategy};
+use pushdowndb::tpch::{planner_suite, tpch_context, TpchTables};
+
+fn assert_rows_close(a: &[Row], b: &[Row], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: row counts differ");
+    for (x, y) in a.iter().zip(b) {
+        for (vx, vy) in x.values().iter().zip(y.values()) {
+            match (vx, vy) {
+                (Value::Float(fx), Value::Float(fy)) => assert!(
+                    (fx - fy).abs() <= 1e-6 * (1.0 + fx.abs().max(fy.abs())),
+                    "{what}: {fx} vs {fy}"
+                ),
+                _ => assert_eq!(vx, vy, "{what}"),
+            }
+        }
+    }
+}
+
+fn dataset_bytes(ctx: &QueryContext, t: &TpchTables) -> u64 {
+    t.all().iter().map(|t| t.total_bytes(&ctx.store)).sum()
+}
+
+/// Differential: the full planner suite (single-table families + joined
+/// plans) returns identical rows with the cache absent, cold, warm, and
+/// under the forced cached-local strategy.
+#[test]
+fn cached_equals_uncached_on_the_full_suite() {
+    let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+    let reference: Vec<QueryOutput> = planner_suite()
+        .iter()
+        .map(|q| execute_sql(&ctx, (q.table)(&t), q.sql, Strategy::Adaptive).unwrap())
+        .collect();
+    let ctx = ctx.with_cache(64 << 20);
+    let forced = ctx.clone().with_cache_reads(true);
+    for (qi, q) in planner_suite().iter().enumerate() {
+        let table = (q.table)(&t);
+        // Cold (fills), then warm (hits), then forced cached-local.
+        for pass in ["cold", "warm"] {
+            let out = execute_sql(&ctx, table, q.sql, Strategy::Adaptive).unwrap();
+            assert_rows_close(
+                &reference[qi].rows,
+                &out.rows,
+                &format!("{} ({pass})", q.name),
+            );
+        }
+        let out = execute_sql(&forced, table, q.sql, Strategy::Baseline).unwrap();
+        assert_rows_close(
+            &reference[qi].rows,
+            &out.rows,
+            &format!("{} (forced cached)", q.name),
+        );
+        // The fixed remote strategies stay pure even with a cache
+        // installed: Baseline bills actual remote bytes.
+        let base = execute_sql(&ctx, table, q.sql, Strategy::Baseline).unwrap();
+        assert_rows_close(&reference[qi].rows, &base.rows, q.name);
+    }
+    let stats = ctx.cache().unwrap().stats();
+    assert!(stats.fills > 0, "the suite must fill the cache");
+    assert!(stats.hits > 0, "warm passes must hit");
+}
+
+/// Ledger conservation with the cache enabled: 8 threads × the planner
+/// suite over one shared `SegmentCache`; global ledger delta equals the
+/// sum of the per-query child ledgers, metrics equal ledgers per query,
+/// and the billed bytes never exceed the uncached bill (hits are free).
+#[test]
+fn ledger_conservation_at_8_threads_sharing_one_cache() {
+    let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+    // Uncached reference bill, per query.
+    let uncached: Vec<Usage> = planner_suite()
+        .iter()
+        .map(|q| {
+            execute_sql(&ctx, (q.table)(&t), q.sql, Strategy::Adaptive)
+                .unwrap()
+                .billed
+        })
+        .collect();
+    let ctx = ctx.with_cache(64 << 20);
+    let suite = planner_suite();
+    for round in 0..2 {
+        let before = ctx.store.global_ledger().snapshot();
+        let outputs: Vec<QueryOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let ctx = &ctx;
+                    let t = &t;
+                    let q = &suite[i % suite.len()];
+                    scope.spawn(move || {
+                        execute_sql(&ctx.scoped(), (q.table)(t), q.sql, Strategy::Adaptive).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let after = ctx.store.global_ledger().snapshot();
+        let mut sum = Usage::default();
+        for (i, out) in outputs.iter().enumerate() {
+            sum += out.billed;
+            assert_eq!(
+                out.metrics.usage(),
+                out.billed,
+                "round {round} query {i}: metrics must equal the child ledger"
+            );
+            let reference = &uncached[i % suite.len()];
+            assert!(
+                out.billed.select_scanned_bytes + out.billed.plain_bytes
+                    <= reference.select_scanned_bytes + reference.plain_bytes,
+                "round {round} query {i}: a hit never bills bytes"
+            );
+        }
+        assert_eq!(
+            after,
+            before + sum,
+            "round {round}: global = Σ child ledgers with a shared cache"
+        );
+    }
+    // Round 2 ran fully warm: billed bytes must have dropped.
+    let s = ctx.cache().unwrap().stats();
+    assert!(s.hits > 0, "{s:?}");
+}
+
+/// Acceptance: Zipf(θ=1.0) repeated workload, budget ≥ the hot set ⇒
+/// total billed remotely-scanned bytes drop ≥ 50% vs cache-disabled.
+#[test]
+fn zipf_hot_set_cuts_billed_bytes_by_half() {
+    let spec = WorkloadSpec {
+        seed: 42,
+        queries: 48,
+        concurrency: 1,
+        strategy: Strategy::Adaptive,
+    };
+    let stream = generate_zipf(spec.seed, spec.queries, 1.0);
+    let remote = |u: &Usage| u.select_scanned_bytes + u.plain_bytes;
+
+    let (ctx_off, t_off) = tpch_context(0.002, 1_000).unwrap();
+    let disabled = run_stream(&ctx_off, &t_off, &spec, &stream).unwrap();
+    assert_eq!(disabled.failed, 0);
+
+    let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+    let budget = dataset_bytes(&ctx, &t); // hot set trivially fits
+    let ctx = ctx.with_cache(budget);
+    let cached = run_stream(&ctx, &t, &spec, &stream).unwrap();
+    assert_eq!(cached.failed, 0);
+
+    // Same answers, query for query. (Row *counts* here, not digests:
+    // a float SUM accumulated locally vs merged from pushdown partials
+    // differs in the last ulp, and the dedicated differential test
+    // already pins value equality under a tolerance.)
+    for (a, b) in disabled.per_query.iter().zip(&cached.per_query) {
+        assert_eq!(a.rows, b.rows, "query {} ({})", a.index, a.name);
+        assert!(a.error.is_none() && b.error.is_none(), "query {}", a.index);
+    }
+    let (off, on) = (remote(&disabled.sum_billed), remote(&cached.sum_billed));
+    assert!(
+        (on as f64) <= 0.5 * off as f64,
+        "billed remote bytes {on} vs disabled {off}: expected ≥ 50% drop"
+    );
+    // And the bill itself never got worse.
+    assert!(cached.total_dollars <= disabled.total_dollars * 1.001);
+}
+
+/// Acceptance: with a warm cache, the adaptive plan's *measured* dollars
+/// are ≤ 1.1 × min(cached-local, pushdown, remote-full) on every
+/// planner-suite query.
+#[test]
+fn cache_aware_adaptive_tracks_the_cheapest_tier() {
+    let (ctx, t) = tpch_context(0.005, 1_500).unwrap();
+    let budget = dataset_bytes(&ctx, &t);
+    let ctx = ctx.with_cache(budget);
+    let forced_cached = ctx.clone().with_cache_reads(true);
+    for q in planner_suite() {
+        let table = (q.table)(&t);
+        // Warm the cache for this query's table(s).
+        execute_sql(&forced_cached, table, q.sql, Strategy::Baseline).unwrap();
+        let cost = |o: &QueryOutput| o.metrics.cost(&ctx.model, &ctx.pricing).total();
+        let remote_full = cost(&execute_sql(&ctx, table, q.sql, Strategy::Baseline).unwrap());
+        let pushdown = cost(&execute_sql(&ctx, table, q.sql, Strategy::Pushdown).unwrap());
+        let cached = cost(&execute_sql(&forced_cached, table, q.sql, Strategy::Baseline).unwrap());
+        let adaptive = cost(&execute_sql(&ctx, table, q.sql, Strategy::Adaptive).unwrap());
+        let min = remote_full.min(pushdown).min(cached);
+        assert!(
+            adaptive <= min * 1.10,
+            "{}: adaptive ${adaptive:.6} vs min(cached ${cached:.6}, pushdown \
+             ${pushdown:.6}, remote ${remote_full:.6})",
+            q.name
+        );
+    }
+}
+
+/// Calibration: when the adaptive planner picks a cached plan, its
+/// predicted `Usage` lands within 15% of the measured child ledger
+/// (512-byte absolute floor), exactly like the uncached bound.
+#[test]
+fn cached_plan_predictions_stay_calibrated() {
+    let (ctx, t) = tpch_context(0.005, 1_500).unwrap();
+    let budget = dataset_bytes(&ctx, &t);
+    let ctx = ctx.with_cache(budget);
+    let mut cached_plans = 0;
+    for q in planner_suite() {
+        let table = (q.table)(&t);
+        // Warm pass, then the measured pass.
+        execute_sql(&ctx, table, q.sql, Strategy::Adaptive).unwrap();
+        let (out, explain) = execute_sql_verbose(&ctx, table, q.sql, Strategy::Adaptive).unwrap();
+        let chosen = explain
+            .candidates
+            .iter()
+            .find(|c| c.chosen)
+            .expect("adaptive marks a chosen candidate");
+        if !chosen.algorithm.starts_with("cached") {
+            continue;
+        }
+        cached_plans += 1;
+        let predicted = explain.predicted.as_ref().unwrap().usage();
+        let measured = out.billed;
+        let check = |pred: u64, meas: u64, what: &str| {
+            let slack = (0.15 * meas as f64).max(512.0);
+            assert!(
+                (pred as f64 - meas as f64).abs() <= slack,
+                "{} [{}]: predicted {pred} vs measured {meas} (slack {slack:.0})",
+                q.name,
+                what
+            );
+        };
+        check(predicted.requests, measured.requests, "requests");
+        check(
+            predicted.select_scanned_bytes,
+            measured.select_scanned_bytes,
+            "scanned",
+        );
+        check(
+            predicted.select_returned_bytes,
+            measured.select_returned_bytes,
+            "returned",
+        );
+        check(predicted.plain_bytes, measured.plain_bytes, "plain");
+        // Metrics and ledger agree exactly on cached plans too.
+        assert_eq!(out.metrics.usage(), out.billed, "{}", q.name);
+    }
+    assert!(
+        cached_plans >= 3,
+        "a warm full-dataset cache should win several suite queries, got {cached_plans}"
+    );
+}
+
+/// EXPLAIN surfaces the cache: candidates list the cached plan, and the
+/// operator tree reports the hit/fill byte split per cache-serving node.
+#[test]
+fn explain_reports_cache_candidates_and_hit_fill_bytes() {
+    let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+    let budget = dataset_bytes(&ctx, &t);
+    let ctx = ctx.with_cache(budget);
+    let sql = "SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority";
+    // Warm, then explain.
+    execute_sql(&ctx, &t.orders, sql, Strategy::Adaptive).unwrap();
+    let (out, ex) = execute_sql_verbose(&ctx, &t.orders, sql, Strategy::Adaptive).unwrap();
+    let names: Vec<&str> = ex.candidates.iter().map(|c| c.algorithm).collect();
+    assert!(names.contains(&"cached-local"), "{names:?}");
+    let report = ex.report(&out, &ctx);
+    assert!(report.contains("cache:"), "{report}");
+    assert!(report.contains("B hit"), "{report}");
+    // Joined shape: the candidate space includes the all-cached and the
+    // mixed build-cached plans, and a warm cached join renders CachedScan
+    // nodes with their partition hit counts.
+    let jsql = "SELECT l_shipmode, COUNT(*) AS n FROM orders \
+                JOIN lineitem ON o_orderkey = l_orderkey \
+                GROUP BY l_shipmode ORDER BY l_shipmode";
+    execute_sql(&ctx, &t.orders, jsql, Strategy::Adaptive).unwrap();
+    let (jout, jex) = execute_sql_verbose(&ctx, &t.orders, jsql, Strategy::Adaptive).unwrap();
+    let names: Vec<&str> = jex.candidates.iter().map(|c| c.algorithm).collect();
+    assert!(names.contains(&"cached"), "{names:?}");
+    assert!(names.contains(&"cached-build"), "{names:?}");
+    let jreport = jex.report(&jout, &ctx);
+    let cached_join = matches!(
+        jex.kind,
+        pushdowndb::core::planner::PlanKind::Join {
+            algorithm: "cached"
+        } | pushdowndb::core::planner::PlanKind::Join {
+            algorithm: "cached-build"
+        }
+    );
+    if cached_join {
+        assert!(jreport.contains("CachedScan["), "{jreport}");
+        assert!(jreport.contains("partitions hit"), "{jreport}");
+    }
+}
+
+/// Chaos during fills: with a fault plan installed, cached scans retry
+/// fills under the uniform policy — the answer matches the fault-free
+/// run, bytes bill once, retried attempts bill extra requests.
+#[test]
+fn chaos_faults_during_fills_bill_bytes_once() {
+    use pushdowndb::common::RetryPolicy;
+    use pushdowndb::s3::FaultPlan;
+    let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+    let ctx = ctx
+        .with_retry(RetryPolicy::with_attempts(12))
+        .with_cache(64 << 20);
+    let forced = ctx.clone().with_cache_reads(true);
+    let q = planner_suite()
+        .into_iter()
+        .find(|q| q.name == "groupby-uniform")
+        .unwrap();
+    let clean = execute_sql(&forced, (q.table)(&t), q.sql, Strategy::Baseline).unwrap();
+    // Fresh cold cache + chaos: every partition fill retries through the
+    // fault plan.
+    let ctx = ctx.with_cache(64 << 20);
+    let forced = ctx.clone().with_cache_reads(true);
+    ctx.store.set_fault_plan(Some(FaultPlan::new(1, 0.45)));
+    let chaotic = execute_sql(
+        &forced.scoped_with_salt(1),
+        (q.table)(&t),
+        q.sql,
+        Strategy::Baseline,
+    )
+    .unwrap();
+    assert_rows_close(&clean.rows, &chaotic.rows, "chaotic fills");
+    assert_eq!(
+        chaotic.billed.plain_bytes, clean.billed.plain_bytes,
+        "fill bytes bill once across retries"
+    );
+    assert!(
+        chaotic.billed.requests > clean.billed.requests,
+        "retried fill attempts are extra requests ({} vs {})",
+        chaotic.billed.requests,
+        clean.billed.requests
+    );
+    // Warm after the chaotic fill: hits are free even under chaos.
+    let warm = execute_sql(
+        &forced.scoped_with_salt(2),
+        (q.table)(&t),
+        q.sql,
+        Strategy::Baseline,
+    )
+    .unwrap();
+    ctx.store.set_fault_plan(None);
+    assert_rows_close(&clean.rows, &warm.rows, "warm under chaos");
+    assert_eq!(warm.billed.plain_bytes, 0, "hits bill no bytes");
+    assert_eq!(warm.billed.requests, 0, "hits bill no requests");
+}
+
+/// Differential proptest: arbitrary data, interleaved re-uploads
+/// (put_object over live partitions) and partition deletes — the
+/// cached run must match the uncached ground truth after every
+/// mutation, i.e. invalidation never lets the cache serve stale bytes.
+#[derive(Debug, Clone)]
+enum Step {
+    Query(usize),
+    Rewrite(u64),
+    DeleteTail,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cached_matches_uncached_across_mutations(
+        n in 40usize..160,
+        per_part in 10usize..40,
+        budget_kb in 1u64..64,
+        steps in proptest::collection::vec(0u8..8, 4..14),
+    ) {
+        let make_rows = |version: u64, n: usize| -> Vec<Row> {
+            (0..n)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Int(((i as u64).wrapping_mul(7 + version) % 100) as i64),
+                        Value::Str(format!("s{}", (i as u64 + version) % 5)),
+                    ])
+                })
+                .collect()
+        };
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("v", DataType::Int),
+            ("s", DataType::Str),
+        ]);
+        let queries = [
+            "SELECT k, v FROM t WHERE v < 40",
+            "SELECT s, COUNT(*), SUM(v) FROM t GROUP BY s",
+            "SELECT SUM(v), COUNT(*) FROM t",
+            "SELECT * FROM t ORDER BY k DESC LIMIT 7",
+        ];
+        let store = pushdowndb::s3::S3Store::new();
+        let mut table = upload_csv_table(&store, "b", "t", &schema, &make_rows(0, n), per_part).unwrap();
+        let ctx = QueryContext::new(store.clone()).with_cache(budget_kb << 10);
+        let cached_ctx = ctx.clone().with_cache_reads(true);
+        // Decode the step stream: 0..=4 → run query (idx % 4), 5..=6 →
+        // rewrite the table in place, 7 → delete the last partition.
+        for (si, s) in steps.iter().enumerate() {
+            let step = match *s {
+                0..=4 => Step::Query(*s as usize % queries.len()),
+                5 | 6 => Step::Rewrite(si as u64 + 1),
+                _ => Step::DeleteTail,
+            };
+            match step {
+                Step::Query(qi) => {
+                    let sql = queries[qi];
+                    let truth = execute_sql(&ctx, &table, sql, Strategy::Baseline).unwrap();
+                    let cached = execute_sql(&cached_ctx, &table, sql, Strategy::Baseline).unwrap();
+                    let adaptive = execute_sql(&ctx, &table, sql, Strategy::Adaptive).unwrap();
+                    prop_assert_eq!(&truth.rows, &cached.rows, "step {} {}", si, sql);
+                    prop_assert_eq!(&truth.rows, &adaptive.rows, "step {} {}", si, sql);
+                }
+                Step::Rewrite(version) => {
+                    table = upload_csv_table(
+                        &store, "b", "t", &schema, &make_rows(version, n), per_part,
+                    ).unwrap();
+                }
+                Step::DeleteTail => {
+                    let parts = table.partitions(&store);
+                    if parts.len() > 1 {
+                        store.delete_object("b", parts.last().unwrap());
+                        // The catalog row count is stale after a raw
+                        // delete; shrink it so LIMIT sizing stays within
+                        // the live data.
+                        table.row_count = table.row_count.saturating_sub(per_part as u64);
+                    }
+                }
+            }
+        }
+    }
+}

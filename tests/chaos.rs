@@ -258,6 +258,61 @@ fn pinned_regression_seeds_per_algo_family() {
         );
     }
 
+    // Pinned **cache-fill** seeds (ISSUE 5): with a segment cache
+    // installed and the cached-local strategy forced, the fills are the
+    // retried requests — success must be row-identical to the fault-free
+    // fill with the bytes billed exactly once, for a single-table and a
+    // joined plan. Replay: fresh cache, `FaultPlan::new(seed, 0.45)`,
+    // scope with the salt.
+    let cache_pins = [
+        (
+            "cache-fill group-by",
+            by_name("groupby-uniform"),
+            1u64,
+            1u64,
+        ),
+        ("cache-fill join-plan", by_name("join-q3ish"), 1, 2),
+    ];
+    for (family, q, seed, salt) in cache_pins {
+        let table = (q.table)(&tables);
+        ctx.store.set_fault_plan(None);
+        // Fresh cold cache per run so every partition read is a fill.
+        let cached_ctx = ctx.clone().with_cache(64 << 20).with_cache_reads(true);
+        let clean = execute_sql(
+            &cached_ctx.scoped_with_salt(salt),
+            table,
+            q.sql,
+            Strategy::Baseline,
+        )
+        .unwrap();
+        let cached_ctx = ctx.clone().with_cache(64 << 20).with_cache_reads(true);
+        ctx.store.set_fault_plan(Some(FaultPlan::new(seed, 0.45)));
+        let chaotic = execute_sql(
+            &cached_ctx.scoped_with_salt(salt),
+            table,
+            q.sql,
+            Strategy::Baseline,
+        )
+        .unwrap_or_else(|e| panic!("{family} seed {seed}: {e}"));
+        assert_eq!(chaotic.rows, clean.rows, "{family} seed {seed}");
+        assert!(
+            chaotic.billed.requests > clean.billed.requests,
+            "{family} seed {seed}: expected retried fill attempts ({} vs {})",
+            chaotic.billed.requests,
+            clean.billed.requests
+        );
+        assert_eq!(
+            chaotic.billed.plain_bytes, clean.billed.plain_bytes,
+            "{family} seed {seed}: fill bytes bill once across retries"
+        );
+        assert_eq!(
+            chaotic.billed.select_scanned_bytes, clean.billed.select_scanned_bytes,
+            "{family} seed {seed}: retries must not re-bill scans"
+        );
+    }
+    ctx.store.set_fault_plan(None);
+    ctx.store.set_cache(None);
+
     // Join family: customer ⋈ orders through the Bloom join.
     let jq = join::JoinQuery {
         left: tables.customer.clone(),
