@@ -1,0 +1,238 @@
+//! Row-vs-columnar kernel benchmarks. These are the measurements behind
+//! the vectorized execution path's acceptance bar (columnar filter and
+//! aggregate kernels ≥2× their row twins) and behind the calibration of
+//! `PerfParams::parse_cl_bw` (the `decode/columnar_to_batches`
+//! throughput: bytes of ColumnarLite input per second of decode work).
+//!
+//! Run with `cargo bench --bench kernels -p pushdown-bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pushdown_common::columnar::ColumnarBatch;
+use pushdown_common::{DataType, Row, Schema, Value};
+use pushdown_core::ops;
+use pushdown_format::columnar::{encode_columnar, ColumnarReader, WriterOptions};
+use pushdown_format::csv::{decode_csv, encode_csv};
+use pushdown_sql::agg::AggFunc;
+use pushdown_sql::bind::Binder;
+use pushdown_sql::parse_expr;
+use std::hint::black_box;
+
+const N: usize = 20_000;
+
+fn sample_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("k", DataType::Int),
+        ("name", DataType::Str),
+        ("bal", DataType::Float),
+        ("d", DataType::Date),
+    ])
+}
+
+/// Dictionary-eligible strings, a few NULLs, numeric spread.
+fn sample_rows(n: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            Row::new(vec![
+                Value::Int(i as i64),
+                Value::Str(format!("Customer#{:04}", i % 200)),
+                if i % 53 == 52 {
+                    Value::Null
+                } else {
+                    Value::Float((i as f64 * 37.5) % 10000.0 - 999.0)
+                },
+                Value::Date(8000 + (i % 2000) as i32),
+            ])
+        })
+        .collect()
+}
+
+fn encoded() -> Vec<u8> {
+    encode_columnar(
+        &sample_schema(),
+        &sample_rows(N),
+        WriterOptions {
+            rows_per_group: 4096,
+            compress: true,
+        },
+    )
+}
+
+fn batch() -> ColumnarBatch {
+    ColumnarBatch::from_rows(&sample_schema(), &sample_rows(N))
+}
+
+/// ColumnarLite decode: straight-to-columns vs materializing rows, with
+/// CSV row decode alongside for the `parse_plain_bw` baseline. The
+/// bytes/sec of `columnar_to_batches` is what `parse_cl_bw` models.
+fn bench_decode(c: &mut Criterion) {
+    let schema = sample_schema();
+    let rows = sample_rows(N);
+    let cl = encoded();
+    let csv = encode_csv(&schema, &rows);
+
+    let mut g = c.benchmark_group("decode");
+    g.throughput(Throughput::Bytes(cl.len() as u64));
+    g.bench_function("columnar_to_batches", |b| {
+        b.iter_batched(
+            || bytes::Bytes::from(cl.clone()),
+            |data| {
+                let r = ColumnarReader::open(data).unwrap();
+                let mut total = 0usize;
+                for gi in 0..r.num_row_groups() {
+                    total += r.read_group_batch(gi).unwrap().len();
+                }
+                black_box(total)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("columnar_to_rows", |b| {
+        b.iter_batched(
+            || bytes::Bytes::from(cl.clone()),
+            |data| {
+                let r = ColumnarReader::open(data).unwrap();
+                black_box(r.read_all().unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.throughput(Throughput::Bytes(csv.len() as u64));
+    g.bench_function("csv_to_rows", |b| {
+        b.iter(|| black_box(decode_csv(&csv, &schema).unwrap()))
+    });
+    g.finish();
+}
+
+/// Predicate filter over 20k rows: vectorized selection-vector kernel vs
+/// the row evaluator. Both charge identical CPU units; only wall-clock
+/// differs.
+fn bench_filter(c: &mut Criterion) {
+    let schema = sample_schema();
+    let rows = sample_rows(N);
+    let b20k = batch();
+    let bound = Binder::new(&schema)
+        .bind_expr(&parse_expr("bal <= -900 AND k < 15000").unwrap())
+        .unwrap();
+    let compiled = ops::compile_predicate(&bound).expect("predicate should vectorize");
+
+    let mut g = c.benchmark_group("filter");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("row_20k", |b| {
+        b.iter_batched(
+            || rows.clone(),
+            |rows| {
+                let mut stats = Default::default();
+                black_box(ops::filter_rows(rows, &bound, &mut stats).unwrap())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("columnar_20k", |b| {
+        b.iter(|| {
+            let mut stats = Default::default();
+            black_box(ops::filter_columnar(&b20k, &compiled, &mut stats))
+        })
+    });
+    g.bench_function("columnar_fallback_20k", |b| {
+        b.iter(|| {
+            let mut stats = Default::default();
+            black_box(ops::filter_columnar_fallback(&b20k, &bound, &mut stats).unwrap())
+        })
+    });
+    g.finish();
+}
+
+/// SUM over a float column (NULLs skipped): typed column fold vs
+/// per-row `Accumulator::update`.
+fn bench_aggregate(c: &mut Criterion) {
+    let rows = sample_rows(N);
+    let b20k = batch();
+    let sel = ops::full_selection(N);
+
+    let mut g = c.benchmark_group("aggregate");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("row_sum_20k", |b| {
+        b.iter(|| {
+            let mut acc = AggFunc::Sum.accumulator();
+            for r in &rows {
+                acc.update(r.get(2)).unwrap();
+            }
+            black_box(acc.finish())
+        })
+    });
+    g.bench_function("columnar_sum_20k", |b| {
+        b.iter(|| {
+            let mut acc = AggFunc::Sum.accumulator();
+            ops::update_accumulator_columnar(&mut acc, b20k.column(2), &sel).unwrap();
+            black_box(acc.finish())
+        })
+    });
+    g.finish();
+}
+
+/// Hash group-by (200 groups, SUM + COUNT): batch update vs columnar
+/// update feeding the same accumulator.
+fn bench_groupby(c: &mut Criterion) {
+    let rows = sample_rows(N);
+    let b20k = batch();
+    let sel = ops::full_selection(N);
+    let aggs = vec![(AggFunc::Sum, Some(2)), (AggFunc::Count, None)];
+
+    let mut g = c.benchmark_group("groupby");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("row_20k", |b| {
+        b.iter(|| {
+            let mut stats = Default::default();
+            let mut acc = ops::GroupByAccumulator::new(vec![1], aggs.clone());
+            acc.update_batch(&rows, &mut stats).unwrap();
+            black_box(acc.finish(&mut stats))
+        })
+    });
+    g.bench_function("columnar_20k", |b| {
+        b.iter(|| {
+            let mut stats = Default::default();
+            let mut acc = ops::GroupByAccumulator::new(vec![1], aggs.clone());
+            acc.update_columnar(&b20k, &sel, &mut stats).unwrap();
+            black_box(acc.finish(&mut stats))
+        })
+    });
+    g.finish();
+}
+
+/// Top-100 by float key: row heap push vs columnar push (NULL keys
+/// skipped without materialization).
+fn bench_topk(c: &mut Criterion) {
+    let rows = sample_rows(N);
+    let b20k = batch();
+    let sel = ops::full_selection(N);
+
+    let mut g = c.benchmark_group("topk");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("row_100_of_20k", |b| {
+        b.iter(|| {
+            let mut stats = Default::default();
+            let mut heap = ops::TopKAccumulator::new(2, 100, true);
+            heap.push_batch(&rows, &mut stats);
+            black_box(heap.finish(&mut stats))
+        })
+    });
+    g.bench_function("columnar_100_of_20k", |b| {
+        b.iter(|| {
+            let mut stats = Default::default();
+            let mut heap = ops::TopKAccumulator::new(2, 100, true);
+            heap.push_columnar(&b20k, &sel, &mut stats);
+            black_box(heap.finish(&mut stats))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_decode,
+    bench_filter,
+    bench_aggregate,
+    bench_groupby,
+    bench_topk
+);
+criterion_main!(kernels);

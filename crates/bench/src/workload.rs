@@ -158,7 +158,11 @@ pub struct WorkloadReport {
 }
 
 impl WorkloadReport {
-    /// Virtual-latency percentile over successful queries (`p` in 0..=100).
+    /// Virtual-latency percentile over successful queries (`p` in
+    /// 0..=100), ceiling nearest-rank: the smallest latency `x` such
+    /// that at least `p`% of samples are ≤ `x` (index `⌈p/100·n⌉ − 1`).
+    /// Rounding to the *nearest* rank under-reports tail percentiles —
+    /// on 10 samples a rounded p95 lands on the 9th value, not the max.
     pub fn latency_percentile(&self, p: f64) -> f64 {
         let mut lats: Vec<f64> = self
             .per_query
@@ -170,8 +174,9 @@ impl WorkloadReport {
             return 0.0;
         }
         lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let rank = ((p / 100.0) * (lats.len() - 1) as f64).round() as usize;
-        lats[rank.min(lats.len() - 1)]
+        let n = lats.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        lats[rank.saturating_sub(1).min(n - 1)]
     }
 }
 
@@ -295,6 +300,44 @@ pub fn run_stream(
 mod tests {
     use super::*;
     use pushdown_tpch::tpch_context;
+
+    #[test]
+    fn percentiles_use_ceiling_nearest_rank() {
+        // Ten fixed latencies 1..=10 (shuffled on input; the percentile
+        // sorts). Ceiling nearest-rank ⌈p/100·n⌉−1 pins every value:
+        // p50 → 5th sample, p95/p99/p100 → the max. Nearest-rank by
+        // rounding would report p50 = 6 and p95 = 9 instead.
+        let report = WorkloadReport {
+            per_query: [7.0, 1.0, 10.0, 3.0, 5.0, 9.0, 2.0, 8.0, 4.0, 6.0]
+                .iter()
+                .enumerate()
+                .map(|(i, &lat)| QueryReport {
+                    index: i,
+                    name: "fixed",
+                    salt: 0,
+                    row_digest: 0,
+                    rows: 0,
+                    billed: Usage::default(),
+                    dollars: 0.0,
+                    latency_s: lat,
+                    error: None,
+                })
+                .collect(),
+            wall_s: 0.0,
+            throughput_qps: 0.0,
+            total_dollars: 0.0,
+            sum_billed: Usage::default(),
+            succeeded: 10,
+            failed: 0,
+        };
+        assert_eq!(report.latency_percentile(50.0), 5.0);
+        assert_eq!(report.latency_percentile(95.0), 10.0);
+        assert_eq!(report.latency_percentile(99.0), 10.0);
+        assert_eq!(report.latency_percentile(100.0), 10.0);
+        // Low tail: p0 and p10 clamp to / land on the minimum.
+        assert_eq!(report.latency_percentile(0.0), 1.0);
+        assert_eq!(report.latency_percentile(10.0), 1.0);
+    }
 
     #[test]
     fn generation_is_seeded_and_mixed() {

@@ -12,6 +12,8 @@
 //!   epoch), used by the TPC-H date columns.
 //! * [`schema`] — named, typed record schemas.
 //! * [`row`] — row and row-batch containers.
+//! * [`columnar`] — typed column batches ([`columnar::ColumnarBatch`])
+//!   for vectorized execution with late materialization.
 //! * [`pricing`] — the AWS US-East price constants the paper computes its
 //!   dollar costs with, and [`pricing::CostBreakdown`].
 //! * [`ledger`] — thread-safe, scoped accounting of bytes scanned /
@@ -26,6 +28,7 @@
 //!   time is modeled rather than measured; see `DESIGN.md` §5).
 //! * [`error`] — the shared error type.
 
+pub mod columnar;
 pub mod date;
 pub mod error;
 pub mod fmtutil;
@@ -40,6 +43,7 @@ pub mod row;
 pub mod schema;
 pub mod value;
 
+pub use columnar::{Column, ColumnData, ColumnarBatch, SelVec};
 pub use error::{Error, Result};
 pub use ledger::CostLedger;
 pub use perf::{PerfModel, PhaseStats};

@@ -16,7 +16,7 @@ use crate::index::IndexTable;
 use crate::metrics::QueryMetrics;
 use crate::ops;
 use crate::output::QueryOutput;
-use crate::scan::{plain_scan_streamed, select_scan};
+use crate::scan::{plain_scan_columnar_streamed, plain_scan_streamed, select_scan};
 use pushdown_common::perf::PhaseStats;
 use pushdown_common::{Result, Row, Schema};
 use pushdown_format::csv::split_line;
@@ -79,14 +79,41 @@ pub fn server_side(ctx: &QueryContext, q: &FilterQuery) -> Result<QueryOutput> {
     };
     let mut op_stats = PhaseStats::default();
     let mut rows = Vec::new();
-    let summary = plain_scan_streamed(ctx, &q.table, |batch| {
-        let kept = ops::filter_rows(batch.rows, &pred, &mut op_stats)?;
-        match &proj_idx {
-            Some(idx) => rows.extend(ops::project_rows(kept, idx, &mut op_stats)),
-            None => rows.extend(kept),
-        }
-        Ok(())
-    })?;
+    let summary = if ctx.columnar_exec && q.table.format == pushdown_select::InputFormat::Columnar {
+        let compiled = ops::compile_predicate(&pred);
+        plain_scan_columnar_streamed(ctx, &q.table, |batch| {
+            let sel = match &compiled {
+                Some(p) => ops::filter_columnar(&batch, p, &mut op_stats),
+                None => ops::filter_columnar_fallback(&batch, &pred, &mut op_stats)?,
+            };
+            match &proj_idx {
+                // Late materialization straight into the projected shape:
+                // only the selected rows of the projected columns are
+                // ever built. Charged like `project_rows` on the kept set.
+                Some(idx) => {
+                    op_stats.server_cpu_units += sel.len() as u64;
+                    rows.extend(sel.iter().map(|&i| {
+                        Row::new(
+                            idx.iter()
+                                .map(|&c| batch.column(c).value_at(i as usize))
+                                .collect(),
+                        )
+                    }));
+                }
+                None => rows.extend(batch.gather(&sel)),
+            }
+            Ok(())
+        })?
+    } else {
+        plain_scan_streamed(ctx, &q.table, |batch| {
+            let kept = ops::filter_rows(batch.rows, &pred, &mut op_stats)?;
+            match &proj_idx {
+                Some(idx) => rows.extend(ops::project_rows(kept, idx, &mut op_stats)),
+                None => rows.extend(kept),
+            }
+            Ok(())
+        })?
+    };
     let schema = match &proj_idx {
         None => q.table.schema.clone(),
         Some(idx) => q.table.schema.project(idx),

@@ -19,7 +19,9 @@ use crate::context::QueryContext;
 use crate::metrics::QueryMetrics;
 use crate::ops;
 use crate::output::QueryOutput;
-use crate::scan::{plain_scan_streamed, select_scan, select_scan_streamed};
+use crate::scan::{
+    plain_scan_columnar_streamed, plain_scan_streamed, select_scan, select_scan_streamed,
+};
 use pushdown_common::perf::PhaseStats;
 use pushdown_common::{DataType, Error, Field, Result, Row, Schema, Value};
 use pushdown_sql::agg::AggFunc;
@@ -125,13 +127,25 @@ pub fn server_side(ctx: &QueryContext, q: &GroupByQuery) -> Result<QueryOutput> 
     };
     let mut acc = group_accumulator(q, &q.table.schema)?;
     let mut op_stats = PhaseStats::default();
-    let summary = plain_scan_streamed(ctx, &q.table, |batch| {
-        let rows = match &bound {
-            Some(pred) => ops::filter_rows(batch.rows, pred, &mut op_stats)?,
-            None => batch.rows,
-        };
-        acc.update_batch(&rows, &mut op_stats)
-    })?;
+    let summary = if ctx.columnar_exec && q.table.format == pushdown_select::InputFormat::Columnar {
+        let compiled = bound.as_ref().and_then(ops::compile_predicate);
+        plain_scan_columnar_streamed(ctx, &q.table, |batch| {
+            let sel = match (&bound, &compiled) {
+                (None, _) => ops::full_selection(batch.len()),
+                (Some(_), Some(p)) => ops::filter_columnar(&batch, p, &mut op_stats),
+                (Some(p), None) => ops::filter_columnar_fallback(&batch, p, &mut op_stats)?,
+            };
+            acc.update_columnar(&batch, &sel, &mut op_stats)
+        })?
+    } else {
+        plain_scan_streamed(ctx, &q.table, |batch| {
+            let rows = match &bound {
+                Some(pred) => ops::filter_rows(batch.rows, pred, &mut op_stats)?,
+                None => batch.rows,
+            };
+            acc.update_batch(&rows, &mut op_stats)
+        })?
+    };
     let out = acc.finish(&mut op_stats);
     let mut stats = summary.stats;
     stats.merge(&op_stats);

@@ -26,7 +26,10 @@ use crate::context::QueryContext;
 use crate::metrics::QueryMetrics;
 use crate::ops;
 use crate::output::QueryOutput;
-use crate::scan::{plain_scan_streamed, select_scan_streamed, select_scan_striped_limit};
+use crate::scan::{
+    plain_scan_columnar_streamed, plain_scan_streamed, select_scan_streamed,
+    select_scan_striped_limit,
+};
 use pushdown_common::perf::PhaseStats;
 use pushdown_common::{Result, Value};
 use pushdown_sql::{Expr, SelectItem, SelectStmt};
@@ -57,10 +60,17 @@ pub fn server_side(ctx: &QueryContext, q: &TopKQuery) -> Result<QueryOutput> {
     let col = q.table.schema.resolve(&q.order_col)?;
     let mut op_stats = PhaseStats::default();
     let mut heap = ops::TopKAccumulator::new(col, q.k, q.asc);
-    let summary = plain_scan_streamed(ctx, &q.table, |batch| {
-        heap.push_batch(&batch.rows, &mut op_stats);
-        Ok(())
-    })?;
+    let summary = if ctx.columnar_exec && q.table.format == pushdown_select::InputFormat::Columnar {
+        plain_scan_columnar_streamed(ctx, &q.table, |batch| {
+            heap.push_columnar(&batch, &ops::full_selection(batch.len()), &mut op_stats);
+            Ok(())
+        })?
+    } else {
+        plain_scan_streamed(ctx, &q.table, |batch| {
+            heap.push_batch(&batch.rows, &mut op_stats);
+            Ok(())
+        })?
+    };
     let rows = heap.finish(&mut op_stats);
     let mut stats = summary.stats;
     stats.merge(&op_stats);

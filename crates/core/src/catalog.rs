@@ -233,8 +233,15 @@ pub fn probe_stats(ctx: &QueryContext, table: &Table, probe_rows: u64) -> Result
         where_clause: None,
         limit: None,
     };
-    let scan = crate::scan::select_scan_striped_limit(ctx, table, &stmt, probe_rows as usize)?;
-    let mut stats = TableStats::from_sample(&scan.schema, &scan.rows);
+    let (schema, rows) = match probe_sample_from_cache(ctx, table, probe_rows)? {
+        Some(rows) => (table.schema.clone(), rows),
+        None => {
+            let scan =
+                crate::scan::select_scan_striped_limit(ctx, table, &stmt, probe_rows as usize)?;
+            (scan.schema, scan.rows)
+        }
+    };
+    let mut stats = TableStats::from_sample(&schema, &rows);
     let sampled = stats.sample_rows.max(1);
     for col in &mut stats.columns {
         let non_null = ((sampled as f64) * (1.0 - col.null_fraction)).max(1.0);
@@ -246,6 +253,58 @@ pub fn probe_stats(ctx: &QueryContext, table: &Table, probe_rows: u64) -> Result
     }
     stats.row_count = table.row_count;
     Ok(stats)
+}
+
+/// Serve a statistics probe from the segment cache when **every**
+/// partition is resident: decode the striped per-partition share of each
+/// partition locally instead of issuing remote striped-LIMIT Selects —
+/// the data is already on this node, so a warm probe bills $0. Returns
+/// `None` (fall through to the remote probe) when no cache is installed,
+/// the table has no partitions, or any partition is cold.
+fn probe_sample_from_cache(
+    ctx: &QueryContext,
+    table: &Table,
+    probe_rows: u64,
+) -> Result<Option<Vec<Row>>> {
+    let Some(cache) = ctx.store.cache() else {
+        return Ok(None);
+    };
+    let keys = table.partitions(&ctx.store);
+    if keys.is_empty() || !keys.iter().all(|k| cache.peek(&table.bucket, k).is_some()) {
+        return Ok(None);
+    }
+    let parts = keys.len();
+    let limit = (probe_rows as usize).max(1);
+    let mut rows = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        // Same striping as `select_scan_striped_limit`: partition i
+        // contributes its share of the LIMIT, and a Select with LIMIT s
+        // returns the partition's first s rows.
+        let share = (i + 1) * limit / parts - i * limit / parts;
+        if share == 0 {
+            continue;
+        }
+        let fetched = ctx
+            .store
+            .get_object_cached_with(&table.bucket, key, &ctx.retry)?;
+        let mut part_rows = Vec::with_capacity(share);
+        crate::scan::decode_partition_batches(
+            fetched.data,
+            &table.schema,
+            table.format,
+            share,
+            |batch| {
+                for row in batch.rows {
+                    if part_rows.len() < share {
+                        part_rows.push(row);
+                    }
+                }
+                Ok(())
+            },
+        )?;
+        rows.extend(part_rows);
+    }
+    Ok(Some(rows))
 }
 
 fn partition_key(prefix: &str, i: usize, ext: &str) -> String {
@@ -444,6 +503,42 @@ mod tests {
         let we = exact.avg_row_bytes();
         let wp = probed.avg_row_bytes();
         assert!((we - wp).abs() / we < 0.15, "{we} vs {wp}");
+    }
+
+    #[test]
+    fn warm_cache_probe_bills_zero_and_matches_remote_sample() {
+        let store = S3Store::new();
+        let t = upload_csv_table(&store, "b", "t", &schema(), &rows(1000), 100).unwrap();
+        let base = crate::context::QueryContext::new(store).with_cache(1 << 30);
+
+        // Remote probe first (cold cache): billed, and the reference
+        // sample statistics.
+        let cold = base.scoped();
+        let reference = probe_stats(&cold, &t, 200).unwrap();
+        assert!(cold.billed().requests > 0);
+
+        // Warm the cache with a full cached read of every partition.
+        let warm_up = base.scoped().with_cache_reads(true);
+        crate::scan::cached_scan_streamed(&warm_up, &t, |_| Ok(())).unwrap();
+
+        // Warm probe: served from the segment cache, zero billed
+        // requests and bytes.
+        let warm = base.scoped();
+        let probed = probe_stats(&warm, &t, 200).unwrap();
+        let billed = warm.billed();
+        assert_eq!(billed.requests, 0, "warm probe must not issue requests");
+        assert_eq!(billed.select_scanned_bytes, 0);
+        assert_eq!(billed.select_returned_bytes, 0);
+        assert_eq!(billed.plain_bytes, 0);
+
+        // Same striped sample, so identical statistics.
+        assert_eq!(probed.sample_rows, reference.sample_rows);
+        assert_eq!(probed.row_count, reference.row_count);
+        for (a, b) in probed.columns.iter().zip(&reference.columns) {
+            assert_eq!(a.ndv, b.ndv);
+            assert_eq!(a.min, b.min);
+            assert_eq!(a.max, b.max);
+        }
     }
 
     #[test]

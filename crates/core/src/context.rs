@@ -50,6 +50,14 @@ pub struct QueryContext {
     /// remote-scan semantics; the planner's `cached-local` candidates
     /// and forced-cached runs flip it per execution.
     pub cache_reads: bool,
+    /// Execute local scans of ColumnarLite tables through the vectorized
+    /// columnar path (typed column vectors + selection-vector kernels,
+    /// rows materialized late). On by default; results, metrics and
+    /// billing are bit-identical to the row path — the flag exists for
+    /// differential testing and as an escape hatch
+    /// ([`QueryContext::with_columnar`]). CSV tables always take the row
+    /// decode path regardless of this flag.
+    pub columnar_exec: bool,
 }
 
 impl QueryContext {
@@ -68,6 +76,7 @@ impl QueryContext {
             batch_rows: 1024,
             retry: RetryPolicy::default(),
             cache_reads: false,
+            columnar_exec: true,
         }
     }
 
@@ -182,6 +191,15 @@ impl QueryContext {
     /// (e.g. `ctx.with_cache_reads(true)` + `Strategy::Baseline`).
     pub fn with_cache_reads(mut self, cache_reads: bool) -> Self {
         self.cache_reads = cache_reads;
+        self
+    }
+
+    /// Enable or disable the vectorized columnar execution path for
+    /// ColumnarLite tables (see [`QueryContext::columnar_exec`]). Useful
+    /// for differential testing: the two paths must produce identical
+    /// rows, metrics and bills.
+    pub fn with_columnar(mut self, columnar_exec: bool) -> Self {
+        self.columnar_exec = columnar_exec;
         self
     }
 }

@@ -27,7 +27,7 @@ use crate::context::QueryContext;
 use crate::metrics::QueryMetrics;
 use pushdown_common::perf::PhaseStats;
 use pushdown_common::pricing::Usage;
-use pushdown_common::{Schema, Value};
+use pushdown_common::{Result, Schema, Value};
 use pushdown_sql::agg::AggFunc;
 use pushdown_sql::ast::BinOp;
 use pushdown_sql::{Expr, SelectItem, SelectStmt};
@@ -90,6 +90,11 @@ pub fn cheapest(candidates: &[PlanEstimate], ctx: &QueryContext) -> usize {
 pub struct Estimator<'a> {
     ctx: &'a QueryContext,
     table: &'a Table,
+    /// Partition keys, listed once at construction — the estimator's
+    /// catalog snapshot. Per-segment pricing iterates this snapshot, so
+    /// a partition deleted underneath a live estimator surfaces as an
+    /// explicit error instead of a silently mispriced plan.
+    partition_keys: Vec<String>,
     /// Partition count (a layout constant; per-partition fan-out).
     parts: u64,
     /// Total stored bytes of the table.
@@ -102,7 +107,8 @@ pub struct Estimator<'a> {
 
 impl<'a> Estimator<'a> {
     pub fn new(ctx: &'a QueryContext, table: &'a Table) -> Self {
-        let parts = table.partitions(&ctx.store).len().max(1) as u64;
+        let partition_keys = table.partitions(&ctx.store);
+        let parts = partition_keys.len().max(1) as u64;
         let bytes = table.total_bytes(&ctx.store) as f64;
         let rows = (table.row_count.max(1)) as f64;
         let row_bytes = table
@@ -114,6 +120,7 @@ impl<'a> Estimator<'a> {
         Estimator {
             ctx,
             table,
+            partition_keys,
             parts,
             bytes,
             rows,
@@ -165,11 +172,23 @@ impl<'a> Estimator<'a> {
         }
     }
 
+    /// ColumnarLite parse accounting for `bytes` of this table — keyed
+    /// on the stored format, exactly like the scan paths, so predicted
+    /// phases price parse bandwidth the same way executed ones report it.
+    fn cl_bytes(&self, bytes: u64) -> u64 {
+        if self.table.format == pushdown_select::InputFormat::Columnar {
+            bytes
+        } else {
+            0
+        }
+    }
+
     /// Baseline load phase: GET every partition, decode every row.
     fn plain_load(&self, extra_cpu: f64) -> PhaseStats {
         PhaseStats {
             requests: self.parts,
             plain_bytes: self.bytes as u64,
+            cl_parse_bytes: self.cl_bytes(self.bytes as u64),
             server_cpu_units: (self.rows + extra_cpu) as u64,
             ..Default::default()
         }
@@ -179,20 +198,21 @@ impl<'a> Estimator<'a> {
     /// cache, **per segment** — partitions currently cached cost local
     /// scan + parse only (`cache_bytes`; zero billable), the cold tail
     /// is priced as read-through fills (a request + plain transfer
-    /// each). `None` when the store has no cache installed, so the
-    /// candidate only exists on cache-enabled contexts.
-    fn cached_load(&self, extra_cpu: f64) -> Option<PhaseStats> {
-        let cache = self.ctx.store.cache()?;
+    /// each). `Ok(None)` when the store has no cache installed, so the
+    /// candidate only exists on cache-enabled contexts. A partition in
+    /// the estimator's snapshot whose object has vanished is an error —
+    /// pricing it as zero bytes would make the cached plan look
+    /// arbitrarily cheap.
+    fn cached_load(&self, extra_cpu: f64) -> Result<Option<PhaseStats>> {
+        let Some(cache) = self.ctx.store.cache() else {
+            return Ok(None);
+        };
         let mut cached = 0u64;
         let mut uncached = 0u64;
         let mut fills = 0u64;
-        for key in self.table.partitions(&self.ctx.store) {
-            let size = self
-                .ctx
-                .store
-                .object_size(&self.table.bucket, &key)
-                .unwrap_or(0);
-            match cache.peek(&self.table.bucket, &key) {
+        for key in &self.partition_keys {
+            let size = self.ctx.store.object_size(&self.table.bucket, key)?;
+            match cache.peek(&self.table.bucket, key) {
                 Some(_) => cached += size,
                 None => {
                     uncached += size;
@@ -200,25 +220,28 @@ impl<'a> Estimator<'a> {
                 }
             }
         }
-        Some(PhaseStats {
+        Ok(Some(PhaseStats {
             requests: fills,
             plain_bytes: uncached,
             cache_bytes: cached,
+            cl_parse_bytes: self.cl_bytes(uncached + cached),
             server_cpu_units: (self.rows + extra_cpu) as u64,
             ..Default::default()
-        })
+        }))
     }
 
     /// Wrap a cached-local load phase into a one-phase candidate, when a
     /// cache is installed.
-    fn cached_candidate(&self, label: &str, extra_cpu: f64) -> Option<PlanEstimate> {
-        let phase = self.cached_load(extra_cpu)?;
+    fn cached_candidate(&self, label: &str, extra_cpu: f64) -> Result<Option<PlanEstimate>> {
+        let Some(phase) = self.cached_load(extra_cpu)? else {
+            return Ok(None);
+        };
         let mut m = QueryMetrics::new();
         m.push_serial(label, phase);
-        Some(PlanEstimate {
+        Ok(Some(PlanEstimate {
             algorithm: "cached-local",
             predicted: m,
-        })
+        }))
     }
 
     /// Select phase scanning the whole table and returning `ret_rows`
@@ -238,7 +261,7 @@ impl<'a> Estimator<'a> {
     // ---- Filter (§IV) --------------------------------------------------
 
     /// Candidates for a filter query: server-side vs S3-side.
-    pub fn filter(&self, q: &FilterQuery) -> Vec<PlanEstimate> {
+    pub fn filter(&self, q: &FilterQuery) -> Result<Vec<PlanEstimate>> {
         let sel = self.selectivity(Some(&q.predicate));
         let out_cols: Vec<String> = match &q.projection {
             Some(cols) => cols.clone(),
@@ -272,7 +295,7 @@ impl<'a> Estimator<'a> {
         // load costs, so ties must break toward warming the cache (the
         // argmin keeps the earliest minimum).
         let mut out = Vec::new();
-        out.extend(self.cached_candidate("cached-local filter", extra));
+        out.extend(self.cached_candidate("cached-local filter", extra)?);
         out.push(PlanEstimate {
             algorithm: "server-side",
             predicted: server,
@@ -281,13 +304,13 @@ impl<'a> Estimator<'a> {
             algorithm: "s3-side",
             predicted: s3,
         });
-        out
+        Ok(out)
     }
 
     // ---- Scalar aggregation (§VIII Q6 shape) ---------------------------
 
     /// Candidates for aggregates without GROUP BY: local vs S3-side.
-    pub fn aggregate(&self, stmt: &SelectStmt) -> Vec<PlanEstimate> {
+    pub fn aggregate(&self, stmt: &SelectStmt) -> Result<Vec<PlanEstimate>> {
         let sel = self.selectivity(stmt.where_clause.as_ref());
         let n_aggs = stmt.items.len() as f64;
         // AVG decomposes into SUM+COUNT per partition on the pushed path.
@@ -318,7 +341,7 @@ impl<'a> Estimator<'a> {
         s3.push_serial("s3-side aggregation", phase);
 
         let mut out = Vec::new();
-        out.extend(self.cached_candidate("cached-local aggregation", extra));
+        out.extend(self.cached_candidate("cached-local aggregation", extra)?);
         out.push(PlanEstimate {
             algorithm: "server-side",
             predicted: server,
@@ -327,7 +350,7 @@ impl<'a> Estimator<'a> {
             algorithm: "s3-side",
             predicted: s3,
         });
-        out
+        Ok(out)
     }
 
     // ---- Group-by (§VI) ------------------------------------------------
@@ -373,7 +396,7 @@ impl<'a> Estimator<'a> {
     /// and (single grouping column only) hybrid. When the engine's
     /// `native_group_by` extension is enabled, the §X Suggestion-4
     /// variant joins the lineup.
-    pub fn groupby(&self, q: &GroupByQuery) -> Vec<PlanEstimate> {
+    pub fn groupby(&self, q: &GroupByQuery) -> Result<Vec<PlanEstimate>> {
         let sel = self.selectivity(q.predicate.as_ref());
         let groups = self.group_count(q);
         let matches = sel * self.rows;
@@ -401,7 +424,7 @@ impl<'a> Estimator<'a> {
         // Shared so the cold-cache candidate ties the server-side load
         // exactly (the warm-the-cache tie-break depends on it).
         let extra = filter_cpu + matches + groups;
-        out.extend(self.cached_candidate("cached-local group-by", extra));
+        out.extend(self.cached_candidate("cached-local group-by", extra)?);
         server.push_serial("server-side group-by", self.plain_load(extra));
         out.push(PlanEstimate {
             algorithm: "server-side",
@@ -506,14 +529,14 @@ impl<'a> Estimator<'a> {
             });
         }
 
-        out
+        Ok(out)
     }
 
     // ---- Top-K (§VII) --------------------------------------------------
 
     /// Candidates for `ORDER BY col LIMIT k`: server-side heap vs the
     /// two-phase sampling algorithm at the §VII-B optimal sample size.
-    pub fn topk(&self, q: &TopKQuery) -> Vec<PlanEstimate> {
+    pub fn topk(&self, q: &TopKQuery) -> Result<Vec<PlanEstimate>> {
         let k = q.k as f64;
         let log_k = (q.k.max(2) as f64).log2().ceil();
 
@@ -523,7 +546,7 @@ impl<'a> Estimator<'a> {
         let mut server = QueryMetrics::new();
         server.push_serial("server-side top-k", self.plain_load(extra));
         let mut out = Vec::new();
-        out.extend(self.cached_candidate("cached-local top-k", extra));
+        out.extend(self.cached_candidate("cached-local top-k", extra)?);
         out.push(PlanEstimate {
             algorithm: "server-side",
             predicted: server,
@@ -554,7 +577,7 @@ impl<'a> Estimator<'a> {
             predicted: sampling,
         });
 
-        out
+        Ok(out)
     }
 }
 
@@ -897,10 +920,14 @@ fn predict_node(
             // Per-segment occupancy pricing: cached partitions are free,
             // the cold tail bills as read-through fills. Falls back to a
             // full plain load if no cache is installed (a CachedScan
-            // then degrades to exactly a LocalScan).
-            let stats = est
-                .cached_load(extra)
-                .unwrap_or_else(|| est.plain_load(extra));
+            // then degrades to exactly a LocalScan) or if the snapshot
+            // went stale mid-prediction — the full-load price is the
+            // conservative upper bound, never the zero the old
+            // `unwrap_or(0)` produced.
+            let stats = match est.cached_load(extra) {
+                Ok(Some(s)) => s,
+                _ => est.plain_load(extra),
+            };
             leaf(
                 stats,
                 "cached load",
@@ -1351,7 +1378,7 @@ mod tests {
             predicate: parse_expr("k < 10").unwrap(),
             projection: Some(vec!["k".into()]),
         };
-        let cands = est.filter(&q);
+        let cands = est.filter(&q).unwrap();
         assert_eq!(cands.len(), 2);
         let server = cands.iter().find(|c| c.algorithm == "server-side").unwrap();
         let s3 = cands.iter().find(|c| c.algorithm == "s3-side").unwrap();
@@ -1365,6 +1392,32 @@ mod tests {
     }
 
     #[test]
+    fn stale_partition_snapshot_errors_instead_of_pricing_zero() {
+        let (ctx, t) = setup(1000);
+        let ctx = ctx.with_cache(1 << 30);
+        let est = Estimator::new(&ctx, &t);
+        let q = FilterQuery {
+            table: t.clone(),
+            predicate: parse_expr("k < 10").unwrap(),
+            projection: None,
+        };
+        // Sanity: with the snapshot intact the cached candidate exists.
+        let cands = est.filter(&q).unwrap();
+        assert!(cands.iter().any(|c| c.algorithm == "cached-local"));
+
+        // Delete a partition out from under the estimator's snapshot.
+        // Pricing must fail loudly — the old path priced the vanished
+        // object as 0 bytes, making cached-local look arbitrarily cheap.
+        let victim = t.partitions(&ctx.store)[0].clone();
+        assert!(ctx.store.delete_object(&t.bucket, &victim));
+        let err = est.filter(&q).unwrap_err();
+        assert!(
+            err.to_string().contains(&victim),
+            "error should name the missing partition: {err}"
+        );
+    }
+
+    #[test]
     fn groupby_candidates_respect_applicability() {
         let (ctx, t) = setup(1000);
         let est = Estimator::new(&ctx, &t);
@@ -1374,11 +1427,21 @@ mod tests {
             aggs: vec![(AggFunc::Sum, "v".into())],
             predicate: None,
         };
-        let names: Vec<&str> = est.groupby(&q).iter().map(|c| c.algorithm).collect();
+        let names: Vec<&str> = est
+            .groupby(&q)
+            .unwrap()
+            .iter()
+            .map(|c| c.algorithm)
+            .collect();
         assert_eq!(names, vec!["server-side", "filtered", "s3-side", "hybrid"]);
         // Multi-column grouping: hybrid is not applicable.
         q.group_cols.push("v".into());
-        let names: Vec<&str> = est.groupby(&q).iter().map(|c| c.algorithm).collect();
+        let names: Vec<&str> = est
+            .groupby(&q)
+            .unwrap()
+            .iter()
+            .map(|c| c.algorithm)
+            .collect();
         assert!(!names.contains(&"hybrid"));
         // The §X native variant joins only under the extended engine.
         let mut ext = ctx.clone();
@@ -1391,7 +1454,12 @@ mod tests {
             });
         let est_ext = Estimator::new(&ext, &t);
         q.group_cols.pop();
-        let names: Vec<&str> = est_ext.groupby(&q).iter().map(|c| c.algorithm).collect();
+        let names: Vec<&str> = est_ext
+            .groupby(&q)
+            .unwrap()
+            .iter()
+            .map(|c| c.algorithm)
+            .collect();
         assert!(names.contains(&"s3-native"));
     }
 
@@ -1450,7 +1518,7 @@ mod tests {
             predicate: parse_expr("k < 10").unwrap(),
             projection: None,
         };
-        let cands = est.filter(&q);
+        let cands = est.filter(&q).unwrap();
         let i = cheapest(&cands, &ctx);
         for (j, c) in cands.iter().enumerate() {
             assert!(
@@ -1470,7 +1538,7 @@ mod tests {
             k: 10,
             asc: true,
         };
-        let cands = est.topk(&q);
+        let cands = est.topk(&q).unwrap();
         assert_eq!(cands.len(), 2);
         let sampling = cands.iter().find(|c| c.algorithm == "sampling").unwrap();
         assert_eq!(sampling.predicted.groups.len(), 2, "sample + scan phases");

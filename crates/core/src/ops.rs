@@ -18,9 +18,11 @@
 //! charge `log2(K)`). The wrappers charge exactly what the equivalent
 //! batch-wise run charges: accounting is independent of batching.
 
+use pushdown_common::columnar::{Column, ColumnData, ColumnarBatch, SelVec};
 use pushdown_common::perf::PhaseStats;
-use pushdown_common::{Result, Row, Value};
+use pushdown_common::{date, DataType, Error, Result, Row, Value};
 use pushdown_sql::agg::{Accumulator, AggFunc};
+use pushdown_sql::ast::{BinOp, UnOp};
 use pushdown_sql::bind::BoundExpr;
 use pushdown_sql::eval::{eval, eval_predicate};
 use std::cmp::Ordering;
@@ -405,6 +407,695 @@ pub fn sort_rows_by_keys(
     rows
 }
 
+// ---------------------------------------------------------------------
+// vectorized columnar kernels
+// ---------------------------------------------------------------------
+//
+// The kernels below are the column-at-a-time twins of the row operators
+// above. They consume `ColumnarBatch`es (typed vectors + validity bitmaps,
+// dictionary-coded strings kept coded) and produce selection vectors, so
+// rows materialize only at operator boundaries that still need them
+// (joins, SQL expression fallback, output) — late materialization.
+//
+// Every kernel charges *exactly* what its row twin charges, so ledger and
+// performance-model accounting are identical whichever path executes, and
+// the differential suite can assert exact stats equality.
+
+/// A predicate compiled for vectorized evaluation.
+///
+/// Only *error-free* expression shapes compile: comparisons and
+/// three-valued logic never raise (`sql_cmp` is fallible only into NULL),
+/// so evaluating both branches of an `AND`/`OR` eagerly is
+/// indistinguishable from the row evaluator's short-circuit. Expressions
+/// that can raise — arithmetic, `LIKE`, `CASE`, `CAST`, function calls —
+/// must go through the row fallback so errors surface identically.
+#[derive(Debug, Clone)]
+pub enum ColumnarPred {
+    /// Constant tri-state (TRUE / FALSE / NULL literal).
+    Const(Option<bool>),
+    /// A BOOL column used directly as a predicate.
+    BoolCol(usize),
+    /// `column <op> literal` (literal-column comparisons are flipped at
+    /// compile time).
+    Cmp {
+        col: usize,
+        op: BinOp,
+        lit: Value,
+    },
+    Not(Box<ColumnarPred>),
+    And(Box<ColumnarPred>, Box<ColumnarPred>),
+    Or(Box<ColumnarPred>, Box<ColumnarPred>),
+    Between {
+        col: usize,
+        low: Value,
+        high: Value,
+        negated: bool,
+    },
+    InList {
+        col: usize,
+        list: Vec<Value>,
+        negated: bool,
+    },
+    IsNull {
+        col: usize,
+        negated: bool,
+    },
+}
+
+/// Mirror a comparison across `lit <op> col` → `col <op'> lit`.
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other, // Eq / NotEq are symmetric
+    }
+}
+
+/// Try to compile a bound predicate for vectorized evaluation. Returns
+/// `None` when any sub-expression could raise at eval time (or is not a
+/// recognized shape); callers then use the row-at-a-time fallback.
+pub fn compile_predicate(expr: &BoundExpr) -> Option<ColumnarPred> {
+    match expr {
+        BoundExpr::Literal(Value::Bool(b)) => Some(ColumnarPred::Const(Some(*b))),
+        BoundExpr::Literal(Value::Null) => Some(ColumnarPred::Const(None)),
+        // Non-bool literals error in `as_bool`; let the fallback raise.
+        BoundExpr::Literal(_) => None,
+        BoundExpr::Column(idx, DataType::Bool) => Some(ColumnarPred::BoolCol(*idx)),
+        BoundExpr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => Some(ColumnarPred::Not(Box::new(compile_predicate(expr)?))),
+        BoundExpr::Binary { left, op, right } => match op {
+            BinOp::And => Some(ColumnarPred::And(
+                Box::new(compile_predicate(left)?),
+                Box::new(compile_predicate(right)?),
+            )),
+            BinOp::Or => Some(ColumnarPred::Or(
+                Box::new(compile_predicate(left)?),
+                Box::new(compile_predicate(right)?),
+            )),
+            op if op.is_comparison() => match (&**left, &**right) {
+                (BoundExpr::Column(c, _), BoundExpr::Literal(v)) => Some(ColumnarPred::Cmp {
+                    col: *c,
+                    op: *op,
+                    lit: v.clone(),
+                }),
+                (BoundExpr::Literal(v), BoundExpr::Column(c, _)) => Some(ColumnarPred::Cmp {
+                    col: *c,
+                    op: flip_cmp(*op),
+                    lit: v.clone(),
+                }),
+                _ => None,
+            },
+            _ => None,
+        },
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => match (&**expr, &**low, &**high) {
+            (BoundExpr::Column(c, _), BoundExpr::Literal(lo), BoundExpr::Literal(hi)) => {
+                Some(ColumnarPred::Between {
+                    col: *c,
+                    low: lo.clone(),
+                    high: hi.clone(),
+                    negated: *negated,
+                })
+            }
+            _ => None,
+        },
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let BoundExpr::Column(c, _) = &**expr else {
+                return None;
+            };
+            let lits: Option<Vec<Value>> = list
+                .iter()
+                .map(|e| match e {
+                    BoundExpr::Literal(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect();
+            Some(ColumnarPred::InList {
+                col: *c,
+                list: lits?,
+                negated: *negated,
+            })
+        }
+        BoundExpr::IsNull { expr, negated } => match &**expr {
+            BoundExpr::Column(c, _) => Some(ColumnarPred::IsNull {
+                col: *c,
+                negated: *negated,
+            }),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Tri-state vector: `1` = TRUE, `0` = FALSE, `-1` = NULL.
+type TriVec = Vec<i8>;
+
+fn tri(b: Option<bool>) -> i8 {
+    match b {
+        Some(true) => 1,
+        Some(false) => 0,
+        None => -1,
+    }
+}
+
+/// `column <cmp> literal` orderings, one per row (`None` = NULL /
+/// incomparable), replicating `Value::sql_cmp` per type pair. Dictionary
+/// columns compare the literal against each dictionary entry once and
+/// look orderings up per row.
+fn cmp_column_lit(col: &Column, lit: &Value) -> Vec<Option<Ordering>> {
+    let n = col.len();
+    let mut out = vec![None; n];
+    if lit.is_null() {
+        return out;
+    }
+    match (&col.data, lit) {
+        (ColumnData::Int(v), Value::Int(b)) => {
+            for i in 0..n {
+                if col.is_valid(i) {
+                    out[i] = Some(v[i].cmp(b));
+                }
+            }
+        }
+        (ColumnData::Int(v), Value::Float(_) | Value::Date(_)) => {
+            let b = lit.as_f64().unwrap();
+            for i in 0..n {
+                if col.is_valid(i) {
+                    out[i] = (v[i] as f64).partial_cmp(&b);
+                }
+            }
+        }
+        (ColumnData::Float(v), Value::Int(_) | Value::Float(_) | Value::Date(_)) => {
+            let b = lit.as_f64().unwrap();
+            for i in 0..n {
+                if col.is_valid(i) {
+                    out[i] = v[i].partial_cmp(&b);
+                }
+            }
+        }
+        (ColumnData::Date(v), Value::Date(b)) => {
+            for i in 0..n {
+                if col.is_valid(i) {
+                    out[i] = Some(v[i].cmp(b));
+                }
+            }
+        }
+        (ColumnData::Date(v), Value::Int(_) | Value::Float(_)) => {
+            let b = lit.as_f64().unwrap();
+            for i in 0..n {
+                if col.is_valid(i) {
+                    out[i] = (v[i] as f64).partial_cmp(&b);
+                }
+            }
+        }
+        (ColumnData::Date(v), Value::Str(s)) => {
+            // sql_cmp compares dates to strings textually via the ISO form.
+            for i in 0..n {
+                if col.is_valid(i) {
+                    out[i] = Some(date::format_date(v[i]).as_str().cmp(s.as_str()));
+                }
+            }
+        }
+        (ColumnData::Bool(v), Value::Bool(b)) => {
+            for i in 0..n {
+                if col.is_valid(i) {
+                    out[i] = Some(v[i].cmp(b));
+                }
+            }
+        }
+        (ColumnData::Str(v), Value::Str(s)) => {
+            for i in 0..n {
+                if col.is_valid(i) {
+                    out[i] = Some(v[i].as_str().cmp(s.as_str()));
+                }
+            }
+        }
+        (ColumnData::Str(v), Value::Date(d)) => {
+            let ds = date::format_date(*d);
+            for i in 0..n {
+                if col.is_valid(i) {
+                    out[i] = Some(v[i].as_str().cmp(ds.as_str()));
+                }
+            }
+        }
+        (ColumnData::DictStr { codes, dict }, _) => {
+            // One comparison per distinct value, then a per-row lookup.
+            let lut: Vec<Option<Ordering>> = dict
+                .iter()
+                .map(|s| Value::Str(s.clone()).sql_cmp(lit))
+                .collect();
+            for i in 0..n {
+                if col.is_valid(i) {
+                    out[i] = lut[codes[i] as usize];
+                }
+            }
+        }
+        // Remaining pairs (Bool vs numeric/Str, Str vs numeric, …) are
+        // incomparable under sql_cmp: every row stays None (NULL).
+        _ => {}
+    }
+    out
+}
+
+fn ord_to_tri(ord: Option<Ordering>, op: BinOp) -> i8 {
+    let Some(o) = ord else { return -1 };
+    let b = match op {
+        BinOp::Eq => o == Ordering::Equal,
+        BinOp::NotEq => o != Ordering::Equal,
+        BinOp::Lt => o == Ordering::Less,
+        BinOp::LtEq => o != Ordering::Greater,
+        BinOp::Gt => o == Ordering::Greater,
+        BinOp::GtEq => o != Ordering::Less,
+        _ => unreachable!("non-comparison op in compiled predicate"),
+    };
+    i8::from(b)
+}
+
+fn kleene_and_tri(l: i8, r: i8) -> i8 {
+    if l == 0 || r == 0 {
+        0
+    } else if l == 1 && r == 1 {
+        1
+    } else {
+        -1
+    }
+}
+
+fn kleene_or_tri(l: i8, r: i8) -> i8 {
+    if l == 1 || r == 1 {
+        1
+    } else if l == 0 && r == 0 {
+        0
+    } else {
+        -1
+    }
+}
+
+fn negate_tri(t: i8, negated: bool) -> i8 {
+    if t < 0 || !negated {
+        t
+    } else {
+        1 - t
+    }
+}
+
+fn eval_pred_tri(pred: &ColumnarPred, batch: &ColumnarBatch) -> TriVec {
+    let n = batch.len();
+    match pred {
+        ColumnarPred::Const(b) => vec![tri(*b); n],
+        ColumnarPred::BoolCol(c) => {
+            let col = batch.column(*c);
+            let ColumnData::Bool(v) = &col.data else {
+                // Schema says BOOL but the vector is another type only if
+                // the batch was built inconsistently; treat as NULL.
+                return vec![-1; n];
+            };
+            (0..n)
+                .map(|i| if col.is_valid(i) { i8::from(v[i]) } else { -1 })
+                .collect()
+        }
+        ColumnarPred::Cmp { col, op, lit } => cmp_column_lit(batch.column(*col), lit)
+            .into_iter()
+            .map(|o| ord_to_tri(o, *op))
+            .collect(),
+        ColumnarPred::Not(inner) => eval_pred_tri(inner, batch)
+            .into_iter()
+            .map(|t| if t < 0 { -1 } else { 1 - t })
+            .collect(),
+        ColumnarPred::And(l, r) => {
+            let lv = eval_pred_tri(l, batch);
+            let rv = eval_pred_tri(r, batch);
+            lv.into_iter()
+                .zip(rv)
+                .map(|(a, b)| kleene_and_tri(a, b))
+                .collect()
+        }
+        ColumnarPred::Or(l, r) => {
+            let lv = eval_pred_tri(l, batch);
+            let rv = eval_pred_tri(r, batch);
+            lv.into_iter()
+                .zip(rv)
+                .map(|(a, b)| kleene_or_tri(a, b))
+                .collect()
+        }
+        ColumnarPred::Between {
+            col,
+            low,
+            high,
+            negated,
+        } => {
+            let c = batch.column(*col);
+            let lo = cmp_column_lit(c, low);
+            let hi = cmp_column_lit(c, high);
+            (0..n)
+                .map(|i| {
+                    let ge_low = lo[i].map(|o| o != Ordering::Less).map_or(-1, i8::from);
+                    let le_high = hi[i].map(|o| o != Ordering::Greater).map_or(-1, i8::from);
+                    negate_tri(kleene_and_tri(ge_low, le_high), *negated)
+                })
+                .collect()
+        }
+        ColumnarPred::InList { col, list, negated } => {
+            let c = batch.column(*col);
+            let per_item: Vec<Vec<Option<Ordering>>> =
+                list.iter().map(|lit| cmp_column_lit(c, lit)).collect();
+            (0..n)
+                .map(|i| {
+                    let mut found = false;
+                    let mut saw_null = false;
+                    for item in &per_item {
+                        match item[i] {
+                            Some(Ordering::Equal) => {
+                                found = true;
+                                break;
+                            }
+                            Some(_) => {}
+                            None => saw_null = true,
+                        }
+                    }
+                    let t = if found {
+                        1
+                    } else if saw_null {
+                        -1
+                    } else {
+                        0
+                    };
+                    negate_tri(t, *negated)
+                })
+                .collect()
+        }
+        ColumnarPred::IsNull { col, negated } => {
+            let c = batch.column(*col);
+            (0..n)
+                .map(|i| i8::from(c.is_valid(i) == *negated))
+                .collect()
+        }
+    }
+}
+
+/// Vectorized filter: evaluate a compiled predicate over a columnar batch
+/// and return the selection vector of passing rows (tri-state TRUE only,
+/// as in SQL `WHERE`). Charges `batch.len()` CPU units — identical to
+/// [`filter_rows`] on the same input.
+pub fn filter_columnar(
+    batch: &ColumnarBatch,
+    pred: &ColumnarPred,
+    stats: &mut PhaseStats,
+) -> SelVec {
+    stats.server_cpu_units += batch.len() as u64;
+    eval_pred_tri(pred, batch)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, t)| (t == 1).then_some(i as u32))
+        .collect()
+}
+
+/// Row-at-a-time fallback for predicates that do not compile (arithmetic,
+/// `LIKE`, `CASE`, …): materializes each row and runs the row evaluator so
+/// errors surface identically. Charges `batch.len()` like [`filter_rows`].
+pub fn filter_columnar_fallback(
+    batch: &ColumnarBatch,
+    pred: &BoundExpr,
+    stats: &mut PhaseStats,
+) -> Result<SelVec> {
+    stats.server_cpu_units += batch.len() as u64;
+    let mut out = Vec::new();
+    for i in 0..batch.len() {
+        if eval_predicate(pred, &batch.row_at(i))? {
+            out.push(i as u32);
+        }
+    }
+    Ok(out)
+}
+
+/// Fold the selected slots of a typed column into an accumulator,
+/// replicating [`Accumulator::update`] row-for-row (same visit order, same
+/// overflow points, same NaN comparison semantics, same errors). NULL
+/// slots are skipped. Charges nothing — like `update`, the caller accounts
+/// for rows visited.
+pub fn update_accumulator_columnar(acc: &mut Accumulator, col: &Column, sel: &[u32]) -> Result<()> {
+    match (&mut *acc, &col.data) {
+        (
+            Accumulator::Sum {
+                int,
+                float,
+                saw_float,
+                count,
+            },
+            data,
+        ) => match data {
+            ColumnData::Int(v) => {
+                for &i in sel {
+                    let i = i as usize;
+                    if col.is_valid(i) {
+                        *int = int
+                            .checked_add(v[i])
+                            .ok_or_else(|| Error::Eval("integer overflow in SUM".into()))?;
+                        *count += 1;
+                    }
+                }
+            }
+            ColumnData::Float(v) => {
+                for &i in sel {
+                    let i = i as usize;
+                    if col.is_valid(i) {
+                        *float += v[i];
+                        *saw_float = true;
+                        *count += 1;
+                    }
+                }
+            }
+            ColumnData::Date(v) => {
+                // Date is non-Int: the row path takes the float branch.
+                for &i in sel {
+                    let i = i as usize;
+                    if col.is_valid(i) {
+                        *float += v[i] as f64;
+                        *saw_float = true;
+                        *count += 1;
+                    }
+                }
+            }
+            // Bool/Str inputs error in as_f64; use the row path for the
+            // exact error message.
+            _ => {
+                for &i in sel {
+                    acc.update(&col.value_at(i as usize))?;
+                }
+            }
+        },
+        (Accumulator::Count(n), _) => {
+            *n += sel.iter().filter(|&&i| col.is_valid(i as usize)).count() as u64;
+        }
+        (Accumulator::Avg { sum, count }, data) => match data {
+            ColumnData::Int(v) => {
+                for &i in sel {
+                    let i = i as usize;
+                    if col.is_valid(i) {
+                        *sum += v[i] as f64;
+                        *count += 1;
+                    }
+                }
+            }
+            ColumnData::Float(v) => {
+                for &i in sel {
+                    let i = i as usize;
+                    if col.is_valid(i) {
+                        *sum += v[i];
+                        *count += 1;
+                    }
+                }
+            }
+            ColumnData::Date(v) => {
+                for &i in sel {
+                    let i = i as usize;
+                    if col.is_valid(i) {
+                        *sum += v[i] as f64;
+                        *count += 1;
+                    }
+                }
+            }
+            _ => {
+                for &i in sel {
+                    acc.update(&col.value_at(i as usize))?;
+                }
+            }
+        },
+        (Accumulator::Min(_) | Accumulator::Max(_), ColumnData::Str(v)) => {
+            // Track the batch-best index; materialize one Value per batch.
+            // String comparison is total, so folding the batch first and
+            // updating once is equivalent to the sequential fold.
+            let want = if matches!(acc, Accumulator::Min(_)) {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            };
+            let mut best: Option<usize> = None;
+            for &i in sel {
+                let i = i as usize;
+                if !col.is_valid(i) {
+                    continue;
+                }
+                best = Some(match best {
+                    None => i,
+                    Some(b) => {
+                        if v[i].as_str().cmp(v[b].as_str()) == want {
+                            i
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            if let Some(b) = best {
+                acc.update(&Value::Str(v[b].clone()))?;
+            }
+        }
+        (Accumulator::Min(_) | Accumulator::Max(_), ColumnData::DictStr { codes, dict }) => {
+            let want = if matches!(acc, Accumulator::Min(_)) {
+                Ordering::Greater // entry(best) cmp entry(i): replace when best > i for Min
+            } else {
+                Ordering::Less
+            };
+            let mut best: Option<u32> = None;
+            for &i in sel {
+                let i = i as usize;
+                if !col.is_valid(i) {
+                    continue;
+                }
+                let code = codes[i];
+                best = Some(match best {
+                    None => code,
+                    Some(b) => {
+                        if dict[b as usize].as_str().cmp(dict[code as usize].as_str()) == want {
+                            code
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            if let Some(b) = best {
+                acc.update(&Value::Str(dict[b as usize].clone()))?;
+            }
+        }
+        (Accumulator::Min(_) | Accumulator::Max(_), _) => {
+            // Numeric / bool Min-Max: Value construction is free, and the
+            // row-path update preserves partial-compare (NaN) semantics.
+            for &i in sel {
+                acc.update(&col.value_at(i as usize))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+impl GroupByAccumulator {
+    /// Columnar twin of [`GroupByAccumulator::update_batch`]: group keys
+    /// and aggregate inputs materialize per row, but only the referenced
+    /// columns — unreferenced columns are never touched. Charges
+    /// `sel.len()` (the rows fed), like the row path fed the same rows.
+    pub fn update_columnar(
+        &mut self,
+        batch: &ColumnarBatch,
+        sel: &[u32],
+        stats: &mut PhaseStats,
+    ) -> Result<()> {
+        stats.server_cpu_units += sel.len() as u64;
+        for &i in sel {
+            let i = i as usize;
+            let key: Vec<Value> = self
+                .group_cols
+                .iter()
+                .map(|&c| batch.column(c).value_at(i))
+                .collect();
+            let accs = self
+                .groups
+                .entry(key)
+                .or_insert_with(|| self.aggs.iter().map(|(f, _)| f.accumulator()).collect());
+            for (acc, (_, col)) in accs.iter_mut().zip(&self.aggs) {
+                match col {
+                    Some(c) => acc.update(&batch.column(*c).value_at(i))?,
+                    None => acc.update(&Value::Bool(true))?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl TopKAccumulator {
+    /// Columnar twin of [`TopKAccumulator::push_batch`]: the order key is
+    /// compared column-side and a full row materializes only when it
+    /// actually enters the heap. NULL keys are skipped uncharged; every
+    /// surviving candidate charges `log2(K)`, like the row path.
+    pub fn push_columnar(&mut self, batch: &ColumnarBatch, sel: &[u32], stats: &mut PhaseStats) {
+        if self.k == 0 {
+            return;
+        }
+        let key_col = batch.column(self.order_col);
+        for &i in sel {
+            let i = i as usize;
+            if !key_col.is_valid(i) {
+                continue;
+            }
+            stats.server_cpu_units += self.log_k;
+            if self.heap.len() < self.k {
+                self.heap.push(HeapEntry {
+                    row: batch.row_at(i),
+                    col: self.order_col,
+                    asc: self.asc,
+                });
+                continue;
+            }
+            let Some(top) = self.heap.peek() else {
+                continue;
+            };
+            // Key-only comparison first: it decides unless exactly equal,
+            // in which case the full-row tiebreak needs a materialized row.
+            let kv = key_col.value_at(i);
+            let o = kv.total_cmp(&top.row[self.order_col]);
+            let o = if self.asc { o } else { o.reverse() };
+            let replace = match o {
+                Ordering::Less => true,
+                Ordering::Greater => false,
+                Ordering::Equal => {
+                    let e = HeapEntry {
+                        row: batch.row_at(i),
+                        col: self.order_col,
+                        asc: self.asc,
+                    };
+                    e.cmp_inner(top) == Ordering::Less
+                }
+            };
+            if replace {
+                self.heap.pop();
+                self.heap.push(HeapEntry {
+                    row: batch.row_at(i),
+                    col: self.order_col,
+                    asc: self.asc,
+                });
+            }
+        }
+    }
+}
+
+/// Identity selection vector `[0, n)` — "all rows".
+pub fn full_selection(n: usize) -> SelVec {
+    (0..n as u32).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -662,5 +1353,252 @@ mod tests {
         let mut stats = PhaseStats::default();
         let out = map_rows(&[row(vec![3])], &[e], &mut stats).unwrap();
         assert_eq!(out, vec![row(vec![7])]);
+    }
+
+    // -- vectorized kernel parity ------------------------------------
+
+    fn mixed_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("i", DataType::Int),
+            ("f", DataType::Float),
+            ("s", DataType::Str),
+            ("d", DataType::Date),
+            ("b", DataType::Bool),
+        ])
+    }
+
+    /// NULL-heavy, dict-eligible sample (col `s` repeats 5 distinct values).
+    fn mixed_rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    if i % 11 == 3 {
+                        Value::Null
+                    } else {
+                        Value::Int(i as i64 % 40 - 20)
+                    },
+                    if i % 13 == 5 {
+                        Value::Null
+                    } else {
+                        Value::Float(i as f64 * 0.25 - 4.0)
+                    },
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Str(format!("name-{}", i % 5))
+                    },
+                    Value::Date(9000 + (i as i32 % 50)),
+                    Value::Bool(i % 3 == 0),
+                ])
+            })
+            .collect()
+    }
+
+    fn parity_filter(src: &str) {
+        let schema = mixed_schema();
+        let rows = mixed_rows(200);
+        let pred = Binder::new(&schema)
+            .bind_expr(&parse_expr(src).unwrap())
+            .unwrap();
+        let compiled =
+            compile_predicate(&pred).unwrap_or_else(|| panic!("predicate should compile: {src}"));
+        let batch = ColumnarBatch::from_rows(&schema, &rows);
+        let mut cs = PhaseStats::default();
+        let sel = filter_columnar(&batch, &compiled, &mut cs);
+        let mut rs = PhaseStats::default();
+        let expect = filter_rows(rows.clone(), &pred, &mut rs).unwrap();
+        assert_eq!(batch.gather(&sel), expect, "rows differ for {src}");
+        assert_eq!(cs, rs, "cpu charge differs for {src}");
+    }
+
+    #[test]
+    fn vectorized_filter_matches_row_filter() {
+        for src in [
+            "i > 3",
+            "i <= -5",
+            "7 > i",
+            "f < 2.5",
+            "i = 7 OR f >= 40.0",
+            "i > 0 AND f < 10.0",
+            "s = 'name-2'",
+            "s <> 'name-2'",
+            "s >= 'name-3'",
+            "d BETWEEN 9010 AND 9030",
+            "i BETWEEN -3 AND 3",
+            "i NOT BETWEEN -3 AND 3",
+            "i IN (1, 5, -2)",
+            "s IN ('name-1', 'name-4')",
+            "s NOT IN ('name-1')",
+            "i IS NULL",
+            "s IS NOT NULL",
+            "NOT (i > 0)",
+            "b",
+            "b AND i > 0",
+            "i > 2 AND (s = 'name-1' OR s IS NULL)",
+            "i = 2.5",          // int col vs float literal
+            "d > '1994-01-01'", // date col vs string literal
+            "s = 3",            // incomparable: always NULL
+        ]
+        .iter()
+        .filter(|src| {
+            let schema = mixed_schema();
+            let pred = Binder::new(&schema)
+                .bind_expr(&parse_expr(src).unwrap())
+                .unwrap();
+            compile_predicate(&pred).is_some()
+        }) {
+            parity_filter(src);
+        }
+    }
+
+    #[test]
+    fn fallback_filter_matches_row_filter() {
+        let schema = mixed_schema();
+        let rows = mixed_rows(150);
+        for src in ["i % 2 = 0", "s LIKE 'name-%'", "i + 1 > 3"] {
+            let pred = Binder::new(&schema)
+                .bind_expr(&parse_expr(src).unwrap())
+                .unwrap();
+            assert!(
+                compile_predicate(&pred).is_none(),
+                "{src} must not vectorize (it can raise)"
+            );
+            let batch = ColumnarBatch::from_rows(&schema, &rows);
+            let mut cs = PhaseStats::default();
+            let sel = filter_columnar_fallback(&batch, &pred, &mut cs).unwrap();
+            let mut rs = PhaseStats::default();
+            let expect = filter_rows(rows.clone(), &pred, &mut rs).unwrap();
+            assert_eq!(batch.gather(&sel), expect, "{src}");
+            assert_eq!(cs, rs, "{src}");
+        }
+    }
+
+    #[test]
+    fn columnar_accumulators_match_row_accumulators() {
+        let schema = mixed_schema();
+        let rows = mixed_rows(300);
+        let batch = ColumnarBatch::from_rows(&schema, &rows);
+        let sel = full_selection(batch.len());
+        for func in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
+            for col in 0..schema.len() {
+                let mut row_acc = func.accumulator();
+                let mut row_err = None;
+                for r in &rows {
+                    if let Err(e) = row_acc.update(&r[col]) {
+                        row_err = Some(e);
+                        break;
+                    }
+                }
+                let mut col_acc = func.accumulator();
+                let col_res = update_accumulator_columnar(&mut col_acc, batch.column(col), &sel);
+                match row_err {
+                    Some(_) => assert!(col_res.is_err(), "{func:?} col {col} should error"),
+                    None => {
+                        col_res.unwrap();
+                        assert_eq!(
+                            col_acc.finish(),
+                            row_acc.finish(),
+                            "{func:?} over column {col}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_sum_overflow_errors_like_row_path() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let rows = vec![
+            Row::new(vec![Value::Int(i64::MAX)]),
+            Row::new(vec![Value::Int(1)]),
+        ];
+        let batch = ColumnarBatch::from_rows(&schema, &rows);
+        let mut acc = AggFunc::Sum.accumulator();
+        assert!(
+            update_accumulator_columnar(&mut acc, batch.column(0), &full_selection(2)).is_err()
+        );
+    }
+
+    #[test]
+    fn columnar_group_by_matches_row_group_by() {
+        let schema = mixed_schema();
+        let rows = mixed_rows(250);
+        let batch = ColumnarBatch::from_rows(&schema, &rows);
+        let aggs = vec![
+            (AggFunc::Sum, Some(0)),
+            (AggFunc::Count, None),
+            (AggFunc::Min, Some(1)),
+            (AggFunc::Max, Some(3)),
+        ];
+        let mut rs = PhaseStats::default();
+        let mut row_gb = GroupByAccumulator::new(vec![2, 4], aggs.clone());
+        for chunk in rows.chunks(33) {
+            row_gb.update_batch(chunk, &mut rs).unwrap();
+        }
+        let expect = row_gb.finish(&mut rs);
+        let mut cs = PhaseStats::default();
+        let mut col_gb = GroupByAccumulator::new(vec![2, 4], aggs);
+        for b in batch.clone().chunks(41) {
+            let sel = full_selection(b.len());
+            col_gb.update_columnar(&b, &sel, &mut cs).unwrap();
+        }
+        let got = col_gb.finish(&mut cs);
+        assert_eq!(got, expect);
+        assert_eq!(cs, rs, "group-by charges must be identical");
+    }
+
+    #[test]
+    fn columnar_top_k_matches_row_top_k() {
+        let schema = mixed_schema();
+        let rows = mixed_rows(300);
+        let batch = ColumnarBatch::from_rows(&schema, &rows);
+        for (col, k, asc) in [(0, 10, true), (1, 7, false), (2, 5, true), (3, 12, false)] {
+            let mut rs = PhaseStats::default();
+            let mut row_tk = TopKAccumulator::new(col, k, asc);
+            for chunk in rows.chunks(29) {
+                row_tk.push_batch(chunk, &mut rs);
+            }
+            let expect = row_tk.finish(&mut rs);
+            let mut cs = PhaseStats::default();
+            let mut col_tk = TopKAccumulator::new(col, k, asc);
+            for b in batch.clone().chunks(53) {
+                let sel = full_selection(b.len());
+                col_tk.push_columnar(&b, &sel, &mut cs);
+            }
+            let got = col_tk.finish(&mut cs);
+            assert_eq!(got, expect, "top-{k} col {col} asc={asc}");
+            assert_eq!(cs, rs, "top-K charges must be identical");
+        }
+    }
+
+    #[test]
+    fn selection_vector_feeds_group_by_like_filtered_rows() {
+        let schema = mixed_schema();
+        let rows = mixed_rows(180);
+        let pred = Binder::new(&schema)
+            .bind_expr(&parse_expr("i > 0").unwrap())
+            .unwrap();
+        let compiled = compile_predicate(&pred).unwrap();
+        let batch = ColumnarBatch::from_rows(&schema, &rows);
+        let mut cs = PhaseStats::default();
+        let sel = filter_columnar(&batch, &compiled, &mut cs);
+        let mut col_gb = GroupByAccumulator::new(vec![4], vec![(AggFunc::Avg, Some(0))]);
+        col_gb.update_columnar(&batch, &sel, &mut cs).unwrap();
+        let got = col_gb.finish(&mut cs);
+
+        let mut rs = PhaseStats::default();
+        let filtered = filter_rows(rows, &pred, &mut rs).unwrap();
+        let mut row_gb = GroupByAccumulator::new(vec![4], vec![(AggFunc::Avg, Some(0))]);
+        row_gb.update_batch(&filtered, &mut rs).unwrap();
+        let expect = row_gb.finish(&mut rs);
+        assert_eq!(got, expect);
+        assert_eq!(cs, rs);
     }
 }

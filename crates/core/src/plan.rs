@@ -25,11 +25,15 @@ use crate::context::QueryContext;
 use crate::metrics::QueryMetrics;
 use crate::ops;
 use crate::output::QueryOutput;
-use crate::scan::{cached_scan_streamed, plain_scan_streamed, select_scan};
+use crate::scan::{
+    cached_scan_columnar_streamed, cached_scan_streamed, plain_scan_columnar_streamed,
+    plain_scan_streamed, select_scan,
+};
+use pushdown_common::columnar::ColumnarBatch;
 use pushdown_common::perf::{PerfModel, PhaseStats};
 use pushdown_common::{Error, Result, Row, Schema, Value};
 use pushdown_sql::agg::AggFunc;
-use pushdown_sql::bind::Binder;
+use pushdown_sql::bind::{Binder, BoundExpr};
 use pushdown_sql::{Expr, SelectItem, SelectStmt};
 
 /// One node of a physical plan: an operator, its inputs, and the output
@@ -350,6 +354,38 @@ pub fn annotate(report: &mut OpReport, predicted: &crate::cost::PredNode) {
     }
 }
 
+/// Whether a leaf scan of `table` should take the vectorized columnar
+/// path. Only ColumnarLite tables qualify — CSV always row-decodes — and
+/// [`QueryContext::columnar_exec`] is the escape hatch.
+fn use_columnar(ctx: &QueryContext, table: &Table) -> bool {
+    ctx.columnar_exec && table.format == pushdown_select::InputFormat::Columnar
+}
+
+/// Filtering batch sink shared by the columnar leaf scans: compile the
+/// bound predicate to a vectorized [`ops::ColumnarPred`] once, evaluate
+/// it per batch on column vectors, and gather (late-materialize) only
+/// the surviving rows. Charges the same CPU units as the row twin.
+fn columnar_filter_sink<'a>(
+    bound: &'a Option<BoundExpr>,
+    rows: &'a mut Vec<Row>,
+    op_stats: &'a mut PhaseStats,
+) -> impl FnMut(ColumnarBatch) -> Result<()> + 'a {
+    let compiled = bound.as_ref().and_then(ops::compile_predicate);
+    move |batch| {
+        match bound {
+            None => rows.extend(batch.to_rows()),
+            Some(b) => {
+                let sel = match &compiled {
+                    Some(p) => ops::filter_columnar(&batch, p, op_stats),
+                    None => ops::filter_columnar_fallback(&batch, b, op_stats)?,
+                };
+                rows.extend(batch.gather(&sel));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Execute a physical plan against the context's store. Every operator
 /// reports its own [`PhaseStats`]; billable traffic comes only from the
 /// scan leaves, so the summed metrics agree exactly with the scope's
@@ -363,13 +399,21 @@ pub fn execute(ctx: &QueryContext, node: &PlanNode) -> Result<Executed> {
             };
             let mut op_stats = PhaseStats::default();
             let mut rows = Vec::new();
-            let summary = plain_scan_streamed(ctx, table, |batch| {
-                match &bound {
-                    Some(b) => rows.extend(ops::filter_rows(batch.rows, b, &mut op_stats)?),
-                    None => rows.extend(batch.rows),
-                }
-                Ok(())
-            })?;
+            let summary = if use_columnar(ctx, table) {
+                plain_scan_columnar_streamed(
+                    ctx,
+                    table,
+                    columnar_filter_sink(&bound, &mut rows, &mut op_stats),
+                )?
+            } else {
+                plain_scan_streamed(ctx, table, |batch| {
+                    match &bound {
+                        Some(b) => rows.extend(ops::filter_rows(batch.rows, b, &mut op_stats)?),
+                        None => rows.extend(batch.rows),
+                    }
+                    Ok(())
+                })?
+            };
             let mut stats = summary.stats;
             stats.merge(&op_stats);
             let mut metrics = QueryMetrics::new();
@@ -388,13 +432,21 @@ pub fn execute(ctx: &QueryContext, node: &PlanNode) -> Result<Executed> {
             };
             let mut op_stats = PhaseStats::default();
             let mut rows = Vec::new();
-            let summary = cached_scan_streamed(ctx, table, |batch| {
-                match &bound {
-                    Some(b) => rows.extend(ops::filter_rows(batch.rows, b, &mut op_stats)?),
-                    None => rows.extend(batch.rows),
-                }
-                Ok(())
-            })?;
+            let summary = if use_columnar(ctx, table) {
+                cached_scan_columnar_streamed(
+                    ctx,
+                    table,
+                    columnar_filter_sink(&bound, &mut rows, &mut op_stats),
+                )?
+            } else {
+                cached_scan_streamed(ctx, table, |batch| {
+                    match &bound {
+                        Some(b) => rows.extend(ops::filter_rows(batch.rows, b, &mut op_stats)?),
+                        None => rows.extend(batch.rows),
+                    }
+                    Ok(())
+                })?
+            };
             let mut stats = summary.stats;
             stats.merge(&op_stats);
             let mut metrics = QueryMetrics::new();
@@ -770,22 +822,58 @@ fn local_aggregate(ctx: &QueryContext, table: &Table, stmt: &SelectStmt) -> Resu
         accs.push((func.accumulator(), bound));
     }
     let mut op_stats = PhaseStats::default();
-    let summary = plain_scan_streamed(ctx, table, |batch| {
-        let rows = match &pred {
-            Some(p) => ops::filter_rows(batch.rows, p, &mut op_stats)?,
-            None => batch.rows,
-        };
-        op_stats.server_cpu_units += rows.len() as u64 * accs.len() as u64;
-        for r in &rows {
+    let summary = if use_columnar(ctx, table) {
+        let compiled = pred.as_ref().and_then(ops::compile_predicate);
+        plain_scan_columnar_streamed(ctx, table, |batch| {
+            let sel = match (&pred, &compiled) {
+                (None, _) => ops::full_selection(batch.len()),
+                (Some(_), Some(p)) => ops::filter_columnar(&batch, p, &mut op_stats),
+                (Some(p), None) => ops::filter_columnar_fallback(&batch, p, &mut op_stats)?,
+            };
+            op_stats.server_cpu_units += sel.len() as u64 * accs.len() as u64;
             for (acc, arg) in accs.iter_mut() {
                 match arg {
-                    Some(e) => acc.update(&pushdown_sql::eval::eval(e, r)?)?,
-                    None => acc.update(&Value::Bool(true))?,
+                    // Column arguments feed the accumulator a whole
+                    // vector at a time.
+                    Some(BoundExpr::Column(idx, _)) => {
+                        ops::update_accumulator_columnar(acc, batch.column(*idx), &sel)?
+                    }
+                    Some(e) => {
+                        for &i in &sel {
+                            acc.update(&pushdown_sql::eval::eval(e, &batch.row_at(i as usize))?)?;
+                        }
+                    }
+                    None => match acc {
+                        // COUNT(*) over k selected rows is just +k.
+                        pushdown_sql::agg::Accumulator::Count(n) => *n += sel.len() as u64,
+                        _ => {
+                            for _ in &sel {
+                                acc.update(&Value::Bool(true))?;
+                            }
+                        }
+                    },
                 }
             }
-        }
-        Ok(())
-    })?;
+            Ok(())
+        })?
+    } else {
+        plain_scan_streamed(ctx, table, |batch| {
+            let rows = match &pred {
+                Some(p) => ops::filter_rows(batch.rows, p, &mut op_stats)?,
+                None => batch.rows,
+            };
+            op_stats.server_cpu_units += rows.len() as u64 * accs.len() as u64;
+            for r in &rows {
+                for (acc, arg) in accs.iter_mut() {
+                    match arg {
+                        Some(e) => acc.update(&pushdown_sql::eval::eval(e, r)?)?,
+                        None => acc.update(&Value::Bool(true))?,
+                    }
+                }
+            }
+            Ok(())
+        })?
+    };
     let row = Row::new(accs.iter().map(|(a, _)| a.finish()).collect());
     let mut stats = summary.stats;
     stats.merge(&op_stats);

@@ -395,7 +395,7 @@ fn plan_and_run_scoped(
             let choice = match strategy {
                 Strategy::Baseline => Choice::fixed("server-side"),
                 Strategy::Pushdown => Choice::fixed("sampling"),
-                Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).topk(&q)),
+                Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).topk(&q)?),
             };
             let node = PlanNode::new(
                 PlanOp::Algo(AlgoOp::TopK(q.clone(), choice.algorithm)),
@@ -417,7 +417,7 @@ fn plan_and_run_scoped(
     // ---- GROUP BY → §VI.
     if !spec.group_by.is_empty() {
         let q = groupby_query(table, spec)?;
-        let choice = groupby_choice(ctx, table, &q, strategy);
+        let choice = groupby_choice(ctx, table, &q, strategy)?;
         let node = PlanNode::new(
             PlanOp::Algo(AlgoOp::GroupBy(q.clone(), choice.algorithm)),
             Vec::new(),
@@ -439,7 +439,7 @@ fn plan_and_run_scoped(
             Strategy::Baseline => Choice::fixed("server-side"),
             Strategy::Pushdown => Choice::fixed("s3-side"),
             Strategy::Adaptive => {
-                Choice::adaptive(ctx, Estimator::new(ctx, table).aggregate(&spec.select))
+                Choice::adaptive(ctx, Estimator::new(ctx, table).aggregate(&spec.select)?)
             }
         };
         let node = PlanNode::new(
@@ -483,8 +483,8 @@ fn groupby_choice(
     table: &Table,
     q: &groupby::GroupByQuery,
     strategy: Strategy,
-) -> Choice {
-    match strategy {
+) -> Result<Choice> {
+    Ok(match strategy {
         Strategy::Baseline => Choice::fixed("server-side"),
         Strategy::Pushdown => {
             if q.group_cols.len() == 1 {
@@ -493,8 +493,8 @@ fn groupby_choice(
                 Choice::fixed("s3-side")
             }
         }
-        Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).groupby(q)),
-    }
+        Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).groupby(q)?),
+    })
 }
 
 fn filter_choice(
@@ -516,7 +516,7 @@ fn filter_choice(
     let choice = match strategy {
         Strategy::Baseline => Choice::fixed("server-side"),
         Strategy::Pushdown => Choice::fixed("s3-side"),
-        Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).filter(&q)),
+        Strategy::Adaptive => Choice::adaptive(ctx, Estimator::new(ctx, table).filter(&q)?),
     };
     Ok((q, choice))
 }
@@ -543,7 +543,7 @@ fn sorted_plan_and_run(
     let mut aliases: Vec<(String, usize)> = Vec::new();
     let (leaf, choice, kind, sort_schema) = if !spec.group_by.is_empty() {
         let q = groupby_query(table, spec)?;
-        let choice = groupby_choice(ctx, table, &q, strategy);
+        let choice = groupby_choice(ctx, table, &q, strategy)?;
         let schema = q.output_schema()?;
         let mut agg_idx = 0;
         for item in &spec.select.items {

@@ -31,6 +31,7 @@
 
 use crate::catalog::Table;
 use crate::context::QueryContext;
+use pushdown_common::columnar::ColumnarBatch;
 use pushdown_common::perf::PhaseStats;
 use pushdown_common::row::{BatchBuilder, RowBatch};
 use pushdown_common::{Error, Result, Row, Schema, Value};
@@ -229,7 +230,7 @@ fn partition_keys(ctx: &QueryContext, table: &Table) -> Result<Vec<String>> {
 
 /// Decode one partition's bytes incrementally, pushing full batches out
 /// through `sink`. Returns the number of rows decoded.
-fn decode_partition_batches(
+pub(crate) fn decode_partition_batches(
     data: bytes::Bytes,
     schema: &Schema,
     format: InputFormat,
@@ -271,6 +272,51 @@ fn decode_partition_batches(
     Ok(count)
 }
 
+/// Columnar twin of [`decode_partition_batches`]: push
+/// [`ColumnarBatch`]es of at most `batch_rows` rows. ColumnarLite
+/// partitions decode group-at-a-time straight into typed column vectors
+/// (no row materialization); CSV falls back to row decode and pivots each
+/// batch into columns. Returns the number of rows decoded.
+fn decode_partition_columnar(
+    data: bytes::Bytes,
+    schema: &Schema,
+    format: InputFormat,
+    batch_rows: usize,
+    mut sink: impl FnMut(ColumnarBatch) -> Result<()>,
+) -> Result<u64> {
+    let mut count = 0u64;
+    match format {
+        InputFormat::Csv | InputFormat::CsvNoHeader => {
+            let mut builder = BatchBuilder::new(schema.clone(), batch_rows);
+            let reader = if format == InputFormat::Csv {
+                CsvReader::with_header(&data, schema.clone())
+            } else {
+                CsvReader::without_header(&data, schema.clone())
+            };
+            for record in reader {
+                count += 1;
+                if let Some(full) = builder.push(record?.row) {
+                    sink(ColumnarBatch::from_row_batch(&full))?;
+                }
+            }
+            if let Some(tail) = builder.finish() {
+                sink(ColumnarBatch::from_row_batch(&tail))?;
+            }
+        }
+        InputFormat::Columnar => {
+            let reader = ColumnarReader::open(data)?;
+            for g in 0..reader.num_row_groups() {
+                let group = reader.read_group_batch(g)?;
+                count += group.len() as u64;
+                for batch in group.chunks(batch_rows) {
+                    sink(batch)?;
+                }
+            }
+        }
+    }
+    Ok(count)
+}
+
 /// Baseline path, streaming: GET each partition, decode it batch-at-a-
 /// time, and hand batches to `on_batch` in partition order. Peak
 /// resident rows are bounded by the worker pool, not the table.
@@ -304,6 +350,10 @@ pub fn plain_scan_streamed(
                 // metrics agree with the ledger even under injected faults.
                 requests: u64::from(fetched.attempts),
                 plain_bytes: data.len() as u64,
+                // ColumnarLite bytes ingest at their own parse rate. Keyed
+                // on the table format (not the execution path), so row and
+                // columnar execution report identical stats.
+                cl_parse_bytes: cl_bytes(table, data.len()),
                 ..Default::default()
             };
             let rows = decode_partition_batches(
@@ -322,6 +372,17 @@ pub fn plain_scan_streamed(
         schema: table.schema.clone(),
         stats,
     })
+}
+
+/// The portion of a fetched partition that parses at
+/// [`pushdown_common::perf::PerfParams::parse_cl_bw`]: all of it for
+/// ColumnarLite tables, none for CSV.
+fn cl_bytes(table: &Table, len: usize) -> u64 {
+    if table.format == InputFormat::Columnar {
+        len as u64
+    } else {
+        0
+    }
 }
 
 /// Cache-aware baseline scan: read every partition **through** the
@@ -347,7 +408,10 @@ pub fn cached_scan_streamed(
             let fetched = ctx
                 .store
                 .get_object_cached_with(&table.bucket, key, &ctx.retry)?;
-            let mut part = PhaseStats::default();
+            let mut part = PhaseStats {
+                cl_parse_bytes: cl_bytes(table, fetched.data.len()),
+                ..Default::default()
+            };
             if fetched.hit {
                 part.cache_bytes = fetched.data.len() as u64;
                 hit_parts.fetch_add(1, Ordering::Relaxed);
@@ -357,6 +421,106 @@ pub fn cached_scan_streamed(
                 fill_parts.fetch_add(1, Ordering::Relaxed);
             }
             let rows = decode_partition_batches(
+                fetched.data,
+                &table.schema,
+                table.format,
+                ctx.batch_rows,
+                |batch| emitter.emit(batch),
+            )?;
+            part.server_cpu_units += rows;
+            Ok(part)
+        },
+        &mut on_batch,
+    )?;
+    Ok(CachedScanSummary {
+        schema: table.schema.clone(),
+        stats,
+        hit_parts: hit_parts.into_inner(),
+        fill_parts: fill_parts.into_inner(),
+    })
+}
+
+/// Vectorized twin of [`plain_scan_streamed`]: partitions decode into
+/// [`ColumnarBatch`]es (typed column vectors, dictionary strings kept
+/// coded) instead of row batches. Billing, retries, redirect-to-cache
+/// behaviour and CPU accounting are identical to the row path — only the
+/// in-memory representation handed to `on_batch` differs, so downstream
+/// kernels can filter/aggregate column-at-a-time and materialize rows
+/// late.
+pub fn plain_scan_columnar_streamed(
+    ctx: &QueryContext,
+    table: &Table,
+    mut on_batch: impl FnMut(ColumnarBatch) -> Result<()>,
+) -> Result<ScanSummary> {
+    if ctx.cache_reads && ctx.store.cache().is_some() {
+        let cached = cached_scan_columnar_streamed(ctx, table, on_batch)?;
+        return Ok(ScanSummary {
+            schema: cached.schema,
+            stats: cached.stats,
+        });
+    }
+    let keys = partition_keys(ctx, table)?;
+    let stats = stream_partitions(
+        ctx,
+        &keys,
+        |key, emitter| {
+            let fetched = ctx.store.get_object_with(&table.bucket, key, &ctx.retry)?;
+            let data = fetched.value;
+            let mut part = PhaseStats {
+                requests: u64::from(fetched.attempts),
+                plain_bytes: data.len() as u64,
+                cl_parse_bytes: cl_bytes(table, data.len()),
+                ..Default::default()
+            };
+            let rows = decode_partition_columnar(
+                data,
+                &table.schema,
+                table.format,
+                ctx.batch_rows,
+                |batch| emitter.emit(batch),
+            )?;
+            part.server_cpu_units += rows;
+            Ok(part)
+        },
+        &mut on_batch,
+    )?;
+    Ok(ScanSummary {
+        schema: table.schema.clone(),
+        stats,
+    })
+}
+
+/// Vectorized twin of [`cached_scan_streamed`]: read every partition
+/// through the segment cache, decoding into [`ColumnarBatch`]es. Hit and
+/// fill accounting match the row path exactly.
+pub fn cached_scan_columnar_streamed(
+    ctx: &QueryContext,
+    table: &Table,
+    mut on_batch: impl FnMut(ColumnarBatch) -> Result<()>,
+) -> Result<CachedScanSummary> {
+    let keys = partition_keys(ctx, table)?;
+    let hit_parts = std::sync::atomic::AtomicU64::new(0);
+    let fill_parts = std::sync::atomic::AtomicU64::new(0);
+    let stats = stream_partitions(
+        ctx,
+        &keys,
+        |key, emitter| {
+            let fetched = ctx
+                .store
+                .get_object_cached_with(&table.bucket, key, &ctx.retry)?;
+            let mut part = PhaseStats {
+                cl_parse_bytes: cl_bytes(table, fetched.data.len()),
+                ..Default::default()
+            };
+            if fetched.hit {
+                part.cache_bytes = fetched.data.len() as u64;
+                hit_parts.fetch_add(1, Ordering::Relaxed);
+            } else {
+                part.requests = u64::from(fetched.attempts);
+                part.plain_bytes = fetched.data.len() as u64;
+                fill_parts.fetch_add(1, Ordering::Relaxed);
+            }
+            let rows = decode_partition_columnar(
                 fetched.data,
                 &table.schema,
                 table.format,
@@ -880,6 +1044,133 @@ mod tests {
         })
         .unwrap();
         assert_eq!(seen, rows(600));
+    }
+
+    fn columnar_table(store: &S3Store, n: usize, per_part: usize) -> Table {
+        upload_columnar_table(
+            store,
+            "b",
+            "t",
+            &schema(),
+            &rows(n),
+            per_part,
+            WriterOptions {
+                rows_per_group: 47,
+                compress: true,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn columnar_scan_matches_row_scan_rows_and_stats() {
+        let store = S3Store::new();
+        let t = columnar_table(&store, 600, 150);
+        let mut ctx = QueryContext::new(store);
+        ctx.batch_rows = 33;
+        let mut row_rows = Vec::new();
+        let row_summary = plain_scan_streamed(&ctx, &t, |b| {
+            row_rows.extend(b.rows);
+            Ok(())
+        })
+        .unwrap();
+        let mut col_rows = Vec::new();
+        let col_summary = plain_scan_columnar_streamed(&ctx, &t, |b| {
+            assert!(b.len() <= 33);
+            col_rows.extend(b.to_rows());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(col_rows, row_rows);
+        // Billing and parse accounting are representation-invariant: the
+        // ColumnarLite bytes parsed are keyed on the table format, so the
+        // row path reports them too.
+        assert_eq!(col_summary.stats, row_summary.stats);
+        assert!(col_summary.stats.cl_parse_bytes > 0);
+        assert_eq!(
+            col_summary.stats.cl_parse_bytes,
+            col_summary.stats.plain_bytes
+        );
+    }
+
+    #[test]
+    fn columnar_scan_over_csv_falls_back_to_row_decode() {
+        let (mut ctx, t) = ctx_with_table(400, 90);
+        ctx.batch_rows = 64;
+        let want = plain_scan(&ctx, &t).unwrap();
+        let mut got = Vec::new();
+        let summary = plain_scan_columnar_streamed(&ctx, &t, |b| {
+            assert!(b.len() <= 64);
+            got.extend(b.to_rows());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got, want.rows);
+        assert_eq!(summary.stats, want.stats);
+        // CSV bytes are not ColumnarLite-encoded.
+        assert_eq!(summary.stats.cl_parse_bytes, 0);
+    }
+
+    #[test]
+    fn columnar_scan_invariant_across_batch_sizes_and_threads() {
+        let store = S3Store::new();
+        let t = columnar_table(&store, 700, 160);
+        let ctx = QueryContext::new(store);
+        let mut want_rows = Vec::new();
+        let want = plain_scan_columnar_streamed(&ctx, &t, |b| {
+            want_rows.extend(b.to_rows());
+            Ok(())
+        })
+        .unwrap();
+        for (batch_rows, threads) in [(1, 1), (7, 2), (256, 8), (100_000, 3)] {
+            let mut ctx2 = ctx.clone();
+            ctx2.batch_rows = batch_rows;
+            ctx2.scan_threads = threads;
+            let mut got_rows = Vec::new();
+            let got = plain_scan_columnar_streamed(&ctx2, &t, |b| {
+                got_rows.extend(b.to_rows());
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(got_rows, want_rows, "batch {batch_rows} threads {threads}");
+            assert_eq!(got.stats, want.stats);
+        }
+    }
+
+    #[test]
+    fn cached_columnar_scan_accounting_matches_row_path() {
+        let store = S3Store::new();
+        store.set_cache(Some(pushdown_cache::SegmentCache::new(
+            1 << 30,
+            pushdown_common::Pricing::us_east(),
+        )));
+        let t = columnar_table(&store, 500, 120);
+        let ctx = QueryContext::new(store).with_cache_reads(true);
+
+        // Cold pass fills the cache through the row path.
+        let mut cold_rows = Vec::new();
+        let cold = cached_scan_streamed(&ctx, &t, |b| {
+            cold_rows.extend(b.rows);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(cold.fill_parts, cold.hit_parts + cold.fill_parts);
+
+        // Warm columnar pass: every partition hits, nothing billed.
+        let mut warm_rows = Vec::new();
+        let warm = cached_scan_columnar_streamed(&ctx, &t, |b| {
+            warm_rows.extend(b.to_rows());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(warm_rows, cold_rows);
+        assert_eq!(warm.hit_parts, cold.fill_parts);
+        assert_eq!(warm.fill_parts, 0);
+        assert_eq!(warm.stats.requests, 0);
+        assert_eq!(warm.stats.plain_bytes, 0);
+        assert_eq!(warm.stats.cache_bytes, cold.stats.plain_bytes);
+        assert_eq!(warm.stats.cl_parse_bytes, cold.stats.cl_parse_bytes);
+        assert_eq!(warm.stats.server_cpu_units, cold.stats.server_cpu_units);
     }
 
     #[test]
