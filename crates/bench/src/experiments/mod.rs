@@ -17,3 +17,4 @@ pub mod fig11_parquet;
 pub mod fig12_adaptive;
 pub mod fig13_concurrency;
 pub mod fig_cache;
+pub mod fig_cluster;

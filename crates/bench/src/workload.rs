@@ -25,7 +25,7 @@ use pushdown_common::mix::{fnv1a, splitmix64};
 use pushdown_common::pricing::Usage;
 use pushdown_common::Result;
 use pushdown_core::planner::{execute_sql, Strategy};
-use pushdown_core::{QueryContext, QueryOutput};
+use pushdown_core::{NodeSnapshot, QueryContext, QueryOutput};
 use pushdown_tpch::{planner_suite, PlannerQuery, TpchTables};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -139,6 +139,25 @@ pub struct QueryReport {
     pub error: Option<String>,
 }
 
+/// Per-node accounting of one driven workload, when the shared context
+/// carries a scatter-gather cluster (`QueryContext::with_nodes`). All
+/// numbers are run deltas (snapshots before minus after), so reports
+/// stay independent even though node ledgers accumulate across runs.
+#[derive(Debug, Clone)]
+pub struct NodeUtilization {
+    pub node: usize,
+    /// Virtual seconds this node's clock advanced during the run
+    /// (deterministic: retry backoff + modeled transfer time).
+    pub busy_s: f64,
+    /// `busy_s` relative to the busiest node (1.0 = the critical path;
+    /// the spread across nodes is the cluster's load balance).
+    pub utilization: f64,
+    /// Interconnect bytes this node shipped to the coordinator.
+    pub exchange_bytes: u64,
+    /// Exactly what this node's ledger billed during the run.
+    pub billed: Usage,
+}
+
 /// Aggregate outcome of one driven workload.
 #[derive(Debug, Clone)]
 pub struct WorkloadReport {
@@ -155,6 +174,10 @@ pub struct WorkloadReport {
     pub sum_billed: Usage,
     pub succeeded: usize,
     pub failed: usize,
+    /// Per-node run deltas under a cluster context; empty without one.
+    /// Conservation: Σ `node_stats[*].billed` == `sum_billed` (every
+    /// request bills jointly to its query scope and its node).
+    pub node_stats: Vec<NodeUtilization>,
 }
 
 impl WorkloadReport {
@@ -257,6 +280,7 @@ pub fn run_stream(
 ) -> Result<WorkloadReport> {
     let next = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<QueryReport>>> = Mutex::new(vec![None; stream.len()]);
+    let nodes_before = ctx.cluster.as_ref().map(|c| c.snapshots());
     let started = std::time::Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..spec.concurrency.max(1) {
@@ -293,7 +317,45 @@ pub fn run_stream(
         total_dollars,
         sum_billed,
         per_query,
+        node_stats: node_deltas(ctx, nodes_before),
     })
+}
+
+/// Per-node run deltas between two cluster snapshots (empty without a
+/// cluster): what each node billed, shipped and spent during the run.
+fn node_deltas(ctx: &QueryContext, before: Option<Vec<NodeSnapshot>>) -> Vec<NodeUtilization> {
+    let (Some(cluster), Some(before)) = (ctx.cluster.as_ref(), before) else {
+        return Vec::new();
+    };
+    let after = cluster.snapshots();
+    let busy: Vec<f64> = after
+        .iter()
+        .zip(&before)
+        .map(|(a, b)| (a.seconds - b.seconds).max(0.0))
+        .collect();
+    let max_busy = busy.iter().cloned().fold(0.0f64, f64::max);
+    after
+        .iter()
+        .zip(&before)
+        .zip(busy)
+        .map(|((a, b), busy_s)| NodeUtilization {
+            node: a.node,
+            busy_s,
+            utilization: if max_busy > 0.0 {
+                busy_s / max_busy
+            } else {
+                0.0
+            },
+            exchange_bytes: a.exchange_bytes - b.exchange_bytes,
+            billed: Usage {
+                requests: a.usage.requests - b.usage.requests,
+                select_scanned_bytes: a.usage.select_scanned_bytes - b.usage.select_scanned_bytes,
+                select_returned_bytes: a.usage.select_returned_bytes
+                    - b.usage.select_returned_bytes,
+                plain_bytes: a.usage.plain_bytes - b.usage.plain_bytes,
+            },
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -329,6 +391,7 @@ mod tests {
             sum_billed: Usage::default(),
             succeeded: 10,
             failed: 0,
+            node_stats: vec![],
         };
         assert_eq!(report.latency_percentile(50.0), 5.0);
         assert_eq!(report.latency_percentile(95.0), 10.0);
@@ -417,5 +480,38 @@ mod tests {
         assert!(serial.total_dollars > 0.0);
         assert!(serial.latency_percentile(50.0) > 0.0);
         assert!(serial.latency_percentile(95.0) >= serial.latency_percentile(50.0));
+        assert!(serial.node_stats.is_empty(), "no cluster, no node rows");
+    }
+
+    #[test]
+    fn cluster_workloads_report_per_node_utilization_and_exchange() {
+        let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+        let ctx = ctx.with_nodes(2);
+        let spec = WorkloadSpec {
+            seed: 11,
+            queries: 8,
+            concurrency: 2,
+            strategy: Strategy::Pushdown,
+        };
+        let report = run_workload(&ctx, &t, &spec).unwrap();
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.node_stats.len(), 2);
+        // Conservation: the node deltas decompose the workload's bill.
+        let mut nodes = Usage::default();
+        for n in &report.node_stats {
+            nodes += n.billed;
+        }
+        assert_eq!(nodes, report.sum_billed, "Σ node deltas == Σ query bills");
+        // The joined queries in the stream scattered: both nodes billed,
+        // the interconnect carried rows, and the busiest node defines
+        // utilization 1.0.
+        assert!(report.node_stats.iter().all(|n| n.billed.requests > 0));
+        assert!(report.node_stats.iter().any(|n| n.exchange_bytes > 0));
+        let max_util = report
+            .node_stats
+            .iter()
+            .map(|n| n.utilization)
+            .fold(0.0f64, f64::max);
+        assert!((max_util - 1.0).abs() < 1e-12 || max_util == 0.0);
     }
 }

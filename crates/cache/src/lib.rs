@@ -195,12 +195,12 @@ impl SegmentCache {
         &self.inner.shards[h % SHARDS]
     }
 
-    /// Look up the whole-object segment, counting a hit or a miss. Hits
-    /// bump the LFU counter.
-    pub fn get(&self, bucket: &str, key: &str) -> Option<Bytes> {
-        let skey = SegmentKey::whole(bucket, key);
-        let mut shard = self.shard_of(bucket, key).lock();
-        match shard.segments.get_mut(&skey) {
+    /// Look up one segment — any byte range, whole-object callers pass
+    /// [`SegmentKey::whole`] — counting a hit or a miss. Hits bump the
+    /// LFU counter.
+    pub fn get(&self, skey: &SegmentKey) -> Option<Bytes> {
+        let mut shard = self.shard_of(&skey.bucket, &skey.key).lock();
+        match shard.segments.get_mut(skey) {
             Some(e) => {
                 e.hits += 1;
                 let c = &self.inner.counters;
@@ -217,47 +217,46 @@ impl SegmentCache {
     }
 
     /// Non-mutating occupancy probe for the cost estimator: the cached
-    /// size of the whole-object segment, if present. Does not count as
-    /// an access and does not perturb eviction order.
-    pub fn peek(&self, bucket: &str, key: &str) -> Option<u64> {
-        let skey = SegmentKey::whole(bucket, key);
-        self.shard_of(bucket, key)
+    /// size of one segment, if present. Does not count as an access and
+    /// does not perturb eviction order.
+    pub fn peek(&self, skey: &SegmentKey) -> Option<u64> {
+        self.shard_of(&skey.bucket, &skey.key)
             .lock()
             .segments
-            .get(&skey)
+            .get(skey)
             .map(|e| e.data.len() as u64)
     }
 
-    /// The object's current epoch — call *before* issuing the fill GET
+    /// The segment's object epoch — call *before* issuing the fill GET
     /// and pass the value to [`SegmentCache::insert`], which discards
-    /// the fill if a writer invalidated the object in between.
-    pub fn begin_fill(&self, bucket: &str, key: &str) -> u64 {
-        let h = object_hash(bucket, key);
+    /// the fill if a writer invalidated the object in between. Epochs
+    /// are per *object*: every range of `bucket/key` shares one.
+    pub fn begin_fill(&self, skey: &SegmentKey) -> u64 {
+        let h = object_hash(&skey.bucket, &skey.key);
         *self
-            .shard_of(bucket, key)
+            .shard_of(&skey.bucket, &skey.key)
             .lock()
             .epochs
             .get(&h)
             .unwrap_or(&0)
     }
 
-    /// Admit a whole-object fill observed at `epoch`. Returns whether the
-    /// segment was stored (false: stale epoch, or larger than the whole
-    /// budget). Evicts minimum-weight segments until the fill fits.
-    pub fn insert(&self, bucket: &str, key: &str, data: Bytes, epoch: u64) -> bool {
+    /// Admit a fill of one segment observed at `epoch`. Returns whether
+    /// the segment was stored (false: stale epoch, or larger than the
+    /// whole budget). Evicts minimum-weight segments until the fill fits.
+    pub fn insert(&self, skey: SegmentKey, data: Bytes, epoch: u64) -> bool {
         let len = data.len() as u64;
         let c = &self.inner.counters;
         if len > self.inner.budget {
             return false;
         }
         {
-            let h = object_hash(bucket, key);
-            let mut shard = self.shard_of(bucket, key).lock();
+            let h = object_hash(&skey.bucket, &skey.key);
+            let mut shard = self.shard_of(&skey.bucket, &skey.key).lock();
             if *shard.epochs.get(&h).unwrap_or(&0) != epoch {
                 c.stale_fills.fetch_add(1, Ordering::Relaxed);
                 return false;
             }
-            let skey = SegmentKey::whole(bucket, key);
             let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
             let old = shard.segments.insert(skey, Entry { data, hits: 1, seq });
             let old_len = old.map(|e| e.data.len() as u64).unwrap_or(0);
@@ -398,17 +397,22 @@ mod tests {
         SegmentCache::new(budget, Pricing::us_east())
     }
 
+    fn whole(key: &str) -> SegmentKey {
+        SegmentKey::whole("b", key)
+    }
+
     fn fill(c: &SegmentCache, key: &str, len: usize) -> bool {
-        let epoch = c.begin_fill("b", key);
-        c.insert("b", key, Bytes::from(vec![0u8; len]), epoch)
+        let skey = whole(key);
+        let epoch = c.begin_fill(&skey);
+        c.insert(skey, Bytes::from(vec![0u8; len]), epoch)
     }
 
     #[test]
     fn fill_then_hit_round_trip() {
         let c = cache(1000);
-        assert!(c.get("b", "k").is_none(), "cold cache misses");
+        assert!(c.get(&whole("k")).is_none(), "cold cache misses");
         assert!(fill(&c, "k", 100));
-        let got = c.get("b", "k").expect("hit after fill");
+        let got = c.get(&whole("k")).expect("hit after fill");
         assert_eq!(got.len(), 100);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.fills), (1, 1, 1));
@@ -421,9 +425,9 @@ mod tests {
     #[test]
     fn peek_does_not_count_or_touch() {
         let c = cache(1000);
-        assert!(c.peek("b", "k").is_none());
+        assert!(c.peek(&whole("k")).is_none());
         fill(&c, "k", 64);
-        assert_eq!(c.peek("b", "k"), Some(64));
+        assert_eq!(c.peek(&whole("k")), Some(64));
         let s = c.stats();
         assert_eq!(s.hits, 0, "peek never counts as an access");
         assert_eq!(s.misses, 0, "peek never counts as a miss");
@@ -446,14 +450,14 @@ mod tests {
         fill(&c, "cold", 100);
         // Make `hot` measurably more valuable per byte.
         for _ in 0..5 {
-            c.get("b", "hot").unwrap();
+            c.get(&whole("hot")).unwrap();
         }
         // A third fill forces one eviction; `cold` has the lowest
         // hits × $/byte weight.
         fill(&c, "new", 100);
-        assert!(c.peek("b", "hot").is_some(), "hot survives");
-        assert!(c.peek("b", "cold").is_none(), "cold evicted");
-        assert!(c.peek("b", "new").is_some());
+        assert!(c.peek(&whole("hot")).is_some(), "hot survives");
+        assert!(c.peek(&whole("cold")).is_none(), "cold evicted");
+        assert!(c.peek(&whole("new")).is_some());
         assert_eq!(c.stats().evictions, 1);
         assert!(c.used_bytes() <= 250);
     }
@@ -464,9 +468,9 @@ mod tests {
         fill(&c, "a", 100); // same size, same hits=1 ⇒ same weight
         fill(&c, "b2", 100);
         fill(&c, "c", 100);
-        assert!(c.peek("b", "a").is_none(), "oldest evicted on a tie");
-        assert!(c.peek("b", "b2").is_some());
-        assert!(c.peek("b", "c").is_some());
+        assert!(c.peek(&whole("a")).is_none(), "oldest evicted on a tie");
+        assert!(c.peek(&whole("b2")).is_some());
+        assert!(c.peek(&whole("c")).is_some());
     }
 
     #[test]
@@ -477,32 +481,32 @@ mod tests {
         fill(&c, "small", 100);
         fill(&c, "big", 1000);
         fill(&c, "tiny", 50); // overflow by 50 ⇒ one eviction
-        assert!(c.peek("b", "big").is_none(), "big segment evicted");
-        assert!(c.peek("b", "small").is_some());
-        assert!(c.peek("b", "tiny").is_some());
+        assert!(c.peek(&whole("big")).is_none(), "big segment evicted");
+        assert!(c.peek(&whole("small")).is_some());
+        assert!(c.peek(&whole("tiny")).is_some());
     }
 
     #[test]
     fn invalidation_removes_and_outdates_in_flight_fills() {
         let c = cache(1000);
         fill(&c, "k", 100);
-        assert!(c.peek("b", "k").is_some());
+        assert!(c.peek(&whole("k")).is_some());
         // A fill begun before the invalidation must be discarded.
-        let epoch = c.begin_fill("b", "k");
+        let epoch = c.begin_fill(&whole("k"));
         c.invalidate("b", "k");
-        assert!(c.peek("b", "k").is_none(), "segments dropped");
+        assert!(c.peek(&whole("k")).is_none(), "segments dropped");
         assert!(
-            !c.insert("b", "k", Bytes::from_static(b"stale"), epoch),
+            !c.insert(whole("k"), Bytes::from_static(b"stale"), epoch),
             "stale fill rejected"
         );
-        assert!(c.peek("b", "k").is_none());
+        assert!(c.peek(&whole("k")).is_none());
         let s = c.stats();
         assert_eq!(s.invalidations, 1);
         assert_eq!(s.stale_fills, 1);
         assert_eq!(s.used_bytes, 0);
         // A fresh fill under the new epoch is admitted.
         assert!(fill(&c, "k", 10));
-        assert_eq!(c.peek("b", "k"), Some(10));
+        assert_eq!(c.peek(&whole("k")), Some(10));
     }
 
     #[test]
@@ -524,9 +528,10 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..50 {
                         let key = format!("k-{t}-{i}");
-                        let e = c.begin_fill("b", &key);
-                        c.insert("b", &key, Bytes::from(vec![0u8; 16]), e);
-                        assert!(c.get("b", &key).is_some());
+                        let sk = SegmentKey::whole("b", &key);
+                        let e = c.begin_fill(&sk);
+                        c.insert(sk, Bytes::from(vec![0u8; 16]), e);
+                        assert!(c.get(&SegmentKey::whole("b", &key)).is_some());
                     }
                 });
             }

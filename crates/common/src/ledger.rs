@@ -58,6 +58,30 @@ impl CostLedger {
         }
     }
 
+    /// A child of **both** `self` and `peer`: every addition rolls up
+    /// into each parent and each of their ancestors, with counters shared
+    /// by the two chains (a common global root, say) counted exactly
+    /// once. This is the cluster's dual-decomposition primitive: a
+    /// per-(query, node) leaf scope bills the query ledger *and* the node
+    /// ledger, so Σ query ledgers and Σ node ledgers both equal the
+    /// global ledger without double counting.
+    pub fn joint_child(&self, peer: &CostLedger) -> CostLedger {
+        let mut uplinks: Vec<Arc<Counters>> = Vec::new();
+        let mut push = |c: &Arc<Counters>| {
+            if !uplinks.iter().any(|u| Arc::ptr_eq(u, c)) {
+                uplinks.push(Arc::clone(c));
+            }
+        };
+        push(&self.inner);
+        self.uplinks.iter().for_each(&mut push);
+        push(&peer.inner);
+        peer.uplinks.iter().for_each(&mut push);
+        CostLedger {
+            inner: Arc::new(Counters::default()),
+            uplinks,
+        }
+    }
+
     /// Whether this ledger rolls up into a parent (i.e. was created by
     /// [`CostLedger::child`]).
     pub fn is_scoped(&self) -> bool {
@@ -186,6 +210,33 @@ mod tests {
         // Children never see each other or the parent's direct writes.
         assert_eq!(a.snapshot().plain_bytes, 0);
         assert_eq!(b.snapshot().select_scanned_bytes, 0);
+    }
+
+    #[test]
+    fn joint_children_bill_both_parents_once() {
+        let global = CostLedger::new();
+        let node = global.child();
+        let query = global.child();
+        let leaf = query.joint_child(&node);
+        leaf.add_requests(3);
+        leaf.add_plain_bytes(10);
+        // Both parents see the traffic...
+        assert_eq!(node.snapshot().requests, 3);
+        assert_eq!(query.snapshot().requests, 3);
+        // ...and their shared ancestor counts it exactly once.
+        assert_eq!(global.snapshot().requests, 3);
+        assert_eq!(global.snapshot().plain_bytes, 10);
+        // Dual decomposition: with every leaf joint, Σ node = Σ query =
+        // global.
+        let node2 = global.child();
+        let query2 = global.child();
+        let leaf2 = query2.joint_child(&node2);
+        leaf2.add_requests(5);
+        let nodes = node.snapshot().requests + node2.snapshot().requests;
+        let queries = query.snapshot().requests + query2.snapshot().requests;
+        assert_eq!(nodes, 8);
+        assert_eq!(queries, 8);
+        assert_eq!(global.snapshot().requests, 8);
     }
 
     #[test]

@@ -68,6 +68,13 @@ pub struct PerfParams {
     /// requests; they pay this local scan rate instead (and the usual
     /// parse cost — the bytes still deserialize on the compute node).
     pub cache_read_bw: f64,
+    /// Node-to-node bandwidth inside the scatter-gather cluster, bytes/s
+    /// (each node's share of the exchange fabric). Exchanged bytes never
+    /// touch S3 — they are not billable [`crate::pricing::Usage`] — but
+    /// they take wall-clock time, which the compute price turns into
+    /// dollars; that is how the optimizer weighs scatter against
+    /// single-node plans.
+    pub exchange_bw: f64,
     /// Round-trip latency of one HTTP request, seconds.
     pub request_latency: f64,
     /// Maximum concurrently in-flight requests the compute node sustains.
@@ -90,6 +97,7 @@ impl Default for PerfParams {
             parse_cl_bw: 590e6,
             s3_scan_bw: 2.4e9,
             cache_read_bw: 2.0e9,
+            exchange_bw: 1.25e9,
             expr_term_coeff: 0.05,
             request_latency: 0.010,
             max_inflight: 32,
@@ -122,6 +130,12 @@ pub struct PhaseStats {
     /// reach [`crate::pricing::Usage`]). They still parse on the compute
     /// node and read at [`PerfParams::cache_read_bw`].
     pub cache_bytes: u64,
+    /// Bytes this phase ships between cluster nodes (scatter results
+    /// travelling to the gathering coordinator, repartitioned rows
+    /// crossing the exchange fabric). Intra-cluster traffic: zero
+    /// requests, zero S3 bytes, nothing billable — it costs time at
+    /// [`PerfParams::exchange_bw`], and time costs compute dollars.
+    pub exchange_bytes: u64,
     /// Server-side operator work units (see [`PerfParams::cpu_per_unit`]).
     pub server_cpu_units: u64,
     /// Number of terms in the pushed-down expression (0 if no pushdown).
@@ -145,6 +159,7 @@ impl PhaseStats {
         self.select_returned_bytes += other.select_returned_bytes;
         self.plain_bytes += other.plain_bytes;
         self.cache_bytes += other.cache_bytes;
+        self.exchange_bytes += other.exchange_bytes;
         self.server_cpu_units += other.server_cpu_units;
         self.expr_terms = self.expr_terms.max(other.expr_terms);
         self.cl_parse_bytes += other.cl_parse_bytes;
@@ -164,6 +179,7 @@ impl PhaseStats {
             select_returned_bytes: s(self.select_returned_bytes),
             plain_bytes: s(self.plain_bytes),
             cache_bytes: s(self.cache_bytes),
+            exchange_bytes: s(self.exchange_bytes),
             server_cpu_units: s(self.server_cpu_units),
             expr_terms: self.expr_terms,
             cl_parse_bytes: s(self.cl_parse_bytes),
@@ -201,6 +217,7 @@ impl PerfModel {
         let scan = s.s3_scanned_bytes as f64 / self.effective_scan_bw(s.expr_terms);
         let wire = (s.select_returned_bytes + s.plain_bytes) as f64 / p.net_bw;
         let local = s.cache_bytes as f64 / p.cache_read_bw;
+        let xchg = s.exchange_bytes as f64 / p.exchange_bw;
         // ColumnarLite bytes (a subset of plain + cache bytes) ingest at
         // their own, faster rate; everything else parses as CSV text.
         let cl = s.cl_parse_bytes.min(s.plain_bytes + s.cache_bytes);
@@ -208,7 +225,7 @@ impl PerfModel {
             + cl as f64 / p.parse_cl_bw
             + s.select_returned_bytes as f64 / p.parse_select_bw
             + s.server_cpu_units as f64 * p.cpu_per_unit;
-        p.phase_startup + latency + scan.max(wire).max(server).max(local)
+        p.phase_startup + latency + scan.max(wire).max(server).max(local).max(xchg)
     }
 
     /// Compose phases that run one after another.
@@ -409,6 +426,7 @@ mod tests {
             select_returned_bytes: 50,
             plain_bytes: 20,
             cache_bytes: 30,
+            exchange_bytes: 40,
             server_cpu_units: 5,
             expr_terms: 7,
             cl_parse_bytes: 12,
@@ -418,6 +436,7 @@ mod tests {
         assert_eq!(t.point_requests, 400, "point requests are per-row");
         assert_eq!(t.s3_scanned_bytes, 10_000);
         assert_eq!(t.cache_bytes, 3_000, "cache bytes scale with data");
+        assert_eq!(t.exchange_bytes, 4_000, "exchange bytes scale with data");
         assert_eq!(t.expr_terms, 7, "expr terms are intensive");
         assert_eq!(t.cl_parse_bytes, 1_200, "columnar bytes scale with data");
     }
@@ -469,6 +488,20 @@ mod tests {
         // Parse-bound: the dominant term is bytes / parse_plain_bw.
         let parse = GB as f64 / m.params.parse_plain_bw;
         assert!((t_cached - (m.params.phase_startup + parse)).abs() < 1e-9);
+    }
+
+    /// Exchange traffic is pipelined with the other byte streams and
+    /// paced by its own (inter-node) bandwidth; it never bills usage.
+    #[test]
+    fn exchange_bytes_cost_time_not_dollars_of_bytes() {
+        let m = model();
+        let quiet = m.phase_seconds(&PhaseStats::default());
+        let shipped = m.phase_seconds(&PhaseStats {
+            exchange_bytes: 10 * GB,
+            ..Default::default()
+        });
+        let expected = 10.0 * GB as f64 / m.params.exchange_bw;
+        assert!((shipped - quiet - expected).abs() < 1e-9);
     }
 
     #[test]

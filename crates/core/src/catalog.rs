@@ -21,6 +21,7 @@
 //! *is* metered like any other query traffic.
 
 use crate::context::QueryContext;
+use pushdown_cache::SegmentKey;
 use pushdown_common::{Result, Row, Schema, Value};
 use pushdown_format::columnar::{encode_columnar, WriterOptions};
 use pushdown_format::csv::CsvWriter;
@@ -270,7 +271,11 @@ fn probe_sample_from_cache(
         return Ok(None);
     };
     let keys = table.partitions(&ctx.store);
-    if keys.is_empty() || !keys.iter().all(|k| cache.peek(&table.bucket, k).is_some()) {
+    if keys.is_empty()
+        || !keys
+            .iter()
+            .all(|k| cache.peek(&SegmentKey::whole(&table.bucket, k)).is_some())
+    {
         return Ok(None);
     }
     let parts = keys.len();

@@ -1,0 +1,266 @@
+//! Scatter-gather cluster topology.
+//!
+//! A [`Cluster`] models an N-node execution tier in front of the one
+//! shared object store: a consistent-hash ring assigns every table
+//! partition `(bucket, key)` to an owning node, and each node carries its
+//! own [`SegmentCache`], its own child [`CostLedger`](pushdown_common::CostLedger)
+//! hung off the store's global ledger, and its own [`VirtualClock`].
+//! Queries scatter scan
+//! leaves to the owning nodes (see `plan::scatter`) and gather the
+//! per-partition results back in global partition order, so rows are
+//! bit-identical to serial execution at any node count.
+//!
+//! Conservation extends cluster-wide: every byte a scattered query bills
+//! lands jointly on the query's own scoped ledger *and* on exactly one
+//! node ledger, so
+//!
+//! ```text
+//! global ledger  ==  Σ node ledgers  ==  Σ per-query ledgers
+//! ```
+//!
+//! holds exactly (node ledgers are plain children of the global ledger;
+//! query scopes join them via `CostLedger::joint_child`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pushdown_cache::SegmentCache;
+use pushdown_common::mix::{fnv1a, splitmix64};
+use pushdown_common::pricing::{Pricing, Usage};
+use pushdown_s3::{S3Store, VirtualClock};
+
+/// Virtual points per node on the consistent-hash ring. More points give
+/// a smoother partition split at the cost of a longer (still tiny) sorted
+/// ring to binary-search.
+const VNODES: usize = 64;
+
+/// One execution node: its ledger (a child of the store's global ledger),
+/// its virtual clock, its private cache slice, and a counter of bytes it
+/// shipped over the interconnect.
+#[derive(Debug)]
+pub struct ClusterNode {
+    pub id: usize,
+    /// Child of the store's global ledger — everything the node bills
+    /// uplinks to the store total, and `Σ node ledgers == global` because
+    /// every scattered request bills exactly one node.
+    pub ledger: pushdown_common::ledger::CostLedger,
+    /// The node's own virtual clock: advanced only by work this node runs.
+    pub clock: VirtualClock,
+    /// Per-node cache slice (`budget / n` of the store-wide budget at
+    /// [`Cluster::new`] time), or `None` when no cache is installed.
+    pub cache: Option<SegmentCache>,
+    /// Bytes this node shipped to the coordinator or across a
+    /// repartition boundary.
+    pub exchange_bytes: Arc<AtomicU64>,
+}
+
+/// Per-node accounting snapshot, used by EXPLAIN and the bench reports.
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    pub node: usize,
+    /// Everything the node billed so far.
+    pub usage: Usage,
+    /// The node's virtual busy time in seconds.
+    pub seconds: f64,
+    /// Bytes the node shipped over the interconnect.
+    pub exchange_bytes: u64,
+    /// Cache occupancy, when the node owns a cache slice.
+    pub cache_used_bytes: Option<u64>,
+}
+
+#[derive(Debug)]
+struct ClusterInner {
+    nodes: Vec<ClusterNode>,
+    /// Sorted `(point, node)` ring; `assign` walks to the first point at
+    /// or after the partition hash (wrapping).
+    ring: Vec<(u64, usize)>,
+}
+
+/// An N-node scatter-gather cluster over one object store. Cheap to
+/// clone (shared interior); attach to a query with
+/// `QueryContext::with_nodes`.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl Cluster {
+    /// Build an `n`-node cluster over `store`. If the store has a segment
+    /// cache installed, each node gets a private slice of `budget / n`
+    /// bytes (install the cache *before* calling this); otherwise nodes
+    /// run cacheless and reads fall through to the store.
+    pub fn new(store: &S3Store, n: usize, pricing: Pricing) -> Cluster {
+        let n = n.max(1);
+        let node_budget = store
+            .cache()
+            .map(|c| c.stats().budget_bytes / n as u64)
+            .filter(|&b| b > 0);
+        let nodes: Vec<ClusterNode> = (0..n)
+            .map(|id| ClusterNode {
+                id,
+                ledger: store.global_ledger().child(),
+                clock: VirtualClock::new(),
+                cache: node_budget.map(|b| SegmentCache::new(b, pricing)),
+                exchange_bytes: Arc::new(AtomicU64::new(0)),
+            })
+            .collect();
+        let mut ring: Vec<(u64, usize)> = (0..n)
+            .flat_map(|id| {
+                (0..VNODES).map(move |v| (splitmix64(splitmix64(id as u64 + 1) ^ v as u64), id))
+            })
+            .collect();
+        ring.sort_unstable();
+        Cluster {
+            inner: Arc::new(ClusterInner { nodes, ring }),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.inner.nodes.len()
+    }
+
+    /// The node owning partition `(bucket, key)` under consistent
+    /// hashing: first ring point at or after the partition hash, wrapping
+    /// to the smallest point.
+    pub fn assign(&self, bucket: &str, key: &str) -> usize {
+        let h = splitmix64(fnv1a(
+            bucket
+                .bytes()
+                .chain(std::iter::once(b'/'))
+                .chain(key.bytes()),
+        ));
+        let ring = &self.inner.ring;
+        let i = ring.partition_point(|&(p, _)| p < h);
+        ring[if i == ring.len() { 0 } else { i }].1
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: usize) -> &ClusterNode {
+        &self.inner.nodes[id]
+    }
+
+    /// Derive node `id`'s fault-stream salt for a query issued under
+    /// `query_salt`. Distinct per (query, node) so node-failure chaos
+    /// seeds target one node's traffic deterministically.
+    pub fn node_salt(query_salt: u64, id: usize) -> u64 {
+        splitmix64(query_salt ^ (id as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+    }
+
+    /// Per-node accounting snapshots, in node-id order.
+    pub fn snapshots(&self) -> Vec<NodeSnapshot> {
+        self.inner
+            .nodes
+            .iter()
+            .map(|nd| NodeSnapshot {
+                node: nd.id,
+                usage: nd.ledger.snapshot(),
+                seconds: nd.clock.seconds(),
+                exchange_bytes: nd.exchange_bytes.load(Ordering::Relaxed),
+                cache_used_bytes: nd.cache.as_ref().map(|c| c.stats().used_bytes),
+            })
+            .collect()
+    }
+
+    /// Sum of all node ledgers — equals the store's global ledger when
+    /// every request went through a node scope (conservation).
+    pub fn total_usage(&self) -> Usage {
+        let mut total = Usage::default();
+        for nd in &self.inner.nodes {
+            let u = nd.ledger.snapshot();
+            total.requests += u.requests;
+            total.select_scanned_bytes += u.select_scanned_bytes;
+            total.select_returned_bytes += u.select_returned_bytes;
+            total.plain_bytes += u.plain_bytes;
+        }
+        total
+    }
+
+    /// Total bytes shipped over the interconnect, all nodes.
+    pub fn total_exchange_bytes(&self) -> u64 {
+        self.inner
+            .nodes
+            .iter()
+            .map(|nd| nd.exchange_bytes.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> S3Store {
+        S3Store::new()
+    }
+
+    fn pricing() -> Pricing {
+        Pricing::us_east()
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_total() {
+        let s = store();
+        let c = Cluster::new(&s, 4, pricing());
+        for i in 0..64 {
+            let key = format!("t/part-{i:05}.csv");
+            let a = c.assign("bucket", &key);
+            assert!(a < 4);
+            assert_eq!(a, c.assign("bucket", &key), "assignment is stable");
+        }
+    }
+
+    #[test]
+    fn ring_spreads_partitions_across_nodes() {
+        let s = store();
+        let c = Cluster::new(&s, 4, pricing());
+        let mut counts = [0usize; 4];
+        for i in 0..256 {
+            counts[c.assign("b", &format!("t/part-{i:05}.csv"))] += 1;
+        }
+        for (id, &n) in counts.iter().enumerate() {
+            assert!(n > 0, "node {id} owns no partitions out of 256");
+        }
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let s = store();
+        let c = Cluster::new(&s, 1, pricing());
+        for i in 0..16 {
+            assert_eq!(c.assign("b", &format!("k{i}")), 0);
+        }
+    }
+
+    #[test]
+    fn node_salts_differ_per_node_and_query() {
+        let a = Cluster::node_salt(7, 0);
+        let b = Cluster::node_salt(7, 1);
+        let c = Cluster::node_salt(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn node_ledgers_roll_up_to_global() {
+        let s = store();
+        s.put_object("b", "k", "0123456789");
+        let c = Cluster::new(&s, 2, pricing());
+        let scoped = s.scoped_with_peer(1, &c.node(0).ledger, &c.node(0).clock);
+        scoped.get_object("b", "k").unwrap();
+        assert_eq!(c.node(0).ledger.snapshot().plain_bytes, 10);
+        assert_eq!(c.total_usage().plain_bytes, 10);
+        assert_eq!(s.global_ledger().snapshot().plain_bytes, 10);
+    }
+
+    #[test]
+    fn per_node_cache_slices_split_the_budget() {
+        let s = store();
+        s.set_cache(Some(SegmentCache::new(1 << 20, pricing())));
+        let c = Cluster::new(&s, 4, pricing());
+        for id in 0..4 {
+            let stats = c.node(id).cache.as_ref().expect("node cache").stats();
+            assert_eq!(stats.budget_bytes, (1 << 20) / 4);
+        }
+    }
+}

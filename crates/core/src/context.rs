@@ -12,7 +12,10 @@
 //! correct per-query bills ([`crate::output::QueryOutput::billed`])
 //! without doing anything.
 
+use std::sync::Arc;
+
 use crate::catalog::{Catalog, Table};
+use crate::cluster::Cluster;
 use pushdown_bloom::BloomBuilder;
 use pushdown_cache::SegmentCache;
 use pushdown_common::perf::{PerfModel, PerfParams};
@@ -58,6 +61,22 @@ pub struct QueryContext {
     /// ([`QueryContext::with_columnar`]). CSV tables always take the row
     /// decode path regardless of this flag.
     pub columnar_exec: bool,
+    /// The scatter-gather cluster this context executes on, if any
+    /// ([`QueryContext::with_nodes`]). `None` — the default — is the
+    /// plain single-node engine; a 1-node cluster behaves identically
+    /// but routes through node 0's ledger, clock and cache slice.
+    pub cluster: Option<Cluster>,
+    /// Set when a cluster scope is active: the query's *base* store
+    /// scope, whose ledger carries the whole query's bill (coordinator
+    /// and every node). The execution store in `store` is a joint child
+    /// of this base and one node's ledger, so Σ node ledgers and
+    /// Σ query ledgers decompose the same global total.
+    pub(crate) cluster_base: Option<S3Store>,
+    /// When set, scans see only these partition keys (global listing
+    /// order preserved). The Gather operator uses single-key filters to
+    /// execute scattered scans one partition at a time so results merge
+    /// back in global partition order.
+    pub(crate) partition_filter: Option<Arc<[String]>>,
 }
 
 impl QueryContext {
@@ -77,6 +96,9 @@ impl QueryContext {
             retry: RetryPolicy::default(),
             cache_reads: false,
             columnar_exec: true,
+            cluster: None,
+            cluster_base: None,
+            partition_filter: None,
         }
     }
 
@@ -86,16 +108,57 @@ impl QueryContext {
     /// virtual clock and fault stream. Scoping composes — a scope of a
     /// scope rolls up through the chain.
     pub fn scoped(&self) -> QueryContext {
-        let store = self.store.scoped();
-        self.rebound(store)
+        self.scoped_with_salt(self.store.scope_salt())
     }
 
     /// [`QueryContext::scoped`] with an explicit chaos salt: a workload
     /// giving query *i* salt *i* gets per-query-independent, reproducible
     /// fault streams from a single [`pushdown_s3::FaultPlan`] seed.
+    ///
+    /// When a [`Cluster`] is attached and no cluster scope is active yet,
+    /// this *activates* one: the query gets a base scope (its per-query
+    /// ledger) and executes as the coordinator — jointly billing the base
+    /// and node 0 (same salt as serial execution, so the coordinator's
+    /// fault stream matches the single-node engine request for request).
+    /// Nested scopes inside algorithms then compose plainly underneath.
     pub fn scoped_with_salt(&self, salt: u64) -> QueryContext {
+        if let (Some(cluster), None) = (&self.cluster, &self.cluster_base) {
+            let base = self.store.scoped_with_salt(salt);
+            let n0 = cluster.node(0);
+            let exec = base
+                .scoped_with_peer(salt, &n0.ledger, &n0.clock)
+                .with_cache_override(n0.cache.clone());
+            let mut ctx = self.rebound(exec);
+            ctx.cluster_base = Some(base);
+            return ctx;
+        }
         let store = self.store.scoped_with_salt(salt);
         self.rebound(store)
+    }
+
+    /// An execution context for cluster node `node`: bills jointly to the
+    /// query's base ledger and the node's own ledger, runs on the node's
+    /// virtual clock and cache slice, and draws faults from the node's
+    /// per-query salt stream. Falls back to a plain clone outside an
+    /// active cluster scope.
+    pub(crate) fn node_exec(&self, node: usize) -> QueryContext {
+        let (Some(cluster), Some(base)) = (&self.cluster, &self.cluster_base) else {
+            return self.clone();
+        };
+        let nd = cluster.node(node);
+        let salt = Cluster::node_salt(base.scope_salt(), node);
+        let store = base
+            .scoped_with_peer(salt, &nd.ledger, &nd.clock)
+            .with_cache_override(nd.cache.clone());
+        self.rebound(store)
+    }
+
+    /// A copy of this context whose scans see only the given partition
+    /// keys (global listing order preserved).
+    pub(crate) fn with_partition_filter(&self, keys: Arc<[String]>) -> QueryContext {
+        let mut ctx = self.clone();
+        ctx.partition_filter = Some(keys);
+        ctx
     }
 
     fn rebound(&self, store: S3Store) -> QueryContext {
@@ -110,15 +173,37 @@ impl QueryContext {
     }
 
     /// What this context's scope has billed so far. On a scope made by
-    /// [`QueryContext::scoped`] this is exactly the per-query usage.
+    /// [`QueryContext::scoped`] this is exactly the per-query usage —
+    /// under a cluster scope, the query's *base* ledger, which covers
+    /// the coordinator and every node the query scattered to.
     pub fn billed(&self) -> Usage {
-        self.store.ledger().snapshot()
+        match &self.cluster_base {
+            Some(base) => base.ledger().snapshot(),
+            None => self.store.ledger().snapshot(),
+        }
     }
 
     /// Virtual seconds this scope's store traffic has accumulated (zero
-    /// unless a [`pushdown_s3::FaultPlan`] is installed).
+    /// unless a [`pushdown_s3::FaultPlan`] is installed). Under a cluster
+    /// scope: the query's base clock, advanced by coordinator and node
+    /// work alike.
     pub fn virtual_time_s(&self) -> f64 {
-        self.store.virtual_time_s()
+        match &self.cluster_base {
+            Some(base) => base.virtual_time_s(),
+            None => self.store.virtual_time_s(),
+        }
+    }
+
+    /// Attach an `n`-node scatter-gather [`Cluster`]: partitions get
+    /// consistent-hashed across `n` nodes, each with its own ledger,
+    /// virtual clock and cache slice (`budget / n` each — install the
+    /// cache with [`QueryContext::with_cache`] *before* this call to get
+    /// per-node slices). Plans executed under this context scatter scan
+    /// leaves to the owning nodes and gather results in global partition
+    /// order; `n = 1` reproduces single-node execution through node 0.
+    pub fn with_nodes(mut self, n: usize) -> Self {
+        self.cluster = Some(Cluster::new(&self.store, n, self.pricing));
+        self
     }
 
     /// Register tables in the context's [`Catalog`] so multi-table SQL

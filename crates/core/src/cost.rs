@@ -25,6 +25,7 @@ use crate::algos::topk::{optimal_sample_size, TopKQuery};
 use crate::catalog::{ColumnStats, Table, TableStats};
 use crate::context::QueryContext;
 use crate::metrics::QueryMetrics;
+use pushdown_cache::SegmentKey;
 use pushdown_common::perf::PhaseStats;
 use pushdown_common::pricing::Usage;
 use pushdown_common::{Result, Schema, Value};
@@ -212,7 +213,7 @@ impl<'a> Estimator<'a> {
         let mut fills = 0u64;
         for key in &self.partition_keys {
             let size = self.ctx.store.object_size(&self.table.bucket, key)?;
-            match cache.peek(&self.table.bucket, key) {
+            match cache.peek(&SegmentKey::whole(&self.table.bucket, key)) {
                 Some(_) => cached += size,
                 None => {
                     uncached += size;
@@ -1106,7 +1107,163 @@ fn predict_node(
                 row_bytes: AGG_VALUE_WIDTH,
             },
         ),
+        PlanOp::Gather { .. } => {
+            let first = node.children.first().and_then(|c| c.children.first());
+            let Some((cluster, leaf_node)) = ctx.cluster.as_ref().zip(first) else {
+                // No cluster (or malformed fan-out): predict the first
+                // child serially — the executor degenerates the same way.
+                return predict_node(ctx, &node.children[0], tables);
+            };
+            match predict_gather(ctx, cluster, node, leaf_node) {
+                Some(out) => out,
+                None => predict_node(ctx, &node.children[0], tables),
+            }
+        }
+        // A bare Exchange predicts (and executes) as its child.
+        PlanOp::Exchange { .. } => predict_node(ctx, &node.children[0], tables),
+        PlanOp::Repartition { nodes, .. } => {
+            let (cn, cm, cc) = predict_node(ctx, &node.children[0], tables);
+            let n = (*nodes).max(1) as f64;
+            // Modeled all-to-all shuffle: the expected cross-node share
+            // of the serialized child volume. No extra metrics phase —
+            // the executor meters this inside the per-node group-by
+            // phases.
+            let stats = PhaseStats {
+                exchange_bytes: (cc.rows * cc.row_bytes * (n - 1.0) / n) as u64,
+                ..Default::default()
+            };
+            (
+                PredNode {
+                    stats,
+                    children: vec![cn],
+                },
+                cm,
+                cc,
+            )
+        }
     }
+}
+
+/// Predict a Gather fan-out: split the leaf scan's footprint across the
+/// Exchange children by each node's owned-partition byte share, pricing
+/// `CachedScan` leaves against *the owning node's* cache slice (per-node
+/// occupancy), and metering each node's result share as exchange volume.
+/// Returns `None` when the first child's child is not a scan leaf.
+fn predict_gather(
+    ctx: &QueryContext,
+    cluster: &crate::cluster::Cluster,
+    node: &crate::plan::PlanNode,
+    leaf_node: &crate::plan::PlanNode,
+) -> Option<(PredNode, QueryMetrics, Card)> {
+    use crate::plan::PlanOp;
+    let table = match &leaf_node.op {
+        PlanOp::LocalScan { table, .. }
+        | PlanOp::CachedScan { table, .. }
+        | PlanOp::PushdownScan { table, .. } => table,
+        _ => return None,
+    };
+    let est = Estimator::new(ctx, table);
+    let keys = table.partitions(&ctx.store);
+    let sized: Vec<(usize, String, u64)> = keys
+        .into_iter()
+        .map(|k| {
+            let owner = cluster.assign(&table.bucket, &k);
+            let size = ctx.store.object_size(&table.bucket, &k).unwrap_or(0);
+            (owner, k, size)
+        })
+        .collect();
+    let total_bytes: u64 = sized.iter().map(|(_, _, s)| s).sum();
+    // Leaf-total footprint and output card, by leaf kind.
+    let (full, card) = match &leaf_node.op {
+        PlanOp::LocalScan { predicate, .. } | PlanOp::CachedScan { predicate, .. } => {
+            let sel = est.selectivity(predicate.as_ref());
+            let extra = if predicate.is_some() { est.rows } else { 0.0 };
+            (
+                est.plain_load(extra),
+                Card {
+                    rows: sel * est.rows,
+                    row_bytes: est.row_bytes,
+                },
+            )
+        }
+        PlanOp::PushdownScan {
+            predicate,
+            projection,
+            ..
+        } => {
+            let (stats, card) = predict_pushdown_scan(ctx, table, predicate, projection, 1.0, 0);
+            (stats, card)
+        }
+        _ => return None,
+    };
+    let mut children = Vec::with_capacity(node.children.len());
+    let mut phases = Vec::with_capacity(node.children.len());
+    for child in &node.children {
+        let PlanOp::Exchange { node: k, .. } = child.op else {
+            return None;
+        };
+        let owned: Vec<&(usize, String, u64)> =
+            sized.iter().filter(|(owner, ..)| *owner == k).collect();
+        let owned_bytes: u64 = owned.iter().map(|(_, _, s)| s).sum();
+        let frac = if total_bytes > 0 {
+            owned_bytes as f64 / total_bytes as f64
+        } else {
+            0.0
+        };
+        let mut stats = full.scaled(frac);
+        stats.requests = owned.len() as u64;
+        if let PlanOp::CachedScan { .. } = &leaf_node.op {
+            // Per-node occupancy: partitions resident in the owning
+            // node's cache slice are free hits; the cold tail bills as
+            // read-through fills.
+            let cache = cluster.node(k).cache.clone();
+            stats.requests = 0;
+            stats.plain_bytes = 0;
+            stats.cache_bytes = 0;
+            for (_, key, size) in &owned {
+                let hit = cache
+                    .as_ref()
+                    .and_then(|c| c.peek(&SegmentKey::whole(&table.bucket, key)))
+                    .is_some();
+                if hit {
+                    stats.cache_bytes += size;
+                } else {
+                    stats.requests += 1;
+                    stats.plain_bytes += size;
+                }
+            }
+        }
+        stats.exchange_bytes = (card.rows * frac * card.row_bytes) as u64;
+        phases.push((format!("exchange node {k}"), stats));
+        children.push(PredNode {
+            stats,
+            children: Vec::new(),
+        });
+    }
+    let mut metrics = QueryMetrics::new();
+    metrics.push_parallel(phases);
+    Some((
+        PredNode {
+            stats: PhaseStats::default(),
+            children,
+        },
+        metrics,
+        card,
+    ))
+}
+
+/// Price a scattered plan the way a reserved cluster bills: byte and
+/// request charges are usage-based (identical at any node count), but
+/// compute is reserved on *every* node for the query's wall time —
+/// `nodes ×` the predicted runtime (itself the slowest node's time, via
+/// the parallel phase groups). The planner scatters only when this
+/// beats the serial prediction's dollars: per-node cache hits must shave
+/// more billable bytes than the reserved-compute premium costs.
+pub fn scatter_dollars(ctx: &QueryContext, pred: &PlanPrediction, nodes: usize) -> f64 {
+    let runtime = pred.metrics.runtime(&ctx.model);
+    ctx.pricing
+        .cost(&pred.metrics.usage(), runtime * nodes.max(1) as f64)
+        .total()
 }
 
 // ---------------------------------------------------------------------

@@ -34,6 +34,7 @@
 
 pub mod algos;
 pub mod catalog;
+pub mod cluster;
 pub mod context;
 pub mod cost;
 pub mod index;
@@ -48,6 +49,7 @@ pub mod scan;
 pub use catalog::{
     probe_stats, upload_columnar_table, upload_csv_table, Catalog, ColumnStats, Table, TableStats,
 };
+pub use cluster::{Cluster, NodeSnapshot};
 pub use context::QueryContext;
 pub use cost::{Estimator, PlanEstimate, PlanPrediction};
 pub use index::{build_index, IndexTable};

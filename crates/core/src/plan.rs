@@ -114,6 +114,23 @@ pub enum PlanOp {
     /// operator: the planner's strategy choice picks the variant, the
     /// executor drives it like any other operator.
     Algo(AlgoOp),
+    /// Scatter wrapper (built by [`scatter`]): execute the child scan
+    /// leaf's partitions owned by cluster node `node` (of `nodes`) on
+    /// that node — its ledger, virtual clock, cache slice and fault
+    /// stream. Normally driven by a parent [`PlanOp::Gather`]; executed
+    /// bare it degenerates to the child.
+    Exchange { node: usize, nodes: usize },
+    /// Merge the per-node partition streams of its [`PlanOp::Exchange`]
+    /// children back into global partition order. Rows are bit-identical
+    /// to executing the underlying scan serially; the shipped bytes are
+    /// metered as (non-billable) exchange volume on each node.
+    Gather { nodes: usize },
+    /// Hash-partition the child's rows on `keys` across `nodes` so a
+    /// parent [`PlanOp::GroupBy`] aggregates partial state per node.
+    /// Models an all-to-all shuffle: `(nodes-1)/nodes` of the serialized
+    /// volume is metered as exchange (the expected cross-node share
+    /// under uniformly spread producers).
+    Repartition { keys: Vec<usize>, nodes: usize },
 }
 
 /// A single-table algorithm family with its chosen variant.
@@ -191,6 +208,11 @@ impl PlanNode {
                 AlgoOp::GroupBy(q, algo) => format!("GroupBy[{algo}, {}]", q.table.name),
                 AlgoOp::TopK(q, algo) => format!("TopK[{algo}, {}]", q.table.name),
             },
+            PlanOp::Exchange { node, nodes } => format!("Exchange[node {node}/{nodes}]"),
+            PlanOp::Gather { nodes } => format!("Gather[{nodes} nodes]"),
+            PlanOp::Repartition { keys, nodes } => {
+                format!("Repartition[{} keys, {nodes} nodes]", keys.len())
+            }
         }
     }
 
@@ -608,6 +630,11 @@ pub fn execute(ctx: &QueryContext, node: &PlanNode) -> Result<Executed> {
             })
         }
         PlanOp::GroupBy { group_width, aggs } => {
+            // A Repartition child switches to scattered execution:
+            // per-node partial group-bys over key-hashed buckets.
+            if let PlanOp::Repartition { nodes, .. } = &node.children[0].op {
+                return execute_partitioned_group_by(ctx, node, *group_width, aggs, *nodes);
+            }
             let child = execute(ctx, &node.children[0])?;
             let group_cols: Vec<usize> = (0..*group_width).collect();
             let mut local = PhaseStats::default();
@@ -738,6 +765,399 @@ pub fn execute(ctx: &QueryContext, node: &PlanNode) -> Result<Executed> {
                 metrics: out.metrics,
                 report: OpReport::leaf(node.label(), actual),
             })
+        }
+        PlanOp::Gather { nodes } => execute_gather(ctx, node, *nodes),
+        // A bare Exchange (no Gather parent driving it) degenerates to
+        // its child on the current scope.
+        PlanOp::Exchange { .. } => execute(ctx, &node.children[0]),
+        PlanOp::Repartition { nodes, .. } => {
+            // Standalone repartition (no group-by parent consuming the
+            // buckets): rows pass through untouched — partitioning only
+            // assigns ownership — but the modeled all-to-all shuffle
+            // volume is metered.
+            let child = execute(ctx, &node.children[0])?;
+            let n = (*nodes).max(1) as u64;
+            let total: u64 = child.rows.iter().map(row_exchange_bytes).sum();
+            let local = PhaseStats {
+                exchange_bytes: total - total / n,
+                ..Default::default()
+            };
+            let mut metrics = child.metrics;
+            metrics.push_serial("repartition", local);
+            Ok(Executed {
+                schema: child.schema,
+                rows: child.rows,
+                metrics,
+                report: OpReport {
+                    label: node.label(),
+                    predicted: None,
+                    actual: local,
+                    children: vec![child.report],
+                },
+            })
+        }
+    }
+}
+
+/// Serialized size of one row on the interconnect: its CSV encoding
+/// (field texts, separators, newline) — deterministic and identical to
+/// what the row costs as returned Select bytes.
+fn row_exchange_bytes(row: &Row) -> u64 {
+    let vals = row.values();
+    let fields: u64 = vals.iter().map(|v| v.to_csv_field().len() as u64).sum();
+    fields + vals.len().saturating_sub(1) as u64 + 1
+}
+
+/// Deterministic hash route of a row to one of `n` repartition buckets,
+/// keyed on the CSV encodings of its key columns.
+fn route_row(row: &Row, keys: &[usize], n: usize) -> usize {
+    let text = keys
+        .iter()
+        .map(|&c| row[c].to_csv_field())
+        .collect::<Vec<_>>()
+        .join("\x1f");
+    (pushdown_common::mix::splitmix64(pushdown_common::mix::fnv1a(text.bytes())) % n as u64)
+        as usize
+}
+
+/// The scan table under an Exchange wrapper, if its child is a scan leaf.
+fn exchange_leaf_table(child: &PlanNode) -> Option<&Table> {
+    match &child.op {
+        PlanOp::LocalScan { table, .. }
+        | PlanOp::CachedScan { table, .. }
+        | PlanOp::PushdownScan { table, .. } => Some(table),
+        _ => None,
+    }
+}
+
+struct NodeRun {
+    node: usize,
+    schema: Option<Schema>,
+    parts: Vec<(usize, Vec<Row>)>,
+    stats: PhaseStats,
+}
+
+/// Execute a Gather fan-out: each Exchange child runs its node's owned
+/// partitions *one partition at a time* on that node's scope (joint
+/// query+node ledger, node clock, node cache slice, node fault salt),
+/// tagging results with the global partition index; the coordinator
+/// merges them back in global order, so rows are bit-identical to the
+/// serial scan at any node count. Per-node footprints enter the metrics
+/// as one parallel group (wall time = slowest node), and each node's
+/// shipped bytes are metered as exchange volume.
+fn execute_gather(ctx: &QueryContext, node: &PlanNode, _nodes: usize) -> Result<Executed> {
+    let Some(cluster) = ctx.cluster.clone() else {
+        return Err(Error::Other(
+            "Gather requires a cluster context (QueryContext::with_nodes)".into(),
+        ));
+    };
+    let first_leaf = node
+        .children
+        .first()
+        .and_then(|c| c.children.first())
+        .ok_or_else(|| Error::Other("Gather has no Exchange children".into()))?;
+    let table = exchange_leaf_table(first_leaf)
+        .ok_or_else(|| Error::Other("Exchange child must be a scan leaf".into()))?;
+    // Global partition listing: the merge order, and (via the cluster's
+    // consistent-hash ring) the per-node ownership map.
+    let keys = table.partitions(&ctx.store);
+    let owned: Vec<(usize, usize, String)> = keys
+        .iter()
+        .enumerate()
+        .map(|(gi, k)| (cluster.assign(&table.bucket, k), gi, k.clone()))
+        .collect();
+    let results: Vec<Result<NodeRun>> = std::thread::scope(|s| {
+        let handles: Vec<_> = node
+            .children
+            .iter()
+            .map(|child| {
+                let owned = &owned;
+                let cluster = &cluster;
+                s.spawn(move || -> Result<NodeRun> {
+                    let PlanOp::Exchange { node: k, .. } = child.op else {
+                        return Err(Error::Other(
+                            "Gather children must be Exchange operators".into(),
+                        ));
+                    };
+                    let leaf = &child.children[0];
+                    let nctx = ctx.node_exec(k);
+                    let mut run = NodeRun {
+                        node: k,
+                        schema: None,
+                        parts: Vec::new(),
+                        stats: PhaseStats::default(),
+                    };
+                    for (_, gi, key) in owned.iter().filter(|(owner, ..)| *owner == k) {
+                        let filter: std::sync::Arc<[String]> =
+                            std::sync::Arc::from(vec![key.clone()].into_boxed_slice());
+                        let pctx = nctx.with_partition_filter(filter);
+                        let ex = execute(&pctx, leaf)?;
+                        run.stats.merge(&merged_stats(&ex.metrics));
+                        run.schema.get_or_insert(ex.schema);
+                        run.parts.push((*gi, ex.rows));
+                    }
+                    let shipped: u64 = run
+                        .parts
+                        .iter()
+                        .flat_map(|(_, rows)| rows)
+                        .map(row_exchange_bytes)
+                        .sum();
+                    run.stats.exchange_bytes += shipped;
+                    cluster
+                        .node(k)
+                        .exchange_bytes
+                        .fetch_add(shipped, std::sync::atomic::Ordering::Relaxed);
+                    Ok(run)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("gather node thread panicked"))
+            .collect()
+    });
+    let mut runs = results.into_iter().collect::<Result<Vec<_>>>()?;
+    let mut tagged: Vec<(usize, Vec<Row>)> =
+        runs.iter_mut().flat_map(|r| r.parts.drain(..)).collect();
+    tagged.sort_by_key(|(gi, _)| *gi);
+    let rows: Vec<Row> = tagged.into_iter().flat_map(|(_, rows)| rows).collect();
+    let schema = runs
+        .iter()
+        .find_map(|r| r.schema.clone())
+        .unwrap_or_else(|| node.schema.clone());
+    let mut metrics = QueryMetrics::new();
+    metrics.push_parallel(
+        runs.iter()
+            .map(|r| (format!("exchange node {}", r.node), r.stats))
+            .collect(),
+    );
+    let children: Vec<OpReport> = runs
+        .iter()
+        .map(|r| {
+            let scanned = r.stats.plain_bytes + r.stats.cache_bytes + r.stats.s3_scanned_bytes;
+            OpReport::leaf(
+                format!(
+                    "Exchange[node {}: {} B scanned, {} B exchanged]",
+                    r.node, scanned, r.stats.exchange_bytes
+                ),
+                r.stats,
+            )
+        })
+        .collect();
+    Ok(Executed {
+        schema,
+        rows,
+        metrics,
+        report: OpReport {
+            label: node.label(),
+            predicted: None,
+            // The gather merge itself is a zero-cost splice: partitions
+            // arrive tagged and are concatenated in global order.
+            actual: PhaseStats::default(),
+            children,
+        },
+    })
+}
+
+/// Scattered group-by (GroupBy over Repartition): hash the child's rows
+/// on the group key into one bucket per node, aggregate each bucket in
+/// parallel, and merge by re-sorting on the group key — each group lives
+/// wholly in one bucket with its rows in original order, so aggregate
+/// values and the final sorted output are bit-identical to the serial
+/// operator.
+fn execute_partitioned_group_by(
+    ctx: &QueryContext,
+    node: &PlanNode,
+    group_width: usize,
+    aggs: &[(AggFunc, Option<usize>)],
+    nodes: usize,
+) -> Result<Executed> {
+    let rep = &node.children[0];
+    let child = execute(ctx, &rep.children[0])?;
+    let n = nodes.max(1);
+    let group_cols: Vec<usize> = (0..group_width).collect();
+    let mut buckets: Vec<Vec<Row>> = (0..n).map(|_| Vec::new()).collect();
+    let mut bucket_bytes = vec![0u64; n];
+    for row in child.rows {
+        let t = route_row(&row, &group_cols, n);
+        bucket_bytes[t] += row_exchange_bytes(&row);
+        buckets[t].push(row);
+    }
+    let total_bytes: u64 = bucket_bytes.iter().sum();
+    let results: Vec<Result<(Vec<Row>, PhaseStats)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .iter()
+            .map(|bucket| {
+                let group_cols = &group_cols;
+                s.spawn(move || {
+                    let mut st = PhaseStats::default();
+                    let rows = ops::hash_group_by(bucket, group_cols, aggs, &mut st)?;
+                    Ok((rows, st))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("group-by node thread panicked"))
+            .collect()
+    });
+    let mut phases = Vec::with_capacity(n);
+    let mut parts: Vec<Vec<Row>> = Vec::with_capacity(n);
+    for (k, r) in results.into_iter().enumerate() {
+        let (rows, mut st) = r?;
+        // Bytes node k receives from the other nodes (expected share
+        // under uniformly spread producers).
+        let received = bucket_bytes[k] - bucket_bytes[k] / n as u64;
+        st.exchange_bytes += received;
+        if let Some(cluster) = &ctx.cluster {
+            if k < cluster.n() {
+                cluster
+                    .node(k)
+                    .exchange_bytes
+                    .fetch_add(received, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        phases.push((format!("group-by node {k}"), st));
+        parts.push(rows);
+    }
+    let gb_stats = {
+        let mut s = PhaseStats::default();
+        for (_, st) in &phases {
+            s.merge(st);
+        }
+        s
+    };
+    let rep_stats = PhaseStats {
+        exchange_bytes: total_bytes - total_bytes / n as u64,
+        ..Default::default()
+    };
+    let mut merge_stats = PhaseStats::default();
+    let sort_keys: Vec<(usize, bool)> = (0..group_width).map(|i| (i, true)).collect();
+    let rows = ops::sort_rows_by_keys(parts.concat(), &sort_keys, &mut merge_stats);
+    let mut metrics = child.metrics;
+    metrics.push_parallel(phases);
+    metrics.push_serial("group-by merge", merge_stats);
+    let mut gb_actual = gb_stats;
+    gb_actual.merge(&merge_stats);
+    Ok(Executed {
+        schema: node.schema.clone(),
+        rows,
+        metrics,
+        report: OpReport {
+            label: node.label(),
+            predicted: None,
+            actual: gb_actual,
+            children: vec![OpReport {
+                label: rep.label(),
+                predicted: None,
+                actual: rep_stats,
+                children: vec![child.report],
+            }],
+        },
+    })
+}
+
+/// Rewrite a plan for scattered execution on the context's cluster:
+/// every scan leaf becomes a [`PlanOp::Gather`] over per-node
+/// [`PlanOp::Exchange`] wrappers (one per node owning at least one
+/// partition), and every group-by above a scattered subtree gains a
+/// [`PlanOp::Repartition`] on its group key so nodes aggregate partial
+/// state in parallel. Returns the plan unchanged when no cluster is
+/// attached or it has a single node — the serial path *is* the N=1
+/// cluster.
+pub fn scatter(ctx: &QueryContext, node: &PlanNode) -> PlanNode {
+    let Some(cluster) = ctx.cluster.clone() else {
+        return node.clone();
+    };
+    if cluster.n() < 2 {
+        return node.clone();
+    }
+    scatter_node(ctx, &cluster, node).0
+}
+
+fn scatter_node(
+    ctx: &QueryContext,
+    cluster: &crate::cluster::Cluster,
+    node: &PlanNode,
+) -> (PlanNode, bool) {
+    match &node.op {
+        PlanOp::LocalScan { table, .. }
+        | PlanOp::CachedScan { table, .. }
+        | PlanOp::PushdownScan { table, .. } => {
+            let keys = table.partitions(&ctx.store);
+            let mut populated: Vec<usize> = keys
+                .iter()
+                .map(|k| cluster.assign(&table.bucket, k))
+                .collect();
+            populated.sort_unstable();
+            populated.dedup();
+            if populated.is_empty() {
+                return (node.clone(), false);
+            }
+            let children: Vec<PlanNode> = populated
+                .into_iter()
+                .map(|k| {
+                    PlanNode::new(
+                        PlanOp::Exchange {
+                            node: k,
+                            nodes: cluster.n(),
+                        },
+                        vec![node.clone()],
+                        node.schema.clone(),
+                    )
+                })
+                .collect();
+            (
+                PlanNode::new(
+                    PlanOp::Gather { nodes: cluster.n() },
+                    children,
+                    node.schema.clone(),
+                ),
+                true,
+            )
+        }
+        // The Bloom probe must stay a bare PushdownScan — the filter is
+        // injected into its Select predicate at run time — so only the
+        // build side scatters.
+        PlanOp::BloomJoin { .. } => {
+            let (build, scattered) = scatter_node(ctx, cluster, &node.children[0]);
+            let mut out = node.clone();
+            out.children[0] = build;
+            (out, scattered)
+        }
+        PlanOp::GroupBy { group_width, .. } => {
+            let (child, scattered) = scatter_node(ctx, cluster, &node.children[0]);
+            if !scattered {
+                return (node.clone(), false);
+            }
+            let rep = PlanNode::new(
+                PlanOp::Repartition {
+                    keys: (0..*group_width).collect(),
+                    nodes: cluster.n(),
+                },
+                vec![child.clone()],
+                child.schema.clone(),
+            );
+            let mut out = node.clone();
+            out.children = vec![rep];
+            (out, true)
+        }
+        // Algorithm-family leaves manage their own scans; they run on
+        // the coordinator (node 0) unscattered.
+        PlanOp::Algo(_) => (node.clone(), false),
+        _ => {
+            let mut scattered = false;
+            let mut out = node.clone();
+            out.children = node
+                .children
+                .iter()
+                .map(|c| {
+                    let (c2, s) = scatter_node(ctx, cluster, c);
+                    scattered |= s;
+                    c2
+                })
+                .collect();
+            (out, scattered)
         }
     }
 }

@@ -225,6 +225,24 @@ impl Explain {
             b.plain_bytes,
             out.billed_cost(ctx).total(),
         );
+        // Cluster-wide decomposition of the same totals: one line per
+        // node with everything it billed (across all queries so far),
+        // its interconnect volume, and its virtual busy time.
+        if let Some(cluster) = &ctx.cluster {
+            for ns in cluster.snapshots() {
+                let _ = writeln!(
+                    s,
+                    "  node {}: billed {} req / {} scanned / {} returned / {} plain  exchange {} B  busy {:.2}s",
+                    ns.node,
+                    ns.usage.requests,
+                    ns.usage.select_scanned_bytes,
+                    ns.usage.select_returned_bytes,
+                    ns.usage.plain_bytes,
+                    ns.exchange_bytes,
+                    ns.seconds,
+                );
+            }
+        }
         // The hybrid tier's store-wide cache counters (cross-query, so a
         // fleet of reports shows the cache heating up).
         if let Some(cache) = ctx.store.cache() {
@@ -662,7 +680,7 @@ fn joined_plan_and_run(
     };
     let (algorithm, plan) = &candidates[pick];
     let adaptive = !predictions.is_empty();
-    let candidate_costs: Vec<CandidateCost> = candidates
+    let mut candidate_costs: Vec<CandidateCost> = candidates
         .iter()
         .zip(&predictions)
         .enumerate()
@@ -680,11 +698,54 @@ fn joined_plan_and_run(
             }
         })
         .collect();
-    let prediction = if adaptive {
+    let mut prediction = if adaptive {
         predictions.swap_remove(pick)
     } else {
         cost::predict_plan(ctx, plan)
     };
+    // Cluster lowering: rewrite the picked plan's scan leaves into
+    // Gather/Exchange fan-outs across the nodes owning their partitions.
+    // Fixed strategies always use the cluster they were given; Adaptive
+    // prices the scattered plan the way a reserved cluster bills
+    // (compute on every node for the query's wall time, scans against
+    // each node's own cache slice) and scatters only when that beats
+    // the serial pick in dollars.
+    let mut scattered: Option<PlanNode> = None;
+    if let Some(cluster) = ctx.cluster.as_ref().filter(|c| c.n() > 1) {
+        let cand = plan::scatter(ctx, plan);
+        let scat_pred = cost::predict_plan(ctx, &cand);
+        let scat_dollars = cost::scatter_dollars(ctx, &scat_pred, cluster.n());
+        let use_scatter = match strategy {
+            Strategy::Baseline | Strategy::Pushdown => true,
+            Strategy::Adaptive => {
+                let serial = PlanEstimate {
+                    algorithm,
+                    predicted: prediction.metrics.clone(),
+                }
+                .dollars(ctx);
+                scat_dollars < serial
+            }
+        };
+        if adaptive {
+            if use_scatter {
+                for c in candidate_costs.iter_mut() {
+                    c.chosen = false;
+                }
+            }
+            candidate_costs.push(CandidateCost {
+                algorithm: "scattered",
+                usage: scat_pred.metrics.usage(),
+                runtime: scat_pred.metrics.runtime(&ctx.model),
+                dollars: scat_dollars,
+                chosen: use_scatter,
+            });
+        }
+        if use_scatter {
+            prediction = scat_pred;
+            scattered = Some(cand);
+        }
+    }
+    let plan = scattered.as_ref().unwrap_or(plan);
     let executed = plan::execute(ctx, plan)?;
     let mut report = executed.report.clone();
     plan::annotate(&mut report, &prediction.root);
@@ -692,7 +753,9 @@ fn joined_plan_and_run(
         kind: PlanKind::Join { algorithm },
         strategy,
         candidates: candidate_costs,
-        predicted: adaptive.then(|| prediction.metrics.clone()),
+        // Scattered runs always carry the prediction (whatever the
+        // strategy) so cluster calibration can compare it to the ledger.
+        predicted: (adaptive || scattered.is_some()).then(|| prediction.metrics.clone()),
         operators: Some(report),
     };
     Ok((executed.into_output(), explain))

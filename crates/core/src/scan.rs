@@ -218,12 +218,24 @@ where
 }
 
 fn partition_keys(ctx: &QueryContext, table: &Table) -> Result<Vec<String>> {
-    let keys = table.partitions(&ctx.store);
+    let mut keys = table.partitions(&ctx.store);
     if keys.is_empty() {
         return Err(Error::NoSuchKey(format!(
             "table `{}` has no partitions under s3://{}/{}/",
             table.name, table.bucket, table.prefix
         )));
+    }
+    // A partition filter (set by the scattered Gather path) narrows the
+    // scan to its keys, preserving global listing order. The filter keys
+    // come from the same listing, so the intersection is never empty.
+    if let Some(filter) = &ctx.partition_filter {
+        keys.retain(|k| filter.iter().any(|f| f == k));
+        if keys.is_empty() {
+            return Err(Error::NoSuchKey(format!(
+                "partition filter matches no partition of table `{}`",
+                table.name
+            )));
+        }
     }
     Ok(keys)
 }

@@ -50,7 +50,7 @@
 
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
-use pushdown_cache::SegmentCache;
+use pushdown_cache::{SegmentCache, SegmentKey};
 use pushdown_common::mix::{fnv1a, splitmix64};
 use pushdown_common::perf::PerfParams;
 use pushdown_common::{CostLedger, Error, Result, RetryPolicy};
@@ -146,6 +146,30 @@ pub struct CachedFetch {
     pub hit: bool,
 }
 
+/// A shareable virtual-clock handle: simulated seconds accumulated by
+/// request latency, byte transfer and retry backoff.
+///
+/// Every [`S3Store`] scope owns one internally; this public wrapper lets a
+/// *cluster node* own a clock that outlives any single scope. A scope made
+/// by [`S3Store::scoped_with_peer`] uplinks into the peer clock, so the
+/// node observes the virtual time of every query fragment it executes,
+/// exactly as a node ledger observes their bills.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulated virtual seconds.
+    pub fn seconds(&self) -> f64 {
+        self.ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
+
 /// One accounting scope: a ledger, a virtual clock, and a fault stream.
 struct Scope {
     ledger: CostLedger,
@@ -186,6 +210,27 @@ impl Scope {
         }
     }
 
+    /// A child scope that also rolls up into `peer` — the ledger becomes a
+    /// [`CostLedger::joint_child`] of the scope ledger and the peer ledger,
+    /// and the peer clock joins the clock uplinks (deduplicated, like the
+    /// ledger's ancestor set). This is how cluster-node scopes make both
+    /// the per-query and the per-node decompositions exact.
+    fn child_with_peer(&self, salt: u64, peer: &CostLedger, peer_clock: &VirtualClock) -> Scope {
+        let mut clock_uplinks = Vec::with_capacity(self.clock_uplinks.len() + 2);
+        clock_uplinks.push(Arc::clone(&self.clock_ns));
+        clock_uplinks.extend(self.clock_uplinks.iter().cloned());
+        if !clock_uplinks.iter().any(|u| Arc::ptr_eq(u, &peer_clock.ns)) {
+            clock_uplinks.push(Arc::clone(&peer_clock.ns));
+        }
+        Scope {
+            ledger: self.ledger.joint_child(peer),
+            salt,
+            clock_ns: Arc::new(AtomicU64::new(0)),
+            clock_uplinks,
+            seq: Mutex::new(HashMap::new()),
+        }
+    }
+
     fn next_ordinal(&self, key_hash: u64) -> u64 {
         let mut seq = self.seq.lock();
         let slot = seq.entry(key_hash).or_insert(0);
@@ -212,6 +257,11 @@ impl Scope {
 pub struct S3Store {
     inner: Arc<Inner>,
     scope: Arc<Scope>,
+    /// Per-handle cache override: when set, the read-through path and
+    /// [`S3Store::cache`] use this cache instead of the store-wide one.
+    /// Cluster nodes use it to own disjoint segment caches over shared
+    /// objects. Preserved by every `scoped*` constructor.
+    cache_override: Option<SegmentCache>,
 }
 
 struct Inner {
@@ -239,6 +289,7 @@ impl Default for S3Store {
                 cache: RwLock::new(None),
             }),
             scope: Arc::new(Scope::root(ledger, 0)),
+            cache_override: None,
         }
     }
 }
@@ -275,6 +326,38 @@ impl S3Store {
         S3Store {
             inner: Arc::clone(&self.inner),
             scope: Arc::new(self.scope.child(salt)),
+            cache_override: self.cache_override.clone(),
+        }
+    }
+
+    /// A scoped handle that bills **two** parents: this handle's scope
+    /// chain *and* `peer_ledger` (with any shared ancestors counted once —
+    /// see [`CostLedger::joint_child`]), whose virtual time also rolls up
+    /// into `peer_clock`. Cluster nodes use this so that every query
+    /// fragment a node executes lands in the per-query ledger **and** the
+    /// per-node ledger, making Σ query = Σ node = global exact.
+    pub fn scoped_with_peer(
+        &self,
+        salt: u64,
+        peer_ledger: &CostLedger,
+        peer_clock: &VirtualClock,
+    ) -> S3Store {
+        S3Store {
+            inner: Arc::clone(&self.inner),
+            scope: Arc::new(self.scope.child_with_peer(salt, peer_ledger, peer_clock)),
+            cache_override: self.cache_override.clone(),
+        }
+    }
+
+    /// This handle with a per-handle segment cache overriding the
+    /// store-wide one (`None` clears a previous override). Cluster nodes
+    /// use it to own disjoint caches over the same objects; the accounting
+    /// scope is shared with `self`, only the cache differs.
+    pub fn with_cache_override(&self, cache: Option<SegmentCache>) -> S3Store {
+        S3Store {
+            inner: Arc::clone(&self.inner),
+            scope: Arc::clone(&self.scope),
+            cache_override: cache,
         }
     }
 
@@ -300,8 +383,13 @@ impl S3Store {
         *self.inner.cache.write() = cache;
     }
 
-    /// A handle to the installed segment cache, if any (cloning shares).
+    /// A handle to the segment cache this handle reads through, if any
+    /// (cloning shares): the per-handle override when one is set
+    /// ([`S3Store::with_cache_override`]), the store-wide cache otherwise.
     pub fn cache(&self) -> Option<SegmentCache> {
+        if self.cache_override.is_some() {
+            return self.cache_override.clone();
+        }
         self.inner.cache.read().clone()
     }
 
@@ -415,9 +503,7 @@ impl S3Store {
                 .or_default()
                 .insert(key.to_string(), data.into());
         }
-        if let Some(cache) = self.cache() {
-            cache.invalidate(bucket, key);
-        }
+        self.invalidate_caches(bucket, key);
     }
 
     /// Delete an object. Returns whether it existed. Cached segments of
@@ -431,11 +517,20 @@ impl S3Store {
                 .unwrap_or(false)
         };
         if existed {
-            if let Some(cache) = self.cache() {
-                cache.invalidate(bucket, key);
-            }
+            self.invalidate_caches(bucket, key);
         }
         existed
+    }
+
+    /// Invalidate an object in every cache this handle can see: the
+    /// store-wide cache and the per-handle override, if set.
+    fn invalidate_caches(&self, bucket: &str, key: &str) {
+        if let Some(cache) = self.inner.cache.read().as_ref() {
+            cache.invalidate(bucket, key);
+        }
+        if let Some(cache) = &self.cache_override {
+            cache.invalidate(bucket, key);
+        }
     }
 
     fn lookup(&self, bucket: &str, key: &str) -> Result<Bytes> {
@@ -588,7 +683,8 @@ impl S3Store {
                 hit: false,
             });
         };
-        if let Some(data) = cache.get(bucket, key) {
+        let skey = SegmentKey::whole(bucket, key);
+        if let Some(data) = cache.get(&skey) {
             if let Some(plan) = self.fault_plan() {
                 self.scope
                     .advance(data.len() as f64 / plan.latency.cache_read_bw);
@@ -599,9 +695,9 @@ impl S3Store {
                 hit: true,
             });
         }
-        let epoch = cache.begin_fill(bucket, key);
+        let epoch = cache.begin_fill(&skey);
         let fetched = self.get_object_with(bucket, key, policy)?;
-        cache.insert(bucket, key, fetched.value.clone(), epoch);
+        cache.insert(skey, fetched.value.clone(), epoch);
         Ok(CachedFetch {
             data: fetched.value,
             attempts: fetched.attempts,
@@ -1030,16 +1126,28 @@ mod tests {
         )));
         let policy = RetryPolicy::default();
         s.get_object_cached_with("tpch", "obj", &policy).unwrap();
-        assert!(s.cache().unwrap().peek("tpch", "obj").is_some());
+        assert!(s
+            .cache()
+            .unwrap()
+            .peek(&SegmentKey::whole("tpch", "obj"))
+            .is_some());
         // Overwrite: the cache must never serve the old bytes again.
         s.put_object("tpch", "obj", "new!");
-        assert!(s.cache().unwrap().peek("tpch", "obj").is_none());
+        assert!(s
+            .cache()
+            .unwrap()
+            .peek(&SegmentKey::whole("tpch", "obj"))
+            .is_none());
         let got = s.get_object_cached_with("tpch", "obj", &policy).unwrap();
         assert!(!got.hit);
         assert_eq!(&got.data[..], b"new!");
         // Delete invalidates too.
         s.delete_object("tpch", "obj");
-        assert!(s.cache().unwrap().peek("tpch", "obj").is_none());
+        assert!(s
+            .cache()
+            .unwrap()
+            .peek(&SegmentKey::whole("tpch", "obj"))
+            .is_none());
         assert!(s.get_object_cached_with("tpch", "obj", &policy).is_err());
     }
 

@@ -18,8 +18,8 @@
 //! * [`format`](mod@format) — CSV and ColumnarLite (Parquet-like) formats
 //! * [`select`] — the S3 Select engine
 //! * [`bloom`] — Bloom filters with SQL predicate generation
-//! * [`core`] — the PushdownDB engine: streaming scans, operators and the
-//!   paper's algorithms
+//! * [`core`] — the PushdownDB engine: streaming scans, operators, the
+//!   paper's algorithms, and the scatter-gather cluster
 //! * [`tpch`] — TPC-H generator, synthetic workloads, and the paper's
 //!   queries
 //!
@@ -135,6 +135,43 @@
 //! // Force the cached tier end to end (fills cold, hits warm):
 //! let forced = ctx.clone().with_cache_reads(true);
 //! let _same_rows = execute_sql(&forced, table, sql, Strategy::Baseline)?;
+//! # Ok(()) }
+//! ```
+//!
+//! ## The scatter-gather cluster
+//!
+//! [`core::QueryContext::with_nodes`] attaches an N-node cluster
+//! ([`core::Cluster`]): partitions are consistent-hashed across the
+//! nodes, each with its own child ledger, virtual clock and cache slice
+//! (install the cache *first* to split the budget). The plan IR gains
+//! `Exchange`/`Gather`/`Repartition` operators; scan leaves scatter to
+//! their owning nodes and partial aggregate states repartition by
+//! group-key hash, so rows stay **bit-identical to the serial run at
+//! any node count** while the bill decomposes exactly three ways:
+//! store-global = Σ node ledgers = Σ per-query bills. `Adaptive` prices
+//! the scattered plan on reserved-cluster dollars (every node, the
+//! query's wall time) and scatters only when that wins — typically when
+//! warm per-node cache slices shave billable bytes. Node-failure chaos
+//! is seed-replayable per node (`Cluster::node_salt`); retries bill
+//! extra requests, bytes exactly once.
+//!
+//! ```no_run
+//! use pushdowndb::core::{execute_sql, Strategy};
+//! use pushdowndb::s3::FaultPlan;
+//! # fn demo(ctx: pushdowndb::core::QueryContext, table: &pushdowndb::core::Table)
+//! # -> pushdowndb::common::Result<()> {
+//! let ctx = ctx.with_cache(64 << 20).with_nodes(4); // 16 MiB slice per node
+//! let sql = "SELECT o_orderdate, SUM(o_totalprice) AS revenue \
+//!            FROM customer JOIN orders ON c_custkey = o_custkey \
+//!            GROUP BY o_orderdate ORDER BY revenue DESC LIMIT 10";
+//! let out = execute_sql(&ctx, table, sql, Strategy::Adaptive)?; // == serial rows
+//! for ns in ctx.cluster.as_ref().unwrap().snapshots() {
+//!     println!("node {}: {:?}, exchanged {} B", ns.node, ns.usage, ns.exchange_bytes);
+//! }
+//! // Seed-replayable node failures: same seed + salt ⇒ same fault sites.
+//! ctx.store.set_fault_plan(Some(FaultPlan::new(7, 0.3)));
+//! let retried = execute_sql(&ctx.scoped_with_salt(9), table, sql, Strategy::Pushdown)?;
+//! assert_eq!(retried.rows, out.rows); // bytes billed once, retries are requests
 //! # Ok(()) }
 //! ```
 //!
