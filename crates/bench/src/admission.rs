@@ -1,0 +1,620 @@
+//! Bounded admission queue, per-tenant budget ledgers and the open-loop
+//! G/G/c virtual-time driver.
+//!
+//! The [`crate::arrivals`] trace offers load; this module decides what
+//! gets in and measures what happens to it:
+//!
+//! * each tenant owns a [`BudgetedLedger`] — a child of the store-global
+//!   [`CostLedger`] priced in dollars — and every admitted query runs in
+//!   a scope that bills **jointly** to its own fresh child ledger and to
+//!   its tenant's ([`QueryContext::scoped_with_tenant`]). Conservation
+//!   is therefore exact, not sampled: global = Σ tenants = Σ queries,
+//!   and [`run_open_loop`] asserts both identities after every run;
+//! * an arrival is **shed** (never executed, never billed) when its
+//!   tenant's budget is spent ([`ShedReason::BudgetExhausted`]) or the
+//!   bounded admission queue is full ([`ShedReason::QueueFull`]);
+//! * admitted queries drain through `servers` virtual workers in FIFO
+//!   order; reported latency is **queue wait + service**, both in
+//!   deterministic virtual time, so the p99-vs-offered-load knee
+//!   replays bit-for-bit from the seed.
+//!
+//! The simulation is sequential — queries execute at admission in
+//! arrival order — so admission sees the cost of *all* previously
+//! admitted work (started or still in flight), a conservative budget
+//! gate. The queue bound, by contrast, is evaluated in virtual time:
+//! only jobs whose service has not started by the arrival instant
+//! occupy queue slots.
+
+use crate::arrivals::Arrival;
+use crate::workload::{digest_rows, query_salt};
+use pushdown_common::mix::fnv1a;
+use pushdown_common::pricing::Usage;
+use pushdown_common::{BudgetedLedger, CostLedger};
+use pushdown_core::planner::{execute_sql, Strategy};
+use pushdown_core::QueryContext;
+use pushdown_s3::VirtualClock;
+use pushdown_tpch::TpchTables;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Why an arrival was rejected instead of executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded admission queue had no free slot at arrival time.
+    QueueFull,
+    /// The tenant's dollar budget was already spent.
+    BudgetExhausted,
+}
+
+/// Declares one tenant of the admission layer.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantSpec {
+    pub name: &'static str,
+    /// Dollar budget for the run (`f64::INFINITY` = unlimited).
+    pub budget_dollars: f64,
+}
+
+/// A tenant at run time: its budgeted ledger (child of the store-global
+/// ledger), its virtual clock, and its admission counters.
+#[derive(Debug)]
+pub struct Tenant {
+    pub id: usize,
+    pub name: &'static str,
+    /// Child of the global ledger; every query of this tenant bills
+    /// here jointly via [`QueryContext::scoped_with_tenant`].
+    pub budget: BudgetedLedger,
+    /// Accumulates the virtual I/O time of this tenant's queries.
+    pub clock: VirtualClock,
+    admitted: AtomicUsize,
+    shed_queue: AtomicUsize,
+    shed_budget: AtomicUsize,
+}
+
+impl Tenant {
+    pub fn admitted(&self) -> usize {
+        self.admitted.load(Ordering::Relaxed)
+    }
+    pub fn shed_queue(&self) -> usize {
+        self.shed_queue.load(Ordering::Relaxed)
+    }
+    pub fn shed_budget(&self) -> usize {
+        self.shed_budget.load(Ordering::Relaxed)
+    }
+}
+
+/// Admission control for one open-loop run: per-tenant budgets plus a
+/// bounded queue. Decisions and counters are thread-safe (the property
+/// suite admits concurrently); one controller accounts one run.
+#[derive(Debug)]
+pub struct AdmissionController {
+    tenants: Vec<Tenant>,
+    queue_bound: usize,
+}
+
+impl AdmissionController {
+    /// Tenant ledgers become children of `parent` — pass the store's
+    /// global ledger so global = Σ tenants holds exactly.
+    pub fn new(
+        parent: &CostLedger,
+        ctx: &QueryContext,
+        specs: &[TenantSpec],
+        queue_bound: usize,
+    ) -> Self {
+        let tenants = specs
+            .iter()
+            .enumerate()
+            .map(|(id, s)| Tenant {
+                id,
+                name: s.name,
+                budget: BudgetedLedger::new(parent, ctx.pricing, s.budget_dollars),
+                clock: VirtualClock::new(),
+                admitted: AtomicUsize::new(0),
+                shed_queue: AtomicUsize::new(0),
+                shed_budget: AtomicUsize::new(0),
+            })
+            .collect();
+        AdmissionController {
+            tenants,
+            queue_bound,
+        }
+    }
+
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    pub fn queue_bound(&self) -> usize {
+        self.queue_bound
+    }
+
+    /// Admission decision for a `tenant` arrival that sees `queue_len`
+    /// jobs waiting: budget first (a tenant out of money is shed even
+    /// with queue space), then the queue bound. Updates counters.
+    pub fn try_admit(&self, tenant: usize, queue_len: usize) -> Result<(), ShedReason> {
+        let t = &self.tenants[tenant];
+        if t.budget.exhausted() {
+            t.shed_budget.fetch_add(1, Ordering::Relaxed);
+            return Err(ShedReason::BudgetExhausted);
+        }
+        if queue_len >= self.queue_bound {
+            t.shed_queue.fetch_add(1, Ordering::Relaxed);
+            return Err(ShedReason::QueueFull);
+        }
+        t.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The execution scope for one admitted query: bills jointly to a
+    /// fresh per-query child ledger and to the tenant's ledger.
+    pub fn scope(&self, ctx: &QueryContext, tenant: usize, salt: u64) -> QueryContext {
+        let t = &self.tenants[tenant];
+        ctx.scoped_with_tenant(salt, t.budget.ledger(), &t.clock)
+    }
+
+    /// Bill modeled compute seconds to the tenant's budget (compute is
+    /// priced per hour; the ledger only meters I/O).
+    pub fn charge_compute(&self, tenant: usize, seconds: f64) {
+        self.tenants[tenant].budget.add_compute_seconds(seconds);
+    }
+}
+
+/// FIFO dispatch onto the earliest-free of `server_free` virtual
+/// workers: returns the service start time and advances that worker to
+/// `start + service_s`. Start times are non-decreasing across calls
+/// when arrivals are, which is what lets the queue be a deque.
+pub(crate) fn dispatch(server_free: &mut [f64], at_s: f64, service_s: f64) -> f64 {
+    let w = server_free
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    let start = server_free[w].max(at_s);
+    server_free[w] = start + service_s.max(0.0);
+    start
+}
+
+/// One arrival's outcome in an open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopQuery {
+    pub index: usize,
+    pub tenant: usize,
+    pub name: &'static str,
+    /// Chaos salt (replay: same fault-plan seed + salt).
+    pub salt: u64,
+    /// Virtual arrival time.
+    pub at_s: f64,
+    /// Virtual seconds spent waiting for a server (0 for shed).
+    pub wait_s: f64,
+    /// Virtual service time (0 for shed).
+    pub service_s: f64,
+    /// SLO latency: `wait_s + service_s` (0 for shed).
+    pub latency_s: f64,
+    /// Virtual completion time (`at_s` for shed).
+    pub done_s: f64,
+    pub row_digest: u64,
+    pub rows: usize,
+    /// Exactly what this query billed on its child ledger (zero for
+    /// shed arrivals — they never execute).
+    pub billed: Usage,
+    pub dollars: f64,
+    pub error: Option<String>,
+    /// `Some` when the arrival was rejected instead of executed.
+    pub shed: Option<ShedReason>,
+}
+
+/// Per-tenant accounting of one open-loop run, with both sides of the
+/// conservation identity the driver asserts.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    pub id: usize,
+    pub name: &'static str,
+    pub admitted: usize,
+    pub shed_queue: usize,
+    pub shed_budget: usize,
+    /// Run delta of the tenant's own ledger.
+    pub billed: Usage,
+    /// Σ billed usage of this tenant's queries — equals `billed`.
+    pub sum_query_billed: Usage,
+    pub spent_dollars: f64,
+    pub budget_dollars: f64,
+}
+
+/// Aggregate outcome of one open-loop run. Everything here is virtual
+/// or exact — same seed, same report, bit for bit ([`OpenLoopReport::digest`]).
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    pub per_query: Vec<OpenLoopQuery>,
+    pub tenants: Vec<TenantReport>,
+    /// Queries executed to completion (including errored ones).
+    pub completed: usize,
+    /// Executed queries that returned an error.
+    pub errored: usize,
+    pub shed_queue: usize,
+    pub shed_budget: usize,
+    /// Virtual time the last admitted query completed.
+    pub makespan_s: f64,
+    /// Σ executed queries' billed usage == the global-ledger run delta.
+    pub sum_billed: Usage,
+    pub total_dollars: f64,
+}
+
+impl OpenLoopReport {
+    /// Virtual SLO-latency percentile (queue wait + service) over every
+    /// **executed** query, errored ones included at their observed
+    /// latency — see `WorkloadReport::latency_percentile` for why
+    /// filtering failures would bias the tail. Shed arrivals never ran;
+    /// they are a separate channel ([`OpenLoopReport::shed_rate`]).
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        let mut lats: Vec<f64> = self
+            .per_query
+            .iter()
+            .filter(|q| q.shed.is_none())
+            .map(|q| q.latency_s)
+            .collect();
+        if lats.is_empty() {
+            return 0.0;
+        }
+        lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = lats.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        lats[rank.saturating_sub(1).min(n - 1)]
+    }
+
+    /// Fraction of arrivals shed (queue + budget), 0.0 when empty.
+    pub fn shed_rate(&self) -> f64 {
+        if self.per_query.is_empty() {
+            0.0
+        } else {
+            (self.shed_queue + self.shed_budget) as f64 / self.per_query.len() as f64
+        }
+    }
+
+    /// Order-sensitive FNV-1a digest over every deterministic per-query
+    /// field — two same-seed runs on the same data must agree exactly.
+    pub fn digest(&self) -> u64 {
+        let mut buf: Vec<u8> = Vec::with_capacity(self.per_query.len() * 96);
+        for q in &self.per_query {
+            for v in [
+                q.index as u64,
+                q.tenant as u64,
+                q.salt,
+                q.row_digest,
+                q.rows as u64,
+                q.at_s.to_bits(),
+                q.wait_s.to_bits(),
+                q.service_s.to_bits(),
+                q.billed.requests,
+                q.billed.select_scanned_bytes,
+                q.billed.select_returned_bytes,
+                q.billed.plain_bytes,
+                q.dollars.to_bits(),
+                match q.shed {
+                    None => q.error.is_some() as u64,
+                    Some(ShedReason::QueueFull) => 2,
+                    Some(ShedReason::BudgetExhausted) => 3,
+                },
+            ] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        fnv1a(buf)
+    }
+}
+
+/// Drive an open-loop arrival trace through admission control and
+/// `servers` virtual workers over one shared context.
+///
+/// Sequential and deterministic: arrivals are processed in trace order;
+/// an admitted query executes immediately in its tenant-joint scope
+/// (its virtual service time feeds the G/G/c schedule), a shed arrival
+/// is recorded and never touches the engine. After the run the two
+/// conservation identities are asserted in-driver:
+/// tenant ledger delta = Σ its queries' bills for every tenant, and
+/// global ledger delta = Σ all executed queries' bills.
+pub fn run_open_loop(
+    ctx: &QueryContext,
+    tables: &TpchTables,
+    strategy: Strategy,
+    arrivals: &[Arrival],
+    admission: &AdmissionController,
+    servers: usize,
+    seed: u64,
+) -> OpenLoopReport {
+    let ntenants = admission.tenants().len();
+    let global_base = ctx.store.global_ledger().snapshot();
+    let tenant_base: Vec<Usage> = admission
+        .tenants()
+        .iter()
+        .map(|t| t.budget.ledger().snapshot())
+        .collect();
+    let mut sum_query = vec![Usage::default(); ntenants];
+    let mut server_free = vec![0.0f64; servers.max(1)];
+    // Start times of admitted jobs still waiting at the latest arrival
+    // instant (non-decreasing, so expiring the front suffices).
+    let mut waiting: VecDeque<f64> = VecDeque::new();
+    let mut per_query = Vec::with_capacity(arrivals.len());
+    let mut makespan_s = 0.0f64;
+    let mut total_dollars = 0.0f64;
+    let (mut completed, mut errored) = (0usize, 0usize);
+
+    for a in arrivals {
+        while waiting.front().is_some_and(|&s| s <= a.at_s) {
+            waiting.pop_front();
+        }
+        let salt = query_salt(seed, a.index);
+        let shed = |reason| OpenLoopQuery {
+            index: a.index,
+            tenant: a.tenant,
+            name: a.query.query.name,
+            salt,
+            at_s: a.at_s,
+            wait_s: 0.0,
+            service_s: 0.0,
+            latency_s: 0.0,
+            done_s: a.at_s,
+            row_digest: 0,
+            rows: 0,
+            billed: Usage::default(),
+            dollars: 0.0,
+            error: None,
+            shed: Some(reason),
+        };
+        if let Err(reason) = admission.try_admit(a.tenant, waiting.len()) {
+            per_query.push(shed(reason));
+            continue;
+        }
+        let qctx = admission.scope(ctx, a.tenant, salt);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let table = (a.query.query.table)(tables);
+            execute_sql(&qctx, table, a.query.query.sql, strategy)
+        }));
+        let (row_digest, rows, service_s, dollars, error) = match outcome {
+            Ok(Ok(out)) => {
+                let service_s = out.runtime(&qctx).max(qctx.virtual_time_s());
+                (
+                    digest_rows(&out),
+                    out.rows.len(),
+                    service_s,
+                    out.billed_cost(&qctx).total(),
+                    None,
+                )
+            }
+            Ok(Err(e)) => (0, 0, qctx.virtual_time_s(), 0.0, Some(e.code().to_string())),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                (
+                    0,
+                    0,
+                    qctx.virtual_time_s(),
+                    0.0,
+                    Some(format!("panic: {msg}")),
+                )
+            }
+        };
+        let billed = qctx.billed();
+        admission.charge_compute(a.tenant, service_s);
+        sum_query[a.tenant] += billed;
+        total_dollars += dollars;
+        completed += 1;
+        errored += error.is_some() as usize;
+        let start = dispatch(&mut server_free, a.at_s, service_s);
+        if start > a.at_s {
+            waiting.push_back(start);
+        }
+        let done_s = start + service_s;
+        makespan_s = makespan_s.max(done_s);
+        per_query.push(OpenLoopQuery {
+            index: a.index,
+            tenant: a.tenant,
+            name: a.query.query.name,
+            salt,
+            at_s: a.at_s,
+            wait_s: start - a.at_s,
+            service_s,
+            latency_s: (start - a.at_s) + service_s,
+            done_s,
+            row_digest,
+            rows,
+            billed,
+            dollars,
+            error,
+            shed: None,
+        });
+    }
+
+    // Conservation, asserted at every load point: the joint-billing
+    // machinery must make the decomposition exact, not approximate.
+    let mut sum_billed = Usage::default();
+    let tenants: Vec<TenantReport> = admission
+        .tenants()
+        .iter()
+        .zip(&tenant_base)
+        .zip(&sum_query)
+        .map(|((t, base), &sum)| {
+            let billed = t.budget.ledger().delta_since(base);
+            assert_eq!(
+                billed, sum,
+                "tenant {} ({}): ledger delta != Σ its queries' bills",
+                t.id, t.name
+            );
+            sum_billed += sum;
+            TenantReport {
+                id: t.id,
+                name: t.name,
+                admitted: t.admitted(),
+                shed_queue: t.shed_queue(),
+                shed_budget: t.shed_budget(),
+                billed,
+                sum_query_billed: sum,
+                spent_dollars: t.budget.spent_dollars(),
+                budget_dollars: t.budget.budget_dollars(),
+            }
+        })
+        .collect();
+    let global_delta = ctx.store.global_ledger().delta_since(&global_base);
+    assert_eq!(
+        global_delta, sum_billed,
+        "global ledger delta != Σ executed queries' bills"
+    );
+
+    OpenLoopReport {
+        shed_queue: tenants.iter().map(|t| t.shed_queue).sum(),
+        shed_budget: tenants.iter().map(|t| t.shed_budget).sum(),
+        per_query,
+        tenants,
+        completed,
+        errored,
+        makespan_s,
+        sum_billed,
+        total_dollars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::{poisson_arrivals, OpenLoopSpec};
+    use pushdown_tpch::tpch_context;
+
+    fn trace(seed: u64, n: usize, lambda: f64) -> Vec<Arrival> {
+        poisson_arrivals(&OpenLoopSpec {
+            seed,
+            queries: n,
+            lambda_qps: lambda,
+            tenants: 2,
+            theta: 1.0,
+        })
+    }
+
+    #[test]
+    fn dispatch_is_fifo_over_the_earliest_free_server() {
+        let mut free = vec![0.0, 0.0];
+        // Two long jobs occupy both servers; the third waits for the
+        // earlier of the two to drain.
+        assert_eq!(dispatch(&mut free, 0.0, 10.0), 0.0);
+        assert_eq!(dispatch(&mut free, 1.0, 4.0), 1.0);
+        assert_eq!(dispatch(&mut free, 2.0, 1.0), 5.0);
+        // An arrival after everything drained starts immediately.
+        assert_eq!(dispatch(&mut free, 20.0, 1.0), 20.0);
+    }
+
+    #[test]
+    fn open_loop_reports_wait_plus_service_and_conserves() {
+        let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+        let specs = [
+            TenantSpec {
+                name: "gold",
+                budget_dollars: f64::INFINITY,
+            },
+            TenantSpec {
+                name: "silver",
+                budget_dollars: f64::INFINITY,
+            },
+        ];
+        let adm = AdmissionController::new(ctx.store.global_ledger(), &ctx, &specs, 64);
+        let arrivals = trace(11, 24, 50.0);
+        let report = run_open_loop(&ctx, &t, Strategy::Adaptive, &arrivals, &adm, 2, 11);
+        // Conservation already asserted in-driver; spot-check the report
+        // mirrors it and the latency decomposition holds.
+        assert_eq!(report.completed, 24);
+        assert_eq!(report.shed_queue + report.shed_budget, 0);
+        for tr in &report.tenants {
+            assert_eq!(tr.billed, tr.sum_query_billed);
+        }
+        for q in &report.per_query {
+            assert!(q.wait_s >= 0.0);
+            assert!((q.latency_s - (q.wait_s + q.service_s)).abs() < 1e-12);
+            assert!(q.billed.requests > 0, "executed queries bill requests");
+        }
+        assert!(report.latency_percentile(99.0) >= report.latency_percentile(50.0));
+        assert!(report.makespan_s > 0.0);
+        assert!(report.total_dollars > 0.0);
+    }
+
+    #[test]
+    fn tight_budget_sheds_and_stops_billing() {
+        let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+        let specs = [
+            TenantSpec {
+                name: "gold",
+                budget_dollars: f64::INFINITY,
+            },
+            TenantSpec {
+                name: "bronze",
+                budget_dollars: 1e-7,
+            },
+        ];
+        let adm = AdmissionController::new(ctx.store.global_ledger(), &ctx, &specs, 1024);
+        let arrivals = trace(11, 30, 50.0);
+        let offered: usize = arrivals.iter().filter(|a| a.tenant == 1).count();
+        assert!(offered > 3, "trace must offer bronze real traffic");
+        let report = run_open_loop(&ctx, &t, Strategy::Adaptive, &arrivals, &adm, 2, 11);
+        let bronze = &report.tenants[1];
+        // First bronze query is admitted (budget unspent), every later
+        // one is shed; spend never grows past that single query.
+        assert_eq!(bronze.admitted, 1);
+        assert_eq!(bronze.shed_budget, offered - 1);
+        assert!(bronze.spent_dollars > bronze.budget_dollars);
+        assert_eq!(report.shed_budget, offered - 1);
+        assert!(report.tenants[0].admitted > 0, "gold unaffected");
+        assert_eq!(report.tenants[0].shed_budget, 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_overload() {
+        let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+        let specs = [
+            TenantSpec {
+                name: "gold",
+                budget_dollars: f64::INFINITY,
+            },
+            TenantSpec {
+                name: "silver",
+                budget_dollars: f64::INFINITY,
+            },
+        ];
+        // One server, a queue bound of 1 and an arrival rate far past
+        // capacity: most arrivals find the slot taken.
+        let adm = AdmissionController::new(ctx.store.global_ledger(), &ctx, &specs, 1);
+        let arrivals = trace(11, 30, 10_000.0);
+        let report = run_open_loop(&ctx, &t, Strategy::Adaptive, &arrivals, &adm, 1, 11);
+        assert!(report.shed_queue > 0, "overload must shed");
+        assert_eq!(
+            report.completed + report.shed_queue + report.shed_budget,
+            30,
+            "every arrival accounted for"
+        );
+        // Shed arrivals never bill.
+        for q in report.per_query.iter().filter(|q| q.shed.is_some()) {
+            assert_eq!(q.billed, Usage::default());
+            assert_eq!(q.latency_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_runs_are_bit_identical() {
+        let run = || {
+            let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+            let specs = [
+                TenantSpec {
+                    name: "gold",
+                    budget_dollars: f64::INFINITY,
+                },
+                TenantSpec {
+                    name: "bronze",
+                    budget_dollars: 2e-6,
+                },
+            ];
+            let adm = AdmissionController::new(ctx.store.global_ledger(), &ctx, &specs, 4);
+            let arrivals = trace(42, 20, 200.0);
+            run_open_loop(&ctx, &t, Strategy::Adaptive, &arrivals, &adm, 2, 42).digest()
+        };
+        assert_eq!(run(), run(), "fresh context + same seed => same digest");
+    }
+}

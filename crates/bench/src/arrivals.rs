@@ -1,0 +1,146 @@
+//! Seeded open-loop arrival processes on the virtual clock.
+//!
+//! The closed-loop driver in [`crate::workload`] can never show
+//! overload: a fixed pool launches the next query only when one
+//! finishes, so offered load self-regulates to capacity. An **open
+//! loop** decouples the two — arrivals come from an external Poisson
+//! process with an offered-load knob λ, whether or not the engine keeps
+//! up — which is what exposes queueing delay, the p99-vs-load knee and
+//! shedding under saturation (see [`crate::admission`]).
+//!
+//! Everything is a pure function of the spec: interarrival gaps draw
+//! exponential variates from [`splitmix64`] streams, the query mix is
+//! the seeded Zipf stream from [`generate_zipf`], and tenants are
+//! assigned by hash. Same spec, same trace, bit for bit.
+
+use crate::workload::{generate_zipf, WorkloadQuery};
+use pushdown_common::mix::splitmix64;
+
+/// Per-index stream tags keeping the interarrival and tenant draws
+/// independent of each other and of the query-mix draws.
+const GAP_TAG: u64 = 0xD6E8_FEB8_6659_FD93;
+const TENANT_TAG: u64 = 0x2545_F491_4F6C_DD1D;
+
+/// The offered-load trace to generate: how many queries, how fast they
+/// arrive, how they are mixed and who they belong to.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopSpec {
+    /// Seed for arrivals, tenant assignment and the query mix alike.
+    pub seed: u64,
+    /// Arrivals in the trace.
+    pub queries: usize,
+    /// Offered load: mean arrival rate in queries per *virtual* second.
+    pub lambda_qps: f64,
+    /// Tenants the trace is spread over (≥ 1; hashed per arrival).
+    pub tenants: usize,
+    /// Zipf skew of the query mix (`0.0` = uniform; see
+    /// [`generate_zipf`]).
+    pub theta: f64,
+}
+
+/// One arrival of the open-loop trace.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Position in the trace (also determines the query's chaos salt).
+    pub index: usize,
+    /// Virtual arrival time (seconds since trace start).
+    pub at_s: f64,
+    /// Owning tenant (`0..spec.tenants`).
+    pub tenant: usize,
+    pub query: WorkloadQuery,
+}
+
+/// Uniform variate in `[0, 1)` from a hash — 53 mantissa bits.
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A seeded Poisson arrival trace: exponential interarrival gaps with
+/// mean `1/λ`, Zipf-mixed queries, tenants by hash. Deterministic in
+/// the spec; arrival times are strictly non-decreasing.
+pub fn poisson_arrivals(spec: &OpenLoopSpec) -> Vec<Arrival> {
+    let stream = generate_zipf(spec.seed, spec.queries, spec.theta);
+    let lambda = spec.lambda_qps.max(1e-9);
+    let tenants = spec.tenants.max(1) as u64;
+    let mut at_s = 0.0f64;
+    stream
+        .into_iter()
+        .map(|query| {
+            let index = query.index;
+            let gap_h = splitmix64(spec.seed ^ (index as u64 + 1).wrapping_mul(GAP_TAG));
+            // Inverse-CDF exponential; 1-u is in (0, 1] so ln is finite.
+            at_s += -(1.0 - unit_f64(gap_h)).ln() / lambda;
+            let tenant_h = splitmix64(spec.seed ^ TENANT_TAG ^ index as u64);
+            Arrival {
+                index,
+                at_s,
+                tenant: (tenant_h % tenants) as usize,
+                query,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(seed: u64, n: usize, lambda: f64) -> OpenLoopSpec {
+        OpenLoopSpec {
+            seed,
+            queries: n,
+            lambda_qps: lambda,
+            tenants: 3,
+            theta: 1.0,
+        }
+    }
+
+    #[test]
+    fn traces_are_seeded_and_reproducible() {
+        let a = poisson_arrivals(&spec(7, 100, 5.0));
+        let b = poisson_arrivals(&spec(7, 100, 5.0));
+        assert_eq!(a.len(), 100);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_s.to_bits(), y.at_s.to_bits(), "bit-identical times");
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.query.query.name, y.query.query.name);
+        }
+        let c = poisson_arrivals(&spec(8, 100, 5.0));
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.at_s != y.at_s),
+            "different seed, different trace"
+        );
+    }
+
+    #[test]
+    fn interarrival_mean_tracks_offered_load() {
+        for lambda in [0.5, 4.0, 32.0] {
+            let trace = poisson_arrivals(&spec(42, 4000, lambda));
+            let span = trace.last().unwrap().at_s;
+            let mean_gap = span / trace.len() as f64;
+            let expect = 1.0 / lambda;
+            assert!(
+                (mean_gap - expect).abs() < 0.1 * expect,
+                "λ={lambda}: mean gap {mean_gap} vs {expect}"
+            );
+            assert!(
+                trace.windows(2).all(|w| w[0].at_s <= w[1].at_s),
+                "arrival times non-decreasing"
+            );
+        }
+    }
+
+    #[test]
+    fn tenants_all_receive_traffic() {
+        let trace = poisson_arrivals(&spec(11, 300, 8.0));
+        let mut seen = [0usize; 3];
+        for a in &trace {
+            assert!(a.tenant < 3);
+            seen[a.tenant] += 1;
+        }
+        assert!(
+            seen.iter().all(|&c| c > 30),
+            "hash spreads tenants: {seen:?}"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! p50/p99 virtual SLO latency, shedding and per-tenant spend vs
+//! offered load through the open-loop admission layer (beyond the
+//! paper; ISSUE 8).
+//! Usage: `fig_queueing [scale_factor] [queries] [seed] [servers]`
+//! (defaults 0.002, 60, 42, 4; offered load ρ sweeps `RHOS`).
+//!
+//! Exits non-zero if tenant-ledger conservation breaks (the driver
+//! asserts tenant = Σ queries and global = Σ tenants at every point),
+//! if two same-seed runs diverge, or if p99 fails to degrade
+//! monotonically past the saturation knee.
+
+use pushdown_bench::experiments::fig_queueing as fig;
+use pushdown_bench::table::print_table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let sf: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.002);
+    let queries: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(60);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let servers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let res = fig::run(sf, seed, queries, servers).expect("fig_queueing");
+    println!(
+        "calibration: mean service {:.4}s, capacity {:.2} qps over {} servers; bronze budget ${:.6}",
+        res.mean_service_s, res.capacity_qps, res.servers, res.bronze_budget_dollars,
+    );
+    print_table(
+        &format!(
+            "Fig queueing — {} open-loop Zipf queries (seed {}) vs offered load",
+            res.queries, res.seed,
+        ),
+        &[
+            "rho",
+            "lambda qps",
+            "done",
+            "shed q",
+            "shed $",
+            "p50 s",
+            "p99 s",
+            "billed $",
+            "read-around",
+        ],
+        &res.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.1}", r.rho),
+                    format!("{:.2}", r.lambda_qps),
+                    r.report.completed.to_string(),
+                    r.report.shed_queue.to_string(),
+                    r.report.shed_budget.to_string(),
+                    format!("{:.4}", r.report.latency_percentile(50.0)),
+                    format!("{:.4}", r.report.latency_percentile(99.0)),
+                    format!("${:.6}", r.report.total_dollars),
+                    r.cache.read_arounds.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    for r in &res.rows {
+        println!("\nrho={:.1}: per-tenant admitted / shed / spend", r.rho);
+        for t in &r.report.tenants {
+            println!(
+                "  {:<6} admitted {:<3} shed(queue {}, budget {:<3}) spent ${:.6} of {}",
+                t.name,
+                t.admitted,
+                t.shed_queue,
+                t.shed_budget,
+                t.spent_dollars,
+                if t.budget_dollars.is_finite() {
+                    format!("${:.6}", t.budget_dollars)
+                } else {
+                    "∞".to_string()
+                },
+            );
+        }
+    }
+
+    // CI gates. (Conservation is asserted inside the driver at every
+    // load point — a violation aborts before we get here.)
+    let mut ok = true;
+    if !res.rerun_digest_matches {
+        eprintln!(
+            "ERROR: same-seed re-run at rho={:.1} produced a different digest",
+            res.rerun_rho
+        );
+        ok = false;
+    }
+    // The knee: p99 past saturation dwarfs p99 well below it, and it
+    // degrades monotonically through the supersaturated points.
+    let p99: Vec<f64> = res
+        .rows
+        .iter()
+        .map(|r| r.report.latency_percentile(99.0))
+        .collect();
+    let first = p99.first().copied().unwrap_or(0.0);
+    let last = p99.last().copied().unwrap_or(0.0);
+    if last < 2.0 * first {
+        eprintln!(
+            "ERROR: no saturation knee: p99 {first:.4}s at rho={} vs {last:.4}s at rho={}",
+            fig::RHOS[0],
+            fig::RHOS[fig::RHOS.len() - 1]
+        );
+        ok = false;
+    }
+    for w in res.rows.windows(2) {
+        if w[0].rho >= 1.0 && p99_of(&w[1]) < p99_of(&w[0]) - 1e-9 {
+            eprintln!(
+                "ERROR: p99 not monotone past the knee: {:.4}s at rho={:.1} > {:.4}s at rho={:.1}",
+                p99_of(&w[0]),
+                w[0].rho,
+                p99_of(&w[1]),
+                w[1].rho
+            );
+            ok = false;
+        }
+    }
+    let top = res.rows.last().expect("sweep is non-empty");
+    if top.report.shed_queue == 0 {
+        eprintln!(
+            "ERROR: rho={:.1} overload shed nothing from the bounded queue",
+            top.rho
+        );
+        ok = false;
+    }
+    if top.report.shed_budget == 0 {
+        eprintln!("ERROR: the bronze budget never exhausted under load");
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!("\nAll load points: ledgers conserved, same-seed digest stable, p99 knee at rho≈1.");
+}
+
+fn p99_of(r: &fig::FigQueueingRow) -> f64 {
+    r.report.latency_percentile(99.0)
+}

@@ -27,6 +27,7 @@ use pushdown_common::Result;
 use pushdown_core::planner::{execute_sql, Strategy};
 use pushdown_core::{NodeSnapshot, QueryContext, QueryOutput};
 use pushdown_tpch::{planner_suite, PlannerQuery, TpchTables};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -165,8 +166,18 @@ pub struct WorkloadReport {
     /// Wall-clock seconds the driver took (the only non-deterministic
     /// number here; everything else is virtual or exact).
     pub wall_s: f64,
-    /// Queries per wall-clock second.
+    /// Queries per wall-clock second (non-deterministic; use
+    /// [`WorkloadReport::virtual_qps`] in seed-replayable gates).
     pub throughput_qps: f64,
+    /// Σ per-query virtual latency — total virtual service demand.
+    pub virtual_busy_s: f64,
+    /// Deterministic virtual makespan: the recorded latencies replayed
+    /// through [`virtual_makespan`] over `spec.concurrency` virtual
+    /// workers. Depends only on (data, seed, fault plan, concurrency).
+    pub virtual_makespan_s: f64,
+    /// Queries per *virtual* second of makespan — the deterministic
+    /// throughput figure `fig_*` gates may assert on.
+    pub virtual_qps: f64,
     /// Σ per-query billed dollars.
     pub total_dollars: f64,
     /// Σ per-query child-ledger usage (equals the store-global delta —
@@ -181,18 +192,20 @@ pub struct WorkloadReport {
 }
 
 impl WorkloadReport {
-    /// Virtual-latency percentile over successful queries (`p` in
-    /// 0..=100), ceiling nearest-rank: the smallest latency `x` such
-    /// that at least `p`% of samples are ≤ `x` (index `⌈p/100·n⌉ − 1`).
-    /// Rounding to the *nearest* rank under-reports tail percentiles —
-    /// on 10 samples a rounded p95 lands on the 9th value, not the max.
+    /// Virtual-latency percentile over **all** queries (`p` in 0..=100),
+    /// ceiling nearest-rank: the smallest latency `x` such that at least
+    /// `p`% of samples are ≤ `x` (index `⌈p/100·n⌉ − 1`). Rounding to
+    /// the *nearest* rank under-reports tail percentiles — on 10 samples
+    /// a rounded p95 lands on the 9th value, not the max.
+    ///
+    /// Errored queries count at their observed virtual latency (the
+    /// scope's virtual clock, which includes every retry the fault plan
+    /// charged before giving up). Filtering them out would be
+    /// survivorship bias: under chaos the slowest attempts are exactly
+    /// the ones that fail, and dropping them silently *improves* the
+    /// reported tail. Track failures via [`WorkloadReport::error_rate`].
     pub fn latency_percentile(&self, p: f64) -> f64 {
-        let mut lats: Vec<f64> = self
-            .per_query
-            .iter()
-            .filter(|q| q.error.is_none())
-            .map(|q| q.latency_s)
-            .collect();
+        let mut lats: Vec<f64> = self.per_query.iter().map(|q| q.latency_s).collect();
         if lats.is_empty() {
             return 0.0;
         }
@@ -201,10 +214,41 @@ impl WorkloadReport {
         let rank = ((p / 100.0) * n as f64).ceil() as usize;
         lats[rank.saturating_sub(1).min(n - 1)]
     }
+
+    /// Fraction of queries that errored (0.0 when the report is empty).
+    /// The separate channel for what [`WorkloadReport::latency_percentile`]
+    /// folds into the latency distribution.
+    pub fn error_rate(&self) -> f64 {
+        if self.per_query.is_empty() {
+            0.0
+        } else {
+            self.failed as f64 / self.per_query.len() as f64
+        }
+    }
+}
+
+/// Deterministic virtual makespan of a closed-loop pool: latencies are
+/// replayed in stream order, each assigned to the earliest-free of
+/// `workers` virtual workers (the driver's greedy dispatch); the
+/// makespan is the busiest worker's finish time. Unlike wall-clock
+/// elapsed time this depends only on the recorded virtual latencies, so
+/// same-seed runs agree bit-for-bit.
+pub fn virtual_makespan(latencies: &[f64], workers: usize) -> f64 {
+    let mut free = vec![0.0f64; workers.max(1)];
+    for &lat in latencies {
+        let w = free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        free[w] += lat.max(0.0);
+    }
+    free.iter().cloned().fold(0.0, f64::max)
 }
 
 /// Order-sensitive FNV-1a digest over the CSV rendering of result rows.
-fn digest_rows(out: &QueryOutput) -> u64 {
+pub(crate) fn digest_rows(out: &QueryOutput) -> u64 {
     fnv1a(out.rows.iter().flat_map(|row| {
         row.values()
             .iter()
@@ -219,6 +263,11 @@ fn digest_rows(out: &QueryOutput) -> u64 {
 
 /// Execute one workload query in its own scope of `ctx`. Public so test
 /// suites can replay a single (seed, index) pair.
+///
+/// A panic inside the query (a planner or table bug) is caught and
+/// surfaced as `error: Some("panic: …")` with whatever the scope had
+/// billed so far — one buggy query must not poison the driver's report
+/// mutex and take every other query's report down with it.
 pub fn run_one(
     ctx: &QueryContext,
     tables: &TpchTables,
@@ -227,9 +276,30 @@ pub fn run_one(
 ) -> QueryReport {
     let salt = query_salt(spec.seed, wq.index);
     let qctx = ctx.scoped_with_salt(salt);
-    let table = (wq.query.table)(tables);
-    match execute_sql(&qctx, table, wq.query.sql, spec.strategy) {
-        Ok(out) => {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let table = (wq.query.table)(tables);
+        execute_sql(&qctx, table, wq.query.sql, spec.strategy)
+    }));
+    match outcome {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            QueryReport {
+                index: wq.index,
+                name: wq.query.name,
+                salt,
+                row_digest: 0,
+                rows: 0,
+                billed: qctx.billed(),
+                dollars: 0.0,
+                latency_s: qctx.virtual_time_s(),
+                error: Some(format!("panic: {msg}")),
+            }
+        }
+        Ok(Ok(out)) => {
             let latency_s = out.runtime(&qctx).max(qctx.virtual_time_s());
             QueryReport {
                 index: wq.index,
@@ -243,7 +313,7 @@ pub fn run_one(
                 error: None,
             }
         }
-        Err(e) => QueryReport {
+        Ok(Err(e)) => QueryReport {
             index: wq.index,
             name: wq.query.name,
             salt,
@@ -309,11 +379,17 @@ pub fn run_stream(
             failed += 1;
         }
     }
+    let lats: Vec<f64> = per_query.iter().map(|q| q.latency_s).collect();
+    let virtual_busy_s: f64 = lats.iter().sum();
+    let virtual_makespan_s = virtual_makespan(&lats, spec.concurrency.max(1));
     Ok(WorkloadReport {
         succeeded: per_query.len() - failed,
         failed,
         throughput_qps: per_query.len() as f64 / wall_s.max(1e-9),
         wall_s,
+        virtual_busy_s,
+        virtual_qps: per_query.len() as f64 / virtual_makespan_s.max(1e-9),
+        virtual_makespan_s,
         total_dollars,
         sum_billed,
         per_query,
@@ -387,6 +463,9 @@ mod tests {
                 .collect(),
             wall_s: 0.0,
             throughput_qps: 0.0,
+            virtual_busy_s: 0.0,
+            virtual_makespan_s: 0.0,
+            virtual_qps: 0.0,
             total_dollars: 0.0,
             sum_billed: Usage::default(),
             succeeded: 10,
@@ -400,6 +479,108 @@ mod tests {
         // Low tail: p0 and p10 clamp to / land on the minimum.
         assert_eq!(report.latency_percentile(0.0), 1.0);
         assert_eq!(report.latency_percentile(10.0), 1.0);
+    }
+
+    #[test]
+    fn failed_queries_count_in_tail_percentiles() {
+        // Nine fast successes and one slow failure: the failure IS the
+        // tail. Pre-fix, `latency_percentile` filtered errored queries
+        // and reported p99 = 1.0 — survivorship bias that made a chaos
+        // run's SLO look *better* the more queries timed out.
+        let mut per_query: Vec<QueryReport> = (0..9)
+            .map(|i| QueryReport {
+                index: i,
+                name: "ok",
+                salt: 0,
+                row_digest: 0,
+                rows: 0,
+                billed: Usage::default(),
+                dollars: 0.0,
+                latency_s: 1.0,
+                error: None,
+            })
+            .collect();
+        per_query.push(QueryReport {
+            index: 9,
+            name: "slow-failure",
+            salt: 0,
+            row_digest: 0,
+            rows: 0,
+            billed: Usage::default(),
+            dollars: 0.0,
+            latency_s: 100.0,
+            error: Some("retries_exhausted".to_string()),
+        });
+        let report = WorkloadReport {
+            per_query,
+            wall_s: 0.0,
+            throughput_qps: 0.0,
+            virtual_busy_s: 0.0,
+            virtual_makespan_s: 0.0,
+            virtual_qps: 0.0,
+            total_dollars: 0.0,
+            sum_billed: Usage::default(),
+            succeeded: 9,
+            failed: 1,
+            node_stats: vec![],
+        };
+        assert_eq!(report.latency_percentile(99.0), 100.0);
+        assert_eq!(report.latency_percentile(100.0), 100.0);
+        assert_eq!(report.latency_percentile(50.0), 1.0);
+        assert!((report.error_rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn virtual_makespan_replays_greedy_dispatch() {
+        // Stream order [3,1,1,1] over two virtual workers: worker 0
+        // takes the 3, worker 1 drains the three 1s — makespan 3, not
+        // the serial 6 and not the optimal-offline answer for other
+        // orders. One worker degrades to the serial sum; empty is 0.
+        assert_eq!(virtual_makespan(&[3.0, 1.0, 1.0, 1.0], 2), 3.0);
+        assert_eq!(virtual_makespan(&[3.0, 1.0, 1.0, 1.0], 1), 6.0);
+        assert_eq!(virtual_makespan(&[], 4), 0.0);
+        // More workers than queries: makespan = max latency.
+        assert_eq!(virtual_makespan(&[2.0, 5.0, 1.0], 8), 5.0);
+    }
+
+    #[test]
+    fn panicking_query_yields_an_error_report_not_a_poisoned_driver() {
+        let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+        fn boom(_: &TpchTables) -> &pushdown_core::Table {
+            panic!("table resolver bug")
+        }
+        let mut stream = generate(11, 4);
+        stream[2].query = PlannerQuery {
+            name: "boom",
+            table: boom,
+            sql: "SELECT COUNT(*) FROM t",
+        };
+        let spec = WorkloadSpec {
+            seed: 11,
+            queries: stream.len(),
+            concurrency: 2,
+            strategy: Strategy::Adaptive,
+        };
+        // Silence the default panic hook for the intentional panic; the
+        // driver catches it either way.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = run_stream(&ctx, &t, &spec, &stream);
+        std::panic::set_hook(hook);
+        // Pre-fix this unwound through `slots.lock().unwrap()[i]` and
+        // poisoned the mutex: the whole report was lost to one bug.
+        let report = report.unwrap();
+        assert_eq!(report.per_query.len(), 4, "report complete");
+        assert_eq!(report.failed, 1);
+        let bad = &report.per_query[2];
+        assert_eq!(bad.name, "boom");
+        assert_eq!(bad.error.as_deref(), Some("panic: table resolver bug"));
+        for (i, q) in report.per_query.iter().enumerate() {
+            if i != 2 {
+                assert!(q.error.is_none(), "query {i} unaffected");
+                assert!(q.rows > 0 || q.row_digest != 0);
+            }
+        }
     }
 
     #[test]
@@ -477,6 +658,13 @@ mod tests {
             assert_eq!(a.billed, b.billed, "query {} ledger", a.index);
         }
         assert_eq!(serial.sum_billed, concurrent.sum_billed);
+        // Virtual throughput is deterministic: serial makespan is the
+        // busy sum, four workers can only shrink it, and both figures
+        // replay exactly from the recorded latencies.
+        assert!((serial.virtual_makespan_s - serial.virtual_busy_s).abs() < 1e-12);
+        assert!(concurrent.virtual_makespan_s <= serial.virtual_makespan_s + 1e-12);
+        assert!(concurrent.virtual_qps >= serial.virtual_qps - 1e-12);
+        assert!(serial.virtual_qps > 0.0);
         assert!(serial.total_dollars > 0.0);
         assert!(serial.latency_percentile(50.0) > 0.0);
         assert!(serial.latency_percentile(95.0) >= serial.latency_percentile(50.0));

@@ -42,6 +42,24 @@
 //! publish stale bytes into the cache, while the bytes it already holds
 //! stay consistent for the remainder of its own scan (exactly the
 //! snapshot a cache-less scan would have seen).
+//!
+//! # Workload-driven admission
+//!
+//! Eviction protects value already in the cache; **admission** decides
+//! whether a fill deserves to displace it. Under
+//! [`CacheAdmission::ReuseDistance`] the cache tracks an approximate
+//! per-segment reuse distance (fill-attempt ticks between successive
+//! fill attempts of the same segment, kept in a small per-shard *ghost*
+//! table that remembers segments no longer resident): a fill that would
+//! force eviction is admitted only if the segment was last attempted
+//! within the policy's window — a one-off table scan streams through
+//! **read-around** (the caller still gets the bytes; they just are not
+//! cached) instead of churning the hot tail, while anything touched
+//! twice under open-loop traffic is admitted on its second appearance.
+//! Fills that fit without eviction are always admitted (read-around only
+//! protects *occupied* budget). The default policy,
+//! [`CacheAdmission::AdmitAll`], preserves the original always-admit
+//! behavior.
 
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -61,6 +79,29 @@ const SHARDS: usize = 16;
 /// The byte range standing for "the whole object" on the read-through
 /// path.
 pub const FULL_OBJECT: (u64, u64) = (0, u64::MAX);
+
+/// Ghost entries per shard before stale ones (outside every plausible
+/// reuse window) are pruned. Bounds the admission metadata regardless of
+/// how many distinct segments stream through.
+const GHOSTS_PER_SHARD: usize = 1024;
+
+/// Fill-admission policy (see the module docs' *Workload-driven
+/// admission* section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheAdmission {
+    /// Admit every fill that fits the budget (the classic read-through
+    /// behavior, and the default).
+    #[default]
+    AdmitAll,
+    /// Admit a fill that would force eviction only when the same segment
+    /// was already fill-attempted within the last `window` fill attempts
+    /// (approximate reuse distance). First touches of a full cache go
+    /// read-around; fills that fit without eviction always admit.
+    ReuseDistance {
+        /// Maximum reuse distance, in store-wide fill-attempt ticks.
+        window: u64,
+    },
+}
 
 /// Identity of one cached segment: a contiguous byte range of an object.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -105,6 +146,11 @@ struct Shard {
     segments: HashMap<SegmentKey, Entry>,
     /// Object-hash → epoch; bumped by every invalidation of the object.
     epochs: HashMap<u64, u64>,
+    /// Segment → fill-attempt tick of its last fill attempt. The
+    /// admission policy's reuse-distance memory; survives the segment's
+    /// eviction (that is the point — a ghost is how a *non-resident*
+    /// segment proves it is hot enough to admit).
+    ghosts: HashMap<SegmentKey, u64>,
 }
 
 fn object_hash(bucket: &str, key: &str) -> u64 {
@@ -126,6 +172,7 @@ struct Counters {
     evictions: AtomicU64,
     invalidations: AtomicU64,
     stale_fills: AtomicU64,
+    read_arounds: AtomicU64,
 }
 
 /// Point-in-time cache observability (EXPLAIN's cache line, the
@@ -144,6 +191,9 @@ pub struct CacheStats {
     /// Fills discarded because the object changed mid-flight (epoch
     /// moved between [`SegmentCache::begin_fill`] and the insert).
     pub stale_fills: u64,
+    /// Fills the admission policy declined (read-around): the fill would
+    /// have forced eviction and the segment had no recent reuse.
+    pub read_arounds: u64,
     pub used_bytes: u64,
     pub budget_bytes: u64,
     pub segments: u64,
@@ -154,7 +204,11 @@ struct Inner {
     budget: u64,
     used: AtomicU64,
     pricing: Pricing,
+    admission: CacheAdmission,
     seq: AtomicU64,
+    /// Store-wide fill-attempt tick — the reuse-distance policy's unit
+    /// of "time".
+    fill_ticks: AtomicU64,
     counters: Counters,
 }
 
@@ -170,16 +224,32 @@ impl SegmentCache {
     /// eviction by dollars-saved-per-byte under `pricing`. A zero budget
     /// admits nothing (a convenient "disabled" configuration).
     pub fn new(budget_bytes: u64, pricing: Pricing) -> SegmentCache {
+        Self::with_admission(budget_bytes, pricing, CacheAdmission::AdmitAll)
+    }
+
+    /// [`SegmentCache::new`] with an explicit fill-admission policy.
+    pub fn with_admission(
+        budget_bytes: u64,
+        pricing: Pricing,
+        admission: CacheAdmission,
+    ) -> SegmentCache {
         SegmentCache {
             inner: Arc::new(Inner {
                 shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
                 budget: budget_bytes,
                 used: AtomicU64::new(0),
                 pricing,
+                admission,
                 seq: AtomicU64::new(0),
+                fill_ticks: AtomicU64::new(0),
                 counters: Counters::default(),
             }),
         }
+    }
+
+    /// The fill-admission policy this cache runs under.
+    pub fn admission(&self) -> CacheAdmission {
+        self.inner.admission
     }
 
     pub fn budget_bytes(&self) -> u64 {
@@ -256,6 +326,31 @@ impl SegmentCache {
             if *shard.epochs.get(&h).unwrap_or(&0) != epoch {
                 c.stale_fills.fetch_add(1, Ordering::Relaxed);
                 return false;
+            }
+            if let CacheAdmission::ReuseDistance { window } = self.inner.admission {
+                let tick = self.inner.fill_ticks.fetch_add(1, Ordering::Relaxed);
+                let reused = shard
+                    .ghosts
+                    .get(&skey)
+                    .is_some_and(|&last| tick.saturating_sub(last) <= window);
+                shard.ghosts.insert(skey.clone(), tick);
+                if shard.ghosts.len() > GHOSTS_PER_SHARD {
+                    shard
+                        .ghosts
+                        .retain(|_, &mut last| tick.saturating_sub(last) <= window);
+                }
+                // Replacements and fills that fit spare budget always
+                // admit; only eviction-forcing first touches go around.
+                let resident = shard
+                    .segments
+                    .get(&skey)
+                    .map(|e| e.data.len() as u64)
+                    .unwrap_or(0);
+                let would_evict = self.used_bytes() - resident + len > self.inner.budget;
+                if would_evict && !reused {
+                    c.read_arounds.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
             }
             let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
             let old = shard.segments.insert(skey, Entry { data, hits: 1, seq });
@@ -369,6 +464,7 @@ impl SegmentCache {
             evictions: c.evictions.load(Ordering::Relaxed),
             invalidations: c.invalidations.load(Ordering::Relaxed),
             stale_fills: c.stale_fills.load(Ordering::Relaxed),
+            read_arounds: c.read_arounds.load(Ordering::Relaxed),
             used_bytes: self.used_bytes(),
             budget_bytes: self.inner.budget,
             segments,
@@ -540,6 +636,86 @@ mod tests {
         assert_eq!(s.fills, 200);
         assert_eq!(s.hits, 200);
         assert!(s.used_bytes <= 100_000);
+    }
+
+    fn reuse_cache(budget: u64, window: u64) -> SegmentCache {
+        SegmentCache::with_admission(
+            budget,
+            Pricing::us_east(),
+            CacheAdmission::ReuseDistance { window },
+        )
+    }
+
+    #[test]
+    fn reuse_distance_admits_freely_while_budget_is_spare() {
+        let c = reuse_cache(1000, 8);
+        // Nothing to evict yet: first touches admit like AdmitAll.
+        assert!(fill(&c, "a", 400));
+        assert!(fill(&c, "b", 400));
+        assert_eq!(c.stats().read_arounds, 0);
+        assert_eq!(c.stats().segments, 2);
+    }
+
+    #[test]
+    fn one_off_scans_go_read_around_instead_of_churning_the_hot_tail() {
+        let c = reuse_cache(1000, 8);
+        fill(&c, "hot", 500);
+        fill(&c, "warm", 500);
+        for _ in 0..3 {
+            c.get(&whole("hot")).unwrap();
+        }
+        // A full cache + a never-seen segment: declined — under AdmitAll
+        // this fill would have evicted `warm` only to be evicted itself
+        // by the next such one-off (churn with zero hit value).
+        assert!(!fill(&c, "oneoff", 500), "first touch reads around");
+        assert!(c.peek(&whole("hot")).is_some());
+        assert!(c.peek(&whole("warm")).is_some());
+        let s = c.stats();
+        assert_eq!(s.read_arounds, 1);
+        assert_eq!(s.evictions, 0);
+        // The same segment attempted again within the window proves
+        // reuse and is admitted — displacing the coldest resident
+        // (`warm`, equal weight but older), never the hot tail.
+        assert!(fill(&c, "oneoff", 500), "second touch admits");
+        assert!(c.peek(&whole("oneoff")).is_some());
+        assert!(c.peek(&whole("hot")).is_some(), "hot tail intact");
+        assert!(c.peek(&whole("warm")).is_none());
+        assert_eq!(c.stats().read_arounds, 1);
+    }
+
+    #[test]
+    fn reuse_outside_the_window_does_not_count() {
+        let c = reuse_cache(100, 2);
+        fill(&c, "keep", 100);
+        assert!(!fill(&c, "x", 100), "x: first touch");
+        // Three other fill attempts push x's ghost out of the window.
+        for k in ["p", "q", "r"] {
+            assert!(!fill(&c, k, 100));
+        }
+        assert!(!fill(&c, "x", 100), "x's reuse distance exceeds window");
+        // Attempted again immediately (distance 1 ≤ window): admitted.
+        assert!(fill(&c, "x", 100));
+    }
+
+    #[test]
+    fn replacing_a_resident_segment_is_not_read_around() {
+        // A same-key refill displaces only itself — admission must not
+        // count the bytes it replaces as an eviction.
+        let c = reuse_cache(100, 4);
+        fill(&c, "k", 100);
+        assert!(fill(&c, "k", 100), "replacement admits");
+        assert_eq!(c.stats().read_arounds, 0);
+        assert_eq!(c.used_bytes(), 100);
+    }
+
+    #[test]
+    fn admit_all_remains_the_default() {
+        let c = cache(1000);
+        assert_eq!(c.admission(), CacheAdmission::AdmitAll);
+        assert_eq!(
+            reuse_cache(10, 3).admission(),
+            CacheAdmission::ReuseDistance { window: 3 }
+        );
     }
 
     #[test]

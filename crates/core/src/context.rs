@@ -5,7 +5,7 @@
 //! One `QueryContext` (and the engine inside it) is safely shared by many
 //! concurrent queries. Each query runs against a **scoped** context
 //! ([`QueryContext::scoped`]): the scope's store handle bills a
-//! [`CostLedger`](pushdown_common::CostLedger) *child* that rolls up
+//! [`CostLedger`] *child* that rolls up
 //! atomically into the store-global ledger, so per-query accounting is
 //! exact under any interleaving — no resets, no snapshot deltas. Every
 //! planner entry point and algorithm family scopes itself, so callers get
@@ -17,11 +17,11 @@ use std::sync::Arc;
 use crate::catalog::{Catalog, Table};
 use crate::cluster::Cluster;
 use pushdown_bloom::BloomBuilder;
-use pushdown_cache::SegmentCache;
+use pushdown_cache::{CacheAdmission, SegmentCache};
 use pushdown_common::perf::{PerfModel, PerfParams};
 use pushdown_common::pricing::{Pricing, Usage};
-use pushdown_common::RetryPolicy;
-use pushdown_s3::S3Store;
+use pushdown_common::{CostLedger, RetryPolicy};
+use pushdown_s3::{S3Store, VirtualClock};
 use pushdown_select::S3SelectEngine;
 
 /// Everything an algorithm needs to execute and be accounted.
@@ -133,6 +133,43 @@ impl QueryContext {
             return ctx;
         }
         let store = self.store.scoped_with_salt(salt);
+        self.rebound(store)
+    }
+
+    /// [`QueryContext::scoped_with_salt`] on behalf of a **tenant**: the
+    /// query's scope bills jointly to its own fresh child ledger *and*
+    /// to `tenant_ledger` (shared ancestors counted once — see
+    /// [`CostLedger::joint_child`]), with its virtual time also rolling
+    /// up into `tenant_clock`. With the tenant ledger a child of the
+    /// store-global one, all three decompositions hold exactly:
+    /// global = Σ tenant ledgers = Σ per-query ledgers — the same
+    /// machinery `core::cluster` uses for per-node accounting, here
+    /// powering per-tenant budget enforcement in the admission layer.
+    ///
+    /// Composes with an attached [`Cluster`] exactly like
+    /// [`QueryContext::scoped_with_salt`]: the tenant-joint scope becomes
+    /// the query's base ledger and the coordinator executes as node 0.
+    pub fn scoped_with_tenant(
+        &self,
+        salt: u64,
+        tenant_ledger: &CostLedger,
+        tenant_clock: &VirtualClock,
+    ) -> QueryContext {
+        if let (Some(cluster), None) = (&self.cluster, &self.cluster_base) {
+            let base = self
+                .store
+                .scoped_with_peer(salt, tenant_ledger, tenant_clock);
+            let n0 = cluster.node(0);
+            let exec = base
+                .scoped_with_peer(salt, &n0.ledger, &n0.clock)
+                .with_cache_override(n0.cache.clone());
+            let mut ctx = self.rebound(exec);
+            ctx.cluster_base = Some(base);
+            return ctx;
+        }
+        let store = self
+            .store
+            .scoped_with_peer(salt, tenant_ledger, tenant_clock);
         self.rebound(store)
     }
 
@@ -257,6 +294,19 @@ impl QueryContext {
         self
     }
 
+    /// [`QueryContext::with_cache`] with an explicit fill-admission
+    /// policy — e.g. [`CacheAdmission::ReuseDistance`] so one-off scans
+    /// go read-around instead of churning the hot tail under open-loop
+    /// traffic. Store-wide, like [`QueryContext::with_cache`].
+    pub fn with_cache_admission(self, budget_bytes: u64, admission: CacheAdmission) -> Self {
+        self.store.set_cache(Some(SegmentCache::with_admission(
+            budget_bytes,
+            self.pricing,
+            admission,
+        )));
+        self
+    }
+
     /// Install a pre-built [`SegmentCache`] (for custom pricing or for
     /// observing one cache handle from outside). Store-wide, like
     /// [`QueryContext::with_cache`].
@@ -331,6 +381,33 @@ mod tests {
         assert_eq!(q3.billed().requests, 1);
         assert!(q3.billed().select_scanned_bytes > 0);
         assert_eq!(q1.billed().requests, 1, "sibling scopes stay isolated");
+        assert_eq!(ctx.billed().requests, 4);
+    }
+
+    #[test]
+    fn tenant_scopes_bill_jointly_and_decompose() {
+        let store = S3Store::new();
+        store.put_object("b", "t/x.csv", "a\n1\n");
+        let ctx = QueryContext::new(store);
+        let tenant_a = ctx.store.ledger().child();
+        let tenant_b = ctx.store.ledger().child();
+        let clock_a = VirtualClock::new();
+        let clock_b = VirtualClock::new();
+        let q1 = ctx.scoped_with_tenant(1, &tenant_a, &clock_a);
+        let q2 = ctx.scoped_with_tenant(2, &tenant_a, &clock_a);
+        let q3 = ctx.scoped_with_tenant(3, &tenant_b, &clock_b);
+        q1.store.get_object("b", "t/x.csv").unwrap();
+        q2.store.get_object("b", "t/x.csv").unwrap();
+        q2.store.get_object("b", "t/x.csv").unwrap();
+        q3.store.get_object("b", "t/x.csv").unwrap();
+        // Per-query ledgers stay exact...
+        assert_eq!(q1.billed().requests, 1);
+        assert_eq!(q2.billed().requests, 2);
+        assert_eq!(q3.billed().requests, 1);
+        // ...tenants see exactly the sum of their queries...
+        assert_eq!(tenant_a.snapshot().requests, 3);
+        assert_eq!(tenant_b.snapshot().requests, 1);
+        // ...and the shared global root counts everything exactly once.
         assert_eq!(ctx.billed().requests, 4);
     }
 
