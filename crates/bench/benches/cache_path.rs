@@ -1,0 +1,152 @@
+//! Partial-hit read-path benchmarks for the tiered segment cache. Two
+//! jobs:
+//!
+//! * **`tier_serve`** — serve one fully-resident object from the mem
+//!   tier vs the disk tier. The throughput ratio disk/mem is what
+//!   calibrates `PerfParams::disk_read_bw` against `cache_read_bw`
+//!   (the way `parse_cl_bw` was calibrated from the kernels bench):
+//!   the model reads local mem bytes at `cache_read_bw` and local disk
+//!   bytes at `disk_read_bw = ratio × cache_read_bw`.
+//! * **`partial_hit`** — the chunk-granular read-through at varying
+//!   residency and gap fragmentation: fully warm, half warm in one
+//!   contiguous run (1 coalesced gap GET), half warm interleaved
+//!   (maximum gap runs), and cold (one whole-object GET that learns
+//!   the layout).
+//!
+//! Run with `cargo bench --bench cache_path -p pushdown-bench`.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pushdown_cache::{SegmentCache, SegmentKey};
+use pushdown_common::{Pricing, RetryPolicy};
+use pushdown_s3::S3Store;
+use std::hint::black_box;
+
+const CHUNK: u64 = 16 * 1024;
+const CHUNKS: u64 = 64;
+const LEN: u64 = CHUNK * CHUNKS;
+
+fn object() -> Bytes {
+    let mut v = Vec::with_capacity(LEN as usize);
+    for i in 0..LEN {
+        v.push((i % 251) as u8);
+    }
+    Bytes::from(v)
+}
+
+fn layout() -> Vec<(u64, u64)> {
+    (0..CHUNKS).map(|i| (i * CHUNK, (i + 1) * CHUNK)).collect()
+}
+
+fn store_with(data: &Bytes) -> S3Store {
+    let store = S3Store::new();
+    store.put_object("b", "k", data.clone());
+    store
+}
+
+/// A cache pre-warmed with the chunks `resident` selects, layout
+/// recorded, installed on a fresh store holding the object.
+fn warmed_store(
+    data: &Bytes,
+    mem_budget: u64,
+    disk_budget: u64,
+    resident: impl Fn(u64) -> bool,
+) -> S3Store {
+    let store = store_with(data);
+    let cache = SegmentCache::tiered(mem_budget, disk_budget, Pricing::us_east());
+    let epoch = cache.begin_fill(&SegmentKey::whole("b", "k"));
+    let chunks = layout();
+    cache.record_layout("b", "k", epoch, chunks.clone());
+    for (i, &(first, last)) in chunks.iter().enumerate() {
+        if resident(i as u64) {
+            cache.insert(
+                SegmentKey::chunk("b", "k", (first, last)),
+                data.slice(first as usize..last as usize),
+                epoch,
+            );
+        }
+    }
+    store.set_cache(Some(cache));
+    store
+}
+
+fn read_through(store: &S3Store) -> u64 {
+    let fetched = store
+        .get_object_chunked_cached_with("b", "k", &RetryPolicy::default(), |d| {
+            let len = d.len() as u64;
+            (0..len)
+                .step_by(CHUNK as usize)
+                .map(|f| (f, (f + CHUNK).min(len)))
+                .collect()
+        })
+        .expect("chunked read");
+    fetched.data.len() as u64
+}
+
+/// Fully-resident serves per tier: the `disk_read_bw` calibration basis.
+fn bench_tier_serve(c: &mut Criterion) {
+    let data = object();
+    let mut g = c.benchmark_group("tier_serve");
+    g.throughput(Throughput::Bytes(LEN));
+
+    // Every chunk in the mem tier; reads are pure mem hits.
+    let mem_store = warmed_store(&data, LEN * 2, 0, |_| true);
+    g.bench_function("mem", |b| b.iter(|| black_box(read_through(&mem_store))));
+
+    // Zero mem budget: fills land on disk and stay there (a promote
+    // can't fit, so hits serve in place from the disk tier).
+    let disk_store = warmed_store(&data, 0, LEN * 2, |_| true);
+    g.bench_function("disk", |b| b.iter(|| black_box(read_through(&disk_store))));
+
+    g.finish();
+}
+
+/// The partial-hit path at varying residency / gap fragmentation. Cold
+/// and partial reads mutate the cache (gap fills), so each iteration
+/// gets a freshly warmed store.
+fn bench_partial_hit(c: &mut Criterion) {
+    let data = object();
+    let mut g = c.benchmark_group("partial_hit");
+    g.throughput(Throughput::Bytes(LEN));
+
+    let warm_store = warmed_store(&data, LEN * 2, 0, |_| true);
+    g.bench_function("fully_warm", |b| {
+        b.iter(|| black_box(read_through(&warm_store)))
+    });
+
+    type Residency = fn(u64) -> bool;
+    let cases: &[(&str, Residency)] = &[
+        // First half resident: one coalesced gap GET for the back half.
+        ("half_warm_contiguous", |i| i < CHUNKS / 2),
+        // Every other chunk resident: CHUNKS/2 single-chunk gap GETs —
+        // the maximum fragmentation the layout allows at 50% residency.
+        ("half_warm_fragmented", |i| i % 2 == 0),
+    ];
+    for &(name, resident) in cases {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || warmed_store(&data, LEN * 2, 0, resident),
+                |store| black_box(read_through(&store)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Cold: no layout recorded — one whole-object GET that learns it.
+    g.bench_function("cold", |b| {
+        b.iter_batched(
+            || {
+                let store = store_with(&data);
+                store.set_cache(Some(SegmentCache::tiered(LEN * 2, 0, Pricing::us_east())));
+                store
+            },
+            |store| black_box(read_through(&store)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tier_serve, bench_partial_hit);
+criterion_main!(benches);

@@ -1,11 +1,68 @@
-//! Billed $ / bytes vs segment-cache budget under a Zipf-skewed repeated
-//! workload (the hybrid caching tier, beyond the paper).
+//! Billed $ / bytes vs segment-cache **tier budgets** under a
+//! Zipf-skewed repeated workload (the tiered caching layer, beyond the
+//! paper): a (mem, disk) grid showing the three-way mem/disk/remote
+//! frontier. Emits `BENCH_fig_cache.json` next to the table so the perf
+//! trajectory is tracked across PRs.
 //! Usage: `fig_cache [scale_factor] [queries] [seed] [theta]`
 //! (defaults 0.002, 48, 42, 1.0).
 
 use pushdown_bench::experiments::fig_cache as fig;
 use pushdown_bench::table::print_table;
 use pushdown_common::fmtutil;
+use std::fmt::Write as _;
+
+/// The swept (mem_fraction, disk_fraction) grid: the PR-5 mem-only
+/// sweep, then disk tiers stacked behind a RAM-constrained mem budget.
+const GRID: &[(f64, f64)] = &[
+    (0.0, 0.0),
+    (0.1, 0.0),
+    (0.5, 0.0),
+    (1.0, 0.0),
+    (0.1, 0.5),
+    (0.1, 1.0),
+    (0.5, 1.0),
+];
+
+fn budget_label(bytes: u64) -> String {
+    if bytes == 0 {
+        "off".to_string()
+    } else {
+        fmtutil::bytes(bytes)
+    }
+}
+
+fn write_json(res: &fig::FigCacheResult) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"queries\": {}, \"seed\": {}, \"theta\": {}, \"dataset_bytes\": {},\n  \"rows\": [",
+        res.queries, res.seed, res.theta, res.dataset_bytes
+    );
+    for (i, r) in res.rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"mem_budget\": {}, \"disk_budget\": {}, \"billed_dollars\": {:.9}, \
+             \"remote_bytes\": {}, \"saved_fraction\": {:.6}, \"mem_hit_bytes\": {}, \
+             \"disk_hit_bytes\": {}, \"fill_bytes\": {}, \"mem_hit_ratio\": {:.6}, \
+             \"disk_hit_ratio\": {:.6}, \"virtual_makespan_s\": {:.6}, \"failed\": {}}}",
+            if i == 0 { "" } else { "," },
+            r.mem_budget,
+            r.disk_budget,
+            r.report.total_dollars,
+            r.remote_bytes,
+            r.saved_fraction,
+            r.mem_hit_bytes(),
+            r.cache.disk_hit_bytes,
+            r.cache.fill_bytes,
+            r.mem_hit_ratio(),
+            r.disk_hit_ratio(),
+            r.report.virtual_makespan_s,
+            r.report.failed,
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -14,8 +71,8 @@ fn main() {
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
     let theta: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1.0);
     // The experiment always runs the cache-disabled reference for the
-    // saved-fraction column; the 0.0 point just surfaces it as a row.
-    let res = fig::run(sf, seed, queries, theta, &[0.0, 0.1, 0.5, 1.0]).expect("fig_cache");
+    // saved-fraction column; the (0, 0) point just surfaces it as a row.
+    let res = fig::run(sf, seed, queries, theta, GRID).expect("fig_cache");
     print_table(
         &format!(
             "Fig cache — {} Zipf(θ={}) queries (seed {}), dataset {}",
@@ -25,42 +82,79 @@ fn main() {
             fmtutil::bytes(res.dataset_bytes),
         ),
         &[
-            "budget",
+            "mem",
+            "disk",
             "billed $",
             "remote bytes",
             "saved",
-            "hits",
-            "fills",
-            "evicted",
+            "mem hit%",
+            "disk hit%",
+            "demoted",
             "failed",
         ],
         &res.rows
             .iter()
             .map(|r| {
                 vec![
-                    if r.budget == 0 {
-                        "off".to_string()
-                    } else {
-                        fmtutil::bytes(r.budget)
-                    },
+                    budget_label(r.mem_budget),
+                    budget_label(r.disk_budget),
                     format!("${:.6}", r.report.total_dollars),
                     fmtutil::bytes(r.remote_bytes),
                     format!("{:.0}%", r.saved_fraction * 100.0),
-                    r.cache.hits.to_string(),
-                    r.cache.fills.to_string(),
-                    r.cache.evictions.to_string(),
+                    format!("{:.0}%", r.mem_hit_ratio() * 100.0),
+                    format!("{:.0}%", r.disk_hit_ratio() * 100.0),
+                    r.cache.demotions.to_string(),
                     r.report.failed.to_string(),
                 ]
             })
             .collect::<Vec<_>>(),
     );
-    let full = res.rows.last().expect("at least one budget");
+    let json = write_json(&res);
+    std::fs::write("BENCH_fig_cache.json", &json).expect("write BENCH_fig_cache.json");
+    println!("\nWrote BENCH_fig_cache.json ({} rows).", res.rows.len());
+
+    // Gate 1 (PR 5): a full-dataset mem budget serves the whole repeated
+    // stream locally after the cold fills.
+    let full_mem = res
+        .rows
+        .iter()
+        .find(|r| r.mem_budget >= res.dataset_bytes && r.disk_budget == 0)
+        .expect("full mem-budget row in the grid");
     println!(
-        "\nFull-dataset budget avoids {:.0}% of remotely scanned bytes.",
-        full.saved_fraction * 100.0
+        "Full-dataset mem budget avoids {:.0}% of remotely scanned bytes.",
+        full_mem.saved_fraction * 100.0
     );
-    if full.saved_fraction < 0.5 {
-        eprintln!("ERROR: expected a >= 50% reduction when the hot set fits the budget");
+    if full_mem.saved_fraction < 0.5 {
+        eprintln!("ERROR: expected a >= 50% reduction when the hot set fits the mem budget");
+        std::process::exit(1);
+    }
+
+    // Gate 2 (PR 9): stacking a disk tier larger than RAM behind the
+    // same constrained mem budget must keep cutting remote bytes —
+    // demoted segments stay servable locally instead of re-billing.
+    let mem_only = res
+        .rows
+        .iter()
+        .find(|r| r.mem_budget > 0 && r.mem_budget < res.dataset_bytes && r.disk_budget == 0)
+        .expect("constrained mem-only row in the grid");
+    let with_disk = res
+        .rows
+        .iter()
+        .filter(|r| r.mem_budget == mem_only.mem_budget && r.disk_budget > r.mem_budget)
+        .max_by_key(|r| r.disk_budget)
+        .expect("disk > mem row at the same mem budget");
+    let drop = 1.0 - with_disk.remote_bytes as f64 / mem_only.remote_bytes.max(1) as f64;
+    println!(
+        "Disk tier ({} behind {} mem) cuts remote bytes a further {:.0}% vs mem-only.",
+        fmtutil::bytes(with_disk.disk_budget),
+        fmtutil::bytes(with_disk.mem_budget),
+        drop * 100.0
+    );
+    if drop < 0.2 {
+        eprintln!(
+            "ERROR: expected a disk tier larger than RAM to cut remote billed bytes by >= 20% \
+             vs mem-only at the same mem budget"
+        );
         std::process::exit(1);
     }
 }

@@ -1,15 +1,21 @@
-//! **Figure "cache"** (beyond the paper; ISSUE 5) — billed dollars and
-//! bytes vs segment-cache budget under a Zipf-skewed repeated workload.
+//! **Figure "cache"** (beyond the paper; ISSUEs 5 + 9) — billed dollars
+//! and bytes vs segment-cache tier budgets under a Zipf-skewed repeated
+//! workload.
 //!
-//! The paper re-bills every repeated scan; the hybrid caching tier
-//! serves hot segments locally for $0 and pushes down only the cold
-//! tail, priced by the same cost model as everything else. This
-//! experiment drives the same seeded Zipf (θ configurable, 1.0 by
-//! default) stream of planner-suite queries against a sweep of cache
-//! budgets — 0 (disabled) up to the full dataset — and reports, per
-//! budget, the exact ledger bill, the cache's hit/fill/eviction
-//! counters, and the reduction in remotely scanned bytes vs the
-//! cache-disabled run.
+//! The paper re-bills every repeated scan; the tiered caching layer
+//! serves hot segments locally for $0 — from memory at `cache_read_bw`,
+//! from simulated instance storage at the slower `disk_read_bw` — and
+//! pushes down only the cold tail, priced by the same cost model as
+//! everything else. This experiment drives the same seeded Zipf
+//! (θ configurable, 1.0 by default) stream of planner-suite queries
+//! against a sweep of **(mem, disk) budget pairs** — from (0, 0)
+//! (disabled) up to the full dataset in either tier — and reports, per
+//! point, the exact ledger bill, the per-tier hit counters, and the
+//! reduction in remotely scanned bytes vs the cache-disabled run: the
+//! three-way mem/disk/remote frontier. A disk tier larger than RAM
+//! keeps demoted segments servable locally, so remote bytes keep
+//! falling past the RAM budget — FlexPushdownDB's separable-benefit
+//! result.
 //!
 //! Everything except wall time is deterministic in (scale factor, seed).
 
@@ -20,18 +26,48 @@ use pushdown_common::Result;
 use pushdown_core::planner::Strategy;
 use pushdown_tpch::tpch_context;
 
-/// Outcome of one budget point of the sweep.
+/// Outcome of one (mem, disk) budget point of the sweep.
 #[derive(Debug, Clone)]
 pub struct FigCacheRow {
-    /// Cache budget in bytes (0 = cache disabled).
-    pub budget: u64,
+    /// Mem-tier budget in bytes (0 + 0 disk = cache disabled).
+    pub mem_budget: u64,
+    /// Disk-tier budget in bytes.
+    pub disk_budget: u64,
     pub report: WorkloadReport,
     /// Remote bytes billed: Select-scanned + plain-transferred.
     pub remote_bytes: u64,
-    /// Fraction of the disabled run's remote bytes this budget avoided.
+    /// Fraction of the disabled run's remote bytes this point avoided.
     pub saved_fraction: f64,
     /// Cache counters at the end of the run (zeroed when disabled).
     pub cache: CacheStats,
+}
+
+impl FigCacheRow {
+    /// Bytes served from the mem tier (`hit_bytes` counts both tiers).
+    pub fn mem_hit_bytes(&self) -> u64 {
+        self.cache.hit_bytes - self.cache.disk_hit_bytes
+    }
+
+    /// Fraction of all locally-served + filled bytes that came from the
+    /// given tier's residency (0 when the cache saw no traffic).
+    fn tier_ratio(&self, tier_bytes: u64) -> f64 {
+        let total = self.cache.hit_bytes + self.cache.fill_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            tier_bytes as f64 / total as f64
+        }
+    }
+
+    /// Mem-tier hit ratio by bytes.
+    pub fn mem_hit_ratio(&self) -> f64 {
+        self.tier_ratio(self.mem_hit_bytes())
+    }
+
+    /// Disk-tier hit ratio by bytes.
+    pub fn disk_hit_ratio(&self) -> f64 {
+        self.tier_ratio(self.cache.disk_hit_bytes)
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -48,19 +84,20 @@ fn remote_bytes(u: &Usage) -> u64 {
     u.select_scanned_bytes + u.plain_bytes
 }
 
-/// Sweep cache budgets over the same seeded Zipf workload. Each budget
-/// runs on a freshly generated (identical) dataset so occupancy starts
-/// cold and runs stay independent. The cache-**disabled** reference
-/// always runs (regardless of what `budget_fractions` contains), so
+/// Sweep `(mem_fraction, disk_fraction)` budget pairs (fractions of the
+/// dataset's stored bytes) over the same seeded Zipf workload. Each
+/// point runs on a freshly generated (identical) dataset so occupancy
+/// starts cold and runs stay independent. The cache-**disabled**
+/// reference always runs (regardless of what `points` contains), so
 /// every row's `saved_fraction` compares against the true disabled
-/// bill; a `0.0` entry in the sweep reuses that reference instead of
-/// running twice.
+/// bill; a `(0.0, 0.0)` entry in the sweep reuses that reference
+/// instead of running twice.
 pub fn run(
     scale_factor: f64,
     seed: u64,
     queries: usize,
     theta: f64,
-    budget_fractions: &[f64],
+    points: &[(f64, f64)],
 ) -> Result<FigCacheResult> {
     let stream = generate_zipf(seed, queries, theta);
     let spec = WorkloadSpec {
@@ -81,11 +118,12 @@ pub fn run(
     let mut baseline = Some(baseline);
 
     let mut rows: Vec<FigCacheRow> = Vec::new();
-    for &fraction in budget_fractions {
-        let budget = (dataset_bytes as f64 * fraction) as u64;
-        // A zero budget admits nothing, so it *is* the disabled run —
-        // serve it from the reference instead of re-running.
-        let (report, cache) = if budget == 0 {
+    for &(mem_fraction, disk_fraction) in points {
+        let mem_budget = (dataset_bytes as f64 * mem_fraction) as u64;
+        let disk_budget = (dataset_bytes as f64 * disk_fraction) as u64;
+        // Zero budgets admit nothing, so the point *is* the disabled
+        // run — serve it from the reference instead of re-running.
+        let (report, cache) = if mem_budget == 0 && disk_budget == 0 {
             match baseline.take() {
                 Some(r) => (r, CacheStats::default()),
                 None => {
@@ -98,7 +136,7 @@ pub fn run(
             }
         } else {
             let (ctx, tables) = tpch_context(scale_factor, 1_500)?;
-            let ctx = ctx.with_cache(budget);
+            let ctx = ctx.with_cache_tiers(mem_budget, disk_budget);
             let report = run_stream(&ctx, &tables, &spec, &stream)?;
             let cache = ctx.cache().map(|c| c.stats()).unwrap_or_default();
             (report, cache)
@@ -110,7 +148,8 @@ pub fn run(
             0.0
         };
         rows.push(FigCacheRow {
-            budget,
+            mem_budget,
+            disk_budget,
             report,
             remote_bytes: remote,
             saved_fraction,

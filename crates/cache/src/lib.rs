@@ -1,19 +1,51 @@
 //! # pushdown-cache
 //!
 //! The local caching tier of the hybrid execution model (FlexPushdownDB,
-//! VLDB'21, adapted to this engine): a concurrency-safe, **sharded**
-//! segment cache that the planner prices *with the same cost model* as
-//! pushdown and remote scans, so "serve the hot segments locally for $0
-//! and push down only the cold tail" falls out of the ordinary
-//! argmin-dollar plan choice instead of being a bolt-on memo table.
+//! VLDB'21, adapted to this engine): a concurrency-safe, **sharded**,
+//! **two-tier** segment cache that the planner prices *with the same
+//! cost model* as pushdown and remote scans, so "serve the hot segments
+//! locally for $0 and push down only the cold tail" falls out of the
+//! ordinary argmin-dollar plan choice instead of being a bolt-on memo
+//! table.
 //!
-//! # Segments
+//! # Segments and chunk layouts
 //!
 //! A segment is one contiguous byte range of one object —
-//! `(bucket, key, range)` ([`SegmentKey`]). The engine's tables are
-//! partitioned objects and its scans fetch whole partitions, so the
-//! read-through path caches whole objects ([`FULL_OBJECT`]); the key
-//! shape admits finer chunk ranges without a redesign.
+//! `(bucket, key, range)` ([`SegmentKey`]). The read-through path caches
+//! at **chunk granularity**: ColumnarLite row-group extents or fixed CSV
+//! block ranges, derived by the store on the first (cold) read and
+//! recorded in the cache as the object's **layout**
+//! ([`SegmentCache::record_layout`]). With a layout on file, a later
+//! scan serves the chunks it holds locally and fetches only the gaps —
+//! [`SegmentCache::occupancy`] reports exactly that split (including how
+//! many coalesced range GETs the gaps would cost), which is what the
+//! cost estimator prices. Whole-object callers still use
+//! [`FULL_OBJECT`] / [`SegmentKey::whole`]; both granularities coexist.
+//!
+//! # Two tiers
+//!
+//! The cache holds a **mem** tier (read at the perf model's
+//! `cache_read_bw`) in front of a **disk** tier (the paper's r4.8xlarge
+//! instance storage, read at `disk_read_bw`), each with its own byte
+//! budget:
+//!
+//! ```text
+//!   fill ──▶ [ mem tier ] ──evict──▶ [ disk tier ] ──evict──▶ dropped
+//!                ▲                        │
+//!                └──────── promote ───────┘  (on disk hit)
+//! ```
+//!
+//! * **Demote-on-evict** — a segment evicted from mem moves to the disk
+//!   tier (keeping its hit count) instead of being dropped, as long as
+//!   it fits the disk budget.
+//! * **Promote-on-hit** — a disk hit is served (billed as local disk
+//!   bytes by the perf model) and the segment moves back up to mem.
+//! * Fills land in mem; a fill larger than the whole mem budget is
+//!   admitted straight to disk when it fits there.
+//!
+//! Both tiers run the same dollars-saved-per-byte eviction and share the
+//! object epochs, so invalidation clears a key from *both* tiers at
+//! once.
 //!
 //! # Cost-aware eviction
 //!
@@ -28,27 +60,31 @@
 //!
 //! — small, frequently re-scanned segments outrank big rarely-touched
 //! ones, and raising the Select scan price makes *every* cached byte
-//! proportionally more precious. Ties evict the oldest insertion, so
-//! eviction order is deterministic.
+//! proportionally more precious. Ties evict the oldest insertion (a
+//! demotion counts as a fresh insertion into the disk tier), so eviction
+//! order is deterministic in each tier.
 //!
 //! # Invalidation & epochs
 //!
 //! Writers (the store crate's `put_object`/`delete_object`) call
 //! [`SegmentCache::invalidate`], which removes every segment of the
-//! object *and* bumps the object's **epoch**. Fills are epoch-tagged:
-//! a read-through fill records the epoch *before* issuing its GET
+//! object from both tiers, drops its recorded layout, *and* bumps the
+//! object's **epoch**. Fills are epoch-tagged: a read-through fill
+//! records the epoch *before* issuing its GET
 //! ([`SegmentCache::begin_fill`]) and the insert is discarded if the
 //! epoch moved in between — an in-flight query racing a writer can never
 //! publish stale bytes into the cache, while the bytes it already holds
 //! stay consistent for the remainder of its own scan (exactly the
-//! snapshot a cache-less scan would have seen).
+//! snapshot a cache-less scan would have seen). Tier movement needs no
+//! epoch check: promotions and demotions happen under the segment's
+//! shard lock, the same lock invalidation takes.
 //!
 //! # Workload-driven admission
 //!
 //! Eviction protects value already in the cache; **admission** decides
 //! whether a fill deserves to displace it. Under
 //! [`CacheAdmission::ReuseDistance`] the cache tracks an approximate
-//! per-segment reuse distance (fill-attempt ticks between successive
+//! per-**segment** reuse distance (fill-attempt ticks between successive
 //! fill attempts of the same segment, kept in a small per-shard *ghost*
 //! table that remembers segments no longer resident): a fill that would
 //! force eviction is admitted only if the segment was last attempted
@@ -56,6 +92,8 @@
 //! **read-around** (the caller still gets the bytes; they just are not
 //! cached) instead of churning the hot tail, while anything touched
 //! twice under open-loop traffic is admitted on its second appearance.
+//! Ghosts key on the full segment (range included), so one hot chunk of
+//! a large object never vouches for its never-reused sibling chunks.
 //! Fills that fit without eviction are always admitted (read-around only
 //! protects *occupied* budget). The default policy,
 //! [`CacheAdmission::AdmitAll`], preserves the original always-admit
@@ -76,8 +114,8 @@ const GB: f64 = 1_000_000_000.0;
 /// queries filling different tables rarely contend on one lock.
 const SHARDS: usize = 16;
 
-/// The byte range standing for "the whole object" on the read-through
-/// path.
+/// The byte range standing for "the whole object" on the coarse
+/// read-through path.
 pub const FULL_OBJECT: (u64, u64) = (0, u64::MAX);
 
 /// Ghost entries per shard before stale ones (outside every plausible
@@ -120,13 +158,33 @@ impl SegmentKey {
             range: FULL_OBJECT,
         }
     }
+
+    /// One chunk of an object, `[first, last)`.
+    pub fn chunk(bucket: &str, key: &str, range: (u64, u64)) -> SegmentKey {
+        SegmentKey {
+            bucket: bucket.to_string(),
+            key: key.to_string(),
+            range,
+        }
+    }
+}
+
+/// Which tier holds (or served) a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// In-memory tier, read at the perf model's `cache_read_bw`.
+    Mem,
+    /// Simulated instance-storage tier, read at `disk_read_bw`.
+    Disk,
 }
 
 struct Entry {
     data: Bytes,
-    /// Accesses since insertion (the fill counts as the first).
+    /// Accesses since insertion (the fill counts as the first). Survives
+    /// demotion — dollars-saved value moves down with the bytes.
     hits: u64,
-    /// Insertion order, for deterministic eviction tie-breaks.
+    /// Insertion order, for deterministic eviction tie-breaks. Demotion
+    /// assigns a fresh seq (it is an insertion into the disk tier).
     seq: u64,
 }
 
@@ -143,14 +201,36 @@ impl Entry {
 
 #[derive(Default)]
 struct Shard {
-    segments: HashMap<SegmentKey, Entry>,
+    mem: HashMap<SegmentKey, Entry>,
+    disk: HashMap<SegmentKey, Entry>,
     /// Object-hash → epoch; bumped by every invalidation of the object.
     epochs: HashMap<u64, u64>,
     /// Segment → fill-attempt tick of its last fill attempt. The
     /// admission policy's reuse-distance memory; survives the segment's
     /// eviction (that is the point — a ghost is how a *non-resident*
-    /// segment proves it is hot enough to admit).
+    /// segment proves it is hot enough to admit). Keyed per segment, so
+    /// sibling chunks of one object earn admission independently.
     ghosts: HashMap<SegmentKey, u64>,
+    /// Object-hash → recorded chunk layout: sorted `[first, last)`
+    /// ranges covering the object. Dropped on invalidation alongside the
+    /// segments.
+    layouts: HashMap<u64, Arc<[(u64, u64)]>>,
+}
+
+impl Shard {
+    fn tier(&self, t: CacheTier) -> &HashMap<SegmentKey, Entry> {
+        match t {
+            CacheTier::Mem => &self.mem,
+            CacheTier::Disk => &self.disk,
+        }
+    }
+
+    fn tier_mut(&mut self, t: CacheTier) -> &mut HashMap<SegmentKey, Entry> {
+        match t {
+            CacheTier::Mem => &mut self.mem,
+            CacheTier::Disk => &mut self.disk,
+        }
+    }
 }
 
 fn object_hash(bucket: &str, key: &str) -> u64 {
@@ -167,9 +247,14 @@ struct Counters {
     hits: AtomicU64,
     misses: AtomicU64,
     hit_bytes: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_hit_bytes: AtomicU64,
     fills: AtomicU64,
     fill_bytes: AtomicU64,
     evictions: AtomicU64,
+    demotions: AtomicU64,
+    promotions: AtomicU64,
+    disk_evictions: AtomicU64,
     invalidations: AtomicU64,
     stale_fills: AtomicU64,
     read_arounds: AtomicU64,
@@ -179,14 +264,27 @@ struct Counters {
 /// `fig_cache` experiment).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Segment lookups served from either tier.
     pub hits: u64,
     pub misses: u64,
-    /// Bytes served locally instead of from the store.
+    /// Bytes served locally (both tiers) instead of from the store.
     pub hit_bytes: u64,
+    /// The subset of `hits` served from the disk tier (each also
+    /// promotes the segment back to mem when it fits).
+    pub disk_hits: u64,
+    /// The subset of `hit_bytes` served from the disk tier.
+    pub disk_hit_bytes: u64,
     /// Read-through fills admitted into the cache.
     pub fills: u64,
     pub fill_bytes: u64,
+    /// Mem-tier evictions (each either demotes to disk or drops).
     pub evictions: u64,
+    /// Mem-tier evictions that moved the segment into the disk tier.
+    pub demotions: u64,
+    /// Disk hits that moved the segment back up into the mem tier.
+    pub promotions: u64,
+    /// Disk-tier evictions — the bytes actually left the cache.
+    pub disk_evictions: u64,
     pub invalidations: u64,
     /// Fills discarded because the object changed mid-flight (epoch
     /// moved between [`SegmentCache::begin_fill`] and the insert).
@@ -194,15 +292,54 @@ pub struct CacheStats {
     /// Fills the admission policy declined (read-around): the fill would
     /// have forced eviction and the segment had no recent reuse.
     pub read_arounds: u64,
+    /// Mem-tier occupancy.
     pub used_bytes: u64,
+    /// Mem-tier budget.
     pub budget_bytes: u64,
+    /// Mem-tier resident segment count.
     pub segments: u64,
+    pub disk_used_bytes: u64,
+    pub disk_budget_bytes: u64,
+    pub disk_segments: u64,
+}
+
+/// What a partial-hit read of one object would serve from each tier
+/// right now — the cost estimator's view ([`SegmentCache::occupancy`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObjectOccupancy {
+    /// Bytes resident in the mem tier.
+    pub mem_bytes: u64,
+    /// Bytes resident in the disk tier.
+    pub disk_bytes: u64,
+    /// Bytes that would be fetched remotely.
+    pub gap_bytes: u64,
+    /// Range GETs those gaps cost after coalescing adjacent missing
+    /// chunks into one request.
+    pub gap_requests: u64,
+    /// Whether a chunk layout is recorded. Without one the whole object
+    /// is a single gap — the cold read-through that fills it also learns
+    /// the layout.
+    pub layout_known: bool,
+}
+
+struct TierState {
+    budget: u64,
+    used: AtomicU64,
+}
+
+impl TierState {
+    fn new(budget: u64) -> TierState {
+        TierState {
+            budget,
+            used: AtomicU64::new(0),
+        }
+    }
 }
 
 struct Inner {
     shards: Vec<Mutex<Shard>>,
-    budget: u64,
-    used: AtomicU64,
+    mem: TierState,
+    disk: TierState,
     pricing: Pricing,
     admission: CacheAdmission,
     seq: AtomicU64,
@@ -210,6 +347,15 @@ struct Inner {
     /// of "time".
     fill_ticks: AtomicU64,
     counters: Counters,
+}
+
+impl Inner {
+    fn tier(&self, t: CacheTier) -> &TierState {
+        match t {
+            CacheTier::Mem => &self.mem,
+            CacheTier::Disk => &self.disk,
+        }
+    }
 }
 
 /// Handle to one shared segment cache. Cloning shares the cache (`Arc`
@@ -220,11 +366,13 @@ pub struct SegmentCache {
 }
 
 impl SegmentCache {
-    /// A cache holding at most `budget_bytes` of segment data, weighting
-    /// eviction by dollars-saved-per-byte under `pricing`. A zero budget
-    /// admits nothing (a convenient "disabled" configuration).
+    /// A mem-only cache holding at most `budget_bytes` of segment data,
+    /// weighting eviction by dollars-saved-per-byte under `pricing`. A
+    /// zero budget admits nothing (a convenient "disabled"
+    /// configuration). Equivalent to [`SegmentCache::tiered`] with a
+    /// zero disk budget: mem evictions drop instead of demoting.
     pub fn new(budget_bytes: u64, pricing: Pricing) -> SegmentCache {
-        Self::with_admission(budget_bytes, pricing, CacheAdmission::AdmitAll)
+        Self::tiered_with_admission(budget_bytes, 0, pricing, CacheAdmission::AdmitAll)
     }
 
     /// [`SegmentCache::new`] with an explicit fill-admission policy.
@@ -233,11 +381,33 @@ impl SegmentCache {
         pricing: Pricing,
         admission: CacheAdmission,
     ) -> SegmentCache {
+        Self::tiered_with_admission(budget_bytes, 0, pricing, admission)
+    }
+
+    /// A two-tier cache: `mem_budget_bytes` of fast segments in front of
+    /// `disk_budget_bytes` of simulated instance storage (see the module
+    /// docs' *Two tiers* section).
+    pub fn tiered(mem_budget_bytes: u64, disk_budget_bytes: u64, pricing: Pricing) -> SegmentCache {
+        Self::tiered_with_admission(
+            mem_budget_bytes,
+            disk_budget_bytes,
+            pricing,
+            CacheAdmission::AdmitAll,
+        )
+    }
+
+    /// [`SegmentCache::tiered`] with an explicit fill-admission policy.
+    pub fn tiered_with_admission(
+        mem_budget_bytes: u64,
+        disk_budget_bytes: u64,
+        pricing: Pricing,
+        admission: CacheAdmission,
+    ) -> SegmentCache {
         SegmentCache {
             inner: Arc::new(Inner {
                 shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
-                budget: budget_bytes,
-                used: AtomicU64::new(0),
+                mem: TierState::new(mem_budget_bytes),
+                disk: TierState::new(disk_budget_bytes),
                 pricing,
                 admission,
                 seq: AtomicU64::new(0),
@@ -252,12 +422,24 @@ impl SegmentCache {
         self.inner.admission
     }
 
+    /// Mem-tier budget.
     pub fn budget_bytes(&self) -> u64 {
-        self.inner.budget
+        self.inner.mem.budget
     }
 
+    /// Disk-tier budget (zero for a mem-only cache).
+    pub fn disk_budget_bytes(&self) -> u64 {
+        self.inner.disk.budget
+    }
+
+    /// Mem-tier occupancy.
     pub fn used_bytes(&self) -> u64 {
-        self.inner.used.load(Ordering::Relaxed)
+        self.inner.mem.used.load(Ordering::Relaxed)
+    }
+
+    /// Disk-tier occupancy.
+    pub fn disk_used_bytes(&self) -> u64 {
+        self.inner.disk.used.load(Ordering::Relaxed)
     }
 
     fn shard_of(&self, bucket: &str, key: &str) -> &Mutex<Shard> {
@@ -267,34 +449,75 @@ impl SegmentCache {
 
     /// Look up one segment — any byte range, whole-object callers pass
     /// [`SegmentKey::whole`] — counting a hit or a miss. Hits bump the
-    /// LFU counter.
+    /// LFU counter. Equivalent to [`SegmentCache::get_tiered`] with the
+    /// serving tier discarded.
     pub fn get(&self, skey: &SegmentKey) -> Option<Bytes> {
-        let mut shard = self.shard_of(&skey.bucket, &skey.key).lock();
-        match shard.segments.get_mut(skey) {
-            Some(e) => {
+        self.get_tiered(skey).map(|(data, _)| data)
+    }
+
+    /// Look up one segment, reporting which tier served it so the caller
+    /// can charge `cache_read_bw` vs `disk_read_bw`. A disk hit promotes
+    /// the segment back into the mem tier (unless it is bigger than the
+    /// whole mem budget), which may demote colder mem segments down.
+    pub fn get_tiered(&self, skey: &SegmentKey) -> Option<(Bytes, CacheTier)> {
+        let c = &self.inner.counters;
+        let promoted;
+        {
+            let mut shard = self.shard_of(&skey.bucket, &skey.key).lock();
+            if let Some(e) = shard.mem.get_mut(skey) {
                 e.hits += 1;
-                let c = &self.inner.counters;
                 c.hits.fetch_add(1, Ordering::Relaxed);
                 c.hit_bytes
                     .fetch_add(e.data.len() as u64, Ordering::Relaxed);
-                Some(e.data.clone())
+                return Some((e.data.clone(), CacheTier::Mem));
             }
-            None => {
-                self.inner.counters.misses.fetch_add(1, Ordering::Relaxed);
-                None
+            let Some(e) = shard.disk.get_mut(skey) else {
+                c.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            };
+            e.hits += 1;
+            let len = e.data.len() as u64;
+            c.hits.fetch_add(1, Ordering::Relaxed);
+            c.hit_bytes.fetch_add(len, Ordering::Relaxed);
+            c.disk_hits.fetch_add(1, Ordering::Relaxed);
+            c.disk_hit_bytes.fetch_add(len, Ordering::Relaxed);
+            if len > self.inner.mem.budget {
+                // Too big to ever live in mem — serve in place.
+                return Some((e.data.clone(), CacheTier::Disk));
             }
+            // Promote under the same shard lock invalidation takes, so
+            // the moved entry can never be a stale resurrection.
+            let mut entry = shard.disk.remove(skey).expect("probed above");
+            self.inner.disk.used.fetch_sub(len, Ordering::Relaxed);
+            entry.seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+            let data = entry.data.clone();
+            shard.mem.insert(skey.clone(), entry);
+            self.inner.mem.used.fetch_add(len, Ordering::Relaxed);
+            c.promotions.fetch_add(1, Ordering::Relaxed);
+            promoted = data;
         }
+        // Lock released: trim mem, demoting colder segments back down.
+        self.evict_tier_to_budget(CacheTier::Mem);
+        Some((promoted, CacheTier::Disk))
     }
 
     /// Non-mutating occupancy probe for the cost estimator: the cached
-    /// size of one segment, if present. Does not count as an access and
-    /// does not perturb eviction order.
+    /// size of one segment, if present in either tier. Does not count as
+    /// an access and does not perturb eviction order or tier placement.
     pub fn peek(&self, skey: &SegmentKey) -> Option<u64> {
-        self.shard_of(&skey.bucket, &skey.key)
-            .lock()
-            .segments
+        self.peek_tier(skey).map(|(len, _)| len)
+    }
+
+    /// [`SegmentCache::peek`] plus which tier holds the segment.
+    pub fn peek_tier(&self, skey: &SegmentKey) -> Option<(u64, CacheTier)> {
+        let shard = self.shard_of(&skey.bucket, &skey.key).lock();
+        if let Some(e) = shard.mem.get(skey) {
+            return Some((e.data.len() as u64, CacheTier::Mem));
+        }
+        shard
+            .disk
             .get(skey)
-            .map(|e| e.data.len() as u64)
+            .map(|e| (e.data.len() as u64, CacheTier::Disk))
     }
 
     /// The segment's object epoch — call *before* issuing the fill GET
@@ -311,15 +534,108 @@ impl SegmentCache {
             .unwrap_or(&0)
     }
 
+    /// Record the chunk layout of `bucket/key` as observed at `epoch`:
+    /// sorted, contiguous `[first, last)` ranges covering the object.
+    /// The store's read-through path derives these from the format
+    /// (ColumnarLite row-group extents, fixed CSV blocks) on a cold read
+    /// and every later partial-hit read reuses them. Returns whether the
+    /// layout was recorded (false: a writer invalidated the object since
+    /// [`SegmentCache::begin_fill`] returned `epoch`).
+    pub fn record_layout(
+        &self,
+        bucket: &str,
+        key: &str,
+        epoch: u64,
+        chunks: Vec<(u64, u64)>,
+    ) -> bool {
+        let h = object_hash(bucket, key);
+        let mut shard = self.shard_of(bucket, key).lock();
+        if *shard.epochs.get(&h).unwrap_or(&0) != epoch {
+            return false;
+        }
+        shard.layouts.insert(h, chunks.into());
+        true
+    }
+
+    /// The recorded chunk layout of `bucket/key`, if a cold read has
+    /// learned it (and no writer has invalidated it since).
+    pub fn layout(&self, bucket: &str, key: &str) -> Option<Arc<[(u64, u64)]>> {
+        let h = object_hash(bucket, key);
+        self.shard_of(bucket, key).lock().layouts.get(&h).cloned()
+    }
+
+    /// What a partial-hit read of `bucket/key` (whose current size is
+    /// `object_len`) would serve from each tier right now, and what the
+    /// gaps would bill. Non-perturbing, like [`SegmentCache::peek`].
+    pub fn occupancy(&self, bucket: &str, key: &str, object_len: u64) -> ObjectOccupancy {
+        let h = object_hash(bucket, key);
+        let shard = self.shard_of(bucket, key).lock();
+        // A whole-object segment (the coarse read-through path) serves
+        // everything from its tier, layout or not.
+        let whole = SegmentKey::whole(bucket, key);
+        if let Some(e) = shard.mem.get(&whole) {
+            return ObjectOccupancy {
+                mem_bytes: e.data.len() as u64,
+                layout_known: true,
+                ..Default::default()
+            };
+        }
+        if let Some(e) = shard.disk.get(&whole) {
+            return ObjectOccupancy {
+                disk_bytes: e.data.len() as u64,
+                layout_known: true,
+                ..Default::default()
+            };
+        }
+        let Some(layout) = shard.layouts.get(&h) else {
+            return ObjectOccupancy {
+                gap_bytes: object_len,
+                gap_requests: 1,
+                layout_known: false,
+                ..Default::default()
+            };
+        };
+        let mut occ = ObjectOccupancy {
+            layout_known: true,
+            ..Default::default()
+        };
+        let mut in_gap = false;
+        for &range in layout.iter() {
+            let len = range.1 - range.0;
+            let skey = SegmentKey::chunk(bucket, key, range);
+            if shard.mem.contains_key(&skey) {
+                occ.mem_bytes += len;
+                in_gap = false;
+            } else if shard.disk.contains_key(&skey) {
+                occ.disk_bytes += len;
+                in_gap = false;
+            } else {
+                occ.gap_bytes += len;
+                if !in_gap {
+                    occ.gap_requests += 1;
+                }
+                in_gap = true;
+            }
+        }
+        occ
+    }
+
     /// Admit a fill of one segment observed at `epoch`. Returns whether
-    /// the segment was stored (false: stale epoch, or larger than the
-    /// whole budget). Evicts minimum-weight segments until the fill fits.
+    /// the segment was stored (false: stale epoch, declined by
+    /// admission, or larger than both tier budgets). Fills land in the
+    /// mem tier — or straight in the disk tier when they are bigger than
+    /// the whole mem budget — and evict minimum-weight segments (mem
+    /// evictions demoting downward) until the fill fits.
     pub fn insert(&self, skey: SegmentKey, data: Bytes, epoch: u64) -> bool {
         let len = data.len() as u64;
         let c = &self.inner.counters;
-        if len > self.inner.budget {
+        let target = if len <= self.inner.mem.budget {
+            CacheTier::Mem
+        } else if len <= self.inner.disk.budget {
+            CacheTier::Disk
+        } else {
             return false;
-        }
+        };
         {
             let h = object_hash(&skey.bucket, &skey.key);
             let mut shard = self.shard_of(&skey.bucket, &skey.key).lock();
@@ -342,54 +658,70 @@ impl SegmentCache {
                 // Replacements and fills that fit spare budget always
                 // admit; only eviction-forcing first touches go around.
                 let resident = shard
-                    .segments
+                    .tier(target)
                     .get(&skey)
                     .map(|e| e.data.len() as u64)
                     .unwrap_or(0);
-                let would_evict = self.used_bytes() - resident + len > self.inner.budget;
+                let tier = self.inner.tier(target);
+                let would_evict = tier.used.load(Ordering::Relaxed) - resident + len > tier.budget;
                 if would_evict && !reused {
                     c.read_arounds.fetch_add(1, Ordering::Relaxed);
                     return false;
                 }
             }
             let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-            let old = shard.segments.insert(skey, Entry { data, hits: 1, seq });
+            // One key never holds bytes in both tiers: drop any copy
+            // left in the other tier by a concurrent fill + demotion.
+            let other = match target {
+                CacheTier::Mem => CacheTier::Disk,
+                CacheTier::Disk => CacheTier::Mem,
+            };
+            if let Some(old) = shard.tier_mut(other).remove(&skey) {
+                self.inner
+                    .tier(other)
+                    .used
+                    .fetch_sub(old.data.len() as u64, Ordering::Relaxed);
+            }
+            let old = shard
+                .tier_mut(target)
+                .insert(skey, Entry { data, hits: 1, seq });
             let old_len = old.map(|e| e.data.len() as u64).unwrap_or(0);
-            self.inner.used.fetch_add(len, Ordering::Relaxed);
-            self.inner.used.fetch_sub(old_len, Ordering::Relaxed);
+            let tier = self.inner.tier(target);
+            tier.used.fetch_add(len, Ordering::Relaxed);
+            tier.used.fetch_sub(old_len, Ordering::Relaxed);
             c.fills.fetch_add(1, Ordering::Relaxed);
             c.fill_bytes.fetch_add(len, Ordering::Relaxed);
         }
-        self.evict_to_budget();
+        self.evict_tier_to_budget(target);
         true
     }
 
     /// Evict minimum-weight (dollars-saved-per-byte × hits) segments
-    /// until usage fits the budget. Deterministic: ties break toward the
-    /// oldest insertion. One pass collects candidates in ascending
-    /// weight order and evicts enough of them to cover the overshoot,
-    /// so a large over-budget insert costs one cache traversal, not one
-    /// per evicted segment; the outer loop only re-runs if concurrent
-    /// inserts pushed usage back over the budget mid-eviction.
-    fn evict_to_budget(&self) {
-        while self.used_bytes() > self.inner.budget {
-            let overshoot = self.used_bytes() - self.inner.budget;
+    /// from one tier until its usage fits its budget. Deterministic:
+    /// ties break toward the oldest insertion. Mem evictions **demote**
+    /// the segment into the disk tier (when it fits that budget) instead
+    /// of dropping it; disk evictions drop for real. One pass collects
+    /// candidates in ascending weight order and evicts enough of them to
+    /// cover the overshoot, so a large over-budget insert costs one
+    /// cache traversal, not one per evicted segment; the outer loop only
+    /// re-runs if concurrent inserts pushed usage back over the budget
+    /// mid-eviction.
+    fn evict_tier_to_budget(&self, tier: CacheTier) {
+        let st = self.inner.tier(tier);
+        let c = &self.inner.counters;
+        let mut demoted_any = false;
+        while st.used.load(Ordering::Relaxed) > st.budget {
+            let overshoot = st.used.load(Ordering::Relaxed) - st.budget;
             // Candidates in one pass, one shard lock at a time.
-            let mut candidates: Vec<(f64, u64, usize, SegmentKey, u64)> = Vec::new();
+            let mut candidates: Vec<(f64, u64, usize, SegmentKey)> = Vec::new();
             for (i, shard) in self.inner.shards.iter().enumerate() {
                 let shard = shard.lock();
-                for (k, e) in shard.segments.iter() {
-                    candidates.push((
-                        e.weight(&self.inner.pricing),
-                        e.seq,
-                        i,
-                        k.clone(),
-                        e.data.len() as u64,
-                    ));
+                for (k, e) in shard.tier(tier).iter() {
+                    candidates.push((e.weight(&self.inner.pricing), e.seq, i, k.clone()));
                 }
             }
             if candidates.is_empty() {
-                return; // nothing left to evict
+                break; // nothing left to evict
             }
             candidates.sort_by(|a, b| {
                 a.0.partial_cmp(&b.0)
@@ -397,48 +729,77 @@ impl SegmentCache {
                     .then(a.1.cmp(&b.1))
             });
             let mut freed = 0u64;
-            for (_, _, i, key, _) in candidates {
+            for (_, _, i, key) in candidates {
                 if freed >= overshoot {
                     break;
                 }
                 let mut shard = self.inner.shards[i].lock();
-                if let Some(e) = shard.segments.remove(&key) {
-                    freed += e.data.len() as u64;
-                    self.inner
-                        .used
-                        .fetch_sub(e.data.len() as u64, Ordering::Relaxed);
-                    self.inner
-                        .counters
-                        .evictions
-                        .fetch_add(1, Ordering::Relaxed);
+                let Some(mut e) = shard.tier_mut(tier).remove(&key) else {
+                    continue; // vanished concurrently
+                };
+                let len = e.data.len() as u64;
+                freed += len;
+                st.used.fetch_sub(len, Ordering::Relaxed);
+                match tier {
+                    CacheTier::Mem => {
+                        c.evictions.fetch_add(1, Ordering::Relaxed);
+                        if len <= self.inner.disk.budget {
+                            // Demote under the same shard lock: keeps
+                            // the hit count, takes a fresh seq.
+                            e.seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+                            if let Some(old) = shard.disk.insert(key, e) {
+                                self.inner
+                                    .disk
+                                    .used
+                                    .fetch_sub(old.data.len() as u64, Ordering::Relaxed);
+                            }
+                            self.inner.disk.used.fetch_add(len, Ordering::Relaxed);
+                            c.demotions.fetch_add(1, Ordering::Relaxed);
+                            demoted_any = true;
+                        }
+                    }
+                    CacheTier::Disk => {
+                        c.disk_evictions.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
             if freed == 0 {
-                return; // every candidate vanished concurrently
+                break; // every candidate vanished concurrently
             }
+        }
+        // Demotions may have pushed the disk tier over its own budget.
+        if demoted_any {
+            self.evict_tier_to_budget(CacheTier::Disk);
         }
     }
 
-    /// Drop every segment of `bucket/key` and bump its epoch, so
-    /// in-flight fills of the old bytes are discarded on arrival.
+    /// Drop every segment of `bucket/key` from both tiers, forget its
+    /// chunk layout, and bump its epoch, so in-flight fills of the old
+    /// bytes are discarded on arrival.
     pub fn invalidate(&self, bucket: &str, key: &str) {
         let h = object_hash(bucket, key);
         let mut shard = self.shard_of(bucket, key).lock();
         *shard.epochs.entry(h).or_insert(0) += 1;
-        let doomed: Vec<SegmentKey> = shard
-            .segments
-            .keys()
-            .filter(|k| k.bucket == bucket && k.key == key)
-            .cloned()
-            .collect();
-        let mut freed = 0u64;
-        for k in doomed {
-            if let Some(e) = shard.segments.remove(&k) {
-                freed += e.data.len() as u64;
+        shard.layouts.remove(&h);
+        for tier in [CacheTier::Mem, CacheTier::Disk] {
+            let doomed: Vec<SegmentKey> = shard
+                .tier(tier)
+                .keys()
+                .filter(|k| k.bucket == bucket && k.key == key)
+                .cloned()
+                .collect();
+            let mut freed = 0u64;
+            for k in doomed {
+                if let Some(e) = shard.tier_mut(tier).remove(&k) {
+                    freed += e.data.len() as u64;
+                }
             }
-        }
-        if freed > 0 {
-            self.inner.used.fetch_sub(freed, Ordering::Relaxed);
+            if freed > 0 {
+                self.inner
+                    .tier(tier)
+                    .used
+                    .fetch_sub(freed, Ordering::Relaxed);
+            }
         }
         self.inner
             .counters
@@ -449,25 +810,33 @@ impl SegmentCache {
     /// Point-in-time statistics.
     pub fn stats(&self) -> CacheStats {
         let c = &self.inner.counters;
-        let segments = self
-            .inner
-            .shards
-            .iter()
-            .map(|s| s.lock().segments.len() as u64)
-            .sum();
+        let (mut segments, mut disk_segments) = (0u64, 0u64);
+        for s in self.inner.shards.iter() {
+            let s = s.lock();
+            segments += s.mem.len() as u64;
+            disk_segments += s.disk.len() as u64;
+        }
         CacheStats {
             hits: c.hits.load(Ordering::Relaxed),
             misses: c.misses.load(Ordering::Relaxed),
             hit_bytes: c.hit_bytes.load(Ordering::Relaxed),
+            disk_hits: c.disk_hits.load(Ordering::Relaxed),
+            disk_hit_bytes: c.disk_hit_bytes.load(Ordering::Relaxed),
             fills: c.fills.load(Ordering::Relaxed),
             fill_bytes: c.fill_bytes.load(Ordering::Relaxed),
             evictions: c.evictions.load(Ordering::Relaxed),
+            demotions: c.demotions.load(Ordering::Relaxed),
+            promotions: c.promotions.load(Ordering::Relaxed),
+            disk_evictions: c.disk_evictions.load(Ordering::Relaxed),
             invalidations: c.invalidations.load(Ordering::Relaxed),
             stale_fills: c.stale_fills.load(Ordering::Relaxed),
             read_arounds: c.read_arounds.load(Ordering::Relaxed),
             used_bytes: self.used_bytes(),
-            budget_bytes: self.inner.budget,
+            budget_bytes: self.inner.mem.budget,
             segments,
+            disk_used_bytes: self.disk_used_bytes(),
+            disk_budget_bytes: self.inner.disk.budget,
+            disk_segments,
         }
     }
 }
@@ -478,7 +847,10 @@ impl std::fmt::Debug for SegmentCache {
         f.debug_struct("SegmentCache")
             .field("used_bytes", &s.used_bytes)
             .field("budget_bytes", &s.budget_bytes)
+            .field("disk_used_bytes", &s.disk_used_bytes)
+            .field("disk_budget_bytes", &s.disk_budget_bytes)
             .field("segments", &s.segments)
+            .field("disk_segments", &s.disk_segments)
             .field("hits", &s.hits)
             .field("misses", &s.misses)
             .finish()
@@ -730,5 +1102,194 @@ mod tests {
             seq: 0,
         };
         assert!(e.weight(&pricey) > e.weight(&Pricing::us_east()));
+    }
+
+    // ------------------------------------------------------------------
+    // Two-tier behavior.
+    // ------------------------------------------------------------------
+
+    fn tiered(mem: u64, disk: u64) -> SegmentCache {
+        SegmentCache::tiered(mem, disk, Pricing::us_east())
+    }
+
+    #[test]
+    fn mem_eviction_demotes_to_disk_and_a_disk_hit_promotes_back() {
+        let c = tiered(100, 1000);
+        fill(&c, "a", 100);
+        fill(&c, "b", 100); // evicts a → disk
+        assert_eq!(c.peek_tier(&whole("a")), Some((100, CacheTier::Disk)));
+        assert_eq!(c.peek_tier(&whole("b")), Some((100, CacheTier::Mem)));
+        let s = c.stats();
+        assert_eq!((s.evictions, s.demotions, s.disk_evictions), (1, 1, 0));
+        assert_eq!((s.used_bytes, s.disk_used_bytes), (100, 100));
+        // A disk hit serves the bytes and moves them back up, pushing b
+        // down in turn.
+        let (data, tier) = c.get_tiered(&whole("a")).expect("disk hit");
+        assert_eq!((data.len(), tier), (100, CacheTier::Disk));
+        assert_eq!(c.peek_tier(&whole("a")), Some((100, CacheTier::Mem)));
+        assert_eq!(c.peek_tier(&whole("b")), Some((100, CacheTier::Disk)));
+        let s = c.stats();
+        assert_eq!((s.disk_hits, s.disk_hit_bytes), (1, 100));
+        assert_eq!(s.promotions, 1);
+        assert_eq!(s.hits, 1, "a disk hit is still a hit");
+        assert_eq!((s.used_bytes, s.disk_used_bytes), (100, 100));
+    }
+
+    #[test]
+    fn mem_only_cache_drops_evictions_exactly_as_before() {
+        let c = cache(100); // disk budget 0
+        fill(&c, "a", 100);
+        fill(&c, "b", 100);
+        assert!(c.peek(&whole("a")).is_none(), "no disk tier to demote to");
+        let s = c.stats();
+        assert_eq!((s.evictions, s.demotions), (1, 0));
+        assert_eq!(s.disk_used_bytes, 0);
+    }
+
+    #[test]
+    fn disk_tier_evicts_lowest_weight_for_real_when_full() {
+        let c = tiered(100, 200);
+        fill(&c, "a", 100); // → mem
+        fill(&c, "b", 100); // a → disk
+        fill(&c, "c", 100); // b → disk
+        fill(&c, "d", 100); // c → disk; disk over budget → a dropped (oldest demotion, equal weight)
+        assert!(c.peek(&whole("a")).is_none(), "a fell off the bottom");
+        assert_eq!(c.peek_tier(&whole("b")), Some((100, CacheTier::Disk)));
+        assert_eq!(c.peek_tier(&whole("c")), Some((100, CacheTier::Disk)));
+        assert_eq!(c.peek_tier(&whole("d")), Some((100, CacheTier::Mem)));
+        let s = c.stats();
+        assert_eq!(s.disk_evictions, 1);
+        assert_eq!(s.demotions, 3);
+        assert!(s.disk_used_bytes <= 200);
+    }
+
+    #[test]
+    fn fills_bigger_than_mem_go_straight_to_disk() {
+        let c = tiered(100, 1000);
+        assert!(fill(&c, "big", 500));
+        assert_eq!(c.peek_tier(&whole("big")), Some((500, CacheTier::Disk)));
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.disk_used_bytes(), 500);
+        // Served in place — never promoted into a tier it cannot fit.
+        let (_, tier) = c.get_tiered(&whole("big")).unwrap();
+        assert_eq!(tier, CacheTier::Disk);
+        assert_eq!(c.stats().promotions, 0);
+        // Bigger than both budgets: rejected outright.
+        assert!(!fill(&c, "huge", 2000));
+    }
+
+    #[test]
+    fn invalidation_clears_both_tiers_and_the_layout() {
+        let c = tiered(100, 1000);
+        fill(&c, "a", 100);
+        fill(&c, "b", 100); // a → disk
+        let e = c.begin_fill(&whole("a"));
+        assert!(c.record_layout("b", "a", e, vec![(0, 100)]));
+        c.invalidate("b", "a");
+        assert!(c.peek(&whole("a")).is_none());
+        assert!(c.layout("b", "a").is_none());
+        assert_eq!(c.disk_used_bytes(), 0);
+        assert_eq!(c.peek_tier(&whole("b")), Some((100, CacheTier::Mem)));
+    }
+
+    #[test]
+    fn stale_layouts_are_not_recorded() {
+        let c = tiered(100, 0);
+        let e = c.begin_fill(&whole("k"));
+        c.invalidate("b", "k");
+        assert!(!c.record_layout("b", "k", e, vec![(0, 10)]));
+        assert!(c.layout("b", "k").is_none());
+    }
+
+    fn chunk_fill(c: &SegmentCache, key: &str, range: (u64, u64)) -> bool {
+        let skey = SegmentKey::chunk("b", key, range);
+        let epoch = c.begin_fill(&skey);
+        let len = (range.1 - range.0) as usize;
+        c.insert(skey, Bytes::from(vec![0u8; len]), epoch)
+    }
+
+    #[test]
+    fn occupancy_reports_per_tier_bytes_and_coalesced_gap_requests() {
+        let c = tiered(200, 200);
+        // Unknown layout: the whole object is one gap.
+        let occ = c.occupancy("b", "k", 500);
+        assert_eq!((occ.gap_bytes, occ.gap_requests), (500, 1));
+        assert!(!occ.layout_known);
+        // Five 100-byte chunks; cache chunks 0 and 3.
+        let e = c.begin_fill(&whole("k"));
+        let layout: Vec<(u64, u64)> = (0..5).map(|i| (i * 100, (i + 1) * 100)).collect();
+        assert!(c.record_layout("b", "k", e, layout));
+        assert!(chunk_fill(&c, "k", (0, 100)));
+        assert!(chunk_fill(&c, "k", (300, 400)));
+        let occ = c.occupancy("b", "k", 500);
+        assert!(occ.layout_known);
+        assert_eq!(occ.mem_bytes, 200);
+        assert_eq!(occ.gap_bytes, 300);
+        // Chunks 1+2 coalesce into one GET; chunk 4 is its own.
+        assert_eq!(occ.gap_requests, 2);
+        // Demote chunk (0,100) by filling past the mem budget: the
+        // occupancy moves between tiers but the gaps are unchanged.
+        assert!(chunk_fill(&c, "k", (100, 200)));
+        let occ = c.occupancy("b", "k", 500);
+        assert_eq!(occ.mem_bytes + occ.disk_bytes, 300);
+        assert!(occ.disk_bytes > 0, "something was demoted");
+        assert_eq!((occ.gap_bytes, occ.gap_requests), (200, 2));
+    }
+
+    #[test]
+    fn occupancy_counts_a_whole_object_segment_as_fully_resident() {
+        let c = tiered(1000, 0);
+        fill(&c, "k", 400);
+        let occ = c.occupancy("b", "k", 400);
+        assert_eq!(occ.mem_bytes, 400);
+        assert_eq!((occ.gap_bytes, occ.gap_requests), (0, 0));
+        assert!(occ.layout_known);
+    }
+
+    #[test]
+    fn reuse_ghosts_key_per_segment_not_per_object() {
+        // Satellite regression: one hot chunk of an object must not
+        // vouch admission for its never-reused sibling chunks.
+        let c = SegmentCache::tiered_with_admission(
+            200,
+            0,
+            Pricing::us_east(),
+            CacheAdmission::ReuseDistance { window: 16 },
+        );
+        // Fill the budget with two other segments, so admitting one
+        // chunk evicts exactly one of them and the cache stays full.
+        assert!(fill(&c, "r1", 100));
+        assert!(fill(&c, "r2", 100));
+        // Chunk (0,100) of `t` proves reuse: first touch reads around,
+        // second admits.
+        assert!(!chunk_fill(&c, "t", (0, 100)), "first touch reads around");
+        assert!(chunk_fill(&c, "t", (0, 100)), "second touch admits");
+        // Its sibling chunk (100,200) has never been attempted — the hot
+        // sibling must not admit it.
+        assert!(
+            !chunk_fill(&c, "t", (100, 200)),
+            "never-reused sibling chunk reads around"
+        );
+        let s = c.stats();
+        assert_eq!(s.read_arounds, 2);
+        assert!(c.peek(&SegmentKey::chunk("b", "t", (0, 100))).is_some());
+        assert!(c.peek(&SegmentKey::chunk("b", "t", (100, 200))).is_none());
+    }
+
+    #[test]
+    fn hit_counts_survive_promotion_and_demotion() {
+        let c = tiered(100, 200);
+        fill(&c, "b", 100);
+        fill(&c, "c", 100); // b (older, equal weight) → disk
+                            // Disk hit: b promoted back with 2 accesses, c demoted.
+        c.get(&whole("b")).unwrap();
+        assert_eq!(c.peek_tier(&whole("b")), Some((100, CacheTier::Mem)));
+        assert_eq!(c.peek_tier(&whole("c")), Some((100, CacheTier::Disk)));
+        // A fresh fill must displace itself (1 access), not the
+        // twice-accessed b. If promotion or demotion had reset b's hit
+        // count, the equal-weight tie would have demoted b here.
+        fill(&c, "d", 100);
+        assert_eq!(c.peek_tier(&whole("b")), Some((100, CacheTier::Mem)));
+        assert_eq!(c.peek_tier(&whole("d")), Some((100, CacheTier::Disk)));
     }
 }

@@ -63,11 +63,27 @@ pub struct PerfParams {
     /// (a CASE-WHEN arm, a Bloom-hash SUBSTRING conjunct, a predicate
     /// comparison). Scan rate becomes `s3_scan_bw / (1 + coeff * terms)`.
     pub expr_term_coeff: f64,
-    /// Read bandwidth of the local segment-cache tier (NVMe-class),
+    /// Read bandwidth of the **mem tier** of the local segment cache,
     /// bytes/s. Cache hits move no bytes over the wire and issue no
     /// requests; they pay this local scan rate instead (and the usual
     /// parse cost — the bytes still deserialize on the compute node).
     pub cache_read_bw: f64,
+    /// Read bandwidth of the **disk tier** of the local segment cache
+    /// (the paper's r4.8xlarge instance storage), bytes/s. Like mem-tier
+    /// hits, disk hits bill nothing — they cost only this slower local
+    /// read plus parse. Calibrated against the `cache_path` criterion
+    /// bench (`cargo bench --bench cache_path -p pushdown-bench`,
+    /// `tier_serve` group): in the harness both tiers reassemble a
+    /// fully-resident partition at the same ~1.1 GiB/s (the disk tier is
+    /// a simulated byte store in RAM), confirming tier choice adds **no
+    /// hidden harness cost** — the modeled bandwidth gap is exactly this
+    /// knob. The rate itself therefore comes from the modeled hardware:
+    /// SATA-SSD/EBS-class instance storage streams at ~0.25× of the
+    /// memory-scan anchor [`PerfParams::cache_read_bw`], so
+    /// 0.25 × 2.0e9 = 500e6 — squarely between the mem tier and the
+    /// 10 GigE wire. See README "Performance model calibration" for how
+    /// to re-derive.
+    pub disk_read_bw: f64,
     /// Node-to-node bandwidth inside the scatter-gather cluster, bytes/s
     /// (each node's share of the exchange fabric). Exchanged bytes never
     /// touch S3 — they are not billable [`crate::pricing::Usage`] — but
@@ -97,6 +113,7 @@ impl Default for PerfParams {
             parse_cl_bw: 590e6,
             s3_scan_bw: 2.4e9,
             cache_read_bw: 2.0e9,
+            disk_read_bw: 500e6,
             exchange_bw: 1.25e9,
             expr_term_coeff: 0.05,
             request_latency: 0.010,
@@ -130,6 +147,13 @@ pub struct PhaseStats {
     /// reach [`crate::pricing::Usage`]). They still parse on the compute
     /// node and read at [`PerfParams::cache_read_bw`].
     pub cache_bytes: u64,
+    /// Bytes served from the segment cache's **disk tier** (partial-hit
+    /// scans read them at [`PerfParams::disk_read_bw`]). Like
+    /// `cache_bytes`: no request, no wire, no storage-side scan, nothing
+    /// billable — but slower than a mem-tier hit, which is exactly the
+    /// gradient the cost estimator weighs mem-hit vs disk-hit vs
+    /// gap-fetch on.
+    pub disk_bytes: u64,
     /// Bytes this phase ships between cluster nodes (scatter results
     /// travelling to the gathering coordinator, repartitioned rows
     /// crossing the exchange fabric). Intra-cluster traffic: zero
@@ -159,6 +183,7 @@ impl PhaseStats {
         self.select_returned_bytes += other.select_returned_bytes;
         self.plain_bytes += other.plain_bytes;
         self.cache_bytes += other.cache_bytes;
+        self.disk_bytes += other.disk_bytes;
         self.exchange_bytes += other.exchange_bytes;
         self.server_cpu_units += other.server_cpu_units;
         self.expr_terms = self.expr_terms.max(other.expr_terms);
@@ -179,6 +204,7 @@ impl PhaseStats {
             select_returned_bytes: s(self.select_returned_bytes),
             plain_bytes: s(self.plain_bytes),
             cache_bytes: s(self.cache_bytes),
+            disk_bytes: s(self.disk_bytes),
             exchange_bytes: s(self.exchange_bytes),
             server_cpu_units: s(self.server_cpu_units),
             expr_terms: self.expr_terms,
@@ -216,12 +242,16 @@ impl PerfModel {
         let latency = total_requests as f64 * p.request_latency / inflight;
         let scan = s.s3_scanned_bytes as f64 / self.effective_scan_bw(s.expr_terms);
         let wire = (s.select_returned_bytes + s.plain_bytes) as f64 / p.net_bw;
-        let local = s.cache_bytes as f64 / p.cache_read_bw;
+        // Both cache tiers share the local IO path: mem bytes stream at
+        // the fast rate, disk-tier bytes at the instance-storage rate.
+        let local = s.cache_bytes as f64 / p.cache_read_bw + s.disk_bytes as f64 / p.disk_read_bw;
         let xchg = s.exchange_bytes as f64 / p.exchange_bw;
-        // ColumnarLite bytes (a subset of plain + cache bytes) ingest at
-        // their own, faster rate; everything else parses as CSV text.
-        let cl = s.cl_parse_bytes.min(s.plain_bytes + s.cache_bytes);
-        let server = (s.plain_bytes + s.cache_bytes - cl) as f64 / p.parse_plain_bw
+        // ColumnarLite bytes (a subset of plain + cache + disk bytes)
+        // ingest at their own, faster rate; everything else parses as
+        // CSV text.
+        let moved = s.plain_bytes + s.cache_bytes + s.disk_bytes;
+        let cl = s.cl_parse_bytes.min(moved);
+        let server = (moved - cl) as f64 / p.parse_plain_bw
             + cl as f64 / p.parse_cl_bw
             + s.select_returned_bytes as f64 / p.parse_select_bw
             + s.server_cpu_units as f64 * p.cpu_per_unit;
@@ -426,6 +456,7 @@ mod tests {
             select_returned_bytes: 50,
             plain_bytes: 20,
             cache_bytes: 30,
+            disk_bytes: 25,
             exchange_bytes: 40,
             server_cpu_units: 5,
             expr_terms: 7,
@@ -436,6 +467,7 @@ mod tests {
         assert_eq!(t.point_requests, 400, "point requests are per-row");
         assert_eq!(t.s3_scanned_bytes, 10_000);
         assert_eq!(t.cache_bytes, 3_000, "cache bytes scale with data");
+        assert_eq!(t.disk_bytes, 2_500, "disk-tier bytes scale with data");
         assert_eq!(t.exchange_bytes, 4_000, "exchange bytes scale with data");
         assert_eq!(t.expr_terms, 7, "expr terms are intensive");
         assert_eq!(t.cl_parse_bytes, 1_200, "columnar bytes scale with data");
@@ -488,6 +520,56 @@ mod tests {
         // Parse-bound: the dominant term is bytes / parse_plain_bw.
         let parse = GB as f64 / m.params.parse_plain_bw;
         assert!((t_cached - (m.params.phase_startup + parse)).abs() < 1e-9);
+    }
+
+    /// Disk-tier hits pay the slower instance-storage read plus parse:
+    /// dearer than a mem hit, still cheaper than refetching over the
+    /// wire with request latency — the three-way gradient Adaptive
+    /// weighs. Exact: `local = cache/cache_bw + disk/disk_bw`.
+    #[test]
+    fn disk_tier_hits_sit_between_mem_hits_and_remote_fetches() {
+        let m = model();
+        // ColumnarLite bytes, so parse does not mask the local read rate.
+        let mem_hit = m.phase_seconds(&PhaseStats {
+            cache_bytes: GB,
+            cl_parse_bytes: GB,
+            ..Default::default()
+        });
+        let disk_hit = m.phase_seconds(&PhaseStats {
+            disk_bytes: GB,
+            cl_parse_bytes: GB,
+            ..Default::default()
+        });
+        let remote = m.phase_seconds(&PhaseStats {
+            requests: 2000,
+            plain_bytes: GB,
+            cl_parse_bytes: GB,
+            ..Default::default()
+        });
+        assert!(mem_hit < disk_hit, "{mem_hit} vs {disk_hit}");
+        assert!(disk_hit < remote, "{disk_hit} vs {remote}");
+        // A half-and-half partial hit reads each tier at its own rate.
+        let split = m.phase_seconds(&PhaseStats {
+            cache_bytes: GB / 2,
+            disk_bytes: GB / 2,
+            ..Default::default()
+        });
+        let local =
+            (GB / 2) as f64 / m.params.cache_read_bw + (GB / 2) as f64 / m.params.disk_read_bw;
+        let parse = GB as f64 / m.params.parse_plain_bw;
+        assert!((split - (m.params.phase_startup + local.max(parse))).abs() < 1e-9);
+        // Disk bytes count toward the ColumnarLite parse clamp too.
+        let cl = m.phase_seconds(&PhaseStats {
+            disk_bytes: GB,
+            cl_parse_bytes: 2 * GB,
+            ..Default::default()
+        });
+        let cl_exact = m.phase_seconds(&PhaseStats {
+            disk_bytes: GB,
+            cl_parse_bytes: GB,
+            ..Default::default()
+        });
+        assert!((cl - cl_exact).abs() < 1e-12);
     }
 
     /// Exchange traffic is pipelined with the other byte streams and

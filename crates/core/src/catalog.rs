@@ -21,7 +21,6 @@
 //! *is* metered like any other query traffic.
 
 use crate::context::QueryContext;
-use pushdown_cache::SegmentKey;
 use pushdown_common::{Result, Row, Schema, Value};
 use pushdown_format::columnar::{encode_columnar, WriterOptions};
 use pushdown_format::csv::CsvWriter;
@@ -271,12 +270,16 @@ fn probe_sample_from_cache(
         return Ok(None);
     };
     let keys = table.partitions(&ctx.store);
-    if keys.is_empty()
-        || !keys
-            .iter()
-            .all(|k| cache.peek(&SegmentKey::whole(&table.bucket, k)).is_some())
-    {
+    if keys.is_empty() {
         return Ok(None);
+    }
+    // Warm means zero gap bytes across every partition's chunk layout
+    // (either tier counts — a disk-resident probe still bills $0).
+    for k in &keys {
+        let size = ctx.store.object_size(&table.bucket, k)?;
+        if cache.occupancy(&table.bucket, k, size).gap_bytes > 0 {
+            return Ok(None);
+        }
     }
     let parts = keys.len();
     let limit = (probe_rows as usize).max(1);
@@ -289,9 +292,11 @@ fn probe_sample_from_cache(
         if share == 0 {
             continue;
         }
-        let fetched = ctx
-            .store
-            .get_object_cached_with(&table.bucket, key, &ctx.retry)?;
+        let fetched =
+            ctx.store
+                .get_object_chunked_cached_with(&table.bucket, key, &ctx.retry, |data| {
+                    crate::scan::chunk_layout(table, ctx.cache_chunk_bytes, data)
+                })?;
         let mut part_rows = Vec::with_capacity(share);
         crate::scan::decode_partition_batches(
             fetched.data,

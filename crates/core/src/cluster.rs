@@ -46,8 +46,9 @@ pub struct ClusterNode {
     pub ledger: pushdown_common::ledger::CostLedger,
     /// The node's own virtual clock: advanced only by work this node runs.
     pub clock: VirtualClock,
-    /// Per-node cache slice (`budget / n` of the store-wide budget at
-    /// [`Cluster::new`] time), or `None` when no cache is installed.
+    /// Per-node cache slice (`mem / n` + `disk / n` of the store-wide
+    /// tier budgets at [`Cluster::new`] time, same admission policy), or
+    /// `None` when no cache is installed.
     pub cache: Option<SegmentCache>,
     /// Bytes this node shipped to the coordinator or across a
     /// repartition boundary.
@@ -86,21 +87,31 @@ pub struct Cluster {
 
 impl Cluster {
     /// Build an `n`-node cluster over `store`. If the store has a segment
-    /// cache installed, each node gets a private slice of `budget / n`
-    /// bytes (install the cache *before* calling this); otherwise nodes
-    /// run cacheless and reads fall through to the store.
+    /// cache installed, each node gets a private slice of **both tier
+    /// budgets** — `mem / n` and `disk / n` bytes, under the store
+    /// cache's admission policy (install the cache *before* calling
+    /// this); otherwise nodes run cacheless and reads fall through to
+    /// the store.
     pub fn new(store: &S3Store, n: usize, pricing: Pricing) -> Cluster {
         let n = n.max(1);
-        let node_budget = store
+        let node_slice = store
             .cache()
-            .map(|c| c.stats().budget_bytes / n as u64)
-            .filter(|&b| b > 0);
+            .map(|c| {
+                (
+                    c.budget_bytes() / n as u64,
+                    c.disk_budget_bytes() / n as u64,
+                    c.admission(),
+                )
+            })
+            .filter(|&(mem, disk, _)| mem + disk > 0);
         let nodes: Vec<ClusterNode> = (0..n)
             .map(|id| ClusterNode {
                 id,
                 ledger: store.global_ledger().child(),
                 clock: VirtualClock::new(),
-                cache: node_budget.map(|b| SegmentCache::new(b, pricing)),
+                cache: node_slice.map(|(mem, disk, admission)| {
+                    SegmentCache::tiered_with_admission(mem, disk, pricing, admission)
+                }),
                 exchange_bytes: Arc::new(AtomicU64::new(0)),
             })
             .collect();
@@ -261,6 +272,34 @@ mod tests {
         for id in 0..4 {
             let stats = c.node(id).cache.as_ref().expect("node cache").stats();
             assert_eq!(stats.budget_bytes, (1 << 20) / 4);
+            assert_eq!(stats.disk_budget_bytes, 0);
         }
+    }
+
+    #[test]
+    fn per_node_cache_slices_split_both_tiers_and_keep_admission() {
+        let s = store();
+        s.set_cache(Some(SegmentCache::tiered_with_admission(
+            1 << 20,
+            1 << 22,
+            pricing(),
+            pushdown_cache::CacheAdmission::ReuseDistance { window: 8 },
+        )));
+        let c = Cluster::new(&s, 4, pricing());
+        for id in 0..4 {
+            let cache = c.node(id).cache.as_ref().expect("node cache");
+            assert_eq!(cache.budget_bytes(), (1 << 20) / 4);
+            assert_eq!(cache.disk_budget_bytes(), (1 << 22) / 4);
+            assert_eq!(
+                cache.admission(),
+                pushdown_cache::CacheAdmission::ReuseDistance { window: 8 }
+            );
+        }
+        // A disk-only store cache still yields per-node slices.
+        s.set_cache(Some(SegmentCache::tiered(0, 1 << 21, pricing())));
+        let c = Cluster::new(&s, 2, pricing());
+        let cache = c.node(1).cache.as_ref().expect("node cache");
+        assert_eq!(cache.budget_bytes(), 0);
+        assert_eq!(cache.disk_budget_bytes(), (1 << 21) / 2);
     }
 }

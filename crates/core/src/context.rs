@@ -53,6 +53,12 @@ pub struct QueryContext {
     /// remote-scan semantics; the planner's `cached-local` candidates
     /// and forced-cached runs flip it per execution.
     pub cache_reads: bool,
+    /// Segment size for caching CSV partitions: cached scans split CSV
+    /// bytes into fixed blocks of this many bytes, each its own
+    /// [`pushdown_cache::SegmentKey`] (ColumnarLite partitions split at
+    /// row-group extents instead and ignore this knob). Smaller blocks
+    /// mean finer partial hits at more segments; 64 KiB by default.
+    pub cache_chunk_bytes: u64,
     /// Execute local scans of ColumnarLite tables through the vectorized
     /// columnar path (typed column vectors + selection-vector kernels,
     /// rows materialized late). On by default; results, metrics and
@@ -95,6 +101,7 @@ impl QueryContext {
             batch_rows: 1024,
             retry: RetryPolicy::default(),
             cache_reads: false,
+            cache_chunk_bytes: 64 * 1024,
             columnar_exec: true,
             cluster: None,
             cluster_base: None,
@@ -304,6 +311,47 @@ impl QueryContext {
             self.pricing,
             admission,
         )));
+        self
+    }
+
+    /// Install a **two-tier** segment cache: `mem_budget_bytes` of
+    /// memory (read back at `cache_read_bw`) over `disk_budget_bytes`
+    /// of simulated instance storage (read back at the slower
+    /// `disk_read_bw`). Segments evicted from memory demote to disk;
+    /// disk hits promote back. A disk budget of 0 reproduces
+    /// [`QueryContext::with_cache`] exactly. Store-wide, like
+    /// [`QueryContext::with_cache`].
+    pub fn with_cache_tiers(self, mem_budget_bytes: u64, disk_budget_bytes: u64) -> Self {
+        self.store.set_cache(Some(SegmentCache::tiered(
+            mem_budget_bytes,
+            disk_budget_bytes,
+            self.pricing,
+        )));
+        self
+    }
+
+    /// [`QueryContext::with_cache_tiers`] with an explicit fill-admission
+    /// policy. Store-wide, like [`QueryContext::with_cache`].
+    pub fn with_cache_tiers_admission(
+        self,
+        mem_budget_bytes: u64,
+        disk_budget_bytes: u64,
+        admission: CacheAdmission,
+    ) -> Self {
+        self.store
+            .set_cache(Some(SegmentCache::tiered_with_admission(
+                mem_budget_bytes,
+                disk_budget_bytes,
+                self.pricing,
+                admission,
+            )));
+        self
+    }
+
+    /// Override the CSV cache-segment size (see
+    /// [`QueryContext::cache_chunk_bytes`]; clamped to ≥ 1).
+    pub fn with_cache_chunk_bytes(mut self, chunk_bytes: u64) -> Self {
+        self.cache_chunk_bytes = chunk_bytes.max(1);
         self
     }
 

@@ -25,7 +25,6 @@ use crate::algos::topk::{optimal_sample_size, TopKQuery};
 use crate::catalog::{ColumnStats, Table, TableStats};
 use crate::context::QueryContext;
 use crate::metrics::QueryMetrics;
-use pushdown_cache::SegmentKey;
 use pushdown_common::perf::PhaseStats;
 use pushdown_common::pricing::Usage;
 use pushdown_common::{Result, Schema, Value};
@@ -195,40 +194,36 @@ impl<'a> Estimator<'a> {
         }
     }
 
-    /// Cached-local load phase: read partitions through the segment
-    /// cache, **per segment** — partitions currently cached cost local
-    /// scan + parse only (`cache_bytes`; zero billable), the cold tail
-    /// is priced as read-through fills (a request + plain transfer
-    /// each). `Ok(None)` when the store has no cache installed, so the
-    /// candidate only exists on cache-enabled contexts. A partition in
-    /// the estimator's snapshot whose object has vanished is an error —
-    /// pricing it as zero bytes would make the cached plan look
-    /// arbitrarily cheap.
+    /// Cached-local load phase: read partitions through the tiered
+    /// segment cache, priced **per segment per tier** from live
+    /// occupancy — mem-resident chunks cost a `cache_read_bw` local scan
+    /// (`cache_bytes`; zero billable), disk-resident chunks a slower
+    /// `disk_read_bw` scan (`disk_bytes`; zero billable), and only the
+    /// gaps bill, as one coalesced range GET per gap run. A fully cold
+    /// partition (no recorded layout) is one whole-object fill — exactly
+    /// the [`Estimator::plain_load`] price, so Adaptive's tie-break
+    /// still warms the cache. `Ok(None)` when the store has no cache
+    /// installed, so the candidate only exists on cache-enabled
+    /// contexts. A partition in the estimator's snapshot whose object
+    /// has vanished is an error — pricing it as zero bytes would make
+    /// the cached plan look arbitrarily cheap.
     fn cached_load(&self, extra_cpu: f64) -> Result<Option<PhaseStats>> {
         let Some(cache) = self.ctx.store.cache() else {
             return Ok(None);
         };
-        let mut cached = 0u64;
-        let mut uncached = 0u64;
-        let mut fills = 0u64;
+        let mut stats = PhaseStats::default();
         for key in &self.partition_keys {
             let size = self.ctx.store.object_size(&self.table.bucket, key)?;
-            match cache.peek(&SegmentKey::whole(&self.table.bucket, key)) {
-                Some(_) => cached += size,
-                None => {
-                    uncached += size;
-                    fills += 1;
-                }
-            }
+            let occ = cache.occupancy(&self.table.bucket, key, size);
+            stats.requests += occ.gap_requests;
+            stats.plain_bytes += occ.gap_bytes;
+            stats.cache_bytes += occ.mem_bytes;
+            stats.disk_bytes += occ.disk_bytes;
         }
-        Ok(Some(PhaseStats {
-            requests: fills,
-            plain_bytes: uncached,
-            cache_bytes: cached,
-            cl_parse_bytes: self.cl_bytes(uncached + cached),
-            server_cpu_units: (self.rows + extra_cpu) as u64,
-            ..Default::default()
-        }))
+        stats.cl_parse_bytes =
+            self.cl_bytes(stats.plain_bytes + stats.cache_bytes + stats.disk_bytes);
+        stats.server_cpu_units = (self.rows + extra_cpu) as u64;
+        Ok(Some(stats))
     }
 
     /// Wrap a cached-local load phase into a one-phase candidate, when a
@@ -1213,23 +1208,28 @@ fn predict_gather(
         let mut stats = full.scaled(frac);
         stats.requests = owned.len() as u64;
         if let PlanOp::CachedScan { .. } = &leaf_node.op {
-            // Per-node occupancy: partitions resident in the owning
-            // node's cache slice are free hits; the cold tail bills as
-            // read-through fills.
+            // Per-node occupancy: chunks resident in the owning node's
+            // cache slice are free local reads (per tier); only the gap
+            // runs bill, as coalesced range GETs. A fully cold partition
+            // prices as one whole-object fill.
             let cache = cluster.node(k).cache.clone();
             stats.requests = 0;
             stats.plain_bytes = 0;
             stats.cache_bytes = 0;
+            stats.disk_bytes = 0;
             for (_, key, size) in &owned {
-                let hit = cache
-                    .as_ref()
-                    .and_then(|c| c.peek(&SegmentKey::whole(&table.bucket, key)))
-                    .is_some();
-                if hit {
-                    stats.cache_bytes += size;
-                } else {
-                    stats.requests += 1;
-                    stats.plain_bytes += size;
+                match &cache {
+                    Some(c) => {
+                        let occ = c.occupancy(&table.bucket, key, *size);
+                        stats.requests += occ.gap_requests;
+                        stats.plain_bytes += occ.gap_bytes;
+                        stats.cache_bytes += occ.mem_bytes;
+                        stats.disk_bytes += occ.disk_bytes;
+                    }
+                    None => {
+                        stats.requests += 1;
+                        stats.plain_bytes += size;
+                    }
                 }
             }
         }

@@ -263,12 +263,15 @@ impl OpReport {
         let indent = "  ".repeat(depth);
         let actual = model.phase_seconds(&self.actual);
         // Cache-serving nodes show their local-vs-remote byte split
-        // (hit bytes come from the segment cache; on a cached scan, the
-        // plain bytes are the billed read-through fills).
-        let cache = if self.actual.cache_bytes > 0 || self.label.starts_with("CachedScan") {
+        // (mem/disk hit bytes come from the segment cache tiers; on a
+        // cached scan, the plain bytes are the billed gap fills).
+        let cache = if self.actual.cache_bytes > 0
+            || self.actual.disk_bytes > 0
+            || self.label.starts_with("CachedScan")
+        {
             format!(
-                "  [cache: {} B hit, {} B filled]",
-                self.actual.cache_bytes, self.actual.plain_bytes
+                "  [cache: {} B mem hit, {} B disk hit, {} B filled]",
+                self.actual.cache_bytes, self.actual.disk_bytes, self.actual.plain_bytes
             )
         } else {
             String::new()

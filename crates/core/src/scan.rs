@@ -61,16 +61,19 @@ pub struct ScanSummary {
 }
 
 /// [`ScanSummary`] of a cache-aware scan, with per-partition hit/fill
-/// counts for the EXPLAIN surface. Hit bytes land in
-/// `stats.cache_bytes`, fill bytes in `stats.plain_bytes` (a fill *is* a
-/// billed plain GET).
+/// counts for the EXPLAIN surface. Mem-tier hit bytes land in
+/// `stats.cache_bytes`, disk-tier hit bytes in `stats.disk_bytes`, and
+/// gap-fill bytes in `stats.plain_bytes` (a fill *is* a billed plain
+/// GET — on a partial hit, exactly the gap ranges are billed).
 #[derive(Debug, Clone)]
 pub struct CachedScanSummary {
     pub schema: Schema,
     pub stats: PhaseStats,
-    /// Partitions served from the local segment cache.
+    /// Partitions served entirely from the local segment cache (either
+    /// tier, no remote bytes).
     pub hit_parts: u64,
-    /// Partitions read through from the store (billed fills).
+    /// Partitions that fetched at least one gap range from the store
+    /// (billed fills; a partial hit counts here, not in `hit_parts`).
     pub fill_parts: u64,
 }
 
@@ -397,14 +400,68 @@ fn cl_bytes(table: &Table, len: usize) -> u64 {
     }
 }
 
+/// Chunk layout used to cache one partition's bytes: ColumnarLite files
+/// split at row-group extents (plus the footer as its own hot segment);
+/// everything else splits into fixed blocks of
+/// [`QueryContext::cache_chunk_bytes`]. An unreadable ColumnarLite file
+/// caches as one whole-object chunk — the coarse path, never a wrong
+/// layout.
+pub(crate) fn chunk_layout(
+    table: &Table,
+    chunk_bytes: u64,
+    data: &bytes::Bytes,
+) -> Vec<(u64, u64)> {
+    let len = data.len() as u64;
+    match table.format {
+        InputFormat::Columnar => ColumnarReader::open(data.clone())
+            .map(|r| r.row_group_extents())
+            .unwrap_or_else(|_| vec![(0, len)]),
+        InputFormat::Csv | InputFormat::CsvNoHeader => {
+            let step = chunk_bytes.max(1);
+            (0..len)
+                .step_by(step as usize)
+                .map(|first| (first, (first + step).min(len)))
+                .collect()
+        }
+    }
+}
+
+/// Fold one partition's [`pushdown_s3::ChunkedFetch`] into its
+/// [`PhaseStats`] and the hit/fill partition counters.
+fn account_chunked(
+    fetched: &pushdown_s3::ChunkedFetch,
+    table: &Table,
+    hit_parts: &std::sync::atomic::AtomicU64,
+    fill_parts: &std::sync::atomic::AtomicU64,
+) -> PhaseStats {
+    if fetched.hit {
+        hit_parts.fetch_add(1, Ordering::Relaxed);
+    } else {
+        fill_parts.fetch_add(1, Ordering::Relaxed);
+    }
+    PhaseStats {
+        // Every retried gap-GET attempt billed a request; meter them all
+        // so metrics agree with the ledger even under injected faults.
+        requests: u64::from(fetched.attempts),
+        plain_bytes: fetched.gap_bytes,
+        cache_bytes: fetched.mem_bytes,
+        disk_bytes: fetched.disk_bytes,
+        cl_parse_bytes: cl_bytes(table, fetched.data.len()),
+        ..Default::default()
+    }
+}
+
 /// Cache-aware baseline scan: read every partition **through** the
-/// store's segment cache. Hits consume `stats.cache_bytes` (nothing
-/// billed — zero requests, zero billable bytes — the virtual clock
-/// advances by local-scan time); misses are read-through fills under the
-/// uniform [`pushdown_common::RetryPolicy`], billed exactly once (every
-/// attempt a request, the bytes once) like any plain GET. Decoding and
-/// batch delivery are identical to [`plain_scan_streamed`], so results
-/// are byte-for-byte the same with the cache hot, cold, or absent.
+/// store's tiered segment cache at chunk granularity. Resident chunks
+/// are served locally (mem-tier bytes in `stats.cache_bytes`, disk-tier
+/// bytes in `stats.disk_bytes` — nothing billed, the virtual clock
+/// advances at each tier's read bandwidth); only the gaps are fetched,
+/// adjacent gaps coalesced into single range GETs under the uniform
+/// [`pushdown_common::RetryPolicy`], billed exactly once (every attempt
+/// a request, the bytes once) like any plain GET. Decoding and batch
+/// delivery are identical to [`plain_scan_streamed`], so results are
+/// byte-for-byte the same with the cache hot, partially warm, cold, or
+/// absent.
 pub fn cached_scan_streamed(
     ctx: &QueryContext,
     table: &Table,
@@ -417,21 +474,13 @@ pub fn cached_scan_streamed(
         ctx,
         &keys,
         |key, emitter| {
-            let fetched = ctx
-                .store
-                .get_object_cached_with(&table.bucket, key, &ctx.retry)?;
-            let mut part = PhaseStats {
-                cl_parse_bytes: cl_bytes(table, fetched.data.len()),
-                ..Default::default()
-            };
-            if fetched.hit {
-                part.cache_bytes = fetched.data.len() as u64;
-                hit_parts.fetch_add(1, Ordering::Relaxed);
-            } else {
-                part.requests = u64::from(fetched.attempts);
-                part.plain_bytes = fetched.data.len() as u64;
-                fill_parts.fetch_add(1, Ordering::Relaxed);
-            }
+            let fetched = ctx.store.get_object_chunked_cached_with(
+                &table.bucket,
+                key,
+                &ctx.retry,
+                |data| chunk_layout(table, ctx.cache_chunk_bytes, data),
+            )?;
+            let mut part = account_chunked(&fetched, table, &hit_parts, &fill_parts);
             let rows = decode_partition_batches(
                 fetched.data,
                 &table.schema,
@@ -517,21 +566,13 @@ pub fn cached_scan_columnar_streamed(
         ctx,
         &keys,
         |key, emitter| {
-            let fetched = ctx
-                .store
-                .get_object_cached_with(&table.bucket, key, &ctx.retry)?;
-            let mut part = PhaseStats {
-                cl_parse_bytes: cl_bytes(table, fetched.data.len()),
-                ..Default::default()
-            };
-            if fetched.hit {
-                part.cache_bytes = fetched.data.len() as u64;
-                hit_parts.fetch_add(1, Ordering::Relaxed);
-            } else {
-                part.requests = u64::from(fetched.attempts);
-                part.plain_bytes = fetched.data.len() as u64;
-                fill_parts.fetch_add(1, Ordering::Relaxed);
-            }
+            let fetched = ctx.store.get_object_chunked_cached_with(
+                &table.bucket,
+                key,
+                &ctx.retry,
+                |data| chunk_layout(table, ctx.cache_chunk_bytes, data),
+            )?;
+            let mut part = account_chunked(&fetched, table, &hit_parts, &fill_parts);
             let rows = decode_partition_columnar(
                 fetched.data,
                 &table.schema,

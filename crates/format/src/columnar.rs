@@ -761,6 +761,42 @@ impl ColumnarReader {
         &self.schema
     }
 
+    /// Byte extents for chunk-granular caching: one `[first, last)`
+    /// range per row group (group 0 absorbs the leading magic, the last
+    /// data range runs up to the footer) plus the trailing footer region
+    /// as its own final range — every open parses the footer, so keeping
+    /// it a separate hot segment means a partial-hit scan refetches only
+    /// the row groups it is missing. The ranges cover the file
+    /// contiguously, which is what the segment cache's layout contract
+    /// requires.
+    pub fn row_group_extents(&self) -> Vec<(u64, u64)> {
+        let len = self.data.len() as u64;
+        let flen_pos = self.data.len() - 8;
+        let footer_len =
+            u32::from_le_bytes(self.data[flen_pos..flen_pos + 4].try_into().unwrap()) as u64;
+        let footer_start = flen_pos as u64 - footer_len;
+        let mut cuts: Vec<u64> = self
+            .groups
+            .iter()
+            .filter_map(|g| g.chunks.iter().map(|c| c.offset).min())
+            .collect();
+        cuts.sort_unstable();
+        // Group 0's start merges into the header range; the footer gets
+        // its own cut.
+        let mut cuts: Vec<u64> = cuts.into_iter().skip(1).collect();
+        cuts.push(footer_start);
+        cuts.retain(|&c| c > 0 && c < len);
+        cuts.dedup();
+        let mut ranges = Vec::with_capacity(cuts.len() + 1);
+        let mut prev = 0u64;
+        for c in cuts {
+            ranges.push((prev, c));
+            prev = c;
+        }
+        ranges.push((prev, len));
+        ranges
+    }
+
     pub fn num_row_groups(&self) -> usize {
         self.groups.len()
     }
@@ -951,6 +987,37 @@ mod tests {
             !r.can_prune(0, 0, PruneOp::Lt, &Value::Int(3)),
             "group holds a stored 0 < 3; pruning it would change results"
         );
+    }
+
+    #[test]
+    fn row_group_extents_cover_the_file_contiguously() {
+        let rows = sample_rows(500);
+        let opts = WriterOptions {
+            rows_per_group: 100,
+            ..WriterOptions::default()
+        };
+        let bytes = encode_columnar(&schema(), &rows, opts);
+        let len = bytes.len() as u64;
+        let r = ColumnarReader::open(Bytes::from(bytes)).unwrap();
+        assert_eq!(r.num_row_groups(), 5);
+        let ext = r.row_group_extents();
+        // 5 group ranges + the footer range, contiguous over [0, len).
+        assert_eq!(ext.len(), 6);
+        assert_eq!(ext.first().unwrap().0, 0);
+        assert_eq!(ext.last().unwrap().1, len);
+        for w in ext.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "extents are contiguous");
+        }
+        // Each data range starts exactly at its group's first chunk
+        // (group 0 absorbs the 4-byte magic).
+        for (g, e) in ext.iter().enumerate().take(5).skip(1) {
+            let start = r.row_group(g).chunks.iter().map(|c| c.offset).min();
+            assert_eq!(Some(e.0), start);
+        }
+        // A single-group file still splits data from footer.
+        let small = encode_columnar(&schema(), &sample_rows(10), WriterOptions::default());
+        let r = ColumnarReader::open(Bytes::from(small)).unwrap();
+        assert_eq!(r.row_group_extents().len(), 2);
     }
 
     #[test]

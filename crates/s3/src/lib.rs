@@ -50,7 +50,7 @@
 
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
-use pushdown_cache::{SegmentCache, SegmentKey};
+use pushdown_cache::{CacheTier, SegmentCache, SegmentKey};
 use pushdown_common::mix::{fnv1a, splitmix64};
 use pushdown_common::perf::PerfParams;
 use pushdown_common::{CostLedger, Error, Result, RetryPolicy};
@@ -144,6 +144,50 @@ pub struct CachedFetch {
     pub attempts: u32,
     /// Whether the bytes came from the local cache.
     pub hit: bool,
+}
+
+/// Result of a chunk-granular read through the two-tier segment cache
+/// ([`S3Store::get_object_chunked_cached_with`]): the reassembled object
+/// plus how much of it each tier served and what the gaps billed.
+#[derive(Debug, Clone)]
+pub struct ChunkedFetch {
+    /// The whole object, chunks reassembled in order.
+    pub data: Bytes,
+    /// GET attempts billed (gap fetches, retries included; 0 when fully
+    /// cached).
+    pub attempts: u32,
+    /// Bytes served from the mem tier (read at `cache_read_bw`).
+    pub mem_bytes: u64,
+    /// Bytes served from the disk tier (read at `disk_read_bw`).
+    pub disk_bytes: u64,
+    /// Bytes fetched remotely — exactly what the read billed as plain
+    /// transfer.
+    pub gap_bytes: u64,
+    /// Successful coalesced gap GETs (adjacent missing chunks merge into
+    /// one range request; retries are counted in `attempts`, not here).
+    pub gap_gets: u32,
+    /// Whether the object was served entirely from the cache.
+    pub hit: bool,
+}
+
+/// Sanity-check a caller-derived chunk layout: sorted, non-empty ranges
+/// covering `[0, len)` contiguously. Anything else collapses to one
+/// whole-object chunk, so a buggy layout degrades to the coarse path
+/// rather than a torn read.
+fn normalize_chunk_layout(mut chunks: Vec<(u64, u64)>, len: u64) -> Vec<(u64, u64)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    chunks.retain(|&(first, last)| last > first);
+    chunks.sort_unstable();
+    let contiguous = chunks.first().is_some_and(|c| c.0 == 0)
+        && chunks.last().is_some_and(|c| c.1 == len)
+        && chunks.windows(2).all(|w| w[0].1 == w[1].0);
+    if contiguous {
+        chunks
+    } else {
+        vec![(0, len)]
+    }
 }
 
 /// A shareable virtual-clock handle: simulated seconds accumulated by
@@ -684,10 +728,11 @@ impl S3Store {
             });
         };
         let skey = SegmentKey::whole(bucket, key);
-        if let Some(data) = cache.get(&skey) {
-            if let Some(plan) = self.fault_plan() {
-                self.scope
-                    .advance(data.len() as f64 / plan.latency.cache_read_bw);
+        if let Some((data, tier)) = cache.get_tiered(&skey) {
+            let len = data.len() as u64;
+            match tier {
+                CacheTier::Mem => self.advance_local_read(len, 0),
+                CacheTier::Disk => self.advance_local_read(0, len),
             }
             return Ok(CachedFetch {
                 data,
@@ -703,6 +748,217 @@ impl S3Store {
             attempts: fetched.attempts,
             hit: false,
         })
+    }
+
+    /// Chunk-granular read **through the two-tier segment cache** under
+    /// the uniform retry policy — the partial-hit read path of the
+    /// tiered caching layer.
+    ///
+    /// * **Cold** (no recorded layout) — one retried whole-object GET,
+    ///   billed exactly like [`S3Store::get_object_with`]; `layout_of`
+    ///   derives the object's chunk ranges from the fetched bytes
+    ///   (ColumnarLite row-group extents, fixed CSV blocks — the store
+    ///   stays format-agnostic), each chunk is admitted as its own
+    ///   segment, and the layout is recorded for every later read.
+    /// * **Warm / partial** — each chunk in the recorded layout is
+    ///   probed: mem-tier hits advance the virtual clock at
+    ///   `cache_read_bw`, disk-tier hits at `disk_read_bw` (and promote),
+    ///   and **only the gaps** are fetched — adjacent missing chunks
+    ///   coalesce into one range GET, each coalesced gap its own retried
+    ///   request (every attempt billed as a request, its bytes once),
+    ///   filled back into the cache chunk by chunk.
+    /// * **Torn read** — if a writer moved the object's epoch while the
+    ///   read was mixing cached and fetched ranges, the partial result
+    ///   is discarded and one honest whole-object retried GET (billed,
+    ///   not cached) restores snapshot consistency: callers always see
+    ///   bytes a cache-less scan could have seen.
+    /// * **No cache installed** — plain [`S3Store::get_object_with`].
+    pub fn get_object_chunked_cached_with(
+        &self,
+        bucket: &str,
+        key: &str,
+        policy: &RetryPolicy,
+        layout_of: impl Fn(&Bytes) -> Vec<(u64, u64)>,
+    ) -> Result<ChunkedFetch> {
+        let Some(cache) = self.cache() else {
+            let fetched = self.get_object_with(bucket, key, policy)?;
+            let len = fetched.value.len() as u64;
+            return Ok(ChunkedFetch {
+                data: fetched.value,
+                attempts: fetched.attempts,
+                mem_bytes: 0,
+                disk_bytes: 0,
+                gap_bytes: len,
+                gap_gets: 1,
+                hit: false,
+            });
+        };
+        let whole = SegmentKey::whole(bucket, key);
+        let epoch = cache.begin_fill(&whole);
+        // A whole-object segment left by the coarse read-through path
+        // serves the entire read from its tier.
+        if cache.peek(&whole).is_some() {
+            if let Some((data, tier)) = cache.get_tiered(&whole) {
+                let (mem_bytes, disk_bytes) = match tier {
+                    CacheTier::Mem => (data.len() as u64, 0),
+                    CacheTier::Disk => (0, data.len() as u64),
+                };
+                self.advance_local_read(mem_bytes, disk_bytes);
+                return Ok(ChunkedFetch {
+                    data,
+                    attempts: 0,
+                    mem_bytes,
+                    disk_bytes,
+                    gap_bytes: 0,
+                    gap_gets: 0,
+                    hit: true,
+                });
+            }
+        }
+        let Some(layout) = cache.layout(bucket, key) else {
+            // Cold read: learn the layout from one whole-object GET and
+            // admit every chunk as its own segment.
+            let fetched = self.get_object_with(bucket, key, policy)?;
+            let data = fetched.value;
+            let len = data.len() as u64;
+            let chunks = normalize_chunk_layout(layout_of(&data), len);
+            for &(first, last) in &chunks {
+                cache.insert(
+                    SegmentKey::chunk(bucket, key, (first, last)),
+                    data.slice(first as usize..last as usize),
+                    epoch,
+                );
+            }
+            cache.record_layout(bucket, key, epoch, chunks);
+            return Ok(ChunkedFetch {
+                data,
+                attempts: fetched.attempts,
+                mem_bytes: 0,
+                disk_bytes: 0,
+                gap_bytes: len,
+                gap_gets: 1,
+                hit: false,
+            });
+        };
+        // Partial-hit read: serve resident chunks, fetch only the gaps.
+        let mut parts: Vec<Bytes> = vec![Bytes::new(); layout.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        let (mut mem_bytes, mut disk_bytes) = (0u64, 0u64);
+        for (i, &range) in layout.iter().enumerate() {
+            let skey = SegmentKey::chunk(bucket, key, range);
+            match cache.get_tiered(&skey) {
+                Some((data, CacheTier::Mem)) => {
+                    mem_bytes += data.len() as u64;
+                    parts[i] = data;
+                }
+                Some((data, CacheTier::Disk)) => {
+                    disk_bytes += data.len() as u64;
+                    parts[i] = data;
+                }
+                None => missing.push(i),
+            }
+        }
+        self.advance_local_read(mem_bytes, disk_bytes);
+        // Coalesce adjacent missing chunks (the layout is contiguous, so
+        // index-adjacent means byte-adjacent) into single range GETs.
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        for &i in &missing {
+            match runs.last_mut() {
+                Some(run) if run.1 + 1 == i => run.1 = i,
+                _ => runs.push((i, i)),
+            }
+        }
+        let (mut attempts, mut gap_bytes, mut gap_gets) = (0u32, 0u64, 0u32);
+        let mut torn = false;
+        for &(lo, hi) in &runs {
+            let first = layout[lo].0;
+            let last = layout[hi].1 - 1;
+            match self.get_object_range_with(bucket, key, first, last, policy) {
+                Ok(fetched) => {
+                    attempts += fetched.attempts;
+                    gap_gets += 1;
+                    gap_bytes += fetched.value.len() as u64;
+                    for i in lo..=hi {
+                        let (cf, cl) = layout[i];
+                        let slice = fetched
+                            .value
+                            .slice((cf - first) as usize..(cl - first) as usize);
+                        cache.insert(
+                            SegmentKey::chunk(bucket, key, (cf, cl)),
+                            slice.clone(),
+                            epoch,
+                        );
+                        parts[i] = slice;
+                    }
+                }
+                Err(e) => {
+                    // A replaced/deleted object can shrink under the
+                    // recorded layout; only an epoch move excuses the
+                    // error (handled below as a torn read).
+                    if cache.begin_fill(&whole) == epoch {
+                        return Err(e);
+                    }
+                    torn = true;
+                    break;
+                }
+            }
+        }
+        if torn || cache.begin_fill(&whole) != epoch {
+            // A writer raced this read: the assembled mix of cached and
+            // fetched ranges may span two object versions. Discard it
+            // and reload the current version whole — billed, uncached
+            // (the next reader of the new epoch re-learns the layout).
+            let fetched = self.get_object_with(bucket, key, policy)?;
+            attempts += fetched.attempts;
+            gap_gets += 1;
+            gap_bytes += fetched.value.len() as u64;
+            return Ok(ChunkedFetch {
+                data: fetched.value,
+                attempts,
+                mem_bytes,
+                disk_bytes,
+                gap_bytes,
+                gap_gets,
+                hit: false,
+            });
+        }
+        let data = match parts.len() {
+            0 => Bytes::new(),
+            1 => parts.pop().expect("len checked"),
+            _ => {
+                let total: usize = parts.iter().map(|p| p.len()).sum();
+                let mut out = Vec::with_capacity(total);
+                for p in &parts {
+                    out.extend_from_slice(p);
+                }
+                Bytes::from(out)
+            }
+        };
+        Ok(ChunkedFetch {
+            data,
+            attempts,
+            mem_bytes,
+            disk_bytes,
+            gap_bytes,
+            gap_gets,
+            hit: missing.is_empty(),
+        })
+    }
+
+    /// Advance the virtual clock by the local read time of a partial hit:
+    /// mem-tier bytes at `cache_read_bw`, disk-tier bytes at
+    /// `disk_read_bw` (only under an installed fault plan, like every
+    /// other clock charge).
+    fn advance_local_read(&self, mem_bytes: u64, disk_bytes: u64) {
+        if mem_bytes == 0 && disk_bytes == 0 {
+            return;
+        }
+        if let Some(plan) = self.fault_plan() {
+            self.scope.advance(
+                mem_bytes as f64 / plan.latency.cache_read_bw
+                    + disk_bytes as f64 / plan.latency.disk_read_bw,
+            );
+        }
     }
 
     /// Object size without transferring it (HEAD; not billed as a GET).
@@ -1175,6 +1431,217 @@ mod tests {
         assert!(hit.hit);
         assert_eq!(scope.ledger().snapshot().requests, u.requests);
         s.set_fault_plan(None);
+    }
+
+    /// Fixed 4-byte blocks — the chunk layout the chunked-path tests use.
+    fn blocks4(data: &Bytes) -> Vec<(u64, u64)> {
+        let len = data.len() as u64;
+        (0..len)
+            .step_by(4)
+            .map(|first| (first, (first + 4).min(len)))
+            .collect()
+    }
+
+    #[test]
+    fn chunked_cold_read_learns_the_layout_and_fills_per_chunk() {
+        let s = store_with("obj", "0123456789");
+        s.set_cache(Some(SegmentCache::new(
+            1 << 20,
+            pushdown_common::pricing::Pricing::us_east(),
+        )));
+        let policy = RetryPolicy::default();
+        let scope = s.scoped();
+        let cold = scope
+            .get_object_chunked_cached_with("tpch", "obj", &policy, blocks4)
+            .unwrap();
+        assert!(!cold.hit);
+        assert_eq!(&cold.data[..], b"0123456789");
+        assert_eq!((cold.attempts, cold.gap_gets), (1, 1));
+        assert_eq!(cold.gap_bytes, 10, "cold read bills the whole object");
+        let u = scope.ledger().snapshot();
+        assert_eq!((u.requests, u.plain_bytes), (1, 10));
+        // The layout was learned and each block is its own segment.
+        let cache = s.cache().unwrap();
+        let layout = cache.layout("tpch", "obj").unwrap();
+        assert_eq!(&layout[..], &[(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(cache.stats().segments, 3);
+        // Fully warm: bit-identical bytes, nothing billed.
+        let warm = scope
+            .get_object_chunked_cached_with("tpch", "obj", &policy, blocks4)
+            .unwrap();
+        assert!(warm.hit);
+        assert_eq!(&warm.data[..], b"0123456789");
+        assert_eq!((warm.attempts, warm.gap_bytes), (0, 0));
+        assert_eq!(warm.mem_bytes, 10);
+        assert_eq!(scope.ledger().snapshot(), u, "warm read bills nothing");
+    }
+
+    #[test]
+    fn partial_hits_bill_exactly_the_gap_bytes_and_coalesce_adjacent_gaps() {
+        let s = store_with("obj", "0123456789");
+        let policy = RetryPolicy::default();
+        // Partial state built directly: layout on file, chunk (8,10)
+        // resident, the two adjacent chunks (0,4) and (4,8) missing — the
+        // refetch must coalesce them into ONE range GET billing exactly
+        // 8 bytes.
+        let c2 = SegmentCache::new(1 << 20, pushdown_common::pricing::Pricing::us_east());
+        let e = c2.begin_fill(&SegmentKey::whole("tpch", "obj"));
+        assert!(c2.record_layout("tpch", "obj", e, vec![(0, 4), (4, 8), (8, 10)]));
+        assert!(c2.insert(
+            SegmentKey::chunk("tpch", "obj", (8, 10)),
+            Bytes::from_static(b"89"),
+            e
+        ));
+        s.set_cache(Some(c2.clone()));
+        let scope = s.scoped();
+        let partial = scope
+            .get_object_chunked_cached_with("tpch", "obj", &policy, blocks4)
+            .unwrap();
+        assert!(!partial.hit);
+        assert_eq!(&partial.data[..], b"0123456789", "rows bit-identical");
+        assert_eq!(partial.mem_bytes, 2, "chunk (8,10) served locally");
+        assert_eq!(partial.gap_bytes, 8, "exactly the gap bytes fetched");
+        assert_eq!(partial.gap_gets, 1, "adjacent gaps coalesce into one GET");
+        let u = scope.ledger().snapshot();
+        assert_eq!((u.requests, u.plain_bytes), (1, 8), "bills = gaps only");
+        // Both gap chunks were filled back in: next read is free.
+        let warm = scope
+            .get_object_chunked_cached_with("tpch", "obj", &policy, blocks4)
+            .unwrap();
+        assert!(warm.hit);
+        assert_eq!(scope.ledger().snapshot(), u);
+    }
+
+    #[test]
+    fn chunked_partial_hits_serve_each_tier_at_its_own_clock_rate() {
+        let s = store_with("obj", &"x".repeat(12));
+        // Mem fits one 4-byte chunk; the other two demote to disk.
+        let cache = SegmentCache::tiered(4, 64, pushdown_common::pricing::Pricing::us_east());
+        s.set_cache(Some(cache.clone()));
+        let plan = FaultPlan::new(0, 0.0);
+        s.set_fault_plan(Some(plan));
+        let policy = RetryPolicy::default();
+        s.scoped()
+            .get_object_chunked_cached_with("tpch", "obj", &policy, blocks4)
+            .unwrap();
+        assert_eq!(cache.stats().demotions, 2);
+        let scope = s.scoped();
+        let warm = scope
+            .get_object_chunked_cached_with("tpch", "obj", &policy, blocks4)
+            .unwrap();
+        assert!(warm.hit);
+        assert_eq!(warm.mem_bytes + warm.disk_bytes, 12);
+        assert!(warm.disk_bytes > 0, "some chunks served from disk");
+        let expect = warm.mem_bytes as f64 / plan.latency.cache_read_bw
+            + warm.disk_bytes as f64 / plan.latency.disk_read_bw;
+        assert!(
+            (scope.virtual_time_s() - expect).abs() < 1e-12,
+            "clock {} vs per-tier local read {expect}",
+            scope.virtual_time_s()
+        );
+        assert_eq!(scope.ledger().snapshot().requests, 0, "hits bill nothing");
+        s.set_fault_plan(None);
+    }
+
+    #[test]
+    fn chunked_gap_fills_retry_under_chaos_and_bill_bytes_once() {
+        let s = store_with("obj", "0123456789abcdef");
+        let warm_cache = SegmentCache::new(1 << 20, pushdown_common::pricing::Pricing::us_east());
+        let e = warm_cache.begin_fill(&SegmentKey::whole("tpch", "obj"));
+        assert!(warm_cache.record_layout(
+            "tpch",
+            "obj",
+            e,
+            vec![(0, 4), (4, 8), (8, 12), (12, 16)]
+        ));
+        // Chunks 0 and 2 resident: two non-adjacent gaps ⇒ two range GETs.
+        assert!(warm_cache.insert(
+            SegmentKey::chunk("tpch", "obj", (0, 4)),
+            Bytes::from_static(b"0123"),
+            e
+        ));
+        assert!(warm_cache.insert(
+            SegmentKey::chunk("tpch", "obj", (8, 12)),
+            Bytes::from_static(b"89ab"),
+            e
+        ));
+        s.set_cache(Some(warm_cache));
+        s.set_fault_plan(Some(FaultPlan::new(9, 0.4)));
+        let scope = s.scoped();
+        let got = scope
+            .get_object_chunked_cached_with("tpch", "obj", &RetryPolicy::with_attempts(16), blocks4)
+            .unwrap();
+        assert_eq!(&got.data[..], b"0123456789abcdef");
+        assert_eq!(got.gap_gets, 2, "two non-adjacent gaps");
+        assert_eq!(got.gap_bytes, 8);
+        assert!(got.attempts >= 2);
+        let u = scope.ledger().snapshot();
+        assert_eq!(u.requests, u64::from(got.attempts), "every attempt billed");
+        assert_eq!(u.plain_bytes, 8, "gap bytes billed once across retries");
+        s.set_fault_plan(None);
+    }
+
+    #[test]
+    fn chunked_reads_fall_back_to_a_whole_reload_when_a_writer_races() {
+        let s = store_with("obj", "0123456789");
+        let cache = SegmentCache::new(1 << 20, pushdown_common::pricing::Pricing::us_east());
+        // Recorded layout + one stale resident chunk, then the object is
+        // replaced *without* the cache hearing about it — simulating the
+        // epoch moving after the chunk probes. The gap fetch against the
+        // shrunken object errors, the epoch mismatch is detected, and the
+        // read degrades to one clean whole-object reload.
+        let e = cache.begin_fill(&SegmentKey::whole("tpch", "obj"));
+        assert!(cache.record_layout("tpch", "obj", e, vec![(0, 4), (4, 8), (8, 10)]));
+        assert!(cache.insert(
+            SegmentKey::chunk("tpch", "obj", (0, 4)),
+            Bytes::from_static(b"0123"),
+            e
+        ));
+        s.set_cache(Some(cache.clone()));
+        // Replace via the store so both the epoch moves and the bytes
+        // shrink below the recorded layout.
+        s.put_object("tpch", "obj", "XY");
+        let scope = s.scoped();
+        let got = scope
+            .get_object_chunked_cached_with("tpch", "obj", &RetryPolicy::default(), blocks4)
+            .unwrap();
+        assert_eq!(&got.data[..], b"XY", "the current version, never a mix");
+        assert!(!got.hit);
+        s.delete_object("tpch", "obj");
+        assert!(s
+            .scoped()
+            .get_object_chunked_cached_with("tpch", "obj", &RetryPolicy::default(), blocks4)
+            .is_err());
+    }
+
+    #[test]
+    fn chunked_reads_without_a_cache_degrade_to_plain_gets() {
+        let s = store_with("obj", "0123456789");
+        let scope = s.scoped();
+        let got = scope
+            .get_object_chunked_cached_with("tpch", "obj", &RetryPolicy::default(), blocks4)
+            .unwrap();
+        assert!(!got.hit);
+        assert_eq!(&got.data[..], b"0123456789");
+        assert_eq!(got.gap_bytes, 10);
+        assert_eq!(scope.ledger().snapshot().requests, 1);
+    }
+
+    #[test]
+    fn degenerate_layouts_collapse_to_one_whole_chunk() {
+        assert_eq!(normalize_chunk_layout(vec![], 10), vec![(0, 10)]);
+        assert_eq!(normalize_chunk_layout(vec![(0, 4)], 10), vec![(0, 10)]);
+        assert_eq!(
+            normalize_chunk_layout(vec![(0, 4), (6, 10)], 10),
+            vec![(0, 10)],
+            "a hole in the layout is not trusted"
+        );
+        assert_eq!(
+            normalize_chunk_layout(vec![(4, 10), (0, 4), (4, 4)], 10),
+            vec![(0, 4), (4, 10)],
+            "unsorted input is sorted, empty ranges dropped"
+        );
+        assert!(normalize_chunk_layout(vec![], 0).is_empty());
     }
 
     #[test]

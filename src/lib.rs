@@ -138,6 +138,35 @@
 //! # Ok(()) }
 //! ```
 //!
+//! ### The tiered, chunk-granular cache
+//!
+//! The cache is two-tiered: a RAM tier in front of a larger on-disk
+//! tier (own budget, read at [`common::perf::PerfParams::disk_read_bw`]
+//! vs the mem tier's `cache_read_bw`). Segments are **chunks** — one
+//! per ColumnarLite row group, fixed byte blocks for CSV
+//! ([`core::QueryContext::with_cache_chunk_bytes`]) — so a partially
+//! resident object serves its cached chunks from their tier and range-
+//! GETs only the **coalesced gaps**: gap bytes bill exactly once, hits
+//! bill nothing. Mem evictions *demote* to disk instead of dropping;
+//! disk hits *promote* back when they fit; both tiers run the same
+//! dollars-saved-per-byte eviction, and the planner prices cached scans
+//! per segment per tier from live [`cache::SegmentCache::occupancy`].
+//!
+//! ```no_run
+//! use pushdowndb::core::{execute_sql, Strategy};
+//! # fn demo(ctx: pushdowndb::core::QueryContext, table: &pushdowndb::core::Table)
+//! # -> pushdowndb::common::Result<()> {
+//! // Two budget knobs: 256 MiB of RAM in front of 4 GiB of disk.
+//! let ctx = ctx.with_cache_tiers(256 << 20, 4u64 << 30);
+//! let sql = "SELECT g, SUM(v) FROM t GROUP BY g";
+//! let _cold = execute_sql(&ctx, table, sql, Strategy::Adaptive)?; // fills
+//! let warm = execute_sql(&ctx, table, sql, Strategy::Adaptive)?;
+//! assert_eq!(warm.billed.plain_bytes, 0); // demoted segments still serve locally
+//! let s = ctx.cache().unwrap().stats();   // demotions, promotions, disk_hits, …
+//! println!("mem {} B / disk {} B resident", s.used_bytes, s.disk_used_bytes);
+//! # Ok(()) }
+//! ```
+//!
 //! ## The scatter-gather cluster
 //!
 //! [`core::QueryContext::with_nodes`] attaches an N-node cluster

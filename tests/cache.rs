@@ -1,4 +1,4 @@
-//! Hybrid caching-tier suite (ISSUE 5).
+//! Hybrid caching-tier suite (ISSUE 5; tiered + chunked in ISSUE 9).
 //!
 //! * **Differential** — `cached ≡ uncached`: every planner-suite query
 //!   (joins included) returns identical rows with the cache cold, warm,
@@ -14,6 +14,14 @@
 //!   ≤ 1.1× min(cached-local, pushdown, remote-full) per suite query;
 //!   and predicted Usage for chosen cached plans stays within the 15%
 //!   calibration bound.
+//! * **Tiered partial hits** (ISSUE 9) — a partially resident object
+//!   bills exactly its coalesced gap bytes (never a full reload), from
+//!   either tier; tier movement (demote / promote / gap fill) keeps
+//!   `metrics.usage() == billed` exact; a disk tier keeps demoted
+//!   segments servable; per-node cluster slices split both tier
+//!   budgets and stay byte-equal to the serial bill on cold passes; a
+//!   proptest pins `served-locally + billed == bytes scanned` across
+//!   random tier budgets, chunk sizes, mutations and chaos seeds.
 
 use proptest::prelude::*;
 use pushdown_bench::workload::{generate_zipf, run_stream, WorkloadSpec};
@@ -436,6 +444,386 @@ proptest! {
                         // The catalog row count is stale after a raw
                         // delete; shrink it so LIMIT sizing stays within
                         // the live data.
+                        table.row_count = table.row_count.saturating_sub(per_part as u64);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tiered partial hits (ISSUE 9): an object with only alternating
+/// chunks resident serves the cached chunks from their tier and bills
+/// exactly the coalesced gap bytes — one range GET per gap run, never a
+/// full reload — from the mem tier and from the disk tier alike.
+#[test]
+fn partial_hit_scans_bill_exactly_the_gap_bytes() {
+    use pushdowndb::cache::SegmentKey;
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+    let rows: Vec<Row> = (0..400i64)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Int((i * 7) % 100)]))
+        .collect();
+    let sql = "SELECT k, v FROM t WHERE v < 50";
+    const CHUNK: u64 = 256;
+    for (mem, disk) in [(1u64 << 20, 0u64), (0, 1 << 20)] {
+        let store = pushdowndb::s3::S3Store::new();
+        let table = upload_csv_table(&store, "b", "t", &schema, &rows, 400).unwrap();
+        let truth = execute_sql(
+            &QueryContext::new(store.clone()),
+            &table,
+            sql,
+            Strategy::Baseline,
+        )
+        .unwrap();
+
+        let ctx = QueryContext::new(store.clone())
+            .with_cache_tiers(mem, disk)
+            .with_cache_chunk_bytes(CHUNK);
+        let forced = ctx.clone().with_cache_reads(true);
+        let key = table.partitions(&store)[0].clone();
+        let len = store.object_size("b", &key).unwrap();
+        let data = store.get_object("b", &key).unwrap();
+        assert!(len > 4 * CHUNK, "need a multi-chunk object, got {len} B");
+
+        // Insert the even chunks by hand (the same fixed-block layout
+        // the CSV scan derives); the odd chunks are the gaps, and the
+        // alternation makes every gap its own coalesced run.
+        let cache = ctx.cache().unwrap();
+        let epoch = cache.begin_fill(&SegmentKey::whole("b", &key));
+        let chunks: Vec<(u64, u64)> = (0..len)
+            .step_by(CHUNK as usize)
+            .map(|f| (f, (f + CHUNK).min(len)))
+            .collect();
+        cache.record_layout("b", &key, epoch, chunks.clone());
+        let (mut local, mut gaps, mut gap_runs) = (0u64, 0u64, 0u64);
+        for (i, &(first, last)) in chunks.iter().enumerate() {
+            if i % 2 == 0 {
+                cache.insert(
+                    SegmentKey::chunk("b", &key, (first, last)),
+                    data.slice(first as usize..last as usize),
+                    epoch,
+                );
+                local += last - first;
+            } else {
+                gaps += last - first;
+                gap_runs += 1;
+            }
+        }
+        let occ = cache.occupancy("b", &key, len);
+        assert_eq!(occ.gap_bytes, gaps, "occupancy agrees with the inserts");
+        assert_eq!(occ.gap_requests, gap_runs);
+        assert_eq!(occ.mem_bytes + occ.disk_bytes, local);
+
+        let before = cache.stats();
+        let out = execute_sql(&forced, &table, sql, Strategy::Baseline).unwrap();
+        assert_rows_close(&truth.rows, &out.rows, "partial-hit rows");
+        assert_eq!(
+            out.billed.plain_bytes, gaps,
+            "mem {mem} disk {disk}: bill exactly the gap bytes"
+        );
+        assert_eq!(
+            out.billed.requests, gap_runs,
+            "mem {mem} disk {disk}: one range GET per coalesced gap run"
+        );
+        assert_eq!(out.metrics.usage(), out.billed);
+        let after = cache.stats();
+        assert_eq!(
+            after.hit_bytes - before.hit_bytes,
+            local,
+            "cached chunks serve locally"
+        );
+        if mem == 0 {
+            assert_eq!(
+                after.disk_hit_bytes - before.disk_hit_bytes,
+                local,
+                "zero mem budget: partial hits serve in place from disk"
+            );
+        }
+
+        // The gap fill completed the object: the next pass is free.
+        let warm = execute_sql(&forced, &table, sql, Strategy::Baseline).unwrap();
+        assert_rows_close(&truth.rows, &warm.rows, "warm rows");
+        assert_eq!(
+            warm.billed.requests + warm.billed.plain_bytes,
+            0,
+            "fully resident after the gap fill: nothing billed"
+        );
+    }
+}
+
+/// Chaos on the gap-fill path: with a fault plan installed mid-scan,
+/// the coalesced gap GETs retry under the uniform policy — rows match
+/// the clean run, gap *bytes* bill exactly once, retried attempts bill
+/// extra *requests*, and metrics stay equal to the ledger.
+#[test]
+fn chaos_retried_gap_fills_bill_gap_bytes_once() {
+    use pushdowndb::cache::SegmentKey;
+    use pushdowndb::common::RetryPolicy;
+    use pushdowndb::s3::FaultPlan;
+    let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+    let rows: Vec<Row> = (0..400i64)
+        .map(|i| Row::new(vec![Value::Int(i), Value::Int((i * 3) % 100)]))
+        .collect();
+    let sql = "SELECT SUM(v), COUNT(*) FROM t";
+    const CHUNK: u64 = 256;
+    let store = pushdowndb::s3::S3Store::new();
+    let table = upload_csv_table(&store, "b", "t", &schema, &rows, 400).unwrap();
+    let truth = execute_sql(
+        &QueryContext::new(store.clone()),
+        &table,
+        sql,
+        Strategy::Baseline,
+    )
+    .unwrap();
+
+    let ctx = QueryContext::new(store.clone())
+        .with_retry(RetryPolicy::with_attempts(12))
+        .with_cache_tiers(1 << 20, 1 << 20)
+        .with_cache_chunk_bytes(CHUNK);
+    let forced = ctx.clone().with_cache_reads(true);
+    let key = table.partitions(&store)[0].clone();
+    let len = store.object_size("b", &key).unwrap();
+    let data = store.get_object("b", &key).unwrap();
+    let cache = ctx.cache().unwrap();
+    let epoch = cache.begin_fill(&SegmentKey::whole("b", &key));
+    let chunks: Vec<(u64, u64)> = (0..len)
+        .step_by(CHUNK as usize)
+        .map(|f| (f, (f + CHUNK).min(len)))
+        .collect();
+    cache.record_layout("b", &key, epoch, chunks.clone());
+    let (mut gaps, mut gap_runs) = (0u64, 0u64);
+    for (i, &(first, last)) in chunks.iter().enumerate() {
+        if i % 2 == 0 {
+            cache.insert(
+                SegmentKey::chunk("b", &key, (first, last)),
+                data.slice(first as usize..last as usize),
+                epoch,
+            );
+        } else {
+            gaps += last - first;
+            gap_runs += 1;
+        }
+    }
+    store.set_fault_plan(Some(FaultPlan::new(3, 0.45)));
+    let out = execute_sql(&forced.scoped_with_salt(1), &table, sql, Strategy::Baseline).unwrap();
+    store.set_fault_plan(None);
+    assert_rows_close(&truth.rows, &out.rows, "chaotic gap fill");
+    assert_eq!(
+        out.billed.plain_bytes, gaps,
+        "retried gap fills bill their bytes exactly once"
+    );
+    assert!(
+        out.billed.requests > gap_runs,
+        "seed 3 salt 1 must retry at least one gap GET ({} vs {gap_runs} runs)",
+        out.billed.requests
+    );
+    assert_eq!(
+        out.metrics.usage(),
+        out.billed,
+        "metrics == ledger under chaos"
+    );
+}
+
+/// Tier movement: with a mem tier holding ⅛ of the table, repeated
+/// scans demote on eviction and promote on hit; metrics equal the
+/// billed ledger on every pass, and a disk tier behind the same mem
+/// budget keeps the demoted segments servable — warm passes bill
+/// nothing, where mem-only keeps re-billing the evicted ⅞.
+#[test]
+fn disk_tier_keeps_demoted_segments_servable() {
+    let q = planner_suite()
+        .into_iter()
+        .find(|q| q.name == "groupby-uniform")
+        .unwrap();
+    let run = |disk_factor: u64| {
+        let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+        let table = (q.table)(&t);
+        let bytes = table.total_bytes(&ctx.store);
+        let ctx = ctx
+            .with_cache_tiers(bytes / 8, bytes * disk_factor)
+            .with_cache_chunk_bytes(4096)
+            .with_cache_reads(true);
+        let mut last = 0;
+        for pass in 0..3 {
+            let out = execute_sql(&ctx, table, q.sql, Strategy::Baseline).unwrap();
+            assert_eq!(
+                out.metrics.usage(),
+                out.billed,
+                "disk×{disk_factor} pass {pass}: metrics == ledger through tier movement"
+            );
+            last = out.billed.plain_bytes;
+        }
+        (last, ctx.cache().unwrap().stats())
+    };
+    let (mem_only_remote, mem_stats) = run(0);
+    let (tiered_remote, tier_stats) = run(4);
+    assert!(
+        mem_stats.evictions > 0,
+        "a ⅛ mem budget must churn: {mem_stats:?}"
+    );
+    assert!(
+        mem_only_remote > 0,
+        "mem-only keeps re-billing evicted segments"
+    );
+    assert_eq!(
+        tiered_remote, 0,
+        "mem + disk hold the table: warm passes bill nothing ({tier_stats:?})"
+    );
+    assert!(
+        tier_stats.demotions > 0 && tier_stats.promotions > 0 && tier_stats.disk_hits > 0,
+        "the warm passes must exercise demote + disk-hit + promote: {tier_stats:?}"
+    );
+}
+
+/// Per-node tier slices (ISSUE 9): a cluster with a tiered cache bills
+/// byte-for-byte the serial uncached ledger on the cold pass at 1, 2
+/// and 4 nodes (read-through creates no extra billable bytes), serves
+/// the warm pass entirely from the node slices, and conserves the
+/// global ledger as Σ per-query bills.
+#[test]
+fn cluster_tiered_slices_bill_byte_equal_and_serve_warm() {
+    let sql = "SELECT l_shipmode, COUNT(*) AS n FROM orders \
+               JOIN lineitem ON o_orderkey = l_orderkey \
+               GROUP BY l_shipmode ORDER BY l_shipmode";
+    let (sctx, st) = tpch_context(0.002, 1_000).unwrap();
+    let serial = execute_sql(&sctx, &st.orders, sql, Strategy::Baseline).unwrap();
+    for n in [1usize, 2, 4] {
+        let (ctx, t) = tpch_context(0.002, 1_000).unwrap();
+        let total = dataset_bytes(&ctx, &t);
+        // Install the tiered cache *before* attaching the cluster so
+        // every node slices both budgets (mem/4/n + 4·total/n each).
+        let ctx = ctx
+            .with_cache_tiers(total / 4, total * 4)
+            .with_cache_chunk_bytes(4096)
+            .with_nodes(n)
+            .with_cache_reads(true);
+        let before = ctx.store.global_ledger().snapshot();
+        let cold = execute_sql(&ctx, &t.orders, sql, Strategy::Baseline).unwrap();
+        let warm = execute_sql(&ctx, &t.orders, sql, Strategy::Baseline).unwrap();
+        let after = ctx.store.global_ledger().snapshot();
+        assert_eq!(cold.rows, serial.rows, "{n} nodes: cold rows");
+        assert_eq!(
+            cold.billed, serial.billed,
+            "{n} nodes: the cold read-through bills exactly the serial uncached ledger"
+        );
+        assert_eq!(cold.metrics.usage(), cold.billed, "{n} nodes: cold metrics");
+        assert_eq!(warm.rows, serial.rows, "{n} nodes: warm rows");
+        assert_eq!(
+            warm.billed.requests + warm.billed.plain_bytes,
+            0,
+            "{n} nodes: the warm pass serves fully from the node slices"
+        );
+        assert_eq!(warm.metrics.usage(), warm.billed, "{n} nodes: warm metrics");
+        assert_eq!(
+            after,
+            before + cold.billed + warm.billed,
+            "{n} nodes: global = Σ children with per-node tier slices"
+        );
+    }
+}
+
+// Differential proptest over the tiered chunked path: random tier
+// budgets (zero included), chunk sizes, rewrite/delete interleavings
+// and pinned chaos seeds retrying gap fills mid-scan. Every cached run
+// matches the cold ground truth row-for-row, and conservation holds
+// exactly: locally served bytes + billed gap bytes == bytes scanned —
+// a hit never bills, a gap never bills twice, even across retries.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn tiered_partial_hits_match_cold_across_mutations(
+        n in 60usize..160,
+        per_part in 12usize..40,
+        mem_kb in 0u64..8,
+        disk_kb in 0u64..16,
+        chunk in 64u64..512,
+        chaos_seed in 0u64..4,
+        steps in proptest::collection::vec(0u8..10, 4..12),
+    ) {
+        use pushdowndb::common::RetryPolicy;
+        use pushdowndb::s3::FaultPlan;
+        let make_rows = |version: u64, n: usize| -> Vec<Row> {
+            (0..n)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::Int(i as i64),
+                        Value::Int(((i as u64).wrapping_mul(11 + version) % 100) as i64),
+                        Value::Str(format!("s{}", (i as u64 + version) % 5)),
+                    ])
+                })
+                .collect()
+        };
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int),
+            ("v", DataType::Int),
+            ("s", DataType::Str),
+        ]);
+        let queries = [
+            "SELECT k, v FROM t WHERE v < 40",
+            "SELECT s, COUNT(*), SUM(v) FROM t GROUP BY s",
+            "SELECT SUM(v), COUNT(*) FROM t",
+            "SELECT * FROM t ORDER BY k DESC LIMIT 7",
+        ];
+        let store = pushdowndb::s3::S3Store::new();
+        let mut table = upload_csv_table(&store, "b", "t", &schema, &make_rows(0, n), per_part).unwrap();
+        let ctx = QueryContext::new(store.clone())
+            .with_retry(RetryPolicy::with_attempts(12))
+            .with_cache_tiers(mem_kb << 10, disk_kb << 10)
+            .with_cache_chunk_bytes(chunk);
+        let cached_ctx = ctx.clone().with_cache_reads(true);
+        let cache = ctx.cache().unwrap();
+        // Decode the step stream: 0..=3 → clean query, 4..=6 → query
+        // under a pinned-seed fault plan (gap fills retry mid-scan),
+        // 7 | 8 → rewrite the table in place, 9 → delete the tail.
+        for (si, s) in steps.iter().enumerate() {
+            match *s {
+                0..=6 => {
+                    let chaotic = *s >= 4;
+                    let sql = queries[*s as usize % queries.len()];
+                    let truth = execute_sql(&ctx, &table, sql, Strategy::Baseline).unwrap();
+                    let scanned: u64 = table
+                        .partitions(&store)
+                        .iter()
+                        .map(|k| store.object_size("b", k).unwrap())
+                        .sum();
+                    if chaotic {
+                        store.set_fault_plan(Some(FaultPlan::new(chaos_seed, 0.35)));
+                    }
+                    let before = cache.stats();
+                    let out = execute_sql(
+                        &cached_ctx.scoped_with_salt(si as u64),
+                        &table,
+                        sql,
+                        Strategy::Baseline,
+                    )
+                    .unwrap();
+                    store.set_fault_plan(None);
+                    let after = cache.stats();
+                    prop_assert_eq!(&truth.rows, &out.rows, "step {} {}", si, sql);
+                    let local = after.hit_bytes - before.hit_bytes;
+                    prop_assert_eq!(
+                        out.billed.plain_bytes + local,
+                        scanned,
+                        "step {} {}: served-locally + billed == scanned (chaos {})",
+                        si, sql, chaotic
+                    );
+                    prop_assert_eq!(
+                        out.metrics.usage(),
+                        out.billed,
+                        "step {} {}: metrics == ledger",
+                        si, sql
+                    );
+                }
+                7 | 8 => {
+                    table = upload_csv_table(
+                        &store, "b", "t", &schema, &make_rows(si as u64 + 1, n), per_part,
+                    ).unwrap();
+                }
+                _ => {
+                    let parts = table.partitions(&store);
+                    if parts.len() > 1 {
+                        store.delete_object("b", parts.last().unwrap());
                         table.row_count = table.row_count.saturating_sub(per_part as u64);
                     }
                 }
