@@ -23,12 +23,49 @@ const GRID: &[(f64, f64)] = &[
     (0.5, 1.0),
 ];
 
+/// The restart-leg (mem, disk) points (ISSUE 10): a disk-only tier
+/// holding the whole dataset (the zero-rebill gate), the same disk tier
+/// behind constrained RAM, and an *undersized* disk tier whose constant
+/// eviction churn exercises the manifest-compaction bound.
+const RESTART_GRID: &[(f64, f64)] = &[(0.0, 1.0), (0.1, 1.0), (0.0, 0.25)];
+
 fn budget_label(bytes: u64) -> String {
     if bytes == 0 {
         "off".to_string()
     } else {
         fmtutil::bytes(bytes)
     }
+}
+
+fn write_restart_json(out: &mut String, res: &fig::FigRestartResult) {
+    out.push_str(",\n  \"restart\": [");
+    for (i, r) in res.rows.iter().enumerate() {
+        let m = r.manifest.unwrap_or_default();
+        let _ = write!(
+            out,
+            "{}\n    {{\"mem_budget\": {}, \"disk_budget\": {}, \"warm_dollars\": {:.9}, \
+             \"restart_dollars\": {:.9}, \"warm_remote_bytes\": {}, \"restart_remote_bytes\": {}, \
+             \"recovered_segments\": {}, \"recovered_bytes\": {}, \"recovery_wall_s\": {:.6}, \
+             \"restart_disk_hit_ratio\": {:.6}, \"manifest_records\": {}, \
+             \"manifest_live_puts\": {}, \"manifest_live_layouts\": {}, \"manifest_bytes\": {}}}",
+            if i == 0 { "" } else { "," },
+            r.mem_budget,
+            r.disk_budget,
+            r.warm.total_dollars,
+            r.restart.total_dollars,
+            r.warm_remote,
+            r.restart_remote,
+            r.recovered_segments,
+            r.recovered_bytes,
+            r.recovery_wall_s,
+            r.restart_disk_hit_ratio(),
+            m.records,
+            m.live_puts,
+            m.live_layouts,
+            m.manifest_bytes,
+        );
+    }
+    out.push_str("\n  ]");
 }
 
 fn write_json(res: &fig::FigCacheResult) -> String {
@@ -60,7 +97,7 @@ fn write_json(res: &fig::FigCacheResult) -> String {
             r.report.failed,
         );
     }
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ]");
     out
 }
 
@@ -109,9 +146,52 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
-    let json = write_json(&res);
+    // The restart leg (ISSUE 10): persistent disk tier warmed, dropped,
+    // recovered, replayed.
+    let restart = fig::run_restart(sf, seed, queries, theta, RESTART_GRID).expect("restart leg");
+    print_table(
+        &format!(
+            "Fig cache restart — persistent tier recovered across a restart (seed {})",
+            restart.seed
+        ),
+        &[
+            "mem",
+            "disk",
+            "warm remote",
+            "restart remote",
+            "recovered",
+            "recovery s",
+            "disk hit%",
+            "manifest",
+        ],
+        &restart
+            .rows
+            .iter()
+            .map(|r| {
+                let m = r.manifest.unwrap_or_default();
+                vec![
+                    budget_label(r.mem_budget),
+                    budget_label(r.disk_budget),
+                    fmtutil::bytes(r.warm_remote),
+                    fmtutil::bytes(r.restart_remote),
+                    fmtutil::bytes(r.recovered_bytes),
+                    format!("{:.3}", r.recovery_wall_s),
+                    format!("{:.0}%", r.restart_disk_hit_ratio() * 100.0),
+                    format!("{}/{} live", m.live_puts + m.live_layouts, m.records),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let mut json = write_json(&res);
+    write_restart_json(&mut json, &restart);
+    json.push_str("\n}\n");
     std::fs::write("BENCH_fig_cache.json", &json).expect("write BENCH_fig_cache.json");
-    println!("\nWrote BENCH_fig_cache.json ({} rows).", res.rows.len());
+    println!(
+        "\nWrote BENCH_fig_cache.json ({} sweep + {} restart rows).",
+        res.rows.len(),
+        restart.rows.len()
+    );
 
     // Gate 1 (PR 5): a full-dataset mem budget serves the whole repeated
     // stream locally after the cold fills.
@@ -154,6 +234,57 @@ fn main() {
         eprintln!(
             "ERROR: expected a disk tier larger than RAM to cut remote billed bytes by >= 20% \
              vs mem-only at the same mem budget"
+        );
+        std::process::exit(1);
+    }
+
+    // Gate 3 (ISSUE 10): restart economics. With a disk tier holding
+    // the whole dataset, everything disk-resident at shutdown must be
+    // recovered and serve the post-restart replay exactly like the
+    // pre-restart warm pass — no remote re-billing of persisted bytes.
+    let full_disk = restart
+        .rows
+        .iter()
+        .find(|r| r.mem_budget == 0 && r.disk_budget >= restart.dataset_bytes)
+        .expect("full disk-budget restart row");
+    println!(
+        "Restart over a full-dataset disk tier: {} recovered, warm remote {} vs restart remote {}.",
+        fmtutil::bytes(full_disk.recovered_bytes),
+        fmtutil::bytes(full_disk.warm_remote),
+        fmtutil::bytes(full_disk.restart_remote),
+    );
+    if full_disk.recovered_segments == 0 {
+        eprintln!("ERROR: restart must recover the persisted disk tier");
+        std::process::exit(1);
+    }
+    if full_disk.restart_remote != full_disk.warm_remote || full_disk.restart_remote != 0 {
+        eprintln!(
+            "ERROR: segments disk-resident at shutdown must bill 0 remote bytes after recovery \
+             (warm {}, restart {})",
+            full_disk.warm_remote, full_disk.restart_remote
+        );
+        std::process::exit(1);
+    }
+
+    // Gate 4 (ISSUE 10): the manifest stays compact under eviction
+    // churn — dead Put/Del records are garbage-collected once they
+    // outnumber live state, so the undersized-disk point's manifest is
+    // bounded by its live residency, not by workload length.
+    let churn = restart
+        .rows
+        .iter()
+        .find(|r| r.mem_budget == 0 && r.disk_budget < restart.dataset_bytes)
+        .expect("undersized-disk restart row");
+    let m = churn.manifest.unwrap_or_default();
+    let live = m.live_puts + m.live_layouts;
+    println!(
+        "Churned manifest after the restart leg: {} records for {} live entries.",
+        m.records, live
+    );
+    if m.records > 128.max(8 * live) {
+        eprintln!(
+            "ERROR: manifest compaction bound violated: {} records for {} live entries",
+            m.records, live
         );
         std::process::exit(1);
     }

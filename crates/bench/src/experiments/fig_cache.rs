@@ -20,9 +20,9 @@
 //! Everything except wall time is deterministic in (scale factor, seed).
 
 use crate::workload::{generate_zipf, run_stream, WorkloadReport, WorkloadSpec};
-use pushdown_cache::CacheStats;
+use pushdown_cache::{CacheStats, ManifestStats};
 use pushdown_common::pricing::Usage;
-use pushdown_common::Result;
+use pushdown_common::{Result, TempDir};
 use pushdown_core::planner::Strategy;
 use pushdown_tpch::tpch_context;
 
@@ -157,6 +157,134 @@ pub fn run(
         });
     }
     Ok(FigCacheResult {
+        rows,
+        queries,
+        seed,
+        theta,
+        dataset_bytes,
+    })
+}
+
+/// Outcome of one (mem, disk) point of the **restart leg** (ISSUE 10):
+/// warm a persistent cache, drop it, recover from the directory in a
+/// fresh process-equivalent context, and re-run the same stream.
+#[derive(Debug, Clone)]
+pub struct FigRestartRow {
+    pub mem_budget: u64,
+    pub disk_budget: u64,
+    /// The warm (second) pass before the restart.
+    pub warm: WorkloadReport,
+    /// The same stream replayed after recovery.
+    pub restart: WorkloadReport,
+    /// Remote bytes billed by the pre-restart warm pass.
+    pub warm_remote: u64,
+    /// Remote bytes billed by the post-recovery pass.
+    pub restart_remote: u64,
+    /// Segments / bytes the manifest replay brought back disk-resident.
+    pub recovered_segments: u64,
+    pub recovered_bytes: u64,
+    /// Wall-clock seconds spent recovering (replay + checksum verify) —
+    /// the only non-deterministic number in the row.
+    pub recovery_wall_s: f64,
+    /// Manifest shape after the whole leg (compaction bound evidence).
+    pub manifest: Option<ManifestStats>,
+    /// Cache counters at the end of the post-recovery pass.
+    pub restart_cache: CacheStats,
+}
+
+impl FigRestartRow {
+    /// Disk-tier hit ratio (by bytes) of the post-recovery pass.
+    pub fn restart_disk_hit_ratio(&self) -> f64 {
+        let total = self.restart_cache.hit_bytes + self.restart_cache.fill_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.restart_cache.disk_hit_bytes as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct FigRestartResult {
+    pub rows: Vec<FigRestartRow>,
+    pub queries: usize,
+    pub seed: u64,
+    pub theta: f64,
+    pub dataset_bytes: u64,
+}
+
+/// The restart leg: for each `(mem_fraction, disk_fraction)` point,
+/// warm a **persistent** tiered cache with two passes of the seeded
+/// Zipf stream, drop every cache handle (a clean shutdown), rebuild the
+/// context from a freshly generated (byte-identical) dataset, recover
+/// the cache from the same directory — timed — and replay the stream a
+/// third time. Segments that were disk-resident at shutdown must serve
+/// the restart pass without re-billing; the recovery-time catalog probe
+/// checksums every recovered segment against the regenerated objects.
+pub fn run_restart(
+    scale_factor: f64,
+    seed: u64,
+    queries: usize,
+    theta: f64,
+    points: &[(f64, f64)],
+) -> Result<FigRestartResult> {
+    let stream = generate_zipf(seed, queries, theta);
+    let spec = WorkloadSpec {
+        seed,
+        queries,
+        concurrency: 1,
+        strategy: Strategy::Adaptive,
+    };
+    let mut rows: Vec<FigRestartRow> = Vec::new();
+    let mut dataset_bytes = 0;
+    for &(mem_fraction, disk_fraction) in points {
+        let tmp = TempDir::new("fig-cache-restart");
+        let (ctx, tables) = tpch_context(scale_factor, 1_500)?;
+        dataset_bytes = tables
+            .all()
+            .iter()
+            .map(|t| t.total_bytes(&ctx.store))
+            .sum::<u64>();
+        let mem_budget = (dataset_bytes as f64 * mem_fraction) as u64;
+        let disk_budget = (dataset_bytes as f64 * disk_fraction) as u64;
+        let ctx = ctx
+            .with_cache_tiers(mem_budget, disk_budget)
+            .with_cache_dir(tmp.path())?;
+        run_stream(&ctx, &tables, &spec, &stream)?; // cold fills
+        let warm = run_stream(&ctx, &tables, &spec, &stream)?;
+        let warm_remote = remote_bytes(&warm.sum_billed);
+        // Clean shutdown: every handle to the cache goes away; only the
+        // directory survives.
+        ctx.store.set_cache(None);
+        drop(ctx);
+
+        // "Process restart": a fresh context over a freshly generated —
+        // deterministically identical — dataset recovers the tier.
+        let (ctx, tables) = tpch_context(scale_factor, 1_500)?;
+        let t0 = std::time::Instant::now();
+        let ctx = ctx
+            .with_cache_tiers(mem_budget, disk_budget)
+            .with_cache_dir(tmp.path())?;
+        let recovery_wall_s = t0.elapsed().as_secs_f64();
+        let cache = ctx.cache().expect("persistent cache just installed");
+        let recovered = cache.stats();
+        let restart = run_stream(&ctx, &tables, &spec, &stream)?;
+        let restart_remote = remote_bytes(&restart.sum_billed);
+        rows.push(FigRestartRow {
+            mem_budget,
+            disk_budget,
+            warm,
+            restart,
+            warm_remote,
+            restart_remote,
+            recovered_segments: recovered.recovered_segments,
+            recovered_bytes: recovered.recovered_bytes,
+            recovery_wall_s,
+            manifest: cache.manifest_stats(),
+            restart_cache: cache.stats(),
+        });
+    }
+    Ok(FigRestartResult {
         rows,
         queries,
         seed,

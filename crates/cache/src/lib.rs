@@ -103,9 +103,23 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use pushdown_common::mix::fnv1a;
 use pushdown_common::pricing::Pricing;
+use pushdown_common::Result;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+pub mod store;
+
+pub use store::{KillPlan, ManifestStats};
+
+use store::DiskStore;
+
+/// Current length + content digest of one object range, as reported by
+/// the catalog during recovery — `None` when the object is gone or the
+/// range no longer fits it. Ranges use the cache's `[first, last)`
+/// convention with [`FULL_OBJECT`] standing for the whole object.
+pub type CatalogProbe<'a> = &'a dyn Fn(&str, &str, (u64, u64)) -> Option<(u64, u64)>;
 
 const GB: f64 = 1_000_000_000.0;
 
@@ -178,8 +192,21 @@ pub enum CacheTier {
     Disk,
 }
 
+/// Where an entry's bytes actually live. Mem-tier entries are always
+/// `Ram`; disk-tier entries are `File` when the cache owns a persistent
+/// [`store::DiskStore`] (the segment file holds the bytes and serving a
+/// hit reads them back) and `Ram` otherwise — including the post-crash
+/// fallback, where durability is frozen but the cache keeps working.
+enum Payload {
+    Ram(Bytes),
+    File,
+}
+
 struct Entry {
-    data: Bytes,
+    payload: Payload,
+    /// Segment length in bytes (cached here so `File` entries never
+    /// touch the disk store for occupancy/eviction accounting).
+    len: u64,
     /// Accesses since insertion (the fill counts as the first). Survives
     /// demotion — dollars-saved value moves down with the bytes.
     hits: u64,
@@ -189,11 +216,20 @@ struct Entry {
 }
 
 impl Entry {
+    fn ram(data: Bytes, hits: u64, seq: u64) -> Entry {
+        Entry {
+            len: data.len() as u64,
+            payload: Payload::Ram(data),
+            hits,
+            seq,
+        }
+    }
+
     /// Dollars a future access saves per cached byte: the avoided Select
     /// scan of these bytes plus the avoided GET request, normalized by
     /// segment size, times how often the segment is actually hit.
     fn weight(&self, pricing: &Pricing) -> f64 {
-        let len = (self.data.len() as f64).max(1.0);
+        let len = (self.len as f64).max(1.0);
         let per_access = pricing.scan_per_gb / GB + pricing.per_1k_requests / 1000.0 / len;
         self.hits as f64 * per_access
     }
@@ -258,6 +294,8 @@ struct Counters {
     invalidations: AtomicU64,
     stale_fills: AtomicU64,
     read_arounds: AtomicU64,
+    recovered_segments: AtomicU64,
+    recovered_bytes: AtomicU64,
 }
 
 /// Point-in-time cache observability (EXPLAIN's cache line, the
@@ -301,6 +339,16 @@ pub struct CacheStats {
     pub disk_used_bytes: u64,
     pub disk_budget_bytes: u64,
     pub disk_segments: u64,
+    /// Disk-tier segments rebuilt from the manifest at
+    /// [`SegmentCache::recover`] (zero for non-persistent caches).
+    pub recovered_segments: u64,
+    /// Bytes those recovered segments serve without re-billing.
+    pub recovered_bytes: u64,
+    /// Bytes appended to the persistent store (segment payloads plus
+    /// manifest records).
+    pub persisted_bytes: u64,
+    /// Fsync barriers the durability protocol issued.
+    pub fsyncs: u64,
 }
 
 /// What a partial-hit read of one object would serve from each tier
@@ -347,6 +395,9 @@ struct Inner {
     /// of "time".
     fill_ticks: AtomicU64,
     counters: Counters,
+    /// File-backed byte store behind the disk tier; `None` keeps the
+    /// pre-persistence in-RAM simulation (and zero persist cost).
+    disk_store: Option<DiskStore>,
 }
 
 impl Inner {
@@ -413,8 +464,234 @@ impl SegmentCache {
                 seq: AtomicU64::new(0),
                 fill_ticks: AtomicU64::new(0),
                 counters: Counters::default(),
+                disk_store: None,
             }),
         }
+    }
+
+    /// A persistent tiered cache rooted at `dir`: the disk tier's bytes
+    /// live in per-shard segment files guarded by an epoch manifest (see
+    /// the [`store`] module docs for the layout and the fsync ordering
+    /// rule), and whatever a previous incarnation left durable is
+    /// recovered — mem tier cold, disk tier warm. Equivalent to
+    /// [`SegmentCache::recover_with`] with default admission, no crash
+    /// injection, and no catalog check.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        mem_budget_bytes: u64,
+        disk_budget_bytes: u64,
+        pricing: Pricing,
+    ) -> Result<SegmentCache> {
+        Self::recover_with(
+            dir,
+            mem_budget_bytes,
+            disk_budget_bytes,
+            pricing,
+            CacheAdmission::AdmitAll,
+            None,
+            None,
+        )
+    }
+
+    /// [`SegmentCache::recover`] with every knob exposed.
+    ///
+    /// Recovery replays the manifest (tolerating a torn tail), drops
+    /// records whose checksum or object epoch no longer holds, then:
+    ///
+    /// * applies `catalog` when given — a segment survives only if the
+    ///   probe reports the *current* object content at its range hashing
+    ///   to the recorded checksum, so bytes rewritten while the cache
+    ///   was down can never be served (recorded layouts likewise must
+    ///   match the current object length);
+    /// * enforces `disk_budget_bytes` deterministically, dropping the
+    ///   oldest recovered segments first;
+    /// * rebuilds reuse-distance ghosts for every recovered-resident
+    ///   segment, so a warm disk tier is not churned by read-around
+    ///   declines after restart;
+    /// * compacts the manifest when dead records outnumber live state.
+    ///
+    /// `kill` arms the deterministic crash hook: the store dies at the
+    /// Nth fsync (seeded torn write included), after which durability is
+    /// frozen while the in-RAM cache keeps serving — exactly what a
+    /// crashed process leaves on disk for the next recovery to replay.
+    pub fn recover_with(
+        dir: impl AsRef<Path>,
+        mem_budget_bytes: u64,
+        disk_budget_bytes: u64,
+        pricing: Pricing,
+        admission: CacheAdmission,
+        kill: Option<KillPlan>,
+        catalog: Option<CatalogProbe<'_>>,
+    ) -> Result<SegmentCache> {
+        let (disk_store, recovery) = DiskStore::open(dir.as_ref(), kill)?;
+        let cache = SegmentCache {
+            inner: Arc::new(Inner {
+                shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+                mem: TierState::new(mem_budget_bytes),
+                disk: TierState::new(disk_budget_bytes),
+                pricing,
+                admission,
+                seq: AtomicU64::new(0),
+                fill_ticks: AtomicU64::new(0),
+                counters: Counters::default(),
+                disk_store: Some(disk_store),
+            }),
+        };
+        let ds = cache.inner.disk_store.as_ref().expect("just installed");
+
+        // Catalog check: byte-equality with the live object, not just
+        // epoch bookkeeping — rewrites that happened while the cache was
+        // down never logged an epoch bump, so content is the arbiter.
+        let mut kept: Vec<store::RecoveredSegment> = Vec::with_capacity(recovery.segments.len());
+        for seg in recovery.segments {
+            let ok = match catalog {
+                Some(probe) => probe(&seg.key.bucket, &seg.key.key, seg.key.range)
+                    .map(|(_, digest)| digest == seg.crc)
+                    .unwrap_or(false),
+                None => true,
+            };
+            if ok {
+                kept.push(seg);
+            } else {
+                ds.del(&seg.key);
+            }
+        }
+
+        // Budget: keep the newest recovered segments that fit.
+        let mut total: u64 = kept.iter().map(|s| s.len).sum();
+        let mut start = 0usize;
+        while total > disk_budget_bytes && start < kept.len() {
+            total -= kept[start].len;
+            ds.del(&kept[start].key);
+            start += 1;
+        }
+        let kept = &kept[start..];
+
+        // Rebuild residency: disk tier warm (hits reset to 1, seqs in
+        // replay order), mem tier cold, epochs and layouts seeded from
+        // the manifest so post-restart fills and invalidations stay
+        // consistent with what is durable.
+        for (h, epoch) in recovery.epochs.iter() {
+            let shard = &cache.inner.shards[*h as usize % SHARDS];
+            shard.lock().epochs.insert(*h, *epoch);
+        }
+        for (bucket, key, _, chunks) in recovery.layouts.iter() {
+            let ok = match catalog {
+                Some(probe) => probe(bucket, key, FULL_OBJECT)
+                    .map(|(len, _)| chunks.last().map(|c| c.1) == Some(len))
+                    .unwrap_or(false),
+                None => true,
+            };
+            if ok {
+                let h = object_hash(bucket, key);
+                let mut shard = cache.shard_of(bucket, key).lock();
+                shard.layouts.insert(h, chunks.clone().into());
+            }
+        }
+        let c = &cache.inner.counters;
+        for seg in kept {
+            // The store's replay already filtered stale epochs; a kept
+            // segment's epoch always matches the recovered epoch table.
+            debug_assert_eq!(
+                seg.epoch,
+                *recovery
+                    .epochs
+                    .get(&object_hash(&seg.key.bucket, &seg.key.key))
+                    .unwrap_or(&0)
+            );
+            let seq = cache.inner.seq.fetch_add(1, Ordering::Relaxed);
+            let mut shard = cache.shard_of(&seg.key.bucket, &seg.key.key).lock();
+            shard.disk.insert(
+                seg.key.clone(),
+                Entry {
+                    payload: Payload::File,
+                    len: seg.len,
+                    hits: 1,
+                    seq,
+                },
+            );
+            if matches!(cache.inner.admission, CacheAdmission::ReuseDistance { .. }) {
+                // Recovered residents earned admission in a past life;
+                // seed their ghosts at tick 0 so an invalidate + refill
+                // is not declined as a first touch.
+                shard.ghosts.insert(seg.key.clone(), 0);
+            }
+            cache.inner.disk.used.fetch_add(seg.len, Ordering::Relaxed);
+            c.recovered_segments.fetch_add(1, Ordering::Relaxed);
+            c.recovered_bytes.fetch_add(seg.len, Ordering::Relaxed);
+        }
+        Ok(cache)
+    }
+
+    /// The directory backing the disk tier, for persistent caches. The
+    /// cluster uses it to derive per-node subdirectories.
+    pub fn persist_dir(&self) -> Option<PathBuf> {
+        self.inner
+            .disk_store
+            .as_ref()
+            .map(|d| d.dir().to_path_buf())
+    }
+
+    /// Whether the disk tier is file-backed.
+    pub fn is_persistent(&self) -> bool {
+        self.inner.disk_store.is_some()
+    }
+
+    /// Whether the crash-injection hook has fired (durability frozen).
+    pub fn crashed(&self) -> bool {
+        self.inner
+            .disk_store
+            .as_ref()
+            .map(|d| d.crashed())
+            .unwrap_or(false)
+    }
+
+    /// `(bytes appended, fsyncs issued)` by the durability protocol so
+    /// far. The store's read-through paths snapshot this around cache
+    /// operations to charge `disk_write_bw` / `fsync_latency` on the
+    /// virtual clock; always `(0, 0)` for non-persistent caches.
+    pub fn persist_counters(&self) -> (u64, u64) {
+        self.inner
+            .disk_store
+            .as_ref()
+            .map(|d| d.persist_counters())
+            .unwrap_or((0, 0))
+    }
+
+    /// Manifest size accounting for persistent caches — the CI gate
+    /// asserts `records` stays bounded by live state under churn.
+    pub fn manifest_stats(&self) -> Option<ManifestStats> {
+        self.inner.disk_store.as_ref().map(|d| d.manifest_stats())
+    }
+
+    /// Order-independent digest of exactly what is resident right now:
+    /// every segment's key, tier, length and content checksum folded
+    /// with fnv1a. Two caches with byte-identical residency digest
+    /// equal — the crash-recovery determinism tests compare this.
+    pub fn residency_digest(&self) -> u64 {
+        let mut rows: Vec<String> = Vec::new();
+        for shard in self.inner.shards.iter() {
+            let shard = shard.lock();
+            for (tier_tag, map) in [(0u8, &shard.mem), (1u8, &shard.disk)] {
+                for (k, e) in map.iter() {
+                    let crc = match &e.payload {
+                        Payload::Ram(b) => fnv1a(b.iter().copied()),
+                        Payload::File => self
+                            .inner
+                            .disk_store
+                            .as_ref()
+                            .and_then(|d| d.crc_of(k))
+                            .unwrap_or(0),
+                    };
+                    rows.push(format!(
+                        "{}\0{}\0{}..{}\0{}\0{}\0{}",
+                        k.bucket, k.key, k.range.0, k.range.1, tier_tag, e.len, crc
+                    ));
+                }
+            }
+        }
+        rows.sort();
+        fnv1a(rows.join("\n").into_bytes())
     }
 
     /// The fill-admission policy this cache runs under.
@@ -466,31 +743,64 @@ impl SegmentCache {
             let mut shard = self.shard_of(&skey.bucket, &skey.key).lock();
             if let Some(e) = shard.mem.get_mut(skey) {
                 e.hits += 1;
+                let Payload::Ram(data) = &e.payload else {
+                    unreachable!("mem-tier entries always hold their bytes");
+                };
                 c.hits.fetch_add(1, Ordering::Relaxed);
-                c.hit_bytes
-                    .fetch_add(e.data.len() as u64, Ordering::Relaxed);
-                return Some((e.data.clone(), CacheTier::Mem));
+                c.hit_bytes.fetch_add(e.len, Ordering::Relaxed);
+                return Some((data.clone(), CacheTier::Mem));
             }
-            let Some(e) = shard.disk.get_mut(skey) else {
+            if !shard.disk.contains_key(skey) {
                 c.misses.fetch_add(1, Ordering::Relaxed);
                 return None;
+            }
+            // Materialize the disk entry's bytes: RAM copies clone, file
+            // copies read the segment file back (checksum-verified). A
+            // failed read means the durable copy is gone — degrade to a
+            // miss rather than serve corrupt bytes.
+            let data = {
+                let e = shard.disk.get(skey).expect("probed above");
+                match &e.payload {
+                    Payload::Ram(b) => b.clone(),
+                    Payload::File => {
+                        match self.inner.disk_store.as_ref().and_then(|d| d.read(skey)) {
+                            Some(b) => b,
+                            None => {
+                                let e = shard.disk.remove(skey).expect("probed above");
+                                self.inner.disk.used.fetch_sub(e.len, Ordering::Relaxed);
+                                if let Some(ds) = self.inner.disk_store.as_ref() {
+                                    ds.del(skey);
+                                }
+                                c.misses.fetch_add(1, Ordering::Relaxed);
+                                return None;
+                            }
+                        }
+                    }
+                }
             };
+            let e = shard.disk.get_mut(skey).expect("probed above");
             e.hits += 1;
-            let len = e.data.len() as u64;
+            let len = e.len;
             c.hits.fetch_add(1, Ordering::Relaxed);
             c.hit_bytes.fetch_add(len, Ordering::Relaxed);
             c.disk_hits.fetch_add(1, Ordering::Relaxed);
             c.disk_hit_bytes.fetch_add(len, Ordering::Relaxed);
             if len > self.inner.mem.budget {
                 // Too big to ever live in mem — serve in place.
-                return Some((e.data.clone(), CacheTier::Disk));
+                return Some((data, CacheTier::Disk));
             }
             // Promote under the same shard lock invalidation takes, so
-            // the moved entry can never be a stale resurrection.
+            // the moved entry can never be a stale resurrection. The
+            // bytes move up to RAM; the durable copy is released.
             let mut entry = shard.disk.remove(skey).expect("probed above");
             self.inner.disk.used.fetch_sub(len, Ordering::Relaxed);
+            if matches!(entry.payload, Payload::File) {
+                if let Some(ds) = self.inner.disk_store.as_ref() {
+                    ds.del(skey);
+                }
+            }
+            entry.payload = Payload::Ram(data.clone());
             entry.seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
-            let data = entry.data.clone();
             shard.mem.insert(skey.clone(), entry);
             self.inner.mem.used.fetch_add(len, Ordering::Relaxed);
             c.promotions.fetch_add(1, Ordering::Relaxed);
@@ -512,12 +822,9 @@ impl SegmentCache {
     pub fn peek_tier(&self, skey: &SegmentKey) -> Option<(u64, CacheTier)> {
         let shard = self.shard_of(&skey.bucket, &skey.key).lock();
         if let Some(e) = shard.mem.get(skey) {
-            return Some((e.data.len() as u64, CacheTier::Mem));
+            return Some((e.len, CacheTier::Mem));
         }
-        shard
-            .disk
-            .get(skey)
-            .map(|e| (e.data.len() as u64, CacheTier::Disk))
+        shard.disk.get(skey).map(|e| (e.len, CacheTier::Disk))
     }
 
     /// The segment's object epoch — call *before* issuing the fill GET
@@ -553,6 +860,19 @@ impl SegmentCache {
         if *shard.epochs.get(&h).unwrap_or(&0) != epoch {
             return false;
         }
+        // Persist the layout (once per distinct value) so a restart
+        // keeps partial-hit scans chunk-granular instead of reloading
+        // whole objects.
+        let changed = shard
+            .layouts
+            .get(&h)
+            .map(|prev| prev.as_ref() != chunks.as_slice())
+            .unwrap_or(true);
+        if changed {
+            if let Some(ds) = self.inner.disk_store.as_ref() {
+                ds.log_layout(bucket, key, epoch, &chunks);
+            }
+        }
         shard.layouts.insert(h, chunks.into());
         true
     }
@@ -575,14 +895,14 @@ impl SegmentCache {
         let whole = SegmentKey::whole(bucket, key);
         if let Some(e) = shard.mem.get(&whole) {
             return ObjectOccupancy {
-                mem_bytes: e.data.len() as u64,
+                mem_bytes: e.len,
                 layout_known: true,
                 ..Default::default()
             };
         }
         if let Some(e) = shard.disk.get(&whole) {
             return ObjectOccupancy {
-                disk_bytes: e.data.len() as u64,
+                disk_bytes: e.len,
                 layout_known: true,
                 ..Default::default()
             };
@@ -657,11 +977,7 @@ impl SegmentCache {
                 }
                 // Replacements and fills that fit spare budget always
                 // admit; only eviction-forcing first touches go around.
-                let resident = shard
-                    .tier(target)
-                    .get(&skey)
-                    .map(|e| e.data.len() as u64)
-                    .unwrap_or(0);
+                let resident = shard.tier(target).get(&skey).map(|e| e.len).unwrap_or(0);
                 let tier = self.inner.tier(target);
                 let would_evict = tier.used.load(Ordering::Relaxed) - resident + len > tier.budget;
                 if would_evict && !reused {
@@ -680,12 +996,28 @@ impl SegmentCache {
                 self.inner
                     .tier(other)
                     .used
-                    .fetch_sub(old.data.len() as u64, Ordering::Relaxed);
+                    .fetch_sub(old.len, Ordering::Relaxed);
+                if matches!((other, &old.payload), (CacheTier::Disk, Payload::File)) {
+                    if let Some(ds) = self.inner.disk_store.as_ref() {
+                        ds.del(&skey);
+                    }
+                }
             }
-            let old = shard
-                .tier_mut(target)
-                .insert(skey, Entry { data, hits: 1, seq });
-            let old_len = old.map(|e| e.data.len() as u64).unwrap_or(0);
+            // Straight-to-disk fills persist before the entry goes live;
+            // a failed persist (I/O error or post-crash) falls back to a
+            // RAM-resident disk entry, so the cache keeps working with
+            // durability degraded rather than dropping the fill.
+            let entry = match (target, self.inner.disk_store.as_ref()) {
+                (CacheTier::Disk, Some(ds)) if ds.put(&skey, &data, epoch) => Entry {
+                    payload: Payload::File,
+                    len,
+                    hits: 1,
+                    seq,
+                },
+                _ => Entry::ram(data, 1, seq),
+            };
+            let old = shard.tier_mut(target).insert(skey, entry);
+            let old_len = old.map(|e| e.len).unwrap_or(0);
             let tier = self.inner.tier(target);
             tier.used.fetch_add(len, Ordering::Relaxed);
             tier.used.fetch_sub(old_len, Ordering::Relaxed);
@@ -737,7 +1069,7 @@ impl SegmentCache {
                 let Some(mut e) = shard.tier_mut(tier).remove(&key) else {
                     continue; // vanished concurrently
                 };
-                let len = e.data.len() as u64;
+                let len = e.len;
                 freed += len;
                 st.used.fetch_sub(len, Ordering::Relaxed);
                 match tier {
@@ -745,13 +1077,25 @@ impl SegmentCache {
                         c.evictions.fetch_add(1, Ordering::Relaxed);
                         if len <= self.inner.disk.budget {
                             // Demote under the same shard lock: keeps
-                            // the hit count, takes a fresh seq.
+                            // the hit count, takes a fresh seq. With a
+                            // persistent store the bytes move into the
+                            // segment file (fsync-ordered ahead of the
+                            // manifest record); a failed persist keeps
+                            // them in RAM with durability degraded.
                             e.seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+                            if let (Payload::Ram(data), Some(ds)) =
+                                (&e.payload, self.inner.disk_store.as_ref())
+                            {
+                                let epoch = *shard
+                                    .epochs
+                                    .get(&object_hash(&key.bucket, &key.key))
+                                    .unwrap_or(&0);
+                                if ds.put(&key, data, epoch) {
+                                    e.payload = Payload::File;
+                                }
+                            }
                             if let Some(old) = shard.disk.insert(key, e) {
-                                self.inner
-                                    .disk
-                                    .used
-                                    .fetch_sub(old.data.len() as u64, Ordering::Relaxed);
+                                self.inner.disk.used.fetch_sub(old.len, Ordering::Relaxed);
                             }
                             self.inner.disk.used.fetch_add(len, Ordering::Relaxed);
                             c.demotions.fetch_add(1, Ordering::Relaxed);
@@ -760,6 +1104,11 @@ impl SegmentCache {
                     }
                     CacheTier::Disk => {
                         c.disk_evictions.fetch_add(1, Ordering::Relaxed);
+                        if matches!(e.payload, Payload::File) {
+                            if let Some(ds) = self.inner.disk_store.as_ref() {
+                                ds.del(&key);
+                            }
+                        }
                     }
                 }
             }
@@ -779,7 +1128,11 @@ impl SegmentCache {
     pub fn invalidate(&self, bucket: &str, key: &str) {
         let h = object_hash(bucket, key);
         let mut shard = self.shard_of(bucket, key).lock();
-        *shard.epochs.entry(h).or_insert(0) += 1;
+        let epoch = {
+            let e = shard.epochs.entry(h).or_insert(0);
+            *e += 1;
+            *e
+        };
         shard.layouts.remove(&h);
         for tier in [CacheTier::Mem, CacheTier::Disk] {
             let doomed: Vec<SegmentKey> = shard
@@ -791,7 +1144,7 @@ impl SegmentCache {
             let mut freed = 0u64;
             for k in doomed {
                 if let Some(e) = shard.tier_mut(tier).remove(&k) {
-                    freed += e.data.len() as u64;
+                    freed += e.len;
                 }
             }
             if freed > 0 {
@@ -800,6 +1153,12 @@ impl SegmentCache {
                     .used
                     .fetch_sub(freed, Ordering::Relaxed);
             }
+        }
+        // Make the bump durable (one Epoch record) so a recovery can
+        // never resurrect the dropped segments; logged while the shard
+        // lock pins out concurrent fills of the old epoch.
+        if let Some(ds) = self.inner.disk_store.as_ref() {
+            ds.bump_epoch(bucket, key, epoch);
         }
         self.inner
             .counters
@@ -837,6 +1196,10 @@ impl SegmentCache {
             disk_used_bytes: self.disk_used_bytes(),
             disk_budget_bytes: self.inner.disk.budget,
             disk_segments,
+            recovered_segments: c.recovered_segments.load(Ordering::Relaxed),
+            recovered_bytes: c.recovered_bytes.load(Ordering::Relaxed),
+            persisted_bytes: self.persist_counters().0,
+            fsyncs: self.persist_counters().1,
         }
     }
 }
@@ -1096,11 +1459,7 @@ mod tests {
             scan_per_gb: 0.2,
             ..Pricing::us_east()
         };
-        let e = Entry {
-            data: Bytes::from(vec![0u8; 1000]),
-            hits: 3,
-            seq: 0,
-        };
+        let e = Entry::ram(Bytes::from(vec![0u8; 1000]), 3, 0);
         assert!(e.weight(&pricey) > e.weight(&Pricing::us_east()));
     }
 

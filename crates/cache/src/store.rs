@@ -1,0 +1,1331 @@
+//! File-backed byte store behind the disk cache tier.
+//!
+//! The mem tier of [`crate::SegmentCache`] is RAM and dies with the
+//! process — that is its nature. The disk tier exists to *survive*
+//! restarts, so this module gives it a real on-disk layout:
+//!
+//! ```text
+//! <dir>/
+//!   MANIFEST            record log: which segment lives where, at
+//!                       which object epoch, with which checksum
+//!   seg-00-g0.dat …     one append-only segment file per cache shard
+//!   seg-15-g0.dat       (generation suffix bumps on compaction)
+//! ```
+//!
+//! **Durability protocol.** Persisting a segment appends its bytes to
+//! the shard's segment file, fsyncs *that file first*, then appends a
+//! `Put` record to the manifest and fsyncs the manifest. The record
+//! carries the segment's object epoch and an fnv1a checksum of the
+//! bytes, so the ordering rule plus the checksum make torn states
+//! detectable: a `Put` is only durable once the bytes it points at are,
+//! and a record whose bytes fail the checksum (or whose epoch no longer
+//! matches the newest durable `Epoch` record) is discarded at recovery
+//! instead of resurrecting stale data. Evictions append `Del`,
+//! invalidations `Epoch`, and learned chunk layouts `Layout` records —
+//! manifest-only appends with a single fsync each.
+//!
+//! **Recovery** (`DiskStore::open`) replays the manifest, tolerating a
+//! torn tail (parsing stops at the first bad frame and the file is
+//! truncated there), folds records newest-wins, verifies every
+//! surviving `Put` against the segment file bytes, and deletes stray
+//! segment files a crashed compaction may have left. The
+//! [`crate::SegmentCache`] layer on top then applies its own catalog
+//! check and budget trim.
+//!
+//! **Compaction.** Dead records (superseded puts, dels, stale epochs)
+//! accumulate; once they outnumber live state `COMPACT_FACTOR`-fold
+//! (past a fixed floor), the store rewrites live bytes into
+//! next-generation segment files and replaces the manifest via
+//! write-to-temp + atomic rename. A crash mid-compaction leaves the old
+//! manifest as the commit point.
+//!
+//! **Crash injection.** A [`KillPlan`] kills the store at the Nth fsync
+//! with the same `splitmix64` discipline as the fault plan: the killing
+//! fsync keeps a seeded torn prefix of its pending bytes, every file is
+//! frozen, and all later mutations become no-ops (the in-RAM cache above
+//! keeps serving; only durability stops, exactly like a crashed process
+//! whose page cache evaporated). Recovery after a kill is deterministic
+//! per seed.
+
+use crate::SegmentKey;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use pushdown_common::mix::{fnv1a, splitmix64};
+use pushdown_common::{Error, Result};
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shard count — mirrors the cache's lock sharding so one segment file
+/// never sees interleaved appends from two shards.
+const SHARDS: usize = crate::SHARDS;
+
+const MAGIC: &[u8; 4] = b"PDBM";
+const VERSION: u32 = 1;
+
+/// Record tags in the manifest payload.
+const TAG_PUT: u8 = 1;
+const TAG_DEL: u8 = 2;
+const TAG_EPOCH: u8 = 3;
+const TAG_LAYOUT: u8 = 4;
+
+/// Compaction floor: manifests shorter than this never compact.
+const COMPACT_MIN_RECORDS: u64 = 64;
+/// Compact when total records exceed this multiple of live state.
+const COMPACT_FACTOR: u64 = 4;
+
+/// Deterministic crash injection: the store dies at the `kill_at`-th
+/// fsync (1-based), keeping a `splitmix64(seed ^ ordinal)`-sized torn
+/// prefix of the bytes that fsync was flushing. Same discipline as
+/// `FaultPlan` — one seed replays one crash exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillPlan {
+    pub seed: u64,
+    /// Which fsync (1-based, counted store-wide) fails to complete.
+    pub kill_at: u64,
+}
+
+impl KillPlan {
+    /// Kill at exactly the `kill_at`-th fsync.
+    pub fn after(kill_at: u64, seed: u64) -> KillPlan {
+        KillPlan { seed, kill_at }
+    }
+
+    /// Derive the kill point from the seed: uniform in `[1, horizon]`.
+    pub fn seeded(seed: u64, horizon: u64) -> KillPlan {
+        KillPlan {
+            seed,
+            kill_at: 1 + splitmix64(seed) % horizon.max(1),
+        }
+    }
+
+    /// How many of `pending` un-synced bytes survive the killing fsync.
+    fn torn_len(&self, ordinal: u64, pending: u64) -> u64 {
+        splitmix64(self.seed ^ ordinal.rotate_left(17)) % (pending + 1)
+    }
+}
+
+/// Manifest size accounting, for the compaction bound the CI gate
+/// asserts ([`crate::SegmentCache::manifest_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ManifestStats {
+    /// Records currently in the manifest file (live + dead).
+    pub records: u64,
+    /// `Put` records that still name resident segments.
+    pub live_puts: u64,
+    /// Live `Layout` records.
+    pub live_layouts: u64,
+    /// Manifest file length in bytes.
+    pub manifest_bytes: u64,
+}
+
+/// A durable chunk layout: `(bucket, key, epoch, chunks)`.
+type LayoutRec = (String, String, u64, Vec<(u64, u64)>);
+
+/// One live `Put` record, as folded from the manifest.
+#[derive(Debug, Clone)]
+struct PutRec {
+    shard: usize,
+    gen: u32,
+    offset: u64,
+    len: u64,
+    crc: u64,
+    epoch: u64,
+    /// Replay order — recovery's deterministic eviction/seq order.
+    order: u64,
+}
+
+/// A segment the manifest proved durable, handed up to the cache layer
+/// (in replay order) to rebuild residency.
+#[derive(Debug, Clone)]
+pub(crate) struct RecoveredSegment {
+    pub key: SegmentKey,
+    pub len: u64,
+    pub epoch: u64,
+    pub crc: u64,
+}
+
+/// Everything recovery replayed out of one directory.
+#[derive(Debug, Default)]
+pub(crate) struct Recovery {
+    /// Checksum-verified resident segments, oldest first.
+    pub segments: Vec<RecoveredSegment>,
+    /// Object-hash → durable epoch.
+    pub epochs: HashMap<u64, u64>,
+    /// `(bucket, key, epoch, chunks)` for every layout whose epoch still
+    /// matches the durable epoch table.
+    pub layouts: Vec<LayoutRec>,
+    /// Records discarded as torn, superseded, or stale-epoch.
+    pub dropped: u64,
+}
+
+struct SegFile {
+    file: File,
+    gen: u32,
+    len: u64,
+    durable_len: u64,
+}
+
+struct DiskInner {
+    manifest: File,
+    manifest_len: u64,
+    manifest_durable: u64,
+    segs: Vec<SegFile>,
+    live: HashMap<SegmentKey, PutRec>,
+    /// Object-hash → newest durable epoch.
+    epochs: HashMap<u64, u64>,
+    /// Object-hash → (bucket, key, epoch, chunks) for durable layouts.
+    layouts: HashMap<u64, LayoutRec>,
+    /// Objects with any durable record since the last compaction — an
+    /// invalidation only needs an `Epoch` record if the manifest could
+    /// otherwise resurrect the object.
+    logged: HashSet<u64>,
+    /// Records in the manifest file (live + dead), compaction's trigger.
+    records: u64,
+    next_order: u64,
+    kill: Option<KillPlan>,
+    fsync_ordinal: u64,
+    crashed: bool,
+}
+
+/// The file-backed store one persistent [`crate::SegmentCache`] owns.
+/// All methods take `&self`; a single mutex serializes file mutation
+/// (the cache's shard locks remain the outer concurrency layer).
+pub(crate) struct DiskStore {
+    dir: PathBuf,
+    inner: Mutex<DiskInner>,
+    /// Bytes appended (segments + manifest records), for the perf
+    /// model's `disk_write_bw` charge.
+    persisted_bytes: AtomicU64,
+    /// Fsync barriers issued, for the `fsync_latency` charge.
+    fsyncs: AtomicU64,
+    /// Persists that failed (I/O error or post-crash) and fell back to
+    /// RAM-only residency.
+    persist_errors: AtomicU64,
+}
+
+// --- manifest record encoding (manual little-endian, no serde) -------
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u16(buf, s.len() as u16);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|b| u16::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.u16()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).ok()
+    }
+}
+
+enum Record {
+    Put {
+        key: SegmentKey,
+        rec: PutRec,
+    },
+    Del {
+        key: SegmentKey,
+    },
+    Epoch {
+        bucket: String,
+        key: String,
+        epoch: u64,
+    },
+    Layout {
+        bucket: String,
+        key: String,
+        epoch: u64,
+        chunks: Vec<(u64, u64)>,
+    },
+}
+
+fn encode_put(key: &SegmentKey, rec: &PutRec) -> Vec<u8> {
+    let mut p = Vec::with_capacity(64 + key.bucket.len() + key.key.len());
+    p.push(TAG_PUT);
+    p.push(rec.shard as u8);
+    put_u32(&mut p, rec.gen);
+    put_u64(&mut p, rec.offset);
+    put_u64(&mut p, rec.len);
+    put_u64(&mut p, rec.crc);
+    put_u64(&mut p, rec.epoch);
+    put_u64(&mut p, key.range.0);
+    put_u64(&mut p, key.range.1);
+    put_str(&mut p, &key.bucket);
+    put_str(&mut p, &key.key);
+    p
+}
+
+fn encode_del(key: &SegmentKey) -> Vec<u8> {
+    let mut p = Vec::with_capacity(24 + key.bucket.len() + key.key.len());
+    p.push(TAG_DEL);
+    put_u64(&mut p, key.range.0);
+    put_u64(&mut p, key.range.1);
+    put_str(&mut p, &key.bucket);
+    put_str(&mut p, &key.key);
+    p
+}
+
+fn encode_epoch(bucket: &str, key: &str, epoch: u64) -> Vec<u8> {
+    let mut p = Vec::with_capacity(16 + bucket.len() + key.len());
+    p.push(TAG_EPOCH);
+    put_u64(&mut p, epoch);
+    put_str(&mut p, bucket);
+    put_str(&mut p, key);
+    p
+}
+
+fn encode_layout(bucket: &str, key: &str, epoch: u64, chunks: &[(u64, u64)]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(20 + 16 * chunks.len() + bucket.len() + key.len());
+    p.push(TAG_LAYOUT);
+    put_u64(&mut p, epoch);
+    put_u32(&mut p, chunks.len() as u32);
+    for &(a, b) in chunks {
+        put_u64(&mut p, a);
+        put_u64(&mut p, b);
+    }
+    put_str(&mut p, bucket);
+    put_str(&mut p, key);
+    p
+}
+
+fn decode_record(payload: &[u8], order: u64) -> Option<Record> {
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    match c.u8()? {
+        TAG_PUT => {
+            let shard = c.u8()? as usize;
+            let gen = c.u32()?;
+            let offset = c.u64()?;
+            let len = c.u64()?;
+            let crc = c.u64()?;
+            let epoch = c.u64()?;
+            let range = (c.u64()?, c.u64()?);
+            let bucket = c.str()?;
+            let key = c.str()?;
+            (shard < SHARDS).then_some(Record::Put {
+                key: SegmentKey::chunk(&bucket, &key, range),
+                rec: PutRec {
+                    shard,
+                    gen,
+                    offset,
+                    len,
+                    crc,
+                    epoch,
+                    order,
+                },
+            })
+        }
+        TAG_DEL => {
+            let range = (c.u64()?, c.u64()?);
+            let bucket = c.str()?;
+            let key = c.str()?;
+            Some(Record::Del {
+                key: SegmentKey::chunk(&bucket, &key, range),
+            })
+        }
+        TAG_EPOCH => {
+            let epoch = c.u64()?;
+            let bucket = c.str()?;
+            let key = c.str()?;
+            Some(Record::Epoch { bucket, key, epoch })
+        }
+        TAG_LAYOUT => {
+            let epoch = c.u64()?;
+            let n = c.u32()? as usize;
+            let mut chunks = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                chunks.push((c.u64()?, c.u64()?));
+            }
+            let bucket = c.str()?;
+            let key = c.str()?;
+            Some(Record::Layout {
+                bucket,
+                key,
+                epoch,
+                chunks,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// `[u32 len][u64 fnv1a(payload)][payload]`
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut f = Vec::with_capacity(12 + payload.len());
+    put_u32(&mut f, payload.len() as u32);
+    put_u64(&mut f, fnv1a(payload.iter().copied()));
+    f.extend_from_slice(payload);
+    f
+}
+
+fn seg_file_name(shard: usize, gen: u32) -> String {
+    format!("seg-{shard:02}-g{gen}.dat")
+}
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> Error {
+    Error::Other(format!("cache persist: {what} {}: {e}", path.display()))
+}
+
+impl DiskStore {
+    /// Open (or create) the store at `dir`, replaying whatever durable
+    /// state a previous incarnation left. Returns the store plus the
+    /// checksum-verified recovery contents; the cache layer applies its
+    /// catalog check and budget on top. Compacts on open when the
+    /// replayed manifest is past the garbage threshold.
+    pub(crate) fn open(dir: &Path, kill: Option<KillPlan>) -> Result<(DiskStore, Recovery)> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, e))?;
+        let mpath = dir.join("MANIFEST");
+        let mut recovery = Recovery::default();
+        let mut live: HashMap<SegmentKey, PutRec> = HashMap::new();
+        let mut epochs: HashMap<u64, u64> = HashMap::new();
+        let mut layouts: HashMap<u64, LayoutRec> = HashMap::new();
+        let mut max_gen = [0u32; SHARDS];
+        let mut records = 0u64;
+        let mut next_order = 0u64;
+
+        // Phase 1: replay the manifest, stopping at the first torn frame.
+        let mut valid_len = (MAGIC.len() + 4) as u64;
+        let existing = std::fs::read(&mpath).ok();
+        match &existing {
+            Some(raw) if raw.len() >= 8 && &raw[..4] == MAGIC => {
+                let mut pos = 8usize; // magic + version
+                while let Some(hdr) = raw.get(pos..pos + 12) {
+                    let plen = u32::from_le_bytes(hdr[..4].try_into().unwrap()) as usize;
+                    let crc = u64::from_le_bytes(hdr[4..12].try_into().unwrap());
+                    let Some(payload) = raw.get(pos + 12..pos + 12 + plen) else {
+                        break; // torn tail
+                    };
+                    if fnv1a(payload.iter().copied()) != crc {
+                        break; // torn or corrupt frame — stop replay here
+                    }
+                    let order = next_order;
+                    next_order += 1;
+                    match decode_record(payload, order) {
+                        Some(Record::Put { key, rec }) => {
+                            max_gen[rec.shard] = max_gen[rec.shard].max(rec.gen);
+                            live.insert(key, rec);
+                        }
+                        Some(Record::Del { key }) => {
+                            live.remove(&key);
+                        }
+                        Some(Record::Epoch { bucket, key, epoch }) => {
+                            let h = crate::object_hash(&bucket, &key);
+                            epochs.insert(h, epoch);
+                        }
+                        Some(Record::Layout {
+                            bucket,
+                            key,
+                            epoch,
+                            chunks,
+                        }) => {
+                            let h = crate::object_hash(&bucket, &key);
+                            layouts.insert(h, (bucket, key, epoch, chunks));
+                        }
+                        None => {
+                            // Structurally valid frame, unknown contents:
+                            // count it dropped but keep replaying.
+                            recovery.dropped += 1;
+                        }
+                    }
+                    records += 1;
+                    pos += 12 + plen;
+                    valid_len = pos as u64;
+                }
+            }
+            _ => {}
+        }
+
+        // Phase 2: epoch filter — a Put from a superseded epoch is stale.
+        let mut ordered: Vec<(SegmentKey, PutRec)> = live.drain().collect();
+        ordered.sort_by_key(|(_, r)| r.order);
+        let mut kept: Vec<(SegmentKey, PutRec)> = Vec::with_capacity(ordered.len());
+        for (key, rec) in ordered {
+            let h = crate::object_hash(&key.bucket, &key.key);
+            if rec.epoch == *epochs.get(&h).unwrap_or(&0) {
+                kept.push((key, rec));
+            } else {
+                recovery.dropped += 1;
+            }
+        }
+
+        // Phase 3: verify each surviving Put against the segment file
+        // bytes — the fsync ordering makes a durable Put imply durable
+        // bytes, so a mismatch means a torn write and the record dies.
+        let mut verified: Vec<(SegmentKey, PutRec)> = Vec::with_capacity(kept.len());
+        for (key, rec) in kept {
+            let spath = dir.join(seg_file_name(rec.shard, rec.gen));
+            let ok = File::open(&spath)
+                .ok()
+                .and_then(|mut f| {
+                    f.seek(SeekFrom::Start(rec.offset)).ok()?;
+                    let mut buf = vec![0u8; rec.len as usize];
+                    f.read_exact(&mut buf).ok()?;
+                    Some(fnv1a(buf.iter().copied()) == rec.crc)
+                })
+                .unwrap_or(false);
+            if ok {
+                verified.push((key, rec));
+            } else {
+                recovery.dropped += 1;
+            }
+        }
+
+        // Only epochs that still guard something durable need keeping.
+        let logged: HashSet<u64> = verified
+            .iter()
+            .map(|(k, _)| crate::object_hash(&k.bucket, &k.key))
+            .chain(layouts.keys().copied())
+            .collect();
+
+        // Phase 4: truncate the torn manifest tail (or write a fresh
+        // header) so future appends extend a well-formed log.
+        let mut manifest = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&mpath)
+            .map_err(|e| io_err("open", &mpath, e))?;
+        let fresh = existing
+            .map(|r| r.len() < 8 || &r[..4] != MAGIC)
+            .unwrap_or(true);
+        if fresh {
+            manifest
+                .set_len(0)
+                .and_then(|()| manifest.write_all(MAGIC))
+                .and_then(|()| manifest.write_all(&VERSION.to_le_bytes()))
+                .and_then(|()| manifest.sync_data())
+                .map_err(|e| io_err("init", &mpath, e))?;
+            valid_len = (MAGIC.len() + 4) as u64;
+            records = 0;
+        } else {
+            manifest
+                .set_len(valid_len)
+                .map_err(|e| io_err("truncate", &mpath, e))?;
+        }
+
+        // Phase 5: open current-generation segment files, deleting stray
+        // files (older generations, or a crashed compaction's output).
+        let mut segs = Vec::with_capacity(SHARDS);
+        for (shard, &gen) in max_gen.iter().enumerate() {
+            let spath = dir.join(seg_file_name(shard, gen));
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&spath)
+                .map_err(|e| io_err("open", &spath, e))?;
+            let len = file
+                .metadata()
+                .map_err(|e| io_err("stat", &spath, e))?
+                .len();
+            segs.push(SegFile {
+                file,
+                gen,
+                len,
+                durable_len: len,
+            });
+        }
+        if let Ok(rd) = std::fs::read_dir(dir) {
+            for entry in rd.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if !name.starts_with("seg-") || !name.ends_with(".dat") {
+                    continue;
+                }
+                let current = (0..SHARDS).any(|s| name == seg_file_name(s, max_gen[s]));
+                if !current {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+
+        recovery.epochs = epochs.clone();
+        recovery.segments = verified
+            .iter()
+            .map(|(key, rec)| RecoveredSegment {
+                key: key.clone(),
+                len: rec.len,
+                epoch: rec.epoch,
+                crc: rec.crc,
+            })
+            .collect();
+        recovery.layouts = layouts
+            .values()
+            .filter(|(b, k, epoch, _)| {
+                *epoch == *epochs.get(&crate::object_hash(b, k)).unwrap_or(&0)
+            })
+            .map(|(b, k, e, c)| (b.clone(), k.clone(), *e, c.clone()))
+            .collect();
+        recovery.layouts.sort();
+
+        let live_map: HashMap<SegmentKey, PutRec> = verified.into_iter().collect();
+        let layouts_map: HashMap<u64, LayoutRec> = layouts
+            .into_iter()
+            .filter(|(h, (_, _, e, _))| *e == *epochs.get(h).unwrap_or(&0))
+            .collect();
+        // Epochs without anything durable to guard are dropped from the
+        // in-memory view (they still occupy manifest records until the
+        // next compaction).
+        let epochs_map: HashMap<u64, u64> = epochs
+            .into_iter()
+            .filter(|(h, _)| logged.contains(h))
+            .collect();
+
+        let store = DiskStore {
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(DiskInner {
+                manifest,
+                manifest_len: valid_len,
+                manifest_durable: valid_len,
+                segs,
+                live: live_map,
+                epochs: epochs_map,
+                layouts: layouts_map,
+                logged,
+                records,
+                next_order,
+                kill,
+                fsync_ordinal: 0,
+                crashed: false,
+            }),
+            persisted_bytes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            persist_errors: AtomicU64::new(0),
+        };
+        {
+            let mut inner = store.inner.lock();
+            if store.should_compact(&inner) {
+                store.compact_locked(&mut inner);
+            }
+        }
+        Ok((store, recovery))
+    }
+
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// `(bytes appended, fsyncs issued)` so far — the read-through paths
+    /// snapshot this around cache operations to charge `disk_write_bw`
+    /// and `fsync_latency` on the virtual clock.
+    pub(crate) fn persist_counters(&self) -> (u64, u64) {
+        (
+            self.persisted_bytes.load(Ordering::Relaxed),
+            self.fsyncs.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Whether the crash hook has fired (durability is frozen).
+    pub(crate) fn crashed(&self) -> bool {
+        self.inner.lock().crashed
+    }
+
+    pub(crate) fn manifest_stats(&self) -> ManifestStats {
+        let inner = self.inner.lock();
+        ManifestStats {
+            records: inner.records,
+            live_puts: inner.live.len() as u64,
+            live_layouts: inner.layouts.len() as u64,
+            manifest_bytes: inner.manifest_len,
+        }
+    }
+
+    /// The stored checksum of a live segment (recovery's residency
+    /// digest uses it instead of re-reading the file).
+    pub(crate) fn crc_of(&self, key: &SegmentKey) -> Option<u64> {
+        self.inner.lock().live.get(key).map(|r| r.crc)
+    }
+
+    /// One fsync barrier on `file`, honoring the kill plan. On the
+    /// killing fsync the file keeps only `durable + torn` bytes and the
+    /// store is frozen. Returns whether the fsync completed.
+    fn sync_file(&self, inner: &mut DiskInner, which: Target) -> bool {
+        if inner.crashed {
+            return false;
+        }
+        inner.fsync_ordinal += 1;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        let ordinal = inner.fsync_ordinal;
+        if let Some(kill) = inner.kill {
+            if ordinal == kill.kill_at {
+                let (file, len, durable) = inner.target_mut(which);
+                let pending = len.saturating_sub(durable);
+                let keep = durable + kill.torn_len(ordinal, pending);
+                let _ = file.set_len(keep);
+                let _ = file.sync_data();
+                inner.crashed = true;
+                return false;
+            }
+        }
+        let (file, len, durable_slot) = match which {
+            Target::Manifest => (
+                &inner.manifest,
+                inner.manifest_len,
+                &mut inner.manifest_durable,
+            ),
+            Target::Seg(s) => {
+                let seg = &mut inner.segs[s];
+                (&seg.file, seg.len, &mut seg.durable_len)
+            }
+        };
+        match file.sync_data() {
+            Ok(()) => {
+                *durable_slot = len;
+                true
+            }
+            Err(_) => {
+                self.persist_errors.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    fn append_manifest(&self, inner: &mut DiskInner, payload: &[u8]) -> bool {
+        if inner.crashed {
+            return false;
+        }
+        let framed = frame(payload);
+        let len = inner.manifest_len;
+        if inner
+            .manifest
+            .seek(SeekFrom::Start(len))
+            .and_then(|_| inner.manifest.write_all(&framed))
+            .is_err()
+        {
+            self.persist_errors.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        inner.manifest_len += framed.len() as u64;
+        inner.records += 1;
+        self.persisted_bytes
+            .fetch_add(framed.len() as u64, Ordering::Relaxed);
+        self.sync_file(inner, Target::Manifest)
+    }
+
+    /// Persist one segment's bytes: append to the shard's segment file,
+    /// fsync it, then append + fsync the manifest `Put`. Returns whether
+    /// the segment is durable (callers fall back to RAM-only residency
+    /// when it is not).
+    pub(crate) fn put(&self, key: &SegmentKey, data: &Bytes, epoch: u64) -> bool {
+        let shard = crate::object_hash(&key.bucket, &key.key) as usize % SHARDS;
+        let mut inner = self.inner.lock();
+        if inner.crashed {
+            self.persist_errors.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let (gen, offset) = {
+            let seg = &mut inner.segs[shard];
+            let offset = seg.len;
+            if seg
+                .file
+                .seek(SeekFrom::Start(offset))
+                .and_then(|_| seg.file.write_all(data))
+                .is_err()
+            {
+                self.persist_errors.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            seg.len += data.len() as u64;
+            (seg.gen, offset)
+        };
+        self.persisted_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        if !self.sync_file(&mut inner, Target::Seg(shard)) {
+            self.persist_errors.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let rec = PutRec {
+            shard,
+            gen,
+            offset,
+            len: data.len() as u64,
+            crc: fnv1a(data.iter().copied()),
+            epoch,
+            order: inner.next_order,
+        };
+        inner.next_order += 1;
+        if !self.append_manifest(&mut inner, &encode_put(key, &rec)) {
+            // Bytes are durable but unreferenced — harmless garbage the
+            // next compaction reclaims.
+            self.persist_errors.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        inner
+            .logged
+            .insert(crate::object_hash(&key.bucket, &key.key));
+        inner.live.insert(key.clone(), rec);
+        self.maybe_compact(&mut inner);
+        true
+    }
+
+    /// Read a live segment's bytes back, verifying the checksum.
+    pub(crate) fn read(&self, key: &SegmentKey) -> Option<Bytes> {
+        let mut inner = self.inner.lock();
+        let rec = inner.live.get(key)?.clone();
+        let seg = &mut inner.segs[rec.shard];
+        if seg.gen != rec.gen {
+            return None;
+        }
+        seg.file.seek(SeekFrom::Start(rec.offset)).ok()?;
+        let mut buf = vec![0u8; rec.len as usize];
+        seg.file.read_exact(&mut buf).ok()?;
+        (fnv1a(buf.iter().copied()) == rec.crc).then(|| Bytes::from(buf))
+    }
+
+    /// The segment left the disk tier (eviction or promotion): append a
+    /// `Del` record so recovery does not resurrect it.
+    pub(crate) fn del(&self, key: &SegmentKey) {
+        let mut inner = self.inner.lock();
+        if inner.crashed || !inner.live.contains_key(key) {
+            return;
+        }
+        if self.append_manifest(&mut inner, &encode_del(key)) {
+            inner.live.remove(key);
+            self.maybe_compact(&mut inner);
+        }
+    }
+
+    /// The object was invalidated: drop its durable segments and
+    /// layouts, and log the new epoch (only when the manifest holds
+    /// records the bump must kill — otherwise there is nothing a
+    /// recovery could resurrect).
+    pub(crate) fn bump_epoch(&self, bucket: &str, key: &str, epoch: u64) {
+        let h = crate::object_hash(bucket, key);
+        let mut inner = self.inner.lock();
+        if inner.crashed || !inner.logged.contains(&h) {
+            return;
+        }
+        if self.append_manifest(&mut inner, &encode_epoch(bucket, key, epoch)) {
+            inner.epochs.insert(h, epoch);
+            inner
+                .live
+                .retain(|k, _| !(k.bucket == bucket && k.key == key));
+            inner.layouts.remove(&h);
+            self.maybe_compact(&mut inner);
+        }
+    }
+
+    /// Persist a learned chunk layout so a restart keeps partial-hit
+    /// scans chunk-granular instead of falling back to whole-object
+    /// reloads.
+    pub(crate) fn log_layout(&self, bucket: &str, key: &str, epoch: u64, chunks: &[(u64, u64)]) {
+        let h = crate::object_hash(bucket, key);
+        let mut inner = self.inner.lock();
+        if inner.crashed {
+            return;
+        }
+        if self.append_manifest(&mut inner, &encode_layout(bucket, key, epoch, chunks)) {
+            inner.logged.insert(h);
+            inner.layouts.insert(
+                h,
+                (bucket.to_string(), key.to_string(), epoch, chunks.to_vec()),
+            );
+            self.maybe_compact(&mut inner);
+        }
+    }
+
+    fn should_compact(&self, inner: &DiskInner) -> bool {
+        let live = inner.live.len() as u64 + inner.layouts.len() as u64 + inner.epochs.len() as u64;
+        inner.records > COMPACT_MIN_RECORDS && inner.records > COMPACT_FACTOR * live.max(1)
+    }
+
+    fn maybe_compact(&self, inner: &mut DiskInner) {
+        if self.should_compact(inner) {
+            self.compact_locked(inner);
+        }
+    }
+
+    /// Rewrite live segment bytes into next-generation files and replace
+    /// the manifest with exactly the live records, committing via
+    /// write-to-temp + atomic rename. A crash at any point leaves the
+    /// old manifest (and the files it references) intact.
+    fn compact_locked(&self, inner: &mut DiskInner) {
+        if inner.crashed {
+            return;
+        }
+        let next_gen: Vec<u32> = inner.segs.iter().map(|s| s.gen + 1).collect();
+        // Live entries per shard, replay order preserved within a shard.
+        let mut by_shard: Vec<Vec<(SegmentKey, PutRec)>> =
+            (0..SHARDS).map(|_| Vec::new()).collect();
+        for (k, r) in inner.live.iter() {
+            by_shard[r.shard].push((k.clone(), r.clone()));
+        }
+        for list in by_shard.iter_mut() {
+            list.sort_by_key(|(_, r)| r.order);
+        }
+        let mut new_live: HashMap<SegmentKey, PutRec> = HashMap::new();
+        let mut new_segs: Vec<SegFile> = Vec::with_capacity(SHARDS);
+        for (shard, list) in by_shard.iter().enumerate() {
+            let spath = self.dir.join(seg_file_name(shard, next_gen[shard]));
+            let file = match OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&spath)
+            {
+                Ok(f) => f,
+                Err(_) => {
+                    self.persist_errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            };
+            let mut out = SegFile {
+                file,
+                gen: next_gen[shard],
+                len: 0,
+                durable_len: 0,
+            };
+            for (key, rec) in list {
+                // Copy the live bytes from the old generation.
+                let old = &mut inner.segs[rec.shard];
+                let mut buf = vec![0u8; rec.len as usize];
+                if old
+                    .file
+                    .seek(SeekFrom::Start(rec.offset))
+                    .and_then(|_| old.file.read_exact(&mut buf))
+                    .is_err()
+                {
+                    self.persist_errors.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let offset = out.len;
+                if out.file.write_all(&buf).is_err() {
+                    self.persist_errors.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                out.len += rec.len;
+                self.persisted_bytes.fetch_add(rec.len, Ordering::Relaxed);
+                new_live.insert(
+                    key.clone(),
+                    PutRec {
+                        shard,
+                        gen: next_gen[shard],
+                        offset,
+                        ..rec.clone()
+                    },
+                );
+            }
+            new_segs.push(out);
+        }
+        // Fsync the rewritten segment files before the manifest that
+        // references them (same ordering rule as the steady state).
+        for seg in new_segs.iter_mut() {
+            inner.fsync_ordinal += 1;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+            let ordinal = inner.fsync_ordinal;
+            if let Some(kill) = inner.kill {
+                if ordinal == kill.kill_at {
+                    let keep = kill.torn_len(ordinal, seg.len);
+                    let _ = seg.file.set_len(keep);
+                    inner.crashed = true;
+                    return;
+                }
+            }
+            if seg.file.sync_data().is_err() {
+                self.persist_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            seg.durable_len = seg.len;
+        }
+        // Rebuild the manifest: epoch records first (so replay filters
+        // puts and layouts against them regardless of order), then live
+        // layouts, then live puts in replay order. The bucket/key for an
+        // epoch record comes from whichever live record still names the
+        // object; epochs guarding nothing durable are garbage-collected.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        let mut records = 0u64;
+        let mut names: HashMap<u64, (String, String)> = new_live
+            .keys()
+            .map(|k| {
+                (
+                    crate::object_hash(&k.bucket, &k.key),
+                    (k.bucket.clone(), k.key.clone()),
+                )
+            })
+            .collect();
+        for (h, (b, k, _, _)) in inner.layouts.iter() {
+            names.entry(*h).or_insert_with(|| (b.clone(), k.clone()));
+        }
+        let mut epoch_rows: Vec<(u64, u64)> = inner
+            .epochs
+            .iter()
+            .filter(|(h, _)| names.contains_key(h))
+            .map(|(h, e)| (*h, *e))
+            .collect();
+        epoch_rows.sort_unstable();
+        for (h, e) in epoch_rows {
+            let (b, k) = &names[&h];
+            buf.extend_from_slice(&frame(&encode_epoch(b, k, e)));
+            records += 1;
+        }
+        let mut layout_rows: Vec<(u64, LayoutRec)> =
+            inner.layouts.iter().map(|(h, l)| (*h, l.clone())).collect();
+        layout_rows.sort_by_key(|(h, _)| *h);
+        let kept_layouts: HashMap<u64, LayoutRec> =
+            layout_rows.iter().map(|(h, l)| (*h, l.clone())).collect();
+        for (_, (b, k, epoch, chunks)) in layout_rows {
+            buf.extend_from_slice(&frame(&encode_layout(&b, &k, epoch, &chunks)));
+            records += 1;
+        }
+        let mut ordered_live: Vec<(SegmentKey, PutRec)> = new_live
+            .iter()
+            .map(|(k, r)| (k.clone(), r.clone()))
+            .collect();
+        ordered_live.sort_by_key(|(_, r)| r.order);
+        for (key, rec) in ordered_live.iter() {
+            buf.extend_from_slice(&frame(&encode_put(key, rec)));
+            records += 1;
+        }
+        let tmp = self.dir.join("MANIFEST.tmp");
+        let mpath = self.dir.join("MANIFEST");
+        let write_ok = (|| -> std::io::Result<File> {
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            f.write_all(&buf)?;
+            Ok(f)
+        })();
+        let tmp_file = match write_ok {
+            Ok(f) => f,
+            Err(_) => {
+                self.persist_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        self.persisted_bytes
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+        inner.fsync_ordinal += 1;
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        let ordinal = inner.fsync_ordinal;
+        if let Some(kill) = inner.kill {
+            if ordinal == kill.kill_at {
+                let keep = kill.torn_len(ordinal, buf.len() as u64);
+                let _ = tmp_file.set_len(keep);
+                inner.crashed = true;
+                return; // old MANIFEST remains the durable truth
+            }
+        }
+        if tmp_file.sync_data().is_err() {
+            self.persist_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Commit point.
+        if std::fs::rename(&tmp, &mpath).is_err() {
+            self.persist_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let manifest = match OpenOptions::new().read(true).write(true).open(&mpath) {
+            Ok(f) => f,
+            Err(_) => {
+                self.persist_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        // Swap in the new state and delete the old generation's files.
+        let old_gens: Vec<u32> = inner.segs.iter().map(|s| s.gen).collect();
+        inner.manifest = manifest;
+        inner.manifest_len = buf.len() as u64;
+        inner.manifest_durable = buf.len() as u64;
+        inner.segs = new_segs;
+        inner.live = new_live;
+        inner.layouts = kept_layouts;
+        inner.records = records;
+        let live_hashes: HashSet<u64> = inner
+            .live
+            .keys()
+            .map(|k| crate::object_hash(&k.bucket, &k.key))
+            .chain(inner.layouts.keys().copied())
+            .collect();
+        inner.epochs.retain(|h, _| live_hashes.contains(h));
+        inner.logged = live_hashes;
+        for (shard, gen) in old_gens.iter().enumerate() {
+            let _ = std::fs::remove_file(self.dir.join(seg_file_name(shard, *gen)));
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Target {
+    Manifest,
+    Seg(usize),
+}
+
+impl DiskInner {
+    fn target_mut(&mut self, which: Target) -> (&File, u64, u64) {
+        match which {
+            Target::Manifest => (&self.manifest, self.manifest_len, self.manifest_durable),
+            Target::Seg(s) => {
+                let seg = &self.segs[s];
+                (&seg.file, seg.len, seg.durable_len)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushdown_common::TempDir;
+
+    fn k(name: &str) -> SegmentKey {
+        SegmentKey::whole("b", name)
+    }
+
+    fn bytes(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    #[test]
+    fn put_read_del_roundtrip_and_recovery() {
+        let tmp = TempDir::new("store-rt");
+        {
+            let (store, rec) = DiskStore::open(tmp.path(), None).unwrap();
+            assert!(rec.segments.is_empty());
+            assert!(store.put(&k("a"), &bytes(100, 1), 0));
+            assert!(store.put(&k("b"), &bytes(50, 2), 0));
+            assert_eq!(store.read(&k("a")).unwrap(), bytes(100, 1));
+            store.del(&k("b"));
+        }
+        let (store, rec) = DiskStore::open(tmp.path(), None).unwrap();
+        assert_eq!(rec.segments.len(), 1);
+        assert_eq!(rec.segments[0].key, k("a"));
+        assert_eq!(rec.segments[0].len, 100);
+        assert_eq!(store.read(&k("a")).unwrap(), bytes(100, 1));
+        assert!(store.read(&k("b")).is_none());
+    }
+
+    #[test]
+    fn epoch_bump_kills_stale_puts_at_recovery() {
+        let tmp = TempDir::new("store-epoch");
+        {
+            let (store, _) = DiskStore::open(tmp.path(), None).unwrap();
+            assert!(store.put(&k("a"), &bytes(10, 1), 0));
+            store.bump_epoch("b", "a", 1);
+            // Refill at the new epoch survives; the old one must not.
+            assert!(store.put(&k("a"), &bytes(10, 9), 1));
+        }
+        let (store, rec) = DiskStore::open(tmp.path(), None).unwrap();
+        assert_eq!(rec.segments.len(), 1);
+        assert_eq!(rec.segments[0].epoch, 1);
+        assert_eq!(store.read(&k("a")).unwrap(), bytes(10, 9));
+    }
+
+    #[test]
+    fn torn_manifest_tail_is_tolerated_and_truncated() {
+        let tmp = TempDir::new("store-torn");
+        {
+            let (store, _) = DiskStore::open(tmp.path(), None).unwrap();
+            assert!(store.put(&k("a"), &bytes(20, 3), 0));
+            assert!(store.put(&k("b"), &bytes(20, 4), 0));
+        }
+        // Tear the tail: chop the last 5 bytes off the manifest.
+        let mpath = tmp.path().join("MANIFEST");
+        let len = std::fs::metadata(&mpath).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&mpath).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+        let (store, rec) = DiskStore::open(tmp.path(), None).unwrap();
+        // One of the two records was torn; exactly one segment survives.
+        assert_eq!(rec.segments.len(), 1);
+        let survivor = rec.segments[0].key.clone();
+        assert!(store.read(&survivor).is_some());
+        // The manifest was truncated to the valid prefix: appending a
+        // new put and re-recovering yields both.
+        assert!(store.put(&k("c"), &bytes(7, 5), 0));
+        drop(store);
+        let (_, rec2) = DiskStore::open(tmp.path(), None).unwrap();
+        assert_eq!(rec2.segments.len(), 2);
+    }
+
+    #[test]
+    fn torn_segment_bytes_fail_checksum_and_are_dropped() {
+        let tmp = TempDir::new("store-crc");
+        let spath;
+        {
+            let (store, _) = DiskStore::open(tmp.path(), None).unwrap();
+            assert!(store.put(&k("a"), &bytes(64, 6), 0));
+            let shard = crate::object_hash("b", "a") as usize % SHARDS;
+            spath = tmp.path().join(seg_file_name(shard, 0));
+        }
+        // Corrupt one byte of the segment payload.
+        let mut raw = std::fs::read(&spath).unwrap();
+        raw[10] ^= 0xFF;
+        std::fs::write(&spath, &raw).unwrap();
+        let (store, rec) = DiskStore::open(tmp.path(), None).unwrap();
+        assert!(rec.segments.is_empty());
+        assert_eq!(rec.dropped, 1);
+        assert!(store.read(&k("a")).is_none());
+    }
+
+    #[test]
+    fn layouts_and_epochs_survive_restart() {
+        let tmp = TempDir::new("store-layout");
+        {
+            let (store, _) = DiskStore::open(tmp.path(), None).unwrap();
+            store.log_layout("b", "a", 0, &[(0, 100), (100, 200)]);
+            assert!(store.put(&k("a"), &bytes(10, 1), 0));
+            store.log_layout("b", "x", 2, &[(0, 50)]);
+            store.bump_epoch("b", "x", 3); // layout now stale
+        }
+        let (_, rec) = DiskStore::open(tmp.path(), None).unwrap();
+        assert_eq!(rec.layouts.len(), 1);
+        assert_eq!(rec.layouts[0].0, "b");
+        assert_eq!(rec.layouts[0].1, "a");
+        assert_eq!(rec.layouts[0].3, vec![(0, 100), (100, 200)]);
+        assert_eq!(*rec.epochs.get(&crate::object_hash("b", "x")).unwrap(), 3);
+    }
+
+    #[test]
+    fn kill_plan_freezes_durability_deterministically() {
+        // Sweep every kill point of a fixed op sequence twice: the
+        // recovered segment set must be identical run to run.
+        for kill_at in 1..=12u64 {
+            let mut digests = Vec::new();
+            for _ in 0..2 {
+                let tmp = TempDir::new("store-kill");
+                let (store, _) =
+                    DiskStore::open(tmp.path(), Some(KillPlan::after(kill_at, 0xDEAD + kill_at)))
+                        .unwrap();
+                for i in 0..5u8 {
+                    store.put(&k(&format!("o{i}")), &bytes(30 + i as usize, i), 0);
+                }
+                store.bump_epoch("b", "o1", 1);
+                store.del(&k("o2"));
+                drop(store);
+                let (_, rec) = DiskStore::open(tmp.path(), None).unwrap();
+                let mut names: Vec<String> = rec
+                    .segments
+                    .iter()
+                    .map(|s| format!("{}:{}:{}", s.key.key, s.len, s.crc))
+                    .collect();
+                names.sort();
+                digests.push(names.join(","));
+            }
+            assert_eq!(
+                digests[0], digests[1],
+                "kill_at={kill_at} not deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn kill_never_resurrects_a_stale_epoch() {
+        // At every kill point: write o@e0, invalidate, write o@e1. The
+        // recovered store must never return the e0 bytes.
+        for kill_at in 1..=10u64 {
+            let tmp = TempDir::new("store-stale");
+            let (store, _) =
+                DiskStore::open(tmp.path(), Some(KillPlan::after(kill_at, 7 * kill_at))).unwrap();
+            store.put(&k("o"), &bytes(40, 0xAA), 0);
+            store.bump_epoch("b", "o", 1);
+            store.put(&k("o"), &bytes(40, 0xBB), 1);
+            drop(store);
+            let (store, rec) = DiskStore::open(tmp.path(), None).unwrap();
+            for seg in &rec.segments {
+                let data = store.read(&seg.key).expect("verified segment readable");
+                assert_ne!(
+                    &data[..],
+                    &bytes(40, 0xAA)[..],
+                    "kill_at={kill_at} resurrected stale epoch-0 bytes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compaction_bounds_manifest_and_preserves_live_state() {
+        let tmp = TempDir::new("store-compact");
+        let (store, _) = DiskStore::open(tmp.path(), None).unwrap();
+        // Churn: repeatedly overwrite the same few keys, creating far
+        // more dead records than live ones.
+        for round in 0..200u64 {
+            for i in 0..3u8 {
+                let key = k(&format!("hot{i}"));
+                store.put(&key, &bytes(16, (round % 251) as u8), 0);
+            }
+        }
+        let stats = store.manifest_stats();
+        assert_eq!(stats.live_puts, 3);
+        assert!(
+            stats.records <= COMPACT_MIN_RECORDS + COMPACT_FACTOR * (stats.live_puts + 4),
+            "manifest not bounded: {stats:?}"
+        );
+        for i in 0..3u8 {
+            let data = store.read(&k(&format!("hot{i}"))).unwrap();
+            assert_eq!(data, bytes(16, 199)); // the last round's fill (round 199)
+        }
+        drop(store);
+        // And the compacted state recovers.
+        let (store, rec) = DiskStore::open(tmp.path(), None).unwrap();
+        assert_eq!(rec.segments.len(), 3);
+        for i in 0..3u8 {
+            assert!(store.read(&k(&format!("hot{i}"))).is_some());
+        }
+    }
+
+    #[test]
+    fn temp_dirs_leave_no_stray_files() {
+        let tmp = TempDir::new("store-clean");
+        let path = tmp.path().to_path_buf();
+        {
+            let (store, _) = DiskStore::open(tmp.path(), None).unwrap();
+            assert!(store.put(&k("a"), &bytes(10, 1), 0));
+        }
+        drop(tmp);
+        assert!(!path.exists(), "stray files left at {}", path.display());
+    }
+}

@@ -27,6 +27,8 @@
 //!   an r4.8xlarge behind a 10 GigE link — is not available, so elapsed
 //!   time is modeled rather than measured; see `DESIGN.md` §5).
 //! * [`error`] — the shared error type.
+//! * [`tmp`] — self-cleaning temp directories for the persistent-cache
+//!   test and bench suites (no `tempfile` crate offline).
 
 pub mod columnar;
 pub mod date;
@@ -41,6 +43,7 @@ mod proptests;
 pub mod retry;
 pub mod row;
 pub mod schema;
+pub mod tmp;
 pub mod value;
 
 pub use columnar::{Column, ColumnData, ColumnarBatch, SelVec};
@@ -51,4 +54,5 @@ pub use pricing::{CostBreakdown, Pricing};
 pub use retry::RetryPolicy;
 pub use row::Row;
 pub use schema::{Field, Schema};
+pub use tmp::TempDir;
 pub use value::{DataType, Value};

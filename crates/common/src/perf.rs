@@ -84,6 +84,19 @@ pub struct PerfParams {
     /// 10 GigE wire. See README "Performance model calibration" for how
     /// to re-derive.
     pub disk_read_bw: f64,
+    /// Sequential **write** bandwidth of the persistent disk tier's
+    /// segment files, bytes/s. Persisting a segment (straight-to-disk
+    /// fill or mem→disk demotion) streams its bytes through this rate on
+    /// the scope's virtual clock. SSD-class media writes slower than it
+    /// reads under fsync pressure, so the default sits at 0.8× of
+    /// [`PerfParams::disk_read_bw`]: 0.8 × 500e6 = 400e6.
+    pub disk_write_bw: f64,
+    /// Seconds one fsync barrier costs. The durability protocol issues
+    /// two per persisted segment (segment bytes, then the manifest record
+    /// that references them) and one per manifest-only record (eviction,
+    /// epoch bump, layout). 500 µs is a mid-range SSD flush; NVMe with a
+    /// capacitor-backed cache would be ~10×, disks ~20× the other way.
+    pub fsync_latency: f64,
     /// Node-to-node bandwidth inside the scatter-gather cluster, bytes/s
     /// (each node's share of the exchange fabric). Exchanged bytes never
     /// touch S3 — they are not billable [`crate::pricing::Usage`] — but
@@ -114,6 +127,8 @@ impl Default for PerfParams {
             s3_scan_bw: 2.4e9,
             cache_read_bw: 2.0e9,
             disk_read_bw: 500e6,
+            disk_write_bw: 400e6,
+            fsync_latency: 0.5e-3,
             exchange_bw: 1.25e9,
             expr_term_coeff: 0.05,
             request_latency: 0.010,

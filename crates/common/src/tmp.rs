@@ -1,0 +1,75 @@
+//! Self-cleaning temporary directories for tests and benches.
+//!
+//! The build environment has no crates.io access, so there is no
+//! `tempfile` crate; this is the minimal subset the persistent-cache
+//! suites need. A [`TempDir`] creates a uniquely named directory under
+//! the system temp root and removes it — recursively — on drop, so a
+//! test that panics mid-way still leaves nothing behind. Uniqueness
+//! comes from the process id plus a process-wide counter, which also
+//! keeps concurrently running tests in one binary from colliding.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_TMP: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under [`std::env::temp_dir`] that is
+/// removed recursively when dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create `…/pushdowndb-<tag>-<pid>-<n>`. Panics if the directory
+    /// cannot be created — tests have no useful way to continue without
+    /// scratch space.
+    pub fn new(tag: &str) -> TempDir {
+        let n = NEXT_TMP.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "pushdowndb-{tag}-{pid}-{n}",
+            pid = std::process::id()
+        ));
+        // A stale directory with the same name can only be left by a
+        // previous run of the same pid+counter (e.g. a kill -9); clear it
+        // so the caller always starts empty.
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path)
+            .unwrap_or_else(|e| panic!("create temp dir {}: {e}", path.display()));
+        TempDir { path }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temp_dirs_are_unique_and_removed_on_drop() {
+        let a = TempDir::new("unit");
+        let b = TempDir::new("unit");
+        assert_ne!(a.path(), b.path());
+        std::fs::write(a.path().join("x"), b"hello").unwrap();
+        std::fs::create_dir(a.path().join("sub")).unwrap();
+        std::fs::write(a.path().join("sub/y"), b"world").unwrap();
+        let (pa, pb) = (a.path().to_path_buf(), b.path().to_path_buf());
+        drop(a);
+        drop(b);
+        assert!(
+            !pa.exists(),
+            "temp dir left stray files at {}",
+            pa.display()
+        );
+        assert!(!pb.exists());
+    }
+}

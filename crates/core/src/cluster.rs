@@ -91,11 +91,17 @@ impl Cluster {
     /// budgets** — `mem / n` and `disk / n` bytes, under the store
     /// cache's admission policy (install the cache *before* calling
     /// this); otherwise nodes run cacheless and reads fall through to
-    /// the store.
+    /// the store. If the store cache is **persistent**, each node's
+    /// slice is rooted at its own `<dir>/nodes/node-<id>` subdirectory
+    /// and recovers whatever a previous incarnation of that node left
+    /// there (checksum-verified against the live store); a node whose
+    /// directory cannot be opened falls back to a RAM-only slice rather
+    /// than failing the whole cluster.
     pub fn new(store: &S3Store, n: usize, pricing: Pricing) -> Cluster {
         let n = n.max(1);
-        let node_slice = store
-            .cache()
+        let store_cache = store.cache();
+        let node_slice = store_cache
+            .as_ref()
             .map(|c| {
                 (
                     c.budget_bytes() / n as u64,
@@ -104,13 +110,34 @@ impl Cluster {
                 )
             })
             .filter(|&(mem, disk, _)| mem + disk > 0);
+        let persist_dir = store_cache.as_ref().and_then(|c| c.persist_dir());
+        let probe = {
+            let store = store.clone();
+            move |b: &str, k: &str, r: (u64, u64)| store.object_range_digest(b, k, r)
+        };
         let nodes: Vec<ClusterNode> = (0..n)
             .map(|id| ClusterNode {
                 id,
                 ledger: store.global_ledger().child(),
                 clock: VirtualClock::new(),
                 cache: node_slice.map(|(mem, disk, admission)| {
-                    SegmentCache::tiered_with_admission(mem, disk, pricing, admission)
+                    persist_dir
+                        .as_ref()
+                        .and_then(|dir| {
+                            SegmentCache::recover_with(
+                                dir.join("nodes").join(format!("node-{id}")),
+                                mem,
+                                disk,
+                                pricing,
+                                admission,
+                                None,
+                                Some(&probe),
+                            )
+                            .ok()
+                        })
+                        .unwrap_or_else(|| {
+                            SegmentCache::tiered_with_admission(mem, disk, pricing, admission)
+                        })
                 }),
                 exchange_bytes: Arc::new(AtomicU64::new(0)),
             })

@@ -20,7 +20,7 @@ use pushdown_bloom::BloomBuilder;
 use pushdown_cache::{CacheAdmission, SegmentCache};
 use pushdown_common::perf::{PerfModel, PerfParams};
 use pushdown_common::pricing::{Pricing, Usage};
-use pushdown_common::{CostLedger, RetryPolicy};
+use pushdown_common::{CostLedger, Error, Result, RetryPolicy};
 use pushdown_s3::{S3Store, VirtualClock};
 use pushdown_select::S3SelectEngine;
 
@@ -346,6 +346,48 @@ impl QueryContext {
                 admission,
             )));
         self
+    }
+
+    /// Back the installed segment cache's disk tier with a **persistent
+    /// file store** rooted at `dir` — and recover whatever a previous
+    /// process left there.
+    ///
+    /// Composes with [`QueryContext::with_cache_tiers`]: call that (or
+    /// any cache installer) first to set the tier budgets and admission
+    /// policy, then this to make the disk tier durable. The current
+    /// cache is replaced by one recovered from `dir` — the on-disk
+    /// manifest is replayed, every surviving segment is checksum-verified
+    /// against the live store (so a chunk persisted before a crash is
+    /// never served after its object was rewritten, even if the rewrite
+    /// happened while the cache was down), recovered segments land
+    /// disk-resident (memory starts cold, disk starts warm), and ghost
+    /// reuse-distance state is rebuilt for the recovered residents. An
+    /// empty or absent `dir` simply starts a fresh persistent cache.
+    /// Store-wide, like [`QueryContext::with_cache`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no cache is installed, or if the directory
+    /// cannot be created/opened.
+    pub fn with_cache_dir(self, dir: impl AsRef<std::path::Path>) -> Result<Self> {
+        let Some(cur) = self.store.cache() else {
+            return Err(Error::Other(
+                "with_cache_dir requires a cache: call with_cache_tiers(...) first".into(),
+            ));
+        };
+        let store = self.store.clone();
+        let probe = move |b: &str, k: &str, r: (u64, u64)| store.object_range_digest(b, k, r);
+        let cache = SegmentCache::recover_with(
+            dir,
+            cur.budget_bytes(),
+            cur.disk_budget_bytes(),
+            self.pricing,
+            cur.admission(),
+            None,
+            Some(&probe),
+        )?;
+        self.store.set_cache(Some(cache));
+        Ok(self)
     }
 
     /// Override the CSV cache-segment size (see

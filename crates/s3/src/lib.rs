@@ -727,6 +727,19 @@ impl S3Store {
                 hit: false,
             });
         };
+        let persist0 = cache.persist_counters();
+        let out = self.get_object_cached_inner(&cache, bucket, key, policy);
+        self.charge_persist(&cache, persist0);
+        out
+    }
+
+    fn get_object_cached_inner(
+        &self,
+        cache: &SegmentCache,
+        bucket: &str,
+        key: &str,
+        policy: &RetryPolicy,
+    ) -> Result<CachedFetch> {
         let skey = SegmentKey::whole(bucket, key);
         if let Some((data, tier)) = cache.get_tiered(&skey) {
             let len = data.len() as u64;
@@ -793,6 +806,20 @@ impl S3Store {
                 hit: false,
             });
         };
+        let persist0 = cache.persist_counters();
+        let out = self.get_object_chunked_cached_inner(&cache, bucket, key, policy, layout_of);
+        self.charge_persist(&cache, persist0);
+        out
+    }
+
+    fn get_object_chunked_cached_inner(
+        &self,
+        cache: &SegmentCache,
+        bucket: &str,
+        key: &str,
+        policy: &RetryPolicy,
+        layout_of: impl Fn(&Bytes) -> Vec<(u64, u64)>,
+    ) -> Result<ChunkedFetch> {
         let whole = SegmentKey::whole(bucket, key);
         let epoch = cache.begin_fill(&whole);
         // A whole-object segment left by the coarse read-through path
@@ -961,9 +988,64 @@ impl S3Store {
         }
     }
 
+    /// Advance the virtual clock by the durability cost of cache
+    /// persistence: appended segment/manifest bytes at `disk_write_bw`
+    /// plus `fsync_latency` per fsync (only under an installed fault
+    /// plan, like every other clock charge). RAM-only caches report zero
+    /// persist counters, so this never fires for them.
+    fn advance_local_write(&self, bytes: u64, fsyncs: u64) {
+        if bytes == 0 && fsyncs == 0 {
+            return;
+        }
+        if let Some(plan) = self.fault_plan() {
+            self.scope.advance(
+                bytes as f64 / plan.latency.disk_write_bw
+                    + fsyncs as f64 * plan.latency.fsync_latency,
+            );
+        }
+    }
+
+    /// Charge the virtual clock for whatever the persistent disk tier
+    /// wrote during a cached read, measured as the delta of the cache's
+    /// monotonic persist counters since `before`.
+    fn charge_persist(&self, cache: &SegmentCache, before: (u64, u64)) {
+        let (bytes, fsyncs) = cache.persist_counters();
+        self.advance_local_write(
+            bytes.saturating_sub(before.0),
+            fsyncs.saturating_sub(before.1),
+        );
+    }
+
     /// Object size without transferring it (HEAD; not billed as a GET).
     pub fn object_size(&self, bucket: &str, key: &str) -> Result<u64> {
         Ok(self.lookup(bucket, key)?.len() as u64)
+    }
+
+    /// Storage-internal, unmetered catalog probe used by cache recovery:
+    /// returns `(object_len, fnv1a(range bytes))` for the live object, or
+    /// `None` if the object is gone or the range falls outside it. The
+    /// whole-object sentinel range `(0, u64::MAX)` digests the full
+    /// object. Recovery compares the digest against each recovered
+    /// segment's stored checksum, so a chunk persisted before a crash can
+    /// never be served after the underlying object was rewritten — even
+    /// when the rewrite happened while the cache was down and no epoch
+    /// bump was ever logged.
+    pub fn object_range_digest(
+        &self,
+        bucket: &str,
+        key: &str,
+        range: (u64, u64),
+    ) -> Option<(u64, u64)> {
+        let data = self.lookup(bucket, key).ok()?;
+        let len = data.len() as u64;
+        let (first, last) = range;
+        let last = if range == (0, u64::MAX) { len } else { last };
+        if first > last || last > len {
+            return None;
+        }
+        let digest =
+            pushdown_common::mix::fnv1a(data[first as usize..last as usize].iter().copied());
+        Some((len, digest))
     }
 
     /// Whether the object exists.

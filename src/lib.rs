@@ -167,6 +167,40 @@
 //! # Ok(()) }
 //! ```
 //!
+//! ### Persistence: the disk tier survives restarts
+//!
+//! [`core::QueryContext::with_cache_dir`] composes with the tier
+//! budgets above to back the disk tier with a **file-backed segment
+//! store** (per-shard segment files guarded by a checksummed, epoch-
+//! tagged manifest; segment bytes fsync *before* the manifest record
+//! that references them — see the `store` module of `pushdown-cache`).
+//! A fresh context pointed at the same directory recovers whatever the
+//! previous process left durable: manifest replayed, every segment
+//! checksum-verified against the live store, disk tier warm, mem tier
+//! cold — so segments disk-resident at shutdown bill **zero** remote
+//! bytes again. [`cache::SegmentCache::recover_with`] additionally
+//! takes a seeded [`cache::KillPlan`] for deterministic
+//! crash-injection at the Nth fsync.
+//!
+//! ```no_run
+//! use pushdowndb::core::{execute_sql, QueryContext, Strategy};
+//! # fn demo(ctx: pushdowndb::core::QueryContext, table: &pushdowndb::core::Table)
+//! # -> pushdowndb::common::Result<()> {
+//! // Budgets first, then the directory: the two compose.
+//! let ctx = ctx
+//!     .with_cache_tiers(256 << 20, 4u64 << 30)
+//!     .with_cache_dir("/var/tmp/pushdowndb-cache")?;
+//! let sql = "SELECT g, SUM(v) FROM t GROUP BY g";
+//! let _ = execute_sql(&ctx, table, sql, Strategy::Adaptive)?; // warms + persists
+//! let store = ctx.store.clone();
+//! drop(ctx); // "process exit"
+//! let ctx = QueryContext::new(store)
+//!     .with_cache_tiers(256 << 20, 4u64 << 30)
+//!     .with_cache_dir("/var/tmp/pushdowndb-cache")?; // recovers the warm tier
+//! assert!(ctx.cache().unwrap().stats().recovered_segments > 0);
+//! # Ok(()) }
+//! ```
+//!
 //! ## The scatter-gather cluster
 //!
 //! [`core::QueryContext::with_nodes`] attaches an N-node cluster
